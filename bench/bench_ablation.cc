@@ -1,0 +1,110 @@
+// Ablation studies for the design choices DESIGN.md calls out (not paper
+// figures):
+//  (a) the reuse-mode ladder — none -> full -> partial -> hybrid ->
+//      multi-level — on the HLM grid-search pipeline, isolating the
+//      contribution of each mechanism, and
+//  (b) cache-budget sensitivity on the epoch-style mini-batch pipeline
+//      (how quickly reuse degrades when the budget shrinks below the
+//      reusable working set).
+#include <benchmark/benchmark.h>
+
+#include "bench/pipelines.h"
+
+namespace lima {
+namespace bench {
+namespace {
+
+void AblationReuseMode(benchmark::State& state, ReuseMode mode,
+                       bool multilevel_config) {
+  std::string script = HlmScript(15000, 50, /*task_parallel=*/false);
+  LimaConfig config = LimaConfig::Base();
+  if (mode != ReuseMode::kNone || multilevel_config) {
+    config = multilevel_config ? LimaConfig::LimaMultiLevel()
+                               : LimaConfig::Lima();
+    config.reuse_mode = multilevel_config ? ReuseMode::kMultiLevel : mode;
+  }
+  double hits = 0;
+  double partial = 0;
+  double fn_blk = 0;
+  for (auto _ : state) {
+    std::unique_ptr<LimaSession> session = RunPipeline(script, config);
+    hits = static_cast<double>(session->stats()->cache_hits.load());
+    partial = static_cast<double>(session->stats()->partial_reuse_hits.load());
+    fn_blk = static_cast<double>(session->stats()->function_reuse_hits.load() +
+                                 session->stats()->block_reuse_hits.load());
+    benchmark::DoNotOptimize(session);
+  }
+  state.counters["full_hits"] = hits;
+  state.counters["partial_hits"] = partial;
+  state.counters["fn_blk_hits"] = fn_blk;
+}
+
+#define ABL_ARGS ->Unit(benchmark::kMillisecond)->Iterations(1)
+BENCHMARK_CAPTURE(AblationReuseMode, None, ReuseMode::kNone, false) ABL_ARGS;
+BENCHMARK_CAPTURE(AblationReuseMode, FullOnly, ReuseMode::kFull, false)
+ABL_ARGS;
+BENCHMARK_CAPTURE(AblationReuseMode, PartialOnly, ReuseMode::kPartial, false)
+ABL_ARGS;
+BENCHMARK_CAPTURE(AblationReuseMode, Hybrid, ReuseMode::kHybrid, false)
+ABL_ARGS;
+BENCHMARK_CAPTURE(AblationReuseMode, MultiLevel, ReuseMode::kMultiLevel, true)
+ABL_ARGS;
+
+void AblationCacheBudget(benchmark::State& state) {
+  int64_t budget_mb = state.range(0);
+  // ~64 batches x ~2.5 MB of reusable preprocessing per epoch.
+  std::string script = R"(
+    X = rand(rows=32000, cols=200, min=0, max=1, seed=241);
+    acc = 0;
+    for (e in 1:5) {
+      for (b in 1:64) {
+        lo = (b - 1) * 500 + 1;
+        hi = b * 500;
+        Xb = X[lo:hi, ];
+        Xn = (Xb - colMeans(Xb)) / (sqrt(colVars(Xb)) + 0.001);
+        acc = acc + sum(Xn) * e;
+      }
+    }
+    result = acc;
+  )";
+  LimaConfig config = LimaConfig::Lima();
+  config.cache_budget_bytes = budget_mb * 1024 * 1024;
+  double hits = 0;
+  double evictions = 0;
+  for (auto _ : state) {
+    std::unique_ptr<LimaSession> session = RunPipeline(script, config);
+    hits = static_cast<double>(session->stats()->cache_hits.load());
+    evictions = static_cast<double>(session->stats()->evictions.load());
+    benchmark::DoNotOptimize(session);
+  }
+  state.counters["hits"] = hits;
+  state.counters["evictions"] = evictions;
+}
+BENCHMARK(AblationCacheBudget)
+    ->Arg(8)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// (c) Dedup tracing ablation: lineage sizes and times with and without
+// deduplication on a deep iterative script (complements Fig. 6 with an
+// explicit on/off pair at fixed batch size).
+void AblationDedup(benchmark::State& state, bool dedup) {
+  std::string script = MiniBatchScript(20000, 16);
+  LimaConfig config = LimaConfig::TracingOnly();
+  config.dedup_lineage = dedup;
+  double items = 0;
+  for (auto _ : state) {
+    std::unique_ptr<LimaSession> session = RunPipeline(script, config);
+    LineageItemPtr root = session->GetLineageItem("result");
+    if (root != nullptr) items = static_cast<double>(root->NodeCount());
+    benchmark::DoNotOptimize(session);
+  }
+  state.counters["lineage_items"] = items;
+}
+BENCHMARK_CAPTURE(AblationDedup, Off, false) ABL_ARGS;
+BENCHMARK_CAPTURE(AblationDedup, On, true) ABL_ARGS;
+
+}  // namespace
+}  // namespace bench
+}  // namespace lima
+
+BENCHMARK_MAIN();

@@ -1,0 +1,172 @@
+// Reproduces Fig. 10: ML systems comparison. TensorFlow and Scikit-learn are
+// external closed systems and are not reimplemented; per DESIGN.md they are
+// substituted by the `Coarse` baseline — coarse-grained reuse in the spirit
+// of HELIX/CO, realized (as in the paper, Sec. 5.1) by hand-optimizing the
+// top-level pipeline at script level to reuse whole-step results from
+// memory, while remaining blind to fine-grained/partial redundancy. The
+// reproducible claim is the ordering Base <= Coarse <= LIMA and the gap
+// LIMA gains from fine-grained + partial reuse.
+//  (a) Autoencoder (with operator fusion) and PCACV.
+//  (b) PCANB on KDD98-like and APS-like data.
+//  (c) PCACV row sweep.  (d) PCANB row sweep.
+#include <benchmark/benchmark.h>
+
+#include "bench/pipelines.h"
+
+namespace lima {
+namespace bench {
+namespace {
+
+enum class System { kBase, kCoarse, kLima };
+
+// ---- Fig. 10(a) left: Autoencoder (codegen/fusion on for Base and LIMA) --
+
+void Fig10a_Autoencoder(benchmark::State& state, System system) {
+  std::string script = AutoencoderScript(12800, 100, 50, 2, 10, 256);
+  LimaConfig config =
+      system == System::kLima ? LimaConfig::Lima() : LimaConfig::Base();
+  config.operator_fusion = true;  // "SystemDS ran with code generation".
+  // Coarse-grained reuse sees one opaque training step: nothing to reuse.
+  for (auto _ : state) {
+    std::unique_ptr<LimaSession> session = RunPipeline(script, config);
+    benchmark::DoNotOptimize(session);
+  }
+}
+BENCHMARK_CAPTURE(Fig10a_Autoencoder, Base, System::kBase)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(Fig10a_Autoencoder, Coarse, System::kCoarse)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(Fig10a_Autoencoder, LIMA, System::kLima)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// ---- PCACV (Fig. 10(a) right and 10(c)) ----------------------------------
+
+// Coarse-grained variant: the top-level PCA step result for the winning K is
+// reused from memory (the only whole-step redundancy in this pipeline).
+std::string PcacvCoarseScript(int64_t rows, int64_t cols, int num_k = 4,
+                              int folds = 8, int num_regs = 4) {
+  return R"(
+    A = rand(rows=)" + I(rows) + R"(, cols=)" + I(cols) + R"(, min=-1, max=1, seed=151);
+    y = A %*% rand(rows=)" + I(cols) + R"(, cols=1, min=-1, max=1, seed=152);
+    kmin = ceil()" + I(cols) + R"( * 0.2);
+    bestK = kmin;
+    bestR2 = 0 - 1e300;
+    Rbest = A;
+    for (ki in 1:)" + I(num_k) + R"() {
+      K = kmin + (ki - 1) * 2;
+      [R, V] = pca(A, K);
+      B = lm(R, y, 0, 1e-6, 1e-9, 0);
+      r2 = 1 - l2norm(R, y, B) / sum((y - mean(y)) ^ 2);
+      if (r2 > bestR2) { bestR2 = r2; bestK = K; Rbest = R; }
+    }
+    R = Rbest;   # coarse-grained reuse of the pca(A, bestK) step
+    regs = 10 ^ (0 - seq(1, )" + I(num_regs) + R"(, 1));
+    best = 1e300;
+    for (r in 1:nrow(regs)) {
+      l = cvLm(R, y, )" + I(folds) + R"(, as.scalar(regs[r, 1]), 0);
+      if (l < best) { best = l; }
+    }
+    result = best;
+  )";
+}
+
+void Fig10_PCACV(benchmark::State& state, System system) {
+  int64_t rows = state.range(0);
+  std::string script = system == System::kCoarse
+                           ? PcacvCoarseScript(rows, 50)
+                           : PcacvScript(rows, 50);
+  LimaConfig config =
+      system == System::kLima ? LimaConfig::Lima() : LimaConfig::Base();
+  for (auto _ : state) {
+    std::unique_ptr<LimaSession> session = RunPipeline(script, config);
+    benchmark::DoNotOptimize(session);
+  }
+}
+#define FIG10C_ARGS \
+  ->Arg(10000)->Arg(20000)->Arg(40000) \
+  ->Unit(benchmark::kMillisecond)->Iterations(1)
+BENCHMARK_CAPTURE(Fig10_PCACV, Base, System::kBase) FIG10C_ARGS;
+BENCHMARK_CAPTURE(Fig10_PCACV, Coarse, System::kCoarse) FIG10C_ARGS;
+BENCHMARK_CAPTURE(Fig10_PCACV, LIMA, System::kLima) FIG10C_ARGS;
+
+// ---- PCANB (Fig. 10(b) and 10(d)) -----------------------------------------
+
+std::string PcanbCoarseScript(int64_t rows, int64_t cols, int classes,
+                              int num_k = 4, int num_laplace = 6) {
+  // Coarse reuse memoizes the per-K PCA steps; the NB tuning loop remains a
+  // black box. Hand-optimized equivalent: hoist pca out of the laplace loop
+  // (which PcanbScript already does), so coarse == base structure here, but
+  // the *repeated projection* R - min(R) per laplace value is hoisted too.
+  return R"(
+    nclass = )" + I(classes) + R"(;
+    A = rand(rows=)" + I(rows) + R"(, cols=)" + I(cols) + R"(, min=0, max=1, seed=161);
+    proto = rand(rows=)" + I(cols) + R"(, cols=nclass, min=-1, max=1, seed=162);
+    Y = rowIndexMax(A %*% proto);
+    kmin = ceil()" + I(cols) + R"( * 0.2);
+    bestAcc = 0 - 1;
+    for (ki in 1:)" + I(num_k) + R"() {
+      K = kmin + (ki - 1) * 2;
+      [R, V] = pca(A, K);
+      Rn = R - min(R);
+      for (li in 1:)" + I(num_laplace) + R"() {
+        [prior, condp] = naiveBayes(Rn, Y, nclass, li * 0.5);
+        pred = naiveBayesPredict(Rn, prior, condp);
+        acc = mean(pred == Y);
+        if (acc > bestAcc) { bestAcc = acc; }
+      }
+    }
+    result = bestAcc;
+  )";
+}
+
+void Fig10_PCANB(benchmark::State& state, System system, bool kdd_like) {
+  int64_t rows = state.range(0);
+  int64_t cols = kdd_like ? 120 : 60;
+  int classes = kdd_like ? 8 : 2;
+  std::string script = system == System::kCoarse
+                           ? PcanbCoarseScript(rows, cols, classes)
+                           : PcanbScript(rows, cols, classes);
+  LimaConfig config =
+      system == System::kLima ? LimaConfig::Lima() : LimaConfig::Base();
+  for (auto _ : state) {
+    std::unique_ptr<LimaSession> session = RunPipeline(script, config);
+    benchmark::DoNotOptimize(session);
+  }
+}
+
+// Fig. 10(b): fixed sizes shaped after KDD98 and APS.
+void Fig10b_PCANB_Kdd98(benchmark::State& state, System system) {
+  Fig10_PCANB(state, system, /*kdd_like=*/true);
+}
+void Fig10b_PCANB_Aps(benchmark::State& state, System system) {
+  Fig10_PCANB(state, system, /*kdd_like=*/false);
+}
+BENCHMARK_CAPTURE(Fig10b_PCANB_Kdd98, Base, System::kBase)
+    ->Arg(12000)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(Fig10b_PCANB_Kdd98, Coarse, System::kCoarse)
+    ->Arg(12000)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(Fig10b_PCANB_Kdd98, LIMA, System::kLima)
+    ->Arg(12000)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(Fig10b_PCANB_Aps, Base, System::kBase)
+    ->Arg(9000)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(Fig10b_PCANB_Aps, Coarse, System::kCoarse)
+    ->Arg(9000)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(Fig10b_PCANB_Aps, LIMA, System::kLima)
+    ->Arg(9000)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// Fig. 10(d): row sweep.
+void Fig10d_PCANB(benchmark::State& state, System system) {
+  Fig10_PCANB(state, system, /*kdd_like=*/false);
+}
+#define FIG10D_ARGS \
+  ->Arg(10000)->Arg(20000)->Arg(40000) \
+  ->Unit(benchmark::kMillisecond)->Iterations(1)
+BENCHMARK_CAPTURE(Fig10d_PCANB, Base, System::kBase) FIG10D_ARGS;
+BENCHMARK_CAPTURE(Fig10d_PCANB, Coarse, System::kCoarse) FIG10D_ARGS;
+BENCHMARK_CAPTURE(Fig10d_PCANB, LIMA, System::kLima) FIG10D_ARGS;
+
+}  // namespace
+}  // namespace bench
+}  // namespace lima
+
+BENCHMARK_MAIN();

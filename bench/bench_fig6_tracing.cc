@@ -1,0 +1,77 @@
+// Reproduces Fig. 6: lineage tracing runtime and space overhead for one
+// epoch of mini-batch execution (40 cellwise ops per iteration) across batch
+// sizes, under four configurations:
+//   Base: no lineage tracing
+//   LT:   lineage tracing
+//   LTP:  lineage tracing + reuse probing (no reusable redundancy here,
+//         so this measures pure probing overhead)
+//   LTD:  lineage tracing + loop deduplication (lite tracing after the
+//         first iteration)
+// Space counters (Fig. 6(b)): lineage items and bytes of the result's DAG.
+#include <benchmark/benchmark.h>
+
+#include "bench/pipelines.h"
+
+namespace lima {
+namespace bench {
+namespace {
+
+enum class TraceConfig { kBase, kLT, kLTP, kLTD };
+
+LimaConfig MakeConfig(TraceConfig mode) {
+  switch (mode) {
+    case TraceConfig::kBase:
+      return LimaConfig::Base();
+    case TraceConfig::kLT:
+      return LimaConfig::TracingOnly();
+    case TraceConfig::kLTP:
+      return LimaConfig::Lima();
+    case TraceConfig::kLTD: {
+      LimaConfig config = LimaConfig::TracingOnly();
+      config.dedup_lineage = true;
+      return config;
+    }
+  }
+  return LimaConfig::Base();
+}
+
+void Fig6_Tracing(benchmark::State& state, TraceConfig mode) {
+  const int64_t rows = 20000;
+  const int64_t batch = state.range(0);
+  std::string script = MiniBatchScript(rows, batch);
+  LimaConfig config = MakeConfig(mode);
+  double items = 0;
+  double bytes = 0;
+  double patches = 0;
+  for (auto _ : state) {
+    std::unique_ptr<LimaSession> session = RunPipeline(script, config);
+    LineageItemPtr root = session->GetLineageItem("result");
+    if (root != nullptr) {
+      state.PauseTiming();
+      items = static_cast<double>(root->NodeCount());
+      bytes = static_cast<double>(root->SizeInBytes());
+      patches =
+          static_cast<double>(session->dedup_registry()->TotalPatches());
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(session);
+  }
+  state.counters["lineage_items"] = items;
+  state.counters["lineage_bytes"] = bytes;
+  state.counters["dedup_patches"] = patches;
+}
+
+#define FIG6_ARGS \
+  ->Arg(8)->Arg(32)->Arg(128)->Arg(512)->Arg(2048) \
+  ->Unit(benchmark::kMillisecond)->Iterations(1)
+
+BENCHMARK_CAPTURE(Fig6_Tracing, Base, TraceConfig::kBase) FIG6_ARGS;
+BENCHMARK_CAPTURE(Fig6_Tracing, LT, TraceConfig::kLT) FIG6_ARGS;
+BENCHMARK_CAPTURE(Fig6_Tracing, LTP, TraceConfig::kLTP) FIG6_ARGS;
+BENCHMARK_CAPTURE(Fig6_Tracing, LTD, TraceConfig::kLTD) FIG6_ARGS;
+
+}  // namespace
+}  // namespace bench
+}  // namespace lima
+
+BENCHMARK_MAIN();

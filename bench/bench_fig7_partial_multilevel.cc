@@ -1,0 +1,106 @@
+// Reproduces Fig. 7:
+//  (a) partial reuse on the stepLm inner loop tsmm(cbind(X, Y_i)) — Base vs
+//      LIMA (runtime partial rewrite) vs LIMA-CA (compiler-assisted
+//      recompilation that also avoids the cbind materialization), and
+//  (b) multi-level reuse on repeated MLogReg hyper-parameter optimization —
+//      Base vs LIMA-FR (operation-level full reuse) vs LIMA-MLR
+//      (function-level reuse).
+#include <benchmark/benchmark.h>
+
+#include "bench/pipelines.h"
+
+namespace lima {
+namespace bench {
+namespace {
+
+// ---- Fig. 7(a): partial reuse, varying #rows ------------------------------
+
+enum class PartialConfig { kBase, kLima, kLimaCA };
+
+void Fig7a_PartialReuse(benchmark::State& state, PartialConfig mode) {
+  int64_t rows = state.range(0);
+  // 200 candidate columns, each appended once (unique per iteration).
+  std::string script = StepLmMicroScript(rows, 100, 200, 200);
+  LimaConfig config =
+      mode == PartialConfig::kBase ? LimaConfig::Base() : LimaConfig::Lima();
+  config.compiler_assist = mode == PartialConfig::kLimaCA;
+  double partial = 0;
+  for (auto _ : state) {
+    std::unique_ptr<LimaSession> session = RunPipeline(script, config);
+    partial =
+        static_cast<double>(session->stats()->partial_reuse_hits.load() +
+                            session->stats()->cache_hits.load());
+    benchmark::DoNotOptimize(session);
+  }
+  state.counters["reuse_hits"] = partial;
+}
+
+#define FIG7A_ARGS \
+  ->Arg(10000)->Arg(25000)->Arg(50000) \
+  ->Unit(benchmark::kMillisecond)->Iterations(1)
+
+BENCHMARK_CAPTURE(Fig7a_PartialReuse, Base, PartialConfig::kBase) FIG7A_ARGS;
+BENCHMARK_CAPTURE(Fig7a_PartialReuse, LIMA, PartialConfig::kLima) FIG7A_ARGS;
+BENCHMARK_CAPTURE(Fig7a_PartialReuse, LIMA_CA, PartialConfig::kLimaCA)
+FIG7A_ARGS;
+
+// ---- Fig. 7(b): multi-level reuse, varying #repeats -----------------------
+
+std::string MlogregHpoScript(int64_t rows, int64_t cols, int classes,
+                             int repeats, int lambdas) {
+  return R"(
+    nclass = )" + I(classes) + R"(;
+    X = rand(rows=)" + I(rows) + R"(, cols=)" + I(cols) + R"(, min=-1, max=1, seed=201);
+    proto = rand(rows=)" + I(cols) + R"(, cols=nclass, min=-1, max=1, seed=202);
+    Y = rowIndexMax(X %*% proto);
+    acc = 0;
+    for (r in 1:)" + I(repeats) + R"() {
+      for (l in 1:)" + I(lambdas) + R"() {
+        W = mlogreg(X, Y, nclass, l * 0.01, 8, 0.1);
+        acc = acc + sum(abs(W));
+      }
+    }
+    result = acc;
+  )";
+}
+
+enum class MlrConfig { kBase, kFullReuse, kMultiLevel };
+
+void Fig7b_MultiLevel(benchmark::State& state, MlrConfig mode) {
+  int repeats = static_cast<int>(state.range(0));
+  std::string script = MlogregHpoScript(10000, 100, 6, repeats, 8);
+  LimaConfig config = LimaConfig::Base();
+  if (mode == MlrConfig::kFullReuse) {
+    config = LimaConfig::Lima();
+    config.reuse_mode = ReuseMode::kFull;
+  } else if (mode == MlrConfig::kMultiLevel) {
+    config = LimaConfig::LimaMultiLevel();
+  }
+  // Budget below one repeat's worth of operation-level intermediates: FR
+  // must retain and fetch every intermediate one-by-one and suffers
+  // evictions, while MLR only keeps the small per-function output bundles
+  // (the Fig. 7(b) effect).
+  config.cache_budget_bytes = int64_t{32} * 1024 * 1024;
+  double fn_hits = 0;
+  for (auto _ : state) {
+    std::unique_ptr<LimaSession> session = RunPipeline(script, config);
+    fn_hits = static_cast<double>(session->stats()->function_reuse_hits.load());
+    benchmark::DoNotOptimize(session);
+  }
+  state.counters["fn_hits"] = fn_hits;
+}
+
+#define FIG7B_ARGS \
+  ->Arg(1)->Arg(5)->Arg(10)->Arg(20) \
+  ->Unit(benchmark::kMillisecond)->Iterations(1)
+
+BENCHMARK_CAPTURE(Fig7b_MultiLevel, Base, MlrConfig::kBase) FIG7B_ARGS;
+BENCHMARK_CAPTURE(Fig7b_MultiLevel, LIMA_FR, MlrConfig::kFullReuse) FIG7B_ARGS;
+BENCHMARK_CAPTURE(Fig7b_MultiLevel, LIMA_MLR, MlrConfig::kMultiLevel)
+FIG7B_ARGS;
+
+}  // namespace
+}  // namespace bench
+}  // namespace lima
+
+BENCHMARK_MAIN();

@@ -1,0 +1,166 @@
+// Reproduces Fig. 8: cache eviction policies.
+//  (a) Three-phase pipeline: P1 fills the cache with expensive matrix
+//      multiplies (no reuse), P2 is a nested loop of inexpensive additions
+//      with reuse per outer iteration, P3 repeats part of P1. Compared:
+//      Base, LRU, Cost&Size, and a hypothetical Infinite cache.
+//  (b) Mini-batch and StepLM pipelines under LRU / C&S / DAG-Height /
+//      Infinite budgets: DAG-Height favors shallow batch preprocessing,
+//      LRU favors stepLm's deep incremental traces, C&S is robust on both.
+#include <benchmark/benchmark.h>
+
+#include "bench/pipelines.h"
+
+namespace lima {
+namespace bench {
+namespace {
+
+// P1: `p1` expensive products X %*% (X*i) + round; P2: `outer x inner`
+// cheap additions X + i reused across outer iterations; P3: first `p3`
+// iterations of P1 again.
+std::string PhasesScript(int64_t n, int p1, int outer, int inner, int p3) {
+  return R"(
+    X = rand(rows=)" + I(n) + R"(, cols=)" + I(n) + R"(, min=-1, max=1, seed=211);
+    acc = 0;
+    for (i in 1:)" + I(p1) + R"() {        # P1
+      Z = X %*% round(X * i);
+      acc = acc + sum(Z);
+    }
+    for (o in 1:)" + I(outer) + R"() {     # P2
+      for (i in 1:)" + I(inner) + R"() {
+        R = X + i;
+        acc = acc + sum(R) * o;
+      }
+    }
+    for (i in 1:)" + I(p3) + R"() {        # P3 == prefix of P1
+      Z = X %*% round(X * i);
+      acc = acc + sum(Z);
+    }
+    result = acc;
+  )";
+}
+
+enum class Policy { kBase, kLru, kCostSize, kDagHeight, kInfinite };
+
+LimaConfig PolicyConfig(Policy policy, int64_t budget) {
+  if (policy == Policy::kBase) return LimaConfig::Base();
+  LimaConfig config = LimaConfig::Lima();
+  config.cache_budget_bytes = budget;
+  switch (policy) {
+    case Policy::kLru:
+      config.eviction_policy = EvictionPolicy::kLru;
+      break;
+    case Policy::kDagHeight:
+      config.eviction_policy = EvictionPolicy::kDagHeight;
+      break;
+    case Policy::kCostSize:
+      config.eviction_policy = EvictionPolicy::kCostSize;
+      break;
+    case Policy::kInfinite:
+      config.cache_budget_bytes = int64_t{8} * 1024 * 1024 * 1024;
+      break;
+    default:
+      break;
+  }
+  return config;
+}
+
+void Fig8a_Phases(benchmark::State& state, Policy policy) {
+  const int64_t n = 500;  // 2 MB per n x n intermediate
+  // Budget fits ~8 of the 12+6 cached intermediates.
+  std::string script = PhasesScript(n, 12, 8, 6, 6);
+  LimaConfig config = PolicyConfig(policy, int64_t{16} * 1024 * 1024);
+  double evictions = 0;
+  double hits = 0;
+  for (auto _ : state) {
+    std::unique_ptr<LimaSession> session = RunPipeline(script, config);
+    evictions = static_cast<double>(session->stats()->evictions.load());
+    hits = static_cast<double>(session->stats()->cache_hits.load());
+    benchmark::DoNotOptimize(session);
+  }
+  state.counters["evictions"] = evictions;
+  state.counters["hits"] = hits;
+}
+
+#define FIG8A_ARGS ->Unit(benchmark::kMillisecond)->Iterations(1)
+BENCHMARK_CAPTURE(Fig8a_Phases, Base, Policy::kBase) FIG8A_ARGS;
+BENCHMARK_CAPTURE(Fig8a_Phases, LRU, Policy::kLru) FIG8A_ARGS;
+BENCHMARK_CAPTURE(Fig8a_Phases, CS, Policy::kCostSize) FIG8A_ARGS;
+BENCHMARK_CAPTURE(Fig8a_Phases, Infinite, Policy::kInfinite) FIG8A_ARGS;
+
+// ---- Fig. 8(b): pipeline comparison across policies -----------------------
+
+// Mini-batch with batch-wise preprocessing reused across epochs (shallow
+// lineage close to the input read).
+std::string MiniBatchEpochsScript(int64_t rows, int64_t cols, int64_t batch,
+                                  int epochs) {
+  return R"(
+    X = rand(rows=)" + I(rows) + R"(, cols=)" + I(cols) + R"(, min=0, max=1, seed=221);
+    nb = floor()" + I(rows) + " / " + I(batch) + R"();
+    acc = 0;
+    for (e in 1:)" + I(epochs) + R"() {
+      for (b in 1:nb) {
+        lo = (b - 1) * )" + I(batch) + R"( + 1;
+        hi = b * )" + I(batch) + R"(;
+        Xb = X[lo:hi, ];
+        Xn = (Xb - colMeans(Xb)) / (sqrt(colVars(Xb)) + 0.001);
+        acc = acc + sum(Xn) * e;
+      }
+    }
+    result = acc;
+  )";
+}
+
+void Fig8b_MiniBatch(benchmark::State& state, Policy policy) {
+  std::string script = MiniBatchEpochsScript(40000, 200, 500, 6);
+  // Budget below the full set of preprocessed batches (80 batches x 0.8 MB).
+  LimaConfig config = PolicyConfig(policy, int64_t{40} * 1024 * 1024);
+  double hits = 0;
+  for (auto _ : state) {
+    std::unique_ptr<LimaSession> session = RunPipeline(script, config);
+    hits = static_cast<double>(session->stats()->cache_hits.load());
+    benchmark::DoNotOptimize(session);
+  }
+  state.counters["hits"] = hits;
+}
+
+// Real forward feature selection: the reuse potential (tsmm of the growing
+// selected-feature matrix) sits at the end of ever-deeper lineage DAGs, so
+// DAG-Height sacrifices exactly the valuable entries while LRU keeps them.
+void Fig8b_StepLm(benchmark::State& state, Policy policy) {
+  std::string script = R"(
+    X = rand(rows=20000, cols=30, min=-1, max=1, seed=231);
+    y = X %*% rand(rows=30, cols=1, min=-1, max=1, seed=232);
+    [sel, loss] = stepLm(X, y, 10, 0.001);
+    result = loss;
+  )";
+  // Budget holds roughly 1.5 rounds of candidates: LRU retains the previous
+  // round (whose winning tsmm seeds the next round's partial rewrites),
+  // while DAG-Height evicts exactly those deepest entries.
+  LimaConfig config = PolicyConfig(policy, int64_t{80} * 1024 * 1024);
+  double hits = 0;
+  for (auto _ : state) {
+    std::unique_ptr<LimaSession> session = RunPipeline(script, config);
+    hits = static_cast<double>(session->stats()->cache_hits.load() +
+                               session->stats()->partial_reuse_hits.load());
+    benchmark::DoNotOptimize(session);
+  }
+  state.counters["hits"] = hits;
+}
+
+#define FIG8B_ARGS ->Unit(benchmark::kMillisecond)->Iterations(1)
+BENCHMARK_CAPTURE(Fig8b_MiniBatch, Base, Policy::kBase) FIG8B_ARGS;
+BENCHMARK_CAPTURE(Fig8b_MiniBatch, LRU, Policy::kLru) FIG8B_ARGS;
+BENCHMARK_CAPTURE(Fig8b_MiniBatch, CS, Policy::kCostSize) FIG8B_ARGS;
+BENCHMARK_CAPTURE(Fig8b_MiniBatch, DagHeight, Policy::kDagHeight) FIG8B_ARGS;
+BENCHMARK_CAPTURE(Fig8b_MiniBatch, Infinite, Policy::kInfinite) FIG8B_ARGS;
+BENCHMARK_CAPTURE(Fig8b_StepLm, Base, Policy::kBase) FIG8B_ARGS;
+BENCHMARK_CAPTURE(Fig8b_StepLm, LRU, Policy::kLru) FIG8B_ARGS;
+BENCHMARK_CAPTURE(Fig8b_StepLm, CS, Policy::kCostSize) FIG8B_ARGS;
+BENCHMARK_CAPTURE(Fig8b_StepLm, DagHeight, Policy::kDagHeight) FIG8B_ARGS;
+BENCHMARK_CAPTURE(Fig8b_StepLm, Infinite, Policy::kInfinite) FIG8B_ARGS;
+
+}  // namespace
+}  // namespace bench
+}  // namespace lima
+
+BENCHMARK_MAIN();

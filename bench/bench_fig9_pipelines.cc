@@ -1,0 +1,123 @@
+// Reproduces Fig. 9: end-to-end ML pipeline performance, Base vs LIMA
+// (and task-parallel variants for HLM/HCV). Each benchmark iteration runs
+// the full pipeline in a fresh session (cold cache), matching the paper's
+// end-to-end measurements. Sizes are scaled down from the paper's cluster
+// setup to laptop scale; the *relative* speedups are the reproduced result.
+#include <benchmark/benchmark.h>
+
+#include "bench/pipelines.h"
+
+namespace lima {
+namespace bench {
+namespace {
+
+LimaConfig WithWorkers(LimaConfig config, int workers) {
+  config.parfor_workers = workers;
+  return config;
+}
+
+void RunBench(benchmark::State& state, const std::string& script,
+              const LimaConfig& config) {
+  double hits = 0;
+  for (auto _ : state) {
+    std::unique_ptr<LimaSession> session = RunPipeline(script, config);
+    hits = static_cast<double>(session->stats()->cache_hits.load() +
+                               session->stats()->partial_reuse_hits.load());
+    benchmark::DoNotOptimize(session);
+  }
+  state.counters["reuse_hits"] = hits;
+}
+
+// ---- Fig. 9(a): HL2SVM, #hyper-parameters sweep ---------------------------
+
+void Fig9a_HL2SVM(benchmark::State& state, bool lima) {
+  int num_hp = static_cast<int>(state.range(0));
+  std::string script = Hl2svmScript(20000, 50, num_hp);
+  RunBench(state, script, lima ? LimaConfig::Lima() : LimaConfig::Base());
+}
+BENCHMARK_CAPTURE(Fig9a_HL2SVM, Base, false)
+    ->Arg(5)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(Fig9a_HL2SVM, LIMA, true)
+    ->Arg(5)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// ---- Fig. 9(b): HLM, rows sweep, with/without task parallelism -----------
+
+void Fig9b_HLM(benchmark::State& state, bool lima, bool parallel) {
+  int64_t rows = state.range(0);
+  std::string script = HlmScript(rows, 60, parallel);
+  LimaConfig config = lima ? LimaConfig::Lima() : LimaConfig::Base();
+  if (parallel) config = WithWorkers(config, 8);
+  RunBench(state, script, config);
+}
+BENCHMARK_CAPTURE(Fig9b_HLM, Base, false, false)
+    ->Arg(10000)->Arg(20000)->Arg(40000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(Fig9b_HLM, LIMA, true, false)
+    ->Arg(10000)->Arg(20000)->Arg(40000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(Fig9b_HLM, BaseP, false, true)
+    ->Arg(10000)->Arg(20000)->Arg(40000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(Fig9b_HLM, LIMAP, true, true)
+    ->Arg(10000)->Arg(20000)->Arg(40000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// ---- Fig. 9(c): HCV, rows sweep, with/without task parallelism -----------
+
+void Fig9c_HCV(benchmark::State& state, bool lima, bool parallel) {
+  int64_t rows = state.range(0);
+  std::string script = HcvScript(rows, 40, parallel);
+  LimaConfig config = lima ? LimaConfig::Lima() : LimaConfig::Base();
+  if (parallel) config = WithWorkers(config, 8);
+  RunBench(state, script, config);
+}
+BENCHMARK_CAPTURE(Fig9c_HCV, Base, false, false)
+    ->Arg(4000)->Arg(8000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(Fig9c_HCV, LIMA, true, false)
+    ->Arg(4000)->Arg(8000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(Fig9c_HCV, BaseP, false, true)
+    ->Arg(4000)->Arg(8000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(Fig9c_HCV, LIMAP, true, true)
+    ->Arg(4000)->Arg(8000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// ---- Fig. 9(d): ENS, #weight configurations sweep -------------------------
+
+void Fig9d_ENS(benchmark::State& state, bool lima) {
+  int weights = static_cast<int>(state.range(0));
+  std::string script = EnsScript(8000, 200, 10, weights);
+  LimaConfig config = lima ? LimaConfig::Lima() : LimaConfig::Base();
+  config.parfor_workers = 4;  // MSVM trains classes task-parallel.
+  RunBench(state, script, config);
+}
+BENCHMARK_CAPTURE(Fig9d_ENS, Base, false)
+    ->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(Fig9d_ENS, LIMA, true)
+    ->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// ---- Fig. 9(e): PCALM, rows sweep -----------------------------------------
+
+void Fig9e_PCALM(benchmark::State& state, bool lima) {
+  int64_t rows = state.range(0);
+  std::string script = PcalmScript(rows, 60);
+  RunBench(state, script, lima ? LimaConfig::Lima() : LimaConfig::Base());
+}
+BENCHMARK_CAPTURE(Fig9e_PCALM, Base, false)
+    ->Arg(20000)->Arg(40000)->Arg(60000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(Fig9e_PCALM, LIMA, true)
+    ->Arg(20000)->Arg(40000)->Arg(60000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace lima
+
+BENCHMARK_MAIN();

@@ -1,0 +1,145 @@
+// Micro-benchmarks of the lineage infrastructure itself (Sec. 5.2 "micro
+// benchmarks to understand the performance of lineage tracing and cache
+// probing"): item creation, hash-pruned equality, serialization, cache
+// probe throughput, and dedup-patch evaluation.
+#include <benchmark/benchmark.h>
+
+#include "lineage/dedup.h"
+#include "lineage/serialize.h"
+#include "reuse/lineage_cache.h"
+
+namespace lima {
+namespace {
+
+LineageItemPtr Chain(int depth, const std::string& tag) {
+  LineageItemPtr item = LineageItem::Create("read", {}, tag);
+  LineageItemPtr lit = LineageItem::CreateLiteral("D0.5");
+  for (int i = 0; i < depth; ++i) {
+    item = LineageItem::Create(i % 2 == 0 ? "+" : "*", {item, lit});
+  }
+  return item;
+}
+
+void MicroItemCreation(benchmark::State& state) {
+  LineageItemPtr x = LineageItem::Create("read", {}, "X");
+  int64_t items = 0;
+  for (auto _ : state) {
+    LineageItemPtr item = LineageItem::Create("mm", {x, x});
+    benchmark::DoNotOptimize(item);
+    ++items;
+  }
+  state.SetItemsProcessed(items);
+}
+BENCHMARK(MicroItemCreation);
+
+void MicroDeepEquality(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  LineageItemPtr a = Chain(depth, "X");
+  LineageItemPtr b = Chain(depth, "X");
+  for (auto _ : state) {
+    bool equal = a->Equals(*b);
+    benchmark::DoNotOptimize(equal);
+  }
+  state.counters["depth"] = depth;
+}
+BENCHMARK(MicroDeepEquality)->Arg(100)->Arg(1000)->Arg(10000);
+
+void MicroHashPrunedInequality(benchmark::State& state) {
+  // Different DAGs: the memoized hash rejects in O(1).
+  LineageItemPtr a = Chain(10000, "X");
+  LineageItemPtr b = Chain(10000, "Y");
+  for (auto _ : state) {
+    bool equal = a->Equals(*b);
+    benchmark::DoNotOptimize(equal);
+  }
+}
+BENCHMARK(MicroHashPrunedInequality);
+
+void MicroSerialize(benchmark::State& state) {
+  LineageItemPtr root = Chain(static_cast<int>(state.range(0)), "X");
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    std::string log = SerializeLineage(root);
+    bytes += static_cast<int64_t>(log.size());
+    benchmark::DoNotOptimize(log);
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(MicroSerialize)->Arg(100)->Arg(1000);
+
+void MicroDeserialize(benchmark::State& state) {
+  std::string log = SerializeLineage(Chain(static_cast<int>(state.range(0)),
+                                           "X"));
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    Result<LineageItemPtr> parsed = DeserializeLineage(log);
+    bytes += static_cast<int64_t>(log.size());
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(MicroDeserialize)->Arg(100)->Arg(1000);
+
+void MicroCacheProbeHit(benchmark::State& state) {
+  LimaConfig config = LimaConfig::Lima();
+  LineageCache cache(config);
+  std::vector<LineageItemPtr> keys;
+  for (int i = 0; i < 1024; ++i) {
+    keys.push_back(Chain(8, "k" + std::to_string(i)));
+    cache.Put(keys.back(), MakeMatrixData(Matrix(4, 4, i)), 0.01);
+  }
+  int64_t probes = 0;
+  for (auto _ : state) {
+    auto result = cache.Probe(keys[probes % 1024], /*claim=*/false);
+    benchmark::DoNotOptimize(result);
+    ++probes;
+  }
+  state.SetItemsProcessed(probes);
+}
+BENCHMARK(MicroCacheProbeHit);
+
+void MicroCacheProbeMiss(benchmark::State& state) {
+  LimaConfig config = LimaConfig::Lima();
+  LineageCache cache(config);
+  for (int i = 0; i < 1024; ++i) {
+    cache.Put(Chain(8, "k" + std::to_string(i)),
+              MakeMatrixData(Matrix(4, 4, i)), 0.01);
+  }
+  LineageItemPtr miss = Chain(8, "not-present");
+  int64_t probes = 0;
+  for (auto _ : state) {
+    auto result = cache.Probe(miss, /*claim=*/false);
+    benchmark::DoNotOptimize(result);
+    ++probes;
+  }
+  state.SetItemsProcessed(probes);
+}
+BENCHMARK(MicroCacheProbeMiss);
+
+void MicroDedupPatchEvaluation(benchmark::State& state) {
+  // A 40-node patch evaluated per iteration (the lite-mode hot path).
+  std::vector<DedupPatch::Node> nodes;
+  nodes.push_back({"+", "", {-1, -2}});
+  for (int i = 1; i < 40; ++i) {
+    nodes.push_back({i % 2 == 0 ? "*" : "+", "", {i - 1, -1}});
+  }
+  auto patch = std::make_shared<const DedupPatch>(
+      "micro", 2, nodes, std::vector<int64_t>{39},
+      std::vector<std::string>{"out"});
+  LineageItemPtr a = LineageItem::Create("read", {}, "A");
+  LineageItemPtr b = LineageItem::Create("read", {}, "B");
+  int64_t evaluations = 0;
+  for (auto _ : state) {
+    std::vector<LineageItemPtr> items =
+        LineageItem::CreateDedupAll(patch, {a, b});
+    benchmark::DoNotOptimize(items);
+    ++evaluations;
+  }
+  state.SetItemsProcessed(evaluations);
+}
+BENCHMARK(MicroDedupPatchEvaluation);
+
+}  // namespace
+}  // namespace lima
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+#include "bench/pipelines.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lima {
+namespace bench {
+
+std::unique_ptr<LimaSession> RunPipeline(const std::string& script,
+                                         const LimaConfig& config) {
+  auto session = std::make_unique<LimaSession>(config);
+  Status status = session->Run(scripts::Builtins() + script);
+  if (!status.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+  return session;
+}
+
+}  // namespace bench
+}  // namespace lima

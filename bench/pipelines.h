@@ -1,0 +1,266 @@
+#ifndef LIMA_BENCH_PIPELINES_H_
+#define LIMA_BENCH_PIPELINES_H_
+
+#include <memory>
+#include <string>
+
+#include "algorithms/scripts.h"
+#include "lang/session.h"
+
+namespace lima {
+namespace bench {
+
+/// Script builders for the paper's end-to-end ML pipelines (Table 2). All
+/// pipelines generate their inputs with fixed seeds inside the script, so a
+/// fresh session measures the same work under every configuration.
+
+inline std::string Format(double v) {
+  std::string s = std::to_string(v);
+  return s;
+}
+
+inline std::string I(int64_t v) { return std::to_string(v); }
+
+/// HLM (Fig. 9(b)): grid-search lm over reg x icpt x tol (Example 1's
+/// gridSearch over 6*3*5 = 90 configurations by default).
+inline std::string HlmScript(int64_t rows, int64_t cols, bool task_parallel,
+                             int num_regs = 6, int num_icpts = 3,
+                             int num_tols = 5) {
+  return R"(
+    X = rand(rows=)" + I(rows) + R"(, cols=)" + I(cols) + R"(, min=-1, max=1, seed=101);
+    y = X %*% rand(rows=)" + I(cols) + R"(, cols=1, min=-1, max=1, seed=102)
+        + rand(rows=)" + I(rows) + R"(, cols=1, min=-0.1, max=0.1, seed=103);
+    regs = 10 ^ (0 - seq(1, )" + I(num_regs) + R"(, 1));
+    icpts = seq(0, )" + I(num_icpts - 1) + R"(, 1);
+    tols = 10 ^ (0 - 7 - seq(1, )" + I(num_tols) + R"(, 1));
+    losses = )" + (task_parallel ? "gridSearchLmPar" : "gridSearchLm") +
+         R"((X, y, regs, icpts, tols);
+    result = min(losses);
+  )";
+}
+
+/// HL2SVM (Fig. 9(a)): L2SVM over num_hp lambda values, each with and
+/// without intercept.
+inline std::string Hl2svmScript(int64_t rows, int64_t cols, int num_hp) {
+  return R"(
+    X = rand(rows=)" + I(rows) + R"(, cols=)" + I(cols) + R"(, min=-1, max=1, seed=111);
+    w0 = rand(rows=)" + I(cols) + R"(, cols=1, min=-1, max=1, seed=112);
+    Y = 2 * ((X %*% w0) > 0) - 1;
+    bestLoss = 1e300;
+    regs = 10 ^ (0 - seq(1, )" + I(num_hp) + R"(, 1) / 10);
+    for (r in 1:nrow(regs)) {
+      for (ic in 0:1) {
+        w = l2svm(X, Y, ic, as.scalar(regs[r, 1]), 1e-12, 10);
+        Xl = X;
+        if (ic == 1) { Xl = cbind(X, matrix(1, nrow(X), 1)); }
+        loss = l2norm(Xl, Y, w);
+        if (loss < bestLoss) { bestLoss = loss; }
+      }
+    }
+    result = bestLoss;
+  )";
+}
+
+/// HCV (Fig. 9(c)): grid search over cross-validated lm (k folds,
+/// leave-one-out fold composition).
+inline std::string HcvScript(int64_t rows, int64_t cols, bool task_parallel,
+                             int folds = 16, int num_regs = 6,
+                             int num_icpts = 1, int num_tols = 3) {
+  std::string cv_call = task_parallel
+                            ? "sum(cvLmPar(X, y, " + I(folds) + ", rg, ic))"
+                            : "cvLm(X, y, " + I(folds) + ", rg, ic) * " +
+                                  I(folds);
+  return R"(
+    X = rand(rows=)" + I(rows) + R"(, cols=)" + I(cols) + R"(, min=-1, max=1, seed=121);
+    y = X %*% rand(rows=)" + I(cols) + R"(, cols=1, min=-1, max=1, seed=122);
+    regs = 10 ^ (0 - seq(1, )" + I(num_regs) + R"(, 1));
+    best = 1e300;
+    for (r in 1:nrow(regs)) {
+      for (b in 1:)" + I(num_icpts) + R"() {
+        for (c in 1:)" + I(num_tols) + R"() {
+          rg = as.scalar(regs[r, 1]);
+          ic = 0;
+          l = )" + cv_call + R"(;
+          if (l < best) { best = l; }
+        }
+      }
+    }
+    result = best;
+  )";
+}
+
+/// ENS (Fig. 9(d)): weighted ensemble of 3 MSVM + 3 MLogReg models; the
+/// ensemble weights are tuned by random search over `weights` configs.
+inline std::string EnsScript(int64_t rows, int64_t cols, int classes,
+                             int weights) {
+  return R"(
+    nclass = )" + I(classes) + R"(;
+    X = rand(rows=)" + I(rows) + R"(, cols=)" + I(cols) + R"(, min=-1, max=1, seed=131);
+    proto = rand(rows=)" + I(cols) + R"(, cols=nclass, min=-1, max=1, seed=132);
+    Y = rowIndexMax(X %*% proto);
+    Xte = rand(rows=)" + I(rows / 2) + R"(, cols=)" + I(cols) + R"(, min=-1, max=1, seed=133);
+    Yte = rowIndexMax(Xte %*% proto);
+    # phase 1: train the ensemble members
+    W1 = msvm(X, Y, nclass, 1, 0.001, 4);
+    W2 = msvm(X, Y, nclass, 0.1, 0.001, 4);
+    W3 = msvm(X, Y, nclass, 0.01, 0.001, 4);
+    M1 = mlogreg(X, Y, nclass, 0.001, 6, 0.1);
+    M2 = mlogreg(X, Y, nclass, 0.01, 6, 0.1);
+    M3 = mlogreg(X, Y, nclass, 0.1, 6, 0.1);
+    # phase 2: random search over ensemble weights; the per-model scores
+    # Xte %*% Wi are invariant and reusable across weight configurations.
+    ws = rand(rows=)" + I(weights) + R"(, cols=6, min=0, max=1, seed=134);
+    bestAcc = 0 - 1;
+    for (i in 1:)" + I(weights) + R"() {
+      S = as.scalar(ws[i, 1]) * (Xte %*% W1)
+        + as.scalar(ws[i, 2]) * (Xte %*% W2)
+        + as.scalar(ws[i, 3]) * (Xte %*% W3)
+        + as.scalar(ws[i, 4]) * (Xte %*% M1)
+        + as.scalar(ws[i, 5]) * (Xte %*% M2)
+        + as.scalar(ws[i, 6]) * (Xte %*% M3);
+      acc = mean(rowIndexMax(S) == Yte);
+      if (acc > bestAcc) { bestAcc = acc; }
+    }
+    result = bestAcc;
+  )";
+}
+
+/// PCALM (Fig. 9(e)): dimensionality reduction sweep — pca for a range of K
+/// plus lm training/eval on the projected features; PCA internals (t(A)A,
+/// eigen) and overlapping projections are reusable across K.
+inline std::string PcalmScript(int64_t rows, int64_t cols, int num_k = 8) {
+  return R"(
+    A = rand(rows=)" + I(rows) + R"(, cols=)" + I(cols) + R"(, min=-1, max=1, seed=141);
+    y = A %*% rand(rows=)" + I(cols) + R"(, cols=1, min=-1, max=1, seed=142);
+    bestR2 = 0 - 1e300;
+    kmin = ceil()" + I(cols) + R"( * 0.1);
+    for (ki in 1:)" + I(num_k) + R"() {
+      K = kmin + (ki - 1) * 2;
+      [R, V] = pca(A, K);
+      B = lm(R, y, 0, 1e-6, 1e-9, 0);
+      ss_res = l2norm(R, y, B);
+      ss_tot = sum((y - mean(y)) ^ 2);
+      n = nrow(A);
+      r2 = 1 - ss_res / ss_tot;
+      adjr2 = 1 - (1 - r2) * (n - 1) / (n - K - 1);
+      if (adjr2 > bestR2) { bestR2 = adjr2; }
+    }
+    result = bestR2;
+  )";
+}
+
+/// PCACV (Fig. 10(a)/(c)): phase 1 varies K for PCA, phase 2 varies lambda
+/// for cross-validated lm on the best projection.
+inline std::string PcacvScript(int64_t rows, int64_t cols, int num_k = 4,
+                               int folds = 8, int num_regs = 4) {
+  return R"(
+    A = rand(rows=)" + I(rows) + R"(, cols=)" + I(cols) + R"(, min=-1, max=1, seed=151);
+    y = A %*% rand(rows=)" + I(cols) + R"(, cols=1, min=-1, max=1, seed=152);
+    kmin = ceil()" + I(cols) + R"( * 0.2);
+    bestK = kmin;
+    bestR2 = 0 - 1e300;
+    for (ki in 1:)" + I(num_k) + R"() {
+      K = kmin + (ki - 1) * 2;
+      [R, V] = pca(A, K);
+      B = lm(R, y, 0, 1e-6, 1e-9, 0);
+      r2 = 1 - l2norm(R, y, B) / sum((y - mean(y)) ^ 2);
+      if (r2 > bestR2) { bestR2 = r2; bestK = K; }
+    }
+    [R, V] = pca(A, bestK);
+    regs = 10 ^ (0 - seq(1, )" + I(num_regs) + R"(, 1));
+    best = 1e300;
+    for (r in 1:nrow(regs)) {
+      l = cvLm(R, y, )" + I(folds) + R"(, as.scalar(regs[r, 1]), 0);
+      if (l < best) { best = l; }
+    }
+    result = best;
+  )";
+}
+
+/// PCANB (Fig. 10(b)/(d)): phase 1 varies K for PCA, phase 2 tunes naive
+/// Bayes Laplace smoothing on the projected (shifted non-negative) features.
+inline std::string PcanbScript(int64_t rows, int64_t cols, int classes,
+                               int num_k = 4, int num_laplace = 6) {
+  return R"(
+    nclass = )" + I(classes) + R"(;
+    A = rand(rows=)" + I(rows) + R"(, cols=)" + I(cols) + R"(, min=0, max=1, seed=161);
+    proto = rand(rows=)" + I(cols) + R"(, cols=nclass, min=-1, max=1, seed=162);
+    Y = rowIndexMax(A %*% proto);
+    kmin = ceil()" + I(cols) + R"( * 0.2);
+    bestAcc = 0 - 1;
+    for (ki in 1:)" + I(num_k) + R"() {
+      K = kmin + (ki - 1) * 2;
+      [R, V] = pca(A, K);
+      Rn = R - min(R);   # shift non-negative for multinomial NB
+      for (li in 1:)" + I(num_laplace) + R"() {
+        [prior, condp] = naiveBayes(Rn, Y, nclass, li * 0.5);
+        pred = naiveBayesPredict(Rn, prior, condp);
+        acc = mean(pred == Y);
+        if (acc > bestAcc) { bestAcc = acc; }
+      }
+    }
+    result = bestAcc;
+  )";
+}
+
+/// Autoencoder (Fig. 10(a)): mini-batch training with batch-wise
+/// preprocessing (reusable across epochs).
+inline std::string AutoencoderScript(int64_t rows, int64_t cols, int h1,
+                                     int h2, int epochs, int batch) {
+  return R"(
+    X = rand(rows=)" + I(rows) + R"(, cols=)" + I(cols) + R"(, min=0, max=1, seed=171);
+    result = autoencoder(X, )" + I(h1) + ", " + I(h2) + ", " + I(epochs) +
+         ", " + I(batch) + R"(, 0.01);
+  )";
+}
+
+/// Mini-batch cellwise iteration of Fig. 6: one epoch over an n x 784
+/// matrix, 40 cellwise ops per iteration (10x ((X+X)*i-X)/(i+1)).
+inline std::string MiniBatchScript(int64_t rows, int64_t batch) {
+  std::string body;
+  for (int k = 0; k < 10; ++k) {
+    body += "      Xb = ((Xb + Xb) * i - Xb) / (i + 1);\n";
+  }
+  return R"(
+    X = rand(rows=)" + I(rows) + R"(, cols=784, min=0, max=1, seed=181);
+    nb = floor()" + I(rows) + " / " + I(batch) + R"();
+    acc = 0;
+    for (i in 1:nb) {
+      lo = (i - 1) * )" + I(batch) + R"( + 1;
+      hi = i * )" + I(batch) + R"(;
+      Xb = X[lo:hi, ];
+)" + body + R"(
+      acc = acc + sum(Xb);
+    }
+    result = acc;
+  )";
+}
+
+/// StepLM inner-loop microbenchmark of Fig. 7(a): tsmm(cbind(X, Y_i)) for
+/// `iters` candidate columns.
+inline std::string StepLmMicroScript(int64_t rows, int64_t xcols,
+                                     int64_t ycols, int iters) {
+  return R"(
+    X = rand(rows=)" + I(rows) + R"(, cols=)" + I(xcols) + R"(, min=-1, max=1, seed=191);
+    Y = rand(rows=)" + I(rows) + R"(, cols=)" + I(ycols) + R"(, min=-1, max=1, seed=192);
+    base = t(X) %*% X;
+    acc = sum(base);
+    for (i in 1:)" + I(iters) + R"() {
+      j = i - floor((i - 1) / )" + I(ycols) + R"() * )" + I(ycols) + R"(;
+      Z = cbind(X, Y[, j]);
+      S = t(Z) %*% Z;
+      acc = acc + sum(S[)" + I(xcols + 1) + R"(, ]);
+    }
+    result = acc;
+  )";
+}
+
+/// Runs a pipeline script (builtins prepended) in a fresh session and
+/// returns the session for stats inspection; aborts on failure.
+std::unique_ptr<LimaSession> RunPipeline(const std::string& script,
+                                         const LimaConfig& config);
+
+}  // namespace bench
+}  // namespace lima
+
+#endif  // LIMA_BENCH_PIPELINES_H_

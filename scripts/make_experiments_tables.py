@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Parses bench_output.txt into the markdown tables used by EXPERIMENTS.md.
+
+Usage: python3 scripts/make_experiments_tables.py [bench_output.txt]
+Prints one markdown table per figure with wall-clock times and speedups.
+"""
+import re
+import sys
+from collections import defaultdict
+
+
+def parse(path):
+    rows = []
+    pattern = re.compile(
+        r"^(\w+)/(\w+)(?:/(\d+))?/iterations:1\s+(\d+\.?\d*) ms\s+"
+        r"(\d+\.?\d*) ms\s+\d+\s*(.*)$")
+    for line in open(path):
+        match = pattern.match(line.strip())
+        if not match:
+            continue
+        bench, config, arg, wall, cpu, counters = match.groups()
+        counter_map = {}
+        for item in counters.split():
+            if "=" in item:
+                key, value = item.split("=", 1)
+                counter_map[key] = value
+        rows.append({
+            "bench": bench,
+            "config": config,
+            "arg": int(arg) if arg else None,
+            "wall_ms": float(wall),
+            "counters": counter_map,
+        })
+    return rows
+
+
+def emit(rows):
+    by_bench = defaultdict(list)
+    for row in rows:
+        by_bench[row["bench"]].append(row)
+
+    for bench in by_bench:
+        entries = by_bench[bench]
+        configs = []
+        for entry in entries:
+            if entry["config"] not in configs:
+                configs.append(entry["config"])
+        args = []
+        for entry in entries:
+            if entry["arg"] not in args:
+                args.append(entry["arg"])
+        base_name = configs[0]
+        print(f"\n### {bench}\n")
+        header = "| sweep | " + " | ".join(configs) + " | best speedup |"
+        print(header)
+        print("|" + "---|" * (len(configs) + 2))
+        for arg in args:
+            cells = []
+            values = {}
+            for config in configs:
+                value = next((e["wall_ms"] for e in entries
+                              if e["config"] == config and e["arg"] == arg),
+                             None)
+                values[config] = value
+                cells.append("-" if value is None else f"{value:.0f} ms")
+            base = values.get(base_name)
+            others = [v for c, v in values.items()
+                      if c != base_name and v is not None]
+            speedup = (f"{base / min(others):.1f}x"
+                       if base and others and min(others) > 0 else "-")
+            label = str(arg) if arg is not None else "(single)"
+            print(f"| {label} | " + " | ".join(cells) + f" | {speedup} |")
+
+
+if __name__ == "__main__":
+    emit(parse(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"))

@@ -1,0 +1,430 @@
+#include "algorithms/scripts.h"
+
+namespace lima {
+namespace scripts {
+
+const char* const kPreprocess = R"DML(
+scaleAndShift = function(Matrix X) return (Matrix Y) {
+  mu = colMeans(X);
+  sd = sqrt(colVars(X)) + 1e-12;
+  Y = (X - mu) / sd;
+}
+l2norm = function(Matrix X, Matrix y, Matrix B) return (Double loss) {
+  r = X %*% B - y;
+  loss = sum(r ^ 2);
+}
+)DML";
+
+const char* const kLm = R"DML(
+lmLoss = function(Matrix X, Matrix y, Matrix B, Double icpt = 0) return (Double loss) {
+  if (icpt == 2) { X = scaleAndShift(X); }
+  if (icpt > 0) { X = cbind(X, matrix(1, nrow(X), 1)); }
+  r = X %*% B - y;
+  loss = sum(r ^ 2);
+}
+lmDS = function(Matrix X, Matrix y, Double icpt = 0, Double reg = 1e-7) return (Matrix B) {
+  if (icpt == 2) { X = scaleAndShift(X); }
+  if (icpt > 0) { X = cbind(X, matrix(1, nrow(X), 1)); }
+  A = t(X) %*% X + diag(matrix(reg, ncol(X), 1));
+  b = t(X) %*% y;
+  B = solve(A, b);
+}
+lmCG = function(Matrix X, Matrix y, Double icpt = 0, Double reg = 1e-7,
+                Double tol = 1e-7, Double maxi = 0) return (Matrix B) {
+  if (icpt == 2) { X = scaleAndShift(X); }
+  if (icpt > 0) { X = cbind(X, matrix(1, nrow(X), 1)); }
+  d = ncol(X);
+  B = matrix(0, d, 1);
+  r = 0 - t(X) %*% y;
+  p = 0 - r;
+  norm_r2 = sum(r ^ 2);
+  norm_r2_tgt = norm_r2 * tol ^ 2;
+  maxiter = maxi;
+  if (maxiter == 0) { maxiter = d; }
+  i = 0;
+  while (i < maxiter & norm_r2 > norm_r2_tgt) {
+    q = t(X) %*% (X %*% p) + reg * p;
+    alpha = norm_r2 / sum(p * q);
+    B = B + alpha * p;
+    r = r + alpha * q;
+    old_norm_r2 = norm_r2;
+    norm_r2 = sum(r ^ 2);
+    p = 0 - r + (norm_r2 / old_norm_r2) * p;
+    i = i + 1;
+  }
+}
+lm = function(Matrix X, Matrix y, Double icpt = 0, Double reg = 1e-7,
+              Double tol = 1e-7, Double maxi = 0) return (Matrix B) {
+  if (ncol(X) <= 1024) {
+    B = lmDS(X, y, icpt, reg);
+  } else {
+    B = lmCG(X, y, icpt, reg, tol, maxi);
+  }
+}
+)DML";
+
+const char* const kL2svm = R"DML(
+l2svm = function(Matrix X, Matrix Y, Double icpt = 0, Double reg = 1,
+                 Double tol = 0.001, Double maxiter = 20) return (Matrix w) {
+  if (icpt == 1) { X = cbind(X, matrix(1, nrow(X), 1)); }
+  d = ncol(X);
+  w = matrix(0, d, 1);
+  g_old = t(X) %*% Y;
+  s = g_old;
+  Xw = matrix(0, nrow(X), 1);
+  iter = 0;
+  continue = 1;
+  while (continue == 1 & iter < maxiter) {
+    step_sz = 0;
+    Xd = X %*% s;
+    wd = reg * sum(w * s);
+    dd = reg * sum(s * s);
+    inner = 0;
+    continue1 = 1;
+    while (continue1 == 1 & inner < 20) {
+      tmp_Xw = Xw + step_sz * Xd;
+      out = 1 - Y * tmp_Xw;
+      sv = (out > 0);
+      out = out * sv;
+      g = wd + step_sz * dd - sum(out * Y * Xd);
+      h = dd + sum(Xd * sv * Xd);
+      step_sz = step_sz - g / h;
+      if (g * g / h < tol / 100) { continue1 = 0; }
+      inner = inner + 1;
+    }
+    w = w + step_sz * s;
+    Xw = Xw + step_sz * Xd;
+    out = 1 - Y * Xw;
+    sv = (out > 0);
+    out = sv * out;
+    obj = 0.5 * sum(out * out) + reg / 2 * sum(w * w);
+    g_new = t(X) %*% (out * Y) - reg * w;
+    if (step_sz * sum(s * g_old) < tol * obj) { continue = 0; }
+    be = sum(g_new * g_new) / sum(g_old * g_old);
+    g_old = g_new;
+    s = be * s + g_new;
+    iter = iter + 1;
+  }
+}
+)DML";
+
+const char* const kMsvm = R"DML(
+msvm = function(Matrix X, Matrix Y, Double nclass, Double reg = 1,
+                Double tol = 0.001, Double maxiter = 20) return (Matrix W) {
+  W = matrix(0, ncol(X), nclass);
+  parfor (c in 1:nclass) {
+    yc = 2 * (Y == c) - 1;
+    w = l2svm(X, yc, 0, reg, tol, maxiter);
+    W[, c] = w;
+  }
+}
+msvmPredict = function(Matrix X, Matrix W) return (Matrix pred) {
+  S = X %*% W;
+  pred = rowIndexMax(S);
+}
+)DML";
+
+const char* const kMLogReg = R"DML(
+mlogreg = function(Matrix X, Matrix Y, Double nclass, Double reg = 0,
+                   Double maxiter = 20, Double step = 0.1) return (Matrix W) {
+  n = nrow(X);
+  Yoh = table(seq(1, n, 1), Y, n, nclass);
+  W = matrix(0, ncol(X), nclass);
+  i = 0;
+  while (i < maxiter) {
+    S = X %*% W;
+    S = S - rowMaxs(S);
+    E = exp(S);
+    P = E / rowSums(E);
+    G = t(X) %*% (P - Yoh) / n + reg * W;
+    W = W - step * G;
+    i = i + 1;
+  }
+}
+mlogregPredict = function(Matrix X, Matrix W) return (Matrix P) {
+  S = X %*% W;
+  S = S - rowMaxs(S);
+  E = exp(S);
+  P = E / rowSums(E);
+}
+)DML";
+
+const char* const kPca = R"DML(
+pca = function(Matrix A, Double K) return (Matrix R, Matrix evects_k) {
+  N = nrow(A);
+  D = ncol(A);
+  mu = colMeans(A);
+  C = (t(A) %*% A) / (N - 1) - (N / (N - 1)) * t(mu) %*% mu;
+  [evals, evects] = eigen(C);
+  dscIdx = order(target=evals, decreasing=TRUE, index.return=TRUE);
+  diagMat = table(seq(1, D, 1), dscIdx, D, D);
+  evects = evects %*% diagMat;
+  evects_k = evects[, 1:K];
+  R = A %*% evects_k;
+}
+)DML";
+
+const char* const kNaiveBayes = R"DML(
+naiveBayes = function(Matrix X, Matrix Y, Double nclass, Double laplace = 1)
+    return (Matrix prior, Matrix condp) {
+  n = nrow(X);
+  Yoh = table(seq(1, n, 1), Y, n, nclass);
+  classCounts = colSums(Yoh);
+  prior = t(classCounts) / n;
+  featureSums = t(Yoh) %*% X;
+  condp = (featureSums + laplace) / (rowSums(featureSums) + laplace * ncol(X));
+}
+naiveBayesPredict = function(Matrix X, Matrix prior, Matrix condp)
+    return (Matrix pred) {
+  logp = X %*% t(log(condp)) + t(log(prior));
+  pred = rowIndexMax(logp);
+}
+)DML";
+
+const char* const kGridSearchLm = R"DML(
+gridSearchLm = function(Matrix X, Matrix y, Matrix regs, Matrix icpts,
+                        Matrix tols) return (Matrix losses) {
+  na = nrow(regs);
+  nb = nrow(icpts);
+  nc = nrow(tols);
+  losses = matrix(0, na * nb * nc, 1);
+  for (a in 1:na) {
+    for (b in 1:nb) {
+      for (c in 1:nc) {
+        icpt = as.scalar(icpts[b, 1]);
+        B = lm(X, y, icpt, as.scalar(regs[a, 1]), as.scalar(tols[c, 1]), 0);
+        l = lmLoss(X, y, B, icpt);
+        losses[(a - 1) * nb * nc + (b - 1) * nc + c, 1] = l;
+      }
+    }
+  }
+}
+gridSearchLmPar = function(Matrix X, Matrix y, Matrix regs, Matrix icpts,
+                           Matrix tols) return (Matrix losses) {
+  na = nrow(regs);
+  nb = nrow(icpts);
+  nc = nrow(tols);
+  losses = matrix(0, na * nb * nc, 1);
+  parfor (a in 1:na) {
+    for (b in 1:nb) {
+      for (c in 1:nc) {
+        icpt = as.scalar(icpts[b, 1]);
+        B = lm(X, y, icpt, as.scalar(regs[a, 1]), as.scalar(tols[c, 1]), 0);
+        l = lmLoss(X, y, B, icpt);
+        losses[(a - 1) * nb * nc + (b - 1) * nc + c, 1] = l;
+      }
+    }
+  }
+}
+)DML";
+
+const char* const kCvLm = R"DML(
+cvLm = function(Matrix X, Matrix y, Double k, Double reg = 1e-3,
+                Double icpt = 0) return (Double avgLoss) {
+  n = nrow(X);
+  fs = floor(n / k);
+  acc = 0;
+  for (i in 1:k) {
+    lo = (i - 1) * fs + 1;
+    hi = i * fs;
+    if (i == k) { hi = n; }
+    Xte = X[lo:hi, ];
+    yte = y[lo:hi, ];
+    # Training set: left-deep rbind chain over the remaining folds, so fold
+    # slices, prefix rbinds, and per-fold tsmm results are reusable.
+    started = 0;
+    Xtr = X;
+    ytr = y;
+    for (j in 1:k) {
+      if (j != i) {
+        jlo = (j - 1) * fs + 1;
+        jhi = j * fs;
+        if (j == k) { jhi = n; }
+        if (started == 0) {
+          Xtr = X[jlo:jhi, ];
+          ytr = y[jlo:jhi, ];
+          started = 1;
+        } else {
+          Xtr = rbind(Xtr, X[jlo:jhi, ]);
+          ytr = rbind(ytr, y[jlo:jhi, ]);
+        }
+      }
+    }
+    B = lmDS(Xtr, ytr, icpt, reg);
+    acc = acc + lmLoss(Xte, yte, B, icpt);
+  }
+  avgLoss = acc / k;
+}
+cvLmPar = function(Matrix X, Matrix y, Double k, Double reg = 1e-3,
+                   Double icpt = 0) return (Matrix losses) {
+  n = nrow(X);
+  fs = floor(n / k);
+  losses = matrix(0, k, 1);
+  parfor (i in 1:k) {
+    lo = (i - 1) * fs + 1;
+    hi = i * fs;
+    if (i == k) { hi = n; }
+    Xte = X[lo:hi, ];
+    yte = y[lo:hi, ];
+    started = 0;
+    Xtr = X;
+    ytr = y;
+    for (j in 1:k) {
+      if (j != i) {
+        jlo = (j - 1) * fs + 1;
+        jhi = j * fs;
+        if (j == k) { jhi = n; }
+        if (started == 0) {
+          Xtr = X[jlo:jhi, ];
+          ytr = y[jlo:jhi, ];
+          started = 1;
+        } else {
+          Xtr = rbind(Xtr, X[jlo:jhi, ]);
+          ytr = rbind(ytr, y[jlo:jhi, ]);
+        }
+      }
+    }
+    B = lmDS(Xtr, ytr, icpt, reg);
+    losses[i, 1] = lmLoss(Xte, yte, B, icpt);
+  }
+}
+)DML";
+
+const char* const kStepLm = R"DML(
+stepLm = function(Matrix X, Matrix y, Double maxK, Double reg = 0.001)
+    return (Matrix sel, Double bestLoss) {
+  d = ncol(X);
+  sel = matrix(0, 1, maxK);
+  bestLoss = 1e300;
+  bestJ = 1;
+  for (j in 1:d) {
+    xj = X[, j];
+    A = t(xj) %*% xj + reg;
+    b = t(xj) %*% y;
+    beta = b / A;
+    r = xj %*% beta - y;
+    l = sum(r ^ 2);
+    if (l < bestLoss) { bestLoss = l; bestJ = j; }
+  }
+  sel[1, 1] = bestJ;
+  Xs = X[, bestJ];
+  k = 2;
+  while (k <= maxK) {
+    bestLoss = 1e300;
+    bestJ = 1;
+    for (j in 1:d) {
+      Z = cbind(Xs, X[, j]);
+      A = t(Z) %*% Z + diag(matrix(reg, ncol(Z), 1));
+      b = t(Z) %*% y;
+      beta = solve(A, b);
+      r = Z %*% beta - y;
+      l = sum(r ^ 2);
+      if (l < bestLoss) { bestLoss = l; bestJ = j; }
+    }
+    sel[1, k] = bestJ;
+    Xs = cbind(Xs, X[, bestJ]);
+    k = k + 1;
+  }
+}
+)DML";
+
+const char* const kAutoencoder = R"DML(
+autoencoder = function(Matrix X, Double h1, Double h2, Double epochs,
+                       Double batch, Double lr = 0.01) return (Double finalLoss) {
+  n = nrow(X);
+  d = ncol(X);
+  W1 = rand(rows=d, cols=h1, min=-0.1, max=0.1, seed=1);
+  W2 = rand(rows=h1, cols=h2, min=-0.1, max=0.1, seed=2);
+  W3 = rand(rows=h2, cols=h1, min=-0.1, max=0.1, seed=3);
+  W4 = rand(rows=h1, cols=d, min=-0.1, max=0.1, seed=4);
+  nb = floor(n / batch);
+  finalLoss = 0;
+  for (e in 1:epochs) {
+    for (b in 1:nb) {
+      lo = (b - 1) * batch + 1;
+      hi = b * batch;
+      Xb = X[lo:hi, ];
+      # Batch-wise feature preprocessing: reusable across epochs.
+      Xb = (Xb - colMeans(Xb)) / (sqrt(colVars(Xb)) + 0.001);
+      H1 = sigmoid(Xb %*% W1);
+      H2 = sigmoid(H1 %*% W2);
+      H3 = sigmoid(H2 %*% W3);
+      O = H3 %*% W4;
+      E = O - Xb;
+      dW4 = t(H3) %*% E;
+      dH3 = E %*% t(W4) * H3 * (1 - H3);
+      dW3 = t(H2) %*% dH3;
+      dH2 = dH3 %*% t(W3) * H2 * (1 - H2);
+      dW2 = t(H1) %*% dH2;
+      dH1 = dH2 %*% t(W2) * H1 * (1 - H1);
+      dW1 = t(Xb) %*% dH1;
+      W1 = W1 - lr * dW1;
+      W2 = W2 - lr * dW2;
+      W3 = W3 - lr * dW3;
+      W4 = W4 - lr * dW4;
+      finalLoss = sum(E * E);
+    }
+  }
+}
+)DML";
+
+const char* const kKmeans = R"DML(
+kmeans = function(Matrix X, Double k, Double maxiter = 10, Double seed = -1)
+    return (Matrix C, Matrix assign, Double wsse) {
+  n = nrow(X);
+  idx = sample(n, k, seed);
+  C = matrix(0, k, ncol(X));
+  for (i in 1:k) {
+    C[i, ] = X[as.scalar(idx[i, 1]), ];
+  }
+  assign = matrix(1, n, 1);
+  iter = 0;
+  while (iter < maxiter) {
+    D = rowSums(X ^ 2) - 2 * (X %*% t(C)) + t(rowSums(C ^ 2));
+    assign = rowIndexMax(0 - D);
+    A = table(seq(1, n, 1), assign, n, k);
+    counts = t(colSums(A));
+    C = (t(A) %*% X) / max(counts, 1);
+    iter = iter + 1;
+  }
+  D = rowSums(X ^ 2) - 2 * (X %*% t(C)) + t(rowSums(C ^ 2));
+  wsse = sum(0 - rowMaxs(0 - D));
+}
+kmeansPredict = function(Matrix X, Matrix C) return (Matrix assign) {
+  D = rowSums(X ^ 2) - 2 * (X %*% t(C)) + t(rowSums(C ^ 2));
+  assign = rowIndexMax(0 - D);
+}
+)DML";
+
+const char* const kPageRank = R"DML(
+pageRank = function(Matrix G, Matrix p0, Matrix e, Matrix u, Double alpha = 0.85,
+                    Double maxiter = 20) return (Matrix p) {
+  p = p0;
+  i = 0;
+  while (i < maxiter) {
+    p = alpha * (G %*% p) + (1 - alpha) * (e %*% u %*% p);
+    i = i + 1;
+  }
+}
+)DML";
+
+std::string Builtins() {
+  std::string all;
+  all += kPreprocess;
+  all += kLm;
+  all += kL2svm;
+  all += kMsvm;
+  all += kMLogReg;
+  all += kPca;
+  all += kNaiveBayes;
+  all += kGridSearchLm;
+  all += kCvLm;
+  all += kStepLm;
+  all += kAutoencoder;
+  all += kKmeans;
+  all += kPageRank;
+  return all;
+}
+
+}  // namespace scripts
+}  // namespace lima

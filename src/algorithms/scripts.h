@@ -1,0 +1,63 @@
+#ifndef LIMA_ALGORITHMS_SCRIPTS_H_
+#define LIMA_ALGORITHMS_SCRIPTS_H_
+
+#include <string>
+
+namespace lima {
+namespace scripts {
+
+/// Script-based ML builtins, written in the DML-subset language — the
+/// analogue of SystemDS's script-level builtin functions that the paper's
+/// pipelines orchestrate (Sec. 2.1). Prepend the needed snippets (or
+/// `Builtins()`) to a user script before LimaSession::Run.
+
+/// scaleAndShift (mu=0, sd=1) and loss helpers.
+extern const char* const kPreprocess;
+
+/// lm / lmDS (closed-form) / lmCG (conjugate gradient) / lmLoss, with the
+/// ncol(X)-based dispatch of Example 1.
+extern const char* const kLm;
+
+/// Binary L2-regularized linear SVM (labels -1/+1).
+extern const char* const kL2svm;
+
+/// One-vs-all multiclass SVM on top of l2svm (task-parallel over classes).
+extern const char* const kMsvm;
+
+/// Multinomial logistic regression via softmax gradient descent.
+extern const char* const kMLogReg;
+
+/// PCA (covariance + eigen + order/table projection, Fig. 5).
+extern const char* const kPca;
+
+/// Multinomial naive Bayes with Laplace smoothing (+ predict).
+extern const char* const kNaiveBayes;
+
+/// Grid search for lm hyper-parameters (sequential and parfor variants).
+extern const char* const kGridSearchLm;
+
+/// k-fold leave-one-out cross-validated lm (left-deep rbind fold chains).
+extern const char* const kCvLm;
+
+/// Forward feature selection (stepLm) — the partial-reuse showcase.
+extern const char* const kStepLm;
+
+/// Mini-batch autoencoder with two hidden layers and batch-wise
+/// normalization (Fig. 10(a)).
+extern const char* const kAutoencoder;
+
+/// k-means clustering with randomly sampled initial centroids — the class
+/// of nondeterministic, randomly initialized algorithms whose seeds LIMA
+/// exposes through lineage (Sec. 1, "Problem of Non-Determinism").
+extern const char* const kKmeans;
+
+/// PageRank iteration (the Fig. 4 dedup example).
+extern const char* const kPageRank;
+
+/// All builtins concatenated; prepend to any pipeline script.
+std::string Builtins();
+
+}  // namespace scripts
+}  // namespace lima
+
+#endif  // LIMA_ALGORITHMS_SCRIPTS_H_

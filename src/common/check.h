@@ -1,0 +1,48 @@
+#ifndef LIMA_COMMON_CHECK_H_
+#define LIMA_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace lima {
+namespace internal {
+
+/// Streams a fatal message and aborts on destruction. Used by the CHECK
+/// macros below for internal invariant violations (never for user errors,
+/// which are reported via Status).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace lima
+
+/// Aborts with a message when `cond` is false. For programming errors only.
+#define LIMA_CHECK(cond)                                    \
+  if (!(cond)) ::lima::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define LIMA_CHECK_EQ(a, b) LIMA_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LIMA_CHECK_NE(a, b) LIMA_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LIMA_CHECK_LT(a, b) LIMA_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LIMA_CHECK_LE(a, b) LIMA_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LIMA_CHECK_GT(a, b) LIMA_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LIMA_CHECK_GE(a, b) LIMA_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // LIMA_COMMON_CHECK_H_

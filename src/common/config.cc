@@ -1,0 +1,61 @@
+#include "common/config.h"
+
+namespace lima {
+
+const char* ReuseModeToString(ReuseMode mode) {
+  switch (mode) {
+    case ReuseMode::kNone:
+      return "none";
+    case ReuseMode::kFull:
+      return "full";
+    case ReuseMode::kPartial:
+      return "partial";
+    case ReuseMode::kHybrid:
+      return "hybrid";
+    case ReuseMode::kMultiLevel:
+      return "multilevel";
+  }
+  return "unknown";
+}
+
+const char* EvictionPolicyToString(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru:
+      return "lru";
+    case EvictionPolicy::kDagHeight:
+      return "dagheight";
+    case EvictionPolicy::kCostSize:
+      return "costsize";
+  }
+  return "unknown";
+}
+
+LimaConfig LimaConfig::Base() {
+  LimaConfig config;
+  config.trace_lineage = false;
+  config.reuse_mode = ReuseMode::kNone;
+  return config;
+}
+
+LimaConfig LimaConfig::TracingOnly() {
+  LimaConfig config;
+  config.trace_lineage = true;
+  config.reuse_mode = ReuseMode::kNone;
+  return config;
+}
+
+LimaConfig LimaConfig::Lima() {
+  LimaConfig config;
+  config.trace_lineage = true;
+  config.reuse_mode = ReuseMode::kHybrid;
+  config.eviction_policy = EvictionPolicy::kCostSize;
+  return config;
+}
+
+LimaConfig LimaConfig::LimaMultiLevel() {
+  LimaConfig config = Lima();
+  config.reuse_mode = ReuseMode::kMultiLevel;
+  return config;
+}
+
+}  // namespace lima

@@ -1,0 +1,81 @@
+#ifndef LIMA_COMMON_CONFIG_H_
+#define LIMA_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lima {
+
+/// Which reuse mode the lineage cache operates in (Sec. 4).
+enum class ReuseMode {
+  kNone,         ///< lineage may still be traced, but nothing is reused
+  kFull,         ///< operation-level full reuse only
+  kPartial,      ///< partial-rewrite reuse only
+  kHybrid,       ///< full + partial (the paper's default "LIMA")
+  kMultiLevel,   ///< hybrid + function/block-level reuse ("LIMA-MLR")
+};
+
+/// Cache eviction policy (Table 1).
+enum class EvictionPolicy {
+  kLru,        ///< order by last-access timestamp
+  kDagHeight,  ///< order by 1/height of the lineage trace
+  kCostSize,   ///< order by (hits+misses) * cost/size (default)
+};
+
+const char* ReuseModeToString(ReuseMode mode);
+const char* EvictionPolicyToString(EvictionPolicy policy);
+
+/// Global configuration for one execution session. Mirrors the SystemDS/LIMA
+/// configuration surface described in Sec. 4.1 and 5.1.
+struct LimaConfig {
+  /// Master switch for lineage tracing ("LT").
+  bool trace_lineage = true;
+
+  /// Deduplicate lineage of last-level loops and loop-free functions ("LTD").
+  bool dedup_lineage = false;
+
+  /// Reuse mode ("LTP"/full reuse and beyond requires trace_lineage).
+  ReuseMode reuse_mode = ReuseMode::kNone;
+
+  /// Eviction policy for the lineage cache.
+  EvictionPolicy eviction_policy = EvictionPolicy::kCostSize;
+
+  /// Cache budget in bytes (the paper defaults to 5% of the JVM heap; we use
+  /// an absolute default of 256 MB, configurable per run).
+  int64_t cache_budget_bytes = int64_t{256} * 1024 * 1024;
+
+  /// Whether evicted entries whose recomputation cost exceeds the estimated
+  /// I/O time are spilled to disk instead of deleted (Sec. 4.3).
+  bool enable_spilling = false;
+
+  /// Directory for spill files (empty = std::filesystem::temp_directory_path).
+  std::string spill_dir;
+
+  /// Compiler-assisted reuse: unmarking + reuse-aware rewrites (Sec. 4.4).
+  bool compiler_assist = false;
+
+  /// Operator fusion of cellwise chains (Sec. 3.3).
+  bool operator_fusion = false;
+
+  /// Degree of parallelism for parfor loops (1 = sequential execution).
+  int parfor_workers = 1;
+
+  /// Degree of parallelism inside individual matrix kernels.
+  int kernel_threads = 1;
+
+  /// Returns true if any reuse is enabled.
+  bool reuse_enabled() const { return reuse_mode != ReuseMode::kNone; }
+
+  /// Preset: plain SystemDS without lineage ("Base" in the experiments).
+  static LimaConfig Base();
+  /// Preset: lineage tracing only ("LT").
+  static LimaConfig TracingOnly();
+  /// Preset: the paper's default LIMA (hybrid reuse, Cost&Size eviction).
+  static LimaConfig Lima();
+  /// Preset: LIMA with multi-level reuse ("LIMA-MLR").
+  static LimaConfig LimaMultiLevel();
+};
+
+}  // namespace lima
+
+#endif  // LIMA_COMMON_CONFIG_H_

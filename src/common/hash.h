@@ -1,0 +1,36 @@
+#ifndef LIMA_COMMON_HASH_H_
+#define LIMA_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace lima {
+
+/// 64-bit hash combiner (boost-style with a 64-bit golden-ratio constant).
+/// LIMA lineage hashes are 64-bit to make the integer-overflow collisions the
+/// paper warns about (footnote 3) vanishingly rare for long traces.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// FNV-1a over bytes; used for opcodes and literal data strings.
+inline uint64_t HashBytes(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mixes the bits of a 64-bit integer (splitmix64 finalizer).
+inline uint64_t HashInt(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace lima
+
+#endif  // LIMA_COMMON_HASH_H_

@@ -1,0 +1,60 @@
+#ifndef LIMA_COMMON_RESULT_H_
+#define LIMA_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace lima {
+
+/// A value-or-error holder, Arrow-style. A `Result<T>` either contains a T
+/// (when `ok()`) or a non-OK Status. Use with LIMA_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs from an error status. CHECK-fails if the status is OK
+  /// (an OK status carries no value and would leave the Result empty).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    LIMA_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Returns the contained value; CHECK-fails if this holds an error.
+  const T& ValueOrDie() const& {
+    LIMA_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    LIMA_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    LIMA_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace lima
+
+#endif  // LIMA_COMMON_RESULT_H_

@@ -1,0 +1,105 @@
+#include "common/rng.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace lima {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+std::atomic<uint64_t> g_seed_counter{0x51a9e0u};
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // SplitMix64 expansion of the seed into the xoshiro state.
+  uint64_t x = seed;
+  for (int i = 0; i < 4; ++i) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    s_[i] = z ^ (z >> 31);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+uint64_t Rng::NextBounded(uint64_t n) {
+  LIMA_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  LIMA_CHECK_GE(n, k);
+  LIMA_CHECK_GE(k, 0);
+  // Partial Fisher-Yates over 1..n.
+  std::vector<int64_t> pool(n);
+  for (int64_t i = 0; i < n; ++i) pool[i] = i + 1;
+  std::vector<int64_t> out(k);
+  for (int64_t i = 0; i < k; ++i) {
+    uint64_t j = i + NextBounded(static_cast<uint64_t>(n - i));
+    std::swap(pool[i], pool[j]);
+    out[i] = pool[i];
+  }
+  return out;
+}
+
+uint64_t NextSystemSeed() {
+  uint64_t c = g_seed_counter.fetch_add(1, std::memory_order_relaxed);
+  // Restrict to 48 bits: seeds are traced as integer lineage literals and
+  // must survive the int64/double round-trip exactly.
+  return HashInt(c) & ((uint64_t{1} << 48) - 1);
+}
+
+void ResetSystemSeedCounter(uint64_t base) {
+  g_seed_counter.store(base, std::memory_order_relaxed);
+}
+
+}  // namespace lima

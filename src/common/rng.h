@@ -1,0 +1,56 @@
+#ifndef LIMA_COMMON_RNG_H_
+#define LIMA_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lima {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// All nondeterministic runtime operations (rand, sample, dropout) draw from
+/// an Rng seeded with a *system-generated seed that is recorded in the
+/// lineage* (Sec. 3.1 of the paper), which makes every operation
+/// reproducible from its lineage trace.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Uniform integer in [0, n).
+  uint64_t NextBounded(uint64_t n);
+
+  /// k distinct values sampled from 1..n (inclusive), in random order.
+  /// Mirrors DML's sample(n, k) with replace=FALSE.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Returns a fresh system-generated seed (monotonic counter mixed with a
+/// process-level base). Deterministic *within* a process run only if
+/// `ResetSystemSeedCounter` is called; each call returns a distinct seed.
+uint64_t NextSystemSeed();
+
+/// Resets the process-wide seed counter (used by tests and by
+/// lineage-reconstruction to replay identical seeds).
+void ResetSystemSeedCounter(uint64_t base);
+
+}  // namespace lima
+
+#endif  // LIMA_COMMON_RNG_H_

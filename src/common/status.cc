@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace lima {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kRuntimeError:
+      return "RuntimeError";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kCompileError:
+      return "CompileError";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace lima

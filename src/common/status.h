@@ -1,0 +1,109 @@
+#ifndef LIMA_COMMON_STATUS_H_
+#define LIMA_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace lima {
+
+/// Error categories used across the LIMA library. Mirrors the
+/// Arrow/RocksDB-style status idiom: functions that can fail return a
+/// `Status` (or `Result<T>`, see result.h) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotImplemented,
+  kRuntimeError,
+  kParseError,
+  kCompileError,
+  kIoError,
+  kTypeError,
+};
+
+/// Returns a human-readable name for a status code (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the success case (a single
+/// pointer), carries a code and message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status CompileError(std::string msg) {
+    return Status(StatusCode::kCompileError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace lima
+
+/// Propagates a non-OK status to the caller.
+#define LIMA_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::lima::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#define LIMA_CONCAT_IMPL(x, y) x##y
+#define LIMA_CONCAT(x, y) LIMA_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Result<T>; on success binds the value
+/// to `lhs`, otherwise returns the error status to the caller.
+#define LIMA_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto LIMA_CONCAT(_res_, __LINE__) = (rexpr);                   \
+  if (!LIMA_CONCAT(_res_, __LINE__).ok())                        \
+    return LIMA_CONCAT(_res_, __LINE__).status();                \
+  lhs = std::move(LIMA_CONCAT(_res_, __LINE__)).ValueOrDie()
+
+#endif  // LIMA_COMMON_STATUS_H_

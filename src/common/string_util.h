@@ -1,0 +1,28 @@
+#ifndef LIMA_COMMON_STRING_UTIL_H_
+#define LIMA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lima {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `delim` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view delim);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Formats a double the way the DSL's toString/print do: integers without a
+/// decimal point, otherwise up to 6 significant fractional digits.
+std::string FormatDouble(double v);
+
+}  // namespace lima
+
+#endif  // LIMA_COMMON_STRING_UTIL_H_

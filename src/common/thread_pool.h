@@ -1,0 +1,57 @@
+#ifndef LIMA_COMMON_THREAD_POOL_H_
+#define LIMA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lima {
+
+/// Fixed-size worker pool used by parfor and by multi-threaded matrix
+/// kernels. Tasks are plain closures; WaitAll() provides a barrier.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void WaitAll();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  int64_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across up to `num_threads` threads, blocking
+/// until all complete. Falls back to the calling thread for n==0/1 or
+/// num_threads<=1. Spawns transient threads (no shared pool) so nested use
+/// inside parfor workers stays isolated.
+void ParallelFor(int64_t n, int num_threads,
+                 const std::function<void(int64_t)>& fn);
+
+/// Number of hardware threads (>= 1).
+int HardwareConcurrency();
+
+}  // namespace lima
+
+#endif  // LIMA_COMMON_THREAD_POOL_H_

@@ -1,0 +1,35 @@
+#ifndef LIMA_COMMON_TIMER_H_
+#define LIMA_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace lima {
+
+/// Simple wall-clock stopwatch used for kernel cost measurement and
+/// benchmark harnesses.
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed nanoseconds since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lima
+
+#endif  // LIMA_COMMON_TIMER_H_

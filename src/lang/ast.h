@@ -1,0 +1,109 @@
+#ifndef LIMA_LANG_AST_H_
+#define LIMA_LANG_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lima {
+
+/// Abstract syntax tree of the DML-subset language. Nodes are plain data;
+/// semantic lowering happens in the compiler.
+
+struct ExprNode;
+using ExprPtr = std::unique_ptr<ExprNode>;
+
+enum class ExprKind {
+  kNumber,
+  kString,
+  kBool,
+  kVar,
+  kBinary,  ///< op in {+ - * / ^ %*% == != < > <= >= & | :}
+  kUnary,   ///< op in {- !}
+  kCall,
+  kIndex,   ///< X[row, col] / X[i] (list)
+};
+
+struct CallArg {
+  std::string name;  ///< empty for positional
+  ExprPtr value;
+};
+
+/// One dimension of an index expression.
+struct IndexDim {
+  ExprPtr lower;  ///< null = full range start
+  ExprPtr upper;  ///< null (with lower) = single/select index
+  bool is_range = false;  ///< true for "a:b" or an omitted (full) dimension
+};
+
+struct ExprNode {
+  ExprKind kind;
+  int line = 0;
+
+  // kNumber
+  double number = 0.0;
+  bool is_int = false;
+  // kString / kVar / kBinary / kUnary op text / kCall name
+  std::string text;
+  // kBinary / kUnary
+  ExprPtr lhs;
+  ExprPtr rhs;
+  // kCall
+  std::vector<CallArg> args;
+  // kIndex
+  ExprPtr target;
+  std::vector<IndexDim> dims;  ///< 1 (list) or 2 (matrix)
+};
+
+struct StmtNode;
+using StmtPtr = std::unique_ptr<StmtNode>;
+
+enum class StmtKind {
+  kAssign,       ///< x = expr / x[i:j, k:l] = expr
+  kMultiAssign,  ///< [a, b] = f(...)
+  kIf,
+  kFor,     ///< also parfor (is_parfor)
+  kWhile,
+  kFuncDef,
+  kExprStmt,  ///< bare call (print, stop, ...)
+};
+
+struct FuncParam {
+  std::string type;  ///< optional type name (documentation only)
+  std::string name;
+  ExprPtr default_value;  ///< literal expr or null
+};
+
+struct StmtNode {
+  StmtKind kind;
+  int line = 0;
+
+  // kAssign
+  std::string target;
+  std::vector<IndexDim> target_dims;  ///< non-empty for indexed assignment
+  ExprPtr value;
+
+  // kMultiAssign
+  std::vector<std::string> targets;
+
+  // kIf / kWhile condition; kFor range
+  ExprPtr condition;
+  std::string loop_var;
+  ExprPtr from;
+  ExprPtr to;
+  ExprPtr step;
+  bool is_parfor = false;
+
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+
+  // kFuncDef
+  std::string func_name;
+  std::vector<FuncParam> params;
+  std::vector<FuncParam> returns;
+};
+
+}  // namespace lima
+
+#endif  // LIMA_LANG_AST_H_

@@ -1,0 +1,909 @@
+#include "lang/compiler.h"
+
+#include <unordered_map>
+
+#include "lang/fusion_pass.h"
+#include "lang/parser.h"
+#include "reuse/compiler_assist.h"
+#include "runtime/analysis.h"
+#include "runtime/instructions_compute.h"
+#include "runtime/instructions_datagen.h"
+#include "runtime/instructions_matrix.h"
+#include "runtime/instructions_misc.h"
+
+namespace lima {
+
+namespace {
+
+bool IsTemp(const std::string& name) {
+  return name.size() >= 2 && name[0] == '_' && name[1] == 't';
+}
+
+struct BinaryOpInfo {
+  BinaryOp op;
+};
+
+const std::unordered_map<std::string, BinaryOp>& BinaryOpsByText() {
+  static const auto* kMap = new std::unordered_map<std::string, BinaryOp>{
+      {"+", BinaryOp::kAdd},   {"-", BinaryOp::kSub},
+      {"*", BinaryOp::kMul},   {"/", BinaryOp::kDiv},
+      {"^", BinaryOp::kPow},   {"==", BinaryOp::kEq},
+      {"!=", BinaryOp::kNeq},  {"<", BinaryOp::kLt},
+      {">", BinaryOp::kGt},    {"<=", BinaryOp::kLe},
+      {">=", BinaryOp::kGe},   {"&", BinaryOp::kAnd},
+      {"|", BinaryOp::kOr},    {"%%", BinaryOp::kMod},
+      {"%/%", BinaryOp::kIntDiv}};
+  return *kMap;
+}
+
+const std::unordered_map<std::string, UnaryOp>& UnaryBuiltins() {
+  static const auto* kMap = new std::unordered_map<std::string, UnaryOp>{
+      {"exp", UnaryOp::kExp},     {"log", UnaryOp::kLog},
+      {"sqrt", UnaryOp::kSqrt},   {"abs", UnaryOp::kAbs},
+      {"round", UnaryOp::kRound}, {"floor", UnaryOp::kFloor},
+      {"ceil", UnaryOp::kCeil},   {"sign", UnaryOp::kSign},
+      {"sigmoid", UnaryOp::kSigmoid}};
+  return *kMap;
+}
+
+bool IsAggBuiltin(const std::string& name, std::string* opcode) {
+  static const auto* kMap = new std::unordered_map<std::string, std::string>{
+      {"sum", "sum"},           {"mean", "mean"},
+      {"trace", "trace"},       {"colSums", "colSums"},
+      {"colMeans", "colMeans"}, {"colMins", "colMins"},
+      {"colMaxs", "colMaxs"},   {"colVars", "colVars"},
+      {"rowSums", "rowSums"},   {"rowMeans", "rowMeans"},
+      {"rowMins", "rowMins"},   {"rowMaxs", "rowMaxs"},
+      {"rowIndexMax", "rowIndexMax"}};
+  auto it = kMap->find(name);
+  if (it == kMap->end()) return false;
+  *opcode = it->second;
+  return true;
+}
+
+/// Signature of a user function collected in the declaration pass.
+struct FunctionSignature {
+  std::vector<std::string> param_names;
+  std::vector<bool> has_default;
+  std::vector<ScalarValue> defaults;
+  int num_outputs = 0;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(const LimaConfig& config) : config_(config) {}
+
+  Result<std::unique_ptr<Program>> Compile(
+      const std::vector<StmtPtr>& statements) {
+    program_ = std::make_unique<Program>();
+
+    // Pass 1: collect function signatures and register Function shells.
+    for (const StmtPtr& statement : statements) {
+      if (statement->kind != StmtKind::kFuncDef) continue;
+      LIMA_RETURN_NOT_OK(DeclareFunction(*statement));
+    }
+
+    // Pass 2: compile function bodies.
+    for (const StmtPtr& statement : statements) {
+      if (statement->kind != StmtKind::kFuncDef) continue;
+      Function* fn = program_->GetMutableFunction(statement->func_name);
+      LIMA_RETURN_NOT_OK(
+          CompileInto(fn->mutable_body(), statement->body));
+    }
+
+    // Main program.
+    LIMA_RETURN_NOT_OK(CompileInto(program_->mutable_main(), statements,
+                                   /*skip_funcdefs=*/true));
+
+    AnalyzeProgram(program_.get());
+    if (config_.operator_fusion) {
+      ApplyOperatorFusion(program_.get());
+    }
+    if (config_.reuse_enabled()) {
+      // Unmarking runs whenever reuse is on: loop-carried intermediates are
+      // never reusable and only pollute the cache (Sec. 4.4).
+      UnmarkLoopCarriedInstructions(program_.get());
+    }
+    if (config_.compiler_assist) {
+      ApplyReuseAwareRewrites(program_.get());
+    }
+    return std::move(program_);
+  }
+
+ private:
+  // ---- Emission state ----------------------------------------------------
+
+  struct EmitScope {
+    std::vector<BlockPtr>* blocks = nullptr;
+    BasicBlock* forced = nullptr;  ///< predicate compilation target
+    BasicBlock* open = nullptr;
+  };
+
+  BasicBlock* EnsureBasic() {
+    EmitScope& scope = scopes_.back();
+    if (scope.forced != nullptr) return scope.forced;
+    if (scope.open == nullptr) {
+      auto block = std::make_unique<BasicBlock>();
+      scope.open = block.get();
+      scope.blocks->push_back(std::move(block));
+    }
+    return scope.open;
+  }
+
+  void CloseBasic() {
+    if (!scopes_.empty()) scopes_.back().open = nullptr;
+  }
+
+  void Emit(std::unique_ptr<Instruction> instruction) {
+    EnsureBasic()->Append(std::move(instruction));
+  }
+
+  std::string NewTemp() {
+    std::string name = "_t" + std::to_string(temp_counter_++);
+    if (!in_predicate_) stmt_temps_.push_back(name);
+    return name;
+  }
+
+  void FlushStatementTemps() {
+    if (stmt_temps_.empty()) return;
+    Emit(VariableInstruction::Remove(std::move(stmt_temps_)));
+    stmt_temps_.clear();
+  }
+
+  // ---- Expressions -------------------------------------------------------
+
+  Result<Operand> CompileExpr(const ExprNode& expr) {
+    switch (expr.kind) {
+      case ExprKind::kNumber:
+        return expr.is_int
+                   ? Operand::LitInt(static_cast<int64_t>(expr.number))
+                   : Operand::LitDouble(expr.number);
+      case ExprKind::kString:
+        return Operand::LitString(expr.text);
+      case ExprKind::kBool:
+        return Operand::LitBool(expr.number != 0.0);
+      case ExprKind::kVar:
+        return Operand::Var(expr.text);
+      case ExprKind::kUnary:
+        return CompileUnary(expr);
+      case ExprKind::kBinary:
+        return CompileBinary(expr);
+      case ExprKind::kCall:
+        return CompileCall(expr);
+      case ExprKind::kIndex:
+        return CompileIndex(expr);
+    }
+    return Status::CompileError("unknown expression kind");
+  }
+
+  Result<Operand> CompileUnary(const ExprNode& expr) {
+    LIMA_ASSIGN_OR_RETURN(Operand operand, CompileExpr(*expr.lhs));
+    UnaryOp op = expr.text == "!" ? UnaryOp::kNot : UnaryOp::kNeg;
+    if (operand.is_literal && operand.literal.is_numeric()) {
+      LIMA_ASSIGN_OR_RETURN(ScalarValue folded,
+                            ScalarUnary(op, operand.literal));
+      return Operand::Lit(std::move(folded));
+    }
+    std::string out = NewTemp();
+    Emit(std::make_unique<UnaryInstruction>(op, std::move(operand), out));
+    return Operand::Var(out);
+  }
+
+  Result<Operand> CompileBinary(const ExprNode& expr) {
+    if (expr.text == ":") {
+      return Status::CompileError(
+          "range ':' is only valid in indexing and for-loops (line " +
+          std::to_string(expr.line) + ")");
+    }
+    if (expr.text == "%*%") {
+      // t(X) %*% X -> tsmm(X) (SystemDS compiler rewrite).
+      if (expr.lhs->kind == ExprKind::kCall && expr.lhs->text == "t" &&
+          expr.lhs->args.size() == 1 &&
+          expr.lhs->args[0].value->kind == ExprKind::kVar &&
+          expr.rhs->kind == ExprKind::kVar &&
+          expr.lhs->args[0].value->text == expr.rhs->text) {
+        std::string out = NewTemp();
+        Emit(std::make_unique<TsmmInstruction>(
+            Operand::Var(expr.rhs->text), out));
+        return Operand::Var(out);
+      }
+      LIMA_ASSIGN_OR_RETURN(Operand lhs, CompileExpr(*expr.lhs));
+      LIMA_ASSIGN_OR_RETURN(Operand rhs, CompileExpr(*expr.rhs));
+      std::string out = NewTemp();
+      Emit(std::make_unique<MatMulInstruction>(std::move(lhs), std::move(rhs),
+                                               out));
+      return Operand::Var(out);
+    }
+    auto it = BinaryOpsByText().find(expr.text);
+    if (it == BinaryOpsByText().end()) {
+      return Status::CompileError("unknown operator: " + expr.text);
+    }
+    LIMA_ASSIGN_OR_RETURN(Operand lhs, CompileExpr(*expr.lhs));
+    LIMA_ASSIGN_OR_RETURN(Operand rhs, CompileExpr(*expr.rhs));
+    // Scalar constant folding.
+    if (lhs.is_literal && rhs.is_literal) {
+      Result<ScalarValue> folded =
+          ScalarBinary(it->second, lhs.literal, rhs.literal);
+      if (folded.ok()) return Operand::Lit(std::move(folded).ValueOrDie());
+    }
+    std::string out = NewTemp();
+    Emit(std::make_unique<BinaryInstruction>(it->second, std::move(lhs),
+                                             std::move(rhs), out));
+    return Operand::Var(out);
+  }
+
+  // Argument spec for builtin calls.
+  struct ArgSpec {
+    const char* name;
+    bool required;
+    Operand default_value;
+  };
+
+  Result<std::vector<Operand>> ResolveArgs(const ExprNode& call,
+                                           const std::vector<ArgSpec>& specs) {
+    std::vector<Operand> out(specs.size());
+    std::vector<bool> bound(specs.size(), false);
+    size_t positional = 0;
+    for (const CallArg& arg : call.args) {
+      size_t slot = specs.size();
+      if (arg.name.empty()) {
+        // Positional: next unbound slot.
+        while (positional < specs.size() && bound[positional]) ++positional;
+        slot = positional;
+      } else {
+        for (size_t i = 0; i < specs.size(); ++i) {
+          if (arg.name == specs[i].name) {
+            slot = i;
+            break;
+          }
+        }
+      }
+      if (slot >= specs.size()) {
+        return Status::CompileError("unexpected argument '" + arg.name +
+                                    "' in call to " + call.text + " (line " +
+                                    std::to_string(call.line) + ")");
+      }
+      LIMA_ASSIGN_OR_RETURN(out[slot], CompileExpr(*arg.value));
+      bound[slot] = true;
+    }
+    for (size_t i = 0; i < specs.size(); ++i) {
+      if (bound[i]) continue;
+      if (specs[i].required) {
+        return Status::CompileError(std::string("missing argument '") +
+                                    specs[i].name + "' in call to " +
+                                    call.text);
+      }
+      out[i] = specs[i].default_value;
+    }
+    return out;
+  }
+
+  Result<Operand> CompileCall(const ExprNode& call) {
+    const std::string& name = call.text;
+
+    // Unary math builtins.
+    auto unary = UnaryBuiltins().find(name);
+    if (unary != UnaryBuiltins().end()) {
+      LIMA_ASSIGN_OR_RETURN(
+          std::vector<Operand> args,
+          ResolveArgs(call, {{"x", true, Operand()}}));
+      std::string out = NewTemp();
+      Emit(std::make_unique<UnaryInstruction>(unary->second, args[0], out));
+      return Operand::Var(out);
+    }
+    // min/max: unary aggregate or binary elementwise.
+    if (name == "min" || name == "max") {
+      if (call.args.size() == 1) {
+        LIMA_ASSIGN_OR_RETURN(Operand arg, CompileExpr(*call.args[0].value));
+        std::string out = NewTemp();
+        Emit(std::make_unique<AggregateInstruction>(
+            name == "min" ? "ua_min" : "ua_max", std::move(arg), out));
+        return Operand::Var(out);
+      }
+      if (call.args.size() == 2) {
+        LIMA_ASSIGN_OR_RETURN(Operand a, CompileExpr(*call.args[0].value));
+        LIMA_ASSIGN_OR_RETURN(Operand b, CompileExpr(*call.args[1].value));
+        std::string out = NewTemp();
+        Emit(std::make_unique<BinaryInstruction>(
+            name == "min" ? BinaryOp::kMin : BinaryOp::kMax, std::move(a),
+            std::move(b), out));
+        return Operand::Var(out);
+      }
+      return Status::CompileError(name + "() takes 1 or 2 arguments");
+    }
+    std::string agg_opcode;
+    if (IsAggBuiltin(name, &agg_opcode)) {
+      LIMA_ASSIGN_OR_RETURN(std::vector<Operand> args,
+                            ResolveArgs(call, {{"x", true, Operand()}}));
+      std::string out = NewTemp();
+      Emit(std::make_unique<AggregateInstruction>(agg_opcode, args[0], out));
+      return Operand::Var(out);
+    }
+    if (name == "nrow" || name == "ncol" || name == "length") {
+      LIMA_ASSIGN_OR_RETURN(std::vector<Operand> args,
+                            ResolveArgs(call, {{"x", true, Operand()}}));
+      std::string out = NewTemp();
+      Emit(std::make_unique<MetadataInstruction>(name, args[0], out));
+      return Operand::Var(out);
+    }
+    if (name == "t" || name == "rev" || name == "diag") {
+      LIMA_ASSIGN_OR_RETURN(std::vector<Operand> args,
+                            ResolveArgs(call, {{"x", true, Operand()}}));
+      std::string out = NewTemp();
+      Emit(std::make_unique<ReorgInstruction>(name, args[0], out));
+      return Operand::Var(out);
+    }
+    if (name == "cbind" || name == "rbind") {
+      if (call.args.size() < 2) {
+        return Status::CompileError(name + "() needs at least 2 arguments");
+      }
+      LIMA_ASSIGN_OR_RETURN(Operand acc, CompileExpr(*call.args[0].value));
+      for (size_t i = 1; i < call.args.size(); ++i) {
+        LIMA_ASSIGN_OR_RETURN(Operand next, CompileExpr(*call.args[i].value));
+        std::string out = NewTemp();
+        Emit(std::make_unique<AppendInstruction>(name == "cbind",
+                                                 std::move(acc),
+                                                 std::move(next), out));
+        acc = Operand::Var(out);
+      }
+      return acc;
+    }
+    if (name == "solve") {
+      LIMA_ASSIGN_OR_RETURN(
+          std::vector<Operand> args,
+          ResolveArgs(call, {{"a", true, Operand()}, {"b", true, Operand()}}));
+      std::string out = NewTemp();
+      Emit(std::make_unique<SolveInstruction>(args[0], args[1], out));
+      return Operand::Var(out);
+    }
+    if (name == "cholesky") {
+      LIMA_ASSIGN_OR_RETURN(std::vector<Operand> args,
+                            ResolveArgs(call, {{"a", true, Operand()}}));
+      std::string out = NewTemp();
+      Emit(std::make_unique<CholeskyInstruction>(args[0], out));
+      return Operand::Var(out);
+    }
+    if (name == "rand") {
+      LIMA_ASSIGN_OR_RETURN(
+          std::vector<Operand> args,
+          ResolveArgs(call, {{"rows", true, Operand()},
+                             {"cols", true, Operand()},
+                             {"min", false, Operand::LitDouble(0.0)},
+                             {"max", false, Operand::LitDouble(1.0)},
+                             {"sparsity", false, Operand::LitDouble(1.0)},
+                             {"pdf", false, Operand::LitString("uniform")},
+                             {"seed", false, Operand::LitInt(-1)}}));
+      std::string out = NewTemp();
+      Emit(std::make_unique<DataGenInstruction>("rand", std::move(args), out));
+      return Operand::Var(out);
+    }
+    if (name == "matrix") {
+      LIMA_ASSIGN_OR_RETURN(
+          std::vector<Operand> args,
+          ResolveArgs(call, {{"data", true, Operand()},
+                             {"rows", true, Operand()},
+                             {"cols", true, Operand()}}));
+      std::string out = NewTemp();
+      Emit(std::make_unique<DataGenInstruction>("fill", std::move(args), out));
+      return Operand::Var(out);
+    }
+    if (name == "sample") {
+      LIMA_ASSIGN_OR_RETURN(
+          std::vector<Operand> args,
+          ResolveArgs(call, {{"range", true, Operand()},
+                             {"size", true, Operand()},
+                             {"seed", false, Operand::LitInt(-1)}}));
+      std::string out = NewTemp();
+      Emit(std::make_unique<DataGenInstruction>("sample", std::move(args),
+                                                out));
+      return Operand::Var(out);
+    }
+    if (name == "seq") {
+      LIMA_ASSIGN_OR_RETURN(
+          std::vector<Operand> args,
+          ResolveArgs(call, {{"from", true, Operand()},
+                             {"to", true, Operand()},
+                             {"incr", false, Operand::LitDouble(1.0)}}));
+      std::string out = NewTemp();
+      Emit(std::make_unique<DataGenInstruction>("seq", std::move(args), out));
+      return Operand::Var(out);
+    }
+    if (name == "table") {
+      LIMA_ASSIGN_OR_RETURN(
+          std::vector<Operand> args,
+          ResolveArgs(call, {{"a", true, Operand()},
+                             {"b", true, Operand()},
+                             {"odim1", false, Operand::LitInt(0)},
+                             {"odim2", false, Operand::LitInt(0)}}));
+      std::string out = NewTemp();
+      Emit(std::make_unique<TableInstruction>(args[0], args[1], args[2],
+                                              args[3], out));
+      return Operand::Var(out);
+    }
+    if (name == "order") {
+      LIMA_ASSIGN_OR_RETURN(
+          std::vector<Operand> args,
+          ResolveArgs(call, {{"target", true, Operand()},
+                             {"by", false, Operand::LitInt(1)},
+                             {"decreasing", false, Operand::LitBool(false)},
+                             {"index.return", false, Operand::LitBool(false)}}));
+      std::string out = NewTemp();
+      Emit(std::make_unique<OrderInstruction>(args[0], args[2], args[3], out));
+      return Operand::Var(out);
+    }
+    if (name == "as.scalar" || name == "as.matrix") {
+      LIMA_ASSIGN_OR_RETURN(std::vector<Operand> args,
+                            ResolveArgs(call, {{"x", true, Operand()}}));
+      std::string out = NewTemp();
+      Emit(std::make_unique<CastInstruction>(
+          name == "as.scalar" ? "castdts" : "castsdm", args[0], out));
+      return Operand::Var(out);
+    }
+    if (name == "toString") {
+      LIMA_ASSIGN_OR_RETURN(std::vector<Operand> args,
+                            ResolveArgs(call, {{"x", true, Operand()}}));
+      std::string out = NewTemp();
+      Emit(std::make_unique<ToStringInstruction>(args[0], out));
+      return Operand::Var(out);
+    }
+    if (name == "list") {
+      std::vector<Operand> elements;
+      for (const CallArg& arg : call.args) {
+        LIMA_ASSIGN_OR_RETURN(Operand element, CompileExpr(*arg.value));
+        elements.push_back(std::move(element));
+      }
+      std::string out = NewTemp();
+      Emit(std::make_unique<ListInstruction>(std::move(elements), out));
+      return Operand::Var(out);
+    }
+    if (name == "eval") {
+      LIMA_ASSIGN_OR_RETURN(
+          std::vector<Operand> args,
+          ResolveArgs(call, {{"fn", true, Operand()},
+                             {"args", true, Operand()}}));
+      std::string out = NewTemp();
+      Emit(std::make_unique<EvalInstruction>(args[0], args[1], out));
+      return Operand::Var(out);
+    }
+    if (name == "ifelse") {
+      LIMA_ASSIGN_OR_RETURN(
+          std::vector<Operand> args,
+          ResolveArgs(call, {{"test", true, Operand()},
+                             {"yes", true, Operand()},
+                             {"no", true, Operand()}}));
+      std::string out = NewTemp();
+      Emit(std::make_unique<IfElseInstruction>(args[0], args[1], args[2],
+                                               out));
+      return Operand::Var(out);
+    }
+    if (name == "read") {
+      LIMA_ASSIGN_OR_RETURN(std::vector<Operand> args,
+                            ResolveArgs(call, {{"path", true, Operand()}}));
+      std::string out = NewTemp();
+      Emit(std::make_unique<ReadInstruction>(args[0], out));
+      return Operand::Var(out);
+    }
+    if (name == "lineage") {
+      LIMA_ASSIGN_OR_RETURN(std::vector<Operand> args,
+                            ResolveArgs(call, {{"x", true, Operand()}}));
+      std::string out = NewTemp();
+      Emit(std::make_unique<LineageOfInstruction>(args[0], out));
+      return Operand::Var(out);
+    }
+    if (name == "eigen") {
+      return Status::CompileError(
+          "eigen() has two outputs; use [values, vectors] = eigen(X)");
+    }
+    if (name == "print" || name == "stop" || name == "write") {
+      return Status::CompileError(name + "() is a statement, not an expression");
+    }
+
+    // User-defined function with a single bound output.
+    LIMA_ASSIGN_OR_RETURN(std::vector<Operand> args,
+                          ResolveUserArgs(call));
+    std::string out = NewTemp();
+    Emit(std::make_unique<FunctionCallInstruction>(
+        name, std::move(args), std::vector<std::string>{out}));
+    return Operand::Var(out);
+  }
+
+  Result<std::vector<Operand>> ResolveUserArgs(const ExprNode& call) {
+    auto sig_it = signatures_.find(call.text);
+    if (sig_it == signatures_.end()) {
+      return Status::CompileError("call to undefined function '" + call.text +
+                                  "' (line " + std::to_string(call.line) +
+                                  ")");
+    }
+    const FunctionSignature& sig = sig_it->second;
+    std::vector<ArgSpec> specs;
+    specs.reserve(sig.param_names.size());
+    for (size_t i = 0; i < sig.param_names.size(); ++i) {
+      specs.push_back({sig.param_names[i].c_str(), !sig.has_default[i],
+                       Operand::Lit(sig.defaults[i])});
+    }
+    return ResolveArgs(call, specs);
+  }
+
+  // ---- Indexing ----------------------------------------------------------
+
+  Result<std::string> OperandToVar(Operand operand) {
+    if (!operand.is_literal) return operand.name;
+    std::string out = NewTemp();
+    Emit(std::make_unique<AssignLiteralInstruction>(operand.literal, out));
+    return out;
+  }
+
+  bool IsFullRange(const IndexDim& dim) const {
+    return dim.is_range && dim.lower == nullptr && dim.upper == nullptr;
+  }
+
+  Result<Operand> CompileIndex(const ExprNode& expr) {
+    LIMA_ASSIGN_OR_RETURN(Operand target, CompileExpr(*expr.target));
+    if (target.is_literal) {
+      return Status::CompileError("cannot index a literal");
+    }
+    if (expr.dims.size() == 1) {
+      // Single-bracket indexing: list element access.
+      LIMA_ASSIGN_OR_RETURN(Operand index, CompileExpr(*expr.dims[0].lower));
+      std::string out = NewTemp();
+      Emit(std::make_unique<ListIndexInstruction>(std::move(target),
+                                                  std::move(index), out));
+      return Operand::Var(out);
+    }
+    LIMA_CHECK_EQ(expr.dims.size(), 2u);
+    const IndexDim& row = expr.dims[0];
+    const IndexDim& col = expr.dims[1];
+    std::string current = target.name;
+
+    // Row dimension.
+    bool row_range = row.is_range;
+    if (!row_range && row.lower != nullptr) {
+      // Select by (scalar or vector) expression.
+      LIMA_ASSIGN_OR_RETURN(Operand rows, CompileExpr(*row.lower));
+      std::string out = NewTemp();
+      Emit(std::make_unique<SelectInstruction>(
+          /*columns=*/false, Operand::Var(current), std::move(rows), out));
+      current = out;
+    }
+    // Column dimension.
+    if (!col.is_range && col.lower != nullptr) {
+      LIMA_ASSIGN_OR_RETURN(Operand cols, CompileExpr(*col.lower));
+      std::string out = NewTemp();
+      Emit(std::make_unique<SelectInstruction>(
+          /*columns=*/true, Operand::Var(current), std::move(cols), out));
+      current = out;
+    }
+    // Range dimensions (rightindex); skip when both are full ranges.
+    bool row_slice = row_range && !IsFullRange(row);
+    bool col_slice = col.is_range && !IsFullRange(col);
+    if (row_slice || col_slice) {
+      Operand rl = Operand::LitInt(1);
+      Operand ru;
+      Operand cl = Operand::LitInt(1);
+      Operand cu;
+      if (row_slice) {
+        LIMA_ASSIGN_OR_RETURN(rl, CompileExpr(*row.lower));
+        if (row.upper != nullptr) {
+          LIMA_ASSIGN_OR_RETURN(ru, CompileExpr(*row.upper));
+        } else {
+          ru = rl;  // X[i, ...] single row via a:a
+        }
+      } else {
+        std::string n = NewTemp();
+        Emit(std::make_unique<MetadataInstruction>(
+            "nrow", Operand::Var(current), n));
+        ru = Operand::Var(n);
+      }
+      if (col_slice) {
+        LIMA_ASSIGN_OR_RETURN(cl, CompileExpr(*col.lower));
+        if (col.upper != nullptr) {
+          LIMA_ASSIGN_OR_RETURN(cu, CompileExpr(*col.upper));
+        } else {
+          cu = cl;
+        }
+      } else {
+        std::string n = NewTemp();
+        Emit(std::make_unique<MetadataInstruction>(
+            "ncol", Operand::Var(current), n));
+        cu = Operand::Var(n);
+      }
+      std::string out = NewTemp();
+      Emit(std::make_unique<RightIndexInstruction>(
+          Operand::Var(current), std::move(rl), std::move(ru), std::move(cl),
+          std::move(cu), out));
+      current = out;
+    }
+    return Operand::Var(current);
+  }
+
+  // Non-range dims with scalar exprs appear in right-indexing above as a:a
+  // ranges only when is_range; parser marks X[i, j] dims as non-range, which
+  // the select path handles (runtime scalar select).
+
+  // ---- Statements --------------------------------------------------------
+
+  Result<Predicate> CompilePredicate(const ExprNode& expr) {
+    Predicate predicate;
+    scopes_.push_back({nullptr, predicate.mutable_block(), nullptr});
+    in_predicate_ = true;
+    Result<Operand> compiled = CompileExpr(expr);
+    in_predicate_ = false;
+    scopes_.pop_back();
+    LIMA_RETURN_NOT_OK(compiled.status());
+    Operand operand = std::move(compiled).ValueOrDie();
+    if (operand.is_literal) {
+      std::string out = "_p" + std::to_string(temp_counter_++);
+      predicate.mutable_block()->Append(
+          std::make_unique<AssignLiteralInstruction>(operand.literal, out));
+      predicate.set_result_var(out);
+    } else {
+      predicate.set_result_var(operand.name);
+    }
+    return predicate;
+  }
+
+  Status CompileAssign(const StmtNode& stmt) {
+    if (!stmt.target_dims.empty()) return CompileIndexedAssign(stmt);
+    LIMA_ASSIGN_OR_RETURN(Operand value, CompileExpr(*stmt.value));
+    if (value.is_literal) {
+      Emit(std::make_unique<AssignLiteralInstruction>(value.literal,
+                                                      stmt.target));
+    } else if (IsTemp(value.name)) {
+      Emit(VariableInstruction::Move(value.name, stmt.target));
+    } else if (value.name != stmt.target) {
+      Emit(VariableInstruction::Copy(value.name, stmt.target));
+    }
+    return Status::OK();
+  }
+
+  Status CompileIndexedAssign(const StmtNode& stmt) {
+    if (stmt.target_dims.size() != 2) {
+      return Status::CompileError(
+          "left indexing requires X[rows, cols] = value (line " +
+          std::to_string(stmt.line) + ")");
+    }
+    LIMA_ASSIGN_OR_RETURN(Operand src, CompileExpr(*stmt.value));
+    auto bounds = [&](const IndexDim& dim, bool rows_dim)
+        -> Result<std::pair<Operand, Operand>> {
+      if (IsFullRange(dim)) {
+        std::string n = NewTemp();
+        Emit(std::make_unique<MetadataInstruction>(
+            rows_dim ? "nrow" : "ncol", Operand::Var(stmt.target), n));
+        return std::make_pair(Operand::LitInt(1), Operand::Var(n));
+      }
+      LIMA_ASSIGN_OR_RETURN(Operand lo, CompileExpr(*dim.lower));
+      Operand hi = lo;
+      if (dim.is_range && dim.upper != nullptr) {
+        LIMA_ASSIGN_OR_RETURN(hi, CompileExpr(*dim.upper));
+      }
+      return std::make_pair(std::move(lo), std::move(hi));
+    };
+    LIMA_ASSIGN_OR_RETURN(auto row_bounds, bounds(stmt.target_dims[0], true));
+    LIMA_ASSIGN_OR_RETURN(auto col_bounds, bounds(stmt.target_dims[1], false));
+    std::string out = NewTemp();
+    Emit(std::make_unique<LeftIndexInstruction>(
+        Operand::Var(stmt.target), std::move(src), row_bounds.first,
+        row_bounds.second, col_bounds.first, col_bounds.second, out));
+    Emit(VariableInstruction::Move(out, stmt.target));
+    return Status::OK();
+  }
+
+  Status CompileMultiAssign(const StmtNode& stmt) {
+    const ExprNode& call = *stmt.value;
+    if (call.text == "eigen") {
+      if (stmt.targets.size() != 2 || call.args.size() != 1) {
+        return Status::CompileError(
+            "[values, vectors] = eigen(X) expects one input, two outputs");
+      }
+      LIMA_ASSIGN_OR_RETURN(Operand arg, CompileExpr(*call.args[0].value));
+      Emit(std::make_unique<EigenInstruction>(std::move(arg), stmt.targets[0],
+                                              stmt.targets[1]));
+      return Status::OK();
+    }
+    auto sig_it = signatures_.find(call.text);
+    if (sig_it == signatures_.end()) {
+      return Status::CompileError("call to undefined function '" + call.text +
+                                  "'");
+    }
+    if (static_cast<int>(stmt.targets.size()) > sig_it->second.num_outputs) {
+      return Status::CompileError("function " + call.text + " returns only " +
+                                  std::to_string(sig_it->second.num_outputs) +
+                                  " values");
+    }
+    LIMA_ASSIGN_OR_RETURN(std::vector<Operand> args, ResolveUserArgs(call));
+    Emit(std::make_unique<FunctionCallInstruction>(call.text, std::move(args),
+                                                   stmt.targets));
+    return Status::OK();
+  }
+
+  Status CompileExprStmt(const StmtNode& stmt) {
+    const ExprNode& call = *stmt.value;
+    if (call.text == "print") {
+      if (call.args.size() != 1) {
+        return Status::CompileError("print() takes one argument");
+      }
+      LIMA_ASSIGN_OR_RETURN(Operand arg, CompileExpr(*call.args[0].value));
+      Emit(std::make_unique<PrintInstruction>(std::move(arg)));
+      return Status::OK();
+    }
+    if (call.text == "write") {
+      LIMA_ASSIGN_OR_RETURN(
+          std::vector<Operand> args,
+          ResolveArgs(call, {{"x", true, Operand()},
+                             {"path", true, Operand()}}));
+      Emit(std::make_unique<WriteInstruction>(args[0], args[1]));
+      return Status::OK();
+    }
+    if (call.text == "stop") {
+      if (call.args.size() != 1) {
+        return Status::CompileError("stop() takes one argument");
+      }
+      LIMA_ASSIGN_OR_RETURN(Operand arg, CompileExpr(*call.args[0].value));
+      Emit(std::make_unique<StopInstruction>(std::move(arg)));
+      return Status::OK();
+    }
+    // Side-effecting user call: bind outputs to discarded temps.
+    LIMA_ASSIGN_OR_RETURN(Operand ignored, CompileExpr(call));
+    (void)ignored;
+    return Status::OK();
+  }
+
+  Status CompileStatement(const StmtNode& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kAssign:
+        LIMA_RETURN_NOT_OK(CompileAssign(stmt));
+        break;
+      case StmtKind::kMultiAssign:
+        LIMA_RETURN_NOT_OK(CompileMultiAssign(stmt));
+        break;
+      case StmtKind::kExprStmt:
+        LIMA_RETURN_NOT_OK(CompileExprStmt(stmt));
+        break;
+      case StmtKind::kIf: {
+        LIMA_ASSIGN_OR_RETURN(Predicate predicate,
+                              CompilePredicate(*stmt.condition));
+        FlushStatementTemps();
+        CloseBasic();
+        auto block = std::make_unique<IfBlock>();
+        *block->mutable_predicate() = std::move(predicate);
+        LIMA_RETURN_NOT_OK(CompileInto(block->mutable_then_blocks(),
+                                       stmt.body));
+        LIMA_RETURN_NOT_OK(CompileInto(block->mutable_else_blocks(),
+                                       stmt.else_body));
+        scopes_.back().blocks->push_back(std::move(block));
+        return Status::OK();
+      }
+      case StmtKind::kFor: {
+        LIMA_ASSIGN_OR_RETURN(Predicate from, CompilePredicate(*stmt.from));
+        LIMA_ASSIGN_OR_RETURN(Predicate to, CompilePredicate(*stmt.to));
+        FlushStatementTemps();
+        CloseBasic();
+        std::unique_ptr<ForBlock> block =
+            stmt.is_parfor ? std::make_unique<ParForBlock>()
+                           : std::make_unique<ForBlock>();
+        block->set_iter_var(stmt.loop_var);
+        *block->mutable_from() = std::move(from);
+        *block->mutable_to() = std::move(to);
+        if (stmt.step != nullptr) {
+          LIMA_ASSIGN_OR_RETURN(Predicate step, CompilePredicate(*stmt.step));
+          *block->mutable_incr() = std::move(step);
+          block->set_has_incr(true);
+        }
+        LIMA_RETURN_NOT_OK(CompileInto(block->mutable_body(), stmt.body));
+        scopes_.back().blocks->push_back(std::move(block));
+        return Status::OK();
+      }
+      case StmtKind::kWhile: {
+        LIMA_ASSIGN_OR_RETURN(Predicate predicate,
+                              CompilePredicate(*stmt.condition));
+        FlushStatementTemps();
+        CloseBasic();
+        auto block = std::make_unique<WhileBlock>();
+        *block->mutable_predicate() = std::move(predicate);
+        LIMA_RETURN_NOT_OK(CompileInto(block->mutable_body(), stmt.body));
+        scopes_.back().blocks->push_back(std::move(block));
+        return Status::OK();
+      }
+      case StmtKind::kFuncDef:
+        return Status::CompileError(
+            "nested function definitions are not supported (line " +
+            std::to_string(stmt.line) + ")");
+    }
+    FlushStatementTemps();
+    return Status::OK();
+  }
+
+  Status CompileInto(std::vector<BlockPtr>* blocks,
+                     const std::vector<StmtPtr>& statements,
+                     bool skip_funcdefs = false) {
+    scopes_.push_back({blocks, nullptr, nullptr});
+    Status status = Status::OK();
+    for (const StmtPtr& statement : statements) {
+      if (skip_funcdefs && statement->kind == StmtKind::kFuncDef) continue;
+      status = CompileStatement(*statement);
+      if (!status.ok()) break;
+    }
+    scopes_.pop_back();
+    return status;
+  }
+
+  // ---- Functions ---------------------------------------------------------
+
+  Result<ScalarValue> EvalDefaultLiteral(const ExprNode& expr) {
+    switch (expr.kind) {
+      case ExprKind::kNumber:
+        return expr.is_int
+                   ? ScalarValue::Int(static_cast<int64_t>(expr.number))
+                   : ScalarValue::Double(expr.number);
+      case ExprKind::kString:
+        return ScalarValue::String(expr.text);
+      case ExprKind::kBool:
+        return ScalarValue::Bool(expr.number != 0.0);
+      case ExprKind::kUnary:
+        if (expr.text == "-") {
+          LIMA_ASSIGN_OR_RETURN(ScalarValue inner,
+                                EvalDefaultLiteral(*expr.lhs));
+          return ScalarUnary(UnaryOp::kNeg, inner);
+        }
+        break;
+      default:
+        break;
+    }
+    return Status::CompileError("default parameter values must be literals");
+  }
+
+  Status DeclareFunction(const StmtNode& stmt) {
+    FunctionSignature signature;
+    std::vector<Function::Param> params;
+    for (const FuncParam& param : stmt.params) {
+      Function::Param p;
+      p.name = param.name;
+      signature.param_names.push_back(param.name);
+      if (param.default_value != nullptr) {
+        LIMA_ASSIGN_OR_RETURN(ScalarValue value,
+                              EvalDefaultLiteral(*param.default_value));
+        p.has_default = true;
+        p.default_value = value;
+        signature.has_default.push_back(true);
+        signature.defaults.push_back(std::move(value));
+      } else {
+        signature.has_default.push_back(false);
+        signature.defaults.push_back(ScalarValue());
+      }
+      params.push_back(std::move(p));
+    }
+    std::vector<std::string> outputs;
+    for (const FuncParam& ret : stmt.returns) {
+      outputs.push_back(ret.name);
+    }
+    signature.num_outputs = static_cast<int>(outputs.size());
+    signatures_[stmt.func_name] = std::move(signature);
+    program_->AddFunction(std::make_unique<Function>(
+        stmt.func_name, std::move(params), std::move(outputs)));
+    return Status::OK();
+  }
+
+  LimaConfig config_;
+  std::unique_ptr<Program> program_;
+  std::unordered_map<std::string, FunctionSignature> signatures_;
+  std::vector<EmitScope> scopes_;
+  std::vector<std::string> stmt_temps_;
+  int temp_counter_ = 0;
+  bool in_predicate_ = false;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Program>> CompileStatements(
+    const std::vector<StmtPtr>& statements, const LimaConfig& config) {
+  Compiler compiler(config);
+  return compiler.Compile(statements);
+}
+
+Result<std::unique_ptr<Program>> CompileScript(const std::string& source,
+                                               const LimaConfig& config) {
+  LIMA_ASSIGN_OR_RETURN(std::vector<StmtPtr> statements, ParseScript(source));
+  return CompileStatements(statements, config);
+}
+
+}  // namespace lima

@@ -1,0 +1,32 @@
+#ifndef LIMA_LANG_COMPILER_H_
+#define LIMA_LANG_COMPILER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "lang/ast.h"
+#include "runtime/program.h"
+
+namespace lima {
+
+/// Compiles a script into a runtime program (Sec. 2.2 "program
+/// compilation"): statements are lowered into a hierarchy of program blocks
+/// whose last-level blocks hold linearized instruction sequences with
+/// temporary variables and rmvar cleanup (Fig. 2).
+///
+/// Compilation includes the t(X)%*%X -> tsmm rewrite, scalar constant
+/// folding, and — driven by `config` — operator fusion (Sec. 3.3) and
+/// compiler-assisted reuse passes (Sec. 4.4). AnalyzeProgram (dedup
+/// eligibility, function determinism) runs as the final step.
+Result<std::unique_ptr<Program>> CompileScript(const std::string& source,
+                                               const LimaConfig& config);
+
+/// Compiles an already-parsed statement list.
+Result<std::unique_ptr<Program>> CompileStatements(
+    const std::vector<StmtPtr>& statements, const LimaConfig& config);
+
+}  // namespace lima
+
+#endif  // LIMA_LANG_COMPILER_H_

@@ -1,0 +1,296 @@
+#include "lang/fusion_pass.h"
+
+#include <unordered_map>
+
+#include "runtime/fused_op.h"
+#include "runtime/instructions_compute.h"
+
+namespace lima {
+
+namespace {
+
+bool IsCellwiseBinary(const Instruction& instruction, BinaryOp* op) {
+  static const std::unordered_map<std::string, BinaryOp>* kOps =
+      new std::unordered_map<std::string, BinaryOp>{
+          {"+", BinaryOp::kAdd}, {"-", BinaryOp::kSub},
+          {"*", BinaryOp::kMul}, {"/", BinaryOp::kDiv},
+          {"^", BinaryOp::kPow}, {"min", BinaryOp::kMin},
+          {"max", BinaryOp::kMax}};
+  auto it = kOps->find(instruction.opcode());
+  if (it == kOps->end()) return false;
+  *op = it->second;
+  return true;
+}
+
+bool IsCellwiseUnary(const Instruction& instruction, UnaryOp* op) {
+  static const std::unordered_map<std::string, UnaryOp>* kOps =
+      new std::unordered_map<std::string, UnaryOp>{
+          {"exp", UnaryOp::kExp},       {"log", UnaryOp::kLog},
+          {"sqrt", UnaryOp::kSqrt},     {"abs", UnaryOp::kAbs},
+          {"round", UnaryOp::kRound},   {"floor", UnaryOp::kFloor},
+          {"ceil", UnaryOp::kCeil},     {"sign", UnaryOp::kSign},
+          {"uminus", UnaryOp::kNeg},    {"sigmoid", UnaryOp::kSigmoid}};
+  auto it = kOps->find(instruction.opcode());
+  if (it == kOps->end()) return false;
+  *op = it->second;
+  return true;
+}
+
+bool IsTempVar(const std::string& name) {
+  return name.size() >= 2 && name[0] == '_' && name[1] == 't';
+}
+
+/// A fusion candidate: the growing fused program rooted at one instruction.
+struct Candidate {
+  bool cellwise = false;
+  bool consumed = false;
+  std::vector<Operand> operands;
+  std::vector<FusedStep> steps;
+  int root = 0;  ///< index of the step producing the candidate's output
+  std::string output;
+};
+
+/// Appends `src`'s operands/steps into `dst`, returning the step index of
+/// src's root within dst. Step order is normalized afterwards (see
+/// TopoSortSteps); here only index consistency matters.
+int InlineCandidate(Candidate* dst, const Candidate& src) {
+  // Map src operand indices to dst operand indices (dedup variables).
+  std::vector<int> operand_map(src.operands.size());
+  for (size_t i = 0; i < src.operands.size(); ++i) {
+    const Operand& op = src.operands[i];
+    int found = -1;
+    if (!op.is_literal) {
+      for (size_t j = 0; j < dst->operands.size(); ++j) {
+        if (!dst->operands[j].is_literal && dst->operands[j].name == op.name) {
+          found = static_cast<int>(j);
+          break;
+        }
+      }
+    }
+    if (found < 0) {
+      found = static_cast<int>(dst->operands.size());
+      dst->operands.push_back(op);
+    }
+    operand_map[i] = found;
+  }
+  int step_base = static_cast<int>(dst->steps.size());
+  for (const FusedStep& step : src.steps) {
+    FusedStep remapped = step;
+    auto remap = [&](FusedStep::Src& ref) {
+      if (ref.kind == FusedStep::Src::Kind::kOperand) {
+        ref.index = operand_map[ref.index];
+      } else {
+        ref.index += step_base;
+      }
+    };
+    remap(remapped.lhs);
+    if (remapped.is_binary) remap(remapped.rhs);
+    dst->steps.push_back(remapped);
+  }
+  return step_base + src.root;
+}
+
+/// Reorders `cand`'s steps into dependency order (producers before
+/// consumers, root last) so the single-pass kernel and lineage expansion
+/// evaluate correctly.
+void TopoSortSteps(Candidate* cand) {
+  const int n = static_cast<int>(cand->steps.size());
+  std::vector<int> order;
+  order.reserve(n);
+  std::vector<char> visited(n, 0);
+  // Iterative DFS post-order from the root.
+  std::vector<std::pair<int, int>> stack{{cand->root, 0}};
+  while (!stack.empty()) {
+    auto& [idx, phase] = stack.back();
+    if (visited[idx] == 2) {
+      stack.pop_back();
+      continue;
+    }
+    const FusedStep& step = cand->steps[idx];
+    std::vector<int> deps;
+    if (step.lhs.kind == FusedStep::Src::Kind::kStep) {
+      deps.push_back(step.lhs.index);
+    }
+    if (step.is_binary && step.rhs.kind == FusedStep::Src::Kind::kStep) {
+      deps.push_back(step.rhs.index);
+    }
+    if (phase < static_cast<int>(deps.size())) {
+      int dep = deps[phase++];
+      if (!visited[dep]) stack.push_back({dep, 0});
+      continue;
+    }
+    visited[idx] = 2;
+    order.push_back(idx);
+    stack.pop_back();
+  }
+  std::vector<int> position(n, -1);
+  std::vector<FusedStep> sorted;
+  sorted.reserve(order.size());
+  for (int idx : order) {
+    position[idx] = static_cast<int>(sorted.size());
+    FusedStep step = cand->steps[idx];
+    auto remap = [&](FusedStep::Src& ref) {
+      if (ref.kind == FusedStep::Src::Kind::kStep) {
+        ref.index = position[ref.index];
+      }
+    };
+    remap(step.lhs);
+    if (step.is_binary) remap(step.rhs);
+    sorted.push_back(step);
+  }
+  cand->steps = std::move(sorted);
+  cand->root = static_cast<int>(cand->steps.size()) - 1;
+}
+
+}  // namespace
+
+void FuseBasicBlock(BasicBlock* block) {
+  auto* instructions = block->mutable_instructions();
+  const size_t n = instructions->size();
+  if (n < 2) return;
+
+  // Use counts of variables across all instruction operands in the block.
+  std::unordered_map<std::string, int> use_count;
+  for (const auto& instruction : *instructions) {
+    for (const std::string& var : instruction->InputVars()) use_count[var]++;
+  }
+
+  std::vector<Candidate> candidates(n);
+  // Producer index of each temp variable (latest write wins).
+  std::unordered_map<std::string, size_t> producer;
+
+  for (size_t i = 0; i < n; ++i) {
+    Instruction* instruction = (*instructions)[i].get();
+    Candidate& cand = candidates[i];
+    BinaryOp bop;
+    UnaryOp uop;
+    if (IsCellwiseBinary(*instruction, &bop)) {
+      const auto* binary = static_cast<const BinaryInstruction*>(instruction);
+      cand.cellwise = true;
+      cand.operands = binary->operands();
+      FusedStep step;
+      step.is_binary = true;
+      step.bop = bop;
+      step.lhs = FusedStep::Src::OperandRef(0);
+      step.rhs = FusedStep::Src::OperandRef(1);
+      cand.steps.push_back(step);
+      cand.output = binary->OutputVars()[0];
+    } else if (IsCellwiseUnary(*instruction, &uop)) {
+      const auto* unary = static_cast<const UnaryInstruction*>(instruction);
+      cand.cellwise = true;
+      cand.operands = unary->operands();
+      FusedStep step;
+      step.is_binary = false;
+      step.uop = uop;
+      step.lhs = FusedStep::Src::OperandRef(0);
+      cand.steps.push_back(step);
+      cand.output = unary->OutputVars()[0];
+    } else {
+      continue;
+    }
+
+    // Inline single-use temp producers into this candidate.
+    bool merged = true;
+    while (merged) {
+      merged = false;
+      for (size_t oi = 0; oi < cand.operands.size(); ++oi) {
+        const Operand& op = cand.operands[oi];
+        if (op.is_literal || !IsTempVar(op.name)) continue;
+        auto it = producer.find(op.name);
+        if (it == producer.end()) continue;
+        Candidate& src = candidates[it->second];
+        if (!src.cellwise || src.consumed || use_count[op.name] != 1) {
+          continue;
+        }
+        // Inline src and redirect references from operand oi to its root.
+        src.consumed = true;
+        Candidate merged_src = src;  // copy before mutating cand.operands
+        int root = InlineCandidate(&cand, merged_src);
+        int redirected_operand = static_cast<int>(oi);
+        // Redirect only the candidate's pre-existing references (the newly
+        // appended src steps never reference the consumed temp).
+        for (FusedStep& step : cand.steps) {
+          auto redirect = [&](FusedStep::Src& ref) {
+            if (ref.kind == FusedStep::Src::Kind::kOperand &&
+                ref.index == redirected_operand) {
+              ref = FusedStep::Src::StepRef(root);
+            }
+          };
+          redirect(step.lhs);
+          if (step.is_binary) redirect(step.rhs);
+        }
+        merged = true;
+        break;
+      }
+    }
+    if (IsTempVar(cand.output)) producer[cand.output] = i;
+  }
+
+  // Rebuild: drop consumed producers, replace multi-step heads.
+  std::vector<std::unique_ptr<Instruction>> rebuilt;
+  rebuilt.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Candidate& cand = candidates[i];
+    if (cand.consumed) continue;
+    if (cand.cellwise && cand.steps.size() >= 2) {
+      TopoSortSteps(&cand);
+      // Compact operands: inlined temporaries are no longer referenced (and
+      // no longer exist at runtime), so drop unused slots and remap.
+      std::vector<int> remap(cand.operands.size(), -1);
+      std::vector<Operand> compacted;
+      for (FusedStep& step : cand.steps) {
+        auto compact = [&](FusedStep::Src& ref) {
+          if (ref.kind != FusedStep::Src::Kind::kOperand) return;
+          if (remap[ref.index] < 0) {
+            remap[ref.index] = static_cast<int>(compacted.size());
+            compacted.push_back(cand.operands[ref.index]);
+          }
+          ref.index = remap[ref.index];
+        };
+        compact(step.lhs);
+        if (step.is_binary) compact(step.rhs);
+      }
+      rebuilt.push_back(std::make_unique<FusedInstruction>(
+          std::move(compacted), cand.steps, cand.output));
+    } else {
+      rebuilt.push_back(std::move((*instructions)[i]));
+    }
+  }
+  *instructions = std::move(rebuilt);
+}
+
+namespace {
+
+void FuseBlocks(std::vector<BlockPtr>* blocks) {
+  for (BlockPtr& block : *blocks) {
+    switch (block->kind()) {
+      case BlockKind::kBasic:
+        FuseBasicBlock(static_cast<BasicBlock*>(block.get()));
+        break;
+      case BlockKind::kIf: {
+        auto* if_block = static_cast<IfBlock*>(block.get());
+        FuseBlocks(if_block->mutable_then_blocks());
+        FuseBlocks(if_block->mutable_else_blocks());
+        break;
+      }
+      case BlockKind::kFor:
+      case BlockKind::kParFor:
+        FuseBlocks(static_cast<ForBlock*>(block.get())->mutable_body());
+        break;
+      case BlockKind::kWhile:
+        FuseBlocks(static_cast<WhileBlock*>(block.get())->mutable_body());
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void ApplyOperatorFusion(Program* program) {
+  FuseBlocks(program->mutable_main());
+  for (const auto& [name, fn] : program->functions()) {
+    FuseBlocks(fn->mutable_body());
+  }
+}
+
+}  // namespace lima

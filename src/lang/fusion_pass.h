@@ -1,0 +1,21 @@
+#ifndef LIMA_LANG_FUSION_PASS_H_
+#define LIMA_LANG_FUSION_PASS_H_
+
+#include "runtime/program.h"
+
+namespace lima {
+
+/// Operator fusion via codegen (Sec. 3.3): within each last-level block,
+/// chains of cell-wise binary/unary instructions whose intermediates are
+/// single-use temporaries are fused into FusedInstructions, avoiding
+/// materialized intermediates. The fused operator carries a compile-time
+/// lineage patch that expands to the unfused trace at runtime, keeping
+/// lineage tracing and reuse fully functional across fusion boundaries.
+void ApplyOperatorFusion(Program* program);
+
+/// Exposed for testing: fuses one basic block in place.
+void FuseBasicBlock(BasicBlock* block);
+
+}  // namespace lima
+
+#endif  // LIMA_LANG_FUSION_PASS_H_

@@ -1,0 +1,44 @@
+#ifndef LIMA_LANG_LEXER_H_
+#define LIMA_LANG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lima {
+
+/// Token kinds of the DML-subset scripting language.
+enum class TokenKind {
+  kIdentifier,  ///< names; may contain dots (as.scalar, index.return)
+  kNumber,      ///< numeric literal (int or double, see is_int)
+  kString,      ///< "..." with \\ escapes
+  kKeyword,     ///< if else for parfor while in function return TRUE FALSE
+  kOperator,    ///< + - * / ^ %*% == != <= >= < > & | ! = : , ; ( ) [ ] { }
+  kEndOfFile,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  double number = 0.0;
+  bool is_int = false;
+  int line = 0;
+  int column = 0;
+
+  bool Is(TokenKind k) const { return kind == k; }
+  bool IsOp(const char* op) const {
+    return kind == TokenKind::kOperator && text == op;
+  }
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+};
+
+/// Tokenizes a script; '#' starts a line comment; newlines are skipped
+/// (statements are delimited by grammar / optional ';').
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace lima
+
+#endif  // LIMA_LANG_LEXER_H_

@@ -1,0 +1,437 @@
+#include "lang/parser.h"
+
+namespace lima {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<StmtPtr>> ParseProgram() {
+    std::vector<StmtPtr> statements;
+    while (!Peek().Is(TokenKind::kEndOfFile)) {
+      LIMA_ASSIGN_OR_RETURN(StmtPtr statement, ParseStatement());
+      statements.push_back(std::move(statement));
+    }
+    return statements;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  const Token& Next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool ConsumeOp(const char* op) {
+    if (Peek().IsOp(op)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectOp(const char* op) {
+    if (!ConsumeOp(op)) {
+      return Status::ParseError(std::string("expected '") + op + "' at line " +
+                                std::to_string(Peek().line) + ", got '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  void SkipSemicolons() {
+    while (ConsumeOp(";")) {
+    }
+  }
+
+  static ExprPtr MakeExpr(ExprKind kind, int line) {
+    auto e = std::make_unique<ExprNode>();
+    e->kind = kind;
+    e->line = line;
+    return e;
+  }
+
+  // ---- Expressions -------------------------------------------------------
+
+  static int BinaryPrecedence(const Token& token) {
+    if (!token.Is(TokenKind::kOperator)) return -1;
+    const std::string& op = token.text;
+    if (op == "|") return 10;
+    if (op == "&") return 20;
+    if (op == "==" || op == "!=" || op == "<" || op == ">" || op == "<=" ||
+        op == ">=") {
+      return 30;
+    }
+    if (op == "+" || op == "-") return 40;
+    if (op == "*" || op == "/") return 50;
+    if (op == "%*%" || op == "%%" || op == "%/%") return 60;
+    if (op == ":") return 70;
+    return -1;
+  }
+
+  Result<ExprPtr> ParseExpr(int min_precedence = 0) {
+    LIMA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      int precedence = BinaryPrecedence(Peek());
+      if (precedence < min_precedence || precedence < 0) break;
+      Token op = Next();
+      LIMA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseExpr(precedence + 1));
+      ExprPtr node = MakeExpr(ExprKind::kBinary, op.line);
+      node->text = op.text;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Peek().IsOp("-") || Peek().IsOp("!") || Peek().IsOp("+")) {
+      Token op = Next();
+      LIMA_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      if (op.text == "+") return operand;
+      ExprPtr node = MakeExpr(ExprKind::kUnary, op.line);
+      node->text = op.text;
+      node->lhs = std::move(operand);
+      return node;
+    }
+    return ParsePower();
+  }
+
+  Result<ExprPtr> ParsePower() {
+    LIMA_ASSIGN_OR_RETURN(ExprPtr base, ParsePostfix());
+    if (Peek().IsOp("^")) {
+      Token op = Next();
+      LIMA_ASSIGN_OR_RETURN(ExprPtr exponent, ParseUnary());  // right-assoc
+      ExprPtr node = MakeExpr(ExprKind::kBinary, op.line);
+      node->text = "^";
+      node->lhs = std::move(base);
+      node->rhs = std::move(exponent);
+      return node;
+    }
+    return base;
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    LIMA_ASSIGN_OR_RETURN(ExprPtr expr, ParsePrimary());
+    while (true) {
+      if (Peek().IsOp("[")) {
+        Next();
+        LIMA_ASSIGN_OR_RETURN(std::vector<IndexDim> dims, ParseIndexDims());
+        LIMA_RETURN_NOT_OK(ExpectOp("]"));
+        ExprPtr node = MakeExpr(ExprKind::kIndex, expr->line);
+        node->target = std::move(expr);
+        node->dims = std::move(dims);
+        expr = std::move(node);
+        continue;
+      }
+      break;
+    }
+    return expr;
+  }
+
+  Result<std::vector<IndexDim>> ParseIndexDims() {
+    std::vector<IndexDim> dims;
+    auto parse_dim = [&]() -> Status {
+      IndexDim dim;
+      if (Peek().IsOp(",") || Peek().IsOp("]")) {
+        dim.is_range = true;  // omitted -> full range
+        dims.push_back(std::move(dim));
+        return Status::OK();
+      }
+      LIMA_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+      if (expr->kind == ExprKind::kBinary && expr->text == ":") {
+        dim.is_range = true;
+        dim.lower = std::move(expr->lhs);
+        dim.upper = std::move(expr->rhs);
+      } else {
+        dim.lower = std::move(expr);
+      }
+      dims.push_back(std::move(dim));
+      return Status::OK();
+    };
+    LIMA_RETURN_NOT_OK(parse_dim());
+    if (ConsumeOp(",")) {
+      LIMA_RETURN_NOT_OK(parse_dim());
+    }
+    return dims;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& token = Peek();
+    if (token.Is(TokenKind::kNumber)) {
+      Next();
+      ExprPtr node = MakeExpr(ExprKind::kNumber, token.line);
+      node->number = token.number;
+      node->is_int = token.is_int;
+      return node;
+    }
+    if (token.Is(TokenKind::kString)) {
+      Next();
+      ExprPtr node = MakeExpr(ExprKind::kString, token.line);
+      node->text = token.text;
+      return node;
+    }
+    if (token.IsKeyword("TRUE") || token.IsKeyword("FALSE")) {
+      Next();
+      ExprPtr node = MakeExpr(ExprKind::kBool, token.line);
+      node->number = token.text == "TRUE" ? 1.0 : 0.0;
+      return node;
+    }
+    if (token.IsOp("(")) {
+      Next();
+      LIMA_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+      LIMA_RETURN_NOT_OK(ExpectOp(")"));
+      return expr;
+    }
+    if (token.Is(TokenKind::kIdentifier)) {
+      Next();
+      if (Peek().IsOp("(")) {
+        Next();
+        ExprPtr node = MakeExpr(ExprKind::kCall, token.line);
+        node->text = token.text;
+        if (!Peek().IsOp(")")) {
+          while (true) {
+            CallArg arg;
+            // Named argument: ident '=' (not '==').
+            if (Peek().Is(TokenKind::kIdentifier) && Peek(1).IsOp("=")) {
+              arg.name = Peek().text;
+              Next();
+              Next();
+            }
+            LIMA_ASSIGN_OR_RETURN(arg.value, ParseExpr());
+            node->args.push_back(std::move(arg));
+            if (!ConsumeOp(",")) break;
+          }
+        }
+        LIMA_RETURN_NOT_OK(ExpectOp(")"));
+        return node;
+      }
+      ExprPtr node = MakeExpr(ExprKind::kVar, token.line);
+      node->text = token.text;
+      return node;
+    }
+    return Status::ParseError("unexpected token '" + token.text +
+                              "' at line " + std::to_string(token.line));
+  }
+
+  // ---- Statements --------------------------------------------------------
+
+  Result<std::vector<StmtPtr>> ParseBlock() {
+    std::vector<StmtPtr> statements;
+    if (ConsumeOp("{")) {
+      while (!Peek().IsOp("}")) {
+        if (Peek().Is(TokenKind::kEndOfFile)) {
+          return Status::ParseError("unterminated block");
+        }
+        LIMA_ASSIGN_OR_RETURN(StmtPtr statement, ParseStatement());
+        statements.push_back(std::move(statement));
+      }
+      Next();  // '}'
+    } else {
+      LIMA_ASSIGN_OR_RETURN(StmtPtr statement, ParseStatement());
+      statements.push_back(std::move(statement));
+    }
+    return statements;
+  }
+
+  Result<StmtPtr> ParseStatement() {
+    SkipSemicolons();
+    const Token& token = Peek();
+    auto stmt = std::make_unique<StmtNode>();
+    stmt->line = token.line;
+
+    if (token.IsKeyword("if")) {
+      Next();
+      LIMA_RETURN_NOT_OK(ExpectOp("("));
+      LIMA_ASSIGN_OR_RETURN(stmt->condition, ParseExpr());
+      LIMA_RETURN_NOT_OK(ExpectOp(")"));
+      stmt->kind = StmtKind::kIf;
+      LIMA_ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+      if (ConsumeKeyword("else")) {
+        LIMA_ASSIGN_OR_RETURN(stmt->else_body, ParseBlock());
+      }
+      SkipSemicolons();
+      return stmt;
+    }
+
+    if (token.IsKeyword("for") || token.IsKeyword("parfor")) {
+      stmt->is_parfor = token.IsKeyword("parfor");
+      Next();
+      LIMA_RETURN_NOT_OK(ExpectOp("("));
+      if (!Peek().Is(TokenKind::kIdentifier)) {
+        return Status::ParseError("expected loop variable at line " +
+                                  std::to_string(Peek().line));
+      }
+      stmt->loop_var = Next().text;
+      if (!ConsumeKeyword("in")) {
+        return Status::ParseError("expected 'in' at line " +
+                                  std::to_string(Peek().line));
+      }
+      LIMA_ASSIGN_OR_RETURN(ExprPtr range, ParseExpr());
+      if (range->kind == ExprKind::kBinary && range->text == ":") {
+        stmt->from = std::move(range->lhs);
+        stmt->to = std::move(range->rhs);
+      } else if (range->kind == ExprKind::kCall && range->text == "seq" &&
+                 range->args.size() == 3) {
+        stmt->from = std::move(range->args[0].value);
+        stmt->to = std::move(range->args[1].value);
+        stmt->step = std::move(range->args[2].value);
+      } else {
+        return Status::ParseError(
+            "for: range must be 'a:b' or seq(a,b,c) at line " +
+            std::to_string(stmt->line));
+      }
+      LIMA_RETURN_NOT_OK(ExpectOp(")"));
+      stmt->kind = StmtKind::kFor;
+      LIMA_ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+      SkipSemicolons();
+      return stmt;
+    }
+
+    if (token.IsKeyword("while")) {
+      Next();
+      LIMA_RETURN_NOT_OK(ExpectOp("("));
+      LIMA_ASSIGN_OR_RETURN(stmt->condition, ParseExpr());
+      LIMA_RETURN_NOT_OK(ExpectOp(")"));
+      stmt->kind = StmtKind::kWhile;
+      LIMA_ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+      SkipSemicolons();
+      return stmt;
+    }
+
+    if (token.IsOp("[")) {
+      // [a, b] = f(...)
+      Next();
+      stmt->kind = StmtKind::kMultiAssign;
+      while (true) {
+        if (!Peek().Is(TokenKind::kIdentifier)) {
+          return Status::ParseError("expected identifier in multi-assign");
+        }
+        stmt->targets.push_back(Next().text);
+        if (!ConsumeOp(",")) break;
+      }
+      LIMA_RETURN_NOT_OK(ExpectOp("]"));
+      LIMA_RETURN_NOT_OK(ExpectOp("="));
+      LIMA_ASSIGN_OR_RETURN(stmt->value, ParseExpr());
+      if (stmt->value->kind != ExprKind::kCall) {
+        return Status::ParseError(
+            "multi-assign requires a function call at line " +
+            std::to_string(stmt->line));
+      }
+      SkipSemicolons();
+      return stmt;
+    }
+
+    if (token.Is(TokenKind::kIdentifier)) {
+      // Function definition?
+      if (Peek(1).IsOp("=") && Peek(2).IsKeyword("function")) {
+        return ParseFunctionDef();
+      }
+      // Plain assignment?
+      if (Peek(1).IsOp("=")) {
+        stmt->kind = StmtKind::kAssign;
+        stmt->target = Next().text;
+        Next();  // '='
+        LIMA_ASSIGN_OR_RETURN(stmt->value, ParseExpr());
+        SkipSemicolons();
+        return stmt;
+      }
+      // Indexed assignment?
+      if (Peek(1).IsOp("[")) {
+        stmt->kind = StmtKind::kAssign;
+        stmt->target = Next().text;
+        Next();  // '['
+        LIMA_ASSIGN_OR_RETURN(stmt->target_dims, ParseIndexDims());
+        LIMA_RETURN_NOT_OK(ExpectOp("]"));
+        LIMA_RETURN_NOT_OK(ExpectOp("="));
+        LIMA_ASSIGN_OR_RETURN(stmt->value, ParseExpr());
+        SkipSemicolons();
+        return stmt;
+      }
+      // Bare call statement (print, stop, user function for side effects).
+      LIMA_ASSIGN_OR_RETURN(stmt->value, ParseExpr());
+      if (stmt->value->kind != ExprKind::kCall) {
+        return Status::ParseError("expected statement at line " +
+                                  std::to_string(stmt->line));
+      }
+      stmt->kind = StmtKind::kExprStmt;
+      SkipSemicolons();
+      return stmt;
+    }
+
+    return Status::ParseError("unexpected token '" + token.text +
+                              "' at line " + std::to_string(token.line));
+  }
+
+  Result<std::vector<FuncParam>> ParseParamList() {
+    std::vector<FuncParam> params;
+    LIMA_RETURN_NOT_OK(ExpectOp("("));
+    if (!Peek().IsOp(")")) {
+      while (true) {
+        FuncParam param;
+        if (!Peek().Is(TokenKind::kIdentifier)) {
+          return Status::ParseError("expected parameter name at line " +
+                                    std::to_string(Peek().line));
+        }
+        std::string first = Next().text;
+        // Optional type prefix: "Matrix[Double] X" or "Double reg".
+        if (Peek().IsOp("[")) {
+          while (!Peek().IsOp("]") && !Peek().Is(TokenKind::kEndOfFile)) {
+            Next();
+          }
+          LIMA_RETURN_NOT_OK(ExpectOp("]"));
+        }
+        if (Peek().Is(TokenKind::kIdentifier)) {
+          param.type = first;
+          param.name = Next().text;
+        } else {
+          param.name = first;
+        }
+        if (ConsumeOp("=")) {
+          LIMA_ASSIGN_OR_RETURN(param.default_value, ParseExpr());
+        }
+        params.push_back(std::move(param));
+        if (!ConsumeOp(",")) break;
+      }
+    }
+    LIMA_RETURN_NOT_OK(ExpectOp(")"));
+    return params;
+  }
+
+  Result<StmtPtr> ParseFunctionDef() {
+    auto stmt = std::make_unique<StmtNode>();
+    stmt->kind = StmtKind::kFuncDef;
+    stmt->line = Peek().line;
+    stmt->func_name = Next().text;
+    Next();  // '='
+    Next();  // 'function'
+    LIMA_ASSIGN_OR_RETURN(stmt->params, ParseParamList());
+    if (!ConsumeKeyword("return")) {
+      return Status::ParseError("expected 'return' in function definition");
+    }
+    LIMA_ASSIGN_OR_RETURN(stmt->returns, ParseParamList());
+    LIMA_ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+    SkipSemicolons();
+    return stmt;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<StmtPtr>> ParseScript(const std::string& source) {
+  LIMA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseProgram();
+}
+
+}  // namespace lima

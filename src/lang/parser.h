@@ -1,0 +1,19 @@
+#ifndef LIMA_LANG_PARSER_H_
+#define LIMA_LANG_PARSER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "lang/ast.h"
+#include "lang/lexer.h"
+
+namespace lima {
+
+/// Parses a script into a statement list. R-like operator precedence
+/// (lowest to highest): | & (comparison) + - * / %*% : unary- ^, with
+/// postfix calls and indexing.
+Result<std::vector<StmtPtr>> ParseScript(const std::string& source);
+
+}  // namespace lima
+
+#endif  // LIMA_LANG_PARSER_H_

@@ -1,0 +1,79 @@
+#include "lang/session.h"
+
+#include "lang/compiler.h"
+#include "lineage/serialize.h"
+
+namespace lima {
+
+LimaSession::LimaSession(LimaConfig config)
+    : config_(std::move(config)),
+      cache_(std::make_unique<LineageCache>(config_, &stats_)),
+      context_(&config_, nullptr, cache_.get(), &dedup_registry_, &stats_) {
+  context_.set_print_stream(&output_);
+  context_.set_kernel_threads(config_.kernel_threads);
+}
+
+Status LimaSession::Run(const std::string& script) {
+  LIMA_ASSIGN_OR_RETURN(std::unique_ptr<Program> program,
+                        CompileScript(script, config_));
+  context_.set_program(program.get());
+  Status status = program->Execute(&context_);
+  programs_.push_back(std::move(program));
+  return status;
+}
+
+void LimaSession::BindMatrix(const std::string& name, Matrix matrix) {
+  context_.BindInput(name, MakeMatrixData(std::move(matrix)));
+}
+
+void LimaSession::BindMatrix(const std::string& name, MatrixPtr matrix) {
+  context_.BindInput(name, MakeMatrixData(std::move(matrix)));
+}
+
+void LimaSession::BindScalar(const std::string& name, ScalarValue value) {
+  context_.BindInput(name, MakeScalarData(std::move(value)));
+}
+
+void LimaSession::BindDouble(const std::string& name, double value) {
+  BindScalar(name, ScalarValue::Double(value));
+}
+
+Result<MatrixPtr> LimaSession::GetMatrix(const std::string& name) const {
+  LIMA_ASSIGN_OR_RETURN(DataPtr data, context_.symbols().Get(name));
+  return AsMatrix(data);
+}
+
+Result<ScalarValue> LimaSession::GetScalar(const std::string& name) const {
+  LIMA_ASSIGN_OR_RETURN(DataPtr data, context_.symbols().Get(name));
+  return AsScalar(data);
+}
+
+Result<double> LimaSession::GetDouble(const std::string& name) const {
+  LIMA_ASSIGN_OR_RETURN(DataPtr data, context_.symbols().Get(name));
+  return AsNumber(data);
+}
+
+Result<std::string> LimaSession::GetLineage(const std::string& name) const {
+  LineageItemPtr item = context_.lineage().Get(name);
+  if (item == nullptr) {
+    return Status::RuntimeError("no lineage traced for variable: " + name);
+  }
+  return SerializeLineage(item);
+}
+
+LineageItemPtr LimaSession::GetLineageItem(const std::string& name) const {
+  return context_.lineage().Get(name);
+}
+
+std::string LimaSession::ConsumeOutput() {
+  std::string out = output_.str();
+  output_.str("");
+  return out;
+}
+
+void LimaSession::ClearVariables() {
+  context_.symbols() = SymbolTable();
+  context_.lineage().Clear();
+}
+
+}  // namespace lima

@@ -1,0 +1,84 @@
+#ifndef LIMA_LANG_SESSION_H_
+#define LIMA_LANG_SESSION_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "lineage/dedup.h"
+#include "reuse/lineage_cache.h"
+#include "runtime/execution_context.h"
+#include "runtime/program.h"
+#include "runtime/stats.h"
+
+namespace lima {
+
+/// The top-level LIMA entry point: a persistent execution session that
+/// compiles and runs scripts while keeping variables, the lineage cache,
+/// the dedup registry, and statistics alive across Run() calls (the
+/// process-wide cache sharing of Sec. 4.5, as in notebook environments).
+///
+/// Typical use:
+///
+///   LimaSession session(LimaConfig::Lima());
+///   session.BindMatrix("X", std::move(features));
+///   auto status = session.Run(lima::scripts::kLm + std::string(R"(
+///     B = lm(X, y, 0.001, 1, 1e-9);
+///   )"));
+///   MatrixPtr model = *session.GetMatrix("B");
+///   std::string trace = *session.GetLineage("B");
+class LimaSession {
+ public:
+  explicit LimaSession(LimaConfig config = LimaConfig::Lima());
+
+  /// Compiles and executes a self-contained script (functions it calls must
+  /// be defined in the same script). Variables persist across calls.
+  Status Run(const std::string& script);
+
+  /// Binds external inputs with "read" lineage leaves.
+  void BindMatrix(const std::string& name, Matrix matrix);
+  void BindMatrix(const std::string& name, MatrixPtr matrix);
+  void BindScalar(const std::string& name, ScalarValue value);
+  void BindDouble(const std::string& name, double value);
+
+  /// Typed access to session variables.
+  Result<MatrixPtr> GetMatrix(const std::string& name) const;
+  Result<ScalarValue> GetScalar(const std::string& name) const;
+  Result<double> GetDouble(const std::string& name) const;
+
+  /// Serialized lineage log of a variable (the lineage(X) builtin of
+  /// Sec. 3.1).
+  Result<std::string> GetLineage(const std::string& name) const;
+
+  /// Root lineage item of a variable (nullptr when untraced).
+  LineageItemPtr GetLineageItem(const std::string& name) const;
+
+  /// Output printed by the scripts since the last call (print() builtin).
+  std::string ConsumeOutput();
+
+  /// Drops all session variables (cache and statistics are kept).
+  void ClearVariables();
+
+  const LimaConfig& config() const { return config_; }
+  RuntimeStats* stats() { return &stats_; }
+  LineageCache* cache() { return cache_.get(); }
+  DedupRegistry* dedup_registry() { return &dedup_registry_; }
+  ExecutionContext* context() { return &context_; }
+
+ private:
+  LimaConfig config_;
+  RuntimeStats stats_;
+  std::unique_ptr<LineageCache> cache_;
+  DedupRegistry dedup_registry_;
+  std::ostringstream output_;
+  ExecutionContext context_;
+  /// Executed programs are kept alive: cached bundles may hold lineage that
+  /// references their dedup patches.
+  std::vector<std::unique_ptr<Program>> programs_;
+};
+
+}  // namespace lima
+
+#endif  // LIMA_LANG_SESSION_H_

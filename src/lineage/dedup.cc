@@ -1,0 +1,129 @@
+#include "lineage/dedup.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace lima {
+
+DedupPatchPtr BuildPatchFromTrace(
+    const std::string& name, int num_placeholders,
+    const std::vector<std::pair<std::string, LineageItemPtr>>& outputs) {
+  std::vector<DedupPatch::Node> nodes;
+  std::unordered_map<const LineageItem*, int64_t> node_index;
+
+  // Iterative post-order over the traced DAG; placeholders become negative
+  // references, every other distinct item becomes one patch node.
+  struct Frame {
+    const LineageItem* item;
+    size_t next_input;
+  };
+  auto visit = [&](const LineageItem* root) -> int64_t {
+    if (root->is_placeholder()) {
+      return -(static_cast<int64_t>(root->placeholder_index()) + 1);
+    }
+    auto found = node_index.find(root);
+    if (found != node_index.end()) return found->second;
+
+    std::vector<Frame> stack{{root, 0}};
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const LineageItem* item = frame.item;
+      if (frame.next_input < item->inputs().size()) {
+        const LineageItem* input = item->inputs()[frame.next_input++].get();
+        if (!input->is_placeholder() && !node_index.count(input)) {
+          stack.push_back({input, 0});
+        }
+        continue;
+      }
+      // All inputs resolved; emit node if not yet emitted.
+      if (!node_index.count(item)) {
+        DedupPatch::Node node;
+        node.opcode = item->opcode();
+        node.data = item->data();
+        for (const LineageItemPtr& input : item->inputs()) {
+          if (input->is_placeholder()) {
+            node.inputs.push_back(
+                -(static_cast<int64_t>(input->placeholder_index()) + 1));
+          } else {
+            auto it = node_index.find(input.get());
+            LIMA_CHECK(it != node_index.end());
+            node.inputs.push_back(it->second);
+          }
+        }
+        node_index[item] = static_cast<int64_t>(nodes.size());
+        nodes.push_back(std::move(node));
+      }
+      stack.pop_back();
+    }
+    return node_index.at(root);
+  };
+
+  std::vector<int64_t> output_roots;
+  std::vector<std::string> output_names;
+  for (const auto& [var, root] : outputs) {
+    LIMA_CHECK(root != nullptr) << "missing lineage for loop output " << var;
+    if (root->is_placeholder()) {
+      // The variable was not written on this control path: its outer lineage
+      // binding stays valid, so the patch does not emit it.
+      continue;
+    }
+    int64_t ref = visit(root.get());
+    output_roots.push_back(ref);
+    output_names.push_back(var);
+  }
+
+  return std::make_shared<const DedupPatch>(name, num_placeholders,
+                                            std::move(nodes),
+                                            std::move(output_roots),
+                                            std::move(output_names));
+}
+
+DedupPatchPtr DedupRegistry::Find(const void* loop, uint64_t path_key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto loop_it = patches_.find(loop);
+  if (loop_it == patches_.end()) return nullptr;
+  auto path_it = loop_it->second.find(path_key);
+  return path_it == loop_it->second.end() ? nullptr : path_it->second;
+}
+
+DedupPatchPtr DedupRegistry::Insert(const void* loop, uint64_t path_key,
+                                    DedupPatchPtr patch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = patches_[loop].emplace(path_key, patch);
+  if (inserted) by_name_[patch->name()] = patch;
+  return it->second;
+}
+
+bool DedupRegistry::AllPathsTraced(const void* loop, int num_branches) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto loop_it = patches_.find(loop);
+  if (loop_it == patches_.end()) return false;
+  if (num_branches >= 20) return false;  // Never exhaustive for huge spaces.
+  return loop_it->second.size() >= (size_t{1} << num_branches);
+}
+
+DedupPatchPtr DedupRegistry::FindByName(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+void DedupRegistry::InsertByName(DedupPatchPtr patch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_name_[patch->name()] = patch;
+}
+
+std::string DedupRegistry::MakePatchName(const void* loop, uint64_t path_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = loop_ids_.emplace(loop, loop_counter_);
+  if (inserted) ++loop_counter_;
+  return "loop" + std::to_string(it->second) + "_p" + std::to_string(path_key);
+}
+
+int64_t DedupRegistry::TotalPatches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(by_name_.size());
+}
+
+}  // namespace lima

@@ -1,0 +1,120 @@
+#ifndef LIMA_LINEAGE_DEDUP_H_
+#define LIMA_LINEAGE_DEDUP_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "lineage/lineage_item.h"
+
+namespace lima {
+
+/// Per-iteration tracing state for lineage deduplication (Sec. 3.2). While a
+/// deduplicated loop body executes, the tracer records (1) the taken-branch
+/// bitvector identifying the control path and (2) system-generated seeds of
+/// nondeterministic operations, which become extra patch placeholders.
+///
+/// In *lite* mode (all distinct paths already have patches), instructions
+/// skip building temporary lineage items entirely and only branch bits and
+/// seeds are recorded — this is what makes deduplicated tracing cheaper than
+/// plain tracing (Fig. 6).
+class DedupTracer {
+ public:
+  /// `num_regular_placeholders` = loop inputs + the iteration variable.
+  DedupTracer(int num_branches, int num_regular_placeholders, bool lite_mode)
+      : num_branches_(num_branches),
+        num_regular_placeholders_(num_regular_placeholders),
+        lite_mode_(lite_mode),
+        branch_bits_(num_branches, false) {}
+
+  bool lite_mode() const { return lite_mode_; }
+
+  /// Records that branch `branch_id` evaluated to `taken`.
+  void RecordBranch(int branch_id, bool taken) {
+    if (branch_id >= 0 && branch_id < num_branches_) {
+      branch_bits_[branch_id] = taken;
+    }
+  }
+
+  /// Registers a system-generated seed. Returns the placeholder item the
+  /// operation should use as its seed lineage input (nullptr in lite mode).
+  LineageItemPtr RegisterSeed(const std::string& seed_literal) {
+    int index = num_regular_placeholders_ + static_cast<int>(seeds_.size());
+    seeds_.push_back(seed_literal);
+    if (lite_mode_) return nullptr;
+    return LineageItem::CreatePlaceholder(index);
+  }
+
+  /// Packs the branch bitvector into the patch key. Loops with more than 63
+  /// branches are not dedup-eligible (checked at compile time).
+  uint64_t PathKey() const {
+    uint64_t key = 0;
+    for (int i = 0; i < num_branches_; ++i) {
+      if (branch_bits_[i]) key |= (uint64_t{1} << i);
+    }
+    return key;
+  }
+
+  const std::vector<std::string>& seeds() const { return seeds_; }
+  int num_placeholders() const {
+    return num_regular_placeholders_ + static_cast<int>(seeds_.size());
+  }
+
+ private:
+  int num_branches_;
+  int num_regular_placeholders_;
+  bool lite_mode_;
+  std::vector<bool> branch_bits_;
+  std::vector<std::string> seeds_;
+};
+
+/// Builds a DedupPatch from a traced lineage sub-DAG whose leaves are
+/// placeholder items. `outputs` are (variable name, root item) pairs in
+/// deterministic order.
+DedupPatchPtr BuildPatchFromTrace(
+    const std::string& name, int num_placeholders,
+    const std::vector<std::pair<std::string, LineageItemPtr>>& outputs);
+
+/// Process-wide registry of lineage patches, keyed by loop/function identity
+/// (the program-block pointer) and control-path key. Thread-safe: parfor
+/// workers may trace the same loop concurrently.
+class DedupRegistry {
+ public:
+  /// Returns the patch for (loop, path_key), or nullptr.
+  DedupPatchPtr Find(const void* loop, uint64_t path_key) const;
+
+  /// Registers a patch; first writer wins, the registered patch is returned.
+  DedupPatchPtr Insert(const void* loop, uint64_t path_key,
+                       DedupPatchPtr patch);
+
+  /// True once patches exist for all 2^num_branches distinct paths of the
+  /// loop — the trigger for lite-mode tracing.
+  bool AllPathsTraced(const void* loop, int num_branches) const;
+
+  /// Looks up a patch by its unique name (deserialization, reconstruction).
+  DedupPatchPtr FindByName(const std::string& name) const;
+
+  /// Registers a patch under its name only (deserialization).
+  void InsertByName(DedupPatchPtr patch);
+
+  /// Generates a unique patch name for a loop path.
+  std::string MakePatchName(const void* loop, uint64_t path_key);
+
+  int64_t TotalPatches() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<const void*,
+                     std::unordered_map<uint64_t, DedupPatchPtr>>
+      patches_;
+  std::unordered_map<std::string, DedupPatchPtr> by_name_;
+  int64_t loop_counter_ = 0;
+  std::unordered_map<const void*, int64_t> loop_ids_;
+};
+
+}  // namespace lima
+
+#endif  // LIMA_LINEAGE_DEDUP_H_

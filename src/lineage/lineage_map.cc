@@ -1,0 +1,40 @@
+#include "lineage/lineage_map.h"
+
+namespace lima {
+
+void LineageMap::Set(const std::string& name, LineageItemPtr item) {
+  vars_[name] = std::move(item);
+}
+
+LineageItemPtr LineageMap::Get(const std::string& name) const {
+  auto it = vars_.find(name);
+  return it == vars_.end() ? nullptr : it->second;
+}
+
+bool LineageMap::Contains(const std::string& name) const {
+  return vars_.count(name) > 0;
+}
+
+void LineageMap::Remove(const std::string& name) { vars_.erase(name); }
+
+void LineageMap::Move(const std::string& from, const std::string& to) {
+  auto it = vars_.find(from);
+  if (it == vars_.end()) return;
+  vars_[to] = std::move(it->second);
+  vars_.erase(from);
+}
+
+void LineageMap::Copy(const std::string& from, const std::string& to) {
+  auto it = vars_.find(from);
+  if (it != vars_.end()) vars_[to] = it->second;
+}
+
+LineageItemPtr LineageMap::GetOrCreateLiteral(const std::string& data) {
+  auto it = literal_cache_.find(data);
+  if (it != literal_cache_.end()) return it->second;
+  LineageItemPtr item = LineageItem::CreateLiteral(data);
+  literal_cache_.emplace(data, item);
+  return item;
+}
+
+}  // namespace lima

@@ -1,0 +1,56 @@
+#ifndef LIMA_LINEAGE_LINEAGE_MAP_H_
+#define LIMA_LINEAGE_LINEAGE_MAP_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "lineage/lineage_item.h"
+
+namespace lima {
+
+/// Maps live variable names of one execution context to the roots of their
+/// lineage DAGs (Sec. 3.1). Also caches literal lineage items so repeated
+/// constants share one node. Maintained in a thread- and function-local
+/// manner: parfor workers and function calls each get their own map.
+class LineageMap {
+ public:
+  LineageMap() = default;
+  LineageMap(const LineageMap&) = default;
+  LineageMap& operator=(const LineageMap&) = default;
+  LineageMap(LineageMap&&) = default;
+  LineageMap& operator=(LineageMap&&) = default;
+
+  /// Binds `name` to the lineage `item` (overwrites).
+  void Set(const std::string& name, LineageItemPtr item);
+
+  /// Lineage of `name`, or nullptr if untracked.
+  LineageItemPtr Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// rmvar: drops the binding.
+  void Remove(const std::string& name);
+
+  /// mvvar: renames `from` to `to` (drops `from`).
+  void Move(const std::string& from, const std::string& to);
+
+  /// cpvar: copies the binding of `from` to `to`.
+  void Copy(const std::string& from, const std::string& to);
+
+  /// Returns the shared literal item for `data` (creates it once).
+  LineageItemPtr GetOrCreateLiteral(const std::string& data);
+
+  const std::unordered_map<std::string, LineageItemPtr>& variables() const {
+    return vars_;
+  }
+
+  void Clear() { vars_.clear(); }
+
+ private:
+  std::unordered_map<std::string, LineageItemPtr> vars_;
+  std::unordered_map<std::string, LineageItemPtr> literal_cache_;
+};
+
+}  // namespace lima
+
+#endif  // LIMA_LINEAGE_LINEAGE_MAP_H_

@@ -1,0 +1,32 @@
+#ifndef LIMA_LINEAGE_SERIALIZE_H_
+#define LIMA_LINEAGE_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lineage/dedup.h"
+#include "lineage/lineage_item.h"
+
+namespace lima {
+
+/// Serializes the lineage DAG rooted at `root` into a textual lineage log
+/// (Sec. 3.1, Fig. 3). Each distinct item appears exactly once; inputs are
+/// referenced via IDs; the root is the last line. Dedup patches referenced
+/// by the DAG are serialized once in a header section, preserving the
+/// deduplication for storage and transfer.
+std::string SerializeLineage(const LineageItemPtr& root);
+
+/// Parses a lineage log back into a lineage DAG. If `registry` is non-null,
+/// parsed patches are (re)registered by name so later logs can reference
+/// them. Returns the root item.
+Result<LineageItemPtr> DeserializeLineage(const std::string& log,
+                                          DedupRegistry* registry = nullptr);
+
+/// Escapes/unescapes data strings for the one-line-per-item log format.
+std::string EscapeDataString(const std::string& s);
+std::string UnescapeDataString(const std::string& s);
+
+}  // namespace lima
+
+#endif  // LIMA_LINEAGE_SERIALIZE_H_

@@ -1,0 +1,150 @@
+#include "matrix/aggregates.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace lima {
+
+double Sum(const Matrix& m) {
+  double s = 0.0;
+  const double* p = m.data();
+  for (int64_t i = 0; i < m.size(); ++i) s += p[i];
+  return s;
+}
+
+double Mean(const Matrix& m) {
+  return m.size() == 0 ? 0.0 : Sum(m) / static_cast<double>(m.size());
+}
+
+double MinValue(const Matrix& m) {
+  double s = std::numeric_limits<double>::infinity();
+  const double* p = m.data();
+  for (int64_t i = 0; i < m.size(); ++i) s = std::min(s, p[i]);
+  return s;
+}
+
+double MaxValue(const Matrix& m) {
+  double s = -std::numeric_limits<double>::infinity();
+  const double* p = m.data();
+  for (int64_t i = 0; i < m.size(); ++i) s = std::max(s, p[i]);
+  return s;
+}
+
+double Trace(const Matrix& m) {
+  double s = 0.0;
+  int64_t n = std::min(m.rows(), m.cols());
+  for (int64_t i = 0; i < n; ++i) s += m.At(i, i);
+  return s;
+}
+
+Matrix ColSums(const Matrix& m) {
+  Matrix out(1, m.cols());
+  double* po = out.mutable_data();
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.data() + i * m.cols();
+    for (int64_t j = 0; j < m.cols(); ++j) po[j] += row[j];
+  }
+  return out;
+}
+
+Matrix ColMeans(const Matrix& m) {
+  Matrix out = ColSums(m);
+  if (m.rows() > 0) {
+    double inv = 1.0 / static_cast<double>(m.rows());
+    for (int64_t j = 0; j < m.cols(); ++j) out.At(0, j) *= inv;
+  }
+  return out;
+}
+
+Matrix ColMins(const Matrix& m) {
+  Matrix out(1, m.cols(), std::numeric_limits<double>::infinity());
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      out.At(0, j) = std::min(out.At(0, j), m.At(i, j));
+    }
+  }
+  return out;
+}
+
+Matrix ColMaxs(const Matrix& m) {
+  Matrix out(1, m.cols(), -std::numeric_limits<double>::infinity());
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      out.At(0, j) = std::max(out.At(0, j), m.At(i, j));
+    }
+  }
+  return out;
+}
+
+Matrix ColVars(const Matrix& m) {
+  Matrix means = ColMeans(m);
+  Matrix out(1, m.cols());
+  if (m.rows() <= 1) return out;
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      double d = m.At(i, j) - means.At(0, j);
+      out.At(0, j) += d * d;
+    }
+  }
+  double inv = 1.0 / static_cast<double>(m.rows() - 1);
+  for (int64_t j = 0; j < m.cols(); ++j) out.At(0, j) *= inv;
+  return out;
+}
+
+Matrix RowSums(const Matrix& m) {
+  Matrix out(m.rows(), 1);
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.data() + i * m.cols();
+    double s = 0.0;
+    for (int64_t j = 0; j < m.cols(); ++j) s += row[j];
+    out.At(i, 0) = s;
+  }
+  return out;
+}
+
+Matrix RowMeans(const Matrix& m) {
+  Matrix out = RowSums(m);
+  if (m.cols() > 0) {
+    double inv = 1.0 / static_cast<double>(m.cols());
+    for (int64_t i = 0; i < m.rows(); ++i) out.At(i, 0) *= inv;
+  }
+  return out;
+}
+
+Matrix RowMins(const Matrix& m) {
+  Matrix out(m.rows(), 1, std::numeric_limits<double>::infinity());
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      out.At(i, 0) = std::min(out.At(i, 0), m.At(i, j));
+    }
+  }
+  return out;
+}
+
+Matrix RowMaxs(const Matrix& m) {
+  Matrix out(m.rows(), 1, -std::numeric_limits<double>::infinity());
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      out.At(i, 0) = std::max(out.At(i, 0), m.At(i, j));
+    }
+  }
+  return out;
+}
+
+Matrix RowIndexMax(const Matrix& m) {
+  Matrix out(m.rows(), 1);
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    double best = -std::numeric_limits<double>::infinity();
+    int64_t best_j = 0;
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      if (m.At(i, j) > best) {
+        best = m.At(i, j);
+        best_j = j;
+      }
+    }
+    out.At(i, 0) = static_cast<double>(best_j + 1);
+  }
+  return out;
+}
+
+}  // namespace lima

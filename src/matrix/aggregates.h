@@ -1,0 +1,38 @@
+#ifndef LIMA_MATRIX_AGGREGATES_H_
+#define LIMA_MATRIX_AGGREGATES_H_
+
+#include "matrix/matrix.h"
+
+namespace lima {
+
+/// Full aggregates over all cells.
+double Sum(const Matrix& m);
+double Mean(const Matrix& m);
+double MinValue(const Matrix& m);
+double MaxValue(const Matrix& m);
+/// Sum of the main diagonal (square matrices; for non-square, the
+/// min(rows,cols) leading diagonal).
+double Trace(const Matrix& m);
+
+/// Column aggregates: 1 x cols results.
+Matrix ColSums(const Matrix& m);
+Matrix ColMeans(const Matrix& m);
+Matrix ColMins(const Matrix& m);
+Matrix ColMaxs(const Matrix& m);
+/// Population variance per column (divides by n, like SystemDS colVars with
+/// Bessel correction — uses n-1; single-row input yields 0).
+Matrix ColVars(const Matrix& m);
+
+/// Row aggregates: rows x 1 results.
+Matrix RowSums(const Matrix& m);
+Matrix RowMeans(const Matrix& m);
+Matrix RowMins(const Matrix& m);
+Matrix RowMaxs(const Matrix& m);
+
+/// 1-based index of the maximum value per row (ties: first occurrence),
+/// rows x 1. DML's rowIndexMax.
+Matrix RowIndexMax(const Matrix& m);
+
+}  // namespace lima
+
+#endif  // LIMA_MATRIX_AGGREGATES_H_

@@ -1,0 +1,58 @@
+#include "matrix/datagen.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace lima {
+
+Result<Matrix> Rand(int64_t rows, int64_t cols, double min_value,
+                    double max_value, double sparsity, RandPdf pdf,
+                    uint64_t seed) {
+  if (rows < 0 || cols < 0) {
+    return Status::Invalid("rand: negative dimensions");
+  }
+  if (sparsity < 0.0 || sparsity > 1.0) {
+    return Status::Invalid("rand: sparsity must be in [0,1]");
+  }
+  Rng rng(seed);
+  Matrix out(rows, cols);
+  double* p = out.mutable_data();
+  bool dense = sparsity >= 1.0;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (!dense && rng.NextDouble() >= sparsity) continue;
+    p[i] = pdf == RandPdf::kUniform ? rng.NextUniform(min_value, max_value)
+                                    : rng.NextGaussian();
+  }
+  return out;
+}
+
+Result<Matrix> Sample(int64_t range, int64_t size, uint64_t seed) {
+  if (size < 0 || range < size) {
+    return Status::Invalid("sample: need 0 <= size <= range");
+  }
+  Rng rng(seed);
+  std::vector<int64_t> values = rng.SampleWithoutReplacement(range, size);
+  Matrix out(size, 1);
+  for (int64_t i = 0; i < size; ++i) {
+    out.At(i, 0) = static_cast<double>(values[i]);
+  }
+  return out;
+}
+
+Result<Matrix> SeqMatrix(double from, double to, double incr) {
+  if (incr == 0.0) {
+    return Status::Invalid("seq: increment must be non-zero");
+  }
+  if ((to - from) * incr < 0.0) {
+    return Status::Invalid("seq: empty range");
+  }
+  int64_t n = static_cast<int64_t>(std::floor((to - from) / incr)) + 1;
+  Matrix out(n, 1);
+  for (int64_t i = 0; i < n; ++i) {
+    out.At(i, 0) = from + static_cast<double>(i) * incr;
+  }
+  return out;
+}
+
+}  // namespace lima

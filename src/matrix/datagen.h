@@ -1,0 +1,33 @@
+#ifndef LIMA_MATRIX_DATAGEN_H_
+#define LIMA_MATRIX_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "matrix/matrix.h"
+
+namespace lima {
+
+/// Distribution for Rand().
+enum class RandPdf { kUniform, kNormal };
+
+/// DML rand(rows, cols, min, max, sparsity, pdf, seed). For kNormal, min/max
+/// are ignored and cells are standard normal. `sparsity` is the expected
+/// fraction of non-zero cells. The seed fully determines the result — this
+/// is the operation whose system-generated seed LIMA records in lineage.
+Result<Matrix> Rand(int64_t rows, int64_t cols, double min_value,
+                    double max_value, double sparsity, RandPdf pdf,
+                    uint64_t seed);
+
+/// DML sample(range, size, seed): `size` distinct values from 1..range as a
+/// size x 1 matrix (without replacement).
+Result<Matrix> Sample(int64_t range, int64_t size, uint64_t seed);
+
+/// DML seq(from, to, incr): column vector [from, from+incr, ... <= to]
+/// (or decreasing when incr < 0).
+Result<Matrix> SeqMatrix(double from, double to, double incr);
+
+}  // namespace lima
+
+#endif  // LIMA_MATRIX_DATAGEN_H_

@@ -1,0 +1,236 @@
+#include "matrix/elementwise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace lima {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kPow:
+      return "^";
+    case BinaryOp::kMin:
+      return "min";
+    case BinaryOp::kMax:
+      return "max";
+    case BinaryOp::kEq:
+      return "==";
+    case BinaryOp::kNeq:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "&";
+    case BinaryOp::kOr:
+      return "|";
+    case BinaryOp::kMod:
+      return "%%";
+    case BinaryOp::kIntDiv:
+      return "%/%";
+  }
+  return "?";
+}
+
+const char* UnaryOpName(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kExp:
+      return "exp";
+    case UnaryOp::kLog:
+      return "log";
+    case UnaryOp::kSqrt:
+      return "sqrt";
+    case UnaryOp::kAbs:
+      return "abs";
+    case UnaryOp::kRound:
+      return "round";
+    case UnaryOp::kFloor:
+      return "floor";
+    case UnaryOp::kCeil:
+      return "ceil";
+    case UnaryOp::kSign:
+      return "sign";
+    case UnaryOp::kNeg:
+      return "uminus";
+    case UnaryOp::kNot:
+      return "!";
+    case UnaryOp::kSigmoid:
+      return "sigmoid";
+  }
+  return "?";
+}
+
+double ApplyBinary(BinaryOp op, double a, double b) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return a + b;
+    case BinaryOp::kSub:
+      return a - b;
+    case BinaryOp::kMul:
+      return a * b;
+    case BinaryOp::kDiv:
+      return a / b;
+    case BinaryOp::kPow:
+      return std::pow(a, b);
+    case BinaryOp::kMin:
+      return std::min(a, b);
+    case BinaryOp::kMax:
+      return std::max(a, b);
+    case BinaryOp::kEq:
+      return a == b ? 1.0 : 0.0;
+    case BinaryOp::kNeq:
+      return a != b ? 1.0 : 0.0;
+    case BinaryOp::kLt:
+      return a < b ? 1.0 : 0.0;
+    case BinaryOp::kGt:
+      return a > b ? 1.0 : 0.0;
+    case BinaryOp::kLe:
+      return a <= b ? 1.0 : 0.0;
+    case BinaryOp::kGe:
+      return a >= b ? 1.0 : 0.0;
+    case BinaryOp::kAnd:
+      return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+    case BinaryOp::kOr:
+      return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+    case BinaryOp::kMod:
+      return a - std::floor(a / b) * b;
+    case BinaryOp::kIntDiv:
+      return std::floor(a / b);
+  }
+  return 0.0;
+}
+
+double ApplyUnary(UnaryOp op, double v) {
+  switch (op) {
+    case UnaryOp::kExp:
+      return std::exp(v);
+    case UnaryOp::kLog:
+      return std::log(v);
+    case UnaryOp::kSqrt:
+      return std::sqrt(v);
+    case UnaryOp::kAbs:
+      return std::fabs(v);
+    case UnaryOp::kRound:
+      return std::round(v);
+    case UnaryOp::kFloor:
+      return std::floor(v);
+    case UnaryOp::kCeil:
+      return std::ceil(v);
+    case UnaryOp::kSign:
+      return v > 0.0 ? 1.0 : (v < 0.0 ? -1.0 : 0.0);
+    case UnaryOp::kNeg:
+      return -v;
+    case UnaryOp::kNot:
+      return v == 0.0 ? 1.0 : 0.0;
+    case UnaryOp::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-v));
+  }
+  return 0.0;
+}
+
+Result<Matrix> EwiseBinary(BinaryOp op, const Matrix& a, const Matrix& b) {
+  bool rows_ok = a.rows() == b.rows() || a.rows() == 1 || b.rows() == 1;
+  bool cols_ok = a.cols() == b.cols() || a.cols() == 1 || b.cols() == 1;
+  if (!rows_ok || !cols_ok) {
+    std::ostringstream msg;
+    msg << "incompatible shapes for elementwise " << BinaryOpName(op) << ": "
+        << a.rows() << "x" << a.cols() << " vs " << b.rows() << "x" << b.cols();
+    return Status::Invalid(msg.str());
+  }
+  int64_t rows = std::max(a.rows(), b.rows());
+  int64_t cols = std::max(a.cols(), b.cols());
+
+  Matrix out(rows, cols);
+  // Fast path: identical shapes, no broadcasting.
+  if (a.rows() == b.rows() && a.cols() == b.cols()) {
+    const double* pa = a.data();
+    const double* pb = b.data();
+    double* po = out.mutable_data();
+    int64_t n = out.size();
+    switch (op) {
+      case BinaryOp::kAdd:
+        for (int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+        return out;
+      case BinaryOp::kSub:
+        for (int64_t i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
+        return out;
+      case BinaryOp::kMul:
+        for (int64_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
+        return out;
+      case BinaryOp::kDiv:
+        for (int64_t i = 0; i < n; ++i) po[i] = pa[i] / pb[i];
+        return out;
+      default:
+        for (int64_t i = 0; i < n; ++i) po[i] = ApplyBinary(op, pa[i], pb[i]);
+        return out;
+    }
+  }
+  // Broadcasting path.
+  for (int64_t i = 0; i < rows; ++i) {
+    int64_t ia = a.rows() == 1 ? 0 : i;
+    int64_t ib = b.rows() == 1 ? 0 : i;
+    for (int64_t j = 0; j < cols; ++j) {
+      int64_t ja = a.cols() == 1 ? 0 : j;
+      int64_t jb = b.cols() == 1 ? 0 : j;
+      out.At(i, j) = ApplyBinary(op, a.At(ia, ja), b.At(ib, jb));
+    }
+  }
+  return out;
+}
+
+Matrix EwiseBinaryScalar(BinaryOp op, const Matrix& m, double scalar,
+                         bool scalar_is_left) {
+  Matrix out(m.rows(), m.cols());
+  const double* pm = m.data();
+  double* po = out.mutable_data();
+  int64_t n = m.size();
+  if (scalar_is_left) {
+    for (int64_t i = 0; i < n; ++i) po[i] = ApplyBinary(op, scalar, pm[i]);
+  } else {
+    switch (op) {
+      case BinaryOp::kAdd:
+        for (int64_t i = 0; i < n; ++i) po[i] = pm[i] + scalar;
+        break;
+      case BinaryOp::kSub:
+        for (int64_t i = 0; i < n; ++i) po[i] = pm[i] - scalar;
+        break;
+      case BinaryOp::kMul:
+        for (int64_t i = 0; i < n; ++i) po[i] = pm[i] * scalar;
+        break;
+      case BinaryOp::kDiv:
+        for (int64_t i = 0; i < n; ++i) po[i] = pm[i] / scalar;
+        break;
+      default:
+        for (int64_t i = 0; i < n; ++i) po[i] = ApplyBinary(op, pm[i], scalar);
+        break;
+    }
+  }
+  return out;
+}
+
+Matrix EwiseUnary(UnaryOp op, const Matrix& m) {
+  Matrix out(m.rows(), m.cols());
+  const double* pm = m.data();
+  double* po = out.mutable_data();
+  int64_t n = m.size();
+  for (int64_t i = 0; i < n; ++i) po[i] = ApplyUnary(op, pm[i]);
+  return out;
+}
+
+}  // namespace lima

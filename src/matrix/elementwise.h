@@ -1,0 +1,74 @@
+#ifndef LIMA_MATRIX_ELEMENTWISE_H_
+#define LIMA_MATRIX_ELEMENTWISE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "matrix/matrix.h"
+
+namespace lima {
+
+/// Cell-wise binary operators. Comparison/logical operators produce 0/1
+/// matrices; logical operators treat any non-zero as true.
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kPow,
+  kMin,
+  kMax,
+  kEq,
+  kNeq,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kAnd,
+  kOr,
+  kMod,     ///< R semantics: x - floor(x/y)*y (sign of the divisor)
+  kIntDiv,  ///< R semantics: floor(x/y)
+};
+
+/// Cell-wise unary operators.
+enum class UnaryOp {
+  kExp,
+  kLog,
+  kSqrt,
+  kAbs,
+  kRound,
+  kFloor,
+  kCeil,
+  kSign,
+  kNeg,
+  kNot,
+  kSigmoid,
+};
+
+/// Opcode names as used in runtime instructions and lineage logs
+/// (e.g. "+", "*", "ewise.min", "exp").
+const char* BinaryOpName(BinaryOp op);
+const char* UnaryOpName(UnaryOp op);
+
+/// Applies `op` to a scalar pair.
+double ApplyBinary(BinaryOp op, double a, double b);
+
+/// Applies `op` to a scalar.
+double ApplyUnary(UnaryOp op, double v);
+
+/// Cell-wise A op B with R-style broadcasting: each dimension of A and B
+/// must match or be 1 (row/column vectors broadcast). Returns
+/// InvalidArgument on incompatible shapes.
+Result<Matrix> EwiseBinary(BinaryOp op, const Matrix& a, const Matrix& b);
+
+/// Cell-wise matrix-scalar operation. If `scalar_is_left`, computes
+/// s op M[i,j]; otherwise M[i,j] op s.
+Matrix EwiseBinaryScalar(BinaryOp op, const Matrix& m, double scalar,
+                         bool scalar_is_left);
+
+/// Cell-wise unary operation.
+Matrix EwiseUnary(UnaryOp op, const Matrix& m);
+
+}  // namespace lima
+
+#endif  // LIMA_MATRIX_ELEMENTWISE_H_

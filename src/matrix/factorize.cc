@@ -1,0 +1,167 @@
+#include "matrix/factorize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace lima {
+
+Result<Matrix> Solve(const Matrix& a, const Matrix& b) {
+  if (a.rows() != a.cols()) {
+    return Status::Invalid("solve: coefficient matrix must be square");
+  }
+  if (a.rows() != b.rows()) {
+    return Status::Invalid("solve: rhs rows must match matrix size");
+  }
+  int64_t n = a.rows();
+  int64_t nrhs = b.cols();
+
+  // Working copies: LU in-place with a row permutation.
+  Matrix lu = a;
+  Matrix x = b;
+  std::vector<int64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+
+  for (int64_t k = 0; k < n; ++k) {
+    // Partial pivoting.
+    int64_t pivot = k;
+    double best = std::fabs(lu.At(k, k));
+    for (int64_t i = k + 1; i < n; ++i) {
+      double v = std::fabs(lu.At(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best < 1e-14) {
+      return Status::RuntimeError("solve: matrix is singular");
+    }
+    if (pivot != k) {
+      for (int64_t j = 0; j < n; ++j) std::swap(lu.At(k, j), lu.At(pivot, j));
+      for (int64_t j = 0; j < nrhs; ++j) std::swap(x.At(k, j), x.At(pivot, j));
+      std::swap(perm[k], perm[pivot]);
+    }
+    double inv_pivot = 1.0 / lu.At(k, k);
+    for (int64_t i = k + 1; i < n; ++i) {
+      double f = lu.At(i, k) * inv_pivot;
+      if (f == 0.0) continue;
+      lu.At(i, k) = f;
+      for (int64_t j = k + 1; j < n; ++j) lu.At(i, j) -= f * lu.At(k, j);
+      for (int64_t j = 0; j < nrhs; ++j) x.At(i, j) -= f * x.At(k, j);
+    }
+  }
+  // Back substitution.
+  for (int64_t k = n - 1; k >= 0; --k) {
+    double inv_pivot = 1.0 / lu.At(k, k);
+    for (int64_t j = 0; j < nrhs; ++j) {
+      double s = x.At(k, j);
+      for (int64_t p = k + 1; p < n; ++p) s -= lu.At(k, p) * x.At(p, j);
+      x.At(k, j) = s * inv_pivot;
+    }
+  }
+  return x;
+}
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::Invalid("cholesky: matrix must be square");
+  }
+  int64_t n = a.rows();
+  Matrix l(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      double s = a.At(i, j);
+      for (int64_t k = 0; k < j; ++k) s -= l.At(i, k) * l.At(j, k);
+      if (i == j) {
+        if (s <= 0.0) {
+          return Status::RuntimeError("cholesky: matrix not positive definite");
+        }
+        l.At(i, i) = std::sqrt(s);
+      } else {
+        l.At(i, j) = s / l.At(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Result<std::pair<Matrix, Matrix>> EigenSymmetric(const Matrix& a,
+                                                 int max_sweeps) {
+  if (!a.IsSymmetric(1e-8)) {
+    return Status::Invalid("eigen: matrix must be symmetric");
+  }
+  int64_t n = a.rows();
+  Matrix d = a;  // Will converge to a diagonal matrix.
+  Matrix v(n, n);
+  for (int64_t i = 0; i < n; ++i) v.At(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) off += d.At(p, q) * d.At(p, q);
+    }
+    if (off < 1e-22) break;
+
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        double apq = d.At(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        double app = d.At(p, p);
+        double aqq = d.At(q, q);
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+
+        // Apply the rotation to rows/columns p and q of d.
+        for (int64_t k = 0; k < n; ++k) {
+          double dkp = d.At(k, p);
+          double dkq = d.At(k, q);
+          d.At(k, p) = c * dkp - s * dkq;
+          d.At(k, q) = s * dkp + c * dkq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          double dpk = d.At(p, k);
+          double dqk = d.At(q, k);
+          d.At(p, k) = c * dpk - s * dqk;
+          d.At(q, k) = s * dpk + c * dqk;
+        }
+        // Accumulate eigenvectors.
+        for (int64_t k = 0; k < n; ++k) {
+          double vkp = v.At(k, p);
+          double vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Collect eigenpairs and sort descending by eigenvalue.
+  std::vector<int64_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](int64_t x, int64_t y) {
+    return d.At(x, x) > d.At(y, y);
+  });
+  Matrix values(n, 1);
+  Matrix vectors(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    values.At(j, 0) = d.At(idx[j], idx[j]);
+    for (int64_t i = 0; i < n; ++i) vectors.At(i, j) = v.At(i, idx[j]);
+  }
+  // Deterministic sign convention: largest-magnitude component positive.
+  for (int64_t j = 0; j < n; ++j) {
+    double best = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (std::fabs(vectors.At(i, j)) > std::fabs(best)) best = vectors.At(i, j);
+    }
+    if (best < 0.0) {
+      for (int64_t i = 0; i < n; ++i) vectors.At(i, j) = -vectors.At(i, j);
+    }
+  }
+  return std::make_pair(std::move(values), std::move(vectors));
+}
+
+}  // namespace lima

@@ -1,0 +1,29 @@
+#ifndef LIMA_MATRIX_FACTORIZE_H_
+#define LIMA_MATRIX_FACTORIZE_H_
+
+#include <utility>
+
+#include "common/result.h"
+#include "matrix/matrix.h"
+
+namespace lima {
+
+/// Solves A * X = B via LU decomposition with partial pivoting. A must be
+/// square; B may have multiple columns. Returns InvalidArgument on shape
+/// mismatch and RuntimeError if A is (numerically) singular.
+Result<Matrix> Solve(const Matrix& a, const Matrix& b);
+
+/// Cholesky factorization of a symmetric positive definite matrix:
+/// returns lower-triangular L with A = L * L^T. RuntimeError if A is not
+/// positive definite.
+Result<Matrix> Cholesky(const Matrix& a);
+
+/// Eigenvalues and eigenvectors of a symmetric matrix (cyclic Jacobi).
+/// Returns {values (n x 1, descending), vectors (n x n, columns aligned with
+/// values)}. InvalidArgument if the matrix is not symmetric.
+Result<std::pair<Matrix, Matrix>> EigenSymmetric(const Matrix& a,
+                                                 int max_sweeps = 64);
+
+}  // namespace lima
+
+#endif  // LIMA_MATRIX_FACTORIZE_H_

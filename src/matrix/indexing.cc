@@ -1,0 +1,102 @@
+#include "matrix/indexing.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace lima {
+
+namespace {
+
+Status CheckRange(const Matrix& m, int64_t rl, int64_t ru, int64_t cl,
+                  int64_t cu) {
+  if (rl < 1 || cl < 1 || ru > m.rows() || cu > m.cols() || rl > ru ||
+      cl > cu) {
+    std::ostringstream msg;
+    msg << "index range [" << rl << ":" << ru << "," << cl << ":" << cu
+        << "] out of bounds for " << m.rows() << "x" << m.cols() << " matrix";
+    return Status::OutOfRange(msg.str());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<int64_t>> VectorToIndices(const Matrix& indices,
+                                             int64_t bound) {
+  if (indices.rows() != 1 && indices.cols() != 1) {
+    return Status::Invalid("index list must be a vector");
+  }
+  std::vector<int64_t> out;
+  out.reserve(indices.size());
+  for (int64_t i = 0; i < indices.size(); ++i) {
+    double v = indices.data()[i];
+    if (v < 1 || v > static_cast<double>(bound) || v != std::floor(v)) {
+      std::ostringstream msg;
+      msg << "index " << v << " out of bounds [1," << bound << "]";
+      return Status::OutOfRange(msg.str());
+    }
+    out.push_back(static_cast<int64_t>(v) - 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Matrix> RightIndex(const Matrix& m, int64_t row_lower, int64_t row_upper,
+                          int64_t col_lower, int64_t col_upper) {
+  LIMA_RETURN_NOT_OK(CheckRange(m, row_lower, row_upper, col_lower, col_upper));
+  int64_t rows = row_upper - row_lower + 1;
+  int64_t cols = col_upper - col_lower + 1;
+  Matrix out(rows, cols);
+  for (int64_t i = 0; i < rows; ++i) {
+    std::memcpy(out.mutable_data() + i * cols,
+                m.data() + (row_lower - 1 + i) * m.cols() + (col_lower - 1),
+                cols * sizeof(double));
+  }
+  return out;
+}
+
+Result<Matrix> LeftIndex(const Matrix& m, const Matrix& src, int64_t row_lower,
+                         int64_t row_upper, int64_t col_lower,
+                         int64_t col_upper) {
+  LIMA_RETURN_NOT_OK(CheckRange(m, row_lower, row_upper, col_lower, col_upper));
+  int64_t rows = row_upper - row_lower + 1;
+  int64_t cols = col_upper - col_lower + 1;
+  if (src.rows() != rows || src.cols() != cols) {
+    std::ostringstream msg;
+    msg << "leftindex: source shape " << src.rows() << "x" << src.cols()
+        << " does not match target range " << rows << "x" << cols;
+    return Status::Invalid(msg.str());
+  }
+  Matrix out = m;
+  for (int64_t i = 0; i < rows; ++i) {
+    std::memcpy(
+        out.mutable_data() + (row_lower - 1 + i) * m.cols() + (col_lower - 1),
+        src.data() + i * cols, cols * sizeof(double));
+  }
+  return out;
+}
+
+Result<Matrix> SelectColumns(const Matrix& m, const Matrix& indices) {
+  LIMA_ASSIGN_OR_RETURN(std::vector<int64_t> idx,
+                        VectorToIndices(indices, m.cols()));
+  Matrix out(m.rows(), static_cast<int64_t>(idx.size()));
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < idx.size(); ++j) {
+      out.At(i, static_cast<int64_t>(j)) = m.At(i, idx[j]);
+    }
+  }
+  return out;
+}
+
+Result<Matrix> SelectRows(const Matrix& m, const Matrix& indices) {
+  LIMA_ASSIGN_OR_RETURN(std::vector<int64_t> idx,
+                        VectorToIndices(indices, m.rows()));
+  Matrix out(static_cast<int64_t>(idx.size()), m.cols());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    std::memcpy(out.mutable_data() + static_cast<int64_t>(i) * m.cols(),
+                m.data() + idx[i] * m.cols(), m.cols() * sizeof(double));
+  }
+  return out;
+}
+
+}  // namespace lima

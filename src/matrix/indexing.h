@@ -1,0 +1,33 @@
+#ifndef LIMA_MATRIX_INDEXING_H_
+#define LIMA_MATRIX_INDEXING_H_
+
+#include "common/result.h"
+#include "matrix/matrix.h"
+
+namespace lima {
+
+/// Right indexing X[rl:ru, cl:cu] with 1-based inclusive bounds (DML
+/// semantics). Returns OutOfRange on invalid bounds.
+Result<Matrix> RightIndex(const Matrix& m, int64_t row_lower,
+                          int64_t row_upper, int64_t col_lower,
+                          int64_t col_upper);
+
+/// Left indexing X[rl:ru, cl:cu] = src: produces a *new* matrix equal to `m`
+/// with the given range replaced by `src` (matrices are immutable in the
+/// LIMA runtime). `src` must match the target range's shape.
+Result<Matrix> LeftIndex(const Matrix& m, const Matrix& src, int64_t row_lower,
+                         int64_t row_upper, int64_t col_lower,
+                         int64_t col_upper);
+
+/// Selects whole columns by 1-based indices given as a column/row vector
+/// (X[, s] with a vector s — used by feature sampling in the paper's
+/// running example).
+Result<Matrix> SelectColumns(const Matrix& m, const Matrix& indices);
+
+/// Selects whole rows by 1-based indices given as a vector (permutation /
+/// shuffling / fold selection).
+Result<Matrix> SelectRows(const Matrix& m, const Matrix& indices);
+
+}  // namespace lima
+
+#endif  // LIMA_MATRIX_INDEXING_H_

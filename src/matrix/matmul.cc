@@ -1,0 +1,158 @@
+#include "matrix/matmul.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/thread_pool.h"
+
+namespace lima {
+
+namespace {
+
+// Computes out[rb:re, :] += A[rb:re, :] * B for row-major dense inputs,
+// using an i-k-j loop order so the inner loop streams over contiguous rows
+// of B and out.
+void GemmRows(const double* a, const double* b, double* out, int64_t rb,
+              int64_t re, int64_t k, int64_t n) {
+  for (int64_t i = rb; i < re; ++i) {
+    const double* arow = a + i * k;
+    double* orow = out + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Result<Matrix> MatMul(const Matrix& a, const Matrix& b, int num_threads) {
+  if (a.cols() != b.rows()) {
+    std::ostringstream msg;
+    msg << "matmul dimension mismatch: " << a.rows() << "x" << a.cols()
+        << " %*% " << b.rows() << "x" << b.cols();
+    return Status::Invalid(msg.str());
+  }
+  int64_t m = a.rows();
+  int64_t k = a.cols();
+  int64_t n = b.cols();
+  Matrix out(m, n);
+  double* po = out.mutable_data();
+  const double* pa = a.data();
+  const double* pb = b.data();
+
+  if (num_threads <= 1 || m < 64) {
+    GemmRows(pa, pb, po, 0, m, k, n);
+    return out;
+  }
+  int chunks = std::min<int64_t>(num_threads, m);
+  int64_t rows_per_chunk = (m + chunks - 1) / chunks;
+  ParallelFor(chunks, num_threads, [&](int64_t c) {
+    int64_t rb = c * rows_per_chunk;
+    int64_t re = std::min(m, rb + rows_per_chunk);
+    if (rb < re) GemmRows(pa, pb, po, rb, re, k, n);
+  });
+  return out;
+}
+
+Matrix Tsmm(const Matrix& x, bool left, int num_threads) {
+  if (!left) {
+    // X * X^T: fall back to X^T-based formulation on the transposed view by
+    // computing out[i][j] = dot(row_i, row_j).
+    int64_t m = x.rows();
+    int64_t k = x.cols();
+    Matrix out(m, m);
+    ParallelFor(m, num_threads, [&](int64_t i) {
+      const double* ri = x.data() + i * k;
+      for (int64_t j = i; j < m; ++j) {
+        const double* rj = x.data() + j * k;
+        double s = 0.0;
+        for (int64_t p = 0; p < k; ++p) s += ri[p] * rj[p];
+        out.At(i, j) = s;
+      }
+    });
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < i; ++j) out.At(i, j) = out.At(j, i);
+    }
+    return out;
+  }
+
+  // X^T * X, accumulating the upper triangle row-by-row over X.
+  int64_t m = x.rows();
+  int64_t n = x.cols();
+  Matrix out(n, n);
+
+  if (num_threads <= 1 || m < 256) {
+    double* po = out.mutable_data();
+    for (int64_t i = 0; i < m; ++i) {
+      const double* row = x.data() + i * n;
+      for (int64_t p = 0; p < n; ++p) {
+        double v = row[p];
+        if (v == 0.0) continue;
+        double* orow = po + p * n;
+        for (int64_t q = p; q < n; ++q) orow[q] += v * row[q];
+      }
+    }
+  } else {
+    // Each thread accumulates a private upper triangle over a row slice,
+    // then the slices are reduced.
+    int chunks = std::min<int64_t>(num_threads, m);
+    int64_t rows_per_chunk = (m + chunks - 1) / chunks;
+    std::vector<Matrix> partials(chunks, Matrix(n, n));
+    ParallelFor(chunks, num_threads, [&](int64_t c) {
+      int64_t rb = c * rows_per_chunk;
+      int64_t re = std::min(m, rb + rows_per_chunk);
+      double* po = partials[c].mutable_data();
+      for (int64_t i = rb; i < re; ++i) {
+        const double* row = x.data() + i * n;
+        for (int64_t p = 0; p < n; ++p) {
+          double v = row[p];
+          if (v == 0.0) continue;
+          double* orow = po + p * n;
+          for (int64_t q = p; q < n; ++q) orow[q] += v * row[q];
+        }
+      }
+    });
+    double* po = out.mutable_data();
+    for (const Matrix& part : partials) {
+      const double* pp = part.data();
+      for (int64_t i = 0; i < n * n; ++i) po[i] += pp[i];
+    }
+  }
+  // Mirror upper triangle to lower.
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < i; ++j) out.At(i, j) = out.At(j, i);
+  }
+  return out;
+}
+
+Result<Matrix> TransposeMatMul(const Matrix& a, const Matrix& b,
+                               int num_threads) {
+  if (a.rows() != b.rows()) {
+    std::ostringstream msg;
+    msg << "t(A)%*%B dimension mismatch: " << a.rows() << "x" << a.cols()
+        << " vs " << b.rows() << "x" << b.cols();
+    return Status::Invalid(msg.str());
+  }
+  int64_t m = a.rows();
+  int64_t k = a.cols();
+  int64_t n = b.cols();
+  Matrix out(k, n);
+  double* po = out.mutable_data();
+  (void)num_threads;
+  for (int64_t i = 0; i < m; ++i) {
+    const double* arow = a.data() + i * k;
+    const double* brow = b.data() + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      double av = arow[p];
+      if (av == 0.0) continue;
+      double* orow = po + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace lima

@@ -1,0 +1,25 @@
+#ifndef LIMA_MATRIX_MATMUL_H_
+#define LIMA_MATRIX_MATMUL_H_
+
+#include "common/result.h"
+#include "matrix/matrix.h"
+
+namespace lima {
+
+/// Dense matrix multiply A (m x k) * B (k x n). Cache-blocked i-k-j loop
+/// order; rows are partitioned across `num_threads` when > 1.
+/// Returns InvalidArgument on an inner-dimension mismatch.
+Result<Matrix> MatMul(const Matrix& a, const Matrix& b, int num_threads = 1);
+
+/// Transpose-self matrix multiply (SystemDS "tsmm" / BLAS dsyrk):
+/// left = X^T * X (cols x cols), right = X * X^T (rows x rows).
+/// Exploits symmetry of the result (computes the upper triangle only).
+Matrix Tsmm(const Matrix& x, bool left = true, int num_threads = 1);
+
+/// Transpose A^T * B without materializing t(A). Used by compensation plans.
+Result<Matrix> TransposeMatMul(const Matrix& a, const Matrix& b,
+                               int num_threads = 1);
+
+}  // namespace lima
+
+#endif  // LIMA_MATRIX_MATMUL_H_

@@ -1,0 +1,74 @@
+#include "matrix/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace lima {
+
+Matrix::Matrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), 0.0) {
+  LIMA_CHECK_GE(rows, 0);
+  LIMA_CHECK_GE(cols, 0);
+}
+
+Matrix::Matrix(int64_t rows, int64_t cols, double value)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), value) {
+  LIMA_CHECK_GE(rows, 0);
+  LIMA_CHECK_GE(cols, 0);
+}
+
+Matrix::Matrix(int64_t rows, int64_t cols, std::vector<double> values)
+    : rows_(rows), cols_(cols), data_(std::move(values)) {
+  LIMA_CHECK_EQ(static_cast<int64_t>(data_.size()), rows * cols);
+}
+
+double Matrix::Sparsity() const {
+  if (size() == 0) return 0.0;
+  int64_t nnz = 0;
+  for (double v : data_) {
+    if (v != 0.0) ++nnz;
+  }
+  return static_cast<double>(nnz) / static_cast<double>(size());
+}
+
+bool Matrix::EqualsApprox(const Matrix& other, double tolerance) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    double a = data_[i];
+    double b = other.data_[i];
+    if (std::isnan(a) && std::isnan(b)) continue;
+    if (std::fabs(a - b) > tolerance) return false;
+  }
+  return true;
+}
+
+bool Matrix::IsSymmetric(double tolerance) const {
+  if (rows_ != cols_) return false;
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t j = i + 1; j < cols_; ++j) {
+      if (std::fabs(At(i, j) - At(j, i)) > tolerance) return false;
+    }
+  }
+  return true;
+}
+
+std::string Matrix::ToString(int64_t max_rows, int64_t max_cols) const {
+  std::ostringstream out;
+  int64_t show_rows = std::min(rows_, max_rows);
+  int64_t show_cols = std::min(cols_, max_cols);
+  for (int64_t i = 0; i < show_rows; ++i) {
+    for (int64_t j = 0; j < show_cols; ++j) {
+      if (j > 0) out << " ";
+      out << FormatDouble(At(i, j));
+    }
+    if (show_cols < cols_) out << " ...";
+    out << "\n";
+  }
+  if (show_rows < rows_) out << "... (" << rows_ << "x" << cols_ << ")\n";
+  return out.str();
+}
+
+}  // namespace lima

@@ -1,0 +1,88 @@
+#include "matrix/matrix_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace lima {
+
+Status WriteMatrixFile(const std::string& path, const Matrix& matrix) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  int64_t rows = matrix.rows();
+  int64_t cols = matrix.cols();
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(matrix.data()),
+            matrix.SizeInBytes());
+  out.close();
+  if (!out) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+Result<Matrix> ReadMatrixFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  int64_t rows = 0;
+  int64_t cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in || rows < 0 || cols < 0 || rows * cols > (int64_t{1} << 34)) {
+    return Status::IoError("corrupt matrix header: " + path);
+  }
+  Matrix matrix(rows, cols);
+  in.read(reinterpret_cast<char*>(matrix.mutable_data()),
+          matrix.SizeInBytes());
+  if (!in) return Status::IoError("short read: " + path);
+  return matrix;
+}
+
+Status WriteMatrixCsv(const std::string& path, const Matrix& matrix) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  for (int64_t i = 0; i < matrix.rows(); ++i) {
+    for (int64_t j = 0; j < matrix.cols(); ++j) {
+      if (j > 0) out << ",";
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", matrix.At(i, j));
+      out << buf;
+    }
+    out << "\n";
+  }
+  out.close();
+  if (!out) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+Result<Matrix> ReadMatrixCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::vector<double> values;
+  int64_t rows = 0;
+  int64_t cols = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (StripWhitespace(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, ',');
+    if (cols < 0) {
+      cols = static_cast<int64_t>(fields.size());
+    } else if (static_cast<int64_t>(fields.size()) != cols) {
+      return Status::IoError("ragged CSV row in " + path);
+    }
+    for (const std::string& field : fields) {
+      char* end = nullptr;
+      values.push_back(std::strtod(field.c_str(), &end));
+      if (end == field.c_str()) {
+        return Status::IoError("non-numeric CSV field '" + field + "' in " +
+                               path);
+      }
+    }
+    ++rows;
+  }
+  if (rows == 0) return Status::IoError("empty CSV: " + path);
+  return Matrix(rows, cols, std::move(values));
+}
+
+}  // namespace lima

@@ -1,0 +1,27 @@
+#ifndef LIMA_MATRIX_MATRIX_IO_H_
+#define LIMA_MATRIX_MATRIX_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "matrix/matrix.h"
+
+namespace lima {
+
+/// Writes a matrix in the LIMA binary format (int64 rows, int64 cols,
+/// row-major doubles). Files are treated as immutable once written
+/// (Sec. 3.4: deterministic reads).
+Status WriteMatrixFile(const std::string& path, const Matrix& matrix);
+
+/// Reads a matrix written by WriteMatrixFile.
+Result<Matrix> ReadMatrixFile(const std::string& path);
+
+/// Writes a matrix as comma-separated values (interop/debugging).
+Status WriteMatrixCsv(const std::string& path, const Matrix& matrix);
+
+/// Reads a rectangular CSV of doubles.
+Result<Matrix> ReadMatrixCsv(const std::string& path);
+
+}  // namespace lima
+
+#endif  // LIMA_MATRIX_MATRIX_IO_H_

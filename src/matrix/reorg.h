@@ -1,0 +1,41 @@
+#ifndef LIMA_MATRIX_REORG_H_
+#define LIMA_MATRIX_REORG_H_
+
+#include "common/result.h"
+#include "matrix/matrix.h"
+
+namespace lima {
+
+/// Matrix transpose.
+Matrix Transpose(const Matrix& m);
+
+/// DML diag(): for a column vector (n x 1), builds an n x n diagonal matrix;
+/// for a square matrix, extracts the diagonal as n x 1. InvalidArgument
+/// otherwise.
+Result<Matrix> Diag(const Matrix& m);
+
+/// Horizontal concatenation; row counts must match.
+Result<Matrix> CBind(const Matrix& a, const Matrix& b);
+
+/// Vertical concatenation; column counts must match.
+Result<Matrix> RBind(const Matrix& a, const Matrix& b);
+
+/// Row-major reshape to rows x cols; cell count must be preserved.
+Result<Matrix> Reshape(const Matrix& m, int64_t rows, int64_t cols);
+
+/// DML order(): stable sort of a column vector. If `index_return`, yields
+/// the 1-based permutation indices, else the sorted values (n x 1).
+Result<Matrix> Order(const Matrix& v, bool decreasing, bool index_return);
+
+/// DML table(v1, v2): contingency matrix F with F[v1[i], v2[i]] += 1 for
+/// 1-based positive integer entries. Output dims are max(v1) x max(v2), or
+/// out_rows/out_cols when > 0. v1 and v2 must be equal-length column vectors.
+Result<Matrix> Table(const Matrix& v1, const Matrix& v2, int64_t out_rows = 0,
+                     int64_t out_cols = 0);
+
+/// Reverses the row order (DML rev()).
+Matrix ReverseRows(const Matrix& m);
+
+}  // namespace lima
+
+#endif  // LIMA_MATRIX_REORG_H_

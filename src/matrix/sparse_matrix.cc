@@ -1,0 +1,93 @@
+#include "matrix/sparse_matrix.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace lima {
+
+Result<SparseMatrix> SparseMatrix::FromTriplets(
+    int64_t rows, int64_t cols,
+    const std::vector<std::tuple<int64_t, int64_t, double>>& triplets) {
+  for (const auto& [r, c, v] : triplets) {
+    (void)v;
+    if (r < 0 || r >= rows || c < 0 || c >= cols) {
+      return Status::OutOfRange("sparse triplet index out of bounds");
+    }
+  }
+  // Sort + merge duplicates.
+  std::map<std::pair<int64_t, int64_t>, double> cells;
+  for (const auto& [r, c, v] : triplets) {
+    if (v != 0.0) cells[{r, c}] += v;
+  }
+  SparseMatrix out(rows, cols);
+  out.row_ptr_.assign(rows + 1, 0);
+  out.col_idx_.reserve(cells.size());
+  out.values_.reserve(cells.size());
+  for (const auto& [rc, v] : cells) {
+    out.row_ptr_[rc.first + 1]++;
+    out.col_idx_.push_back(rc.second);
+    out.values_.push_back(v);
+  }
+  for (int64_t i = 0; i < rows; ++i) out.row_ptr_[i + 1] += out.row_ptr_[i];
+  return out;
+}
+
+SparseMatrix SparseMatrix::FromDense(const Matrix& dense) {
+  SparseMatrix out(dense.rows(), dense.cols());
+  out.row_ptr_.assign(dense.rows() + 1, 0);
+  for (int64_t i = 0; i < dense.rows(); ++i) {
+    for (int64_t j = 0; j < dense.cols(); ++j) {
+      double v = dense.At(i, j);
+      if (v != 0.0) {
+        out.col_idx_.push_back(j);
+        out.values_.push_back(v);
+      }
+    }
+    out.row_ptr_[i + 1] = static_cast<int64_t>(out.values_.size());
+  }
+  return out;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      out.At(i, col_idx_[k]) = values_[k];
+    }
+  }
+  return out;
+}
+
+Result<Matrix> SparseMatrix::SpMV(const Matrix& x) const {
+  if (x.rows() != cols_ || x.cols() != 1) {
+    return Status::Invalid("spmv: vector shape mismatch");
+  }
+  Matrix out(rows_, 1);
+  for (int64_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      s += values_[k] * x.At(col_idx_[k], 0);
+    }
+    out.At(i, 0) = s;
+  }
+  return out;
+}
+
+Result<Matrix> SparseMatrix::SpMM(const Matrix& b) const {
+  if (b.rows() != cols_) {
+    return Status::Invalid("spmm: inner dimension mismatch");
+  }
+  Matrix out(rows_, b.cols());
+  for (int64_t i = 0; i < rows_; ++i) {
+    double* orow = out.mutable_data() + i * b.cols();
+    for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      double v = values_[k];
+      const double* brow = b.data() + col_idx_[k] * b.cols();
+      for (int64_t j = 0; j < b.cols(); ++j) orow[j] += v * brow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace lima

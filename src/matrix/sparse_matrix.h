@@ -1,0 +1,54 @@
+#ifndef LIMA_MATRIX_SPARSE_MATRIX_H_
+#define LIMA_MATRIX_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "matrix/matrix.h"
+
+namespace lima {
+
+/// Compressed-sparse-row matrix used for large sparse inputs such as the
+/// PageRank link graph. The scripting runtime converts to/from dense at the
+/// boundary; SpMV/SpMM are exposed for C++-level workloads.
+class SparseMatrix {
+ public:
+  /// Builds from (row, col, value) triplets (0-based, duplicates summed).
+  static Result<SparseMatrix> FromTriplets(
+      int64_t rows, int64_t cols,
+      const std::vector<std::tuple<int64_t, int64_t, double>>& triplets);
+
+  /// Builds from a dense matrix, dropping zeros.
+  static SparseMatrix FromDense(const Matrix& dense);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Densifies (for tests and boundary conversion).
+  Matrix ToDense() const;
+
+  /// Sparse-matrix * dense-vector (x must be cols x 1) -> rows x 1.
+  Result<Matrix> SpMV(const Matrix& x) const;
+
+  /// Sparse-matrix * dense-matrix (b must be cols x n) -> rows x n.
+  Result<Matrix> SpMM(const Matrix& b) const;
+
+ private:
+  SparseMatrix(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {}
+
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int64_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace lima
+
+#endif  // LIMA_MATRIX_SPARSE_MATRIX_H_

@@ -1,0 +1,82 @@
+#include "reuse/coarse_cache.h"
+
+#include "common/hash.h"
+
+namespace lima {
+
+uint64_t CoarseGrainedCache::Fingerprint(const DataPtr& data) {
+  if (data == nullptr) return 0;
+  switch (data->type()) {
+    case DataType::kScalar: {
+      const ScalarValue& v =
+          static_cast<const ScalarData*>(data.get())->value();
+      return HashBytes(v.EncodeLineageLiteral());
+    }
+    case DataType::kMatrix: {
+      const MatrixPtr& m = static_cast<const MatrixData*>(data.get())->matrix();
+      uint64_t h = HashCombine(HashInt(m->rows()), HashInt(m->cols()));
+      // Sample up to 64 cells plus the corners; cheap but discriminative.
+      int64_t n = m->size();
+      if (n > 0) {
+        int64_t stride = std::max<int64_t>(1, n / 64);
+        for (int64_t i = 0; i < n; i += stride) {
+          uint64_t bits;
+          double v = m->data()[i];
+          static_assert(sizeof(bits) == sizeof(v));
+          __builtin_memcpy(&bits, &v, sizeof(bits));
+          h = HashCombine(h, bits);
+        }
+        uint64_t last;
+        double v = m->data()[n - 1];
+        __builtin_memcpy(&last, &v, sizeof(last));
+        h = HashCombine(h, last);
+      }
+      return h;
+    }
+    case DataType::kList: {
+      const auto* list = static_cast<const ListData*>(data.get());
+      uint64_t h = HashInt(list->size());
+      for (const DataPtr& e : list->elements()) {
+        h = HashCombine(h, Fingerprint(e));
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+std::string CoarseGrainedCache::MakeKey(
+    const std::string& step, const std::vector<DataPtr>& inputs) const {
+  std::string key = step;
+  for (const DataPtr& in : inputs) {
+    key += ":" + std::to_string(Fingerprint(in));
+  }
+  return key;
+}
+
+std::optional<std::vector<DataPtr>> CoarseGrainedCache::Lookup(
+    const std::string& step, const std::vector<DataPtr>& inputs) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(MakeKey(step, inputs));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void CoarseGrainedCache::Store(const std::string& step,
+                               const std::vector<DataPtr>& inputs,
+                               std::vector<DataPtr> outputs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[MakeKey(step, inputs)] = std::move(outputs);
+}
+
+void CoarseGrainedCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+int64_t CoarseGrainedCache::NumEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+}  // namespace lima

@@ -1,0 +1,48 @@
+#ifndef LIMA_REUSE_COARSE_CACHE_H_
+#define LIMA_REUSE_COARSE_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/data.h"
+
+namespace lima {
+
+/// Coarse-grained reuse baseline in the spirit of HELIX [Xin et al., VLDB
+/// 2018] and the Collaborative Optimizer [Derakhshan et al., SIGMOD 2020]:
+/// memoization of *top-level pipeline steps* keyed by the step name and
+/// input fingerprints. It treats each step as a black box, so it cannot
+/// exploit fine-grained or partial redundancy and cannot see internal
+/// nondeterminism — exactly the limitation LIMA addresses (Fig. 1). Used as
+/// the `Coarse` baseline in the Fig. 10 system-comparison benchmarks.
+class CoarseGrainedCache {
+ public:
+  /// Content fingerprint of a value: dimensions plus a sampled cell hash.
+  static uint64_t Fingerprint(const DataPtr& data);
+
+  /// Cached outputs of `step` for these exact inputs, if memoized.
+  std::optional<std::vector<DataPtr>> Lookup(
+      const std::string& step, const std::vector<DataPtr>& inputs) const;
+
+  /// Memoizes the step outputs.
+  void Store(const std::string& step, const std::vector<DataPtr>& inputs,
+             std::vector<DataPtr> outputs);
+
+  void Clear();
+  int64_t NumEntries() const;
+
+ private:
+  std::string MakeKey(const std::string& step,
+                      const std::vector<DataPtr>& inputs) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::vector<DataPtr>> entries_;
+};
+
+}  // namespace lima
+
+#endif  // LIMA_REUSE_COARSE_CACHE_H_

@@ -1,0 +1,265 @@
+#include "reuse/compiler_assist.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "runtime/instructions_matrix.h"
+#include "runtime/instructions_misc.h"
+
+namespace lima {
+
+namespace {
+
+void UnmarkInBlocks(const std::vector<BlockPtr>& blocks,
+                    const std::unordered_set<std::string>& carried);
+
+void UnmarkInBlock(const ProgramBlock& block,
+                   const std::unordered_set<std::string>& carried) {
+  switch (block.kind()) {
+    case BlockKind::kBasic: {
+      const auto& basic = static_cast<const BasicBlock&>(block);
+      for (const auto& instruction : basic.instructions()) {
+        for (const std::string& out : instruction->OutputVars()) {
+          if (carried.count(out) > 0) {
+            const_cast<Instruction*>(instruction.get())
+                ->set_reuse_marked(false);
+            break;
+          }
+        }
+      }
+      break;
+    }
+    case BlockKind::kIf: {
+      const auto& if_block = static_cast<const IfBlock&>(block);
+      UnmarkInBlocks(if_block.then_blocks(), carried);
+      UnmarkInBlocks(if_block.else_blocks(), carried);
+      break;
+    }
+    case BlockKind::kFor:
+    case BlockKind::kParFor:
+      UnmarkInBlocks(static_cast<const ForBlock&>(block).body(), carried);
+      break;
+    case BlockKind::kWhile:
+      UnmarkInBlocks(static_cast<const WhileBlock&>(block).body(), carried);
+      break;
+  }
+}
+
+void UnmarkInBlocks(const std::vector<BlockPtr>& blocks,
+                    const std::unordered_set<std::string>& carried) {
+  for (const BlockPtr& block : blocks) UnmarkInBlock(*block, carried);
+}
+
+void VisitLoops(std::vector<BlockPtr>* blocks) {
+  for (BlockPtr& block : *blocks) {
+    switch (block->kind()) {
+      case BlockKind::kBasic:
+        break;
+      case BlockKind::kIf: {
+        auto* if_block = static_cast<IfBlock*>(block.get());
+        VisitLoops(if_block->mutable_then_blocks());
+        VisitLoops(if_block->mutable_else_blocks());
+        break;
+      }
+      case BlockKind::kFor:
+      case BlockKind::kParFor: {
+        auto* loop = static_cast<ForBlock*>(block.get());
+        const LoopDedupInfo& info = loop->dedup_info();
+        std::unordered_set<std::string> carried;
+        std::unordered_set<std::string> inputs(info.body_inputs.begin(),
+                                               info.body_inputs.end());
+        for (const std::string& out : info.body_outputs) {
+          if (inputs.count(out) > 0) carried.insert(out);
+        }
+        if (!carried.empty()) UnmarkInBlocks(loop->body(), carried);
+        VisitLoops(loop->mutable_body());
+        break;
+      }
+      case BlockKind::kWhile: {
+        auto* loop = static_cast<WhileBlock*>(block.get());
+        const LoopDedupInfo& info = loop->dedup_info();
+        std::unordered_set<std::string> carried;
+        std::unordered_set<std::string> inputs(info.body_inputs.begin(),
+                                               info.body_inputs.end());
+        for (const std::string& out : info.body_outputs) {
+          if (inputs.count(out) > 0) carried.insert(out);
+        }
+        if (!carried.empty()) UnmarkInBlocks(loop->body(), carried);
+        VisitLoops(loop->mutable_body());
+        break;
+      }
+    }
+  }
+}
+
+using ReadCounts = std::unordered_map<std::string, int>;
+
+void CountReadsInBlocks(const std::vector<BlockPtr>& blocks, ReadCounts* reads);
+
+void CountReadsInBasic(const BasicBlock& block, ReadCounts* reads) {
+  for (const auto& instruction : block.instructions()) {
+    for (const std::string& var : instruction->InputVars()) (*reads)[var]++;
+  }
+}
+
+void CountReadsInBlocks(const std::vector<BlockPtr>& blocks,
+                        ReadCounts* reads) {
+  for (const BlockPtr& block : blocks) {
+    switch (block->kind()) {
+      case BlockKind::kBasic:
+        CountReadsInBasic(static_cast<const BasicBlock&>(*block), reads);
+        break;
+      case BlockKind::kIf: {
+        const auto& if_block = static_cast<const IfBlock&>(*block);
+        CountReadsInBasic(if_block.predicate().block(), reads);
+        (*reads)[if_block.predicate().result_var()]++;
+        CountReadsInBlocks(if_block.then_blocks(), reads);
+        CountReadsInBlocks(if_block.else_blocks(), reads);
+        break;
+      }
+      case BlockKind::kFor:
+      case BlockKind::kParFor: {
+        const auto& for_block = static_cast<const ForBlock&>(*block);
+        CountReadsInBasic(for_block.from().block(), reads);
+        (*reads)[for_block.from().result_var()]++;
+        CountReadsInBasic(for_block.to().block(), reads);
+        (*reads)[for_block.to().result_var()]++;
+        CountReadsInBasic(for_block.incr().block(), reads);
+        CountReadsInBlocks(for_block.body(), reads);
+        break;
+      }
+      case BlockKind::kWhile: {
+        const auto& while_block = static_cast<const WhileBlock&>(*block);
+        CountReadsInBasic(while_block.predicate().block(), reads);
+        (*reads)[while_block.predicate().result_var()]++;
+        CountReadsInBlocks(while_block.body(), reads);
+        break;
+      }
+    }
+  }
+}
+
+// Rewrites `T = cbind(A, B); [mvvar T -> Z;] S = tsmm(Z or T)` into a single
+// tsmm_cbind(A, B) when the cbind result has no other reader anywhere in the
+// program — avoiding the cbind materialization entirely (Sec. 4.4, the
+// stepLm recompilation rewrite).
+void RewriteBasicBlock(BasicBlock* block, const ReadCounts& global_reads) {
+  auto* instructions = block->mutable_instructions();
+  struct Producer {
+    size_t cbind_index;
+    size_t mvvar_index;  // == cbind_index when no rename is involved
+  };
+  std::unordered_map<std::string, Producer> producers;
+  for (size_t i = 0; i < instructions->size(); ++i) {
+    Instruction* instruction = (*instructions)[i].get();
+    if (instruction->opcode() == "cbind") {
+      producers[instruction->OutputVars()[0]] = {i, i};
+      continue;
+    }
+    if (instruction->opcode() == "mvvar") {
+      const auto* move = static_cast<const VariableInstruction*>(instruction);
+      auto it = producers.find(move->InputVars()[0]);
+      if (it != producers.end()) {
+        Producer p = it->second;
+        p.mvvar_index = i;
+        producers.erase(it);
+        producers[move->OutputVars()[0]] = p;
+      }
+      continue;
+    }
+    if (instruction->opcode() != "tsmm") continue;
+    const auto* tsmm = static_cast<const ComputationInstruction*>(instruction);
+    const Operand& in = tsmm->operands()[0];
+    if (in.is_literal) continue;
+    auto producer = producers.find(in.name);
+    if (producer == producers.end()) continue;
+    auto reads = global_reads.find(in.name);
+    if (reads == global_reads.end() || reads->second != 1) continue;
+
+    const Producer p = producer->second;
+    const auto* append = static_cast<const ComputationInstruction*>(
+        (*instructions)[p.cbind_index].get());
+    Operand a = append->operands()[0];
+    Operand b = append->operands()[1];
+    std::string out = tsmm->OutputVars()[0];
+    // Copy before replacing: `in` references the tsmm being destroyed.
+    std::string composed_var = in.name;
+    (*instructions)[i] = std::make_unique<TsmmCbindInstruction>(a, b, out);
+    (*instructions)[p.cbind_index] = VariableInstruction::Remove({});
+    if (p.mvvar_index != p.cbind_index) {
+      (*instructions)[p.mvvar_index] =
+          VariableInstruction::Remove({composed_var});
+    }
+    // The cbind operands now live until the tsmm_cbind executes: strip them
+    // from any earlier statement-cleanup rmvar between producer and use.
+    for (size_t k = p.cbind_index + 1; k < i; ++k) {
+      Instruction* cleanup = (*instructions)[k].get();
+      if (cleanup->opcode() != "rmvar") continue;
+      const auto* remove = static_cast<const VariableInstruction*>(cleanup);
+      std::vector<std::string> kept;
+      bool changed = false;
+      for (const std::string& name : remove->names()) {
+        if ((!a.is_literal && name == a.name) ||
+            (!b.is_literal && name == b.name)) {
+          changed = true;
+        } else {
+          kept.push_back(name);
+        }
+      }
+      if (changed) {
+        (*instructions)[k] = VariableInstruction::Remove(std::move(kept));
+      }
+    }
+    producers.erase(producer);
+  }
+}
+
+void RewriteInBlocks(std::vector<BlockPtr>* blocks, const ReadCounts& reads) {
+  for (BlockPtr& block : *blocks) {
+    switch (block->kind()) {
+      case BlockKind::kBasic:
+        RewriteBasicBlock(static_cast<BasicBlock*>(block.get()), reads);
+        break;
+      case BlockKind::kIf: {
+        auto* if_block = static_cast<IfBlock*>(block.get());
+        RewriteInBlocks(if_block->mutable_then_blocks(), reads);
+        RewriteInBlocks(if_block->mutable_else_blocks(), reads);
+        break;
+      }
+      case BlockKind::kFor:
+      case BlockKind::kParFor:
+        RewriteInBlocks(static_cast<ForBlock*>(block.get())->mutable_body(), reads);
+        break;
+      case BlockKind::kWhile:
+        RewriteInBlocks(static_cast<WhileBlock*>(block.get())->mutable_body(), reads);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void UnmarkLoopCarriedInstructions(Program* program) {
+  VisitLoops(program->mutable_main());
+  for (const auto& [name, fn] : program->functions()) {
+    VisitLoops(fn->mutable_body());
+  }
+}
+
+void ApplyReuseAwareRewrites(Program* program) {
+  // Scope-wide read counts make eliminating the cbind variable safe: it
+  // must have no reader other than the tsmm being rewritten. Variables are
+  // function-local, so counts are computed per scope.
+  {
+    ReadCounts reads;
+    CountReadsInBlocks(program->main(), &reads);
+    RewriteInBlocks(program->mutable_main(), reads);
+  }
+  for (const auto& [name, fn] : program->functions()) {
+    ReadCounts reads;
+    CountReadsInBlocks(fn->body(), &reads);
+    RewriteInBlocks(fn->mutable_body(), reads);
+  }
+}
+
+}  // namespace lima

@@ -1,0 +1,24 @@
+#ifndef LIMA_REUSE_COMPILER_ASSIST_H_
+#define LIMA_REUSE_COMPILER_ASSIST_H_
+
+#include "runtime/program.h"
+
+namespace lima {
+
+/// Compiler assistance for the runtime lineage cache (Sec. 4.4). Both
+/// passes run after AnalyzeProgram when LimaConfig::compiler_assist is set.
+
+/// Unmarking: disables probing/caching for operation instances whose
+/// outputs are loop-carried (recursively updated across iterations) — such
+/// intermediates are never reused and only pollute the cache.
+void UnmarkLoopCarriedInstructions(Program* program);
+
+/// Reuse-aware rewrites: replaces `Z = cbind(A, B); S = tsmm(Z)` pairs
+/// (where Z has no other consumer) with a fused tsmm_cbind instruction that
+/// avoids materializing the cbind and reuses the cached t(A)A block — the
+/// stepLm pattern of Fig. 7(a) (LIMA-CA).
+void ApplyReuseAwareRewrites(Program* program);
+
+}  // namespace lima
+
+#endif  // LIMA_REUSE_COMPILER_ASSIST_H_

@@ -1,0 +1,310 @@
+#include "reuse/lineage_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+#include <fstream>
+#include <limits>
+#include <unistd.h>
+
+#include "common/timer.h"
+#include "reuse/partial_rewrites.h"
+
+namespace lima {
+
+namespace {
+
+constexpr double kEmaAlpha = 0.3;
+
+}  // namespace
+
+LineageCache::LineageCache(const LimaConfig& config, RuntimeStats* stats)
+    : config_(config), stats_(stats) {
+  spill_dir_ = config.spill_dir.empty()
+                   ? std::filesystem::temp_directory_path().string()
+                   : config.spill_dir;
+}
+
+LineageCache::~LineageCache() { Clear(); }
+
+double LineageCache::Score(const Entry& entry) const {
+  switch (config_.eviction_policy) {
+    case EvictionPolicy::kLru:
+      return static_cast<double>(entry.last_access);
+    case EvictionPolicy::kDagHeight:
+      // Deep lineage traces have less reuse potential -> small score.
+      return 1.0 / static_cast<double>(1 + entry.height);
+    case EvictionPolicy::kCostSize:
+      return static_cast<double>(entry.refs) * entry.compute_seconds /
+             static_cast<double>(std::max<int64_t>(entry.size_bytes, 1));
+  }
+  return 0.0;
+}
+
+std::string LineageCache::NextSpillPath() {
+  return spill_dir_ + "/lima_spill_" + std::to_string(::getpid()) + "_" +
+         std::to_string(spill_counter_++) + ".bin";
+}
+
+bool LineageCache::SpillEntry(Entry* entry) {
+  if (entry->value == nullptr || entry->value->type() != DataType::kMatrix) {
+    return false;
+  }
+  const MatrixPtr& m =
+      static_cast<const MatrixData*>(entry->value.get())->matrix();
+  std::string path = NextSpillPath();
+  StopWatch watch;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  int64_t rows = m->rows();
+  int64_t cols = m->cols();
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(m->data()),
+            m->SizeInBytes());
+  out.close();
+  if (!out) {
+    std::filesystem::remove(path);
+    return false;
+  }
+  double seconds = watch.ElapsedSeconds();
+  if (seconds > 0) {
+    double measured = static_cast<double>(entry->size_bytes) / seconds;
+    write_bandwidth_ = (1 - kEmaAlpha) * write_bandwidth_ + kEmaAlpha * measured;
+  }
+  if (stats_ != nullptr) {
+    stats_->spills.fetch_add(1, std::memory_order_relaxed);
+    stats_->spill_nanos.fetch_add(static_cast<int64_t>(seconds * 1e9),
+                                  std::memory_order_relaxed);
+  }
+  entry->spill_path = std::move(path);
+  entry->spilled = true;
+  entry->value = nullptr;
+  return true;
+}
+
+Status LineageCache::RestoreEntry(Entry* entry) {
+  StopWatch watch;
+  std::ifstream in(entry->spill_path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot restore spilled entry from " +
+                           entry->spill_path);
+  }
+  int64_t rows = 0;
+  int64_t cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  Matrix m(rows, cols);
+  in.read(reinterpret_cast<char*>(m.mutable_data()), m.SizeInBytes());
+  if (!in) {
+    return Status::IoError("short read restoring " + entry->spill_path);
+  }
+  double seconds = watch.ElapsedSeconds();
+  if (seconds > 0) {
+    double measured = static_cast<double>(entry->size_bytes) / seconds;
+    read_bandwidth_ = (1 - kEmaAlpha) * read_bandwidth_ + kEmaAlpha * measured;
+  }
+  std::filesystem::remove(entry->spill_path);
+  entry->value = MakeMatrixData(std::move(m));
+  entry->spilled = false;
+  entry->spill_path.clear();
+  size_bytes_ += entry->size_bytes;
+  if (stats_ != nullptr) {
+    stats_->restores.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void LineageCache::EvictUntilFits() {
+  if (size_bytes_ <= config_.cache_budget_bytes) return;
+  // Batch eviction with hysteresis: one score scan (semantically the
+  // paper's priority queue), then evict in ascending score order until 80%
+  // of the budget, so back-to-back Puts do not rescan.
+  const int64_t low_water =
+      config_.cache_budget_bytes - config_.cache_budget_bytes / 5;
+  std::vector<std::pair<double, LineageItemPtr>> order;
+  order.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    if (entry->placeholder || entry->spilled || entry->value == nullptr) {
+      continue;
+    }
+    order.emplace_back(Score(*entry), key);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [score, key] : order) {
+    if (size_bytes_ <= low_water) break;
+    auto it = entries_.find(key);
+    if (it == entries_.end()) continue;
+    Entry& entry = *it->second;
+    size_bytes_ -= entry.size_bytes;
+    if (ghost_refs_.size() > 100000) ghost_refs_.clear();
+    ghost_refs_[it->first->hash()] = entry.refs;
+    if (stats_ != nullptr) {
+      stats_->evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Spill only when recomputation costs more than the estimated I/O time
+    // (Sec. 4.3); otherwise delete.
+    bool spilled = false;
+    if (config_.enable_spilling &&
+        entry.compute_seconds >
+            static_cast<double>(entry.size_bytes) / read_bandwidth_) {
+      spilled = SpillEntry(&entry);
+    }
+    if (!spilled) entries_.erase(it);
+  }
+}
+
+ReuseCache::ProbeResult LineageCache::Probe(const LineageItemPtr& key,
+                                            bool claim) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      if (!claim) return {ProbeKind::kMiss, nullptr};
+      auto entry = std::make_shared<Entry>();
+      entry->placeholder = true;
+      entry->last_access = ++clock_;
+      auto ghost = ghost_refs_.find(key->hash());
+      entry->refs = 1 + (ghost != ghost_refs_.end() ? ghost->second : 0);
+      entries_.emplace(key, std::move(entry));
+      return {ProbeKind::kClaimed, nullptr};
+    }
+    std::shared_ptr<Entry> entry = it->second;
+    entry->refs++;
+    entry->last_access = ++clock_;
+    if (entry->placeholder) {
+      // Another worker is computing this value (Sec. 4.1): block until the
+      // placeholder is filled or aborted.
+      if (stats_ != nullptr) {
+        stats_->placeholder_waits.fetch_add(1, std::memory_order_relaxed);
+      }
+      cv_.wait(lock);
+      continue;  // Re-probe from scratch.
+    }
+    if (entry->spilled) {
+      Status restored = RestoreEntry(entry.get());
+      if (!restored.ok()) {
+        entries_.erase(it);
+        continue;
+      }
+      EvictUntilFits();
+    }
+    return {ProbeKind::kHit, entry->value};
+  }
+}
+
+void LineageCache::Put(const LineageItemPtr& key, DataPtr value,
+                       double compute_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  int64_t size = value->SizeInBytes();
+  auto it = entries_.find(key);
+
+  // Objects larger than the budget are not subject to caching (Sec. 4.3).
+  if (size > config_.cache_budget_bytes) {
+    if (it != entries_.end() && it->second->placeholder) {
+      entries_.erase(it);
+      cv_.notify_all();
+    }
+    return;
+  }
+
+  if (it != entries_.end()) {
+    Entry& entry = *it->second;
+    if (!entry.placeholder && (entry.value != nullptr || entry.spilled)) {
+      return;  // Already cached.
+    }
+    entry.placeholder = false;
+    entry.value = std::move(value);
+    entry.compute_seconds = compute_seconds;
+    entry.height = key->height();
+    entry.size_bytes = size;
+    entry.last_access = ++clock_;
+    size_bytes_ += size;
+    cv_.notify_all();
+  } else {
+    auto entry = std::make_shared<Entry>();
+    entry->value = std::move(value);
+    entry->compute_seconds = compute_seconds;
+    entry->height = key->height();
+    entry->size_bytes = size;
+    entry->last_access = ++clock_;
+    auto ghost = ghost_refs_.find(key->hash());
+    entry->refs = 1 + (ghost != ghost_refs_.end() ? ghost->second : 0);
+    size_bytes_ += size;
+    entries_.emplace(key, std::move(entry));
+  }
+  EvictUntilFits();
+}
+
+void LineageCache::Abort(const LineageItemPtr& key) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second->placeholder) {
+    entries_.erase(it);
+  }
+  cv_.notify_all();
+}
+
+DataPtr LineageCache::Peek(const LineageItemPtr& key) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  std::shared_ptr<Entry> entry = it->second;
+  if (entry->placeholder) return nullptr;
+  if (entry->spilled) {
+    if (!RestoreEntry(entry.get()).ok()) {
+      entries_.erase(it);
+      return nullptr;
+    }
+    EvictUntilFits();
+  }
+  entry->refs++;
+  entry->last_access = ++clock_;
+  return entry->value;
+}
+
+DataPtr LineageCache::TryPartialReuse(const LineageItemPtr& key,
+                                      const std::vector<DataPtr>& inputs,
+                                      int kernel_threads) {
+  return TryPartialRewrites(this, key, inputs, kernel_threads);
+}
+
+void LineageCache::Clear() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto& [key, entry] : entries_) {
+    if (entry->spilled) std::filesystem::remove(entry->spill_path);
+  }
+  entries_.clear();
+  size_bytes_ = 0;
+  cv_.notify_all();
+}
+
+int64_t LineageCache::NumEntries() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  int64_t count = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry->placeholder) ++count;
+  }
+  return count;
+}
+
+int64_t LineageCache::SizeInBytes() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return size_bytes_;
+}
+
+void LineageCache::SetBudget(int64_t bytes) {
+  std::unique_lock<std::mutex> lock(mu_);
+  config_.cache_budget_bytes = bytes;
+  EvictUntilFits();
+}
+
+bool LineageCache::Contains(const LineageItemPtr& key) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  return it != entries_.end() && !it->second->placeholder;
+}
+
+}  // namespace lima

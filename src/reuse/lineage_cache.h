@@ -1,0 +1,118 @@
+#ifndef LIMA_REUSE_LINEAGE_CACHE_H_
+#define LIMA_REUSE_LINEAGE_CACHE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/config.h"
+#include "runtime/reuse_cache.h"
+#include "runtime/stats.h"
+
+namespace lima {
+
+/// The LIMA lineage cache (Sec. 4): a thread-safe map from lineage traces to
+/// cached values with
+///  - full reuse + placeholder entries for task-parallel workers (Sec. 4.1),
+///  - partial-rewrite reuse with compensation plans (Sec. 4.2),
+///  - cost-based eviction policies (LRU / DAG-Height / Cost&Size, Table 1)
+///    and disk spilling with bandwidth adaptation (Sec. 4.3).
+///
+/// Keys are lineage items; equality is structural DAG equality with hash
+/// pruning, so equivalent computations collide regardless of where (which
+/// loop iteration, thread, or function) they were traced.
+class LineageCache : public ReuseCache {
+ public:
+  explicit LineageCache(const LimaConfig& config,
+                        RuntimeStats* stats = nullptr);
+  ~LineageCache() override;
+
+  LineageCache(const LineageCache&) = delete;
+  LineageCache& operator=(const LineageCache&) = delete;
+
+  // ReuseCache interface.
+  ProbeResult Probe(const LineageItemPtr& key, bool claim) override;
+  void Put(const LineageItemPtr& key, DataPtr value,
+           double compute_seconds) override;
+  void Abort(const LineageItemPtr& key) override;
+  DataPtr Peek(const LineageItemPtr& key) override;
+  DataPtr TryPartialReuse(const LineageItemPtr& key,
+                          const std::vector<DataPtr>& inputs,
+                          int kernel_threads) override;
+  void Clear() override;
+  int64_t NumEntries() const override;
+  int64_t SizeInBytes() const override;
+
+  /// Changes the cache budget at runtime (benchmarks).
+  void SetBudget(int64_t bytes);
+
+  /// True if a ready (non-placeholder) entry exists for `key`.
+  bool Contains(const LineageItemPtr& key) const;
+
+  RuntimeStats* stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    DataPtr value;              ///< null while placeholder or spilled
+    bool placeholder = false;
+    bool spilled = false;
+    std::string spill_path;
+    double compute_seconds = 0;
+    int64_t height = 0;         ///< lineage DAG height (DAG-Height policy)
+    int64_t last_access = 0;    ///< logical clock (LRU policy)
+    int64_t refs = 0;           ///< hits + misses on this key (Cost&Size)
+    int64_t size_bytes = 0;
+  };
+
+  struct KeyHash {
+    size_t operator()(const LineageItemPtr& key) const {
+      return static_cast<size_t>(key->hash());
+    }
+  };
+  struct KeyEq {
+    bool operator()(const LineageItemPtr& a, const LineageItemPtr& b) const {
+      return LineageEquals(a, b);
+    }
+  };
+  using EntryMap = std::unordered_map<LineageItemPtr, std::shared_ptr<Entry>,
+                                      KeyHash, KeyEq>;
+
+  /// Eviction score (Table 1); the entry with the smallest score is evicted
+  /// first.
+  double Score(const Entry& entry) const;
+
+  /// Evicts (or spills) entries until size_bytes_ <= budget. Requires mu_.
+  void EvictUntilFits();
+
+  /// Spills entry value to disk; true on success. Requires mu_.
+  bool SpillEntry(Entry* entry);
+
+  /// Restores a spilled entry from disk. Requires mu_.
+  Status RestoreEntry(Entry* entry);
+
+  std::string NextSpillPath();
+
+  LimaConfig config_;
+  RuntimeStats* stats_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  EntryMap entries_;
+  int64_t size_bytes_ = 0;
+  int64_t clock_ = 0;
+  /// Reference counts of evicted keys ("ghosts"): a re-inserted entry keeps
+  /// its access history, so repeatedly-missed values gain Cost&Size score
+  /// and eventually stay resident (the Fig. 8(a) P2 behavior).
+  std::unordered_map<uint64_t, int64_t> ghost_refs_;
+  int64_t spill_counter_ = 0;
+  std::string spill_dir_;
+  // Expected disk bandwidths (bytes/s), adapted by exponential moving
+  // average of measured I/O times (Sec. 4.3).
+  double write_bandwidth_ = 500.0 * 1024 * 1024;
+  double read_bandwidth_ = 1000.0 * 1024 * 1024;
+};
+
+}  // namespace lima
+
+#endif  // LIMA_REUSE_LINEAGE_CACHE_H_

@@ -1,0 +1,41 @@
+#ifndef LIMA_REUSE_PARTIAL_REWRITES_H_
+#define LIMA_REUSE_PARTIAL_REWRITES_H_
+
+#include <vector>
+
+#include "lineage/lineage_item.h"
+#include "runtime/data.h"
+
+namespace lima {
+
+class LineageCache;
+
+/// Partial-rewrite reuse (Sec. 4.2): probes an ordered list of hand-written
+/// source-target patterns against the lineage of the *about-to-execute*
+/// operation `key`. When a pattern matches and the required component is in
+/// the cache, a compensation plan is executed and its result returned
+/// (nullptr otherwise). Computed compensation intermediates are inserted
+/// into the cache under their own lineage, enabling incremental chains
+/// (e.g. stepLm).
+///
+/// Implemented meta-rewrites (with transpose/ones/index variants):
+///   rbind(X,dX) %*% Y          -> rbind(XY, dX Y)
+///   X %*% cbind(Y,dY)          -> cbind(XY, X dY)
+///   X %*% cbind(Y,1)           -> cbind(XY, rowSums(X))
+///   X %*% (Y[,l:u])            -> (XY)[,l:u]
+///   t(cbind(A,B)) %*% y        -> rbind(t(A)y, t(B)y)
+///   tsmm(rbind(X,dX))          -> tsmm(X) + tsmm(dX)
+///   tsmm(cbind(X,dX))          -> [[tsmm(X), t(X)dX], [t(dX)X, tsmm(dX)]]
+///   cbind(X,dX) (*) cbind(Y,dY)-> cbind(X*Y, dX*dY)   (any cellwise op)
+///   colAgg(cbind(X,dX))        -> cbind(colAgg(X), colAgg(dX))
+///   rowAgg(rbind(X,dX))        -> rbind(rowAgg(X), rowAgg(dX))
+///
+/// `inputs` are the resolved input values of the operation, positionally
+/// aligned with key->inputs().
+DataPtr TryPartialRewrites(LineageCache* cache, const LineageItemPtr& key,
+                           const std::vector<DataPtr>& inputs,
+                           int kernel_threads);
+
+}  // namespace lima
+
+#endif  // LIMA_REUSE_PARTIAL_REWRITES_H_

@@ -1,0 +1,84 @@
+#include "runtime/data.h"
+
+namespace lima {
+
+DataPtr MakeMatrixData(Matrix&& m) {
+  return std::make_shared<const MatrixData>(MakeMatrixPtr(std::move(m)));
+}
+
+DataPtr MakeMatrixData(MatrixPtr m) {
+  return std::make_shared<const MatrixData>(std::move(m));
+}
+
+DataPtr MakeScalarData(ScalarValue v) {
+  return std::make_shared<const ScalarData>(std::move(v));
+}
+
+DataPtr MakeDoubleData(double v) {
+  return MakeScalarData(ScalarValue::Double(v));
+}
+
+DataPtr MakeIntData(int64_t v) { return MakeScalarData(ScalarValue::Int(v)); }
+
+DataPtr MakeBoolData(bool v) { return MakeScalarData(ScalarValue::Bool(v)); }
+
+DataPtr MakeStringData(std::string v) {
+  return MakeScalarData(ScalarValue::String(std::move(v)));
+}
+
+Result<MatrixPtr> AsMatrix(const DataPtr& data) {
+  if (data == nullptr || data->type() != DataType::kMatrix) {
+    return Status::TypeError(
+        std::string("expected a matrix, got ") +
+        (data == nullptr ? "null" : DataTypeToString(data->type())));
+  }
+  return static_cast<const MatrixData*>(data.get())->matrix();
+}
+
+Result<ScalarValue> AsScalar(const DataPtr& data) {
+  if (data == nullptr || data->type() != DataType::kScalar) {
+    return Status::TypeError(
+        std::string("expected a scalar, got ") +
+        (data == nullptr ? "null" : DataTypeToString(data->type())));
+  }
+  return static_cast<const ScalarData*>(data.get())->value();
+}
+
+Result<std::shared_ptr<const ListData>> AsList(const DataPtr& data) {
+  if (data == nullptr || data->type() != DataType::kList) {
+    return Status::TypeError(
+        std::string("expected a list, got ") +
+        (data == nullptr ? "null" : DataTypeToString(data->type())));
+  }
+  return std::static_pointer_cast<const ListData>(data);
+}
+
+Result<double> AsNumber(const DataPtr& data) {
+  if (data != nullptr && data->type() == DataType::kScalar) {
+    const ScalarValue& v = static_cast<const ScalarData*>(data.get())->value();
+    if (!v.is_numeric()) {
+      return Status::TypeError("string scalar used as number");
+    }
+    return v.AsDouble();
+  }
+  if (data != nullptr && data->type() == DataType::kMatrix) {
+    const MatrixPtr& m = static_cast<const MatrixData*>(data.get())->matrix();
+    if (m->rows() == 1 && m->cols() == 1) return m->At(0, 0);
+    return Status::TypeError("non-1x1 matrix used as number");
+  }
+  return Status::TypeError("value is not numeric");
+}
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kMatrix:
+      return "matrix";
+    case DataType::kScalar:
+      return "scalar";
+    case DataType::kList:
+      return "list";
+  }
+  return "unknown";
+}
+
+}  // namespace lima

@@ -1,0 +1,107 @@
+#ifndef LIMA_RUNTIME_DATA_H_
+#define LIMA_RUNTIME_DATA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lineage/lineage_item.h"
+#include "matrix/matrix.h"
+#include "runtime/scalar.h"
+
+namespace lima {
+
+/// Runtime data object kinds held by the symbol table and the lineage cache.
+enum class DataType { kMatrix, kScalar, kList };
+
+/// Immutable runtime data object. Instructions consume and produce DataPtr
+/// handles; values are never mutated in place.
+class Data {
+ public:
+  virtual ~Data() = default;
+  virtual DataType type() const = 0;
+  /// Approximate in-memory size (drives cache budgets and eviction).
+  virtual int64_t SizeInBytes() const = 0;
+};
+
+using DataPtr = std::shared_ptr<const Data>;
+
+/// A matrix value.
+class MatrixData : public Data {
+ public:
+  explicit MatrixData(MatrixPtr matrix) : matrix_(std::move(matrix)) {}
+  DataType type() const override { return DataType::kMatrix; }
+  int64_t SizeInBytes() const override { return matrix_->SizeInBytes(); }
+  const MatrixPtr& matrix() const { return matrix_; }
+
+ private:
+  MatrixPtr matrix_;
+};
+
+/// A scalar value.
+class ScalarData : public Data {
+ public:
+  explicit ScalarData(ScalarValue value) : value_(std::move(value)) {}
+  DataType type() const override { return DataType::kScalar; }
+  int64_t SizeInBytes() const override {
+    return static_cast<int64_t>(sizeof(ScalarValue)) +
+           (value_.is_string()
+                ? static_cast<int64_t>(value_.AsString().size())
+                : 0);
+  }
+  const ScalarValue& value() const { return value_; }
+
+ private:
+  ScalarValue value_;
+};
+
+/// An ordered list of data objects. Each element carries the lineage it had
+/// when the list was built, so list indexing restores fine-grained lineage
+/// (also used to bundle function outputs for multi-level reuse, Sec. 4.1).
+class ListData : public Data {
+ public:
+  ListData(std::vector<DataPtr> elements,
+           std::vector<LineageItemPtr> element_lineage)
+      : elements_(std::move(elements)),
+        element_lineage_(std::move(element_lineage)) {}
+
+  DataType type() const override { return DataType::kList; }
+  int64_t SizeInBytes() const override {
+    int64_t total = 0;
+    for (const DataPtr& e : elements_) total += e->SizeInBytes();
+    return total;
+  }
+  const std::vector<DataPtr>& elements() const { return elements_; }
+  const std::vector<LineageItemPtr>& element_lineage() const {
+    return element_lineage_;
+  }
+  int64_t size() const { return static_cast<int64_t>(elements_.size()); }
+
+ private:
+  std::vector<DataPtr> elements_;
+  std::vector<LineageItemPtr> element_lineage_;
+};
+
+/// Constructors.
+DataPtr MakeMatrixData(Matrix&& m);
+DataPtr MakeMatrixData(MatrixPtr m);
+DataPtr MakeScalarData(ScalarValue v);
+DataPtr MakeDoubleData(double v);
+DataPtr MakeIntData(int64_t v);
+DataPtr MakeBoolData(bool v);
+DataPtr MakeStringData(std::string v);
+
+/// Typed accessors returning TypeError on kind mismatch.
+Result<MatrixPtr> AsMatrix(const DataPtr& data);
+Result<ScalarValue> AsScalar(const DataPtr& data);
+Result<std::shared_ptr<const ListData>> AsList(const DataPtr& data);
+
+/// Numeric view: scalar -> its double; 1x1 matrix -> its cell.
+Result<double> AsNumber(const DataPtr& data);
+
+const char* DataTypeToString(DataType type);
+
+}  // namespace lima
+
+#endif  // LIMA_RUNTIME_DATA_H_

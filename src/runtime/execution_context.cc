@@ -1,0 +1,106 @@
+#include "runtime/execution_context.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <iostream>
+
+#include "common/hash.h"
+
+namespace lima {
+
+namespace {
+std::atomic<int64_t> g_orphan_counter{0};
+}  // namespace
+
+ExecutionContext::ExecutionContext(const LimaConfig* config,
+                                   const Program* program, ReuseCache* cache,
+                                   DedupRegistry* dedup_registry,
+                                   RuntimeStats* stats)
+    : config_(config),
+      program_(program),
+      cache_(cache),
+      dedup_registry_(dedup_registry),
+      stats_(stats),
+      kernel_threads_(config->kernel_threads) {}
+
+std::ostream& ExecutionContext::print_stream() const {
+  return print_stream_ != nullptr ? *print_stream_ : std::cout;
+}
+
+void ExecutionContext::SetVariable(const std::string& name, DataPtr value,
+                                   LineageItemPtr item) {
+  symbols_.Set(name, std::move(value));
+  if (!tracing_enabled()) return;
+  if (item == nullptr) {
+    // Unique orphan leaf: distinct untraced values never alias.
+    item = LineageItem::Create(
+        "orphan", {},
+        std::to_string(g_orphan_counter.fetch_add(1,
+                                                  std::memory_order_relaxed)));
+  }
+  lineage_.Set(name, std::move(item));
+}
+
+namespace {
+
+/// Sampled content fingerprint of an external input. The paper assumes
+/// inputs are immutable (Sec. 3.4); for the session API, where a name can
+/// be re-bound to different data, the fingerprint keeps distinct inputs
+/// from aliasing in the reuse cache.
+uint64_t InputFingerprint(const DataPtr& value) {
+  if (value->type() != DataType::kMatrix) {
+    return HashInt(static_cast<uint64_t>(value->SizeInBytes()));
+  }
+  const MatrixPtr& m = static_cast<const MatrixData*>(value.get())->matrix();
+  uint64_t h = HashCombine(HashInt(m->rows()), HashInt(m->cols()));
+  int64_t n = m->size();
+  int64_t stride = std::max<int64_t>(1, n / 64);
+  for (int64_t i = 0; i < n; i += stride) {
+    uint64_t bits;
+    double v = m->data()[i];
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    h = HashCombine(h, bits);
+  }
+  return h;
+}
+
+}  // namespace
+
+void ExecutionContext::BindInput(const std::string& name, DataPtr value) {
+  uint64_t fingerprint = tracing_enabled() ? InputFingerprint(value) : 0;
+  symbols_.Set(name, std::move(value));
+  if (tracing_enabled()) {
+    // The fingerprint rides along as a literal input; the item's data stays
+    // the plain name (reconstruction binds inputs by name).
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "S%016llx",
+                  static_cast<unsigned long long>(fingerprint));
+    lineage_.Set(name,
+                 LineageItem::Create(
+                     "read", {lineage_.GetOrCreateLiteral(buf)}, name));
+  }
+}
+
+ExecutionContext ExecutionContext::MakeFunctionContext() const {
+  ExecutionContext child(config_, program_, cache_, dedup_registry_, stats_);
+  child.print_stream_ = print_stream_;
+  child.kernel_threads_ = kernel_threads_;
+  child.call_depth_ = call_depth_ + 1;
+  // Fresh symbols and lineage (function-local); no tracer (dedup loops are
+  // last-level and never contain function calls).
+  return child;
+}
+
+ExecutionContext ExecutionContext::MakeWorkerContext() const {
+  ExecutionContext child(config_, program_, cache_, dedup_registry_, stats_);
+  child.print_stream_ = print_stream_;
+  child.symbols_ = symbols_;
+  child.lineage_ = lineage_;
+  child.call_depth_ = call_depth_;
+  child.kernel_threads_ = 1;
+  return child;
+}
+
+}  // namespace lima

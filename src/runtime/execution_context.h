@@ -1,0 +1,112 @@
+#ifndef LIMA_RUNTIME_EXECUTION_CONTEXT_H_
+#define LIMA_RUNTIME_EXECUTION_CONTEXT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/config.h"
+#include "lineage/dedup.h"
+#include "lineage/lineage_map.h"
+#include "runtime/reuse_cache.h"
+#include "runtime/stats.h"
+#include "runtime/symbol_table.h"
+
+namespace lima {
+
+class Program;
+
+/// Per-execution state threaded through instruction and block execution: the
+/// symbol table of live variables, the lineage map, and shared services
+/// (config, reuse cache, dedup registry, statistics).
+///
+/// Function calls and parfor workers run in derived contexts
+/// (MakeFunctionContext / MakeWorkerContext) so lineage stays thread- and
+/// function-local (Sec. 3.1) while the cache and registry remain shared.
+class ExecutionContext {
+ public:
+  ExecutionContext(const LimaConfig* config, const Program* program,
+                   ReuseCache* cache, DedupRegistry* dedup_registry,
+                   RuntimeStats* stats);
+
+  ExecutionContext(const ExecutionContext&) = default;
+  ExecutionContext& operator=(const ExecutionContext&) = default;
+
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+  LineageMap& lineage() { return lineage_; }
+  const LineageMap& lineage() const { return lineage_; }
+
+  const LimaConfig& config() const { return *config_; }
+  const Program* program() const { return program_; }
+  /// Rebinds the program (session reuse across compiled scripts).
+  void set_program(const Program* program) { program_ = program; }
+  ReuseCache* cache() const { return cache_; }
+  DedupRegistry* dedup_registry() const { return dedup_registry_; }
+  RuntimeStats* stats() const { return stats_; }
+
+  /// Destination of print() output (defaults to std::cout; tests redirect).
+  std::ostream& print_stream() const;
+  void set_print_stream(std::ostream* out) { print_stream_ = out; }
+
+  /// Degree of intra-operation parallelism; parfor workers reduce this to 1
+  /// (the parfor optimizer tradeoff discussed in Sec. 5.3).
+  int kernel_threads() const { return kernel_threads_; }
+  void set_kernel_threads(int n) { kernel_threads_ = n; }
+
+  /// Active dedup tracer while executing a deduplicated loop iteration.
+  DedupTracer* dedup_tracer() const { return dedup_tracer_; }
+  void set_dedup_tracer(DedupTracer* tracer) { dedup_tracer_ = tracer; }
+
+  int call_depth() const { return call_depth_; }
+
+  /// Lineage tracing master switch.
+  bool tracing_enabled() const { return config_->trace_lineage; }
+
+  /// True when instructions should build lineage items (tracing on and not
+  /// in dedup lite mode).
+  bool lineage_active() const {
+    return tracing_enabled() &&
+           !(dedup_tracer_ != nullptr && dedup_tracer_->lite_mode());
+  }
+
+  /// True when instructions should probe/populate the reuse cache. Reuse is
+  /// disabled inside deduplicated loop iterations (their lineage uses
+  /// placeholders, see dedup.h).
+  bool reuse_active() const {
+    return cache_ != nullptr && config_->reuse_enabled() &&
+           tracing_enabled() && dedup_tracer_ == nullptr;
+  }
+
+  /// Binds a variable: value plus (when tracing) its lineage item. A null
+  /// `item` with tracing enabled creates a unique orphan leaf so distinct
+  /// untraced values can never alias in the cache.
+  void SetVariable(const std::string& name, DataPtr value,
+                   LineageItemPtr item);
+
+  /// Binds an external input with a "read" lineage leaf named `name`
+  /// (immutable-input assumption of Sec. 3.4: the name identifies the data).
+  void BindInput(const std::string& name, DataPtr value);
+
+  /// Fresh symbols/lineage for a function body; shared services; depth + 1.
+  ExecutionContext MakeFunctionContext() const;
+
+  /// Copies symbols + lineage for a parfor worker; kernel_threads = 1.
+  ExecutionContext MakeWorkerContext() const;
+
+ private:
+  const LimaConfig* config_;
+  const Program* program_;
+  ReuseCache* cache_;
+  DedupRegistry* dedup_registry_;
+  RuntimeStats* stats_;
+  SymbolTable symbols_;
+  LineageMap lineage_;
+  std::ostream* print_stream_ = nullptr;
+  DedupTracer* dedup_tracer_ = nullptr;
+  int kernel_threads_ = 1;
+  int call_depth_ = 0;
+};
+
+}  // namespace lima
+
+#endif  // LIMA_RUNTIME_EXECUTION_CONTEXT_H_

@@ -1,0 +1,226 @@
+#include "runtime/instruction.h"
+
+#include <unordered_set>
+
+#include "common/timer.h"
+
+namespace lima {
+
+Result<DataPtr> ResolveOperand(ExecutionContext* ctx, const Operand& op) {
+  if (op.is_literal) return MakeScalarData(op.literal);
+  return ctx->symbols().Get(op.name);
+}
+
+LineageItemPtr ResolveOperandLineage(ExecutionContext* ctx,
+                                     const Operand& op) {
+  if (op.is_literal) {
+    return ctx->lineage().GetOrCreateLiteral(op.literal.EncodeLineageLiteral());
+  }
+  LineageItemPtr item = ctx->lineage().Get(op.name);
+  if (item == nullptr) {
+    // Stabilize untracked variables with a unique orphan leaf.
+    static std::atomic<int64_t> counter{0};
+    item = LineageItem::Create(
+        "orphan", {},
+        std::to_string(counter.fetch_add(1, std::memory_order_relaxed)));
+    ctx->lineage().Set(op.name, item);
+  }
+  return item;
+}
+
+bool IsDefaultReusableOpcode(const std::string& opcode) {
+  static const std::unordered_set<std::string>* kSet =
+      new std::unordered_set<std::string>{
+          // Matrix multiplications and factorizations.
+          "mm", "tsmm", "tmm", "solve", "cholesky", "eigen", "tsmm_cbind",
+          // Reorganizations and indexing.
+          "t", "rev", "diag", "reshape", "cbind", "rbind", "rightindex",
+          "selcols", "selrows", "leftindex", "table", "order",
+          // Elementwise binary.
+          "+", "-", "*", "/", "^", "min", "max", "==", "!=", "<", ">", "<=",
+          ">=", "&", "|", "%%", "%/%", "ifelse",
+          // Elementwise unary.
+          "exp", "log", "sqrt", "abs", "round", "floor", "ceil", "sign",
+          "uminus", "sigmoid", "!",
+          // Aggregates.
+          "sum", "mean", "ua_min", "ua_max", "trace", "colSums", "colMeans",
+          "colMins", "colMaxs", "colVars", "rowSums", "rowMeans", "rowMins",
+          "rowMaxs", "rowIndexMax",
+          // Fused operators (Sec. 3.3).
+          "fused"};
+  return kSet->count(opcode) > 0;
+}
+
+std::string Instruction::ToString() const { return opcode_; }
+
+std::vector<std::string> ComputationInstruction::InputVars() const {
+  std::vector<std::string> vars;
+  for (const Operand& op : operands_) {
+    if (!op.is_literal) vars.push_back(op.name);
+  }
+  return vars;
+}
+
+std::string ComputationInstruction::ToString() const {
+  std::string out = opcode_;
+  for (const Operand& op : operands_) {
+    out += " ";
+    out += op.DebugString();
+  }
+  out += " ->";
+  for (const std::string& o : outputs_) {
+    out += " ";
+    out += o;
+  }
+  return out;
+}
+
+std::vector<LineageItemPtr> ComputationInstruction::BuildLineage(
+    ExecutionContext* ctx, const std::vector<LineageItemPtr>& input_items,
+    const ExecState& state) const {
+  (void)ctx;
+  (void)state;
+  std::vector<LineageItemPtr> items;
+  if (outputs_.size() == 1) {
+    items.push_back(LineageItem::Create(opcode_, input_items));
+  } else {
+    for (size_t i = 0; i < outputs_.size(); ++i) {
+      items.push_back(
+          LineageItem::Create(opcode_, input_items, ";o" + std::to_string(i)));
+    }
+  }
+  return items;
+}
+
+Status ComputationInstruction::Execute(ExecutionContext* ctx) const {
+  RuntimeStats* stats = ctx->stats();
+  if (stats != nullptr) {
+    stats->instructions_executed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  ExecState state;
+  LIMA_RETURN_NOT_OK(PrepareExec(ctx, &state));
+
+  // Resolve input values.
+  std::vector<DataPtr> inputs;
+  inputs.reserve(operands_.size());
+  bool any_matrix_input = false;
+  for (const Operand& op : operands_) {
+    LIMA_ASSIGN_OR_RETURN(DataPtr value, ResolveOperand(ctx, op));
+    any_matrix_input |= value->type() != DataType::kScalar;
+    inputs.push_back(std::move(value));
+  }
+
+  // Trace lineage before execution (enables reuse, Sec. 3.1 fn. 2).
+  std::vector<LineageItemPtr> out_items;
+  if (ctx->lineage_active()) {
+    std::vector<LineageItemPtr> in_items;
+    in_items.reserve(operands_.size());
+    for (const Operand& op : operands_) {
+      in_items.push_back(ResolveOperandLineage(ctx, op));
+    }
+    out_items = BuildLineage(ctx, in_items, state);
+    if (stats != nullptr) {
+      stats->lineage_items_created.fetch_add(
+          static_cast<int64_t>(out_items.size()), std::memory_order_relaxed);
+    }
+  }
+
+  // Reuse probing. Scalar-only operations are not worth caching.
+  const ReuseMode mode = ctx->config().reuse_mode;
+  const bool reuse = ctx->reuse_active() && IsReusableOp() &&
+                     !out_items.empty() && any_matrix_input;
+  const bool probe_full = reuse && mode != ReuseMode::kPartial;
+  const bool probe_partial = reuse && (mode == ReuseMode::kPartial ||
+                                       mode == ReuseMode::kHybrid ||
+                                       mode == ReuseMode::kMultiLevel);
+  std::vector<bool> claimed(outputs_.size(), false);
+  ReuseCache* cache = ctx->cache();
+
+  if (reuse && stats != nullptr) {
+    stats->cache_probes.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (probe_full) {
+    std::vector<DataPtr> hits(outputs_.size());
+    bool all_hit = true;
+    for (size_t i = 0; i < outputs_.size(); ++i) {
+      ReuseCache::ProbeResult r = cache->Probe(out_items[i], /*claim=*/true);
+      if (r.kind == ReuseCache::ProbeKind::kHit) {
+        hits[i] = std::move(r.value);
+      } else {
+        claimed[i] = r.kind == ReuseCache::ProbeKind::kClaimed;
+        all_hit = false;
+        break;  // Remaining keys are not probed (and not claimed).
+      }
+    }
+    if (all_hit) {
+      for (size_t i = 0; i < outputs_.size(); ++i) {
+        ctx->SetVariable(outputs_[i], std::move(hits[i]), out_items[i]);
+      }
+      if (stats != nullptr) {
+        stats->cache_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::OK();
+    }
+  }
+
+  if (probe_partial && outputs_.size() == 1) {
+    StopWatch watch;
+    DataPtr value =
+        cache->TryPartialReuse(out_items[0], inputs, ctx->kernel_threads());
+    if (stats != nullptr) {
+      stats->rewrite_nanos.fetch_add(watch.ElapsedNanos(),
+                                     std::memory_order_relaxed);
+    }
+    if (value != nullptr) {
+      if (claimed[0]) {
+        cache->Put(out_items[0], value, watch.ElapsedSeconds());
+        claimed[0] = false;
+      }
+      ctx->SetVariable(outputs_[0], std::move(value), out_items[0]);
+      if (stats != nullptr) {
+        stats->partial_reuse_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::OK();
+    }
+  }
+
+  if (reuse && stats != nullptr) {
+    stats->cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Execute the kernel.
+  StopWatch watch;
+  Result<std::vector<DataPtr>> computed = Compute(ctx, inputs, state);
+  if (!computed.ok()) {
+    for (size_t i = 0; i < outputs_.size(); ++i) {
+      if (claimed[i]) cache->Abort(out_items[i]);
+    }
+    return computed.status();
+  }
+  double seconds = watch.ElapsedSeconds();
+  std::vector<DataPtr> values = std::move(computed).ValueOrDie();
+  LIMA_CHECK_EQ(values.size(), outputs_.size())
+      << "instruction " << opcode_ << " output arity mismatch";
+
+  // Populate the cache. With full probing, only claimed keys are filled;
+  // with partial-only mode, values are inserted directly.
+  if (reuse) {
+    for (size_t i = 0; i < outputs_.size(); ++i) {
+      if (claimed[i]) {
+        cache->Put(out_items[i], values[i], seconds);
+      } else if (!probe_full) {
+        cache->Put(out_items[i], values[i], seconds);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < outputs_.size(); ++i) {
+    ctx->SetVariable(outputs_[i], std::move(values[i]),
+                     out_items.empty() ? nullptr : out_items[i]);
+  }
+  return Status::OK();
+}
+
+}  // namespace lima

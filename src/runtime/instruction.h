@@ -1,0 +1,155 @@
+#ifndef LIMA_RUNTIME_INSTRUCTION_H_
+#define LIMA_RUNTIME_INSTRUCTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "runtime/execution_context.h"
+
+namespace lima {
+
+/// An instruction operand: either a live-variable reference or an inlined
+/// scalar literal (as in SystemDS runtime instructions, Fig. 2).
+struct Operand {
+  static Operand Var(std::string name) {
+    Operand op;
+    op.is_literal = false;
+    op.name = std::move(name);
+    return op;
+  }
+  static Operand Lit(ScalarValue value) {
+    Operand op;
+    op.is_literal = true;
+    op.literal = std::move(value);
+    return op;
+  }
+  static Operand LitDouble(double v) { return Lit(ScalarValue::Double(v)); }
+  static Operand LitInt(int64_t v) { return Lit(ScalarValue::Int(v)); }
+  static Operand LitBool(bool v) { return Lit(ScalarValue::Bool(v)); }
+  static Operand LitString(std::string v) {
+    return Lit(ScalarValue::String(std::move(v)));
+  }
+
+  std::string DebugString() const {
+    return is_literal ? literal.ToDisplayString() : name;
+  }
+
+  bool is_literal = false;
+  std::string name;
+  ScalarValue literal;
+};
+
+/// Resolves an operand to its runtime value.
+Result<DataPtr> ResolveOperand(ExecutionContext* ctx, const Operand& op);
+
+/// Resolves an operand to its lineage item (literals use the shared literal
+/// cache; untracked variables get unique orphan leaves).
+LineageItemPtr ResolveOperandLineage(ExecutionContext* ctx, const Operand& op);
+
+/// True for opcodes in the default reusable-instruction set (Sec. 4.1:
+/// "making the set of cacheable instructions configurable avoids cache
+/// pollution and ensures correctness").
+bool IsDefaultReusableOpcode(const std::string& opcode);
+
+/// Base class of all runtime instructions. Instructions are immutable and
+/// shared across iterations/threads; all mutable state lives in the
+/// ExecutionContext.
+class Instruction {
+ public:
+  explicit Instruction(std::string opcode) : opcode_(std::move(opcode)) {}
+  virtual ~Instruction() = default;
+
+  Instruction(const Instruction&) = delete;
+  Instruction& operator=(const Instruction&) = delete;
+
+  virtual Status Execute(ExecutionContext* ctx) const = 0;
+
+  const std::string& opcode() const { return opcode_; }
+
+  /// Variables read / written (live-variable analysis, Sec. 3.2/4.1).
+  virtual std::vector<std::string> InputVars() const = 0;
+  virtual std::vector<std::string> OutputVars() const = 0;
+
+  /// False for operations with runtime nondeterminism (system-generated
+  /// seeds). Used for function-determinism analysis (multi-level reuse).
+  virtual bool IsDeterministic() const { return true; }
+
+  /// Compiler-assisted unmarking (Sec. 4.4): when false, this operation
+  /// instance neither probes nor populates the cache.
+  bool reuse_marked() const { return reuse_marked_; }
+  void set_reuse_marked(bool marked) { reuse_marked_ = marked; }
+
+  virtual std::string ToString() const;
+
+ protected:
+  std::string opcode_;
+  bool reuse_marked_ = true;
+};
+
+/// Base class for value-producing instructions; implements the LIMA
+/// execute flow (Sec. 3.1/4.1):
+///   1. resolve inputs,
+///   2. obtain output lineage *before* execution,
+///   3. probe the lineage cache (full reuse, then partial-rewrite reuse),
+///   4. on miss: execute the kernel, bind outputs, populate the cache.
+class ComputationInstruction : public Instruction {
+ public:
+  ComputationInstruction(std::string opcode, std::vector<Operand> operands,
+                         std::vector<std::string> outputs)
+      : Instruction(std::move(opcode)),
+        operands_(std::move(operands)),
+        outputs_(std::move(outputs)) {}
+
+  Status Execute(ExecutionContext* ctx) const final;
+
+  std::vector<std::string> InputVars() const override;
+  std::vector<std::string> OutputVars() const override { return outputs_; }
+
+  const std::vector<Operand>& operands() const { return operands_; }
+
+  std::string ToString() const override;
+
+ protected:
+  /// Per-execution transient state (e.g. a system-generated seed); lives on
+  /// the stack of Execute so shared instructions stay immutable.
+  struct ExecState {
+    bool has_seed = false;
+    uint64_t seed = 0;
+    /// Lineage of the system-generated seed: a literal item normally, a
+    /// patch placeholder under dedup tracing, nullptr in dedup lite mode.
+    LineageItemPtr seed_item;
+  };
+
+  /// Hook run first; nondeterministic ops draw their seed here.
+  virtual Status PrepareExec(ExecutionContext* ctx, ExecState* state) const {
+    (void)ctx;
+    (void)state;
+    return Status::OK();
+  }
+
+  /// Computes the output values from resolved inputs (one per output name).
+  virtual Result<std::vector<DataPtr>> Compute(
+      ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
+      const ExecState& state) const = 0;
+
+  /// Builds the per-output lineage items. Default: a single item
+  /// Create(opcode, input_items) shared by all outputs, with ";o<i>" data
+  /// suffixes for multi-output instructions.
+  virtual std::vector<LineageItemPtr> BuildLineage(
+      ExecutionContext* ctx, const std::vector<LineageItemPtr>& input_items,
+      const ExecState& state) const;
+
+  /// Whether this op participates in reuse (opcode set + unmarking).
+  virtual bool IsReusableOp() const {
+    return reuse_marked_ && IsDefaultReusableOpcode(opcode_);
+  }
+
+  std::vector<Operand> operands_;
+  std::vector<std::string> outputs_;
+};
+
+}  // namespace lima
+
+#endif  // LIMA_RUNTIME_INSTRUCTION_H_

@@ -1,0 +1,112 @@
+#ifndef LIMA_RUNTIME_INSTRUCTIONS_COMPUTE_H_
+#define LIMA_RUNTIME_INSTRUCTIONS_COMPUTE_H_
+
+#include <string>
+#include <vector>
+
+#include "matrix/elementwise.h"
+#include "runtime/instruction.h"
+
+namespace lima {
+
+/// Cell-wise binary operation over any scalar/matrix operand combination.
+/// Opcode equals BinaryOpName(op) ("+", "*", "<=", ...).
+class BinaryInstruction : public ComputationInstruction {
+ public:
+  BinaryInstruction(BinaryOp op, Operand lhs, Operand rhs, std::string output);
+
+  BinaryOp op() const { return op_; }
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+
+ private:
+  BinaryOp op_;
+};
+
+/// Cell-wise unary operation (matrix or scalar operand).
+class UnaryInstruction : public ComputationInstruction {
+ public:
+  UnaryInstruction(UnaryOp op, Operand input, std::string output);
+
+  UnaryOp op() const { return op_; }
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+
+ private:
+  UnaryOp op_;
+};
+
+/// Full/column/row aggregates. Opcodes: sum, mean, ua_min, ua_max, trace,
+/// colSums, colMeans, colMins, colMaxs, colVars, rowSums, rowMeans, rowMins,
+/// rowMaxs, rowIndexMax.
+class AggregateInstruction : public ComputationInstruction {
+ public:
+  AggregateInstruction(std::string opcode, Operand input, std::string output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+};
+
+/// Metadata lookups: nrow, ncol, length (matrix cell count / list length).
+class MetadataInstruction : public ComputationInstruction {
+ public:
+  MetadataInstruction(std::string opcode, Operand input, std::string output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+};
+
+/// Casts: "castdts" (as.scalar: 1x1 matrix -> scalar), "castsdm"
+/// (as.matrix: scalar -> 1x1 matrix).
+class CastInstruction : public ComputationInstruction {
+ public:
+  CastInstruction(std::string opcode, Operand input, std::string output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+};
+
+/// ifelse(C, A, B): cell-wise ternary with R-style broadcasting across all
+/// three operands; scalars broadcast fully.
+class IfElseInstruction : public ComputationInstruction {
+ public:
+  IfElseInstruction(Operand condition, Operand then_value, Operand else_value,
+                    std::string output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+};
+
+/// toString(X): renders a value into a string scalar.
+class ToStringInstruction : public ComputationInstruction {
+ public:
+  ToStringInstruction(Operand input, std::string output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+};
+
+/// Scalar-scalar binary semantics shared with the fused-operator runtime.
+Result<ScalarValue> ScalarBinary(BinaryOp op, const ScalarValue& a,
+                                 const ScalarValue& b);
+Result<ScalarValue> ScalarUnary(UnaryOp op, const ScalarValue& v);
+
+}  // namespace lima
+
+#endif  // LIMA_RUNTIME_INSTRUCTIONS_COMPUTE_H_

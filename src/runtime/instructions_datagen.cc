@@ -1,0 +1,138 @@
+#include "runtime/instructions_datagen.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "matrix/datagen.h"
+#include "matrix/reorg.h"
+
+namespace lima {
+
+namespace {
+
+Result<int64_t> AsCount(const DataPtr& data) {
+  LIMA_ASSIGN_OR_RETURN(double v, AsNumber(data));
+  return static_cast<int64_t>(std::llround(v));
+}
+
+}  // namespace
+
+DataGenInstruction::DataGenInstruction(std::string opcode,
+                                       std::vector<Operand> operands,
+                                       std::string output)
+    : ComputationInstruction(std::move(opcode), std::move(operands),
+                             {std::move(output)}) {}
+
+int DataGenInstruction::seed_operand_index() const {
+  if (opcode_ == "rand") return 6;
+  if (opcode_ == "sample") return 2;
+  return -1;
+}
+
+bool DataGenInstruction::IsDeterministic() const {
+  int idx = seed_operand_index();
+  if (idx < 0) return true;
+  const Operand& seed = operands_[idx];
+  // Only a literal, non-negative seed is statically deterministic.
+  return seed.is_literal && seed.literal.is_numeric() &&
+         seed.literal.AsDouble() >= 0.0;
+}
+
+Status DataGenInstruction::PrepareExec(ExecutionContext* ctx,
+                                       ExecState* state) const {
+  int idx = seed_operand_index();
+  if (idx < 0) return Status::OK();
+  LIMA_ASSIGN_OR_RETURN(DataPtr seed_data, ResolveOperand(ctx, operands_[idx]));
+  LIMA_ASSIGN_OR_RETURN(double seed_value, AsNumber(seed_data));
+  if (seed_value >= 0.0) return Status::OK();  // Explicit user seed.
+
+  // System-generated seed: drawn before lineage so it can be traced.
+  state->has_seed = true;
+  state->seed = NextSystemSeed();
+  std::string encoded =
+      ScalarValue::Int(static_cast<int64_t>(state->seed)).EncodeLineageLiteral();
+  if (ctx->dedup_tracer() != nullptr) {
+    state->seed_item = ctx->dedup_tracer()->RegisterSeed(encoded);
+  } else if (ctx->lineage_active()) {
+    state->seed_item = ctx->lineage().GetOrCreateLiteral(encoded);
+  }
+  return Status::OK();
+}
+
+std::vector<LineageItemPtr> DataGenInstruction::BuildLineage(
+    ExecutionContext* ctx, const std::vector<LineageItemPtr>& input_items,
+    const ExecState& state) const {
+  (void)ctx;
+  std::vector<LineageItemPtr> items = input_items;
+  int idx = seed_operand_index();
+  if (state.has_seed && idx >= 0 && state.seed_item != nullptr) {
+    items[idx] = state.seed_item;
+  }
+  return {LineageItem::Create(opcode_, std::move(items))};
+}
+
+Result<std::vector<DataPtr>> DataGenInstruction::Compute(
+    ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
+    const ExecState& state) const {
+  (void)ctx;
+  if (opcode_ == "rand") {
+    LIMA_ASSIGN_OR_RETURN(int64_t rows, AsCount(inputs[0]));
+    LIMA_ASSIGN_OR_RETURN(int64_t cols, AsCount(inputs[1]));
+    LIMA_ASSIGN_OR_RETURN(double min_v, AsNumber(inputs[2]));
+    LIMA_ASSIGN_OR_RETURN(double max_v, AsNumber(inputs[3]));
+    LIMA_ASSIGN_OR_RETURN(double sparsity, AsNumber(inputs[4]));
+    LIMA_ASSIGN_OR_RETURN(ScalarValue pdf, AsScalar(inputs[5]));
+    RandPdf kind = RandPdf::kUniform;
+    if (pdf.is_string() && pdf.AsString() == "normal") {
+      kind = RandPdf::kNormal;
+    }
+    uint64_t seed;
+    if (state.has_seed) {
+      seed = state.seed;
+    } else {
+      LIMA_ASSIGN_OR_RETURN(double s, AsNumber(inputs[6]));
+      seed = static_cast<uint64_t>(std::llround(s));
+    }
+    LIMA_ASSIGN_OR_RETURN(Matrix r,
+                          Rand(rows, cols, min_v, max_v, sparsity, kind, seed));
+    return std::vector<DataPtr>{MakeMatrixData(std::move(r))};
+  }
+  if (opcode_ == "sample") {
+    LIMA_ASSIGN_OR_RETURN(int64_t range, AsCount(inputs[0]));
+    LIMA_ASSIGN_OR_RETURN(int64_t size, AsCount(inputs[1]));
+    uint64_t seed;
+    if (state.has_seed) {
+      seed = state.seed;
+    } else {
+      LIMA_ASSIGN_OR_RETURN(double s, AsNumber(inputs[2]));
+      seed = static_cast<uint64_t>(std::llround(s));
+    }
+    LIMA_ASSIGN_OR_RETURN(Matrix r, Sample(range, size, seed));
+    return std::vector<DataPtr>{MakeMatrixData(std::move(r))};
+  }
+  if (opcode_ == "seq") {
+    LIMA_ASSIGN_OR_RETURN(double from, AsNumber(inputs[0]));
+    LIMA_ASSIGN_OR_RETURN(double to, AsNumber(inputs[1]));
+    LIMA_ASSIGN_OR_RETURN(double incr, AsNumber(inputs[2]));
+    LIMA_ASSIGN_OR_RETURN(Matrix r, SeqMatrix(from, to, incr));
+    return std::vector<DataPtr>{MakeMatrixData(std::move(r))};
+  }
+  if (opcode_ == "fill") {
+    LIMA_ASSIGN_OR_RETURN(int64_t rows, AsCount(inputs[1]));
+    LIMA_ASSIGN_OR_RETURN(int64_t cols, AsCount(inputs[2]));
+    if (rows < 0 || cols < 0) {
+      return Status::Invalid("matrix(): negative dimensions");
+    }
+    // matrix(X, rows, cols) with a matrix argument is a row-major reshape.
+    if (inputs[0]->type() == DataType::kMatrix) {
+      LIMA_ASSIGN_OR_RETURN(MatrixPtr m, AsMatrix(inputs[0]));
+      LIMA_ASSIGN_OR_RETURN(Matrix r, Reshape(*m, rows, cols));
+      return std::vector<DataPtr>{MakeMatrixData(std::move(r))};
+    }
+    LIMA_ASSIGN_OR_RETURN(double value, AsNumber(inputs[0]));
+    return std::vector<DataPtr>{MakeMatrixData(Matrix(rows, cols, value))};
+  }
+  return Status::NotImplemented("unknown datagen op: " + opcode_);
+}
+
+}  // namespace lima

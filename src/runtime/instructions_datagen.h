@@ -1,0 +1,47 @@
+#ifndef LIMA_RUNTIME_INSTRUCTIONS_DATAGEN_H_
+#define LIMA_RUNTIME_INSTRUCTIONS_DATAGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/instruction.h"
+
+namespace lima {
+
+/// Data generation instructions:
+///  - "rand":   operands (rows, cols, min, max, sparsity, pdf, seed)
+///  - "sample": operands (range, size, seed)
+///  - "seq":    operands (from, to, incr)
+///  - "fill":   operands (value, rows, cols)        [matrix(v, r, c)]
+///
+/// For "rand"/"sample", a seed of -1 requests a system-generated seed; LIMA
+/// draws it *before* lineage construction and exposes it as a literal
+/// lineage input, making the nondeterministic operation reproducible and
+/// reusable (Sec. 3.1). Under dedup tracing the seed becomes a patch
+/// placeholder (Sec. 3.2).
+class DataGenInstruction : public ComputationInstruction {
+ public:
+  DataGenInstruction(std::string opcode, std::vector<Operand> operands,
+                     std::string output);
+
+  bool IsDeterministic() const override;
+
+ protected:
+  Status PrepareExec(ExecutionContext* ctx, ExecState* state) const override;
+
+  std::vector<LineageItemPtr> BuildLineage(
+      ExecutionContext* ctx, const std::vector<LineageItemPtr>& input_items,
+      const ExecState& state) const override;
+
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+
+ private:
+  /// Index of the seed operand, or -1 for deterministic generators.
+  int seed_operand_index() const;
+};
+
+}  // namespace lima
+
+#endif  // LIMA_RUNTIME_INSTRUCTIONS_DATAGEN_H_

@@ -1,0 +1,346 @@
+#include "runtime/instructions_matrix.h"
+
+#include <cmath>
+
+#include "matrix/factorize.h"
+#include "matrix/indexing.h"
+#include "matrix/matmul.h"
+#include "matrix/reorg.h"
+
+namespace lima {
+
+namespace {
+
+Result<int64_t> AsIndex(const DataPtr& data) {
+  LIMA_ASSIGN_OR_RETURN(double v, AsNumber(data));
+  return static_cast<int64_t>(std::llround(v));
+}
+
+std::vector<DataPtr> One(Matrix&& m) {
+  return std::vector<DataPtr>{MakeMatrixData(std::move(m))};
+}
+
+}  // namespace
+
+MatMulInstruction::MatMulInstruction(Operand a, Operand b, std::string output)
+    : ComputationInstruction("mm", {std::move(a), std::move(b)},
+                             {std::move(output)}) {}
+
+Result<std::vector<DataPtr>> MatMulInstruction::Compute(
+    ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
+    const ExecState& state) const {
+  (void)state;
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr a, AsMatrix(inputs[0]));
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr b, AsMatrix(inputs[1]));
+  LIMA_ASSIGN_OR_RETURN(Matrix r, MatMul(*a, *b, ctx->kernel_threads()));
+  return One(std::move(r));
+}
+
+TsmmInstruction::TsmmInstruction(Operand x, std::string output)
+    : ComputationInstruction("tsmm", {std::move(x)}, {std::move(output)}) {}
+
+Result<std::vector<DataPtr>> TsmmInstruction::Compute(
+    ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
+    const ExecState& state) const {
+  (void)state;
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr x, AsMatrix(inputs[0]));
+  return One(Tsmm(*x, /*left=*/true, ctx->kernel_threads()));
+}
+
+ReorgInstruction::ReorgInstruction(std::string opcode, Operand input,
+                                   std::string output)
+    : ComputationInstruction(std::move(opcode), {std::move(input)},
+                             {std::move(output)}) {}
+
+Result<std::vector<DataPtr>> ReorgInstruction::Compute(
+    ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
+    const ExecState& state) const {
+  (void)ctx;
+  (void)state;
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr m, AsMatrix(inputs[0]));
+  if (opcode_ == "t") return One(Transpose(*m));
+  if (opcode_ == "rev") return One(ReverseRows(*m));
+  if (opcode_ == "diag") {
+    LIMA_ASSIGN_OR_RETURN(Matrix r, Diag(*m));
+    return One(std::move(r));
+  }
+  return Status::NotImplemented("unknown reorg op: " + opcode_);
+}
+
+ReshapeInstruction::ReshapeInstruction(Operand x, Operand rows, Operand cols,
+                                       std::string output)
+    : ComputationInstruction(
+          "reshape", {std::move(x), std::move(rows), std::move(cols)},
+          {std::move(output)}) {}
+
+Result<std::vector<DataPtr>> ReshapeInstruction::Compute(
+    ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
+    const ExecState& state) const {
+  (void)ctx;
+  (void)state;
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr m, AsMatrix(inputs[0]));
+  LIMA_ASSIGN_OR_RETURN(int64_t rows, AsIndex(inputs[1]));
+  LIMA_ASSIGN_OR_RETURN(int64_t cols, AsIndex(inputs[2]));
+  LIMA_ASSIGN_OR_RETURN(Matrix r, Reshape(*m, rows, cols));
+  return One(std::move(r));
+}
+
+AppendInstruction::AppendInstruction(bool cbind, Operand a, Operand b,
+                                     std::string output)
+    : ComputationInstruction(cbind ? "cbind" : "rbind",
+                             {std::move(a), std::move(b)},
+                             {std::move(output)}),
+      cbind_(cbind) {}
+
+Result<std::vector<DataPtr>> AppendInstruction::Compute(
+    ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
+    const ExecState& state) const {
+  (void)ctx;
+  (void)state;
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr a, AsMatrix(inputs[0]));
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr b, AsMatrix(inputs[1]));
+  LIMA_ASSIGN_OR_RETURN(Matrix r, cbind_ ? CBind(*a, *b) : RBind(*a, *b));
+  return One(std::move(r));
+}
+
+RightIndexInstruction::RightIndexInstruction(Operand x, Operand row_lower,
+                                             Operand row_upper,
+                                             Operand col_lower,
+                                             Operand col_upper,
+                                             std::string output)
+    : ComputationInstruction(
+          "rightindex",
+          {std::move(x), std::move(row_lower), std::move(row_upper),
+           std::move(col_lower), std::move(col_upper)},
+          {std::move(output)}) {}
+
+Result<std::vector<DataPtr>> RightIndexInstruction::Compute(
+    ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
+    const ExecState& state) const {
+  (void)ctx;
+  (void)state;
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr m, AsMatrix(inputs[0]));
+  LIMA_ASSIGN_OR_RETURN(int64_t rl, AsIndex(inputs[1]));
+  LIMA_ASSIGN_OR_RETURN(int64_t ru, AsIndex(inputs[2]));
+  LIMA_ASSIGN_OR_RETURN(int64_t cl, AsIndex(inputs[3]));
+  LIMA_ASSIGN_OR_RETURN(int64_t cu, AsIndex(inputs[4]));
+  LIMA_ASSIGN_OR_RETURN(Matrix r, RightIndex(*m, rl, ru, cl, cu));
+  return One(std::move(r));
+}
+
+LeftIndexInstruction::LeftIndexInstruction(Operand x, Operand y,
+                                           Operand row_lower,
+                                           Operand row_upper,
+                                           Operand col_lower,
+                                           Operand col_upper,
+                                           std::string output)
+    : ComputationInstruction(
+          "leftindex",
+          {std::move(x), std::move(y), std::move(row_lower),
+           std::move(row_upper), std::move(col_lower), std::move(col_upper)},
+          {std::move(output)}) {}
+
+Result<std::vector<DataPtr>> LeftIndexInstruction::Compute(
+    ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
+    const ExecState& state) const {
+  (void)ctx;
+  (void)state;
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr m, AsMatrix(inputs[0]));
+  LIMA_ASSIGN_OR_RETURN(int64_t rl, AsIndex(inputs[2]));
+  LIMA_ASSIGN_OR_RETURN(int64_t ru, AsIndex(inputs[3]));
+  LIMA_ASSIGN_OR_RETURN(int64_t cl, AsIndex(inputs[4]));
+  LIMA_ASSIGN_OR_RETURN(int64_t cu, AsIndex(inputs[5]));
+  // Scalar sources are implicitly cast to 1x1 (DML X[i,j] = s).
+  Matrix src(0, 0);
+  if (inputs[1]->type() == DataType::kScalar) {
+    LIMA_ASSIGN_OR_RETURN(double v, AsNumber(inputs[1]));
+    src = Matrix(1, 1, v);
+  } else {
+    LIMA_ASSIGN_OR_RETURN(MatrixPtr s, AsMatrix(inputs[1]));
+    src = *s;
+  }
+  LIMA_ASSIGN_OR_RETURN(Matrix r, LeftIndex(*m, src, rl, ru, cl, cu));
+  return One(std::move(r));
+}
+
+SelectInstruction::SelectInstruction(bool columns, Operand x, Operand indices,
+                                     std::string output)
+    : ComputationInstruction(columns ? "selcols" : "selrows",
+                             {std::move(x), std::move(indices)},
+                             {std::move(output)}),
+      columns_(columns) {}
+
+Result<std::vector<DataPtr>> SelectInstruction::Compute(
+    ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
+    const ExecState& state) const {
+  (void)ctx;
+  (void)state;
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr m, AsMatrix(inputs[0]));
+  // Scalar indices select a single column/row (X[, k]).
+  Matrix idx(1, 1);
+  if (inputs[1]->type() == DataType::kScalar) {
+    LIMA_ASSIGN_OR_RETURN(double v, AsNumber(inputs[1]));
+    idx.At(0, 0) = v;
+  } else {
+    LIMA_ASSIGN_OR_RETURN(MatrixPtr im, AsMatrix(inputs[1]));
+    idx = *im;
+  }
+  LIMA_ASSIGN_OR_RETURN(
+      Matrix r, columns_ ? SelectColumns(*m, idx) : SelectRows(*m, idx));
+  return One(std::move(r));
+}
+
+SolveInstruction::SolveInstruction(Operand a, Operand b, std::string output)
+    : ComputationInstruction("solve", {std::move(a), std::move(b)},
+                             {std::move(output)}) {}
+
+Result<std::vector<DataPtr>> SolveInstruction::Compute(
+    ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
+    const ExecState& state) const {
+  (void)ctx;
+  (void)state;
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr a, AsMatrix(inputs[0]));
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr b, AsMatrix(inputs[1]));
+  LIMA_ASSIGN_OR_RETURN(Matrix r, Solve(*a, *b));
+  return One(std::move(r));
+}
+
+CholeskyInstruction::CholeskyInstruction(Operand a, std::string output)
+    : ComputationInstruction("cholesky", {std::move(a)}, {std::move(output)}) {
+}
+
+Result<std::vector<DataPtr>> CholeskyInstruction::Compute(
+    ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
+    const ExecState& state) const {
+  (void)ctx;
+  (void)state;
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr a, AsMatrix(inputs[0]));
+  LIMA_ASSIGN_OR_RETURN(Matrix r, Cholesky(*a));
+  return One(std::move(r));
+}
+
+EigenInstruction::EigenInstruction(Operand a, std::string values_output,
+                                   std::string vectors_output)
+    : ComputationInstruction(
+          "eigen", {std::move(a)},
+          {std::move(values_output), std::move(vectors_output)}) {}
+
+Result<std::vector<DataPtr>> EigenInstruction::Compute(
+    ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
+    const ExecState& state) const {
+  (void)ctx;
+  (void)state;
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr a, AsMatrix(inputs[0]));
+  LIMA_ASSIGN_OR_RETURN(auto pair, EigenSymmetric(*a));
+  return std::vector<DataPtr>{MakeMatrixData(std::move(pair.first)),
+                              MakeMatrixData(std::move(pair.second))};
+}
+
+TableInstruction::TableInstruction(Operand v1, Operand v2, Operand out_rows,
+                                   Operand out_cols, std::string output)
+    : ComputationInstruction(
+          "table",
+          {std::move(v1), std::move(v2), std::move(out_rows),
+           std::move(out_cols)},
+          {std::move(output)}) {}
+
+Result<std::vector<DataPtr>> TableInstruction::Compute(
+    ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
+    const ExecState& state) const {
+  (void)ctx;
+  (void)state;
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr v1, AsMatrix(inputs[0]));
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr v2, AsMatrix(inputs[1]));
+  LIMA_ASSIGN_OR_RETURN(int64_t rows, AsIndex(inputs[2]));
+  LIMA_ASSIGN_OR_RETURN(int64_t cols, AsIndex(inputs[3]));
+  LIMA_ASSIGN_OR_RETURN(Matrix r, Table(*v1, *v2, rows, cols));
+  return One(std::move(r));
+}
+
+OrderInstruction::OrderInstruction(Operand v, Operand decreasing,
+                                   Operand index_return, std::string output)
+    : ComputationInstruction(
+          "order",
+          {std::move(v), std::move(decreasing), std::move(index_return)},
+          {std::move(output)}) {}
+
+Result<std::vector<DataPtr>> OrderInstruction::Compute(
+    ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
+    const ExecState& state) const {
+  (void)ctx;
+  (void)state;
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr v, AsMatrix(inputs[0]));
+  LIMA_ASSIGN_OR_RETURN(ScalarValue dec, AsScalar(inputs[1]));
+  LIMA_ASSIGN_OR_RETURN(ScalarValue idx, AsScalar(inputs[2]));
+  LIMA_ASSIGN_OR_RETURN(Matrix r, Order(*v, dec.AsBool(), idx.AsBool()));
+  return One(std::move(r));
+}
+
+TsmmCbindInstruction::TsmmCbindInstruction(Operand a, Operand b,
+                                           std::string output)
+    : ComputationInstruction("tsmm_cbind", {std::move(a), std::move(b)},
+                             {std::move(output)}) {}
+
+std::vector<LineageItemPtr> TsmmCbindInstruction::BuildLineage(
+    ExecutionContext* ctx, const std::vector<LineageItemPtr>& input_items,
+    const ExecState& state) const {
+  (void)ctx;
+  (void)state;
+  // Lineage equals the unrewritten tsmm(cbind(A, B)) trace, keeping cached
+  // results interchangeable with normal execution.
+  LineageItemPtr cbind_item = LineageItem::Create("cbind", input_items);
+  return {LineageItem::Create("tsmm", {cbind_item})};
+}
+
+Result<std::vector<DataPtr>> TsmmCbindInstruction::Compute(
+    ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
+    const ExecState& state) const {
+  (void)state;
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr a, AsMatrix(inputs[0]));
+  LIMA_ASSIGN_OR_RETURN(MatrixPtr b, AsMatrix(inputs[1]));
+  if (a->rows() != b->rows()) {
+    return Status::Invalid("tsmm_cbind: row mismatch");
+  }
+
+  // Upper-left block t(A)A: probe the lineage cache when available.
+  MatrixPtr taa;
+  ReuseCache* cache = ctx->cache();
+  LineageItemPtr taa_key;
+  if (cache != nullptr && ctx->lineage_active()) {
+    taa_key = LineageItem::Create(
+        "tsmm", {ResolveOperandLineage(ctx, operands_[0])});
+    DataPtr hit = cache->Peek(taa_key);
+    if (hit != nullptr && hit->type() == DataType::kMatrix) {
+      taa = static_cast<const MatrixData*>(hit.get())->matrix();
+    }
+  }
+  if (taa == nullptr) {
+    Matrix computed = Tsmm(*a, /*left=*/true, ctx->kernel_threads());
+    taa = MakeMatrixPtr(std::move(computed));
+    if (cache != nullptr && taa_key != nullptr && ctx->reuse_active()) {
+      cache->Put(taa_key, MakeMatrixData(taa), 0.0);
+    }
+  }
+
+  LIMA_ASSIGN_OR_RETURN(Matrix tab,
+                        TransposeMatMul(*a, *b, ctx->kernel_threads()));
+  Matrix tbb = Tsmm(*b, /*left=*/true, ctx->kernel_threads());
+
+  // Assemble [[t(A)A, t(A)B], [t(B)A, t(B)B]].
+  int64_t n1 = taa->cols();
+  int64_t n2 = tbb.cols();
+  Matrix out(n1 + n2, n1 + n2);
+  for (int64_t i = 0; i < n1; ++i) {
+    for (int64_t j = 0; j < n1; ++j) out.At(i, j) = taa->At(i, j);
+    for (int64_t j = 0; j < n2; ++j) {
+      out.At(i, n1 + j) = tab.At(i, j);
+      out.At(n1 + j, i) = tab.At(i, j);
+    }
+  }
+  for (int64_t i = 0; i < n2; ++i) {
+    for (int64_t j = 0; j < n2; ++j) out.At(n1 + i, n1 + j) = tbb.At(i, j);
+  }
+  return One(std::move(out));
+}
+
+}  // namespace lima

@@ -1,0 +1,191 @@
+#ifndef LIMA_RUNTIME_INSTRUCTIONS_MATRIX_H_
+#define LIMA_RUNTIME_INSTRUCTIONS_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/instruction.h"
+
+namespace lima {
+
+/// Matrix multiply A %*% B (opcode "mm").
+class MatMulInstruction : public ComputationInstruction {
+ public:
+  MatMulInstruction(Operand a, Operand b, std::string output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+};
+
+/// Transpose-self matrix multiply t(X) %*% X (opcode "tsmm").
+class TsmmInstruction : public ComputationInstruction {
+ public:
+  TsmmInstruction(Operand x, std::string output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+};
+
+/// Reorganizations: "t" (transpose), "rev" (reverse rows), "diag".
+class ReorgInstruction : public ComputationInstruction {
+ public:
+  ReorgInstruction(std::string opcode, Operand input, std::string output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+};
+
+/// Row-major reshape: operands (X, rows, cols).
+class ReshapeInstruction : public ComputationInstruction {
+ public:
+  ReshapeInstruction(Operand x, Operand rows, Operand cols,
+                     std::string output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+};
+
+/// Binary concatenation: opcode "cbind" or "rbind".
+class AppendInstruction : public ComputationInstruction {
+ public:
+  AppendInstruction(bool cbind, Operand a, Operand b, std::string output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+
+ private:
+  bool cbind_;
+};
+
+/// Right indexing X[rl:ru, cl:cu]: operands (X, rl, ru, cl, cu), 1-based
+/// inclusive (opcode "rightindex").
+class RightIndexInstruction : public ComputationInstruction {
+ public:
+  RightIndexInstruction(Operand x, Operand row_lower, Operand row_upper,
+                        Operand col_lower, Operand col_upper,
+                        std::string output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+};
+
+/// Left indexing out = X with X[rl:ru, cl:cu] = Y: operands
+/// (X, Y, rl, ru, cl, cu) (opcode "leftindex").
+class LeftIndexInstruction : public ComputationInstruction {
+ public:
+  LeftIndexInstruction(Operand x, Operand y, Operand row_lower,
+                       Operand row_upper, Operand col_lower, Operand col_upper,
+                       std::string output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+};
+
+/// Column/row gather by an index vector: opcodes "selcols" / "selrows".
+class SelectInstruction : public ComputationInstruction {
+ public:
+  SelectInstruction(bool columns, Operand x, Operand indices,
+                    std::string output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+
+ private:
+  bool columns_;
+};
+
+/// solve(A, b) (opcode "solve") and cholesky(A) (opcode "cholesky").
+class SolveInstruction : public ComputationInstruction {
+ public:
+  SolveInstruction(Operand a, Operand b, std::string output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+};
+
+class CholeskyInstruction : public ComputationInstruction {
+ public:
+  CholeskyInstruction(Operand a, std::string output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+};
+
+/// [values, vectors] = eigen(A) for symmetric A (opcode "eigen";
+/// two outputs).
+class EigenInstruction : public ComputationInstruction {
+ public:
+  EigenInstruction(Operand a, std::string values_output,
+                   std::string vectors_output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+};
+
+/// table(v1, v2 [, rows, cols]) contingency matrix (opcode "table").
+class TableInstruction : public ComputationInstruction {
+ public:
+  TableInstruction(Operand v1, Operand v2, Operand out_rows, Operand out_cols,
+                   std::string output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+};
+
+/// order(V, decreasing, index_return) (opcode "order").
+class OrderInstruction : public ComputationInstruction {
+ public:
+  OrderInstruction(Operand v, Operand decreasing, Operand index_return,
+                   std::string output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+};
+
+/// Compiler-assisted fused tsmm(cbind(A, B)) (Sec. 4.4): computes the
+/// block-partitioned result [[t(A)A, t(A)B], [t(B)A, t(B)B]] without
+/// materializing cbind(A, B); the t(A)A block is probed from / put into the
+/// lineage cache. Its lineage equals the unrewritten trace, so results stay
+/// interchangeable with normal execution.
+class TsmmCbindInstruction : public ComputationInstruction {
+ public:
+  TsmmCbindInstruction(Operand a, Operand b, std::string output);
+
+ protected:
+  Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
+                                       const std::vector<DataPtr>& inputs,
+                                       const ExecState& state) const override;
+  std::vector<LineageItemPtr> BuildLineage(
+      ExecutionContext* ctx, const std::vector<LineageItemPtr>& input_items,
+      const ExecState& state) const override;
+};
+
+}  // namespace lima
+
+#endif  // LIMA_RUNTIME_INSTRUCTIONS_MATRIX_H_

@@ -1,0 +1,410 @@
+#include "runtime/program.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace lima {
+
+namespace {
+
+/// Shared dedup-aware execution of one loop-body iteration (Sec. 3.2).
+/// `iter_var` is empty for while loops. On entry the iteration variable's
+/// *value* must already be bound in the symbol table.
+Status ExecuteIterationDedup(ExecutionContext* ctx, const void* loop_id,
+                             const LoopDedupInfo& info,
+                             const std::vector<BlockPtr>& body,
+                             const std::string& iter_var, int64_t iter_value) {
+  DedupRegistry* registry = ctx->dedup_registry();
+  RuntimeStats* stats = ctx->stats();
+  const int num_regular = static_cast<int>(info.body_inputs.size()) +
+                          (iter_var.empty() ? 0 : 1);
+
+  // Capture the real lineage of the loop inputs (placeholder bindings).
+  std::vector<LineageItemPtr> real_inputs;
+  real_inputs.reserve(num_regular);
+  for (const std::string& var : info.body_inputs) {
+    real_inputs.push_back(ResolveOperandLineage(ctx, Operand::Var(var)));
+  }
+  if (!iter_var.empty()) {
+    real_inputs.push_back(ctx->lineage().GetOrCreateLiteral(
+        ScalarValue::Int(iter_value).EncodeLineageLiteral()));
+  }
+
+  // Once all distinct control paths have patches, switch to lite tracing:
+  // only branch bits and seeds are recorded.
+  const bool lite = registry->AllPathsTraced(loop_id, info.num_branches);
+  DedupTracer tracer(info.num_branches, num_regular, lite);
+
+  // Swap in a temporary lineage map seeded with placeholders.
+  LineageMap saved = std::move(ctx->lineage());
+  ctx->lineage() = LineageMap();
+  if (!lite) {
+    for (size_t i = 0; i < info.body_inputs.size(); ++i) {
+      ctx->lineage().Set(info.body_inputs[i],
+                         LineageItem::CreatePlaceholder(static_cast<int>(i)));
+    }
+    if (!iter_var.empty()) {
+      ctx->lineage().Set(iter_var, LineageItem::CreatePlaceholder(
+                                       num_regular - 1));
+    }
+  }
+  ctx->set_dedup_tracer(&tracer);
+  Status status = ExecuteBlocks(body, ctx);
+  ctx->set_dedup_tracer(nullptr);
+  LineageMap traced = std::move(ctx->lineage());
+  ctx->lineage() = std::move(saved);
+  LIMA_RETURN_NOT_OK(status);
+
+  const uint64_t path_key = tracer.PathKey();
+  DedupPatchPtr patch = registry->Find(loop_id, path_key);
+  if (patch == nullptr) {
+    if (lite) {
+      return Status::RuntimeError("dedup: missing patch in lite mode");
+    }
+    std::vector<std::pair<std::string, LineageItemPtr>> outputs;
+    for (const std::string& var : info.body_outputs) {
+      LineageItemPtr item = traced.Get(var);
+      if (item != nullptr) outputs.emplace_back(var, std::move(item));
+    }
+    patch = BuildPatchFromTrace(registry->MakePatchName(loop_id, path_key),
+                                tracer.num_placeholders(), outputs);
+    patch = registry->Insert(loop_id, path_key, patch);
+    if (stats != nullptr) {
+      stats->dedup_patches_created.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // One dedup item per written output, all sharing the placeholder bindings
+  // (inputs + iteration variable + traced seeds, Sec. 3.2).
+  std::vector<LineageItemPtr> bindings = real_inputs;
+  for (const std::string& seed : tracer.seeds()) {
+    bindings.push_back(ctx->lineage().GetOrCreateLiteral(seed));
+  }
+  if (static_cast<int>(bindings.size()) != patch->num_placeholders()) {
+    return Status::RuntimeError(
+        "dedup: placeholder arity mismatch for patch " + patch->name());
+  }
+  std::vector<LineageItemPtr> dedup_items =
+      LineageItem::CreateDedupAll(patch, std::move(bindings));
+  for (int i = 0; i < patch->num_outputs(); ++i) {
+    ctx->lineage().Set(patch->output_names()[i], std::move(dedup_items[i]));
+  }
+  if (stats != nullptr) {
+    stats->dedup_items_created.fetch_add(patch->num_outputs(),
+                                         std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+bool UseDedup(const ExecutionContext& ctx, const LoopDedupInfo& info) {
+  return ctx.config().dedup_lineage && info.eligible &&
+         ctx.tracing_enabled() && ctx.dedup_tracer() == nullptr &&
+         ctx.dedup_registry() != nullptr;
+}
+
+}  // namespace
+
+Status ExecuteBlocks(const std::vector<BlockPtr>& blocks,
+                     ExecutionContext* ctx) {
+  for (const BlockPtr& block : blocks) {
+    LIMA_RETURN_NOT_OK(block->Execute(ctx));
+  }
+  return Status::OK();
+}
+
+Status BasicBlock::ExecuteInstructions(ExecutionContext* ctx) const {
+  for (const std::unique_ptr<Instruction>& instruction : instructions_) {
+    Status status = instruction->Execute(ctx);
+    if (!status.ok()) {
+      return Status(status.code(),
+                    status.message() + " [in " + instruction->ToString() + "]");
+    }
+  }
+  return Status::OK();
+}
+
+Status BasicBlock::Execute(ExecutionContext* ctx) const {
+  // Block-level reuse (Sec. 4.1): probe the whole block before falling back
+  // to per-operation execution. Probing uses a "block" lineage item over the
+  // live-in variables' lineage, disambiguated by the block's structural
+  // signature, and bundles all surviving outputs.
+  const bool multilevel = reuse_info_.eligible && ctx->reuse_active() &&
+                          ctx->config().reuse_mode == ReuseMode::kMultiLevel;
+  if (!multilevel) return ExecuteInstructions(ctx);
+
+  RuntimeStats* stats = ctx->stats();
+  ReuseCache* cache = ctx->cache();
+  std::vector<LineageItemPtr> input_items;
+  input_items.reserve(reuse_info_.inputs.size());
+  for (const std::string& var : reuse_info_.inputs) {
+    input_items.push_back(ResolveOperandLineage(ctx, Operand::Var(var)));
+  }
+  char signature[32];
+  std::snprintf(signature, sizeof(signature), "sig:%016llx",
+                static_cast<unsigned long long>(reuse_info_.signature));
+  LineageItemPtr key =
+      LineageItem::Create("block", std::move(input_items), signature);
+
+  if (stats != nullptr) {
+    stats->cache_probes.fetch_add(1, std::memory_order_relaxed);
+  }
+  ReuseCache::ProbeResult probe = cache->Probe(key, /*claim=*/true);
+  if (probe.kind == ReuseCache::ProbeKind::kHit &&
+      probe.value->type() == DataType::kList) {
+    auto bundle = std::static_pointer_cast<const ListData>(probe.value);
+    if (bundle->size() ==
+        static_cast<int64_t>(reuse_info_.outputs.size())) {
+      for (size_t i = 0; i < reuse_info_.outputs.size(); ++i) {
+        ctx->SetVariable(reuse_info_.outputs[i], bundle->elements()[i],
+                         bundle->element_lineage()[i]);
+      }
+      if (stats != nullptr) {
+        stats->block_reuse_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::OK();
+    }
+  }
+  const bool claimed = probe.kind == ReuseCache::ProbeKind::kClaimed;
+
+  StopWatch watch;
+  Status status = ExecuteInstructions(ctx);
+  if (!status.ok()) {
+    if (claimed) cache->Abort(key);
+    return status;
+  }
+  if (claimed) {
+    std::vector<DataPtr> values;
+    std::vector<LineageItemPtr> items;
+    values.reserve(reuse_info_.outputs.size());
+    for (const std::string& var : reuse_info_.outputs) {
+      Result<DataPtr> value = ctx->symbols().Get(var);
+      if (!value.ok()) {
+        cache->Abort(key);  // conservative: do not cache partial bundles
+        return Status::OK();
+      }
+      values.push_back(std::move(value).ValueOrDie());
+      items.push_back(ctx->lineage().Get(var));
+    }
+    cache->Put(key,
+               std::make_shared<const ListData>(std::move(values),
+                                                std::move(items)),
+               watch.ElapsedSeconds());
+  }
+  return Status::OK();
+}
+
+Result<ScalarValue> Predicate::Evaluate(ExecutionContext* ctx) const {
+  LIMA_RETURN_NOT_OK(block_.Execute(ctx));
+  LIMA_ASSIGN_OR_RETURN(DataPtr value, ctx->symbols().Get(result_var_));
+  return AsScalar(value);
+}
+
+Status IfBlock::Execute(ExecutionContext* ctx) const {
+  LIMA_ASSIGN_OR_RETURN(ScalarValue condition, predicate_.Evaluate(ctx));
+  const bool taken = condition.AsBool();
+  if (branch_id_ >= 0 && ctx->dedup_tracer() != nullptr) {
+    ctx->dedup_tracer()->RecordBranch(branch_id_, taken);
+  }
+  return ExecuteBlocks(taken ? then_blocks_ : else_blocks_, ctx);
+}
+
+Result<std::vector<int64_t>> ForBlock::EvaluateRange(
+    ExecutionContext* ctx) const {
+  LIMA_ASSIGN_OR_RETURN(ScalarValue from_v, from_.Evaluate(ctx));
+  LIMA_ASSIGN_OR_RETURN(ScalarValue to_v, to_.Evaluate(ctx));
+  int64_t from = from_v.AsInt();
+  int64_t to = to_v.AsInt();
+  int64_t incr = from <= to ? 1 : -1;
+  if (has_incr_) {
+    LIMA_ASSIGN_OR_RETURN(ScalarValue incr_v, incr_.Evaluate(ctx));
+    incr = incr_v.AsInt();
+    if (incr == 0) return Status::Invalid("for: zero increment");
+  }
+  std::vector<int64_t> values;
+  if (incr > 0) {
+    for (int64_t v = from; v <= to; v += incr) values.push_back(v);
+  } else {
+    for (int64_t v = from; v >= to; v += incr) values.push_back(v);
+  }
+  return values;
+}
+
+Status ForBlock::ExecuteIteration(ExecutionContext* ctx,
+                                  int64_t iter_value) const {
+  ctx->symbols().Set(iter_var_, MakeIntData(iter_value));
+  if (UseDedup(*ctx, dedup_info_)) {
+    return ExecuteIterationDedup(ctx, this, dedup_info_, body_, iter_var_,
+                                 iter_value);
+  }
+  if (ctx->tracing_enabled()) {
+    ctx->lineage().Set(iter_var_,
+                       ctx->lineage().GetOrCreateLiteral(
+                           ScalarValue::Int(iter_value).EncodeLineageLiteral()));
+  }
+  return ExecuteBlocks(body_, ctx);
+}
+
+Status ForBlock::Execute(ExecutionContext* ctx) const {
+  LIMA_ASSIGN_OR_RETURN(std::vector<int64_t> range, EvaluateRange(ctx));
+  for (int64_t value : range) {
+    LIMA_RETURN_NOT_OK(ExecuteIteration(ctx, value));
+  }
+  return Status::OK();
+}
+
+Status WhileBlock::ExecuteIteration(ExecutionContext* ctx) const {
+  if (UseDedup(*ctx, dedup_info_)) {
+    return ExecuteIterationDedup(ctx, this, dedup_info_, body_,
+                                 /*iter_var=*/"", 0);
+  }
+  return ExecuteBlocks(body_, ctx);
+}
+
+Status WhileBlock::Execute(ExecutionContext* ctx) const {
+  int64_t iterations = 0;
+  while (true) {
+    LIMA_ASSIGN_OR_RETURN(ScalarValue condition, predicate_.Evaluate(ctx));
+    if (!condition.AsBool()) break;
+    LIMA_RETURN_NOT_OK(ExecuteIteration(ctx));
+    if (max_iterations_ > 0 && ++iterations >= max_iterations_) {
+      return Status::RuntimeError("while: iteration bound exceeded");
+    }
+  }
+  return Status::OK();
+}
+
+Status ParForBlock::Execute(ExecutionContext* ctx) const {
+  LIMA_ASSIGN_OR_RETURN(std::vector<int64_t> range, EvaluateRange(ctx));
+  if (range.empty()) return Status::OK();
+
+  const int workers = std::max(
+      1, std::min<int>(ctx->config().parfor_workers,
+                       static_cast<int>(range.size())));
+  if (workers == 1) {
+    // Degenerate case: plain sequential loop semantics.
+    for (int64_t value : range) {
+      ctx->symbols().Set(iter_var_, MakeIntData(value));
+      if (ctx->tracing_enabled()) {
+        ctx->lineage().Set(
+            iter_var_, ctx->lineage().GetOrCreateLiteral(
+                           ScalarValue::Int(value).EncodeLineageLiteral()));
+      }
+      LIMA_RETURN_NOT_OK(ExecuteBlocks(body_, ctx));
+    }
+    return Status::OK();
+  }
+
+  // Worker-local contexts: copied symbols + lineage, kernel_threads = 1.
+  const SymbolTable initial = ctx->symbols();
+  std::vector<ExecutionContext> worker_ctx;
+  worker_ctx.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    worker_ctx.push_back(ctx->MakeWorkerContext());
+  }
+  std::vector<Status> worker_status(workers);
+
+  const int64_t n = static_cast<int64_t>(range.size());
+  const int64_t chunk = (n + workers - 1) / workers;
+  ParallelFor(workers, workers, [&](int64_t w) {
+    ExecutionContext* wc = &worker_ctx[w];
+    const int64_t begin = w * chunk;
+    const int64_t end = std::min(n, begin + chunk);
+    for (int64_t k = begin; k < end; ++k) {
+      wc->symbols().Set(iter_var_, MakeIntData(range[k]));
+      if (wc->tracing_enabled()) {
+        wc->lineage().Set(
+            iter_var_, wc->lineage().GetOrCreateLiteral(
+                           ScalarValue::Int(range[k]).EncodeLineageLiteral()));
+      }
+      Status st = ExecuteBlocks(body_, wc);
+      if (!st.ok()) {
+        worker_status[w] = st;
+        return;
+      }
+    }
+  });
+  for (const Status& st : worker_status) LIMA_RETURN_NOT_OK(st);
+
+  // Result merge: variables that existed before the loop and whose value
+  // changed in some worker. Matrices merge cell-wise diffs against the
+  // initial value (disjoint left-indexing writes); other types take the
+  // last writer in worker order.
+  for (const auto& [name, init_value] : initial.variables()) {
+    std::vector<int> changed_workers;
+    for (int w = 0; w < workers; ++w) {
+      DataPtr wv = worker_ctx[w].symbols().GetOrNull(name);
+      if (wv != nullptr && wv.get() != init_value.get()) {
+        changed_workers.push_back(w);
+      }
+    }
+    if (changed_workers.empty()) continue;
+
+    std::vector<LineageItemPtr> merge_inputs;
+    DataPtr merged;
+    bool cellwise = init_value->type() == DataType::kMatrix;
+    MatrixPtr init_matrix;
+    if (cellwise) {
+      init_matrix = static_cast<const MatrixData*>(init_value.get())->matrix();
+    }
+    Matrix accum(0, 0);
+    bool accum_init = false;
+    for (int w : changed_workers) {
+      DataPtr wv = worker_ctx[w].symbols().GetOrNull(name);
+      if (ctx->tracing_enabled()) {
+        LineageItemPtr item = worker_ctx[w].lineage().Get(name);
+        if (item != nullptr) merge_inputs.push_back(std::move(item));
+      }
+      if (cellwise && wv->type() == DataType::kMatrix) {
+        MatrixPtr wm = static_cast<const MatrixData*>(wv.get())->matrix();
+        if (wm->rows() == init_matrix->rows() &&
+            wm->cols() == init_matrix->cols()) {
+          if (!accum_init) {
+            accum = *init_matrix;
+            accum_init = true;
+          }
+          for (int64_t i = 0; i < accum.size(); ++i) {
+            double v = wm->data()[i];
+            if (v != init_matrix->data()[i]) accum.mutable_data()[i] = v;
+          }
+          continue;
+        }
+      }
+      merged = wv;  // Non-cellwise: last writer wins.
+      cellwise = false;
+    }
+    if (accum_init && cellwise) {
+      merged = MakeMatrixData(std::move(accum));
+    }
+    LineageItemPtr merge_item;
+    if (ctx->tracing_enabled() && !merge_inputs.empty()) {
+      merge_item =
+          LineageItem::Create("parfor-merge", std::move(merge_inputs), name);
+    }
+    ctx->SetVariable(name, std::move(merged), std::move(merge_item));
+  }
+  return Status::OK();
+}
+
+void Program::AddFunction(std::unique_ptr<Function> fn) {
+  functions_[fn->name()] = std::move(fn);
+}
+
+const Function* Program::GetFunction(const std::string& name) const {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : it->second.get();
+}
+
+Function* Program::GetMutableFunction(const std::string& name) {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : it->second.get();
+}
+
+Status Program::Execute(ExecutionContext* ctx) const {
+  ctx->set_program(this);  // function calls resolve against this program
+  return ExecuteBlocks(main_, ctx);
+}
+
+}  // namespace lima

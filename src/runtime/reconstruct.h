@@ -1,0 +1,35 @@
+#ifndef LIMA_RUNTIME_RECONSTRUCT_H_
+#define LIMA_RUNTIME_RECONSTRUCT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lineage/lineage_item.h"
+#include "runtime/program.h"
+
+namespace lima {
+
+/// Result of lineage-based program reconstruction (Sec. 3.1, Fig. 3
+/// "reconstruct"): a straight-line program (no control flow) that — given
+/// the same inputs — recomputes exactly the intermediate the lineage DAG
+/// describes.
+struct ReconstructedProgram {
+  std::unique_ptr<Program> program;
+  /// Names of external inputs ("read" leaves) the caller must bind in the
+  /// execution context before running the program.
+  std::vector<std::string> input_names;
+  /// Variable holding the recomputed intermediate after execution.
+  std::string output_var;
+};
+
+/// Compiles the lineage DAG rooted at `root` into a runnable program.
+/// Dedup patches are compiled into functions (not expanded inline), and each
+/// dedup item becomes a single function call — preserving the deduplication
+/// through reconstruction (Sec. 3.2).
+Result<ReconstructedProgram> ReconstructProgram(const LineageItemPtr& root);
+
+}  // namespace lima
+
+#endif  // LIMA_RUNTIME_RECONSTRUCT_H_

@@ -1,0 +1,74 @@
+#ifndef LIMA_RUNTIME_REUSE_CACHE_H_
+#define LIMA_RUNTIME_REUSE_CACHE_H_
+
+#include <vector>
+
+#include "lineage/lineage_item.h"
+#include "runtime/data.h"
+
+namespace lima {
+
+/// Abstract interface of the lineage-based reuse cache as seen by runtime
+/// instructions. The concrete implementation (with eviction, spilling and
+/// partial rewrites) lives in src/reuse; the indirection keeps the library
+/// layering acyclic (runtime -> this interface <- reuse).
+class ReuseCache {
+ public:
+  enum class ProbeKind {
+    kHit,      ///< value returned, instruction can be skipped
+    kMiss,     ///< no entry, no claim registered
+    kClaimed,  ///< no entry; a placeholder was registered for this caller,
+               ///< which MUST call Put() or Abort() for the key
+  };
+
+  struct ProbeResult {
+    ProbeKind kind;
+    DataPtr value;  ///< set iff kind == kHit
+  };
+
+  virtual ~ReuseCache() = default;
+
+  /// Probes for full reuse of `key`. If `claim` and the key is absent, a
+  /// placeholder entry is registered (Sec. 4.1 task-parallel loops): other
+  /// threads probing the same key block until the claimant calls Put/Abort.
+  ///
+  /// Deadlock-freedom: an operation-level claimant never blocks while
+  /// holding its claim (kernels are pure), so operation claims always make
+  /// progress. Function/block-level claimants may block on operation
+  /// placeholders (which resolve promptly) or on other function claims; a
+  /// cycle there would require mutually recursive calls with identical
+  /// arguments, which is non-terminating under sequential execution as well
+  /// and is cut off by the call-depth guard.
+  virtual ProbeResult Probe(const LineageItemPtr& key, bool claim) = 0;
+
+  /// Inserts the computed value (fills a placeholder if one was claimed).
+  virtual void Put(const LineageItemPtr& key, DataPtr value,
+                   double compute_seconds) = 0;
+
+  /// Releases a claimed placeholder without a value (compute failed).
+  virtual void Abort(const LineageItemPtr& key) = 0;
+
+  /// Non-blocking lookup that never claims and never counts as a probe;
+  /// used by partial-rewrite pattern matching.
+  virtual DataPtr Peek(const LineageItemPtr& key) = 0;
+
+  /// Attempts partial reuse (Sec. 4.2) for the operation identified by
+  /// `key`, whose resolved input values are `inputs` (positionally aligned
+  /// with key->inputs()). Returns the compensated result or nullptr.
+  virtual DataPtr TryPartialReuse(const LineageItemPtr& key,
+                                  const std::vector<DataPtr>& inputs,
+                                  int kernel_threads) = 0;
+
+  /// Drops all entries (and spill files).
+  virtual void Clear() = 0;
+
+  /// Current number of (non-placeholder) entries.
+  virtual int64_t NumEntries() const = 0;
+
+  /// Current total size of cached values in bytes.
+  virtual int64_t SizeInBytes() const = 0;
+};
+
+}  // namespace lima
+
+#endif  // LIMA_RUNTIME_REUSE_CACHE_H_

@@ -1,0 +1,56 @@
+#ifndef LIMA_RUNTIME_SCALAR_H_
+#define LIMA_RUNTIME_SCALAR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace lima {
+
+/// Scalar value kinds supported by the DSL (DML value types).
+enum class ScalarKind { kDouble, kInt, kBool, kString };
+
+/// A typed scalar runtime value. Numeric kinds interoperate (AsDouble/AsInt
+/// coerce); strings only support concatenation and comparison.
+class ScalarValue {
+ public:
+  /// Default: double 0.0.
+  ScalarValue() : kind_(ScalarKind::kDouble), num_(0.0) {}
+
+  static ScalarValue Double(double v);
+  static ScalarValue Int(int64_t v);
+  static ScalarValue Bool(bool v);
+  static ScalarValue String(std::string v);
+
+  ScalarKind kind() const { return kind_; }
+  bool is_numeric() const { return kind_ != ScalarKind::kString; }
+  bool is_string() const { return kind_ == ScalarKind::kString; }
+
+  /// Numeric coercions; CHECK-fails on strings (callers type-check first).
+  double AsDouble() const;
+  int64_t AsInt() const;
+  bool AsBool() const;
+  const std::string& AsString() const;
+
+  /// Human-readable rendering (print/toString).
+  std::string ToDisplayString() const;
+
+  /// Type-faithful, round-trippable encoding used for lineage literals,
+  /// e.g. "D3.5", "I42", "Btrue", "Sfoo".
+  std::string EncodeLineageLiteral() const;
+
+  /// Parses an EncodeLineageLiteral() string back into a value.
+  static Result<ScalarValue> DecodeLineageLiteral(const std::string& encoded);
+
+  bool operator==(const ScalarValue& other) const;
+
+ private:
+  ScalarKind kind_;
+  double num_ = 0.0;  ///< numeric storage (double/int/bool)
+  std::string str_;
+};
+
+}  // namespace lima
+
+#endif  // LIMA_RUNTIME_SCALAR_H_

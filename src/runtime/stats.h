@@ -1,0 +1,70 @@
+#ifndef LIMA_RUNTIME_STATS_H_
+#define LIMA_RUNTIME_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace lima {
+
+/// Process-wide runtime counters (Sec. 5.1 "LIMA collects various runtime
+/// statistics"). Atomic so parfor workers can update concurrently.
+struct RuntimeStats {
+  std::atomic<int64_t> instructions_executed{0};
+  std::atomic<int64_t> lineage_items_created{0};
+  std::atomic<int64_t> cache_probes{0};
+  std::atomic<int64_t> cache_hits{0};
+  std::atomic<int64_t> cache_misses{0};
+  std::atomic<int64_t> partial_reuse_hits{0};
+  std::atomic<int64_t> function_reuse_hits{0};
+  std::atomic<int64_t> block_reuse_hits{0};
+  std::atomic<int64_t> placeholder_waits{0};
+  std::atomic<int64_t> evictions{0};
+  std::atomic<int64_t> spills{0};
+  std::atomic<int64_t> restores{0};
+  std::atomic<int64_t> dedup_patches_created{0};
+  std::atomic<int64_t> dedup_items_created{0};
+  std::atomic<int64_t> rewrite_nanos{0};
+  std::atomic<int64_t> spill_nanos{0};
+  std::atomic<int64_t> compute_saved_nanos{0};
+
+  void Reset() {
+    instructions_executed = 0;
+    lineage_items_created = 0;
+    cache_probes = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    partial_reuse_hits = 0;
+    function_reuse_hits = 0;
+    block_reuse_hits = 0;
+    placeholder_waits = 0;
+    evictions = 0;
+    spills = 0;
+    restores = 0;
+    dedup_patches_created = 0;
+    dedup_items_created = 0;
+    rewrite_nanos = 0;
+    spill_nanos = 0;
+    compute_saved_nanos = 0;
+  }
+
+  std::string ToString() const {
+    std::ostringstream out;
+    out << "instructions=" << instructions_executed.load()
+        << " probes=" << cache_probes.load() << " hits=" << cache_hits.load()
+        << " misses=" << cache_misses.load()
+        << " partial=" << partial_reuse_hits.load()
+        << " fn_hits=" << function_reuse_hits.load()
+        << " blk_hits=" << block_reuse_hits.load()
+        << " evictions=" << evictions.load() << " spills=" << spills.load()
+        << " restores=" << restores.load()
+        << " dedup_patches=" << dedup_patches_created.load()
+        << " dedup_items=" << dedup_items_created.load();
+    return out.str();
+  }
+};
+
+}  // namespace lima
+
+#endif  // LIMA_RUNTIME_STATS_H_

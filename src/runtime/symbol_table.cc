@@ -1,0 +1,40 @@
+#include "runtime/symbol_table.h"
+
+namespace lima {
+
+void SymbolTable::Set(const std::string& name, DataPtr value) {
+  vars_[name] = std::move(value);
+}
+
+Result<DataPtr> SymbolTable::Get(const std::string& name) const {
+  auto it = vars_.find(name);
+  if (it == vars_.end()) {
+    return Status::RuntimeError("undefined variable: " + name);
+  }
+  return it->second;
+}
+
+DataPtr SymbolTable::GetOrNull(const std::string& name) const {
+  auto it = vars_.find(name);
+  return it == vars_.end() ? nullptr : it->second;
+}
+
+bool SymbolTable::Contains(const std::string& name) const {
+  return vars_.count(name) > 0;
+}
+
+void SymbolTable::Remove(const std::string& name) { vars_.erase(name); }
+
+void SymbolTable::Move(const std::string& from, const std::string& to) {
+  auto it = vars_.find(from);
+  if (it == vars_.end()) return;
+  vars_[to] = std::move(it->second);
+  vars_.erase(from);
+}
+
+void SymbolTable::Copy(const std::string& from, const std::string& to) {
+  auto it = vars_.find(from);
+  if (it != vars_.end()) vars_[to] = it->second;
+}
+
+}  // namespace lima

@@ -1,0 +1,45 @@
+#ifndef LIMA_RUNTIME_SYMBOL_TABLE_H_
+#define LIMA_RUNTIME_SYMBOL_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "runtime/data.h"
+
+namespace lima {
+
+/// Live-variable map of one execution context (Fig. 2). Values are shared
+/// immutable handles, so copies (function calls, parfor workers) are cheap.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = default;
+  SymbolTable& operator=(const SymbolTable&) = default;
+  SymbolTable(SymbolTable&&) = default;
+  SymbolTable& operator=(SymbolTable&&) = default;
+
+  void Set(const std::string& name, DataPtr value);
+
+  /// Fails with RuntimeError("undefined variable") when absent.
+  Result<DataPtr> Get(const std::string& name) const;
+
+  /// nullptr when absent.
+  DataPtr GetOrNull(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+  void Remove(const std::string& name);
+  void Move(const std::string& from, const std::string& to);
+  void Copy(const std::string& from, const std::string& to);
+
+  const std::unordered_map<std::string, DataPtr>& variables() const {
+    return vars_;
+  }
+
+ private:
+  std::unordered_map<std::string, DataPtr> vars_;
+};
+
+}  // namespace lima
+
+#endif  // LIMA_RUNTIME_SYMBOL_TABLE_H_

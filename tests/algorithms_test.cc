@@ -1,0 +1,249 @@
+#include "algorithms/scripts.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/session.h"
+
+namespace lima {
+namespace {
+
+// Runs builtins + script in a fresh session with the given config.
+std::unique_ptr<LimaSession> RunScript(const std::string& script,
+                                       LimaConfig config = LimaConfig::Base()) {
+  auto session = std::make_unique<LimaSession>(std::move(config));
+  Status status = session->Run(scripts::Builtins() + script);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return session;
+}
+
+TEST(AlgorithmsTest, LmDsRecoversPlantedModel) {
+  std::unique_ptr<LimaSession> session = RunScript(R"(
+    X = rand(rows=200, cols=10, min=-1, max=1, seed=3);
+    bTrue = rand(rows=10, cols=1, min=-2, max=2, seed=4);
+    y = X %*% bTrue;
+    B = lmDS(X, y, 0, 1e-10);
+    err = sum(abs(B - bTrue));
+  )");
+  EXPECT_LT(*session->GetDouble("err"), 1e-5);
+}
+
+TEST(AlgorithmsTest, LmCgMatchesLmDs) {
+  std::unique_ptr<LimaSession> session = RunScript(R"(
+    X = rand(rows=150, cols=12, min=-1, max=1, seed=5);
+    y = rand(rows=150, cols=1, min=-1, max=1, seed=6);
+    B1 = lmDS(X, y, 0, 1e-3);
+    B2 = lmCG(X, y, 0, 1e-3, 1e-12, 100);
+    err = sum(abs(B1 - B2));
+  )");
+  EXPECT_LT(*session->GetDouble("err"), 1e-5);
+}
+
+TEST(AlgorithmsTest, LmWithInterceptFitsShiftedData) {
+  std::unique_ptr<LimaSession> session = RunScript(R"(
+    X = rand(rows=300, cols=5, min=0, max=1, seed=7);
+    bTrue = matrix(1.5, 5, 1);
+    y = X %*% bTrue + 7;
+    B = lmDS(X, y, 1, 1e-10);
+    loss = lmLoss(X, y, B, 1);
+  )");
+  EXPECT_LT(*session->GetDouble("loss"), 1e-8);
+}
+
+TEST(AlgorithmsTest, L2SvmSeparatesLinearlySeparableData) {
+  std::unique_ptr<LimaSession> session = RunScript(R"(
+    n = 200;
+    Xp = rand(rows=100, cols=4, min=0.5, max=1.5, seed=8);
+    Xn = rand(rows=100, cols=4, min=-1.5, max=-0.5, seed=9);
+    X = rbind(Xp, Xn);
+    Y = rbind(matrix(1, 100, 1), matrix(-1, 100, 1));
+    w = l2svm(X, Y, 0, 1, 0.0001, 40);
+    pred = 2 * ((X %*% w) > 0) - 1;
+    acc = mean(pred == Y);
+  )");
+  EXPECT_GT(*session->GetDouble("acc"), 0.95);
+}
+
+TEST(AlgorithmsTest, MsvmClassifiesThreeClusters) {
+  LimaConfig config = LimaConfig::Base();
+  config.parfor_workers = 3;
+  std::unique_ptr<LimaSession> session = RunScript(R"(
+    # Three clusters, each along a different axis (separable through origin,
+    # since the one-vs-all l2svm here trains without an intercept).
+    X1 = rand(rows=60, cols=3, min=0, max=1, seed=10);
+    X1[, 1] = X1[, 1] + 5;
+    X2 = rand(rows=60, cols=3, min=0, max=1, seed=11);
+    X2[, 2] = X2[, 2] + 5;
+    X3 = rand(rows=60, cols=3, min=0, max=1, seed=12);
+    X3[, 3] = X3[, 3] + 5;
+    X = rbind(X1, X2, X3);
+    Y = rbind(matrix(1, 60, 1), matrix(2, 60, 1), matrix(3, 60, 1));
+    W = msvm(X, Y, 3, 1, 0.001, 30);
+    pred = msvmPredict(X, W);
+    acc = mean(pred == Y);
+  )", config);
+  EXPECT_GT(*session->GetDouble("acc"), 0.9);
+}
+
+TEST(AlgorithmsTest, MLogRegLearnsClusters) {
+  std::unique_ptr<LimaSession> session = RunScript(R"(
+    X1 = rand(rows=80, cols=4, min=0, max=1, seed=13) + 3;
+    X2 = rand(rows=80, cols=4, min=0, max=1, seed=14) - 3;
+    X = rbind(X1, X2);
+    Y = rbind(matrix(1, 80, 1), matrix(2, 80, 1));
+    W = mlogreg(X, Y, 2, 0.001, 50, 0.2);
+    P = mlogregPredict(X, W);
+    pred = rowIndexMax(P);
+    acc = mean(pred == Y);
+  )");
+  EXPECT_GT(*session->GetDouble("acc"), 0.95);
+}
+
+TEST(AlgorithmsTest, PcaProjectionPreservesVarianceOrdering) {
+  std::unique_ptr<LimaSession> session = RunScript(R"(
+    A = rand(rows=200, cols=8, min=-1, max=1, seed=15);
+    A[, 1] = A[, 1] * 10;   # dominant direction
+    [R, V] = pca(A, 2);
+    v1 = as.scalar(colVars(R)[1, 1]);
+    v2 = as.scalar(colVars(R)[1, 2]);
+    orth = sum(abs(t(V) %*% V - diag(matrix(1, 2, 1))));
+  )");
+  EXPECT_GT(*session->GetDouble("v1"), *session->GetDouble("v2"));
+  EXPECT_LT(*session->GetDouble("orth"), 1e-6);
+}
+
+TEST(AlgorithmsTest, NaiveBayesClassifiesCountData) {
+  std::unique_ptr<LimaSession> session = RunScript(R"(
+    X1 = round(rand(rows=100, cols=6, min=0, max=3, seed=16));
+    X1[, 1] = X1[, 1] + 10;
+    X2 = round(rand(rows=100, cols=6, min=0, max=3, seed=17));
+    X2[, 6] = X2[, 6] + 10;
+    X = rbind(X1, X2);
+    Y = rbind(matrix(1, 100, 1), matrix(2, 100, 1));
+    [prior, condp] = naiveBayes(X, Y, 2, 1);
+    pred = naiveBayesPredict(X, prior, condp);
+    acc = mean(pred == Y);
+  )");
+  EXPECT_GT(*session->GetDouble("acc"), 0.9);
+}
+
+TEST(AlgorithmsTest, GridSearchLmFindsLowRegBest) {
+  std::unique_ptr<LimaSession> session = RunScript(R"(
+    X = rand(rows=100, cols=6, min=-1, max=1, seed=18);
+    y = X %*% matrix(1, 6, 1);
+    regs = matrix(0, 3, 1);
+    regs[1, 1] = 1e-8;
+    regs[2, 1] = 1;
+    regs[3, 1] = 100;
+    icpts = matrix(0, 1, 1);
+    tols = matrix(1e-9, 1, 1);
+    losses = gridSearchLm(X, y, regs, icpts, tols);
+    best = as.scalar(rowIndexMax(t(0 - losses)));
+  )");
+  EXPECT_DOUBLE_EQ(*session->GetDouble("best"), 1.0);
+}
+
+TEST(AlgorithmsTest, CvLmLowLossOnLinearData) {
+  std::unique_ptr<LimaSession> session = RunScript(R"(
+    X = rand(rows=160, cols=5, min=-1, max=1, seed=19);
+    y = X %*% matrix(2, 5, 1);
+    avgLoss = cvLm(X, y, 4, 1e-8, 0);
+  )");
+  EXPECT_LT(*session->GetDouble("avgLoss"), 1e-8);
+}
+
+TEST(AlgorithmsTest, StepLmSelectsInformativeFeatures) {
+  std::unique_ptr<LimaSession> session = RunScript(R"(
+    X = rand(rows=120, cols=10, min=-1, max=1, seed=20);
+    # only features 3 and 7 carry signal
+    y = X[, 3] * 5 + X[, 7] * 3;
+    [sel, loss] = stepLm(X, y, 2, 1e-6);
+    s1 = as.scalar(sel[1, 1]);
+    s2 = as.scalar(sel[1, 2]);
+  )");
+  double s1 = *session->GetDouble("s1");
+  double s2 = *session->GetDouble("s2");
+  EXPECT_EQ(s1, 3.0);
+  EXPECT_EQ(s2, 7.0);
+  EXPECT_LT(*session->GetDouble("loss"), 1e-10);
+}
+
+TEST(AlgorithmsTest, AutoencoderLossDecreases) {
+  std::unique_ptr<LimaSession> session = RunScript(R"(
+    X = rand(rows=64, cols=10, min=0, max=1, seed=21);
+    l1 = autoencoder(X, 8, 2, 1, 16, 0.05);
+    l2 = autoencoder(X, 8, 2, 20, 16, 0.05);
+  )");
+  EXPECT_LT(*session->GetDouble("l2"), *session->GetDouble("l1"));
+}
+
+TEST(AlgorithmsTest, KmeansRecoversClusters) {
+  std::unique_ptr<LimaSession> session = RunScript(R"(
+    X1 = rand(rows=50, cols=2, min=0, max=1, seed=60) + 10;
+    X2 = rand(rows=50, cols=2, min=0, max=1, seed=61) - 10;
+    X = rbind(X1, X2);
+    [C, assign, wsse] = kmeans(X, 2, 10, 5);
+    # All points of each true cluster share one label, labels differ.
+    a1 = mean(assign[1:50, ]);
+    a2 = mean(assign[51:100, ]);
+    spread = sum(abs(assign[1:50, ] - a1)) + sum(abs(assign[51:100, ] - a2));
+  )");
+  EXPECT_DOUBLE_EQ(*session->GetDouble("spread"), 0.0);
+  EXPECT_NE(*session->GetDouble("a1"), *session->GetDouble("a2"));
+  EXPECT_LT(*session->GetDouble("wsse"), 100.0);
+}
+
+TEST(AlgorithmsTest, KmeansSeedReproducibility) {
+  std::unique_ptr<LimaSession> session = RunScript(R"(
+    X = rand(rows=60, cols=3, min=-1, max=1, seed=62);
+    [C1, a1, w1] = kmeans(X, 4, 5, 9);
+    [C2, a2, w2] = kmeans(X, 4, 5, 9);
+    d = sum(abs(C1 - C2));
+  )");
+  EXPECT_DOUBLE_EQ(*session->GetDouble("d"), 0.0);
+}
+
+TEST(AlgorithmsTest, PageRankConvergesToStationaryMass) {
+  std::unique_ptr<LimaSession> session = RunScript(R"(
+    n = 20;
+    G = rand(rows=n, cols=n, min=0, max=1, sparsity=0.2, seed=22);
+    G = G / max(rowSums(G) * 0 + colSums(G), 1e-12);   # column-normalize
+    p0 = matrix(1 / n, n, 1);
+    e = matrix(1, n, 1);
+    u = matrix(1 / n, 1, n);
+    p = pageRank(G, p0, e, u, 0.85, 50);
+    mass = sum(p);
+  )");
+  EXPECT_NEAR(*session->GetDouble("mass"), 1.0, 1e-6);
+}
+
+TEST(AlgorithmsTest, PipelinesMatchUnderAllReuseModes) {
+  // Property sweep: every pipeline produces identical results under Base,
+  // full, hybrid, and multi-level reuse.
+  const std::string script = R"(
+    X = rand(rows=80, cols=6, min=-1, max=1, seed=30);
+    y = X %*% matrix(1.5, 6, 1);
+    r1 = cvLm(X, y, 4, 1e-6, 0);
+    regs = matrix(0, 2, 1);
+    regs[1, 1] = 1e-6;
+    regs[2, 1] = 1e-2;
+    icpts = matrix(0, 1, 1);
+    icpts[1, 1] = 1;
+    tols = matrix(1e-9, 1, 1);
+    r2 = sum(gridSearchLm(X, y, regs, icpts, tols));
+    [sel, r3] = stepLm(X, y, 3, 1e-6);
+    r = r1 + r2 + r3;
+  )";
+  std::unique_ptr<LimaSession> base = RunScript(script, LimaConfig::Base());
+  double expected = *base->GetDouble("r");
+  for (ReuseMode mode : {ReuseMode::kFull, ReuseMode::kPartial,
+                         ReuseMode::kHybrid, ReuseMode::kMultiLevel}) {
+    LimaConfig config = LimaConfig::Lima();
+    config.reuse_mode = mode;
+    std::unique_ptr<LimaSession> session = RunScript(script, config);
+    EXPECT_NEAR(*session->GetDouble("r"), expected, 1e-6)
+        << "mode=" << ReuseModeToString(mode);
+  }
+}
+
+}  // namespace
+}  // namespace lima

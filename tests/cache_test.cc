@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "reuse/lineage_cache.h"
+
+namespace lima {
+namespace {
+
+LineageItemPtr Key(const std::string& name) {
+  return LineageItem::Create("read", {}, name);
+}
+
+DataPtr Value(int64_t rows, double fill) {
+  return MakeMatrixData(Matrix(rows, 1, fill));
+}
+
+LimaConfig CacheConfig(int64_t budget = 1 << 20,
+                       EvictionPolicy policy = EvictionPolicy::kCostSize) {
+  LimaConfig config = LimaConfig::Lima();
+  config.cache_budget_bytes = budget;
+  config.eviction_policy = policy;
+  return config;
+}
+
+TEST(LineageCacheTest, MissClaimPutHit) {
+  LineageCache cache(CacheConfig());
+  LineageItemPtr key = Key("a");
+  auto probe = cache.Probe(key, /*claim=*/true);
+  EXPECT_EQ(probe.kind, ReuseCache::ProbeKind::kClaimed);
+  cache.Put(key, Value(4, 1.0), 0.1);
+  auto hit = cache.Probe(key, true);
+  ASSERT_EQ(hit.kind, ReuseCache::ProbeKind::kHit);
+  EXPECT_EQ(hit.value->SizeInBytes(), 32);
+  EXPECT_EQ(cache.NumEntries(), 1);
+}
+
+TEST(LineageCacheTest, MissWithoutClaimLeavesNoEntry) {
+  LineageCache cache(CacheConfig());
+  auto probe = cache.Probe(Key("a"), /*claim=*/false);
+  EXPECT_EQ(probe.kind, ReuseCache::ProbeKind::kMiss);
+  EXPECT_EQ(cache.NumEntries(), 0);
+}
+
+TEST(LineageCacheTest, StructuralKeyEquality) {
+  LineageCache cache(CacheConfig());
+  // Two structurally identical but distinct item instances must collide.
+  LineageItemPtr k1 = LineageItem::Create("tsmm", {Key("X")});
+  LineageItemPtr k2 = LineageItem::Create("tsmm", {Key("X")});
+  EXPECT_NE(k1.get(), k2.get());
+  cache.Put(k1, Value(2, 5.0), 0.1);
+  auto hit = cache.Probe(k2, false);
+  EXPECT_EQ(hit.kind, ReuseCache::ProbeKind::kHit);
+}
+
+TEST(LineageCacheTest, AbortReleasesPlaceholder) {
+  LineageCache cache(CacheConfig());
+  LineageItemPtr key = Key("a");
+  cache.Probe(key, true);
+  cache.Abort(key);
+  EXPECT_EQ(cache.Probe(key, false).kind, ReuseCache::ProbeKind::kMiss);
+}
+
+TEST(LineageCacheTest, PeekDoesNotClaim) {
+  LineageCache cache(CacheConfig());
+  LineageItemPtr key = Key("a");
+  EXPECT_EQ(cache.Peek(key), nullptr);
+  EXPECT_EQ(cache.NumEntries(), 0);
+  cache.Put(key, Value(2, 3.0), 0.1);
+  EXPECT_NE(cache.Peek(key), nullptr);
+}
+
+TEST(LineageCacheTest, OversizedObjectsNotCached) {
+  LineageCache cache(CacheConfig(/*budget=*/100));
+  LineageItemPtr key = Key("big");
+  cache.Probe(key, true);
+  cache.Put(key, Value(1000, 1.0), 5.0);  // 8 KB > 100 B budget
+  EXPECT_EQ(cache.NumEntries(), 0);
+  EXPECT_EQ(cache.Probe(key, false).kind, ReuseCache::ProbeKind::kMiss);
+}
+
+TEST(LineageCacheTest, PlaceholderBlocksSecondThreadUntilPut) {
+  RuntimeStats stats;
+  LineageCache cache(CacheConfig(), &stats);
+  LineageItemPtr key = Key("shared");
+  auto first = cache.Probe(key, true);
+  ASSERT_EQ(first.kind, ReuseCache::ProbeKind::kClaimed);
+
+  std::atomic<bool> got_value{false};
+  std::thread waiter([&] {
+    auto probe = cache.Probe(key, true);
+    EXPECT_EQ(probe.kind, ReuseCache::ProbeKind::kHit);
+    got_value = true;
+  });
+  // The waiter must block until the claimant publishes the value.
+  while (stats.placeholder_waits.load() == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(got_value.load());
+  cache.Put(key, Value(2, 7.0), 0.5);
+  waiter.join();
+  EXPECT_TRUE(got_value.load());
+}
+
+TEST(LineageCacheTest, AbortWakesWaitersToRecompute) {
+  LineageCache cache(CacheConfig());
+  LineageItemPtr key = Key("aborted");
+  cache.Probe(key, true);
+  std::thread waiter([&] {
+    auto probe = cache.Probe(key, true);
+    // After the abort this thread claims the placeholder itself.
+    EXPECT_EQ(probe.kind, ReuseCache::ProbeKind::kClaimed);
+    cache.Abort(key);
+  });
+  cache.Abort(key);
+  waiter.join();
+}
+
+TEST(LineageCacheTest, LruEvictsOldest) {
+  // Budget for ~2 of 3 equally-sized entries (with 20% hysteresis).
+  LineageCache cache(CacheConfig(2100, EvictionPolicy::kLru));
+  LineageItemPtr a = Key("a");
+  LineageItemPtr b = Key("b");
+  LineageItemPtr c = Key("c");
+  cache.Put(a, Value(100, 1), 1.0);  // 800 B each
+  cache.Put(b, Value(100, 2), 1.0);
+  cache.Probe(a, false);  // refresh a
+  cache.Put(c, Value(100, 3), 1.0);
+  EXPECT_TRUE(cache.Contains(a));
+  EXPECT_FALSE(cache.Contains(b));  // oldest access -> evicted
+  EXPECT_TRUE(cache.Contains(c));
+}
+
+TEST(LineageCacheTest, CostSizeKeepsExpensiveEntries) {
+  LineageCache cache(CacheConfig(2100, EvictionPolicy::kCostSize));
+  LineageItemPtr cheap = Key("cheap");
+  LineageItemPtr costly = Key("costly");
+  cache.Put(costly, Value(100, 1), /*compute_seconds=*/10.0);
+  cache.Put(cheap, Value(100, 2), /*compute_seconds=*/0.001);
+  cache.Put(Key("mid"), Value(100, 3), /*compute_seconds=*/0.1);
+  EXPECT_TRUE(cache.Contains(costly));
+  EXPECT_FALSE(cache.Contains(cheap));  // lowest cost/size score goes first
+}
+
+TEST(LineageCacheTest, DagHeightEvictsDeepest) {
+  LineageCache cache(CacheConfig(2100, EvictionPolicy::kDagHeight));
+  LineageItemPtr shallow = Key("x");                       // height 0
+  LineageItemPtr deep = LineageItem::Create("t", {LineageItem::Create(
+                            "exp", {Key("y")})});          // height 2
+  cache.Put(shallow, Value(100, 1), 1.0);
+  cache.Put(deep, Value(100, 2), 1.0);
+  cache.Put(Key("z"), Value(100, 3), 1.0);
+  EXPECT_TRUE(cache.Contains(shallow));
+  EXPECT_FALSE(cache.Contains(deep));
+}
+
+TEST(LineageCacheTest, GhostRefsSurviveEviction) {
+  // Cost&Size: a repeatedly-missed key accumulates refs across evictions
+  // and eventually outranks a colder entry of equal cost.
+  LineageCache cache(CacheConfig(2100, EvictionPolicy::kCostSize));
+  LineageItemPtr hot = Key("hot");
+  LineageItemPtr cold = Key("cold");
+  for (int round = 0; round < 6; ++round) {
+    cache.Probe(hot, true);
+    cache.Put(hot, Value(100, 1), 0.01);
+    cache.Put(cold, Value(100, 2), 0.01);
+    cache.Put(Key("filler" + std::to_string(round)), Value(100, 3), 0.01);
+  }
+  EXPECT_TRUE(cache.Contains(hot));
+}
+
+TEST(LineageCacheTest, SpillAndRestore) {
+  RuntimeStats stats;
+  LimaConfig config = CacheConfig(2100, EvictionPolicy::kLru);
+  config.enable_spilling = true;
+  LineageCache cache(config, &stats);
+  LineageItemPtr a = Key("a");
+  // High compute cost -> spill-worthy.
+  cache.Put(a, Value(100, 42.0), /*compute_seconds=*/100.0);
+  cache.Put(Key("b"), Value(100, 2), 100.0);
+  cache.Put(Key("c"), Value(100, 3), 100.0);
+  EXPECT_GT(stats.spills.load(), 0);
+  // The spilled entry is still logically present and restores on probe.
+  auto hit = cache.Probe(a, false);
+  ASSERT_EQ(hit.kind, ReuseCache::ProbeKind::kHit);
+  const MatrixPtr& m = static_cast<const MatrixData*>(hit.value.get())->matrix();
+  EXPECT_DOUBLE_EQ(m->At(50, 0), 42.0);
+  EXPECT_GT(stats.restores.load(), 0);
+}
+
+TEST(LineageCacheTest, SetBudgetTriggersEviction) {
+  LineageCache cache(CacheConfig(1 << 20));
+  for (int i = 0; i < 10; ++i) {
+    cache.Put(Key("k" + std::to_string(i)), Value(100, i), 1.0);
+  }
+  EXPECT_EQ(cache.NumEntries(), 10);
+  cache.SetBudget(1600);
+  EXPECT_LT(cache.NumEntries(), 10);
+  EXPECT_LE(cache.SizeInBytes(), 1600);
+}
+
+TEST(LineageCacheTest, ClearEmptiesEverything) {
+  LineageCache cache(CacheConfig());
+  cache.Put(Key("a"), Value(10, 1), 1.0);
+  cache.Put(Key("b"), Value(10, 2), 1.0);
+  cache.Clear();
+  EXPECT_EQ(cache.NumEntries(), 0);
+  EXPECT_EQ(cache.SizeInBytes(), 0);
+}
+
+TEST(LineageCacheTest, DoublePutKeepsFirstValue) {
+  LineageCache cache(CacheConfig());
+  LineageItemPtr key = Key("a");
+  cache.Put(key, Value(2, 1.0), 0.1);
+  cache.Put(key, Value(2, 2.0), 0.1);
+  auto hit = cache.Probe(key, false);
+  const MatrixPtr& m =
+      static_cast<const MatrixData*>(hit.value.get())->matrix();
+  EXPECT_DOUBLE_EQ(m->At(0, 0), 1.0);
+}
+
+TEST(LineageCacheTest, ConcurrentMixedWorkload) {
+  RuntimeStats stats;
+  LineageCache cache(CacheConfig(1 << 22), &stats);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 200; ++i) {
+        LineageItemPtr key = Key("k" + std::to_string(i % 17));
+        auto probe = cache.Probe(key, true);
+        if (probe.kind == ReuseCache::ProbeKind::kClaimed) {
+          cache.Put(key, Value(16, t), 0.01);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(cache.NumEntries(), 17);
+}
+
+}  // namespace
+}  // namespace lima

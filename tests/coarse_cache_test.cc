@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "reuse/coarse_cache.h"
+
+namespace lima {
+namespace {
+
+TEST(CoarseCacheTest, FingerprintsDiscriminate) {
+  DataPtr a = MakeMatrixData(Matrix(3, 3, 1.0));
+  DataPtr b = MakeMatrixData(Matrix(3, 3, 1.0));
+  DataPtr c = MakeMatrixData(Matrix(3, 3, 2.0));
+  DataPtr d = MakeMatrixData(Matrix(3, 4, 1.0));
+  EXPECT_EQ(CoarseGrainedCache::Fingerprint(a),
+            CoarseGrainedCache::Fingerprint(b));
+  EXPECT_NE(CoarseGrainedCache::Fingerprint(a),
+            CoarseGrainedCache::Fingerprint(c));
+  EXPECT_NE(CoarseGrainedCache::Fingerprint(a),
+            CoarseGrainedCache::Fingerprint(d));
+}
+
+TEST(CoarseCacheTest, ScalarAndListFingerprints) {
+  EXPECT_NE(CoarseGrainedCache::Fingerprint(MakeDoubleData(1.0)),
+            CoarseGrainedCache::Fingerprint(MakeDoubleData(2.0)));
+  EXPECT_NE(CoarseGrainedCache::Fingerprint(MakeDoubleData(1.0)),
+            CoarseGrainedCache::Fingerprint(MakeIntData(1)));
+  auto list1 = std::make_shared<const ListData>(
+      std::vector<DataPtr>{MakeDoubleData(1.0)},
+      std::vector<LineageItemPtr>{nullptr});
+  auto list2 = std::make_shared<const ListData>(
+      std::vector<DataPtr>{MakeDoubleData(2.0)},
+      std::vector<LineageItemPtr>{nullptr});
+  EXPECT_NE(CoarseGrainedCache::Fingerprint(list1),
+            CoarseGrainedCache::Fingerprint(list2));
+}
+
+TEST(CoarseCacheTest, LookupStoreRoundTrip) {
+  CoarseGrainedCache cache;
+  DataPtr input = MakeMatrixData(Matrix(2, 2, 3.0));
+  EXPECT_FALSE(cache.Lookup("pca", {input}).has_value());
+  cache.Store("pca", {input}, {MakeDoubleData(42.0)});
+  auto hit = cache.Lookup("pca", {input});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*AsNumber((*hit)[0]), 42.0);
+  EXPECT_EQ(cache.NumEntries(), 1);
+}
+
+TEST(CoarseCacheTest, StepNameDisambiguates) {
+  CoarseGrainedCache cache;
+  DataPtr input = MakeMatrixData(Matrix(2, 2, 3.0));
+  cache.Store("pca", {input}, {MakeDoubleData(1.0)});
+  EXPECT_FALSE(cache.Lookup("lm", {input}).has_value());
+}
+
+TEST(CoarseCacheTest, InputChangeInvalidates) {
+  CoarseGrainedCache cache;
+  cache.Store("step", {MakeMatrixData(Matrix(2, 2, 3.0))},
+              {MakeDoubleData(1.0)});
+  EXPECT_FALSE(
+      cache.Lookup("step", {MakeMatrixData(Matrix(2, 2, 4.0))}).has_value());
+}
+
+TEST(CoarseCacheTest, BlackBoxBlindness) {
+  // The defining limitation vs LIMA (Fig. 1): two *different* steps sharing
+  // internal work are separate entries; nothing fine-grained is shared.
+  CoarseGrainedCache cache;
+  DataPtr input = MakeMatrixData(Matrix(2, 2, 3.0));
+  cache.Store("lm_reg_0.1", {input}, {MakeDoubleData(1.0)});
+  EXPECT_FALSE(cache.Lookup("lm_reg_0.2", {input}).has_value());
+  EXPECT_EQ(cache.NumEntries(), 1);
+}
+
+TEST(CoarseCacheTest, ClearResets) {
+  CoarseGrainedCache cache;
+  cache.Store("s", {MakeDoubleData(1.0)}, {MakeDoubleData(2.0)});
+  cache.Clear();
+  EXPECT_EQ(cache.NumEntries(), 0);
+}
+
+}  // namespace
+}  // namespace lima

@@ -1,0 +1,241 @@
+// Compiler-level behavior: program structure, the tsmm rewrite, constant
+// folding, live-variable analysis, determinism flags, unmarking, and the
+// reuse-aware tsmm_cbind rewrite (Sec. 4.4).
+#include <gtest/gtest.h>
+
+#include "lang/compiler.h"
+#include "lang/session.h"
+#include "runtime/analysis.h"
+
+namespace lima {
+namespace {
+
+std::unique_ptr<Program> Compile(const std::string& script,
+                                 LimaConfig config = LimaConfig::Base()) {
+  Result<std::unique_ptr<Program>> program = CompileScript(script, config);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).ValueOrDie();
+}
+
+// Counts instructions with `opcode` anywhere in the program.
+int CountOpcode(const std::vector<BlockPtr>& blocks,
+                const std::string& opcode) {
+  int count = 0;
+  for (const BlockPtr& block : blocks) {
+    switch (block->kind()) {
+      case BlockKind::kBasic:
+        for (const auto& instruction :
+             static_cast<const BasicBlock&>(*block).instructions()) {
+          if (instruction->opcode() == opcode) ++count;
+        }
+        break;
+      case BlockKind::kIf: {
+        const auto& if_block = static_cast<const IfBlock&>(*block);
+        count += CountOpcode(if_block.then_blocks(), opcode);
+        count += CountOpcode(if_block.else_blocks(), opcode);
+        break;
+      }
+      case BlockKind::kFor:
+      case BlockKind::kParFor:
+        count += CountOpcode(static_cast<const ForBlock&>(*block).body(),
+                             opcode);
+        break;
+      case BlockKind::kWhile:
+        count += CountOpcode(static_cast<const WhileBlock&>(*block).body(),
+                             opcode);
+        break;
+    }
+  }
+  return count;
+}
+
+TEST(CompilerTest, TsmmRewriteFires) {
+  auto program = Compile("A = t(X) %*% X;");
+  EXPECT_EQ(CountOpcode(program->main(), "tsmm"), 1);
+  EXPECT_EQ(CountOpcode(program->main(), "mm"), 0);
+  // Different operands: no rewrite.
+  auto program2 = Compile("A = t(X) %*% Y;");
+  EXPECT_EQ(CountOpcode(program2->main(), "tsmm"), 0);
+  EXPECT_EQ(CountOpcode(program2->main(), "mm"), 1);
+}
+
+TEST(CompilerTest, ConstantFolding) {
+  auto program = Compile("x = 2 * 3 + 4;");
+  // Folded to a single literal assignment.
+  EXPECT_EQ(CountOpcode(program->main(), "+"), 0);
+  EXPECT_EQ(CountOpcode(program->main(), "*"), 0);
+  EXPECT_EQ(CountOpcode(program->main(), "assignvar"), 1);
+}
+
+TEST(CompilerTest, TempCleanupEmitted) {
+  auto program = Compile("y = sum(exp(X)) + 1;");
+  EXPECT_GE(CountOpcode(program->main(), "rmvar"), 1);
+}
+
+TEST(CompilerTest, ControlFlowBlockStructure) {
+  auto program = Compile(R"(
+    x = 1;
+    if (x > 0) { y = 1; } else { y = 2; }
+    for (i in 1:3) { y = y + i; }
+    while (y < 10) { y = y * 2; }
+    z = y;
+  )");
+  ASSERT_GE(program->main().size(), 5u);
+  EXPECT_EQ(program->main()[0]->kind(), BlockKind::kBasic);
+  EXPECT_EQ(program->main()[1]->kind(), BlockKind::kIf);
+  EXPECT_EQ(program->main()[2]->kind(), BlockKind::kFor);
+  EXPECT_EQ(program->main()[3]->kind(), BlockKind::kWhile);
+  EXPECT_EQ(program->main()[4]->kind(), BlockKind::kBasic);
+}
+
+TEST(CompilerTest, ParforBlockKind) {
+  auto program = Compile("parfor (i in 1:3) { x = i; }");
+  EXPECT_EQ(program->main()[0]->kind(), BlockKind::kParFor);
+}
+
+TEST(CompilerTest, LoopDedupInfoFilled) {
+  auto program = Compile(R"(
+    acc = 0;
+    for (i in 1:10) {
+      if (i > 5) { acc = acc + i; } else { acc = acc + 2 * i; }
+    }
+  )");
+  const auto& loop = static_cast<const ForBlock&>(*program->main()[1]);
+  EXPECT_TRUE(loop.dedup_info().eligible);
+  EXPECT_EQ(loop.dedup_info().num_branches, 1);
+  // acc is loop-carried: both an input and an output.
+  const auto& inputs = loop.dedup_info().body_inputs;
+  EXPECT_NE(std::find(inputs.begin(), inputs.end(), "acc"), inputs.end());
+}
+
+TEST(CompilerTest, NestedLoopNotDedupEligible) {
+  auto program = Compile(R"(
+    for (i in 1:3) {
+      for (j in 1:3) { x = i + j; }
+    }
+  )");
+  const auto& outer = static_cast<const ForBlock&>(*program->main()[0]);
+  EXPECT_FALSE(outer.dedup_info().eligible);
+  const auto& inner = static_cast<const ForBlock&>(*outer.body()[0]);
+  EXPECT_TRUE(inner.dedup_info().eligible);
+}
+
+TEST(CompilerTest, FunctionDeterminismAnalysis) {
+  auto program = Compile(R"(
+    det = function(Matrix X) return (Matrix Y) { Y = X * 2; }
+    nondet = function(Matrix X) return (Matrix Y) { Y = X + rand(rows=2, cols=2); }
+    seeded = function(Matrix X) return (Matrix Y) { Y = X + rand(rows=2, cols=2, seed=3); }
+    callsDet = function(Matrix X) return (Matrix Y) { Y = det(X); }
+    callsNondet = function(Matrix X) return (Matrix Y) { Y = nondet(X); }
+  )");
+  EXPECT_TRUE(program->GetFunction("det")->deterministic());
+  EXPECT_FALSE(program->GetFunction("nondet")->deterministic());
+  EXPECT_TRUE(program->GetFunction("seeded")->deterministic());
+  EXPECT_TRUE(program->GetFunction("callsDet")->deterministic());
+  EXPECT_FALSE(program->GetFunction("callsNondet")->deterministic());
+}
+
+TEST(CompilerTest, AnalyzeBodyVarsOrder) {
+  auto program = Compile(R"(
+    b = a + 1;
+    c = b * b;
+    a = c;
+  )");
+  BodyVars vars = AnalyzeBodyVars(program->main());
+  EXPECT_EQ(vars.inputs, std::vector<std::string>{"a"});
+  // Outputs include compiler temporaries; the named variables appear in
+  // write order.
+  std::vector<std::string> named;
+  for (const std::string& v : vars.outputs) {
+    if (v.rfind("_t", 0) != 0) named.push_back(v);
+  }
+  EXPECT_EQ(named, (std::vector<std::string>{"b", "c", "a"}));
+}
+
+TEST(CompilerTest, UnmarkingDisablesLoopCarriedCaching) {
+  // With reuse on, the instructions writing the loop-carried X are unmarked;
+  // running twice inside one session must not reuse the X-chain but the
+  // invariant tsmm(Y) must hit.
+  LimaConfig config = LimaConfig::Lima();
+  LimaSession session(config);
+  ASSERT_TRUE(session.Run(R"(
+    Y = rand(rows=50, cols=10, seed=1);
+    X = rand(rows=50, cols=10, seed=2);
+    for (i in 1:5) {
+      X = X + Y %*% (t(Y) %*% Y) * 0.0001;
+    }
+    s = sum(X);
+  )").ok());
+  EXPECT_GE(session.stats()->cache_hits.load(), 4);  // tsmm(Y) per iteration
+}
+
+TEST(CompilerTest, ReuseAwareRewriteEmitsTsmmCbind) {
+  LimaConfig config = LimaConfig::Lima();
+  config.compiler_assist = true;
+  auto program = Compile(R"(
+    Z = cbind(X, y);
+    S = t(Z) %*% Z;
+    r = sum(S);
+  )", config);
+  EXPECT_EQ(CountOpcode(program->main(), "tsmm_cbind"), 1);
+  EXPECT_EQ(CountOpcode(program->main(), "cbind"), 0);
+}
+
+TEST(CompilerTest, ReuseAwareRewriteRespectsOtherReaders) {
+  LimaConfig config = LimaConfig::Lima();
+  config.compiler_assist = true;
+  auto program = Compile(R"(
+    Z = cbind(X, y);
+    S = t(Z) %*% Z;
+    r = sum(S) + sum(Z);   # Z has another reader
+  )", config);
+  EXPECT_EQ(CountOpcode(program->main(), "tsmm_cbind"), 0);
+  EXPECT_EQ(CountOpcode(program->main(), "cbind"), 1);
+}
+
+TEST(CompilerTest, TsmmCbindProducesIdenticalResults) {
+  const char* script = R"(
+    X = rand(rows=60, cols=8, seed=3);
+    y = rand(rows=60, cols=1, seed=4);
+    base = t(X) %*% X;
+    Z = cbind(X, y);
+    S = t(Z) %*% Z;
+    r = sum(S) + sum(base);
+  )";
+  LimaSession base(LimaConfig::Base());
+  ASSERT_TRUE(base.Run(script).ok());
+  LimaConfig config = LimaConfig::Lima();
+  config.compiler_assist = true;
+  LimaSession assisted(config);
+  ASSERT_TRUE(assisted.Run(script).ok());
+  EXPECT_NEAR(*base.GetDouble("r"), *assisted.GetDouble("r"), 1e-8);
+}
+
+TEST(CompilerTest, NestedFunctionDefinitionRejected) {
+  LimaConfig config = LimaConfig::Base();
+  Status status = CompileScript(R"(
+    f = function(Double a) return (Double r) {
+      g = function(Double b) return (Double q) { q = b; }
+      r = a;
+    }
+  )", config).status();
+  EXPECT_EQ(status.code(), StatusCode::kCompileError);
+}
+
+TEST(CompilerTest, RangeOutsideIndexingRejected) {
+  EXPECT_EQ(CompileScript("x = 1:5;", LimaConfig::Base()).status().code(),
+            StatusCode::kCompileError);
+}
+
+TEST(CompilerTest, EigenInExpressionRejected) {
+  EXPECT_FALSE(CompileScript("x = eigen(C);", LimaConfig::Base()).ok());
+}
+
+TEST(CompilerTest, UnknownNamedArgumentRejected) {
+  EXPECT_FALSE(
+      CompileScript("x = rand(rows=2, cols=2, bogus=1);", LimaConfig::Base())
+          .ok());
+}
+
+}  // namespace
+}  // namespace lima

@@ -1,0 +1,148 @@
+// Algebraic property tests over random matrices (parameterized by seed and
+// shape): identities that must hold for any input, complementing the
+// example-based kernel tests in matrix_test.cc.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "matrix/aggregates.h"
+#include "matrix/datagen.h"
+#include "matrix/elementwise.h"
+#include "matrix/factorize.h"
+#include "matrix/indexing.h"
+#include "matrix/matmul.h"
+#include "matrix/reorg.h"
+
+namespace lima {
+namespace {
+
+class MatrixProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+ protected:
+  uint64_t seed() const { return std::get<0>(GetParam()); }
+  int64_t rows() const { return std::get<1>(GetParam()); }
+  int64_t cols() const { return std::get<2>(GetParam()); }
+
+  Matrix Random(uint64_t salt, int64_t r, int64_t c) const {
+    return *Rand(r, c, -2, 2, 1.0, RandPdf::kUniform, seed() * 1000 + salt);
+  }
+};
+
+TEST_P(MatrixProperty, TransposeDistributesOverAdd) {
+  Matrix a = Random(1, rows(), cols());
+  Matrix b = Random(2, rows(), cols());
+  Matrix lhs = Transpose(*EwiseBinary(BinaryOp::kAdd, a, b));
+  Matrix rhs = *EwiseBinary(BinaryOp::kAdd, Transpose(a), Transpose(b));
+  EXPECT_TRUE(lhs.EqualsApprox(rhs, 1e-12));
+}
+
+TEST_P(MatrixProperty, TransposeReversesProducts) {
+  Matrix a = Random(3, rows(), cols());
+  Matrix b = Random(4, cols(), rows());
+  Matrix lhs = Transpose(*MatMul(a, b));
+  Matrix rhs = *MatMul(Transpose(b), Transpose(a));
+  EXPECT_TRUE(lhs.EqualsApprox(rhs, 1e-9));
+}
+
+TEST_P(MatrixProperty, TsmmEqualsExplicitProduct) {
+  Matrix x = Random(5, rows(), cols());
+  EXPECT_TRUE(Tsmm(x, true).EqualsApprox(*MatMul(Transpose(x), x), 1e-9));
+  EXPECT_TRUE(Tsmm(x, false).EqualsApprox(*MatMul(x, Transpose(x)), 1e-9));
+}
+
+TEST_P(MatrixProperty, MatMulDistributesOverAdd) {
+  Matrix a = Random(6, rows(), cols());
+  Matrix b = Random(7, cols(), 3);
+  Matrix c = Random(8, cols(), 3);
+  Matrix lhs = *MatMul(a, *EwiseBinary(BinaryOp::kAdd, b, c));
+  Matrix rhs = *EwiseBinary(BinaryOp::kAdd, *MatMul(a, b), *MatMul(a, c));
+  EXPECT_TRUE(lhs.EqualsApprox(rhs, 1e-9));
+}
+
+TEST_P(MatrixProperty, SolveResidualIsZero) {
+  // SPD system via tsmm + ridge.
+  Matrix x = Random(9, rows() + cols(), cols());
+  Matrix a = Tsmm(x, true);
+  for (int64_t i = 0; i < cols(); ++i) a.At(i, i) += 1.0;
+  Matrix b = Random(10, cols(), 2);
+  Matrix solution = *Solve(a, b);
+  Matrix residual = *EwiseBinary(BinaryOp::kSub, *MatMul(a, solution), b);
+  EXPECT_LT(MaxValue(EwiseUnary(UnaryOp::kAbs, residual)), 1e-8);
+}
+
+TEST_P(MatrixProperty, CholeskySolvesAgreeWithLu) {
+  Matrix x = Random(11, rows() + cols(), cols());
+  Matrix a = Tsmm(x, true);
+  for (int64_t i = 0; i < cols(); ++i) a.At(i, i) += 1.0;
+  Matrix l = *Cholesky(a);
+  EXPECT_TRUE(MatMul(l, Transpose(l))->EqualsApprox(a, 1e-8));
+}
+
+TEST_P(MatrixProperty, SumDecomposesOverSlices) {
+  Matrix m = Random(12, rows(), cols());
+  if (rows() < 2) GTEST_SKIP();
+  int64_t split = rows() / 2;
+  Matrix top = *RightIndex(m, 1, split, 1, cols());
+  Matrix bottom = *RightIndex(m, split + 1, rows(), 1, cols());
+  EXPECT_NEAR(Sum(m), Sum(top) + Sum(bottom), 1e-10);
+  // rbind restores the original.
+  EXPECT_TRUE(RBind(top, bottom)->EqualsApprox(m, 0.0));
+}
+
+TEST_P(MatrixProperty, ColRowAggregatesConsistent) {
+  Matrix m = Random(13, rows(), cols());
+  EXPECT_NEAR(Sum(ColSums(m)), Sum(RowSums(m)), 1e-9);
+  EXPECT_NEAR(Sum(ColMeans(m)) * rows(), Sum(m), 1e-9);
+  EXPECT_NEAR(Trace(Tsmm(m, true)), Sum(EwiseBinary(BinaryOp::kMul, m, m)
+                                            .ValueOrDie()),
+              1e-9);
+}
+
+TEST_P(MatrixProperty, OrderIsAPermutationSort) {
+  Matrix v = Random(14, rows() * cols(), 1);
+  Matrix sorted = *Order(v, false, false);
+  Matrix indices = *Order(v, false, true);
+  // Applying the permutation reproduces the sorted vector.
+  Matrix gathered = *SelectRows(v, indices);
+  EXPECT_TRUE(gathered.EqualsApprox(sorted, 0.0));
+  for (int64_t i = 1; i < sorted.rows(); ++i) {
+    EXPECT_LE(sorted.At(i - 1, 0), sorted.At(i, 0));
+  }
+}
+
+TEST_P(MatrixProperty, TableRowSumsAreOnes) {
+  // table(seq, labels) is a one-hot encoding: each row sums to 1.
+  int64_t n = rows() * cols();
+  Matrix labels(n, 1);
+  Rng rng(seed());
+  for (int64_t i = 0; i < n; ++i) {
+    labels.At(i, 0) = static_cast<double>(1 + rng.NextBounded(5));
+  }
+  Matrix onehot = *Table(*SeqMatrix(1, static_cast<double>(n), 1), labels, n, 5);
+  EXPECT_TRUE(RowSums(onehot).EqualsApprox(Matrix(n, 1, 1.0), 0.0));
+  EXPECT_NEAR(Sum(onehot), static_cast<double>(n), 0.0);
+}
+
+TEST_P(MatrixProperty, ModIdentity) {
+  Matrix a = Random(15, rows(), cols());
+  Matrix b(rows(), cols(), 3.0);
+  // x == (x %/% y) * y + (x %% y).
+  Matrix quotient = *EwiseBinary(BinaryOp::kIntDiv, a, b);
+  Matrix remainder = *EwiseBinary(BinaryOp::kMod, a, b);
+  Matrix recomposed = *EwiseBinary(
+      BinaryOp::kAdd, *EwiseBinary(BinaryOp::kMul, quotient, b), remainder);
+  EXPECT_TRUE(recomposed.EqualsApprox(a, 1e-12));
+  // Remainder in [0, y) for positive divisors (R semantics).
+  EXPECT_GE(MinValue(remainder), 0.0);
+  EXPECT_LT(MaxValue(remainder), 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndShapes, MatrixProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(5, 17),
+                       ::testing::Values(4, 9)));
+
+}  // namespace
+}  // namespace lima

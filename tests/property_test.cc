@@ -1,0 +1,184 @@
+// Cross-configuration property suite: the central correctness invariant of
+// LIMA is that lineage tracing, deduplication, operator fusion, every reuse
+// mode, compiler assistance, tight cache budgets, and task parallelism NEVER
+// change results. Each pipeline below runs under a sweep of configurations
+// and must produce the Base result bit-for-bit (up to fp tolerance from
+// reordered compensation arithmetic).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/scripts.h"
+#include "lang/session.h"
+
+namespace lima {
+namespace {
+
+struct ConfigCase {
+  const char* name;
+  LimaConfig config;
+};
+
+std::vector<ConfigCase> AllConfigs() {
+  std::vector<ConfigCase> cases;
+  cases.push_back({"base", LimaConfig::Base()});
+  cases.push_back({"trace", LimaConfig::TracingOnly()});
+  LimaConfig dedup = LimaConfig::TracingOnly();
+  dedup.dedup_lineage = true;
+  cases.push_back({"dedup", dedup});
+  LimaConfig full = LimaConfig::Lima();
+  full.reuse_mode = ReuseMode::kFull;
+  cases.push_back({"full", full});
+  LimaConfig partial = LimaConfig::Lima();
+  partial.reuse_mode = ReuseMode::kPartial;
+  cases.push_back({"partial", partial});
+  cases.push_back({"hybrid", LimaConfig::Lima()});
+  cases.push_back({"multilevel", LimaConfig::LimaMultiLevel()});
+  LimaConfig assist = LimaConfig::Lima();
+  assist.compiler_assist = true;
+  cases.push_back({"compiler_assist", assist});
+  LimaConfig fusion = LimaConfig::Lima();
+  fusion.operator_fusion = true;
+  cases.push_back({"fusion", fusion});
+  LimaConfig tiny = LimaConfig::Lima();
+  tiny.cache_budget_bytes = 64 * 1024;  // heavy eviction
+  cases.push_back({"tiny_cache", tiny});
+  LimaConfig spill = LimaConfig::Lima();
+  spill.cache_budget_bytes = 256 * 1024;
+  spill.enable_spilling = true;
+  cases.push_back({"spilling", spill});
+  LimaConfig lru = LimaConfig::Lima();
+  lru.cache_budget_bytes = 128 * 1024;
+  lru.eviction_policy = EvictionPolicy::kLru;
+  cases.push_back({"lru_small", lru});
+  LimaConfig height = LimaConfig::Lima();
+  height.cache_budget_bytes = 128 * 1024;
+  height.eviction_policy = EvictionPolicy::kDagHeight;
+  cases.push_back({"dagheight_small", height});
+  LimaConfig parallel = LimaConfig::LimaMultiLevel();
+  parallel.parfor_workers = 4;
+  parallel.dedup_lineage = true;
+  parallel.operator_fusion = true;
+  cases.push_back({"kitchen_sink", parallel});
+  return cases;
+}
+
+struct PipelineCase {
+  const char* name;
+  const char* script;  // must assign scalar `result`
+};
+
+const PipelineCase kPipelines[] = {
+    {"gridsearch_lm", R"(
+      X = rand(rows=60, cols=8, min=-1, max=1, seed=41);
+      y = X %*% matrix(1, 8, 1) + rand(rows=60, cols=1, min=-0.01, max=0.01, seed=42);
+      regs = 10 ^ (0 - seq(1, 4, 1));
+      icpts = seq(0, 2, 1);
+      tols = 10 ^ (0 - 8 - seq(1, 2, 1));
+      result = min(gridSearchLm(X, y, regs, icpts, tols));
+    )"},
+    {"cv_lm", R"(
+      X = rand(rows=64, cols=6, min=-1, max=1, seed=43);
+      y = X %*% matrix(2, 6, 1);
+      result = cvLm(X, y, 4, 1e-6, 0) + cvLm(X, y, 4, 1e-2, 1);
+    )"},
+    {"step_lm", R"(
+      X = rand(rows=50, cols=8, min=-1, max=1, seed=44);
+      y = X[, 2] * 4 + X[, 5];
+      # Both selected features carry signal: the selection is decisive and
+      # stable under compensation-plan arithmetic reordering (Sec. 3.4
+      # discusses residual fp differences from different execution plans).
+      [sel, loss] = stepLm(X, y, 2, 1e-6);
+      result = loss + sum(sel);
+    )"},
+    {"pca_nb", R"(
+      A = rand(rows=80, cols=10, min=0, max=1, seed=45);
+      Y = rowIndexMax(A %*% rand(rows=10, cols=3, min=-1, max=1, seed=46));
+      acc = 0;
+      for (k in 2:4) {
+        [R, V] = pca(A, k);
+        Rn = R - min(R);
+        [prior, condp] = naiveBayes(Rn, Y, 3, 1);
+        pred = naiveBayesPredict(Rn, prior, condp);
+        acc = acc + mean(pred == Y);
+      }
+      result = acc;
+    )"},
+    {"l2svm_grid", R"(
+      X = rand(rows=80, cols=6, min=-1, max=1, seed=47);
+      Yb = 2 * ((X %*% matrix(1, 6, 1)) > 0) - 1;
+      best = 1e300;
+      for (r in 1:3) {
+        for (ic in 0:1) {
+          w = l2svm(X, Yb, ic, r * 0.1, 0.001, 6);
+          Xl = X;
+          if (ic == 1) { Xl = cbind(X, matrix(1, nrow(X), 1)); }
+          l = l2norm(Xl, Yb, w);
+          if (l < best) { best = l; }
+        }
+      }
+      result = best;
+    )"},
+    {"minibatch", R"(
+      X = rand(rows=64, cols=16, min=0, max=1, seed=48);
+      acc = 0;
+      for (e in 1:3) {
+        for (b in 1:4) {
+          Xb = X[((b - 1) * 16 + 1):(b * 16), ];
+          Xn = (Xb - colMeans(Xb)) / (sqrt(colVars(Xb)) + 0.001);
+          acc = acc + sum(Xn) * e + sum(abs(Xn));
+        }
+      }
+      result = acc;
+    )"},
+    {"ensemble_weights", R"(
+      X = rand(rows=60, cols=10, min=-1, max=1, seed=49);
+      proto = rand(rows=10, cols=3, min=-1, max=1, seed=50);
+      Y = rowIndexMax(X %*% proto);
+      W1 = mlogreg(X, Y, 3, 0.01, 5, 0.1);
+      W2 = mlogreg(X, Y, 3, 0.1, 5, 0.1);
+      best = 0 - 1;
+      for (i in 1:6) {
+        S = (i / 6) * (X %*% W1) + (1 - i / 6) * (X %*% W2);
+        a = mean(rowIndexMax(S) == Y);
+        if (a > best) { best = a; }
+      }
+      result = best;
+    )"},
+};
+
+class PropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PropertyTest, ResultsInvariantAcrossConfigs) {
+  const PipelineCase& pipeline = kPipelines[std::get<0>(GetParam())];
+  const ConfigCase config_case = AllConfigs()[std::get<1>(GetParam())];
+
+  const std::string script = scripts::Builtins() + pipeline.script;
+  LimaSession base(LimaConfig::Base());
+  Status base_status = base.Run(script);
+  ASSERT_TRUE(base_status.ok()) << base_status.ToString();
+  double expected = *base.GetDouble("result");
+
+  LimaSession session(config_case.config);
+  Status status = session.Run(script);
+  ASSERT_TRUE(status.ok())
+      << pipeline.name << "/" << config_case.name << ": "
+      << status.ToString();
+  double actual = *session.GetDouble("result");
+  EXPECT_NEAR(actual, expected, 1e-7 * (1.0 + std::fabs(expected)))
+      << pipeline.name << "/" << config_case.name;
+}
+
+std::string CaseName(const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  return std::string(kPipelines[std::get<0>(info.param)].name) + "_" +
+         AllConfigs()[std::get<1>(info.param)].name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPipelinesAllConfigs, PropertyTest,
+    ::testing::Combine(::testing::Range(0, 7), ::testing::Range(0, 14)),
+    CaseName);
+
+}  // namespace
+}  // namespace lima

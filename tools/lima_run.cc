@@ -1,0 +1,156 @@
+// lima_run: command-line runner for DML-subset scripts with the LIMA
+// lineage/reuse runtime. The paper's builtin algorithms (lm, l2svm, msvm,
+// mlogreg, pca, naiveBayes, kmeans, gridSearchLm, cvLm, stepLm, autoencoder,
+// pageRank, ...) are preloaded.
+//
+// Usage:
+//   lima_run [options] script.dml
+//   echo 'print(sum(rand(rows=3, cols=3)));' | lima_run [options] -
+//
+// Options:
+//   --mode=base|trace|lima|mlr   execution configuration (default: lima)
+//   --dedup                      lineage deduplication for loops/functions
+//   --fusion                     operator fusion of cellwise chains
+//   --assist                     compiler-assisted reuse rewrites
+//   --workers=N                  parfor degree of parallelism (default: 1)
+//   --budget-mb=N                lineage cache budget in MB (default: 256)
+//   --policy=lru|dagheight|costsize   cache eviction policy
+//   --spill                      enable disk spilling of evicted entries
+//   --stats                      print runtime/reuse statistics at exit
+//   --lineage=VAR                print the lineage log of VAR at exit
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "algorithms/scripts.h"
+#include "common/timer.h"
+#include "lang/session.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: lima_run [--mode=base|trace|lima|mlr] [--dedup] "
+               "[--fusion]\n                [--assist] [--workers=N] "
+               "[--budget-mb=N] [--policy=...]\n                [--spill] "
+               "[--stats] [--lineage=VAR] <script.dml | ->\n");
+}
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
+  std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lima;
+
+  LimaConfig config = LimaConfig::Lima();
+  bool print_stats = false;
+  std::string lineage_var;
+  std::string script_path;
+  std::string value;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (ParseFlag(arg, "mode", &value)) {
+      if (value == "base") {
+        config = LimaConfig::Base();
+      } else if (value == "trace") {
+        config = LimaConfig::TracingOnly();
+      } else if (value == "lima") {
+        config = LimaConfig::Lima();
+      } else if (value == "mlr") {
+        config = LimaConfig::LimaMultiLevel();
+      } else {
+        std::fprintf(stderr, "unknown mode: %s\n", value.c_str());
+        return 2;
+      }
+    } else if (arg == "--dedup") {
+      config.dedup_lineage = true;
+    } else if (arg == "--fusion") {
+      config.operator_fusion = true;
+    } else if (arg == "--assist") {
+      config.compiler_assist = true;
+    } else if (arg == "--spill") {
+      config.enable_spilling = true;
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else if (ParseFlag(arg, "workers", &value)) {
+      config.parfor_workers = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "budget-mb", &value)) {
+      config.cache_budget_bytes = int64_t{1024} * 1024 * std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "policy", &value)) {
+      if (value == "lru") {
+        config.eviction_policy = EvictionPolicy::kLru;
+      } else if (value == "dagheight") {
+        config.eviction_policy = EvictionPolicy::kDagHeight;
+      } else if (value == "costsize") {
+        config.eviction_policy = EvictionPolicy::kCostSize;
+      } else {
+        std::fprintf(stderr, "unknown policy: %s\n", value.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(arg, "lineage", &value)) {
+      lineage_var = value;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    } else {
+      script_path = arg;
+    }
+  }
+  if (script_path.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  std::string source;
+  if (script_path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    source = buffer.str();
+  } else {
+    std::ifstream in(script_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", script_path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  }
+
+  LimaSession session(config);
+  session.context()->set_print_stream(&std::cout);
+  StopWatch watch;
+  Status status = session.Run(scripts::Builtins() + source);
+  double seconds = watch.ElapsedSeconds();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (!lineage_var.empty()) {
+    Result<std::string> log = session.GetLineage(lineage_var);
+    if (log.ok()) {
+      std::cout << "--- lineage(" << lineage_var << ") ---\n" << *log;
+    } else {
+      std::fprintf(stderr, "lineage: %s\n", log.status().ToString().c_str());
+    }
+  }
+  if (print_stats) {
+    std::fprintf(stderr, "elapsed: %.3fs\nstats: %s\n", seconds,
+                 session.stats()->ToString().c_str());
+  }
+  return 0;
+}
