@@ -1,0 +1,334 @@
+#include "analysis/opcode_registry.h"
+
+#include <unordered_map>
+
+namespace lima {
+
+namespace {
+
+using Cat = OpcodeCategory;
+
+// Builders keep the table below readable; every field deviation from the
+// category default is spelled out at the entry.
+OpcodeEffect Compute(const char* op, int inputs, bool reusable,
+                     int outputs = 1) {
+  OpcodeEffect e;
+  e.opcode = op;
+  e.category = Cat::kCompute;
+  e.min_inputs = inputs;
+  e.max_inputs = inputs;
+  e.num_outputs = outputs;
+  e.reusable = reusable;
+  return e;
+}
+
+OpcodeEffect DataGen(const char* op, int inputs, bool deterministic) {
+  OpcodeEffect e;
+  e.opcode = op;
+  e.category = Cat::kDataGen;
+  e.min_inputs = inputs;
+  e.max_inputs = inputs;
+  e.deterministic = deterministic;
+  return e;
+}
+
+OpcodeEffect Bookkeeping(const char* op, int inputs, int outputs,
+                         bool frees_inputs) {
+  OpcodeEffect e;
+  e.opcode = op;
+  e.category = Cat::kBookkeeping;
+  e.min_inputs = inputs;
+  e.max_inputs = inputs;
+  e.num_outputs = outputs;
+  e.frees_inputs = frees_inputs;
+  return e;
+}
+
+std::vector<OpcodeEffect> BuildRegistry() {
+  std::vector<OpcodeEffect> ops;
+
+  // --- Elementwise binary (BinaryOpName) -------------------------------
+  for (const char* op : {"+", "-", "*", "/", "^", "min", "max", "==", "!=",
+                         "<", ">", "<=", ">=", "&", "|", "%%", "%/%"}) {
+    ops.push_back(Compute(op, 2, /*reusable=*/true));
+  }
+  // Cell-wise ternary; counted with the binaries in the default reusable
+  // set (Sec. 4.1).
+  ops.push_back(Compute("ifelse", 3, /*reusable=*/true));
+
+  // --- Elementwise unary (UnaryOpName) ---------------------------------
+  for (const char* op : {"exp", "log", "sqrt", "abs", "round", "floor",
+                         "ceil", "sign", "uminus", "!", "sigmoid"}) {
+    ops.push_back(Compute(op, 1, /*reusable=*/true));
+  }
+
+  // --- Aggregates ------------------------------------------------------
+  for (const char* op :
+       {"sum", "mean", "ua_min", "ua_max", "trace", "colSums", "colMeans",
+        "colMins", "colMaxs", "colVars", "rowSums", "rowMeans", "rowMins",
+        "rowMaxs", "rowIndexMax"}) {
+    ops.push_back(Compute(op, 1, /*reusable=*/true));
+  }
+
+  // --- Matrix multiplications and factorizations -----------------------
+  ops.push_back(Compute("mm", 2, /*reusable=*/true));
+  ops.push_back(Compute("tsmm", 1, /*reusable=*/true));
+  // Legacy SystemDS opcode kept in the reusable set for lineage-log
+  // compatibility; no current constructor emits it.
+  ops.push_back(Compute("tmm", 1, /*reusable=*/true));
+  ops.push_back(Compute("solve", 2, /*reusable=*/true));
+  ops.push_back(Compute("cholesky", 1, /*reusable=*/true));
+  ops.push_back(Compute("eigen", 1, /*reusable=*/true, /*outputs=*/2));
+  ops.push_back(Compute("tsmm_cbind", 2, /*reusable=*/true));
+
+  // --- Reorganizations and indexing ------------------------------------
+  ops.push_back(Compute("t", 1, /*reusable=*/true));
+  ops.push_back(Compute("rev", 1, /*reusable=*/true));
+  ops.push_back(Compute("diag", 1, /*reusable=*/true));
+  ops.push_back(Compute("reshape", 3, /*reusable=*/true));
+  ops.push_back(Compute("cbind", 2, /*reusable=*/true));
+  ops.push_back(Compute("rbind", 2, /*reusable=*/true));
+  ops.push_back(Compute("rightindex", 5, /*reusable=*/true));
+  ops.push_back(Compute("leftindex", 6, /*reusable=*/true));
+  ops.push_back(Compute("selcols", 2, /*reusable=*/true));
+  ops.push_back(Compute("selrows", 2, /*reusable=*/true));
+  ops.push_back(Compute("table", 4, /*reusable=*/true));
+  ops.push_back(Compute("order", 3, /*reusable=*/true));
+
+  // --- Fused operators (Sec. 3.3): variadic operands, one output -------
+  {
+    OpcodeEffect fused = Compute("fused", -1, /*reusable=*/true);
+    fused.min_inputs = 1;
+    fused.max_inputs = -1;
+    ops.push_back(fused);
+  }
+
+  // --- Non-reusable compute: metadata, casts, rendering ----------------
+  ops.push_back(Compute("nrow", 1, /*reusable=*/false));
+  ops.push_back(Compute("ncol", 1, /*reusable=*/false));
+  ops.push_back(Compute("length", 1, /*reusable=*/false));
+  ops.push_back(Compute("castdts", 1, /*reusable=*/false));
+  ops.push_back(Compute("castsdm", 1, /*reusable=*/false));
+  ops.push_back(Compute("toString", 1, /*reusable=*/false));
+
+  // --- Data generators -------------------------------------------------
+  // rand/sample may draw a system seed (seed operand -1); instances with a
+  // literal seed refine this via Instruction::IsDeterministic.
+  ops.push_back(DataGen("rand", 7, /*deterministic=*/false));
+  ops.push_back(DataGen("sample", 3, /*deterministic=*/false));
+  ops.push_back(DataGen("seq", 3, /*deterministic=*/true));
+  ops.push_back(DataGen("fill", 3, /*deterministic=*/true));
+
+  // --- Lists -----------------------------------------------------------
+  {
+    OpcodeEffect list;
+    list.opcode = "list";
+    list.category = Cat::kData;
+    list.min_inputs = 0;
+    list.max_inputs = -1;
+    ops.push_back(list);
+  }
+  {
+    OpcodeEffect listidx;
+    listidx.opcode = "listidx";
+    listidx.category = Cat::kData;
+    listidx.min_inputs = 2;
+    listidx.max_inputs = 2;
+    ops.push_back(listidx);
+  }
+
+  // --- Variable bookkeeping --------------------------------------------
+  ops.push_back(Bookkeeping("assignvar", 0, 1, /*frees_inputs=*/false));
+  ops.push_back(Bookkeeping("cpvar", 1, 1, /*frees_inputs=*/false));
+  ops.push_back(Bookkeeping("mvvar", 1, 1, /*frees_inputs=*/true));
+  {
+    OpcodeEffect rmvar = Bookkeeping("rmvar", -1, 0, /*frees_inputs=*/true);
+    rmvar.min_inputs = 1;
+    rmvar.max_inputs = -1;
+    ops.push_back(rmvar);
+  }
+
+  // --- Function invocation ---------------------------------------------
+  {
+    OpcodeEffect fcall;
+    fcall.opcode = "fcall";
+    fcall.category = Cat::kCall;
+    fcall.min_inputs = 0;
+    fcall.max_inputs = -1;
+    fcall.num_outputs = -1;
+    ops.push_back(fcall);
+  }
+  {
+    OpcodeEffect eval;
+    eval.opcode = "eval";
+    eval.category = Cat::kCall;
+    eval.min_inputs = 2;
+    eval.max_inputs = 2;
+    eval.num_outputs = 1;
+    // The callee is a runtime value; the determinism fixpoint cannot
+    // resolve it, so eval is conservatively nondeterministic.
+    eval.deterministic = false;
+    eval.dynamic_dispatch = true;
+    ops.push_back(eval);
+  }
+
+  // --- I/O --------------------------------------------------------------
+  {
+    OpcodeEffect read;
+    read.opcode = "readfile";
+    read.category = Cat::kIo;
+    read.min_inputs = 1;
+    read.max_inputs = 1;
+    // Files are immutable (Sec. 3.4): reads are pure given the path.
+    ops.push_back(read);
+  }
+  {
+    OpcodeEffect write;
+    write.opcode = "write";
+    write.category = Cat::kIo;
+    write.min_inputs = 2;
+    write.max_inputs = 2;
+    write.num_outputs = 0;
+    write.lineage_traced = false;
+    write.side_effects = true;
+    ops.push_back(write);
+  }
+
+  // --- Diagnostics ------------------------------------------------------
+  {
+    OpcodeEffect print;
+    print.opcode = "print";
+    print.category = Cat::kDiagnostic;
+    print.min_inputs = 1;
+    print.max_inputs = 1;
+    print.num_outputs = 0;
+    print.lineage_traced = false;
+    print.side_effects = true;
+    ops.push_back(print);
+  }
+  {
+    OpcodeEffect stop;
+    stop.opcode = "stop";
+    stop.category = Cat::kDiagnostic;
+    stop.min_inputs = 1;
+    stop.max_inputs = 1;
+    stop.num_outputs = 0;
+    stop.lineage_traced = false;
+    stop.side_effects = true;
+    ops.push_back(stop);
+  }
+  {
+    OpcodeEffect lineageof;
+    lineageof.opcode = "lineageof";
+    lineageof.category = Cat::kDiagnostic;
+    lineageof.min_inputs = 1;
+    lineageof.max_inputs = 1;
+    ops.push_back(lineageof);
+  }
+
+  return ops;
+}
+
+const std::unordered_map<std::string_view, const OpcodeEffect*>& Index() {
+  static const auto* index = [] {
+    auto* map = new std::unordered_map<std::string_view, const OpcodeEffect*>;
+    for (const OpcodeEffect& effect : AllOpcodeEffects()) {
+      (*map)[effect.opcode] = &effect;
+    }
+    return map;
+  }();
+  return *index;
+}
+
+}  // namespace
+
+const char* OpcodeCategoryName(OpcodeCategory category) {
+  switch (category) {
+    case Cat::kCompute:
+      return "compute";
+    case Cat::kDataGen:
+      return "datagen";
+    case Cat::kBookkeeping:
+      return "bookkeeping";
+    case Cat::kCall:
+      return "call";
+    case Cat::kData:
+      return "data";
+    case Cat::kIo:
+      return "io";
+    case Cat::kDiagnostic:
+      return "diagnostic";
+  }
+  return "unknown";
+}
+
+const std::vector<OpcodeEffect>& AllOpcodeEffects() {
+  static const auto* registry = new std::vector<OpcodeEffect>(BuildRegistry());
+  return *registry;
+}
+
+const OpcodeEffect* LookupOpcode(std::string_view opcode) {
+  const auto& index = Index();
+  auto it = index.find(opcode);
+  return it == index.end() ? nullptr : it->second;
+}
+
+bool IsRegisteredOpcode(std::string_view opcode) {
+  return LookupOpcode(opcode) != nullptr;
+}
+
+bool IsReusableOpcode(std::string_view opcode) {
+  const OpcodeEffect* effect = LookupOpcode(opcode);
+  return effect != nullptr && effect->reusable;
+}
+
+bool IsDeterministicOpcode(std::string_view opcode) {
+  const OpcodeEffect* effect = LookupOpcode(opcode);
+  return effect != nullptr && effect->deterministic;
+}
+
+bool IsFunctionCallOpcode(std::string_view opcode) {
+  const OpcodeEffect* effect = LookupOpcode(opcode);
+  return effect != nullptr && effect->category == Cat::kCall;
+}
+
+bool HasSideEffects(std::string_view opcode) {
+  const OpcodeEffect* effect = LookupOpcode(opcode);
+  // Unknown opcodes are treated as side-effecting: analyses must stay
+  // conservative for anything outside the registry.
+  return effect == nullptr || effect->side_effects;
+}
+
+std::vector<std::string> VerifyOpcodeEffects(
+    const std::vector<OpcodeEffect>& effects) {
+  std::vector<std::string> violations;
+  auto report = [&violations](const OpcodeEffect& effect, const char* what) {
+    violations.push_back(std::string("opcode '") + effect.opcode + "' " +
+                         what);
+  };
+  for (const OpcodeEffect& effect : effects) {
+    if (effect.reusable && !effect.deterministic) {
+      report(effect, "is reusable but not deterministic");
+    }
+    if (effect.reusable && !effect.lineage_traced) {
+      report(effect, "is reusable but not lineage-traced");
+    }
+    if (effect.category == Cat::kCompute && effect.num_outputs != 0 &&
+        !effect.lineage_traced) {
+      report(effect, "is a compute op without lineage tracing");
+    }
+    if (effect.frees_inputs && effect.category != Cat::kBookkeeping) {
+      report(effect, "frees inputs outside the bookkeeping category");
+    }
+    if (effect.max_inputs != -1 && effect.min_inputs > effect.max_inputs) {
+      report(effect, "has min_inputs > max_inputs");
+    }
+  }
+  return violations;
+}
+
+std::vector<std::string> VerifyOpcodeRegistry() {
+  return VerifyOpcodeEffects(AllOpcodeEffects());
+}
+
+}  // namespace lima

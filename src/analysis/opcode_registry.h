@@ -1,0 +1,107 @@
+#ifndef LIMA_ANALYSIS_OPCODE_REGISTRY_H_
+#define LIMA_ANALYSIS_OPCODE_REGISTRY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lima {
+
+/// Coarse classification of runtime opcodes, used by program analyses to
+/// reason about an instruction without opcode string comparisons.
+enum class OpcodeCategory {
+  kCompute,      ///< pure value-producing computation (ComputationInstruction)
+  kDataGen,      ///< data generators (rand/sample/seq/fill)
+  kBookkeeping,  ///< symbol-table manipulation (assignvar/cpvar/mvvar/rmvar)
+  kCall,         ///< user-function invocation (fcall/eval)
+  kData,         ///< list construction and element access (list/listidx)
+  kIo,           ///< file input/output (readfile/write)
+  kDiagnostic,   ///< user-visible effects and termination (print/stop/...)
+};
+
+const char* OpcodeCategoryName(OpcodeCategory category);
+
+/// Effect metadata of one runtime opcode — the single source of truth for
+/// the properties the lineage/reuse subsystems used to probe via scattered
+/// string comparisons (Sec. 4.1: the configurable set of cacheable
+/// instructions, and the determinism analysis for multi-level reuse).
+///
+/// Every opcode the interpreter can execute MUST have an entry; the
+/// `lima verify` pass reports any executable instruction whose opcode is
+/// missing from this table.
+struct OpcodeEffect {
+  const char* opcode = "";
+  OpcodeCategory category = OpcodeCategory::kCompute;
+
+  /// Operand-slot arity (literals included). -1 = variadic.
+  int min_inputs = -1;
+  int max_inputs = -1;
+  /// Number of produced outputs. -1 = variadic (fcall).
+  int num_outputs = 1;
+
+  /// False when an execution of the op may draw system entropy (a
+  /// system-generated seed). Individual instruction instances can still be
+  /// deterministic (an explicit literal seed); Instruction::IsDeterministic
+  /// remains the instance-level refinement of this conservative bit.
+  bool deterministic = true;
+
+  /// True when the op binds lineage items for its outputs (or maintains the
+  /// lineage map for bookkeeping ops). Ops with num_outputs == 0 may be
+  /// untraced.
+  bool lineage_traced = true;
+
+  /// Member of the default reusable-instruction set probed against the
+  /// lineage cache (Sec. 4.1).
+  bool reusable = false;
+
+  /// True when executing the op removes source bindings from the symbol
+  /// table and the lineage map (mvvar/rmvar).
+  bool frees_inputs = false;
+
+  /// True for ops with effects outside the symbol table: I/O, user-visible
+  /// output, or script termination. Blocks containing such ops are never
+  /// block-reuse candidates.
+  bool side_effects = false;
+
+  /// True when the op resolves its callee at runtime (eval). The static
+  /// call-graph determinism fixpoint cannot see through such calls, so the
+  /// enclosing function is conservatively nondeterministic.
+  bool dynamic_dispatch = false;
+};
+
+/// Returns the effect entry for `opcode`, or nullptr when unregistered.
+const OpcodeEffect* LookupOpcode(std::string_view opcode);
+
+/// All registered effects, in stable registration order.
+const std::vector<OpcodeEffect>& AllOpcodeEffects();
+
+bool IsRegisteredOpcode(std::string_view opcode);
+
+/// Registry-backed replacement of the old IsDefaultReusableOpcode string
+/// set: true when `opcode` is in the default reusable-instruction set.
+bool IsReusableOpcode(std::string_view opcode);
+
+/// Conservative opcode-level determinism (see OpcodeEffect::deterministic).
+bool IsDeterministicOpcode(std::string_view opcode);
+
+/// fcall/eval — ops that transfer control into user functions.
+bool IsFunctionCallOpcode(std::string_view opcode);
+
+/// Ops with effects beyond the symbol table (print/stop/write/...).
+bool HasSideEffects(std::string_view opcode);
+
+/// Internal-consistency lints over the registry itself. Returns one message
+/// per violation; empty when the table is sound:
+///  - reusable    => deterministic (cache soundness, Sec. 4.1),
+///  - reusable    => lineage_traced (a cache key requires a lineage item),
+///  - kCompute    => lineage_traced when outputs are produced,
+///  - frees_inputs => kBookkeeping.
+std::vector<std::string> VerifyOpcodeRegistry();
+
+/// The same lints over an arbitrary effect table (exposed for tests).
+std::vector<std::string> VerifyOpcodeEffects(
+    const std::vector<OpcodeEffect>& effects);
+
+}  // namespace lima
+
+#endif  // LIMA_ANALYSIS_OPCODE_REGISTRY_H_

@@ -1,0 +1,86 @@
+#ifndef LIMA_ANALYSIS_VERIFIER_H_
+#define LIMA_ANALYSIS_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/program.h"
+
+namespace lima {
+
+/// Static program verifier (`lima verify`): dataflow and lineage-safety
+/// checks over compiled Program IR, run before execution. The reuse cache is
+/// only sound when every cached operation is deterministic and every
+/// executed instruction is lineage-traced (Sec. 4.1); the verifier enforces
+/// those invariants statically instead of hoping the compiler emitted
+/// correct bookkeeping.
+///
+/// Diagnostic catalog (see docs/ANALYSIS.md):
+///
+/// Errors:
+///   use-before-def            read of a variable undefined on every path
+///   rmvar-undefined           rmvar of a variable undefined on every path
+///   unknown-opcode            executable opcode missing a registry entry
+///   untraced-compute          compute instruction without lineage tracing
+///   arity-mismatch            operand/output count outside registry bounds
+///   shadowed-output           duplicate names in one instruction's outputs
+///   undefined-function        fcall target not defined in the program
+///   fcall-arity               argument/output count incompatible with the
+///                             callee's signature
+///   missing-output            function can end without defining an output
+///   fused-bad-source          fused step references an invalid source
+///   registry-unsound          opcode registry self-lint violation
+///
+/// Warnings:
+///   maybe-use-before-def      read of a variable defined on some paths only
+///   maybe-rmvar-undefined     rmvar of a variable defined on some paths only
+///   leaked-temp               compiler temporary still live at scope end
+///   dead-instruction          pure instruction whose results are never used
+///   fused-dead-step           fused step whose result is never consumed
+///   fused-dead-operand        fused operand no step reads
+///   maybe-missing-output      function output defined on some paths only
+class Diagnostic {
+ public:
+  enum class Severity { kError, kWarning };
+
+  Severity severity = Severity::kError;
+  std::string code;      ///< stable diagnostic identifier, e.g. "use-before-def"
+  std::string message;   ///< human-readable description
+  std::string function;  ///< enclosing scope: "main" or the function name
+  std::string location;  ///< block path, e.g. "main/block[2]/then/block[0]"
+  int source_line = 0;   ///< 1-based script line; 0 = unknown
+
+  std::string ToString() const;
+};
+
+struct VerifyOptions {
+  /// Variables defined before the program runs (session bindings); reads of
+  /// these never raise use-before-def.
+  std::vector<std::string> assume_defined;
+  /// Report compiler temporaries still live at scope end.
+  bool check_leaks = true;
+  /// Report pure instructions whose results are never consumed.
+  bool check_dead_code = true;
+};
+
+struct VerifyReport {
+  std::vector<Diagnostic> diagnostics;
+  int num_errors = 0;
+  int num_warnings = 0;
+
+  bool ok() const { return num_errors == 0; }
+
+  /// One line per diagnostic plus a trailing summary count.
+  std::string ToString() const;
+};
+
+/// Verifies a compiled program: dataflow over the hierarchical block tree
+/// (def-use chains through if/for/parfor/while bodies and function calls)
+/// plus lineage-safety lints backed by the opcode effect registry.
+VerifyReport VerifyProgram(const Program& program,
+                           const VerifyOptions& options);
+VerifyReport VerifyProgram(const Program& program);
+
+}  // namespace lima
+
+#endif  // LIMA_ANALYSIS_VERIFIER_H_

@@ -30,6 +30,18 @@ const char* EvictionPolicyToString(EvictionPolicy policy) {
   return "unknown";
 }
 
+const char* VerifyModeToString(VerifyMode mode) {
+  switch (mode) {
+    case VerifyMode::kOff:
+      return "off";
+    case VerifyMode::kWarn:
+      return "warn";
+    case VerifyMode::kStrict:
+      return "strict";
+  }
+  return "unknown";
+}
+
 LimaConfig LimaConfig::Base() {
   LimaConfig config;
   config.trace_lineage = false;

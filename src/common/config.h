@@ -22,8 +22,17 @@ enum class EvictionPolicy {
   kCostSize,   ///< order by (hits+misses) * cost/size (default)
 };
 
+/// Static program verification (`lima verify`): dataflow and lineage-safety
+/// checks over compiled IR before execution.
+enum class VerifyMode {
+  kOff,     ///< no verification
+  kWarn,    ///< verify, record the report, execute anyway
+  kStrict,  ///< verification errors fail compilation
+};
+
 const char* ReuseModeToString(ReuseMode mode);
 const char* EvictionPolicyToString(EvictionPolicy policy);
+const char* VerifyModeToString(VerifyMode mode);
 
 /// Global configuration for one execution session. Mirrors the SystemDS/LIMA
 /// configuration surface described in Sec. 4.1 and 5.1.
@@ -62,6 +71,9 @@ struct LimaConfig {
 
   /// Degree of parallelism inside individual matrix kernels.
   int kernel_threads = 1;
+
+  /// Static verification of compiled programs before execution.
+  VerifyMode verify_mode = VerifyMode::kOff;
 
   /// Returns true if any reuse is enabled.
   bool reuse_enabled() const { return reuse_mode != ReuseMode::kNone; }

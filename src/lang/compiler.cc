@@ -1,5 +1,6 @@
 #include "lang/compiler.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "lang/fusion_pass.h"
@@ -135,12 +136,13 @@ class Compiler {
   }
 
   void Emit(std::unique_ptr<Instruction> instruction) {
+    instruction->set_source_line(current_line_);
     EnsureBasic()->Append(std::move(instruction));
   }
 
   std::string NewTemp() {
     std::string name = "_t" + std::to_string(temp_counter_++);
-    if (!in_predicate_) stmt_temps_.push_back(name);
+    (in_predicate_ ? pred_temps_ : stmt_temps_).push_back(name);
     return name;
   }
 
@@ -148,6 +150,37 @@ class Compiler {
     if (stmt_temps_.empty()) return;
     Emit(VariableInstruction::Remove(std::move(stmt_temps_)));
     stmt_temps_.clear();
+  }
+
+  /// Drops a temp from statement cleanup after a mvvar consumed it: the
+  /// move already unbinds the source, so a later rmvar would remove an
+  /// undefined variable.
+  void ForgetStatementTemp(const std::string& name) {
+    stmt_temps_.erase(
+        std::remove(stmt_temps_.begin(), stmt_temps_.end(), name),
+        stmt_temps_.end());
+  }
+
+  /// Frees predicate temporaries after their control block. The removals go
+  /// into a dedicated basic block so surrounding blocks keep their
+  /// block-reuse eligibility (removing vars a block did not create makes it
+  /// ineligible, analysis.cc). For loops this must run after the whole
+  /// block: loop predicates are re-evaluated per restart, so the temps stay
+  /// live for the entire loop.
+  void EmitPredicateCleanup(std::vector<std::string> temps) {
+    if (temps.empty()) return;
+    auto block = std::make_unique<BasicBlock>();
+    auto remove = VariableInstruction::Remove(std::move(temps));
+    remove->set_source_line(current_line_);
+    block->Append(std::move(remove));
+    scopes_.back().blocks->push_back(std::move(block));
+  }
+
+  /// Claims the temps created by the preceding CompilePredicate call(s).
+  std::vector<std::string> TakePredicateTemps() {
+    std::vector<std::string> temps = std::move(pred_temps_);
+    pred_temps_.clear();
+    return temps;
   }
 
   // ---- Expressions -------------------------------------------------------
@@ -633,8 +666,11 @@ class Compiler {
     Operand operand = std::move(compiled).ValueOrDie();
     if (operand.is_literal) {
       std::string out = "_p" + std::to_string(temp_counter_++);
-      predicate.mutable_block()->Append(
-          std::make_unique<AssignLiteralInstruction>(operand.literal, out));
+      pred_temps_.push_back(out);
+      auto assign =
+          std::make_unique<AssignLiteralInstruction>(operand.literal, out);
+      assign->set_source_line(current_line_);
+      predicate.mutable_block()->Append(std::move(assign));
       predicate.set_result_var(out);
     } else {
       predicate.set_result_var(operand.name);
@@ -650,6 +686,7 @@ class Compiler {
                                                       stmt.target));
     } else if (IsTemp(value.name)) {
       Emit(VariableInstruction::Move(value.name, stmt.target));
+      ForgetStatementTemp(value.name);
     } else if (value.name != stmt.target) {
       Emit(VariableInstruction::Copy(value.name, stmt.target));
     }
@@ -685,6 +722,7 @@ class Compiler {
         Operand::Var(stmt.target), std::move(src), row_bounds.first,
         row_bounds.second, col_bounds.first, col_bounds.second, out));
     Emit(VariableInstruction::Move(out, stmt.target));
+    ForgetStatementTemp(out);
     return Status::OK();
   }
 
@@ -749,6 +787,7 @@ class Compiler {
   }
 
   Status CompileStatement(const StmtNode& stmt) {
+    current_line_ = stmt.line;
     switch (stmt.kind) {
       case StmtKind::kAssign:
         LIMA_RETURN_NOT_OK(CompileAssign(stmt));
@@ -762,6 +801,7 @@ class Compiler {
       case StmtKind::kIf: {
         LIMA_ASSIGN_OR_RETURN(Predicate predicate,
                               CompilePredicate(*stmt.condition));
+        std::vector<std::string> pred_temps = TakePredicateTemps();
         FlushStatementTemps();
         CloseBasic();
         auto block = std::make_unique<IfBlock>();
@@ -771,13 +811,12 @@ class Compiler {
         LIMA_RETURN_NOT_OK(CompileInto(block->mutable_else_blocks(),
                                        stmt.else_body));
         scopes_.back().blocks->push_back(std::move(block));
+        EmitPredicateCleanup(std::move(pred_temps));
         return Status::OK();
       }
       case StmtKind::kFor: {
         LIMA_ASSIGN_OR_RETURN(Predicate from, CompilePredicate(*stmt.from));
         LIMA_ASSIGN_OR_RETURN(Predicate to, CompilePredicate(*stmt.to));
-        FlushStatementTemps();
-        CloseBasic();
         std::unique_ptr<ForBlock> block =
             stmt.is_parfor ? std::make_unique<ParForBlock>()
                            : std::make_unique<ForBlock>();
@@ -789,19 +828,25 @@ class Compiler {
           *block->mutable_incr() = std::move(step);
           block->set_has_incr(true);
         }
+        std::vector<std::string> pred_temps = TakePredicateTemps();
+        FlushStatementTemps();
+        CloseBasic();
         LIMA_RETURN_NOT_OK(CompileInto(block->mutable_body(), stmt.body));
         scopes_.back().blocks->push_back(std::move(block));
+        EmitPredicateCleanup(std::move(pred_temps));
         return Status::OK();
       }
       case StmtKind::kWhile: {
         LIMA_ASSIGN_OR_RETURN(Predicate predicate,
                               CompilePredicate(*stmt.condition));
+        std::vector<std::string> pred_temps = TakePredicateTemps();
         FlushStatementTemps();
         CloseBasic();
         auto block = std::make_unique<WhileBlock>();
         *block->mutable_predicate() = std::move(predicate);
         LIMA_RETURN_NOT_OK(CompileInto(block->mutable_body(), stmt.body));
         scopes_.back().blocks->push_back(std::move(block));
+        EmitPredicateCleanup(std::move(pred_temps));
         return Status::OK();
       }
       case StmtKind::kFuncDef:
@@ -888,7 +933,9 @@ class Compiler {
   std::unordered_map<std::string, FunctionSignature> signatures_;
   std::vector<EmitScope> scopes_;
   std::vector<std::string> stmt_temps_;
+  std::vector<std::string> pred_temps_;
   int temp_counter_ = 0;
+  int current_line_ = 0;
   bool in_predicate_ = false;
 };
 

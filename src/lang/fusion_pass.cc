@@ -1,9 +1,11 @@
 #include "lang/fusion_pass.h"
 
 #include <unordered_map>
+#include <unordered_set>
 
 #include "runtime/fused_op.h"
 #include "runtime/instructions_compute.h"
+#include "runtime/instructions_misc.h"
 
 namespace lima {
 
@@ -226,12 +228,38 @@ void FuseBasicBlock(BasicBlock* block) {
     if (IsTempVar(cand.output)) producer[cand.output] = i;
   }
 
-  // Rebuild: drop consumed producers, replace multi-step heads.
+  // Temps whose producers were inlined never exist at runtime; cleanup
+  // rmvars must stop naming them.
+  std::unordered_set<std::string> consumed_temps;
+  for (const Candidate& cand : candidates) {
+    if (cand.consumed) consumed_temps.insert(cand.output);
+  }
+
+  // Rebuild: drop consumed producers, replace multi-step heads, and strip
+  // consumed temps from rmvar cleanup lists.
   std::vector<std::unique_ptr<Instruction>> rebuilt;
   rebuilt.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     Candidate& cand = candidates[i];
     if (cand.consumed) continue;
+    if (!consumed_temps.empty()) {
+      const auto* var = dynamic_cast<const VariableInstruction*>(
+          (*instructions)[i].get());
+      if (var != nullptr &&
+          var->variable_kind() == VariableInstruction::Kind::kRemove) {
+        std::vector<std::string> kept;
+        for (const std::string& name : var->names()) {
+          if (consumed_temps.count(name) == 0) kept.push_back(name);
+        }
+        if (kept.size() != var->names().size()) {
+          if (kept.empty()) continue;
+          auto remove = VariableInstruction::Remove(std::move(kept));
+          remove->set_source_line(var->source_line());
+          rebuilt.push_back(std::move(remove));
+          continue;
+        }
+      }
+    }
     if (cand.cellwise && cand.steps.size() >= 2) {
       TopoSortSteps(&cand);
       // Compact operands: inlined temporaries are no longer referenced (and

@@ -16,10 +16,33 @@ LimaSession::LimaSession(LimaConfig config)
 Status LimaSession::Run(const std::string& script) {
   LIMA_ASSIGN_OR_RETURN(std::unique_ptr<Program> program,
                         CompileScript(script, config_));
+  if (config_.verify_mode != VerifyMode::kOff) {
+    last_verify_report_ = VerifyProgram(*program, MakeVerifyOptions());
+    if (config_.verify_mode == VerifyMode::kStrict &&
+        !last_verify_report_.ok()) {
+      return Status::CompileError("program verification failed\n" +
+                                  last_verify_report_.ToString());
+    }
+  }
   context_.set_program(program.get());
   Status status = program->Execute(&context_);
   programs_.push_back(std::move(program));
   return status;
+}
+
+Result<VerifyReport> LimaSession::Verify(const std::string& script) {
+  LIMA_ASSIGN_OR_RETURN(std::unique_ptr<Program> program,
+                        CompileScript(script, config_));
+  last_verify_report_ = VerifyProgram(*program, MakeVerifyOptions());
+  return last_verify_report_;
+}
+
+VerifyOptions LimaSession::MakeVerifyOptions() const {
+  VerifyOptions options;
+  for (const auto& [name, value] : context_.symbols().variables()) {
+    options.assume_defined.push_back(name);
+  }
+  return options;
 }
 
 void LimaSession::BindMatrix(const std::string& name, Matrix matrix) {

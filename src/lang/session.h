@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/verifier.h"
 #include "common/config.h"
 #include "lineage/dedup.h"
 #include "reuse/lineage_cache.h"
@@ -34,8 +35,20 @@ class LimaSession {
   explicit LimaSession(LimaConfig config = LimaConfig::Lima());
 
   /// Compiles and executes a self-contained script (functions it calls must
-  /// be defined in the same script). Variables persist across calls.
+  /// be defined in the same script). Variables persist across calls. With
+  /// config.verify_mode != kOff the compiled program is statically verified
+  /// first; kStrict fails the run on verification errors.
   Status Run(const std::string& script);
+
+  /// Compiles `script` and runs the static verifier without executing it.
+  /// Session-bound variables count as defined. Compile failures surface as
+  /// an error status; verification findings live in the returned report.
+  Result<VerifyReport> Verify(const std::string& script);
+
+  /// Report of the most recent Verify() or verified Run() on this session.
+  const VerifyReport& last_verify_report() const {
+    return last_verify_report_;
+  }
 
   /// Binds external inputs with "read" lineage leaves.
   void BindMatrix(const std::string& name, Matrix matrix);
@@ -68,12 +81,15 @@ class LimaSession {
   ExecutionContext* context() { return &context_; }
 
  private:
+  VerifyOptions MakeVerifyOptions() const;
+
   LimaConfig config_;
   RuntimeStats stats_;
   std::unique_ptr<LineageCache> cache_;
   DedupRegistry dedup_registry_;
   std::ostringstream output_;
   ExecutionContext context_;
+  VerifyReport last_verify_report_;
   /// Executed programs are kept alive: cached bundles may hold lineage that
   /// references their dedup patches.
   std::vector<std::unique_ptr<Program>> programs_;

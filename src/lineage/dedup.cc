@@ -41,6 +41,7 @@ DedupPatchPtr BuildPatchFromTrace(
         DedupPatch::Node node;
         node.opcode = item->opcode();
         node.data = item->data();
+        node.inputs.reserve(item->inputs().size());
         for (const LineageItemPtr& input : item->inputs()) {
           if (input->is_placeholder()) {
             node.inputs.push_back(
@@ -90,8 +91,8 @@ DedupPatchPtr DedupRegistry::Find(const void* loop, uint64_t path_key) const {
 DedupPatchPtr DedupRegistry::Insert(const void* loop, uint64_t path_key,
                                     DedupPatchPtr patch) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = patches_[loop].emplace(path_key, patch);
-  if (inserted) by_name_[patch->name()] = patch;
+  auto [it, inserted] = patches_[loop].emplace(path_key, std::move(patch));
+  if (inserted) by_name_[it->second->name()] = it->second;
   return it->second;
 }
 
@@ -111,7 +112,8 @@ DedupPatchPtr DedupRegistry::FindByName(const std::string& name) const {
 
 void DedupRegistry::InsertByName(DedupPatchPtr patch) {
   std::lock_guard<std::mutex> lock(mu_);
-  by_name_[patch->name()] = patch;
+  const std::string& name = patch->name();
+  by_name_[name] = std::move(patch);
 }
 
 std::string DedupRegistry::MakePatchName(const void* loop, uint64_t path_key) {

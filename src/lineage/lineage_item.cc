@@ -54,6 +54,7 @@ uint64_t DedupPatch::ComputeRootHash(
   for (size_t i = 0; i < nodes_.size(); ++i) {
     const Node& node = nodes_[i];
     in.clear();
+    in.reserve(node.inputs.size());
     for (int64_t ref : node.inputs) {
       in.push_back(ref >= 0 ? hashes[ref] : input_hashes[-(ref + 1)]);
     }
@@ -180,6 +181,8 @@ LineageItemPtr LineageItem::CreateDedup(DedupPatchPtr patch, int output_index,
   item->dedup_output_index_ = output_index;
   std::vector<uint64_t> input_hashes;
   std::vector<int64_t> input_heights;
+  input_hashes.reserve(item->inputs_.size());
+  input_heights.reserve(item->inputs_.size());
   for (const LineageItemPtr& in : item->inputs_) {
     LIMA_CHECK(in != nullptr);
     input_hashes.push_back(in->hash());

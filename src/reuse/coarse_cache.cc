@@ -49,7 +49,8 @@ std::string CoarseGrainedCache::MakeKey(
     const std::string& step, const std::vector<DataPtr>& inputs) const {
   std::string key = step;
   for (const DataPtr& in : inputs) {
-    key += ":" + std::to_string(Fingerprint(in));
+    key += ':';
+    key += std::to_string(Fingerprint(in));
   }
   return key;
 }

@@ -182,16 +182,19 @@ void RewriteBasicBlock(BasicBlock* block, const ReadCounts& global_reads) {
     Operand a = append->operands()[0];
     Operand b = append->operands()[1];
     std::string out = tsmm->OutputVars()[0];
-    // Copy before replacing: `in` references the tsmm being destroyed.
-    std::string composed_var = in.name;
     (*instructions)[i] = std::make_unique<TsmmCbindInstruction>(a, b, out);
     (*instructions)[p.cbind_index] = VariableInstruction::Remove({});
     if (p.mvvar_index != p.cbind_index) {
-      (*instructions)[p.mvvar_index] =
-          VariableInstruction::Remove({composed_var});
+      // The composed variable is never materialized now; the rename goes
+      // away entirely. (Its single read was the tsmm just replaced, so no
+      // later instruction expects it.)
+      (*instructions)[p.mvvar_index] = VariableInstruction::Remove({});
     }
     // The cbind operands now live until the tsmm_cbind executes: strip them
-    // from any earlier statement-cleanup rmvar between producer and use.
+    // from any earlier statement-cleanup rmvar between producer and use,
+    // then re-issue the removal right after the fused instruction so the
+    // temporaries do not outlive their last use.
+    std::vector<std::string> deferred;
     for (size_t k = p.cbind_index + 1; k < i; ++k) {
       Instruction* cleanup = (*instructions)[k].get();
       if (cleanup->opcode() != "rmvar") continue;
@@ -202,6 +205,7 @@ void RewriteBasicBlock(BasicBlock* block, const ReadCounts& global_reads) {
         if ((!a.is_literal && name == a.name) ||
             (!b.is_literal && name == b.name)) {
           changed = true;
+          deferred.push_back(name);
         } else {
           kept.push_back(name);
         }
@@ -210,8 +214,19 @@ void RewriteBasicBlock(BasicBlock* block, const ReadCounts& global_reads) {
         (*instructions)[k] = VariableInstruction::Remove(std::move(kept));
       }
     }
+    if (!deferred.empty()) {
+      instructions->insert(
+          instructions->begin() + i + 1,
+          VariableInstruction::Remove(std::move(deferred)));
+    }
     producers.erase(producer);
   }
+
+  // Compact out the placeholder (empty) removes left by the rewrite.
+  std::erase_if(*instructions, [](const std::unique_ptr<Instruction>& ins) {
+    if (ins->opcode() != "rmvar") return false;
+    return static_cast<const VariableInstruction&>(*ins).names().empty();
+  });
 }
 
 void RewriteInBlocks(std::vector<BlockPtr>* blocks, const ReadCounts& reads) {

@@ -1,12 +1,13 @@
 #include "reuse/lineage_cache.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <vector>
 #include <fstream>
 #include <limits>
-#include <unistd.h>
+#include <vector>
 
 #include "common/timer.h"
 #include "reuse/partial_rewrites.h"
@@ -180,6 +181,9 @@ ReuseCache::ProbeResult LineageCache::Probe(const LineageItemPtr& key,
       if (stats_ != nullptr) {
         stats_->placeholder_waits.fetch_add(1, std::memory_order_relaxed);
       }
+      // The enclosing loop is the wait predicate: every wakeup (spurious or
+      // not) re-probes the map, which also covers the entry being erased by
+      // Abort.  NOLINTNEXTLINE(bugprone-spuriously-wake-up-functions)
       cv_.wait(lock);
       continue;  // Re-probe from scratch.
     }

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 
+#include "analysis/opcode_registry.h"
 #include "common/hash.h"
 #include "runtime/instructions_misc.h"
 
@@ -120,8 +121,7 @@ void CheckEligibility(const std::vector<BlockPtr>& blocks,
       case BlockKind::kBasic: {
         const auto& basic = static_cast<const BasicBlock&>(*block);
         for (const auto& instruction : basic.instructions()) {
-          const std::string& op = instruction->opcode();
-          if (op == "fcall" || op == "eval") {
+          if (IsFunctionCallOpcode(instruction->opcode())) {
             result->eligible = false;
             return;
           }
@@ -189,27 +189,29 @@ void FillBlockReuseInfo(BasicBlock* block) {
   for (const auto& instruction : block->instructions()) {
     const std::string& op = instruction->opcode();
     signature = HashCombine(signature, HashBytes(instruction->ToString()));
-    if (op == "fcall" || op == "eval" || op == "print" || op == "stop") {
-      return;  // side effects / nested calls: function-level reuse applies
+    const OpcodeEffect* effect = LookupOpcode(op);
+    if (effect == nullptr || effect->side_effects ||
+        effect->category == OpcodeCategory::kCall) {
+      // Side effects / nested calls (or an unregistered opcode, treated
+      // conservatively): function-level reuse applies instead.
+      return;
     }
     if (!instruction->IsDeterministic()) return;
-    if (op == "rmvar") {
-      const auto* remove =
-          static_cast<const VariableInstruction*>(instruction.get());
-      for (const std::string& name : remove->names()) {
-        if (!record_remove(name)) return;
+    if (effect->category == OpcodeCategory::kBookkeeping) {
+      if (effect->frees_inputs) {
+        // mvvar/rmvar: the freed names must be block-local.
+        const auto* var =
+            static_cast<const VariableInstruction*>(instruction.get());
+        const bool is_remove =
+            var->variable_kind() == VariableInstruction::Kind::kRemove;
+        for (const std::string& name :
+             is_remove ? var->names() : var->InputVars()) {
+          if (!record_remove(name)) return;
+        }
+        for (const std::string& out : var->OutputVars()) record_write(out);
+      } else {
+        record_write(instruction->OutputVars()[0]);
       }
-      continue;
-    }
-    if (op == "mvvar") {
-      const auto* move =
-          static_cast<const VariableInstruction*>(instruction.get());
-      if (!record_remove(move->InputVars()[0])) return;
-      record_write(move->OutputVars()[0]);
-      continue;
-    }
-    if (op == "cpvar" || op == "assignvar") {
-      record_write(instruction->OutputVars()[0]);
       continue;
     }
     for (const std::string& out : instruction->OutputVars()) {
@@ -276,8 +278,13 @@ void ScanDeterminism(const std::vector<BlockPtr>& blocks, bool* has_nondet,
         const auto& basic = static_cast<const BasicBlock&>(*block);
         for (const auto& instruction : basic.instructions()) {
           if (!instruction->IsDeterministic()) *has_nondet = true;
-          if (instruction->opcode() == "eval") *has_nondet = true;  // dynamic
-          if (instruction->opcode() == "fcall") {
+          const OpcodeEffect* effect = LookupOpcode(instruction->opcode());
+          if (effect != nullptr && effect->dynamic_dispatch) {
+            *has_nondet = true;  // callee unresolvable statically
+          }
+          if (effect != nullptr &&
+              effect->category == OpcodeCategory::kCall &&
+              !effect->dynamic_dispatch) {
             callees->insert(static_cast<const FunctionCallInstruction*>(
                                 instruction.get())
                                 ->function_name());

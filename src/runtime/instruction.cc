@@ -1,7 +1,5 @@
 #include "runtime/instruction.h"
 
-#include <unordered_set>
-
 #include "common/timer.h"
 
 namespace lima {
@@ -26,29 +24,6 @@ LineageItemPtr ResolveOperandLineage(ExecutionContext* ctx,
     ctx->lineage().Set(op.name, item);
   }
   return item;
-}
-
-bool IsDefaultReusableOpcode(const std::string& opcode) {
-  static const std::unordered_set<std::string>* kSet =
-      new std::unordered_set<std::string>{
-          // Matrix multiplications and factorizations.
-          "mm", "tsmm", "tmm", "solve", "cholesky", "eigen", "tsmm_cbind",
-          // Reorganizations and indexing.
-          "t", "rev", "diag", "reshape", "cbind", "rbind", "rightindex",
-          "selcols", "selrows", "leftindex", "table", "order",
-          // Elementwise binary.
-          "+", "-", "*", "/", "^", "min", "max", "==", "!=", "<", ">", "<=",
-          ">=", "&", "|", "%%", "%/%", "ifelse",
-          // Elementwise unary.
-          "exp", "log", "sqrt", "abs", "round", "floor", "ceil", "sign",
-          "uminus", "sigmoid", "!",
-          // Aggregates.
-          "sum", "mean", "ua_min", "ua_max", "trace", "colSums", "colMeans",
-          "colMins", "colMaxs", "colVars", "rowSums", "rowMeans", "rowMins",
-          "rowMaxs", "rowIndexMax",
-          // Fused operators (Sec. 3.3).
-          "fused"};
-  return kSet->count(opcode) > 0;
 }
 
 std::string Instruction::ToString() const { return opcode_; }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/opcode_registry.h"
 #include "common/result.h"
 #include "runtime/execution_context.h"
 
@@ -48,11 +49,6 @@ Result<DataPtr> ResolveOperand(ExecutionContext* ctx, const Operand& op);
 /// cache; untracked variables get unique orphan leaves).
 LineageItemPtr ResolveOperandLineage(ExecutionContext* ctx, const Operand& op);
 
-/// True for opcodes in the default reusable-instruction set (Sec. 4.1:
-/// "making the set of cacheable instructions configurable avoids cache
-/// pollution and ensures correctness").
-bool IsDefaultReusableOpcode(const std::string& opcode);
-
 /// Base class of all runtime instructions. Instructions are immutable and
 /// shared across iterations/threads; all mutable state lives in the
 /// ExecutionContext.
@@ -81,11 +77,17 @@ class Instruction {
   bool reuse_marked() const { return reuse_marked_; }
   void set_reuse_marked(bool marked) { reuse_marked_ = marked; }
 
+  /// 1-based script line this instruction was compiled from; 0 when unknown
+  /// (hand-built programs). Used for diagnostic provenance (`lima verify`).
+  int source_line() const { return source_line_; }
+  void set_source_line(int line) { source_line_ = line; }
+
   virtual std::string ToString() const;
 
  protected:
   std::string opcode_;
   bool reuse_marked_ = true;
+  int source_line_ = 0;
 };
 
 /// Base class for value-producing instructions; implements the LIMA
@@ -141,9 +143,11 @@ class ComputationInstruction : public Instruction {
       ExecutionContext* ctx, const std::vector<LineageItemPtr>& input_items,
       const ExecState& state) const;
 
-  /// Whether this op participates in reuse (opcode set + unmarking).
+  /// Whether this op participates in reuse: opcode-effect registry
+  /// membership (Sec. 4.1: the configurable set of cacheable instructions)
+  /// gated by compiler-assisted unmarking.
   virtual bool IsReusableOp() const {
-    return reuse_marked_ && IsDefaultReusableOpcode(opcode_);
+    return reuse_marked_ && IsReusableOpcode(opcode_);
   }
 
   std::vector<Operand> operands_;

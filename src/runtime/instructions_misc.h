@@ -142,6 +142,7 @@ class FunctionCallInstruction : public Instruction {
   std::string ToString() const override;
 
   const std::string& function_name() const { return function_name_; }
+  const std::vector<Operand>& args() const { return args_; }
 
  private:
   std::string function_name_;

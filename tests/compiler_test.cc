@@ -3,9 +3,13 @@
 // reuse-aware tsmm_cbind rewrite (Sec. 4.4).
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <set>
+
 #include "lang/compiler.h"
 #include "lang/session.h"
 #include "runtime/analysis.h"
+#include "runtime/instructions_misc.h"
 
 namespace lima {
 namespace {
@@ -49,6 +53,44 @@ int CountOpcode(const std::vector<BlockPtr>& blocks,
   return count;
 }
 
+// Invokes `fn` on every instruction in `blocks`, including predicate blocks
+// of control-flow constructs.
+void ForEachInstruction(const std::vector<BlockPtr>& blocks,
+                        const std::function<void(const Instruction&)>& fn) {
+  auto visit_basic = [&fn](const BasicBlock& basic) {
+    for (const auto& instruction : basic.instructions()) fn(*instruction);
+  };
+  for (const BlockPtr& block : blocks) {
+    switch (block->kind()) {
+      case BlockKind::kBasic:
+        visit_basic(static_cast<const BasicBlock&>(*block));
+        break;
+      case BlockKind::kIf: {
+        const auto& if_block = static_cast<const IfBlock&>(*block);
+        visit_basic(if_block.predicate().block());
+        ForEachInstruction(if_block.then_blocks(), fn);
+        ForEachInstruction(if_block.else_blocks(), fn);
+        break;
+      }
+      case BlockKind::kFor:
+      case BlockKind::kParFor: {
+        const auto& for_block = static_cast<const ForBlock&>(*block);
+        visit_basic(for_block.from().block());
+        visit_basic(for_block.to().block());
+        visit_basic(for_block.incr().block());
+        ForEachInstruction(for_block.body(), fn);
+        break;
+      }
+      case BlockKind::kWhile: {
+        const auto& while_block = static_cast<const WhileBlock&>(*block);
+        visit_basic(while_block.predicate().block());
+        ForEachInstruction(while_block.body(), fn);
+        break;
+      }
+    }
+  }
+}
+
 TEST(CompilerTest, TsmmRewriteFires) {
   auto program = Compile("A = t(X) %*% X;");
   EXPECT_EQ(CountOpcode(program->main(), "tsmm"), 1);
@@ -80,12 +122,78 @@ TEST(CompilerTest, ControlFlowBlockStructure) {
     while (y < 10) { y = y * 2; }
     z = y;
   )");
-  ASSERT_GE(program->main().size(), 5u);
+  // Each control block is followed by a dedicated rmvar-only cleanup block
+  // that frees its predicate temporaries (kept separate so the control block
+  // itself stays eligible for block-level reuse).
+  ASSERT_GE(program->main().size(), 8u);
   EXPECT_EQ(program->main()[0]->kind(), BlockKind::kBasic);
   EXPECT_EQ(program->main()[1]->kind(), BlockKind::kIf);
-  EXPECT_EQ(program->main()[2]->kind(), BlockKind::kFor);
-  EXPECT_EQ(program->main()[3]->kind(), BlockKind::kWhile);
+  EXPECT_EQ(program->main()[2]->kind(), BlockKind::kBasic);
+  EXPECT_EQ(program->main()[3]->kind(), BlockKind::kFor);
   EXPECT_EQ(program->main()[4]->kind(), BlockKind::kBasic);
+  EXPECT_EQ(program->main()[5]->kind(), BlockKind::kWhile);
+  EXPECT_EQ(program->main()[6]->kind(), BlockKind::kBasic);
+  EXPECT_EQ(program->main()[7]->kind(), BlockKind::kBasic);
+  for (size_t i : {2u, 4u, 6u}) {
+    const auto& cleanup = static_cast<const BasicBlock&>(*program->main()[i]);
+    for (const auto& instruction : cleanup.instructions()) {
+      EXPECT_EQ(instruction->opcode(), "rmvar");
+    }
+    EXPECT_FALSE(cleanup.instructions().empty());
+  }
+}
+
+// Regression: the statement-temp flush used to rmvar temps that had already
+// been consumed by the mvvar binding the statement result, leaving rmvar
+// instructions that target undefined variables.
+TEST(CompilerTest, NoRmvarOfMovedTemp) {
+  auto program = Compile("y = sum(exp(X)) + 1; z = y * 2;");
+  std::set<std::string> defined = {"X"};
+  ForEachInstruction(program->main(), [&defined](const Instruction& instr) {
+    const auto* var = dynamic_cast<const VariableInstruction*>(&instr);
+    if (var != nullptr && var->variable_kind() == VariableInstruction::Kind::kRemove) {
+      for (const std::string& name : var->names()) {
+        EXPECT_TRUE(defined.erase(name) == 1)
+            << "rmvar of undefined variable " << name;
+      }
+      return;
+    }
+    if (var != nullptr && var->variable_kind() == VariableInstruction::Kind::kMove) {
+      defined.erase(var->InputVars()[0]);
+    }
+    for (const std::string& out : instr.OutputVars()) defined.insert(out);
+  });
+}
+
+// Regression: temporaries created while compiling if/for/while predicates
+// (comparison results, literal bounds) used to leak — nothing ever freed
+// them. Every compiler temp must now be either moved into a user variable
+// or removed before the program ends.
+TEST(CompilerTest, PredicateTempsFreed) {
+  auto program = Compile(R"(
+    x = 4;
+    if (x > 2) { y = 1; } else { y = 2; }
+    for (i in 1:3) { y = y + i; }
+    while (y < 10) { y = y * 2; }
+  )");
+  std::set<std::string> live_temps;
+  ForEachInstruction(program->main(), [&live_temps](const Instruction& instr) {
+    const auto* var = dynamic_cast<const VariableInstruction*>(&instr);
+    if (var != nullptr && var->variable_kind() == VariableInstruction::Kind::kRemove) {
+      for (const std::string& name : var->names()) live_temps.erase(name);
+      return;
+    }
+    if (var != nullptr && var->variable_kind() == VariableInstruction::Kind::kMove) {
+      live_temps.erase(var->InputVars()[0]);
+    }
+    for (const std::string& out : instr.OutputVars()) {
+      if (out.rfind("_t", 0) == 0 || out.rfind("_p", 0) == 0) {
+        live_temps.insert(out);
+      }
+    }
+  });
+  EXPECT_TRUE(live_temps.empty())
+      << "leaked compiler temp: " << *live_temps.begin();
 }
 
 TEST(CompilerTest, ParforBlockKind) {

@@ -1,0 +1,115 @@
+// Verifier sweep: every shipped DML script and every benchmark pipeline must
+// compile to a program the static verifier accepts with zero errors — the
+// compiler's bookkeeping (temp cleanup, rmvar placement, multi-output
+// bindings) is checked against the dataflow rules on real workloads, under
+// every compiler configuration (fusion, compiler-assisted rewrites, dedup).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algorithms/scripts.h"
+#include "analysis/verifier.h"
+#include "bench/pipelines.h"
+#include "lang/compiler.h"
+
+namespace lima {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<LimaConfig> SweepConfigs() {
+  std::vector<LimaConfig> configs;
+  configs.push_back(LimaConfig::Base());
+  configs.push_back(LimaConfig::Lima());
+  LimaConfig fusion = LimaConfig::Lima();
+  fusion.operator_fusion = true;
+  configs.push_back(fusion);
+  LimaConfig assist = LimaConfig::LimaMultiLevel();
+  assist.compiler_assist = true;
+  assist.dedup_lineage = true;
+  configs.push_back(assist);
+  return configs;
+}
+
+void ExpectVerifies(const std::string& label, const std::string& source) {
+  for (const LimaConfig& config : SweepConfigs()) {
+    Result<std::unique_ptr<Program>> program =
+        CompileScript(scripts::Builtins() + source, config);
+    ASSERT_TRUE(program.ok()) << label << ": " << program.status().ToString();
+    VerifyReport report = VerifyProgram(**program);
+    EXPECT_EQ(report.num_errors, 0)
+        << label << " (fusion=" << config.operator_fusion
+        << ", assist=" << config.compiler_assist << "):\n"
+        << report.ToString();
+  }
+}
+
+TEST(VerifySweepTest, BuiltinsAlone) {
+  ExpectVerifies("builtins", "");
+}
+
+TEST(VerifySweepTest, ShippedScripts) {
+  for (const char* name : {"gridsearch.dml", "kmeans.dml", "pagerank.dml"}) {
+    std::string path = std::string(LIMA_SOURCE_DIR) + "/scripts/" + name;
+    ExpectVerifies(name, ReadFileOrDie(path));
+  }
+}
+
+// The example binaries embed their scripts as C++ string literals; the
+// representative ones not already covered by scripts/*.dml or the bench
+// pipelines are mirrored here.
+TEST(VerifySweepTest, ExamplePrograms) {
+  // examples/pagerank_lineage.cpp
+  ExpectVerifies("pagerank_lineage", R"(
+    n = 50;
+    G = rand(rows=n, cols=n, min=0, max=1, sparsity=0.1, seed=7);
+    G = G / max(colSums(G), 1e-12);
+    p = matrix(1 / n, n, 1);
+    e = matrix(1, n, 1);
+    u = matrix(1 / n, 1, n);
+    for (i in 1:3) {
+      t1 = G %*% p;
+      t2 = e %*% (u %*% p);
+      p = 0.85 * t1 + 0.15 * t2;
+    }
+  )");
+  // examples/notebook_reuse.cpp: the five cells, concatenated (each cell
+  // shares the session scope of its predecessors).
+  ExpectVerifies("notebook_reuse", R"(
+    X = rand(rows=200, cols=8, min=-1, max=1, seed=1);
+    y = X %*% rand(rows=8, cols=1, seed=2);
+    B = lmDS(X, y, 0, 1e-4);
+    print("loss: " + lmLoss(X, y, B, 0));
+    B = lmDS(X, y, 0, 1e-2);
+    print("loss: " + lmLoss(X, y, B, 0));
+    [R, V] = pca(X, 5);
+    print("projected variance: " + sum(colVars(R)));
+  )");
+}
+
+TEST(VerifySweepTest, BenchmarkPipelines) {
+  ExpectVerifies("HLM", bench::HlmScript(64, 8, /*task_parallel=*/false));
+  ExpectVerifies("HLMpar", bench::HlmScript(64, 8, /*task_parallel=*/true));
+  ExpectVerifies("HL2SVM", bench::Hl2svmScript(64, 8, 3));
+  ExpectVerifies("HCV", bench::HcvScript(64, 8, /*task_parallel=*/false));
+  ExpectVerifies("HCVpar", bench::HcvScript(64, 8, /*task_parallel=*/true));
+  ExpectVerifies("ENS", bench::EnsScript(64, 8, 3, 2));
+  ExpectVerifies("PCALM", bench::PcalmScript(64, 8, 4));
+  ExpectVerifies("PCACV", bench::PcacvScript(64, 8, 3));
+  ExpectVerifies("PCANB", bench::PcanbScript(64, 8, 3));
+  ExpectVerifies("AUTOENC", bench::AutoencoderScript(64, 16, 8, 4, 2, 16));
+  ExpectVerifies("MINIBATCH", bench::MiniBatchScript(64, 16));
+  ExpectVerifies("STEPLM", bench::StepLmMicroScript(64, 6, 3, 4));
+}
+
+}  // namespace
+}  // namespace lima

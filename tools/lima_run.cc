@@ -18,6 +18,10 @@
 //   --spill                      enable disk spilling of evicted entries
 //   --stats                      print runtime/reuse statistics at exit
 //   --lineage=VAR                print the lineage log of VAR at exit
+//   --verify[=report|strict|only]  static program verification: report prints
+//                                diagnostics and runs anyway (default), strict
+//                                fails on verification errors, only verifies
+//                                without executing
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -36,7 +40,8 @@ void PrintUsage() {
                "usage: lima_run [--mode=base|trace|lima|mlr] [--dedup] "
                "[--fusion]\n                [--assist] [--workers=N] "
                "[--budget-mb=N] [--policy=...]\n                [--spill] "
-               "[--stats] [--lineage=VAR] <script.dml | ->\n");
+               "[--stats] [--lineage=VAR]\n                "
+               "[--verify[=report|strict|only]] <script.dml | ->\n");
 }
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -53,6 +58,7 @@ int main(int argc, char** argv) {
 
   LimaConfig config = LimaConfig::Lima();
   bool print_stats = false;
+  bool verify_only = false;
   std::string lineage_var;
   std::string script_path;
   std::string value;
@@ -99,6 +105,18 @@ int main(int argc, char** argv) {
       }
     } else if (ParseFlag(arg, "lineage", &value)) {
       lineage_var = value;
+    } else if (arg == "--verify" || ParseFlag(arg, "verify", &value)) {
+      if (arg == "--verify" || value == "report") {
+        config.verify_mode = VerifyMode::kWarn;
+      } else if (value == "strict") {
+        config.verify_mode = VerifyMode::kStrict;
+      } else if (value == "only") {
+        config.verify_mode = VerifyMode::kWarn;
+        verify_only = true;
+      } else {
+        std::fprintf(stderr, "unknown verify mode: %s\n", value.c_str());
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;
@@ -133,9 +151,22 @@ int main(int argc, char** argv) {
 
   LimaSession session(config);
   session.context()->set_print_stream(&std::cout);
+  if (verify_only) {
+    Result<VerifyReport> report = session.Verify(scripts::Builtins() + source);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(report->ToString().c_str(), stderr);
+    return report->ok() ? 0 : 1;
+  }
   StopWatch watch;
   Status status = session.Run(scripts::Builtins() + source);
   double seconds = watch.ElapsedSeconds();
+  if (config.verify_mode == VerifyMode::kWarn &&
+      !session.last_verify_report().diagnostics.empty()) {
+    std::fputs(session.last_verify_report().ToString().c_str(), stderr);
+  }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;
