@@ -69,12 +69,18 @@ void Fig8a_Phases(benchmark::State& state, Policy policy) {
   // Budget fits ~8 of the 12+6 cached intermediates.
   std::string script = PhasesScript(n, 12, 8, 6, 6);
   LimaConfig config = PolicyConfig(policy, int64_t{16} * 1024 * 1024);
+  // Embed opcode- and cache-level breakdowns in the benchmark output
+  // (BENCH_*.json carries them via the counter set below).
+  config.profile = true;
   double evictions = 0;
   double hits = 0;
   for (auto _ : state) {
     std::unique_ptr<LimaSession> session = RunPipeline(script, config);
     evictions = static_cast<double>(session->stats()->evictions.load());
     hits = static_cast<double>(session->stats()->cache_hits.load());
+    for (const auto& [name, value] : ProfileCounterSet(*session)) {
+      state.counters[name] = value;
+    }
     benchmark::DoNotOptimize(session);
   }
   state.counters["evictions"] = evictions;
@@ -114,10 +120,14 @@ void Fig8b_MiniBatch(benchmark::State& state, Policy policy) {
   std::string script = MiniBatchEpochsScript(40000, 200, 500, 6);
   // Budget below the full set of preprocessed batches (80 batches x 0.8 MB).
   LimaConfig config = PolicyConfig(policy, int64_t{40} * 1024 * 1024);
+  config.profile = true;
   double hits = 0;
   for (auto _ : state) {
     std::unique_ptr<LimaSession> session = RunPipeline(script, config);
     hits = static_cast<double>(session->stats()->cache_hits.load());
+    for (const auto& [name, value] : ProfileCounterSet(*session)) {
+      state.counters[name] = value;
+    }
     benchmark::DoNotOptimize(session);
   }
   state.counters["hits"] = hits;
@@ -137,11 +147,15 @@ void Fig8b_StepLm(benchmark::State& state, Policy policy) {
   // round (whose winning tsmm seeds the next round's partial rewrites),
   // while DAG-Height evicts exactly those deepest entries.
   LimaConfig config = PolicyConfig(policy, int64_t{80} * 1024 * 1024);
+  config.profile = true;
   double hits = 0;
   for (auto _ : state) {
     std::unique_ptr<LimaSession> session = RunPipeline(script, config);
     hits = static_cast<double>(session->stats()->cache_hits.load() +
                                session->stats()->partial_reuse_hits.load());
+    for (const auto& [name, value] : ProfileCounterSet(*session)) {
+      state.counters[name] = value;
+    }
     benchmark::DoNotOptimize(session);
   }
   state.counters["hits"] = hits;

@@ -17,5 +17,26 @@ std::unique_ptr<LimaSession> RunPipeline(const std::string& script,
   return session;
 }
 
+std::vector<std::pair<std::string, double>> ProfileCounterSet(
+    const LimaSession& session, int top_k) {
+  ProfileReport report = session.ProfileReport();
+  std::vector<std::pair<std::string, double>> counters;
+  int emitted = 0;
+  for (const ProfileReport::OpRow& row : report.ops) {
+    if (emitted++ >= top_k) break;
+    counters.emplace_back("op." + row.opcode + ".ms",
+                          static_cast<double>(row.profile.total_nanos) / 1e6);
+    counters.emplace_back("op." + row.opcode + ".n",
+                          static_cast<double>(row.profile.invocations));
+  }
+  for (int k = 0; k < kNumCacheEventKinds; ++k) {
+    counters.emplace_back(
+        std::string("cache.") +
+            CacheEventKindToString(static_cast<CacheEventKind>(k)),
+        static_cast<double>(report.cache.totals[k].count));
+  }
+  return counters;
+}
+
 }  // namespace bench
 }  // namespace lima

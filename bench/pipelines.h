@@ -3,6 +3,8 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "algorithms/scripts.h"
 #include "lang/session.h"
@@ -259,6 +261,17 @@ inline std::string StepLmMicroScript(int64_t rows, int64_t xcols,
 /// returns the session for stats inspection; aborts on failure.
 std::unique_ptr<LimaSession> RunPipeline(const std::string& script,
                                          const LimaConfig& config);
+
+/// Flattens the session's profile report into counter key/value pairs for
+/// benchmark embedding: the top `top_k` opcodes by total time as
+/// `op.<opcode>.ms` / `op.<opcode>.n`, plus `cache.<event>` counts. Google
+/// Benchmark serializes counters into its JSON/CSV output, so BENCH_*.json
+/// files carry opcode- and cache-level breakdowns, not just end-to-end
+/// times. Requires the session to have run with config.profile = true for
+/// the opcode rows (cache counters also need it — the event log is only
+/// attached when profiling is on).
+std::vector<std::pair<std::string, double>> ProfileCounterSet(
+    const LimaSession& session, int top_k = 8);
 
 }  // namespace bench
 }  // namespace lima

@@ -38,4 +38,37 @@ for script in "$ROOT"/scripts/*.dml; do
   "$BUILD_DIR/tools/lima_run" --verify=only "$script"
 done
 
+# Profiling smoke: --profile=json must emit a single valid JSON document
+# whose opcode totals are non-zero and whose cache-event counts reconcile
+# with the RuntimeStats counters (see docs/OBSERVABILITY.md).
+if command -v python3 >/dev/null 2>&1; then
+  echo "profile smoke: lima_run --profile=json"
+  "$BUILD_DIR/tools/lima_run" --profile=json - <<'EOF' > "$BUILD_DIR/profile_smoke.json"
+X = rand(rows=200, cols=50, seed=17);
+S = t(X) %*% X;
+S2 = t(X) %*% X;
+acc = sum(S) + sum(S2);
+result = acc;
+EOF
+  python3 - "$BUILD_DIR/profile_smoke.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["schema_version"] == 1, report["schema_version"]
+ops = report["ops"]
+assert ops, "no opcode rows recorded"
+assert sum(op["invocations"] for op in ops) > 0
+assert sum(op["total_nanos"] for op in ops) > 0
+events, counters = report["cache_events"], report["counters"]
+for kind, counter in [("evict", "evictions"), ("spill", "spills"),
+                      ("restore", "restores")]:
+    assert events[kind]["count"] == counters[counter], (kind, counter)
+assert events["hit"]["count"] > 0, "S2 reuse must produce cache hits"
+print("profile smoke: OK ({} ops, {} hits)".format(
+    len(ops), events["hit"]["count"]))
+EOF
+else
+  echo "profile smoke: python3 not found; skipping" >&2
+fi
+
 echo "ci: OK"

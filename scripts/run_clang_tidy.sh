@@ -22,7 +22,8 @@ fi
 
 PATHS=("$@")
 if [[ ${#PATHS[@]} -eq 0 ]]; then
-  PATHS=("$ROOT/src/lineage" "$ROOT/src/reuse" "$ROOT/src/analysis")
+  PATHS=("$ROOT/src/lineage" "$ROOT/src/reuse" "$ROOT/src/analysis"
+         "$ROOT/src/obs")
 fi
 
 FILES=()

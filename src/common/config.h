@@ -75,6 +75,11 @@ struct LimaConfig {
   /// Static verification of compiled programs before execution.
   VerifyMode verify_mode = VerifyMode::kOff;
 
+  /// Instruction-level profiling + structured cache-event logging
+  /// (`lima_run --profile`, LimaSession::ProfileReport()). Off by default:
+  /// the only cost when disabled is a null-pointer check per instruction.
+  bool profile = false;
+
   /// Returns true if any reuse is enabled.
   bool reuse_enabled() const { return reuse_mode != ReuseMode::kNone; }
 

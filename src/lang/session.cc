@@ -11,6 +11,10 @@ LimaSession::LimaSession(LimaConfig config)
       context_(&config_, nullptr, cache_.get(), &dedup_registry_, &stats_) {
   context_.set_print_stream(&output_);
   context_.set_kernel_threads(config_.kernel_threads);
+  if (config_.profile) {
+    context_.set_profiler(&profile_);
+    cache_->set_event_log(&cache_events_);
+  }
 }
 
 Status LimaSession::Run(const std::string& script) {
@@ -86,6 +90,19 @@ Result<std::string> LimaSession::GetLineage(const std::string& name) const {
 
 LineageItemPtr LimaSession::GetLineageItem(const std::string& name) const {
   return context_.lineage().Get(name);
+}
+
+lima::ProfileReport LimaSession::ProfileReport() const {
+  std::vector<std::pair<std::string, std::string>> config_info = {
+      {"reuse_mode", ReuseModeToString(config_.reuse_mode)},
+      {"eviction_policy", EvictionPolicyToString(config_.eviction_policy)},
+      {"cache_budget_bytes", std::to_string(config_.cache_budget_bytes)},
+      {"spilling", config_.enable_spilling ? "on" : "off"},
+      {"parfor_workers", std::to_string(config_.parfor_workers)},
+      {"profile", config_.profile ? "on" : "off"},
+  };
+  return BuildProfileReport(profile_, &cache_events_, stats_.ToPairs(),
+                            std::move(config_info));
 }
 
 std::string LimaSession::ConsumeOutput() {

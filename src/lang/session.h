@@ -9,6 +9,7 @@
 #include "analysis/verifier.h"
 #include "common/config.h"
 #include "lineage/dedup.h"
+#include "obs/report.h"
 #include "reuse/lineage_cache.h"
 #include "runtime/execution_context.h"
 #include "runtime/program.h"
@@ -71,6 +72,11 @@ class LimaSession {
   /// Output printed by the scripts since the last call (print() builtin).
   std::string ConsumeOutput();
 
+  /// Snapshot of the observability subsystem: per-opcode profiles (populated
+  /// only when config.profile is on), cache-event totals, and the full
+  /// RuntimeStats counter set. Exportable via ToJson()/ToCsv()/ToText().
+  lima::ProfileReport ProfileReport() const;
+
   /// Drops all session variables (cache and statistics are kept).
   void ClearVariables();
 
@@ -85,6 +91,10 @@ class LimaSession {
 
   LimaConfig config_;
   RuntimeStats stats_;
+  /// Root profile collector (main thread) + cache-event log; wired into the
+  /// context and cache only when config.profile is on.
+  ProfileCollector profile_;
+  CacheEventLog cache_events_;
   std::unique_ptr<LineageCache> cache_;
   DedupRegistry dedup_registry_;
   std::ostringstream output_;

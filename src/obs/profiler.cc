@@ -1,0 +1,23 @@
+#include "obs/profiler.h"
+
+namespace lima {
+
+void ProfileCollector::Merge(const ProfileCollector& other) {
+  for (const auto& [opcode, profile] : other.ops_) {
+    ops_[opcode].Merge(profile);
+  }
+}
+
+int64_t ProfileCollector::TotalInvocations() const {
+  int64_t total = 0;
+  for (const auto& [opcode, profile] : ops_) total += profile.invocations;
+  return total;
+}
+
+int64_t ProfileCollector::TotalNanos() const {
+  int64_t total = 0;
+  for (const auto& [opcode, profile] : ops_) total += profile.total_nanos;
+  return total;
+}
+
+}  // namespace lima

@@ -1,0 +1,67 @@
+#ifndef LIMA_OBS_PROFILER_H_
+#define LIMA_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace lima {
+
+/// Aggregate profile of one opcode (SystemDS-style per-instruction
+/// statistics): how often it ran, how much wall-time it consumed, the worst
+/// single invocation, and how many bytes it touched.
+struct OpProfile {
+  int64_t invocations = 0;
+  int64_t total_nanos = 0;
+  int64_t max_nanos = 0;
+  int64_t bytes_processed = 0;
+
+  void Add(int64_t nanos, int64_t bytes) {
+    ++invocations;
+    total_nanos += nanos;
+    if (nanos > max_nanos) max_nanos = nanos;
+    bytes_processed += bytes;
+  }
+
+  void Merge(const OpProfile& other) {
+    invocations += other.invocations;
+    total_nanos += other.total_nanos;
+    if (other.max_nanos > max_nanos) max_nanos = other.max_nanos;
+    bytes_processed += other.bytes_processed;
+  }
+};
+
+/// Per-thread opcode profile collector. Deliberately NOT thread-safe: every
+/// executing thread records into its own collector (the session's root
+/// collector for the main thread, a worker-local one inside parfor), and
+/// the parfor join merges workers into the parent. This keeps the
+/// instruction hot path free of atomics and lock contention.
+class ProfileCollector {
+ public:
+  /// Records one instruction execution under `opcode`.
+  void Record(const std::string& opcode, int64_t nanos, int64_t bytes) {
+    ops_[opcode].Add(nanos, bytes);
+  }
+
+  /// Folds another collector (e.g. a joined parfor worker) into this one.
+  void Merge(const ProfileCollector& other);
+
+  const std::unordered_map<std::string, OpProfile>& ops() const {
+    return ops_;
+  }
+
+  /// Sum of invocation counts over all opcodes.
+  int64_t TotalInvocations() const;
+
+  /// Sum of total_nanos over all opcodes.
+  int64_t TotalNanos() const;
+
+  void Clear() { ops_.clear(); }
+
+ private:
+  std::unordered_map<std::string, OpProfile> ops_;
+};
+
+}  // namespace lima
+
+#endif  // LIMA_OBS_PROFILER_H_

@@ -1,0 +1,59 @@
+#ifndef LIMA_OBS_REPORT_H_
+#define LIMA_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/cache_events.h"
+#include "obs/profiler.h"
+
+namespace lima {
+
+/// Snapshot of the observability subsystem: per-opcode profiles, cache-event
+/// totals, and the full RuntimeStats counter set, exportable as JSON
+/// (schema documented in docs/OBSERVABILITY.md), CSV, or a human-readable
+/// table.
+struct ProfileReport {
+  /// Bump when the JSON layout changes incompatibly.
+  static constexpr int kSchemaVersion = 1;
+
+  struct OpRow {
+    std::string opcode;
+    OpProfile profile;
+  };
+
+  /// Opcode rows sorted by descending total_nanos.
+  std::vector<OpRow> ops;
+  CacheEventLog::Snapshot cache;
+  /// Snapshot of every RuntimeStats counter, in declaration order.
+  std::vector<std::pair<std::string, int64_t>> counters;
+  /// Session configuration echo (reuse mode, policy, budget, ...).
+  std::vector<std::pair<std::string, std::string>> config;
+
+  /// Counter value by name; 0 when absent.
+  int64_t Counter(const std::string& name) const;
+
+  /// Sum of invocations / total_nanos over all opcode rows.
+  int64_t TotalInvocations() const;
+  int64_t TotalNanos() const;
+
+  /// Machine-readable exports.
+  std::string ToJson() const;
+  std::string ToCsv() const;
+
+  /// Human-readable table (lima_run --profile).
+  std::string ToText() const;
+};
+
+/// Assembles a report from the collector, the cache-event log (nullable),
+/// and a counter snapshot (e.g. RuntimeStats::ToPairs()).
+ProfileReport BuildProfileReport(
+    const ProfileCollector& collector, const CacheEventLog* events,
+    std::vector<std::pair<std::string, int64_t>> counters,
+    std::vector<std::pair<std::string, std::string>> config = {});
+
+}  // namespace lima
+
+#endif  // LIMA_OBS_REPORT_H_

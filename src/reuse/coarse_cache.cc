@@ -59,7 +59,15 @@ std::optional<std::vector<DataPtr>> CoarseGrainedCache::Lookup(
     const std::string& step, const std::vector<DataPtr>& inputs) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(MakeKey(step, inputs));
-  if (it == entries_.end()) return std::nullopt;
+  if (it == entries_.end()) {
+    if (events_ != nullptr) events_->Record(CacheEventKind::kMiss, 0);
+    return std::nullopt;
+  }
+  if (events_ != nullptr) {
+    int64_t bytes = 0;
+    for (const DataPtr& out : it->second) bytes += out->SizeInBytes();
+    events_->Record(CacheEventKind::kHit, bytes);
+  }
   return it->second;
 }
 

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/cache_events.h"
 #include "runtime/data.h"
 
 namespace lima {
@@ -35,12 +36,17 @@ class CoarseGrainedCache {
   void Clear();
   int64_t NumEntries() const;
 
+  /// Attaches a structured cache-event log (hit/miss per Lookup); nullptr
+  /// detaches.
+  void set_event_log(CacheEventLog* events) { events_ = events; }
+
  private:
   std::string MakeKey(const std::string& step,
                       const std::vector<DataPtr>& inputs) const;
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::vector<DataPtr>> entries_;
+  CacheEventLog* events_ = nullptr;
 };
 
 }  // namespace lima

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <system_error>
 #include <vector>
 
 #include "common/timer.h"
@@ -89,6 +90,7 @@ Status LineageCache::RestoreEntry(Entry* entry) {
   StopWatch watch;
   std::ifstream in(entry->spill_path, std::ios::binary);
   if (!in) {
+    RecordEvent(CacheEventKind::kRestoreFail, entry->size_bytes);
     return Status::IoError("cannot restore spilled entry from " +
                            entry->spill_path);
   }
@@ -96,9 +98,25 @@ Status LineageCache::RestoreEntry(Entry* entry) {
   int64_t cols = 0;
   in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
   in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  // Validate the header against the size recorded at insertion BEFORE
+  // allocating: a truncated or corrupt spill file must yield IoError, not a
+  // garbage-dimension allocation. `cols == expected / rows` bounds the
+  // product before it is formed, so the overflow check is sound.
+  const int64_t expected =
+      entry->size_bytes / static_cast<int64_t>(sizeof(double));
+  const bool header_ok =
+      in.good() && rows >= 0 && cols >= 0 &&
+      ((rows == 0 || cols == 0) ? expected == 0
+                                : cols == expected / rows &&
+                                      rows * cols == expected);
+  if (!header_ok) {
+    RecordEvent(CacheEventKind::kRestoreFail, entry->size_bytes);
+    return Status::IoError("corrupt spill header in " + entry->spill_path);
+  }
   Matrix m(rows, cols);
   in.read(reinterpret_cast<char*>(m.mutable_data()), m.SizeInBytes());
   if (!in) {
+    RecordEvent(CacheEventKind::kRestoreFail, entry->size_bytes);
     return Status::IoError("short read restoring " + entry->spill_path);
   }
   double seconds = watch.ElapsedSeconds();
@@ -114,7 +132,22 @@ Status LineageCache::RestoreEntry(Entry* entry) {
   if (stats_ != nullptr) {
     stats_->restores.fetch_add(1, std::memory_order_relaxed);
   }
+  RecordEvent(CacheEventKind::kRestore, entry->size_bytes);
   return Status::OK();
+}
+
+void LineageCache::DropSpillFile(Entry* entry) {
+  if (!entry->spill_path.empty()) {
+    std::error_code ec;  // best effort; the file may already be gone
+    std::filesystem::remove(entry->spill_path, ec);
+  }
+  entry->spill_path.clear();
+  entry->spilled = false;
+}
+
+void LineageCache::RecordEvent(CacheEventKind kind, int64_t size_bytes,
+                               double score) {
+  if (events_ != nullptr) events_->Record(kind, size_bytes, score);
 }
 
 void LineageCache::EvictUntilFits() {
@@ -127,7 +160,8 @@ void LineageCache::EvictUntilFits() {
   std::vector<std::pair<double, LineageItemPtr>> order;
   order.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) {
-    if (entry->placeholder || entry->spilled || entry->value == nullptr) {
+    if (entry->placeholder || entry->spilled || entry->pinned ||
+        entry->value == nullptr) {
       continue;
     }
     order.emplace_back(Score(*entry), key);
@@ -145,6 +179,7 @@ void LineageCache::EvictUntilFits() {
     if (stats_ != nullptr) {
       stats_->evictions.fetch_add(1, std::memory_order_relaxed);
     }
+    RecordEvent(CacheEventKind::kEvict, entry.size_bytes, score);
     // Spill only when recomputation costs more than the estimated I/O time
     // (Sec. 4.3); otherwise delete.
     bool spilled = false;
@@ -152,6 +187,7 @@ void LineageCache::EvictUntilFits() {
         entry.compute_seconds >
             static_cast<double>(entry.size_bytes) / read_bandwidth_) {
       spilled = SpillEntry(&entry);
+      if (spilled) RecordEvent(CacheEventKind::kSpill, entry.size_bytes, score);
     }
     if (!spilled) entries_.erase(it);
   }
@@ -163,6 +199,7 @@ ReuseCache::ProbeResult LineageCache::Probe(const LineageItemPtr& key,
   while (true) {
     auto it = entries_.find(key);
     if (it == entries_.end()) {
+      RecordEvent(CacheEventKind::kMiss, 0);
       if (!claim) return {ProbeKind::kMiss, nullptr};
       auto entry = std::make_shared<Entry>();
       entry->placeholder = true;
@@ -190,10 +227,32 @@ ReuseCache::ProbeResult LineageCache::Probe(const LineageItemPtr& key,
     if (entry->spilled) {
       Status restored = RestoreEntry(entry.get());
       if (!restored.ok()) {
+        // Unreadable/corrupt spill file: drop the on-disk file too, or every
+        // failed restore leaks a lima_spill_* file in spill_dir_.
+        DropSpillFile(entry.get());
         entries_.erase(it);
-        continue;
+        continue;  // Re-probe: now a miss (and a claim, when requested).
       }
+      // Hold the value and pin the entry: the restore pushed size_bytes_
+      // back up, and EvictUntilFits could otherwise immediately re-spill or
+      // evict the just-restored entry, returning kHit with a null value.
+      DataPtr value = entry->value;
+      entry->pinned = true;
       EvictUntilFits();
+      entry->pinned = false;
+      RecordEvent(CacheEventKind::kHit, entry->size_bytes);
+      if (stats_ != nullptr) {
+        stats_->compute_saved_nanos.fetch_add(
+            static_cast<int64_t>(entry->compute_seconds * 1e9),
+            std::memory_order_relaxed);
+      }
+      return {ProbeKind::kHit, std::move(value)};
+    }
+    RecordEvent(CacheEventKind::kHit, entry->size_bytes);
+    if (stats_ != nullptr) {
+      stats_->compute_saved_nanos.fetch_add(
+          static_cast<int64_t>(entry->compute_seconds * 1e9),
+          std::memory_order_relaxed);
     }
     return {ProbeKind::kHit, entry->value};
   }
@@ -259,10 +318,19 @@ DataPtr LineageCache::Peek(const LineageItemPtr& key) {
   if (entry->placeholder) return nullptr;
   if (entry->spilled) {
     if (!RestoreEntry(entry.get()).ok()) {
+      DropSpillFile(entry.get());  // no orphan spill files on failure
       entries_.erase(it);
       return nullptr;
     }
+    // Same pinning as Probe: eviction must not null the value being handed
+    // out to the partial-rewrite matcher.
+    DataPtr value = entry->value;
+    entry->pinned = true;
     EvictUntilFits();
+    entry->pinned = false;
+    entry->refs++;
+    entry->last_access = ++clock_;
+    return value;
   }
   entry->refs++;
   entry->last_access = ++clock_;

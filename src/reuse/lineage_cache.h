@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/config.h"
+#include "obs/cache_events.h"
 #include "runtime/reuse_cache.h"
 #include "runtime/stats.h"
 
@@ -53,11 +54,20 @@ class LineageCache : public ReuseCache {
 
   RuntimeStats* stats() const { return stats_; }
 
+  /// Attaches a structured cache-event log (observability subsystem);
+  /// nullptr detaches. Events: hit/miss/evict/spill/restore/restore_fail
+  /// with sizes and eviction scores.
+  void set_event_log(CacheEventLog* events) { events_ = events; }
+
  private:
   struct Entry {
     DataPtr value;              ///< null while placeholder or spilled
     bool placeholder = false;
     bool spilled = false;
+    /// Pinned entries are skipped by the eviction scan. Set while a probe
+    /// hands out a freshly restored value so EvictUntilFits cannot re-spill
+    /// or delete it before the caller receives it (the null-hit bug).
+    bool pinned = false;
     std::string spill_path;
     double compute_seconds = 0;
     int64_t height = 0;         ///< lineage DAG height (DAG-Height policy)
@@ -92,10 +102,18 @@ class LineageCache : public ReuseCache {
   /// Restores a spilled entry from disk. Requires mu_.
   Status RestoreEntry(Entry* entry);
 
+  /// Deletes the entry's spill file (if any) and clears the spill state;
+  /// used when a restore fails so no orphan files are leaked. Requires mu_.
+  void DropSpillFile(Entry* entry);
+
+  /// Records into the event log when one is attached. Requires mu_.
+  void RecordEvent(CacheEventKind kind, int64_t size_bytes, double score = 0);
+
   std::string NextSpillPath();
 
   LimaConfig config_;
   RuntimeStats* stats_;
+  CacheEventLog* events_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   EntryMap entries_;

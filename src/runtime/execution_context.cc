@@ -86,6 +86,7 @@ void ExecutionContext::BindInput(const std::string& name, DataPtr value) {
 ExecutionContext ExecutionContext::MakeFunctionContext() const {
   ExecutionContext child(config_, program_, cache_, dedup_registry_, stats_);
   child.print_stream_ = print_stream_;
+  child.profiler_ = profiler_;  // same thread, same collector
   child.kernel_threads_ = kernel_threads_;
   child.call_depth_ = call_depth_ + 1;
   // Fresh symbols and lineage (function-local); no tracer (dedup loops are
@@ -100,6 +101,8 @@ ExecutionContext ExecutionContext::MakeWorkerContext() const {
   child.lineage_ = lineage_;
   child.call_depth_ = call_depth_;
   child.kernel_threads_ = 1;
+  // profiler_ stays null: ProfileCollector is not thread-safe, so ParForBlock
+  // assigns each worker its own collector and merges them at the join.
   return child;
 }
 

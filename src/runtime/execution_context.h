@@ -7,6 +7,7 @@
 #include "common/config.h"
 #include "lineage/dedup.h"
 #include "lineage/lineage_map.h"
+#include "obs/profiler.h"
 #include "runtime/reuse_cache.h"
 #include "runtime/stats.h"
 #include "runtime/symbol_table.h"
@@ -57,6 +58,13 @@ class ExecutionContext {
   DedupTracer* dedup_tracer() const { return dedup_tracer_; }
   void set_dedup_tracer(DedupTracer* tracer) { dedup_tracer_ = tracer; }
 
+  /// Per-opcode profile collector; nullptr when profiling is off (the only
+  /// hot-path cost of the observability subsystem is this null check).
+  /// Collectors are single-threaded: parfor swaps in worker-local
+  /// collectors and merges them back at the join (see ParForBlock).
+  ProfileCollector* profiler() const { return profiler_; }
+  void set_profiler(ProfileCollector* profiler) { profiler_ = profiler; }
+
   int call_depth() const { return call_depth_; }
 
   /// Lineage tracing master switch.
@@ -103,6 +111,7 @@ class ExecutionContext {
   LineageMap lineage_;
   std::ostream* print_stream_ = nullptr;
   DedupTracer* dedup_tracer_ = nullptr;
+  ProfileCollector* profiler_ = nullptr;
   int kernel_threads_ = 1;
   int call_depth_ = 0;
 };

@@ -116,8 +116,25 @@ Status ExecuteBlocks(const std::vector<BlockPtr>& blocks,
 }
 
 Status BasicBlock::ExecuteInstructions(ExecutionContext* ctx) const {
+  ProfileCollector* profiler = ctx->profiler();
   for (const std::unique_ptr<Instruction>& instruction : instructions_) {
-    Status status = instruction->Execute(ctx);
+    Status status;
+    if (profiler == nullptr) {
+      status = instruction->Execute(ctx);
+    } else {
+      // Per-opcode profiling (inclusive wall-time: a function-call
+      // instruction's time contains its body). Bytes processed are the
+      // sizes of the values the instruction produced.
+      StopWatch watch;
+      status = instruction->Execute(ctx);
+      const int64_t nanos = watch.ElapsedNanos();
+      int64_t bytes = 0;
+      for (const std::string& var : instruction->OutputVars()) {
+        DataPtr value = ctx->symbols().GetOrNull(var);
+        if (value != nullptr) bytes += value->SizeInBytes();
+      }
+      profiler->Record(instruction->opcode(), nanos, bytes);
+    }
     if (!status.ok()) {
       return Status(status.code(),
                     status.message() + " [in " + instruction->ToString() + "]");
@@ -306,6 +323,17 @@ Status ParForBlock::Execute(ExecutionContext* ctx) const {
   }
   std::vector<Status> worker_status(workers);
 
+  // Worker-local profile collectors, merged at the join below: no atomics
+  // or lock contention on the instruction hot path (Sec. 5.1 style
+  // low-overhead statistics).
+  std::vector<ProfileCollector> worker_profiles;
+  if (ctx->profiler() != nullptr) {
+    worker_profiles.resize(workers);
+    for (int w = 0; w < workers; ++w) {
+      worker_ctx[w].set_profiler(&worker_profiles[w]);
+    }
+  }
+
   const int64_t n = static_cast<int64_t>(range.size());
   const int64_t chunk = (n + workers - 1) / workers;
   ParallelFor(workers, workers, [&](int64_t w) {
@@ -326,6 +354,13 @@ Status ParForBlock::Execute(ExecutionContext* ctx) const {
       }
     }
   });
+  // Join: fold worker profiles into the parent collector (owned by the
+  // calling thread, so the merge itself is single-threaded).
+  if (ctx->profiler() != nullptr) {
+    for (const ProfileCollector& profile : worker_profiles) {
+      ctx->profiler()->Merge(profile);
+    }
+  }
   for (const Status& st : worker_status) LIMA_RETURN_NOT_OK(st);
 
   // Result merge: variables that existed before the loop and whose value

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace lima {
 
@@ -49,18 +51,47 @@ struct RuntimeStats {
     compute_saved_nanos = 0;
   }
 
+  /// Snapshot of every counter with its full name, in declaration order
+  /// (the profile report embeds this verbatim).
+  std::vector<std::pair<std::string, int64_t>> ToPairs() const {
+    return {
+        {"instructions_executed", instructions_executed.load()},
+        {"lineage_items_created", lineage_items_created.load()},
+        {"cache_probes", cache_probes.load()},
+        {"cache_hits", cache_hits.load()},
+        {"cache_misses", cache_misses.load()},
+        {"partial_reuse_hits", partial_reuse_hits.load()},
+        {"function_reuse_hits", function_reuse_hits.load()},
+        {"block_reuse_hits", block_reuse_hits.load()},
+        {"placeholder_waits", placeholder_waits.load()},
+        {"evictions", evictions.load()},
+        {"spills", spills.load()},
+        {"restores", restores.load()},
+        {"dedup_patches_created", dedup_patches_created.load()},
+        {"dedup_items_created", dedup_items_created.load()},
+        {"rewrite_nanos", rewrite_nanos.load()},
+        {"spill_nanos", spill_nanos.load()},
+        {"compute_saved_nanos", compute_saved_nanos.load()},
+    };
+  }
+
   std::string ToString() const {
     std::ostringstream out;
     out << "instructions=" << instructions_executed.load()
+        << " lineage_items=" << lineage_items_created.load()
         << " probes=" << cache_probes.load() << " hits=" << cache_hits.load()
         << " misses=" << cache_misses.load()
         << " partial=" << partial_reuse_hits.load()
         << " fn_hits=" << function_reuse_hits.load()
         << " blk_hits=" << block_reuse_hits.load()
+        << " waits=" << placeholder_waits.load()
         << " evictions=" << evictions.load() << " spills=" << spills.load()
         << " restores=" << restores.load()
         << " dedup_patches=" << dedup_patches_created.load()
-        << " dedup_items=" << dedup_items_created.load();
+        << " dedup_items=" << dedup_items_created.load()
+        << " rewrite_nanos=" << rewrite_nanos.load()
+        << " spill_nanos=" << spill_nanos.load()
+        << " compute_saved_nanos=" << compute_saved_nanos.load();
     return out.str();
   }
 };

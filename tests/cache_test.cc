@@ -1,11 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <thread>
+#include <vector>
 
 #include "reuse/lineage_cache.h"
 
 namespace lima {
 namespace {
+
+namespace fs = std::filesystem;
 
 LineageItemPtr Key(const std::string& name) {
   return LineageItem::Create("read", {}, name);
@@ -21,6 +29,40 @@ LimaConfig CacheConfig(int64_t budget = 1 << 20,
   config.cache_budget_bytes = budget;
   config.eviction_policy = policy;
   return config;
+}
+
+/// A fresh test-owned spill directory so orphan-file checks see only files
+/// written by the cache under test.
+fs::path MakeSpillDir(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("lima_cache_test_" + tag + "_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<fs::path> SpillFilesIn(const fs::path& dir) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind("lima_spill_", 0) == 0) {
+      files.push_back(entry.path());
+    }
+  }
+  return files;
+}
+
+/// Spills key "a" (the LRU-oldest of three spill-worthy 800 B entries) into
+/// `dir` and returns the cache; used by the failed-restore tests.
+std::unique_ptr<LineageCache> CacheWithSpilledA(const fs::path& dir,
+                                                RuntimeStats* stats) {
+  LimaConfig config = CacheConfig(2100, EvictionPolicy::kLru);
+  config.enable_spilling = true;
+  config.spill_dir = dir.string();
+  auto cache = std::make_unique<LineageCache>(config, stats);
+  cache->Put(Key("a"), Value(100, 42.0), /*compute_seconds=*/100.0);
+  cache->Put(Key("b"), Value(100, 2), 100.0);
+  cache->Put(Key("c"), Value(100, 3), 100.0);
+  return cache;
 }
 
 TEST(LineageCacheTest, MissClaimPutHit) {
@@ -217,6 +259,82 @@ TEST(LineageCacheTest, DoublePutKeepsFirstValue) {
   const MatrixPtr& m =
       static_cast<const MatrixData*>(hit.value.get())->matrix();
   EXPECT_DOUBLE_EQ(m->At(0, 0), 1.0);
+}
+
+TEST(LineageCacheTest, RestoredEntryNotReevictedBeforeHandoff) {
+  // Regression for the null-hit bug: restoring a spilled entry pushes the
+  // cache back over budget, and the eviction pass that follows must not
+  // re-spill or delete the entry whose value the probe is about to return.
+  RuntimeStats stats;
+  LimaConfig config = CacheConfig(2100, EvictionPolicy::kLru);
+  config.enable_spilling = true;
+  LineageCache cache(config, &stats);
+  LineageItemPtr a = Key("a");
+  cache.Put(a, Value(100, 42.0), /*compute_seconds=*/100.0);
+  cache.Put(Key("b"), Value(100, 2), 100.0);
+  cache.Put(Key("c"), Value(100, 3), 100.0);
+  ASSERT_GT(stats.spills.load(), 0);  // "a" (LRU-oldest) is on disk
+  // Shrink the budget below a single 800 B entry: the restore inside Probe
+  // immediately re-creates eviction pressure on the just-restored entry.
+  cache.SetBudget(400);
+  auto hit = cache.Probe(a, false);
+  ASSERT_EQ(hit.kind, ReuseCache::ProbeKind::kHit);
+  ASSERT_NE(hit.value, nullptr);
+  const MatrixPtr& m =
+      static_cast<const MatrixData*>(hit.value.get())->matrix();
+  EXPECT_DOUBLE_EQ(m->At(50, 0), 42.0);
+}
+
+TEST(LineageCacheTest, CorruptSpillHeaderYieldsMissAndNoOrphans) {
+  fs::path dir = MakeSpillDir("corrupt");
+  RuntimeStats stats;
+  auto cache = CacheWithSpilledA(dir, &stats);
+  std::vector<fs::path> files = SpillFilesIn(dir);
+  ASSERT_EQ(files.size(), 1u);
+  {
+    // Garbage dimensions that disagree with the size recorded at insertion;
+    // the restore must fail with IoError instead of allocating rows*cols.
+    std::ofstream out(files[0], std::ios::binary | std::ios::trunc);
+    int64_t rows = INT64_MAX / 16;
+    int64_t cols = INT64_MAX / 16;
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  }
+  auto probe = cache->Probe(Key("a"), false);
+  EXPECT_EQ(probe.kind, ReuseCache::ProbeKind::kMiss);
+  EXPECT_FALSE(cache->Contains(Key("a")));
+  EXPECT_TRUE(SpillFilesIn(dir).empty());  // failed restore leaks no file
+  cache.reset();
+  fs::remove_all(dir);
+}
+
+TEST(LineageCacheTest, TruncatedSpillFileDroppedOnPeek) {
+  fs::path dir = MakeSpillDir("trunc");
+  RuntimeStats stats;
+  auto cache = CacheWithSpilledA(dir, &stats);
+  std::vector<fs::path> files = SpillFilesIn(dir);
+  ASSERT_EQ(files.size(), 1u);
+  fs::resize_file(files[0], 4);  // shorter than the rows/cols header
+  EXPECT_EQ(cache->Peek(Key("a")), nullptr);
+  EXPECT_TRUE(SpillFilesIn(dir).empty());
+  cache.reset();
+  fs::remove_all(dir);
+}
+
+TEST(LineageCacheTest, MissingSpillFileReclaimsOnProbe) {
+  fs::path dir = MakeSpillDir("missing");
+  RuntimeStats stats;
+  auto cache = CacheWithSpilledA(dir, &stats);
+  std::vector<fs::path> files = SpillFilesIn(dir);
+  ASSERT_EQ(files.size(), 1u);
+  fs::remove(files[0]);
+  // The unreadable entry is dropped and the probing thread claims the key
+  // for recomputation, exactly like a first-time miss.
+  auto probe = cache->Probe(Key("a"), true);
+  EXPECT_EQ(probe.kind, ReuseCache::ProbeKind::kClaimed);
+  cache->Abort(Key("a"));
+  cache.reset();
+  fs::remove_all(dir);
 }
 
 TEST(LineageCacheTest, ConcurrentMixedWorkload) {

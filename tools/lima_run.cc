@@ -17,6 +17,9 @@
 //   --policy=lru|dagheight|costsize   cache eviction policy
 //   --spill                      enable disk spilling of evicted entries
 //   --stats                      print runtime/reuse statistics at exit
+//   --profile[=text|json|csv]    instruction-level profiling + cache-event
+//                                log; text goes to stderr (default), json/csv
+//                                are machine-readable and go to stdout
 //   --lineage=VAR                print the lineage log of VAR at exit
 //   --verify[=report|strict|only]  static program verification: report prints
 //                                diagnostics and runs anyway (default), strict
@@ -40,8 +43,9 @@ void PrintUsage() {
                "usage: lima_run [--mode=base|trace|lima|mlr] [--dedup] "
                "[--fusion]\n                [--assist] [--workers=N] "
                "[--budget-mb=N] [--policy=...]\n                [--spill] "
-               "[--stats] [--lineage=VAR]\n                "
-               "[--verify[=report|strict|only]] <script.dml | ->\n");
+               "[--stats] [--profile[=text|json|csv]] [--lineage=VAR]\n"
+               "                [--verify[=report|strict|only]] "
+               "<script.dml | ->\n");
 }
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -59,6 +63,7 @@ int main(int argc, char** argv) {
   LimaConfig config = LimaConfig::Lima();
   bool print_stats = false;
   bool verify_only = false;
+  std::string profile_format;  // empty = profiling off
   std::string lineage_var;
   std::string script_path;
   std::string value;
@@ -88,6 +93,16 @@ int main(int argc, char** argv) {
       config.enable_spilling = true;
     } else if (arg == "--stats") {
       print_stats = true;
+    } else if (arg == "--profile" || ParseFlag(arg, "profile", &value)) {
+      if (arg == "--profile" || value == "text") {
+        profile_format = "text";
+      } else if (value == "json" || value == "csv") {
+        profile_format = value;
+      } else {
+        std::fprintf(stderr, "unknown profile format: %s\n", value.c_str());
+        return 2;
+      }
+      config.profile = true;
     } else if (ParseFlag(arg, "workers", &value)) {
       config.parfor_workers = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "budget-mb", &value)) {
@@ -182,6 +197,16 @@ int main(int argc, char** argv) {
   if (print_stats) {
     std::fprintf(stderr, "elapsed: %.3fs\nstats: %s\n", seconds,
                  session.stats()->ToString().c_str());
+  }
+  if (!profile_format.empty()) {
+    lima::ProfileReport report = session.ProfileReport();
+    if (profile_format == "json") {
+      std::fputs(report.ToJson().c_str(), stdout);
+    } else if (profile_format == "csv") {
+      std::fputs(report.ToCsv().c_str(), stdout);
+    } else {
+      std::fputs(report.ToText().c_str(), stderr);
+    }
   }
   return 0;
 }
