@@ -5,7 +5,7 @@
 #
 #   scripts/ci.sh            # plain RelWithDebInfo build + ctest + verify
 #   scripts/ci.sh address    # ASan + UBSan
-#   scripts/ci.sh thread     # TSan
+#   scripts/ci.sh thread     # TSan, focused on the concurrency suites
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -30,7 +30,20 @@ esac
 
 cmake -B "$BUILD_DIR" -S "$ROOT" "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+if [[ "$SANITIZE" == "thread" ]]; then
+  # TSan runs target the multi-threaded paths: parfor workers + merge,
+  # shared reuse cache (placeholders, eviction, spilling), multi-level
+  # caching, and the loop-dependency serialization fallback. The full suite
+  # under TSan is an order of magnitude slower and adds no thread coverage.
+  # ctest names come from gtest_discover_tests, i.e. Suite.Case:
+  # ParforTest (parfor_test), ParforDependencyTest (parfor_dependency_test),
+  # LineageCacheTest (cache_test), MultiLevelTest (multilevel_test).
+  TSAN_TESTS='^(ParforTest|ParforDependencyTest|LineageCacheTest|MultiLevelTest)\.'
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+    --tests-regex "$TSAN_TESTS"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+fi
 
 # The static verifier must accept every shipped script with zero findings.
 for script in "$ROOT"/scripts/*.dml; do

@@ -1,0 +1,90 @@
+#ifndef LIMA_ANALYSIS_PARFOR_DEPENDENCY_H_
+#define LIMA_ANALYSIS_PARFOR_DEPENDENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "runtime/program.h"
+
+namespace lima {
+
+/// Compile-time parfor loop-dependency analysis (SystemDS-style candidate
+/// checks): a `parfor` may only fan its iterations out to worker threads
+/// when no iteration reads or overwrites data written by another iteration.
+/// The seed runtime skipped this entirely, so a script with cross-iteration
+/// indexed writes (`X[i+1, ] = ...` read as `X[i, ]`) silently raced and
+/// could poison the reuse cache with nondeterministic values.
+///
+/// The analysis runs in two phases:
+///
+///  1. AnalyzeParForStatement — over the AST body of one parfor statement.
+///     Every written variable is classified as *local* (defined before use
+///     in each iteration), *result* (per-iteration indexed write into a
+///     shared matrix), or *shared-conflict*. Result-variable subscripts are
+///     lowered to linear forms `a*i + b` in the loop variable (with
+///     symbolic loop-invariant coefficients) and pairs of accesses run
+///     through candidate dependency tests: disjoint-window, GCD, and
+///     Banerjee-style bound tests, with "unknown => dependent" fallback.
+///
+///  2. FinalizeParForAnalysis — over the compiled instruction streams, once
+///     function determinism is known (AnalyzeProgram): flags unseeded
+///     nondeterministic operations and nondeterministic callees inside
+///     parallel bodies via the opcode effect registry, then folds the
+///     verdict: no findings => kSafe, blocking finding => kReject (proven
+///     carried dependence), otherwise kSerialize.
+///
+/// Soundness assumptions (documented in docs/ANALYSIS.md): loop ranges are
+/// assumed forward (`from <= to`) when they execute, matching SystemDS's
+/// normalized-loop assumption; a parfor nested in degenerate reverse ranges
+/// falls back to kSerialize via the conservative tests.
+///
+/// Finding catalog (codes appear as `parfor-<code>` verifier diagnostics):
+///
+/// Blocking (verdict kReject):
+///   carried-dependence      subscript tests prove a cross-iteration
+///                           overlap between a write and a read/write
+///
+/// Non-blocking (verdict kSerialize):
+///   possible-dependence     dependence tests inconclusive for an access
+///                           pair (includes the unknown-subscript fallback)
+///   whole-read              a matrix written by iterations is also read
+///                           whole in the body
+///   scalar-accumulation     `s = s + ...` style read-modify-write of a
+///                           shared scalar
+///   read-overwritten        a variable is read before its per-iteration
+///                           definition and also written
+///   mixed-write             a result matrix is both indexed- and
+///                           whole-assigned in the body
+///   loop-var-write          the body assigns the parfor iteration variable
+///   nondet-op               unseeded nondeterministic operation (registry
+///                           determinism fact + instance seed state)
+///   nondet-call             call to a (transitively) nondeterministic or
+///                           dynamically dispatched function
+class ParForDependencyAnalyzer;  // implementation detail
+
+/// Phase 1: AST-level dependency analysis of one parfor statement
+/// (`stmt.kind == StmtKind::kFor && stmt.is_parfor`). Returns the
+/// annotation to attach to the compiled ParForBlock; `analyzed` is true.
+ParForDepInfo AnalyzeParForStatement(const StmtNode& stmt);
+
+/// Phase 2: instruction-level nondeterminism scan over every analyzed
+/// ParForBlock in `program`, using the opcode effect registry and the
+/// function-determinism facts computed by AnalyzeProgram. Recomputes each
+/// block's verdict from the merged finding list.
+void FinalizeParForAnalysis(Program* program);
+
+/// One annotated parfor block with verifier-style provenance.
+struct ParForBlockRef {
+  const ParForBlock* block = nullptr;
+  std::string function;  ///< "main" or the enclosing function name
+  std::string location;  ///< block path, e.g. "main/block[2]/body/block[0]"
+};
+
+/// All parfor blocks of a compiled program in DFS order (annotated or not);
+/// used by the verifier sweep and tests to assert whole-program verdicts.
+std::vector<ParForBlockRef> CollectParForBlocks(const Program& program);
+
+}  // namespace lima
+
+#endif  // LIMA_ANALYSIS_PARFOR_DEPENDENCY_H_

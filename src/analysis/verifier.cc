@@ -251,6 +251,22 @@ class Verifier {
         WalkBlocks(for_block.body(), &body_state, Sub(path, "body"));
         UnseedLoopBody(seeded);
         if (block.kind() == BlockKind::kParFor) {
+          // Surface the compile-time loop-dependency findings alongside the
+          // dataflow diagnostics: a proven carried dependence is an error
+          // (fails under VerifyMode::kStrict); everything the analysis
+          // merely failed to prove independent is a warning (the runtime
+          // serializes the loop).
+          const auto& parfor = static_cast<const ParForBlock&>(block);
+          if (parfor.dep_info().analyzed) {
+            for (const ParForFinding& finding : parfor.dep_info().findings) {
+              const int line = finding.source_line != 0
+                                   ? finding.source_line
+                                   : parfor.source_line();
+              Report(finding.blocking ? Diagnostic::Severity::kError
+                                      : Diagnostic::Severity::kWarning,
+                     "parfor-" + finding.code, finding.message, path, line);
+            }
+          }
           // Worker-local bindings are discarded; only overwrites of
           // pre-existing variables are merged back, so the enclosing state
           // is unchanged (removals happen in worker tables too).

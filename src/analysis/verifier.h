@@ -30,6 +30,8 @@ namespace lima {
 ///   missing-output            function can end without defining an output
 ///   fused-bad-source          fused step references an invalid source
 ///   registry-unsound          opcode registry self-lint violation
+///   parfor-carried-dependence parfor with a proven cross-iteration
+///                             dependence (analysis/parfor_dependency.h)
 ///
 /// Warnings:
 ///   maybe-use-before-def      read of a variable defined on some paths only
@@ -39,6 +41,9 @@ namespace lima {
 ///   fused-dead-step           fused step whose result is never consumed
 ///   fused-dead-operand        fused operand no step reads
 ///   maybe-missing-output      function output defined on some paths only
+///   parfor-*                  non-blocking loop-dependency findings (the
+///                             runtime serializes the loop); codes listed in
+///                             analysis/parfor_dependency.h
 class Diagnostic {
  public:
   enum class Severity { kError, kWarning };

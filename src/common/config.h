@@ -69,6 +69,13 @@ struct LimaConfig {
   /// Degree of parallelism for parfor loops (1 = sequential execution).
   int parfor_workers = 1;
 
+  /// Compile-time parfor loop-dependency analysis
+  /// (analysis/parfor_dependency.h). When on, every parfor is annotated
+  /// {safe, serialize, reject}; the runtime degrades unproven loops to one
+  /// worker, and proven carried dependences fail under VerifyMode::kStrict.
+  /// When off, parfor blocks run parallel unconditionally (seed behavior).
+  bool parfor_dependency_check = true;
+
   /// Degree of parallelism inside individual matrix kernels.
   int kernel_threads = 1;
 

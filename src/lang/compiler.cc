@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "analysis/parfor_dependency.h"
 #include "lang/fusion_pass.h"
 #include "lang/parser.h"
 #include "reuse/compiler_assist.h"
@@ -107,6 +108,12 @@ class Compiler {
     }
     if (config_.compiler_assist) {
       ApplyReuseAwareRewrites(program_.get());
+    }
+    if (config_.parfor_dependency_check) {
+      // Runs after AnalyzeProgram (function determinism fixpoint) and after
+      // every instruction rewrite, so the nondeterminism scan sees the
+      // instruction streams that will actually execute.
+      FinalizeParForAnalysis(program_.get());
     }
     return std::move(program_);
   }
@@ -832,6 +839,13 @@ class Compiler {
         FlushStatementTemps();
         CloseBasic();
         LIMA_RETURN_NOT_OK(CompileInto(block->mutable_body(), stmt.body));
+        if (stmt.is_parfor) {
+          auto* parfor = static_cast<ParForBlock*>(block.get());
+          parfor->set_source_line(stmt.line);
+          if (config_.parfor_dependency_check) {
+            *parfor->mutable_dep_info() = AnalyzeParForStatement(stmt);
+          }
+        }
         scopes_.back().blocks->push_back(std::move(block));
         EmitPredicateCleanup(std::move(pred_temps));
         return Status::OK();

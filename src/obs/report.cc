@@ -217,6 +217,12 @@ std::string ProfileReport::ToText() const {
                   static_cast<long long>(value));
     out << line;
   }
+  const int64_t serialized = Counter("parfor_serialized");
+  if (serialized > 0) {
+    out << "note: " << serialized
+        << " parfor loop(s) ran serialized (loop-dependency analysis could "
+           "not prove the iterations race-free; see lima_run --verify)\n";
+  }
   return out.str();
 }
 

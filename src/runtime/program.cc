@@ -293,13 +293,44 @@ Status WhileBlock::Execute(ExecutionContext* ctx) const {
   return Status::OK();
 }
 
+const char* ParForSafetyName(ParForSafety verdict) {
+  switch (verdict) {
+    case ParForSafety::kSafe:
+      return "safe";
+    case ParForSafety::kSerialize:
+      return "serialize";
+    case ParForSafety::kReject:
+      return "reject";
+  }
+  return "unknown";
+}
+
+std::string ParForDepInfo::ToString() const {
+  std::string out;
+  for (const auto& finding : findings) {
+    if (!out.empty()) out += "\n";
+    out += "parfor(line " + std::to_string(finding.source_line) + ") " +
+           std::string(ParForSafetyName(verdict)) + ": " + finding.code +
+           ": " + finding.message;
+  }
+  return out;
+}
+
 Status ParForBlock::Execute(ExecutionContext* ctx) const {
   LIMA_ASSIGN_OR_RETURN(std::vector<int64_t> range, EvaluateRange(ctx));
   if (range.empty()) return Status::OK();
 
-  const int workers = std::max(
+  int workers = std::max(
       1, std::min<int>(ctx->config().parfor_workers,
                        static_cast<int>(range.size())));
+  // Honor the compile-time loop-dependency verdict: unless the analysis
+  // proved the iterations race-free, degrade to one worker so results and
+  // lineage match the sequential loop bit for bit.
+  if (dep_info_.analyzed && dep_info_.verdict != ParForSafety::kSafe &&
+      workers > 1) {
+    workers = 1;
+    ctx->stats()->parfor_serialized.fetch_add(1, std::memory_order_relaxed);
+  }
   if (workers == 1) {
     // Degenerate case: plain sequential loop semantics.
     for (int64_t value : range) {

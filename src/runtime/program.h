@@ -159,15 +159,62 @@ class ForBlock : public ProgramBlock {
   LoopDedupInfo dedup_info_;
 };
 
+/// Verdict of the compile-time parfor loop-dependency analysis
+/// (analysis/parfor_dependency.h): parallel iterations are only sound when
+/// no iteration reads or overwrites data another iteration writes.
+enum class ParForSafety {
+  kSafe,       ///< iterations proven independent; run parallel
+  kSerialize,  ///< independence unproven; degrade to sequential execution
+  kReject,     ///< carried dependence proven; error under strict verification
+};
+
+const char* ParForSafetyName(ParForSafety verdict);
+
+/// One dependency-analysis finding, with provenance like the verifier's
+/// diagnostics. `blocking` findings prove a carried dependence (verdict
+/// kReject); non-blocking ones only fail to prove independence (kSerialize).
+struct ParForFinding {
+  bool blocking = false;
+  std::string code;     ///< stable identifier, e.g. "carried-dependence"
+  std::string message;  ///< human-readable description
+  int source_line = 0;  ///< 1-based script line; 0 = unknown
+};
+
+/// Dependency-analysis annotation of one parfor block, filled at compile
+/// time. Unanalyzed blocks (hand-built programs, analysis disabled) keep
+/// `analyzed == false` and execute parallel as before.
+struct ParForDepInfo {
+  bool analyzed = false;
+  ParForSafety verdict = ParForSafety::kSafe;
+  std::vector<ParForFinding> findings;
+
+  /// One line per finding: "parfor(line N) verdict: code: message".
+  std::string ToString() const;
+};
+
 /// Task-parallel parfor (Sec. 3.3): iterations are distributed over worker
 /// threads with worker-local symbol tables and lineage; results (variables
 /// that existed before the loop and were overwritten) are merged back, and
 /// their lineage is linearized into a "parfor-merge" item. Workers share
 /// the lineage cache (thread-safe, with placeholders — Sec. 4.1).
+///
+/// A compiled parfor carries the loop-dependency verdict; Execute degrades
+/// to one worker unless the analysis proved the iterations race-free.
 class ParForBlock : public ForBlock {
  public:
   BlockKind kind() const override { return BlockKind::kParFor; }
   Status Execute(ExecutionContext* ctx) const override;
+
+  ParForDepInfo* mutable_dep_info() { return &dep_info_; }
+  const ParForDepInfo& dep_info() const { return dep_info_; }
+
+  /// 1-based script line of the parfor header; 0 = unknown.
+  int source_line() const { return source_line_; }
+  void set_source_line(int line) { source_line_ = line; }
+
+ private:
+  ParForDepInfo dep_info_;
+  int source_line_ = 0;
 };
 
 /// while (pred) { ... }.

@@ -27,6 +27,7 @@ struct RuntimeStats {
   std::atomic<int64_t> restores{0};
   std::atomic<int64_t> dedup_patches_created{0};
   std::atomic<int64_t> dedup_items_created{0};
+  std::atomic<int64_t> parfor_serialized{0};
   std::atomic<int64_t> rewrite_nanos{0};
   std::atomic<int64_t> spill_nanos{0};
   std::atomic<int64_t> compute_saved_nanos{0};
@@ -46,6 +47,7 @@ struct RuntimeStats {
     restores = 0;
     dedup_patches_created = 0;
     dedup_items_created = 0;
+    parfor_serialized = 0;
     rewrite_nanos = 0;
     spill_nanos = 0;
     compute_saved_nanos = 0;
@@ -69,6 +71,7 @@ struct RuntimeStats {
         {"restores", restores.load()},
         {"dedup_patches_created", dedup_patches_created.load()},
         {"dedup_items_created", dedup_items_created.load()},
+        {"parfor_serialized", parfor_serialized.load()},
         {"rewrite_nanos", rewrite_nanos.load()},
         {"spill_nanos", spill_nanos.load()},
         {"compute_saved_nanos", compute_saved_nanos.load()},
@@ -89,6 +92,7 @@ struct RuntimeStats {
         << " restores=" << restores.load()
         << " dedup_patches=" << dedup_patches_created.load()
         << " dedup_items=" << dedup_items_created.load()
+        << " parfor_serialized=" << parfor_serialized.load()
         << " rewrite_nanos=" << rewrite_nanos.load()
         << " spill_nanos=" << spill_nanos.load()
         << " compute_saved_nanos=" << compute_saved_nanos.load();

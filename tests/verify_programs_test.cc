@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "algorithms/scripts.h"
+#include "analysis/parfor_dependency.h"
 #include "analysis/verifier.h"
 #include "bench/pipelines.h"
 #include "lang/compiler.h"
@@ -50,6 +51,17 @@ void ExpectVerifies(const std::string& label, const std::string& source) {
         << label << " (fusion=" << config.operator_fusion
         << ", assist=" << config.compiler_assist << "):\n"
         << report.ToString();
+    // Every shipped parfor must be proven race-free: a serialize verdict on
+    // a bundled script is a performance regression (the loop silently runs
+    // on one worker), so it fails here even though it is only a warning in
+    // the verifier report.
+    for (const ParForBlockRef& parfor : CollectParForBlocks(**program)) {
+      ASSERT_TRUE(parfor.block->dep_info().analyzed)
+          << label << ": " << parfor.function << " " << parfor.location;
+      EXPECT_EQ(parfor.block->dep_info().verdict, ParForSafety::kSafe)
+          << label << ": " << parfor.function << " " << parfor.location
+          << ":\n" << parfor.block->dep_info().ToString();
+    }
   }
 }
 

@@ -24,7 +24,12 @@
 //   --verify[=report|strict|only]  static program verification: report prints
 //                                diagnostics and runs anyway (default), strict
 //                                fails on verification errors, only verifies
-//                                without executing
+//                                without executing. Parfor loop-dependency
+//                                findings (parfor-*) appear in the same report
+//   --parfor-check=on|off        compile-time parfor loop-dependency analysis
+//                                (default: on). Unproven loops run with one
+//                                worker; proven carried dependences are
+//                                errors under --verify=strict
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -45,7 +50,7 @@ void PrintUsage() {
                "[--budget-mb=N] [--policy=...]\n                [--spill] "
                "[--stats] [--profile[=text|json|csv]] [--lineage=VAR]\n"
                "                [--verify[=report|strict|only]] "
-               "<script.dml | ->\n");
+               "[--parfor-check=on|off]\n                <script.dml | ->\n");
 }
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -105,6 +110,15 @@ int main(int argc, char** argv) {
       config.profile = true;
     } else if (ParseFlag(arg, "workers", &value)) {
       config.parfor_workers = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "parfor-check", &value)) {
+      if (value == "on") {
+        config.parfor_dependency_check = true;
+      } else if (value == "off") {
+        config.parfor_dependency_check = false;
+      } else {
+        std::fprintf(stderr, "unknown parfor-check mode: %s\n", value.c_str());
+        return 2;
+      }
     } else if (ParseFlag(arg, "budget-mb", &value)) {
       config.cache_budget_bytes = int64_t{1024} * 1024 * std::atoll(value.c_str());
     } else if (ParseFlag(arg, "policy", &value)) {
