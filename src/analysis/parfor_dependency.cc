@@ -340,6 +340,29 @@ std::optional<Window> MakeWindow(const DimAccess& dim, const Access& access,
 
 int64_t Gcd(int64_t a, int64_t b) { return std::gcd(std::abs(a), std::abs(b)); }
 
+/// Facts both access sites may rely on together. Facts about a loop
+/// variable are site-specific (two sibling loops can reuse one name with
+/// different ranges), so only facts about symbols that are a loop variable
+/// at *neither* site survive the merge — those are loop-invariant, and a
+/// collision scenario executes both sites, establishing the fact globally.
+FactSet SharedInvariantFacts(const Access& a1, const Access& a2) {
+  auto is_range_var = [](const Access& a, const std::string& name) {
+    for (const auto& range : a.ranges) {
+      if (range.var == name) return true;
+    }
+    return false;
+  };
+  FactSet shared;
+  for (const FactSet* site : {&a1.facts, &a2.facts}) {
+    for (const auto& name : *site) {
+      if (!is_range_var(a1, name) && !is_range_var(a2, name)) {
+        shared.insert(name);
+      }
+    }
+  }
+  return shared;
+}
+
 DimResult TestDim(const DimAccess& d1, const Access& a1, const DimAccess& d2,
                   const Access& a2, const std::string& loop_var,
                   const ParForBounds& bounds, const FactSet& facts) {
@@ -353,8 +376,15 @@ DimResult TestDim(const DimAccess& d1, const Access& a1, const DimAccess& d2,
     return result;
   }
 
-  auto w1 = MakeWindow(d1, a1, loop_var, facts);
-  auto w2 = MakeWindow(d2, a2, loop_var, facts);
+  // Each window is extremized under its own site's facts (plus the shared
+  // invariant facts in `facts`); a sibling site's loop-variable facts must
+  // not leak into the other site's coefficient-sign decisions.
+  FactSet f1 = facts;
+  f1.insert(a1.facts.begin(), a1.facts.end());
+  FactSet f2 = facts;
+  f2.insert(a2.facts.begin(), a2.facts.end());
+  auto w1 = MakeWindow(d1, a1, loop_var, f1);
+  auto w2 = MakeWindow(d2, a2, loop_var, f2);
   if (!w1.has_value() || !w2.has_value()) return result;
 
   if (w1->c == w2->c) {
@@ -484,8 +514,7 @@ PairResult TestPair(const Access& a1, const Access& a2,
                     const std::string& loop_var, const ParForBounds& bounds) {
   PairResult result;
   if (a1.dims.empty() || a1.dims.size() != a2.dims.size()) return result;
-  FactSet facts = a1.facts;
-  facts.insert(a2.facts.begin(), a2.facts.end());
+  const FactSet facts = SharedInvariantFacts(a1, a2);
 
   std::vector<DimResult> dims;
   dims.reserve(a1.dims.size());
@@ -806,42 +835,53 @@ void BodyWalker::EnterLoop(const StmtNode& stmt, size_t* pushed_facts,
     }
   };
 
-  // ">= 1" facts under the forward-range assumption (from <= var <= to for
-  // every executed iteration; see docs/ANALYSIS.md).
-  if (from.has_value()) {
-    auto from_const = from->AsConst();
-    bool from_at_least_one = from_const.has_value() && *from_const >= 1;
-    if (!from_at_least_one && from->terms.size() == 1) {
-      const auto& [mono, coeff] = *from->terms.begin();
-      from_at_least_one =
-          mono.size() == 1 && coeff == 1 && facts_.count(mono[0]) > 0;
+  // Invariant upper-bound fact under the forward-range assumption: the body
+  // only executes after at least one iteration started, so to >= from >= 1
+  // when the range runs forward (see docs/ANALYSIS.md).
+  if (simple_step && from.has_value() && PolyAtLeast(*from, 1, facts_) &&
+      to.has_value() && to->terms.size() == 1) {
+    const auto& [mono, coeff] = *to->terms.begin();
+    if (mono.size() == 1 && coeff == 1 && IsInvariantSymbol(mono[0])) {
+      push_fact(mono[0]);
     }
-    if (from_at_least_one && simple_step) {
-      if (clean_var) push_fact(stmt.loop_var);
-      if (to.has_value() && to->terms.size() == 1) {
-        const auto& [mono, coeff] = *to->terms.begin();
-        if (mono.size() == 1 && coeff == 1 && IsInvariantSymbol(mono[0])) {
-          push_fact(mono[0]);
-        }
-      }
+  }
+
+  // Range direction. EvaluateRange walks from..to *downward* when
+  // from > to ('for (j in n:1)' runs n..1, not zero iterations), so a
+  // symbolic range is only usable as a value hull once its direction is
+  // provable under the active facts; otherwise the variable stays unbounded
+  // and subscripts containing it degrade to unknown (serialize).
+  enum class Dir { kUnknown, kForward, kReversed };
+  Dir dir = Dir::kUnknown;
+  if (simple_step && from.has_value() && to.has_value()) {
+    auto fwd = PolySub(*to, *from);
+    auto rev = PolySub(*from, *to);
+    if (fwd.has_value() && PolyNonneg(*fwd, facts_)) {
+      dir = Dir::kForward;
+    } else if (rev.has_value() && PolyNonneg(*rev, facts_)) {
+      dir = Dir::kReversed;
+    }
+  }
+
+  // Loop-variable ">= 1" fact: the smallest iterate is the lower end of
+  // the value hull — `from` forward (also the assumed direction while
+  // unproven), but `to` on a proven-downward range.
+  if (clean_var && simple_step) {
+    const std::optional<Poly>& min_end = dir == Dir::kReversed ? to : from;
+    if (min_end.has_value() && PolyAtLeast(*min_end, 1, facts_)) {
+      push_fact(stmt.loop_var);
     }
   }
 
   if (clean_var) {
     LoopRange range;
     range.var = stmt.loop_var;
-    if (simple_step) {
+    if (dir == Dir::kForward) {
       range.lo = from;
       range.hi = to;
-      // A reversed literal range iterates downward; use the value hull.
-      if (from.has_value() && to.has_value()) {
-        auto fc = from->AsConst();
-        auto tc = to->AsConst();
-        if (fc.has_value() && tc.has_value() && *fc > *tc) {
-          range.lo = to;
-          range.hi = from;
-        }
-      }
+    } else if (dir == Dir::kReversed) {
+      range.lo = to;
+      range.hi = from;
     }
     ranges_.push_back(std::move(range));
     *pushed_range = true;
@@ -1035,11 +1075,14 @@ void BodyWalker::Classify(ParForDepInfo* info) {
                  vi.shared_read_line);
       continue;
     }
-    // Unread whole-variable overwrite: the runtime merges workers in
-    // ascending chunk order, so the surviving value is the one from the
-    // highest iteration that wrote — exactly the sequential outcome. Only
-    // reads can observe another iteration's value, and those are flagged
-    // above.
+    // Unread whole-variable overwrite: no finding — the loop may stay
+    // parallel — but the merge must take the last writer wholesale (workers
+    // merge in ascending chunk order, so last writer == highest iteration
+    // that wrote == the sequential outcome). The cell-wise diff used for
+    // sliced results would let an earlier worker's value survive whenever
+    // the last write restores a cell's initial value, so annotate the
+    // variable for ParForBlock's result merge.
+    info->plain_overwrites.push_back(name);
   }
 }
 

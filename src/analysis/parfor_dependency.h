@@ -34,10 +34,14 @@ namespace lima {
 ///     verdict: no findings => kSafe, blocking finding => kReject (proven
 ///     carried dependence), otherwise kSerialize.
 ///
-/// Soundness assumptions (documented in docs/ANALYSIS.md): loop ranges are
-/// assumed forward (`from <= to`) when they execute, matching SystemDS's
-/// normalized-loop assumption; a parfor nested in degenerate reverse ranges
-/// falls back to kSerialize via the conservative tests.
+/// Soundness assumptions (documented in docs/ANALYSIS.md): ">= 1" loop
+/// facts use SystemDS's normalized-loop assumption (a range whose body
+/// executes ran forward). Inner-loop value hulls make no such assumption:
+/// the runtime walks `from..to` downward when `from > to`, so a range
+/// whose direction is not provable under the active facts leaves its
+/// variable unbounded and dependent subscripts fall back to kSerialize.
+/// Facts about loop variables are site-specific; only loop-invariant
+/// symbol facts are shared when two access sites are compared.
 ///
 /// Finding catalog (codes appear as `parfor-<code>` verifier diagnostics):
 ///

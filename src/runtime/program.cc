@@ -396,8 +396,11 @@ Status ParForBlock::Execute(ExecutionContext* ctx) const {
 
   // Result merge: variables that existed before the loop and whose value
   // changed in some worker. Matrices merge cell-wise diffs against the
-  // initial value (disjoint left-indexing writes); other types take the
-  // last writer in worker order.
+  // initial value (disjoint left-indexing writes); other types — and
+  // matrices the analysis marked as whole-variable overwrites — take the
+  // last writer in worker order, which equals the sequential outcome
+  // because workers cover ascending iteration chunks.
+  const std::vector<std::string>& plain = dep_info_.plain_overwrites;
   for (const auto& [name, init_value] : initial.variables()) {
     std::vector<int> changed_workers;
     for (int w = 0; w < workers; ++w) {
@@ -410,7 +413,9 @@ Status ParForBlock::Execute(ExecutionContext* ctx) const {
 
     std::vector<LineageItemPtr> merge_inputs;
     DataPtr merged;
-    bool cellwise = init_value->type() == DataType::kMatrix;
+    bool cellwise =
+        init_value->type() == DataType::kMatrix &&
+        std::find(plain.begin(), plain.end(), name) == plain.end();
     MatrixPtr init_matrix;
     if (cellwise) {
       init_matrix = static_cast<const MatrixData*>(init_value.get())->matrix();

@@ -188,6 +188,13 @@ struct ParForDepInfo {
   ParForSafety verdict = ParForSafety::kSafe;
   std::vector<ParForFinding> findings;
 
+  /// Variables the body whole-assigns (and never indexed-writes): the
+  /// result merge must take the last writer in worker order wholesale
+  /// instead of the cell-wise diff used for sliced results — a late write
+  /// that restores a cell's initial value would otherwise let an earlier
+  /// worker's differing cell survive the diff.
+  std::vector<std::string> plain_overwrites;
+
   /// One line per finding: "parfor(line N) verdict: code: message".
   std::string ToString() const;
 };

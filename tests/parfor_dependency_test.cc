@@ -199,6 +199,19 @@ TEST(ParforDependencyTest, SeededRandIsSafe) {
   EXPECT_TRUE(info.findings.empty()) << info.ToString();
 }
 
+TEST(ParforDependencyTest, ReversedLiteralInnerRangeIsSafe) {
+  // A literal downward range has a provable value hull [1, 3]; the row
+  // writes stay disjoint in the parfor dimension.
+  ParForDepInfo info = Analyze(R"(
+    X = matrix(0, 8, 3);
+    parfor (i in 1:8) {
+      for (j in 3:1) { X[i, j] = i + j; }
+    }
+  )");
+  EXPECT_EQ(info.verdict, ParForSafety::kSafe);
+  EXPECT_TRUE(info.findings.empty()) << info.ToString();
+}
+
 // --- reject: a cross-iteration dependence is proven ------------------------
 
 TEST(ParforDependencyTest, CarriedReadWriteIsRejected) {
@@ -351,6 +364,60 @@ TEST(ParforDependencyTest, UnseededRandSerializes) {
       << info.ToString();
 }
 
+TEST(ParforDependencyTest, ReversedSymbolicInnerRangeSerializes) {
+  // `for (j in n:1)` runs n..1 downward, so j spans [1, n] and the window
+  // [i+1, i+n] overlaps between parfor iterations. The hull must not be
+  // inverted into [n, 1] — that made the disjointness gap come out as
+  // `n >= 1` and let the racy loop run parallel.
+  ParForDepInfo info = Analyze(R"(
+    n = 5;
+    X = matrix(1, 10, 1);
+    parfor (i in 1:n) {
+      for (j in n:1) { X[i + j, 1] = as.scalar(X[i + j, 1]) * 2; }
+    }
+  )");
+  EXPECT_EQ(info.verdict, ParForSafety::kSerialize);
+  EXPECT_TRUE(HasFinding(info, "possible-dependence", "cannot prove"))
+      << info.ToString();
+}
+
+TEST(ParforDependencyTest, UnknownDirectionInnerRangeSerializes) {
+  // `for (j in 5:k)`: k >= 5 is not provable, so the range direction — and
+  // with it the value hull of j — is unknown and the subscript degrades
+  // to the conservative bottom.
+  ParForDepInfo info = Analyze(R"(
+    k = 9;
+    X = matrix(0, 20, 1);
+    parfor (i in 1:5) {
+      for (j in 5:k) { X[i + j, 1] = i; }
+    }
+  )");
+  EXPECT_EQ(info.verdict, ParForSafety::kSerialize);
+  EXPECT_TRUE(HasFinding(info, "possible-dependence", "cannot prove"))
+      << info.ToString();
+}
+
+TEST(ParforDependencyTest, SiblingLoopFactsStaySiteLocal) {
+  // Two sibling loops reuse the variable name j: the first establishes
+  // j >= 1 at its site, the second runs j through negative values. The
+  // first site's fact must not leak into the second site's window
+  // extremization (the sign of j, coefficient of l, is unknown there), so
+  // the loop serializes instead of "proving" the windows disjoint.
+  ParForDepInfo info = Analyze(R"(
+    m = 2;
+    X = matrix(0, 100, 1);
+    parfor (i in 1:4) {
+      for (j in 1:5) { X[5 * i + j, 1] = i; }
+      for (j in (0 - 5):(0 - 1)) {
+        for (l in 1:m) { X[60 + 5 * i + j * l, 1] = i; }
+      }
+    }
+  )");
+  EXPECT_EQ(info.verdict, ParForSafety::kSerialize);
+  EXPECT_TRUE(HasFinding(info, "possible-dependence", "cannot prove"))
+      << info.ToString();
+}
+
 TEST(ParforDependencyTest, NondeterministicCalleeSerializes) {
   // Function determinism comes from AnalyzeProgram; phase 2 folds it in.
   ParForDepInfo info = Analyze(R"(
@@ -445,6 +512,42 @@ TEST(ParforDependencyTest, SerializedLineageMatchesSingleWorker) {
   EXPECT_EQ(CanonicalizeLineageIds(*lineage_one),
             CanonicalizeLineageIds(*lineage_many));
   EXPECT_EQ(many->stats()->parfor_serialized.load(), 1);
+}
+
+TEST(ParforDependencyTest, ReversedInnerRangeLoopRunsSerialized) {
+  // Runtime companion to ReversedSymbolicInnerRangeSerializes: the loop
+  // carries real cross-iteration read/write overlap, so the parallel
+  // session must fall back to one worker and match the sequential result.
+  const char* script = R"(
+    n = 5;
+    X = matrix(1, 10, 1);
+    parfor (i in 1:n) {
+      for (j in n:1) { X[i + j, 1] = as.scalar(X[i + j, 1]) * 2; }
+    }
+    s = sum(X);
+  )";
+  auto seq = RunWith(script, Workers(1));
+  auto par = RunWith(script, Workers(4));
+  EXPECT_DOUBLE_EQ(*par->GetDouble("s"), *seq->GetDouble("s"));
+  EXPECT_EQ(par->stats()->parfor_serialized.load(), 1);
+}
+
+TEST(ParforDependencyTest, WholeMatrixOverwriteMergesLastWriter) {
+  // M is whole-assigned every iteration and never read: the loop stays
+  // parallel (verdict safe) and the merge must reproduce the sequential
+  // last-iteration value even though iteration 4 writes cells equal to
+  // M's initial value — a cell-wise diff merge would keep an earlier
+  // worker's value and make the result depend on the worker count.
+  const char* script = R"(
+    M = matrix(4, 2, 2);
+    parfor (i in 1:4) { M = matrix(i, 2, 2); }
+    s = sum(M);
+  )";
+  auto seq = RunWith(script, Workers(1));
+  auto par = RunWith(script, Workers(4));
+  EXPECT_DOUBLE_EQ(*seq->GetDouble("s"), 16.0);
+  EXPECT_DOUBLE_EQ(*par->GetDouble("s"), 16.0);
+  EXPECT_EQ(par->stats()->parfor_serialized.load(), 0);
 }
 
 TEST(ParforDependencyTest, SafeLoopStaysParallel) {
