@@ -4,6 +4,7 @@
 // probe throughput, and dedup-patch evaluation.
 #include <benchmark/benchmark.h>
 
+#include "analysis/opcode_registry.h"
 #include "lineage/dedup.h"
 #include "lineage/serialize.h"
 #include "reuse/lineage_cache.h"
@@ -115,6 +116,37 @@ void MicroCacheProbeMiss(benchmark::State& state) {
   state.SetItemsProcessed(probes);
 }
 BENCHMARK(MicroCacheProbeMiss);
+
+void MicroOpcodeIntern(benchmark::State& state) {
+  // Hot-path cost of turning an opcode spelling into its id: catalog names
+  // resolve through the shared intern table (read lock + hash lookup).
+  static const char* kNames[] = {"+", "mm", "tsmm", "colSums", "rightindex",
+                                 "exp", "solve", "L", "sum", "cbind"};
+  int64_t interned = 0;
+  for (auto _ : state) {
+    OpcodeId id = InternOpcode(kNames[interned % 10]);
+    benchmark::DoNotOptimize(id);
+    ++interned;
+  }
+  state.SetItemsProcessed(interned);
+}
+BENCHMARK(MicroOpcodeIntern);
+
+void MicroOpcodeEffectLookup(benchmark::State& state) {
+  // Id-keyed effect lookup (O(1) vector index) — the query the rewrite and
+  // replay layers issue instead of opcode string chains.
+  static const OpcodeId kIds[] = {InternOpcode("+"), InternOpcode("mm"),
+                                  InternOpcode("tsmm"), InternOpcode("colSums"),
+                                  InternOpcode("rightindex")};
+  int64_t lookups = 0;
+  for (auto _ : state) {
+    const OpcodeEffect* effect = LookupOpcode(kIds[lookups % 5]);
+    benchmark::DoNotOptimize(effect);
+    ++lookups;
+  }
+  state.SetItemsProcessed(lookups);
+}
+BENCHMARK(MicroOpcodeEffectLookup);
 
 void MicroDedupPatchEvaluation(benchmark::State& state) {
   // A 40-node patch evaluated per iteration (the lite-mode hot path).

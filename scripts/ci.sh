@@ -51,6 +51,17 @@ for script in "$ROOT"/scripts/*.dml; do
   "$BUILD_DIR/tools/lima_run" --verify=only "$script"
 done
 
+# Catalog-coverage gate: every verifier run re-lints the operator catalog
+# itself (registry-unsound) and its factory coverage (replay-uncovered: a
+# reusable opcode lineage replay could not reconstruct), independent of the
+# program being verified. A minimal program therefore fails CI on any
+# catalog/factory drift even if the shipped scripts never hit the opcode.
+echo "catalog coverage gate: lima_run --verify=only"
+"$BUILD_DIR/tools/lima_run" --verify=only - <<'EOF'
+X = rand(rows=4, cols=4, seed=1);
+result = sum(t(X) %*% X);
+EOF
+
 # Profiling smoke: --profile=json must emit a single valid JSON document
 # whose opcode totals are non-zero and whose cache-event counts reconcile
 # with the RuntimeStats counters (see docs/OBSERVABILITY.md).

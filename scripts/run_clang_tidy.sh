@@ -22,8 +22,11 @@ fi
 
 PATHS=("$@")
 if [[ ${#PATHS[@]} -eq 0 ]]; then
+  # Whole hardened subsystems plus the catalog-refactor surface in
+  # src/runtime (the factory and its replay consumer).
   PATHS=("$ROOT/src/lineage" "$ROOT/src/reuse" "$ROOT/src/analysis"
-         "$ROOT/src/obs")
+         "$ROOT/src/obs" "$ROOT/src/runtime/instruction_factory.cc"
+         "$ROOT/src/runtime/reconstruct.cc")
 fi
 
 FILES=()

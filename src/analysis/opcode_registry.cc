@@ -1,6 +1,11 @@
 #include "analysis/opcode_registry.h"
 
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
+
+#include "common/check.h"
 
 namespace lima {
 
@@ -73,13 +78,19 @@ std::vector<OpcodeEffect> BuildRegistry() {
   // --- Matrix multiplications and factorizations -----------------------
   ops.push_back(Compute("mm", 2, /*reusable=*/true));
   ops.push_back(Compute("tsmm", 1, /*reusable=*/true));
-  // Legacy SystemDS opcode kept in the reusable set for lineage-log
-  // compatibility; no current constructor emits it.
+  // Legacy SystemDS opcode (X %*% t(X)) kept in the reusable set for
+  // lineage-log compatibility; replayable via the instruction factory even
+  // though no current compiler rewrite emits it.
   ops.push_back(Compute("tmm", 1, /*reusable=*/true));
   ops.push_back(Compute("solve", 2, /*reusable=*/true));
   ops.push_back(Compute("cholesky", 1, /*reusable=*/true));
   ops.push_back(Compute("eigen", 1, /*reusable=*/true, /*outputs=*/2));
-  ops.push_back(Compute("tsmm_cbind", 2, /*reusable=*/true));
+  {
+    // Traces as tsmm(cbind(A, B)) — never as a "tsmm_cbind" lineage node.
+    OpcodeEffect tsmm_cbind = Compute("tsmm_cbind", 2, /*reusable=*/true);
+    tsmm_cbind.lineage_transparent = true;
+    ops.push_back(tsmm_cbind);
+  }
 
   // --- Reorganizations and indexing ------------------------------------
   ops.push_back(Compute("t", 1, /*reusable=*/true));
@@ -100,6 +111,8 @@ std::vector<OpcodeEffect> BuildRegistry() {
     OpcodeEffect fused = Compute("fused", -1, /*reusable=*/true);
     fused.min_inputs = 1;
     fused.max_inputs = -1;
+    // Traces as the per-step unfused items — never as a "fused" node.
+    fused.lineage_transparent = true;
     ops.push_back(fused);
   }
 
@@ -240,7 +253,92 @@ const std::unordered_map<std::string_view, const OpcodeEffect*>& Index() {
   return *index;
 }
 
+/// The process-wide intern table. Catalog opcodes are interned eagerly at
+/// construction (so catalog opcode i always has id i); everything else is
+/// added on demand under the lock. Name storage is a deque: growth never
+/// invalidates references to existing strings, so OpcodeName can hand out
+/// stable `const std::string&`.
+struct InternTable {
+  InternTable() {
+    for (const OpcodeEffect& effect : AllOpcodeEffects()) {
+      names.emplace_back(effect.opcode);
+      index.emplace(names.back(), static_cast<int32_t>(names.size()) - 1);
+    }
+    num_catalog = static_cast<int32_t>(names.size());
+  }
+
+  mutable std::shared_mutex mutex;
+  std::unordered_map<std::string_view, int32_t> index;  ///< keys into `names`
+  std::deque<std::string> names;
+  int32_t num_catalog = 0;
+};
+
+InternTable& Interns() {
+  static auto* table = new InternTable();
+  return *table;
+}
+
 }  // namespace
+
+OpcodeId InternOpcode(std::string_view name) {
+  InternTable& table = Interns();
+  {
+    std::shared_lock<std::shared_mutex> lock(table.mutex);
+    auto it = table.index.find(name);
+    if (it != table.index.end()) return OpcodeId(it->second);
+  }
+  std::unique_lock<std::shared_mutex> lock(table.mutex);
+  auto it = table.index.find(name);
+  if (it != table.index.end()) return OpcodeId(it->second);
+  table.names.emplace_back(name);
+  int32_t id = static_cast<int32_t>(table.names.size()) - 1;
+  table.index.emplace(table.names.back(), id);
+  return OpcodeId(id);
+}
+
+const std::string& OpcodeName(OpcodeId id) {
+  InternTable& table = Interns();
+  // Catalog names are immutable after construction — no lock needed.
+  if (id.value() >= 0 && id.value() < table.num_catalog) {
+    return table.names[id.value()];
+  }
+  std::shared_lock<std::shared_mutex> lock(table.mutex);
+  LIMA_CHECK(id.value() >= 0 &&
+             id.value() < static_cast<int32_t>(table.names.size()))
+      << "OpcodeName of uninterned id " << id.value();
+  // Safe to return after unlock: deque growth does not move elements and
+  // interned names are never mutated.
+  return table.names[id.value()];
+}
+
+int32_t NumCatalogOpcodes() { return Interns().num_catalog; }
+
+const OpcodeEffect* LookupOpcode(OpcodeId id) {
+  if (!id.valid()) return nullptr;
+  const std::vector<OpcodeEffect>& effects = AllOpcodeEffects();
+  if (id.value() >= static_cast<int32_t>(effects.size())) return nullptr;
+  return &effects[id.value()];
+}
+
+bool IsReusableOpcode(OpcodeId id) {
+  const OpcodeEffect* effect = LookupOpcode(id);
+  return effect != nullptr && effect->reusable;
+}
+
+bool IsDeterministicOpcode(OpcodeId id) {
+  const OpcodeEffect* effect = LookupOpcode(id);
+  return effect != nullptr && effect->deterministic;
+}
+
+bool IsFunctionCallOpcode(OpcodeId id) {
+  const OpcodeEffect* effect = LookupOpcode(id);
+  return effect != nullptr && effect->category == Cat::kCall;
+}
+
+bool HasSideEffects(OpcodeId id) {
+  const OpcodeEffect* effect = LookupOpcode(id);
+  return effect == nullptr || effect->side_effects;
+}
 
 const char* OpcodeCategoryName(OpcodeCategory category) {
   switch (category) {

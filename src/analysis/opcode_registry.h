@@ -1,11 +1,54 @@
 #ifndef LIMA_ANALYSIS_OPCODE_REGISTRY_H_
 #define LIMA_ANALYSIS_OPCODE_REGISTRY_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace lima {
+
+/// Interned opcode identifier: a dense small integer that replaces opcode
+/// strings on every hot path (lineage hashing/equality, cache probing,
+/// instruction dispatch, profiling). Catalog opcodes occupy ids
+/// [0, NumCatalogOpcodes()) in registration order; names arriving from
+/// outside the catalog (deserialized lineage logs, lineage-internal markers
+/// like "L"/"read"/"block") are interned on demand after them. Ids are
+/// process-local — the serialized lineage format still spells opcode names
+/// out, byte-for-byte as before.
+class OpcodeId {
+ public:
+  constexpr OpcodeId() = default;
+  constexpr explicit OpcodeId(int32_t value) : value_(value) {}
+
+  constexpr int32_t value() const { return value_; }
+  constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr bool operator==(OpcodeId a, OpcodeId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(OpcodeId a, OpcodeId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(OpcodeId a, OpcodeId b) {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  int32_t value_ = -1;
+};
+
+/// Interns `name`, returning its stable id (thread-safe; idempotent).
+OpcodeId InternOpcode(std::string_view name);
+
+/// The display/serialization name of an interned id. The reference is
+/// stable for the process lifetime. Precondition: `id` was interned.
+const std::string& OpcodeName(OpcodeId id);
+
+/// Number of catalog opcodes; ids below this bound have OpcodeEffect
+/// metadata, ids at or above it are dynamically interned non-catalog names.
+int32_t NumCatalogOpcodes();
 
 /// Coarse classification of runtime opcodes, used by program analyses to
 /// reason about an instruction without opcode string comparisons.
@@ -67,12 +110,24 @@ struct OpcodeEffect {
   /// call-graph determinism fixpoint cannot see through such calls, so the
   /// enclosing function is conservatively nondeterministic.
   bool dynamic_dispatch = false;
+
+  /// True when the op never appears as a node in traced lineage: its
+  /// BuildLineage materializes the equivalent unfused/unrewritten items
+  /// ("fused", "tsmm_cbind"), keeping traces interchangeable with normal
+  /// execution. Replay therefore never needs to construct such an op, and
+  /// the factory-coverage gate exempts it.
+  bool lineage_transparent = false;
 };
 
 /// Returns the effect entry for `opcode`, or nullptr when unregistered.
 const OpcodeEffect* LookupOpcode(std::string_view opcode);
 
-/// All registered effects, in stable registration order.
+/// O(1) id-keyed lookup: the effect entry for a catalog id, or nullptr for
+/// dynamically interned non-catalog ids (and invalid ids).
+const OpcodeEffect* LookupOpcode(OpcodeId id);
+
+/// All registered effects, in stable registration order. Catalog opcode i
+/// in this vector has OpcodeId(i).
 const std::vector<OpcodeEffect>& AllOpcodeEffects();
 
 bool IsRegisteredOpcode(std::string_view opcode);
@@ -80,15 +135,19 @@ bool IsRegisteredOpcode(std::string_view opcode);
 /// Registry-backed replacement of the old IsDefaultReusableOpcode string
 /// set: true when `opcode` is in the default reusable-instruction set.
 bool IsReusableOpcode(std::string_view opcode);
+bool IsReusableOpcode(OpcodeId id);
 
 /// Conservative opcode-level determinism (see OpcodeEffect::deterministic).
 bool IsDeterministicOpcode(std::string_view opcode);
+bool IsDeterministicOpcode(OpcodeId id);
 
 /// fcall/eval — ops that transfer control into user functions.
 bool IsFunctionCallOpcode(std::string_view opcode);
+bool IsFunctionCallOpcode(OpcodeId id);
 
 /// Ops with effects beyond the symbol table (print/stop/write/...).
 bool HasSideEffects(std::string_view opcode);
+bool HasSideEffects(OpcodeId id);
 
 /// Internal-consistency lints over the registry itself. Returns one message
 /// per violation; empty when the table is sound:
@@ -103,5 +162,12 @@ std::vector<std::string> VerifyOpcodeEffects(
     const std::vector<OpcodeEffect>& effects);
 
 }  // namespace lima
+
+template <>
+struct std::hash<lima::OpcodeId> {
+  size_t operator()(lima::OpcodeId id) const noexcept {
+    return std::hash<int32_t>{}(id.value());
+  }
+};
 
 #endif  // LIMA_ANALYSIS_OPCODE_REGISTRY_H_

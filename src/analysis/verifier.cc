@@ -5,6 +5,7 @@
 
 #include "analysis/opcode_registry.h"
 #include "runtime/analysis.h"
+#include "runtime/instruction_factory.h"
 #include "runtime/fused_op.h"
 #include "runtime/instructions_misc.h"
 
@@ -104,6 +105,12 @@ class Verifier {
   VerifyReport Run() {
     for (const std::string& msg : VerifyOpcodeRegistry()) {
       Report(Diagnostic::Severity::kError, "registry-unsound", msg, "", 0);
+    }
+    // Catalog/factory drift: a reusable opcode the instruction factory
+    // cannot rebuild would break lineage replay (spill-restore, dedup
+    // expansion) at runtime; surface it statically here.
+    for (const std::string& msg : VerifyFactoryCoverage()) {
+      Report(Diagnostic::Severity::kError, "replay-uncovered", msg, "", 0);
     }
 
     scope_name_ = "main";

@@ -30,6 +30,9 @@ namespace lima {
 ///   missing-output            function can end without defining an output
 ///   fused-bad-source          fused step references an invalid source
 ///   registry-unsound          opcode registry self-lint violation
+///   replay-uncovered          reusable catalog opcode the instruction
+///                             factory cannot construct (lineage replay
+///                             would fail)
 ///   parfor-carried-dependence parfor with a proven cross-iteration
 ///                             dependence (analysis/parfor_dependency.h)
 ///

@@ -8,9 +8,8 @@
 #include "lang/parser.h"
 #include "reuse/compiler_assist.h"
 #include "runtime/analysis.h"
+#include "runtime/instruction_factory.h"
 #include "runtime/instructions_compute.h"
-#include "runtime/instructions_datagen.h"
-#include "runtime/instructions_matrix.h"
 #include "runtime/instructions_misc.h"
 
 namespace lima {
@@ -147,6 +146,26 @@ class Compiler {
     EnsureBasic()->Append(std::move(instruction));
   }
 
+  /// Builds a catalog instruction through the factory and appends it; the
+  /// catalog validates arity, so the compiler cannot emit an opcode shape
+  /// the replay path could not rebuild.
+  Status EmitOpInto(std::string_view opcode, std::vector<Operand> operands,
+                    std::vector<std::string> outputs) {
+    LIMA_ASSIGN_OR_RETURN(std::unique_ptr<Instruction> instruction,
+                          MakeInstruction(opcode, std::move(operands),
+                                          std::move(outputs)));
+    Emit(std::move(instruction));
+    return Status::OK();
+  }
+
+  /// Single-output EmitOpInto with a fresh temp as the destination.
+  Result<Operand> EmitOp(std::string_view opcode,
+                         std::vector<Operand> operands) {
+    std::string out = NewTemp();
+    LIMA_RETURN_NOT_OK(EmitOpInto(opcode, std::move(operands), {out}));
+    return Operand::Var(out);
+  }
+
   std::string NewTemp() {
     std::string name = "_t" + std::to_string(temp_counter_++);
     (in_predicate_ ? pred_temps_ : stmt_temps_).push_back(name);
@@ -224,9 +243,8 @@ class Compiler {
                             ScalarUnary(op, operand.literal));
       return Operand::Lit(std::move(folded));
     }
-    std::string out = NewTemp();
-    Emit(std::make_unique<UnaryInstruction>(op, std::move(operand), out));
-    return Operand::Var(out);
+    return EmitOp(op == UnaryOp::kNot ? "!" : "uminus",
+                  {std::move(operand)});
   }
 
   Result<Operand> CompileBinary(const ExprNode& expr) {
@@ -242,17 +260,11 @@ class Compiler {
           expr.lhs->args[0].value->kind == ExprKind::kVar &&
           expr.rhs->kind == ExprKind::kVar &&
           expr.lhs->args[0].value->text == expr.rhs->text) {
-        std::string out = NewTemp();
-        Emit(std::make_unique<TsmmInstruction>(
-            Operand::Var(expr.rhs->text), out));
-        return Operand::Var(out);
+        return EmitOp("tsmm", {Operand::Var(expr.rhs->text)});
       }
       LIMA_ASSIGN_OR_RETURN(Operand lhs, CompileExpr(*expr.lhs));
       LIMA_ASSIGN_OR_RETURN(Operand rhs, CompileExpr(*expr.rhs));
-      std::string out = NewTemp();
-      Emit(std::make_unique<MatMulInstruction>(std::move(lhs), std::move(rhs),
-                                               out));
-      return Operand::Var(out);
+      return EmitOp("mm", {std::move(lhs), std::move(rhs)});
     }
     auto it = BinaryOpsByText().find(expr.text);
     if (it == BinaryOpsByText().end()) {
@@ -266,10 +278,8 @@ class Compiler {
           ScalarBinary(it->second, lhs.literal, rhs.literal);
       if (folded.ok()) return Operand::Lit(std::move(folded).ValueOrDie());
     }
-    std::string out = NewTemp();
-    Emit(std::make_unique<BinaryInstruction>(it->second, std::move(lhs),
-                                             std::move(rhs), out));
-    return Operand::Var(out);
+    // Binary operator spellings are their opcode names.
+    return EmitOp(expr.text, {std::move(lhs), std::move(rhs)});
   }
 
   // Argument spec for builtin calls.
@@ -327,27 +337,19 @@ class Compiler {
       LIMA_ASSIGN_OR_RETURN(
           std::vector<Operand> args,
           ResolveArgs(call, {{"x", true, Operand()}}));
-      std::string out = NewTemp();
-      Emit(std::make_unique<UnaryInstruction>(unary->second, args[0], out));
-      return Operand::Var(out);
+      return EmitOp(name, {std::move(args[0])});
     }
     // min/max: unary aggregate or binary elementwise.
     if (name == "min" || name == "max") {
       if (call.args.size() == 1) {
         LIMA_ASSIGN_OR_RETURN(Operand arg, CompileExpr(*call.args[0].value));
-        std::string out = NewTemp();
-        Emit(std::make_unique<AggregateInstruction>(
-            name == "min" ? "ua_min" : "ua_max", std::move(arg), out));
-        return Operand::Var(out);
+        return EmitOp(name == "min" ? "ua_min" : "ua_max",
+                      {std::move(arg)});
       }
       if (call.args.size() == 2) {
         LIMA_ASSIGN_OR_RETURN(Operand a, CompileExpr(*call.args[0].value));
         LIMA_ASSIGN_OR_RETURN(Operand b, CompileExpr(*call.args[1].value));
-        std::string out = NewTemp();
-        Emit(std::make_unique<BinaryInstruction>(
-            name == "min" ? BinaryOp::kMin : BinaryOp::kMax, std::move(a),
-            std::move(b), out));
-        return Operand::Var(out);
+        return EmitOp(name, {std::move(a), std::move(b)});
       }
       return Status::CompileError(name + "() takes 1 or 2 arguments");
     }
@@ -355,23 +357,17 @@ class Compiler {
     if (IsAggBuiltin(name, &agg_opcode)) {
       LIMA_ASSIGN_OR_RETURN(std::vector<Operand> args,
                             ResolveArgs(call, {{"x", true, Operand()}}));
-      std::string out = NewTemp();
-      Emit(std::make_unique<AggregateInstruction>(agg_opcode, args[0], out));
-      return Operand::Var(out);
+      return EmitOp(agg_opcode, {std::move(args[0])});
     }
     if (name == "nrow" || name == "ncol" || name == "length") {
       LIMA_ASSIGN_OR_RETURN(std::vector<Operand> args,
                             ResolveArgs(call, {{"x", true, Operand()}}));
-      std::string out = NewTemp();
-      Emit(std::make_unique<MetadataInstruction>(name, args[0], out));
-      return Operand::Var(out);
+      return EmitOp(name, {std::move(args[0])});
     }
     if (name == "t" || name == "rev" || name == "diag") {
       LIMA_ASSIGN_OR_RETURN(std::vector<Operand> args,
                             ResolveArgs(call, {{"x", true, Operand()}}));
-      std::string out = NewTemp();
-      Emit(std::make_unique<ReorgInstruction>(name, args[0], out));
-      return Operand::Var(out);
+      return EmitOp(name, {std::move(args[0])});
     }
     if (name == "cbind" || name == "rbind") {
       if (call.args.size() < 2) {
@@ -380,11 +376,8 @@ class Compiler {
       LIMA_ASSIGN_OR_RETURN(Operand acc, CompileExpr(*call.args[0].value));
       for (size_t i = 1; i < call.args.size(); ++i) {
         LIMA_ASSIGN_OR_RETURN(Operand next, CompileExpr(*call.args[i].value));
-        std::string out = NewTemp();
-        Emit(std::make_unique<AppendInstruction>(name == "cbind",
-                                                 std::move(acc),
-                                                 std::move(next), out));
-        acc = Operand::Var(out);
+        LIMA_ASSIGN_OR_RETURN(
+            acc, EmitOp(name, {std::move(acc), std::move(next)}));
       }
       return acc;
     }
@@ -392,16 +385,12 @@ class Compiler {
       LIMA_ASSIGN_OR_RETURN(
           std::vector<Operand> args,
           ResolveArgs(call, {{"a", true, Operand()}, {"b", true, Operand()}}));
-      std::string out = NewTemp();
-      Emit(std::make_unique<SolveInstruction>(args[0], args[1], out));
-      return Operand::Var(out);
+      return EmitOp("solve", {std::move(args[0]), std::move(args[1])});
     }
     if (name == "cholesky") {
       LIMA_ASSIGN_OR_RETURN(std::vector<Operand> args,
                             ResolveArgs(call, {{"a", true, Operand()}}));
-      std::string out = NewTemp();
-      Emit(std::make_unique<CholeskyInstruction>(args[0], out));
-      return Operand::Var(out);
+      return EmitOp("cholesky", {std::move(args[0])});
     }
     if (name == "rand") {
       LIMA_ASSIGN_OR_RETURN(
@@ -413,9 +402,7 @@ class Compiler {
                              {"sparsity", false, Operand::LitDouble(1.0)},
                              {"pdf", false, Operand::LitString("uniform")},
                              {"seed", false, Operand::LitInt(-1)}}));
-      std::string out = NewTemp();
-      Emit(std::make_unique<DataGenInstruction>("rand", std::move(args), out));
-      return Operand::Var(out);
+      return EmitOp("rand", std::move(args));
     }
     if (name == "matrix") {
       LIMA_ASSIGN_OR_RETURN(
@@ -423,9 +410,7 @@ class Compiler {
           ResolveArgs(call, {{"data", true, Operand()},
                              {"rows", true, Operand()},
                              {"cols", true, Operand()}}));
-      std::string out = NewTemp();
-      Emit(std::make_unique<DataGenInstruction>("fill", std::move(args), out));
-      return Operand::Var(out);
+      return EmitOp("fill", std::move(args));
     }
     if (name == "sample") {
       LIMA_ASSIGN_OR_RETURN(
@@ -433,10 +418,7 @@ class Compiler {
           ResolveArgs(call, {{"range", true, Operand()},
                              {"size", true, Operand()},
                              {"seed", false, Operand::LitInt(-1)}}));
-      std::string out = NewTemp();
-      Emit(std::make_unique<DataGenInstruction>("sample", std::move(args),
-                                                out));
-      return Operand::Var(out);
+      return EmitOp("sample", std::move(args));
     }
     if (name == "seq") {
       LIMA_ASSIGN_OR_RETURN(
@@ -444,9 +426,7 @@ class Compiler {
           ResolveArgs(call, {{"from", true, Operand()},
                              {"to", true, Operand()},
                              {"incr", false, Operand::LitDouble(1.0)}}));
-      std::string out = NewTemp();
-      Emit(std::make_unique<DataGenInstruction>("seq", std::move(args), out));
-      return Operand::Var(out);
+      return EmitOp("seq", std::move(args));
     }
     if (name == "table") {
       LIMA_ASSIGN_OR_RETURN(
@@ -455,10 +435,7 @@ class Compiler {
                              {"b", true, Operand()},
                              {"odim1", false, Operand::LitInt(0)},
                              {"odim2", false, Operand::LitInt(0)}}));
-      std::string out = NewTemp();
-      Emit(std::make_unique<TableInstruction>(args[0], args[1], args[2],
-                                              args[3], out));
-      return Operand::Var(out);
+      return EmitOp("table", std::move(args));
     }
     if (name == "order") {
       LIMA_ASSIGN_OR_RETURN(
@@ -467,24 +444,19 @@ class Compiler {
                              {"by", false, Operand::LitInt(1)},
                              {"decreasing", false, Operand::LitBool(false)},
                              {"index.return", false, Operand::LitBool(false)}}));
-      std::string out = NewTemp();
-      Emit(std::make_unique<OrderInstruction>(args[0], args[2], args[3], out));
-      return Operand::Var(out);
+      return EmitOp("order", {std::move(args[0]), std::move(args[2]),
+                              std::move(args[3])});
     }
     if (name == "as.scalar" || name == "as.matrix") {
       LIMA_ASSIGN_OR_RETURN(std::vector<Operand> args,
                             ResolveArgs(call, {{"x", true, Operand()}}));
-      std::string out = NewTemp();
-      Emit(std::make_unique<CastInstruction>(
-          name == "as.scalar" ? "castdts" : "castsdm", args[0], out));
-      return Operand::Var(out);
+      return EmitOp(name == "as.scalar" ? "castdts" : "castsdm",
+                    {std::move(args[0])});
     }
     if (name == "toString") {
       LIMA_ASSIGN_OR_RETURN(std::vector<Operand> args,
                             ResolveArgs(call, {{"x", true, Operand()}}));
-      std::string out = NewTemp();
-      Emit(std::make_unique<ToStringInstruction>(args[0], out));
-      return Operand::Var(out);
+      return EmitOp("toString", {std::move(args[0])});
     }
     if (name == "list") {
       std::vector<Operand> elements;
@@ -492,9 +464,7 @@ class Compiler {
         LIMA_ASSIGN_OR_RETURN(Operand element, CompileExpr(*arg.value));
         elements.push_back(std::move(element));
       }
-      std::string out = NewTemp();
-      Emit(std::make_unique<ListInstruction>(std::move(elements), out));
-      return Operand::Var(out);
+      return EmitOp("list", std::move(elements));
     }
     if (name == "eval") {
       LIMA_ASSIGN_OR_RETURN(
@@ -511,10 +481,7 @@ class Compiler {
           ResolveArgs(call, {{"test", true, Operand()},
                              {"yes", true, Operand()},
                              {"no", true, Operand()}}));
-      std::string out = NewTemp();
-      Emit(std::make_unique<IfElseInstruction>(args[0], args[1], args[2],
-                                               out));
-      return Operand::Var(out);
+      return EmitOp("ifelse", std::move(args));
     }
     if (name == "read") {
       LIMA_ASSIGN_OR_RETURN(std::vector<Operand> args,
@@ -585,10 +552,7 @@ class Compiler {
     if (expr.dims.size() == 1) {
       // Single-bracket indexing: list element access.
       LIMA_ASSIGN_OR_RETURN(Operand index, CompileExpr(*expr.dims[0].lower));
-      std::string out = NewTemp();
-      Emit(std::make_unique<ListIndexInstruction>(std::move(target),
-                                                  std::move(index), out));
-      return Operand::Var(out);
+      return EmitOp("listidx", {std::move(target), std::move(index)});
     }
     LIMA_CHECK_EQ(expr.dims.size(), 2u);
     const IndexDim& row = expr.dims[0];
@@ -600,18 +564,18 @@ class Compiler {
     if (!row_range && row.lower != nullptr) {
       // Select by (scalar or vector) expression.
       LIMA_ASSIGN_OR_RETURN(Operand rows, CompileExpr(*row.lower));
-      std::string out = NewTemp();
-      Emit(std::make_unique<SelectInstruction>(
-          /*columns=*/false, Operand::Var(current), std::move(rows), out));
-      current = out;
+      LIMA_ASSIGN_OR_RETURN(
+          Operand selected,
+          EmitOp("selrows", {Operand::Var(current), std::move(rows)}));
+      current = selected.name;
     }
     // Column dimension.
     if (!col.is_range && col.lower != nullptr) {
       LIMA_ASSIGN_OR_RETURN(Operand cols, CompileExpr(*col.lower));
-      std::string out = NewTemp();
-      Emit(std::make_unique<SelectInstruction>(
-          /*columns=*/true, Operand::Var(current), std::move(cols), out));
-      current = out;
+      LIMA_ASSIGN_OR_RETURN(
+          Operand selected,
+          EmitOp("selcols", {Operand::Var(current), std::move(cols)}));
+      current = selected.name;
     }
     // Range dimensions (rightindex); skip when both are full ranges.
     bool row_slice = row_range && !IsFullRange(row);
@@ -629,10 +593,7 @@ class Compiler {
           ru = rl;  // X[i, ...] single row via a:a
         }
       } else {
-        std::string n = NewTemp();
-        Emit(std::make_unique<MetadataInstruction>(
-            "nrow", Operand::Var(current), n));
-        ru = Operand::Var(n);
+        LIMA_ASSIGN_OR_RETURN(ru, EmitOp("nrow", {Operand::Var(current)}));
       }
       if (col_slice) {
         LIMA_ASSIGN_OR_RETURN(cl, CompileExpr(*col.lower));
@@ -642,16 +603,14 @@ class Compiler {
           cu = cl;
         }
       } else {
-        std::string n = NewTemp();
-        Emit(std::make_unique<MetadataInstruction>(
-            "ncol", Operand::Var(current), n));
-        cu = Operand::Var(n);
+        LIMA_ASSIGN_OR_RETURN(cu, EmitOp("ncol", {Operand::Var(current)}));
       }
-      std::string out = NewTemp();
-      Emit(std::make_unique<RightIndexInstruction>(
-          Operand::Var(current), std::move(rl), std::move(ru), std::move(cl),
-          std::move(cu), out));
-      current = out;
+      LIMA_ASSIGN_OR_RETURN(
+          Operand sliced,
+          EmitOp("rightindex",
+                 {Operand::Var(current), std::move(rl), std::move(ru),
+                  std::move(cl), std::move(cu)}));
+      current = sliced.name;
     }
     return Operand::Var(current);
   }
@@ -710,10 +669,10 @@ class Compiler {
     auto bounds = [&](const IndexDim& dim, bool rows_dim)
         -> Result<std::pair<Operand, Operand>> {
       if (IsFullRange(dim)) {
-        std::string n = NewTemp();
-        Emit(std::make_unique<MetadataInstruction>(
-            rows_dim ? "nrow" : "ncol", Operand::Var(stmt.target), n));
-        return std::make_pair(Operand::LitInt(1), Operand::Var(n));
+        LIMA_ASSIGN_OR_RETURN(
+            Operand n,
+            EmitOp(rows_dim ? "nrow" : "ncol", {Operand::Var(stmt.target)}));
+        return std::make_pair(Operand::LitInt(1), std::move(n));
       }
       LIMA_ASSIGN_OR_RETURN(Operand lo, CompileExpr(*dim.lower));
       Operand hi = lo;
@@ -724,12 +683,13 @@ class Compiler {
     };
     LIMA_ASSIGN_OR_RETURN(auto row_bounds, bounds(stmt.target_dims[0], true));
     LIMA_ASSIGN_OR_RETURN(auto col_bounds, bounds(stmt.target_dims[1], false));
-    std::string out = NewTemp();
-    Emit(std::make_unique<LeftIndexInstruction>(
-        Operand::Var(stmt.target), std::move(src), row_bounds.first,
-        row_bounds.second, col_bounds.first, col_bounds.second, out));
-    Emit(VariableInstruction::Move(out, stmt.target));
-    ForgetStatementTemp(out);
+    LIMA_ASSIGN_OR_RETURN(
+        Operand out,
+        EmitOp("leftindex",
+               {Operand::Var(stmt.target), std::move(src), row_bounds.first,
+                row_bounds.second, col_bounds.first, col_bounds.second}));
+    Emit(VariableInstruction::Move(out.name, stmt.target));
+    ForgetStatementTemp(out.name);
     return Status::OK();
   }
 
@@ -741,8 +701,8 @@ class Compiler {
             "[values, vectors] = eigen(X) expects one input, two outputs");
       }
       LIMA_ASSIGN_OR_RETURN(Operand arg, CompileExpr(*call.args[0].value));
-      Emit(std::make_unique<EigenInstruction>(std::move(arg), stmt.targets[0],
-                                              stmt.targets[1]));
+      LIMA_RETURN_NOT_OK(EmitOpInto("eigen", {std::move(arg)},
+                                    {stmt.targets[0], stmt.targets[1]}));
       return Status::OK();
     }
     auto sig_it = signatures_.find(call.text);

@@ -15,10 +15,13 @@ namespace {
 std::atomic<int64_t> g_item_id_counter{0};
 
 /// The single hash rule shared by regular items and patch evaluation, so
-/// dedup items hash identically to their expansions.
-uint64_t NodeHash(const std::string& opcode, const std::string& data,
+/// dedup items hash identically to their expansions. Keyed on the interned
+/// opcode id: hashing an item never touches the opcode string. (Lineage
+/// hashes are in-memory only — the serialized format carries names, not
+/// hashes — so the id keying is invisible on disk.)
+uint64_t NodeHash(OpcodeId opcode, const std::string& data,
                   const std::vector<uint64_t>& input_hashes) {
-  uint64_t h = HashBytes(opcode);
+  uint64_t h = HashInt(static_cast<uint64_t>(opcode.value()));
   h = HashCombine(h, HashBytes(data));
   for (uint64_t ih : input_hashes) h = HashCombine(h, ih);
   return h;
@@ -44,6 +47,8 @@ DedupPatch::DedupPatch(std::string name, int num_placeholders,
       output_roots_(std::move(output_roots)),
       output_names_(std::move(output_names)) {
   LIMA_CHECK_EQ(output_roots_.size(), output_names_.size());
+  node_ids_.reserve(nodes_.size());
+  for (const Node& node : nodes_) node_ids_.push_back(InternOpcode(node.opcode));
 }
 
 uint64_t DedupPatch::ComputeRootHash(
@@ -58,7 +63,7 @@ uint64_t DedupPatch::ComputeRootHash(
     for (int64_t ref : node.inputs) {
       in.push_back(ref >= 0 ? hashes[ref] : input_hashes[-(ref + 1)]);
     }
-    hashes[i] = NodeHash(node.opcode, node.data, in);
+    hashes[i] = NodeHash(node_ids_[i], node.data, in);
   }
   return hashes[output_roots_[output_index]];
 }
@@ -96,7 +101,7 @@ void DedupPatch::ComputeAllRoots(const std::vector<uint64_t>& input_hashes,
       int64_t ih = ref >= 0 ? heights[ref] : input_heights[-(ref + 1)];
       h = std::max(h, ih + 1);
     }
-    hashes[i] = NodeHash(node.opcode, node.data, in);
+    hashes[i] = NodeHash(node_ids_[i], node.data, in);
     heights[i] = h;
   }
   root_hashes->resize(output_roots_.size());
@@ -118,21 +123,36 @@ LineageItemPtr DedupPatch::Expand(
     for (int64_t ref : node.inputs) {
       in.push_back(ref >= 0 ? items[ref] : inputs[-(ref + 1)]);
     }
-    if (node.opcode == LineageItem::kLiteralOpcode) {
+    if (node_ids_[i] == LineageItem::LiteralId()) {
       items[i] = LineageItem::CreateLiteral(node.data);
     } else {
-      items[i] = LineageItem::Create(node.opcode, std::move(in), node.data);
+      items[i] = LineageItem::Create(node_ids_[i], std::move(in), node.data);
     }
   }
   return items[output_roots_[output_index]];
 }
 
+OpcodeId LineageItem::LiteralId() {
+  static const OpcodeId id = InternOpcode(kLiteralOpcode);
+  return id;
+}
+
+OpcodeId LineageItem::PlaceholderId() {
+  static const OpcodeId id = InternOpcode(kPlaceholderOpcode);
+  return id;
+}
+
+OpcodeId LineageItem::DedupId() {
+  static const OpcodeId id = InternOpcode(kDedupOpcode);
+  return id;
+}
+
 LineageItemPtr LineageItem::CreateLiteral(std::string data) {
   auto item = std::shared_ptr<LineageItem>(new LineageItem());
   item->id_ = g_item_id_counter.fetch_add(1, std::memory_order_relaxed);
-  item->opcode_ = kLiteralOpcode;
+  item->opcode_id_ = LiteralId();
   item->data_ = std::move(data);
-  item->hash_ = NodeHash(item->opcode_, item->data_, {});
+  item->hash_ = NodeHash(item->opcode_id_, item->data_, {});
   item->height_ = 0;
   return item;
 }
@@ -140,33 +160,40 @@ LineageItemPtr LineageItem::CreateLiteral(std::string data) {
 LineageItemPtr LineageItem::CreatePlaceholder(int index) {
   auto item = std::shared_ptr<LineageItem>(new LineageItem());
   item->id_ = g_item_id_counter.fetch_add(1, std::memory_order_relaxed);
-  item->opcode_ = kPlaceholderOpcode;
+  item->opcode_id_ = PlaceholderId();
   item->data_ = std::to_string(index);
   item->placeholder_index_ = index;
-  item->hash_ = NodeHash(item->opcode_, item->data_, {});
+  item->hash_ = NodeHash(item->opcode_id_, item->data_, {});
   item->height_ = 0;
   return item;
 }
 
-LineageItemPtr LineageItem::Create(std::string opcode,
+LineageItemPtr LineageItem::Create(OpcodeId opcode,
                                    std::vector<LineageItemPtr> inputs,
                                    std::string data) {
+  LIMA_CHECK(opcode.valid());
   auto item = std::shared_ptr<LineageItem>(new LineageItem());
   item->id_ = g_item_id_counter.fetch_add(1, std::memory_order_relaxed);
-  item->opcode_ = std::move(opcode);
+  item->opcode_id_ = opcode;
   item->data_ = std::move(data);
   item->inputs_ = std::move(inputs);
   std::vector<uint64_t> input_hashes;
   input_hashes.reserve(item->inputs_.size());
   int64_t height = 0;
   for (const LineageItemPtr& in : item->inputs_) {
-    LIMA_CHECK(in != nullptr) << "null lineage input for " << item->opcode_;
+    LIMA_CHECK(in != nullptr) << "null lineage input for " << item->opcode();
     input_hashes.push_back(in->hash());
     height = std::max(height, in->height() + 1);
   }
-  item->hash_ = NodeHash(item->opcode_, item->data_, input_hashes);
+  item->hash_ = NodeHash(item->opcode_id_, item->data_, input_hashes);
   item->height_ = height;
   return item;
+}
+
+LineageItemPtr LineageItem::Create(std::string_view opcode,
+                                   std::vector<LineageItemPtr> inputs,
+                                   std::string data) {
+  return Create(InternOpcode(opcode), std::move(inputs), std::move(data));
 }
 
 LineageItemPtr LineageItem::CreateDedup(DedupPatchPtr patch, int output_index,
@@ -175,7 +202,7 @@ LineageItemPtr LineageItem::CreateDedup(DedupPatchPtr patch, int output_index,
   LIMA_CHECK_EQ(static_cast<int>(inputs.size()), patch->num_placeholders());
   auto item = std::shared_ptr<LineageItem>(new LineageItem());
   item->id_ = g_item_id_counter.fetch_add(1, std::memory_order_relaxed);
-  item->opcode_ = kDedupOpcode;
+  item->opcode_id_ = DedupId();
   item->data_ = patch->name() + "|" + std::to_string(output_index);
   item->inputs_ = std::move(inputs);
   item->dedup_output_index_ = output_index;
@@ -215,7 +242,7 @@ std::vector<LineageItemPtr> LineageItem::CreateDedupAll(
   for (size_t i = 0; i < root_hashes.size(); ++i) {
     auto item = std::shared_ptr<LineageItem>(new LineageItem());
     item->id_ = g_item_id_counter.fetch_add(1, std::memory_order_relaxed);
-    item->opcode_ = kDedupOpcode;
+    item->opcode_id_ = DedupId();
     item->data_ = patch->name() + "|" + std::to_string(i);
     item->inputs_ = inputs;
     item->dedup_output_index_ = static_cast<int>(i);
@@ -276,7 +303,7 @@ bool LineageItem::Equals(const LineageItem& other) const {
       continue;
     }
 
-    if (a->opcode() != b->opcode() || a->data() != b->data() ||
+    if (a->opcode_id() != b->opcode_id() || a->data() != b->data() ||
         a->inputs().size() != b->inputs().size()) {
       return false;
     }
@@ -315,8 +342,8 @@ int64_t LineageItem::SizeInBytes() const {
     const LineageItem* item = work.back();
     work.pop_back();
     if (!visited.insert(item).second) continue;
+    // Opcodes are interned ids — items carry no per-item opcode storage.
     bytes += static_cast<int64_t>(sizeof(LineageItem)) +
-             static_cast<int64_t>(item->opcode().capacity()) +
              static_cast<int64_t>(item->data().capacity()) +
              static_cast<int64_t>(item->inputs().size() *
                                   sizeof(LineageItemPtr));
@@ -327,7 +354,7 @@ int64_t LineageItem::SizeInBytes() const {
 
 std::string LineageItem::ToString() const {
   std::ostringstream out;
-  out << "(" << id_ << ") " << opcode_;
+  out << "(" << id_ << ") " << opcode();
   for (const LineageItemPtr& in : inputs_) out << " (" << in->id() << ")";
   if (!data_.empty()) out << " \"" << data_ << "\"";
   return out.str();

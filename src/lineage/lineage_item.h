@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/opcode_registry.h"
+
 namespace lima {
 
 class LineageItem;
@@ -35,6 +37,9 @@ class DedupPatch {
   const std::string& name() const { return name_; }
   int num_placeholders() const { return num_placeholders_; }
   const std::vector<Node>& nodes() const { return nodes_; }
+  /// Interned id of nodes()[i].opcode, precomputed at construction so the
+  /// per-iteration hash/expansion paths never touch opcode strings.
+  const std::vector<OpcodeId>& node_ids() const { return node_ids_; }
   const std::vector<int64_t>& output_roots() const { return output_roots_; }
   /// Variable names the patch outputs correspond to (loop-body outputs).
   const std::vector<std::string>& output_names() const { return output_names_; }
@@ -66,6 +71,7 @@ class DedupPatch {
   std::string name_;
   int num_placeholders_;
   std::vector<Node> nodes_;
+  std::vector<OpcodeId> node_ids_;
   std::vector<int64_t> output_roots_;
   std::vector<std::string> output_names_;
 };
@@ -87,14 +93,24 @@ class LineageItem : public std::enable_shared_from_this<LineageItem> {
   static constexpr const char* kPlaceholderOpcode = "P";
   static constexpr const char* kDedupOpcode = "dedup";
 
+  /// Interned ids of the special opcodes above (process-stable).
+  static OpcodeId LiteralId();
+  static OpcodeId PlaceholderId();
+  static OpcodeId DedupId();
+
   /// Creates a literal leaf (constants, seeds, scalar parameters).
   static LineageItemPtr CreateLiteral(std::string data);
 
   /// Creates a patch placeholder with the given index (dedup tracing only).
   static LineageItemPtr CreatePlaceholder(int index);
 
-  /// Creates an operation item over `inputs`.
-  static LineageItemPtr Create(std::string opcode,
+  /// Creates an operation item over `inputs`. The id overload is the hot
+  /// path (instructions cache their interned opcode id); the string overload
+  /// interns on the fly.
+  static LineageItemPtr Create(OpcodeId opcode,
+                               std::vector<LineageItemPtr> inputs,
+                               std::string data = "");
+  static LineageItemPtr Create(std::string_view opcode,
                                std::vector<LineageItemPtr> inputs,
                                std::string data = "");
 
@@ -110,7 +126,11 @@ class LineageItem : public std::enable_shared_from_this<LineageItem> {
       DedupPatchPtr patch, std::vector<LineageItemPtr> inputs);
 
   int64_t id() const { return id_; }
-  const std::string& opcode() const { return opcode_; }
+  /// Interned opcode id — the identity used by hashing, equality, cache
+  /// probing, and dispatch.
+  OpcodeId opcode_id() const { return opcode_id_; }
+  /// Display/serialization name of opcode_id() (stable reference).
+  const std::string& opcode() const { return OpcodeName(opcode_id_); }
   const std::string& data() const { return data_; }
   const std::vector<LineageItemPtr>& inputs() const { return inputs_; }
 
@@ -120,8 +140,8 @@ class LineageItem : public std::enable_shared_from_this<LineageItem> {
   /// Memoized distance from the leaves (literals/leaf creations = 0).
   int64_t height() const { return height_; }
 
-  bool is_literal() const { return opcode_ == kLiteralOpcode; }
-  bool is_placeholder() const { return opcode_ == kPlaceholderOpcode; }
+  bool is_literal() const { return opcode_id_ == LiteralId(); }
+  bool is_placeholder() const { return opcode_id_ == PlaceholderId(); }
   bool is_dedup() const { return patch_ != nullptr; }
 
   const DedupPatchPtr& patch() const { return patch_; }
@@ -152,7 +172,7 @@ class LineageItem : public std::enable_shared_from_this<LineageItem> {
   LineageItem() = default;
 
   int64_t id_ = 0;
-  std::string opcode_;
+  OpcodeId opcode_id_;
   std::string data_;
   std::vector<LineageItemPtr> inputs_;
   uint64_t hash_ = 0;

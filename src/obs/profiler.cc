@@ -3,20 +3,32 @@
 namespace lima {
 
 void ProfileCollector::Merge(const ProfileCollector& other) {
-  for (const auto& [opcode, profile] : other.ops_) {
-    ops_[opcode].Merge(profile);
+  if (other.by_id_.size() > by_id_.size()) by_id_.resize(other.by_id_.size());
+  for (size_t i = 0; i < other.by_id_.size(); ++i) {
+    if (other.by_id_[i].invocations == 0) continue;
+    by_id_[i].Merge(other.by_id_[i]);
   }
+}
+
+std::unordered_map<std::string, OpProfile> ProfileCollector::ops() const {
+  std::unordered_map<std::string, OpProfile> named;
+  named.reserve(by_id_.size());
+  for (size_t i = 0; i < by_id_.size(); ++i) {
+    if (by_id_[i].invocations == 0) continue;
+    named.emplace(OpcodeName(OpcodeId(static_cast<int32_t>(i))), by_id_[i]);
+  }
+  return named;
 }
 
 int64_t ProfileCollector::TotalInvocations() const {
   int64_t total = 0;
-  for (const auto& [opcode, profile] : ops_) total += profile.invocations;
+  for (const OpProfile& profile : by_id_) total += profile.invocations;
   return total;
 }
 
 int64_t ProfileCollector::TotalNanos() const {
   int64_t total = 0;
-  for (const auto& [opcode, profile] : ops_) total += profile.total_nanos;
+  for (const OpProfile& profile : by_id_) total += profile.total_nanos;
   return total;
 }
 

@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
+
+#include "analysis/opcode_registry.h"
 
 namespace lima {
 
@@ -36,19 +39,31 @@ struct OpProfile {
 /// collector for the main thread, a worker-local one inside parfor), and
 /// the parfor join merges workers into the parent. This keeps the
 /// instruction hot path free of atomics and lock contention.
+///
+/// Profiles are keyed by interned OpcodeId — recording is a dense-vector
+/// index, no string hashing. Opcode names are rendered only when a report
+/// reads the profiles back (ops()).
 class ProfileCollector {
  public:
-  /// Records one instruction execution under `opcode`.
+  /// Records one instruction execution under an interned opcode id.
+  void Record(OpcodeId opcode, int64_t nanos, int64_t bytes) {
+    const auto index = static_cast<size_t>(opcode.value());
+    if (index >= by_id_.size()) by_id_.resize(index + 1);
+    by_id_[index].Add(nanos, bytes);
+  }
+
+  /// Convenience overload interning `opcode` first (tests, ad-hoc keys).
   void Record(const std::string& opcode, int64_t nanos, int64_t bytes) {
-    ops_[opcode].Add(nanos, bytes);
+    Record(InternOpcode(opcode), nanos, bytes);
   }
 
   /// Folds another collector (e.g. a joined parfor worker) into this one.
+  /// Ids are process-global, so merging is positional.
   void Merge(const ProfileCollector& other);
 
-  const std::unordered_map<std::string, OpProfile>& ops() const {
-    return ops_;
-  }
+  /// The recorded profiles rendered by opcode name (reporting path; built
+  /// on demand).
+  std::unordered_map<std::string, OpProfile> ops() const;
 
   /// Sum of invocation counts over all opcodes.
   int64_t TotalInvocations() const;
@@ -56,10 +71,10 @@ class ProfileCollector {
   /// Sum of total_nanos over all opcodes.
   int64_t TotalNanos() const;
 
-  void Clear() { ops_.clear(); }
+  void Clear() { by_id_.clear(); }
 
  private:
-  std::unordered_map<std::string, OpProfile> ops_;
+  std::vector<OpProfile> by_id_;  ///< indexed by OpcodeId::value()
 };
 
 }  // namespace lima

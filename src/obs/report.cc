@@ -231,8 +231,9 @@ ProfileReport BuildProfileReport(
     std::vector<std::pair<std::string, int64_t>> counters,
     std::vector<std::pair<std::string, std::string>> config) {
   ProfileReport report;
-  report.ops.reserve(collector.ops().size());
-  for (const auto& [opcode, profile] : collector.ops()) {
+  const std::unordered_map<std::string, OpProfile> ops = collector.ops();
+  report.ops.reserve(ops.size());
+  for (const auto& [opcode, profile] : ops) {
     report.ops.push_back(ProfileReport::OpRow{opcode, profile});
   }
   std::sort(report.ops.begin(), report.ops.end(),

@@ -3,12 +3,25 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "runtime/instructions_matrix.h"
+#include "runtime/instruction_factory.h"
 #include "runtime/instructions_misc.h"
 
 namespace lima {
 
 namespace {
+
+/// The opcodes this pass pattern-matches on, interned once.
+struct AssistOps {
+  OpcodeId cbind = InternOpcode("cbind");
+  OpcodeId mvvar = InternOpcode("mvvar");
+  OpcodeId tsmm = InternOpcode("tsmm");
+  OpcodeId rmvar = InternOpcode("rmvar");
+};
+
+const AssistOps& Op() {
+  static const AssistOps* ops = new AssistOps();
+  return *ops;
+}
 
 void UnmarkInBlocks(const std::vector<BlockPtr>& blocks,
                     const std::unordered_set<std::string>& carried);
@@ -152,11 +165,11 @@ void RewriteBasicBlock(BasicBlock* block, const ReadCounts& global_reads) {
   std::unordered_map<std::string, Producer> producers;
   for (size_t i = 0; i < instructions->size(); ++i) {
     Instruction* instruction = (*instructions)[i].get();
-    if (instruction->opcode() == "cbind") {
+    if (instruction->opcode_id() == Op().cbind) {
       producers[instruction->OutputVars()[0]] = {i, i};
       continue;
     }
-    if (instruction->opcode() == "mvvar") {
+    if (instruction->opcode_id() == Op().mvvar) {
       const auto* move = static_cast<const VariableInstruction*>(instruction);
       auto it = producers.find(move->InputVars()[0]);
       if (it != producers.end()) {
@@ -167,7 +180,7 @@ void RewriteBasicBlock(BasicBlock* block, const ReadCounts& global_reads) {
       }
       continue;
     }
-    if (instruction->opcode() != "tsmm") continue;
+    if (instruction->opcode_id() != Op().tsmm) continue;
     const auto* tsmm = static_cast<const ComputationInstruction*>(instruction);
     const Operand& in = tsmm->operands()[0];
     if (in.is_literal) continue;
@@ -182,7 +195,10 @@ void RewriteBasicBlock(BasicBlock* block, const ReadCounts& global_reads) {
     Operand a = append->operands()[0];
     Operand b = append->operands()[1];
     std::string out = tsmm->OutputVars()[0];
-    (*instructions)[i] = std::make_unique<TsmmCbindInstruction>(a, b, out);
+    // Factory-built so the rewrite target stays arity-checked against the
+    // catalog like every other constructed instruction.
+    (*instructions)[i] =
+        *MakeInstruction(InternOpcode("tsmm_cbind"), {a, b}, {out});
     (*instructions)[p.cbind_index] = VariableInstruction::Remove({});
     if (p.mvvar_index != p.cbind_index) {
       // The composed variable is never materialized now; the rename goes
@@ -197,7 +213,7 @@ void RewriteBasicBlock(BasicBlock* block, const ReadCounts& global_reads) {
     std::vector<std::string> deferred;
     for (size_t k = p.cbind_index + 1; k < i; ++k) {
       Instruction* cleanup = (*instructions)[k].get();
-      if (cleanup->opcode() != "rmvar") continue;
+      if (cleanup->opcode_id() != Op().rmvar) continue;
       const auto* remove = static_cast<const VariableInstruction*>(cleanup);
       std::vector<std::string> kept;
       bool changed = false;
@@ -224,7 +240,7 @@ void RewriteBasicBlock(BasicBlock* block, const ReadCounts& global_reads) {
 
   // Compact out the placeholder (empty) removes left by the rewrite.
   std::erase_if(*instructions, [](const std::unique_ptr<Instruction>& ins) {
-    if (ins->opcode() != "rmvar") return false;
+    if (ins->opcode_id() != Op().rmvar) return false;
     return static_cast<const VariableInstruction&>(*ins).names().empty();
   });
 }

@@ -14,6 +14,39 @@ namespace lima {
 
 namespace {
 
+/// The lineage opcodes this rewrite pass pattern-matches on, interned once.
+/// All structural probes below are O(1) id comparisons.
+struct RewriteOps {
+  OpcodeId fill = InternOpcode("fill");
+  OpcodeId rbind = InternOpcode("rbind");
+  OpcodeId cbind = InternOpcode("cbind");
+  OpcodeId tsmm = InternOpcode("tsmm");
+  OpcodeId mm = InternOpcode("mm");
+  OpcodeId transpose = InternOpcode("t");
+  OpcodeId rightindex = InternOpcode("rightindex");
+  OpcodeId nrow = InternOpcode("nrow");
+  OpcodeId add = InternOpcode("+");
+  OpcodeId sub = InternOpcode("-");
+  OpcodeId mul = InternOpcode("*");
+  OpcodeId div = InternOpcode("/");
+  OpcodeId min = InternOpcode("min");
+  OpcodeId max = InternOpcode("max");
+  OpcodeId col_sums = InternOpcode("colSums");
+  OpcodeId col_means = InternOpcode("colMeans");
+  OpcodeId col_mins = InternOpcode("colMins");
+  OpcodeId col_maxs = InternOpcode("colMaxs");
+  OpcodeId col_vars = InternOpcode("colVars");
+  OpcodeId row_sums = InternOpcode("rowSums");
+  OpcodeId row_means = InternOpcode("rowMeans");
+  OpcodeId row_mins = InternOpcode("rowMins");
+  OpcodeId row_maxs = InternOpcode("rowMaxs");
+};
+
+const RewriteOps& Op() {
+  static const RewriteOps* ops = new RewriteOps();
+  return *ops;
+}
+
 MatrixPtr PeekMatrix(LineageCache* cache, const LineageItemPtr& item) {
   DataPtr data = cache->Peek(item);
   if (data == nullptr || data->type() != DataType::kMatrix) return nullptr;
@@ -37,7 +70,7 @@ int64_t LiteralInt(const LineageItemPtr& item) {
 
 /// Is this lineage a fill(1, r, 1) — i.e. a column of ones?
 bool IsOnesColumn(const LineageItemPtr& item) {
-  if (item == nullptr || item->opcode() != "fill") return false;
+  if (item == nullptr || item->opcode_id() != Op().fill) return false;
   if (item->inputs().size() != 3) return false;
   return LiteralInt(item->inputs()[0]) == 1 &&
          LiteralInt(item->inputs()[2]) == 1;
@@ -53,9 +86,9 @@ void PutMatrix(LineageCache* cache, const LineageItemPtr& key, Matrix value,
 bool SpineHasCachedTsmm(LineageCache* cache, const LineageItemPtr& item) {
   LineageItemPtr node = item;
   for (int depth = 0; depth < 16; ++depth) {
-    if (node->opcode() != "rbind") break;
+    if (node->opcode_id() != Op().rbind) break;
     const LineageItemPtr& prefix = node->inputs()[0];
-    if (cache->Peek(LineageItem::Create("tsmm", {prefix})) != nullptr) {
+    if (cache->Peek(LineageItem::Create(Op().tsmm, {prefix})) != nullptr) {
       return true;
     }
     node = prefix;
@@ -67,7 +100,7 @@ bool SpineHasCachedTsmm(LineageCache* cache, const LineageItemPtr& item) {
 int RbindChainDepth(const LineageItemPtr& item) {
   int depth = 0;
   LineageItemPtr node = item;
-  while (depth < 16 && node->opcode() == "rbind") {
+  while (depth < 16 && node->opcode_id() == Op().rbind) {
     ++depth;
     node = node->inputs()[0];
   }
@@ -80,13 +113,13 @@ int RbindChainDepth(const LineageItemPtr& item) {
 MatrixPtr ComputeTsmmChain(LineageCache* cache, const LineageItemPtr& item,
                            const MatrixPtr& value, int threads, int depth,
                            bool* reused) {
-  LineageItemPtr key = LineageItem::Create("tsmm", {item});
+  LineageItemPtr key = LineageItem::Create(Op().tsmm, {item});
   MatrixPtr cached = PeekMatrix(cache, key);
   if (cached != nullptr && cached->cols() == value->cols()) {
     *reused = true;
     return cached;
   }
-  if (depth < 16 && item->opcode() == "rbind") {
+  if (depth < 16 && item->opcode_id() == Op().rbind) {
     const LineageItemPtr& a_item = item->inputs()[0];
     const LineageItemPtr& b_item = item->inputs()[1];
     MatrixPtr a_val = PeekMatrix(cache, a_item);
@@ -137,11 +170,11 @@ DataPtr RewriteTsmm(LineageCache* cache, const LineageItemPtr& key,
   MatrixPtr z = InputMatrix(inputs[0]);
   if (z == nullptr) return nullptr;
 
-  if (composed->opcode() == "cbind") {
+  if (composed->opcode_id() == Op().cbind) {
     // tsmm(cbind(A,B)) -> [[tsmm(A), t(A)B], [t(B)A, tsmm(B)]].
     const LineageItemPtr& a_item = composed->inputs()[0];
     const LineageItemPtr& b_item = composed->inputs()[1];
-    LineageItemPtr taa_key = LineageItem::Create("tsmm", {a_item});
+    LineageItemPtr taa_key = LineageItem::Create(Op().tsmm, {a_item});
     MatrixPtr taa = PeekMatrix(cache, taa_key);
     if (taa == nullptr) return nullptr;
     int64_t c1 = taa->cols();
@@ -155,7 +188,7 @@ DataPtr RewriteTsmm(LineageCache* cache, const LineageItemPtr& key,
     if (!tab.ok()) return nullptr;
     Matrix tbb = Tsmm(*b, /*left=*/true, threads);
     double seconds = watch.ElapsedSeconds();
-    PutMatrix(cache, LineageItem::Create("tsmm", {b_item}), tbb, seconds);
+    PutMatrix(cache, LineageItem::Create(Op().tsmm, {b_item}), tbb, seconds);
 
     int64_t c2 = tbb.cols();
     Matrix out(c1 + c2, c1 + c2);
@@ -172,7 +205,7 @@ DataPtr RewriteTsmm(LineageCache* cache, const LineageItemPtr& key,
     return MakeMatrixData(std::move(out));
   }
 
-  if (composed->opcode() == "rbind") {
+  if (composed->opcode_id() == Op().rbind) {
     // tsmm(rbind(X,dX)) -> tsmm(X) + tsmm(dX), applied recursively down
     // left-deep rbind chains (the cross-validation fold composition,
     // Sec. 4.4): every chain level's tsmm is computed once and cached, so
@@ -194,7 +227,7 @@ DataPtr RewriteTsmm(LineageCache* cache, const LineageItemPtr& key,
 /// mm(t(item), y_item) cache key.
 LineageItemPtr TXyKey(const LineageItemPtr& x_item,
                       const LineageItemPtr& y_item) {
-  return LineageItem::Create("mm", {LineageItem::Create("t", {x_item}),
+  return LineageItem::Create(Op().mm, {LineageItem::Create(Op().transpose, {x_item}),
                                     y_item});
 }
 
@@ -205,7 +238,7 @@ bool SpineHasCachedTXy(LineageCache* cache, const LineageItemPtr& x_item,
   LineageItemPtr x = x_item;
   LineageItemPtr y = y_item;
   for (int depth = 0; depth < 16; ++depth) {
-    if (x->opcode() != "rbind" || y->opcode() != "rbind") break;
+    if (x->opcode_id() != Op().rbind || y->opcode_id() != Op().rbind) break;
     x = x->inputs()[0];
     y = y->inputs()[0];
     if (cache->Peek(TXyKey(x, y)) != nullptr) return true;
@@ -228,8 +261,8 @@ MatrixPtr ComputeTXyChain(LineageCache* cache, const LineageItemPtr& x_item,
     *reused = true;
     return cached;
   }
-  if (depth < 16 && x_item->opcode() == "rbind" &&
-      y_item->opcode() == "rbind") {
+  if (depth < 16 && x_item->opcode_id() == Op().rbind &&
+      y_item->opcode_id() == Op().rbind) {
     const LineageItemPtr& a_item = x_item->inputs()[0];
     const LineageItemPtr& b_item = x_item->inputs()[1];
     const LineageItemPtr& ya_item = y_item->inputs()[0];
@@ -290,10 +323,10 @@ DataPtr RewriteMatMul(LineageCache* cache, const LineageItemPtr& key,
   if (x == nullptr || y == nullptr) return nullptr;
 
   // X %*% cbind(Y, dY) -> cbind(XY, X dY); ones column uses rowSums(X).
-  if (y_item->opcode() == "cbind") {
+  if (y_item->opcode_id() == Op().cbind) {
     const LineageItemPtr& y1 = y_item->inputs()[0];
     const LineageItemPtr& y2 = y_item->inputs()[1];
-    MatrixPtr cached = PeekMatrix(cache, LineageItem::Create("mm", {x_item, y1}));
+    MatrixPtr cached = PeekMatrix(cache, LineageItem::Create(Op().mm, {x_item, y1}));
     if (cached != nullptr && cached->cols() < y->cols() &&
         cached->rows() == x->rows()) {
       int64_t c1 = cached->cols();
@@ -307,7 +340,7 @@ DataPtr RewriteMatMul(LineageCache* cache, const LineageItemPtr& key,
         Result<Matrix> product = MatMul(*x, *dy, threads);
         if (!product.ok()) return nullptr;
         extra = std::move(product).ValueOrDie();
-        PutMatrix(cache, LineageItem::Create("mm", {x_item, y2}), extra,
+        PutMatrix(cache, LineageItem::Create(Op().mm, {x_item, y2}), extra,
                   watch.ElapsedSeconds());
       }
       Result<Matrix> out = CBind(*cached, extra);
@@ -316,10 +349,10 @@ DataPtr RewriteMatMul(LineageCache* cache, const LineageItemPtr& key,
   }
 
   // rbind(X, dX) %*% Y -> rbind(XY, dX Y).
-  if (x_item->opcode() == "rbind") {
+  if (x_item->opcode_id() == Op().rbind) {
     const LineageItemPtr& x1 = x_item->inputs()[0];
     const LineageItemPtr& x2 = x_item->inputs()[1];
-    MatrixPtr cached = PeekMatrix(cache, LineageItem::Create("mm", {x1, y_item}));
+    MatrixPtr cached = PeekMatrix(cache, LineageItem::Create(Op().mm, {x1, y_item}));
     if (cached != nullptr && cached->rows() < x->rows() &&
         cached->cols() == y->cols()) {
       int64_t r1 = cached->rows();
@@ -328,7 +361,7 @@ DataPtr RewriteMatMul(LineageCache* cache, const LineageItemPtr& key,
       if (dx.ok()) {
         Result<Matrix> product = MatMul(*dx, *y, threads);
         if (product.ok()) {
-          PutMatrix(cache, LineageItem::Create("mm", {x2, y_item}),
+          PutMatrix(cache, LineageItem::Create(Op().mm, {x2, y_item}),
                     product.ValueOrDie(), watch.ElapsedSeconds());
           Result<Matrix> out = RBind(*cached, product.ValueOrDie());
           if (out.ok()) return MakeMatrixData(std::move(out).ValueOrDie());
@@ -338,7 +371,7 @@ DataPtr RewriteMatMul(LineageCache* cache, const LineageItemPtr& key,
   }
 
   // X %*% (Y[, l:u]) -> (X %*% Ybase)[, l:u]  (full-row column slice).
-  if (y_item->opcode() == "rightindex" && y_item->inputs().size() == 5) {
+  if (y_item->opcode_id() == Op().rightindex && y_item->inputs().size() == 5) {
     const LineageItemPtr& base = y_item->inputs()[0];
     int64_t rl = LiteralInt(y_item->inputs()[1]);
     int64_t ru = LiteralInt(y_item->inputs()[2]);
@@ -349,11 +382,11 @@ DataPtr RewriteMatMul(LineageCache* cache, const LineageItemPtr& key,
     const LineageItemPtr& ru_item = y_item->inputs()[2];
     bool full_rows =
         ru == x->cols() ||
-        (ru_item->opcode() == "nrow" && ru_item->inputs().size() == 1 &&
+        (ru_item->opcode_id() == Op().nrow && ru_item->inputs().size() == 1 &&
          ru_item->inputs()[0]->Equals(*base));
     if (rl == 1 && full_rows && cl >= 1 && cu >= cl) {
       MatrixPtr cached =
-          PeekMatrix(cache, LineageItem::Create("mm", {x_item, base}));
+          PeekMatrix(cache, LineageItem::Create(Op().mm, {x_item, base}));
       if (cached != nullptr && cached->cols() >= cu &&
           cached->rows() == x->rows()) {
         Result<Matrix> out = RightIndex(*cached, 1, cached->rows(), cl, cu);
@@ -364,8 +397,8 @@ DataPtr RewriteMatMul(LineageCache* cache, const LineageItemPtr& key,
 
   // t(rbind-chain) %*% rbind-chain (cross-validation t(Xtr)ytr): recursive
   // per-fold computation with per-level caching.
-  if (x_item->opcode() == "t" && x_item->inputs()[0]->opcode() == "rbind" &&
-      y_item->opcode() == "rbind") {
+  if (x_item->opcode_id() == Op().transpose && x_item->inputs()[0]->opcode_id() == Op().rbind &&
+      y_item->opcode_id() == Op().rbind) {
     const bool speculate = RbindChainDepth(x_item->inputs()[0]) >= 2 &&
                            RbindChainDepth(y_item) >= 2;
     if (speculate || SpineHasCachedTXy(cache, x_item->inputs()[0], y_item)) {
@@ -379,13 +412,13 @@ DataPtr RewriteMatMul(LineageCache* cache, const LineageItemPtr& key,
   }
 
   // t(cbind(A,B)) %*% Y -> rbind(t(A)Y, t(B)Y).
-  if (x_item->opcode() == "t" &&
-      x_item->inputs()[0]->opcode() == "cbind") {
+  if (x_item->opcode_id() == Op().transpose &&
+      x_item->inputs()[0]->opcode_id() == Op().cbind) {
     const LineageItemPtr& a_item = x_item->inputs()[0]->inputs()[0];
     const LineageItemPtr& b_item = x_item->inputs()[0]->inputs()[1];
     MatrixPtr cached = PeekMatrix(
         cache, LineageItem::Create(
-                   "mm", {LineageItem::Create("t", {a_item}), y_item}));
+                   Op().mm, {LineageItem::Create(Op().transpose, {a_item}), y_item}));
     if (cached != nullptr && cached->rows() < x->rows() &&
         cached->cols() == y->cols()) {
       int64_t r1 = cached->rows();
@@ -396,7 +429,7 @@ DataPtr RewriteMatMul(LineageCache* cache, const LineageItemPtr& key,
         if (product.ok()) {
           PutMatrix(cache,
                     LineageItem::Create(
-                        "mm", {LineageItem::Create("t", {b_item}), y_item}),
+                        Op().mm, {LineageItem::Create(Op().transpose, {b_item}), y_item}),
                     product.ValueOrDie(), watch.ElapsedSeconds());
           Result<Matrix> out = RBind(*cached, product.ValueOrDie());
           if (out.ok()) return MakeMatrixData(std::move(out).ValueOrDie());
@@ -407,9 +440,9 @@ DataPtr RewriteMatMul(LineageCache* cache, const LineageItemPtr& key,
   return nullptr;
 }
 
-bool IsCellwiseOpcode(const std::string& op) {
-  return op == "+" || op == "-" || op == "*" || op == "/" || op == "min" ||
-         op == "max";
+bool IsCellwiseOpcode(OpcodeId op) {
+  return op == Op().add || op == Op().sub || op == Op().mul ||
+         op == Op().div || op == Op().min || op == Op().max;
 }
 
 DataPtr RewriteEwise(LineageCache* cache, const LineageItemPtr& key,
@@ -417,7 +450,7 @@ DataPtr RewriteEwise(LineageCache* cache, const LineageItemPtr& key,
   // cbind(X,dX) (*) cbind(Y,dY) -> cbind(X*Y, dX*dY).
   const LineageItemPtr& a_item = key->inputs()[0];
   const LineageItemPtr& b_item = key->inputs()[1];
-  if (a_item->opcode() != "cbind" || b_item->opcode() != "cbind") {
+  if (a_item->opcode_id() != Op().cbind || b_item->opcode_id() != Op().cbind) {
     return nullptr;
   }
   MatrixPtr a = InputMatrix(inputs[0]);
@@ -426,7 +459,7 @@ DataPtr RewriteEwise(LineageCache* cache, const LineageItemPtr& key,
   if (a->rows() != b->rows() || a->cols() != b->cols()) return nullptr;
 
   MatrixPtr cached = PeekMatrix(
-      cache, LineageItem::Create(key->opcode(),
+      cache, LineageItem::Create(key->opcode_id(),
                                  {a_item->inputs()[0], b_item->inputs()[0]}));
   if (cached == nullptr || cached->cols() >= a->cols() ||
       cached->rows() != a->rows()) {
@@ -439,12 +472,12 @@ DataPtr RewriteEwise(LineageCache* cache, const LineageItemPtr& key,
 
   // Parse the operator back from the opcode.
   BinaryOp op = BinaryOp::kMul;
-  const std::string& name = key->opcode();
-  if (name == "+") op = BinaryOp::kAdd;
-  else if (name == "-") op = BinaryOp::kSub;
-  else if (name == "/") op = BinaryOp::kDiv;
-  else if (name == "min") op = BinaryOp::kMin;
-  else if (name == "max") op = BinaryOp::kMax;
+  const OpcodeId name = key->opcode_id();
+  if (name == Op().add) op = BinaryOp::kAdd;
+  else if (name == Op().sub) op = BinaryOp::kSub;
+  else if (name == Op().div) op = BinaryOp::kDiv;
+  else if (name == Op().min) op = BinaryOp::kMin;
+  else if (name == Op().max) op = BinaryOp::kMax;
 
   Result<Matrix> extra = EwiseBinary(op, *da, *db);
   if (!extra.ok()) return nullptr;
@@ -453,36 +486,36 @@ DataPtr RewriteEwise(LineageCache* cache, const LineageItemPtr& key,
   return MakeMatrixData(std::move(out).ValueOrDie());
 }
 
-bool IsColAgg(const std::string& op) {
-  return op == "colSums" || op == "colMeans" || op == "colMins" ||
-         op == "colMaxs" || op == "colVars";
+bool IsColAgg(OpcodeId op) {
+  return op == Op().col_sums || op == Op().col_means || op == Op().col_mins ||
+         op == Op().col_maxs || op == Op().col_vars;
 }
 
-bool IsRowAgg(const std::string& op) {
-  return op == "rowSums" || op == "rowMeans" || op == "rowMins" ||
-         op == "rowMaxs";
+bool IsRowAgg(OpcodeId op) {
+  return op == Op().row_sums || op == Op().row_means ||
+         op == Op().row_mins || op == Op().row_maxs;
 }
 
-Matrix ApplyAgg(const std::string& op, const Matrix& m) {
-  if (op == "colSums") return ColSums(m);
-  if (op == "colMeans") return ColMeans(m);
-  if (op == "colMins") return ColMins(m);
-  if (op == "colMaxs") return ColMaxs(m);
-  if (op == "colVars") return ColVars(m);
-  if (op == "rowSums") return RowSums(m);
-  if (op == "rowMeans") return RowMeans(m);
-  if (op == "rowMins") return RowMins(m);
+Matrix ApplyAgg(OpcodeId op, const Matrix& m) {
+  if (op == Op().col_sums) return ColSums(m);
+  if (op == Op().col_means) return ColMeans(m);
+  if (op == Op().col_mins) return ColMins(m);
+  if (op == Op().col_maxs) return ColMaxs(m);
+  if (op == Op().col_vars) return ColVars(m);
+  if (op == Op().row_sums) return RowSums(m);
+  if (op == Op().row_means) return RowMeans(m);
+  if (op == Op().row_mins) return RowMins(m);
   return RowMaxs(m);
 }
 
 DataPtr RewriteAgg(LineageCache* cache, const LineageItemPtr& key,
                    const std::vector<DataPtr>& inputs) {
-  const std::string& op = key->opcode();
+  const OpcodeId op = key->opcode_id();
   const LineageItemPtr& composed = key->inputs()[0];
   MatrixPtr z = InputMatrix(inputs[0]);
   if (z == nullptr) return nullptr;
 
-  if (IsColAgg(op) && composed->opcode() == "cbind") {
+  if (IsColAgg(op) && composed->opcode_id() == Op().cbind) {
     MatrixPtr cached = PeekMatrix(
         cache, LineageItem::Create(op, {composed->inputs()[0]}));
     if (cached == nullptr || cached->cols() >= z->cols()) return nullptr;
@@ -497,7 +530,7 @@ DataPtr RewriteAgg(LineageCache* cache, const LineageItemPtr& key,
     return MakeMatrixData(std::move(out).ValueOrDie());
   }
 
-  if (IsRowAgg(op) && composed->opcode() == "rbind") {
+  if (IsRowAgg(op) && composed->opcode_id() == Op().rbind) {
     MatrixPtr cached = PeekMatrix(
         cache, LineageItem::Create(op, {composed->inputs()[0]}));
     if (cached == nullptr || cached->rows() >= z->rows()) return nullptr;
@@ -520,11 +553,11 @@ DataPtr TryPartialRewrites(LineageCache* cache, const LineageItemPtr& key,
                            const std::vector<DataPtr>& inputs,
                            int kernel_threads) {
   if (key == nullptr || key->inputs().empty()) return nullptr;
-  const std::string& op = key->opcode();
-  if (op == "tsmm" && inputs.size() == 1) {
+  const OpcodeId op = key->opcode_id();
+  if (op == Op().tsmm && inputs.size() == 1) {
     return RewriteTsmm(cache, key, inputs, kernel_threads);
   }
-  if (op == "mm" && inputs.size() == 2) {
+  if (op == Op().mm && inputs.size() == 2) {
     return RewriteMatMul(cache, key, inputs, kernel_threads);
   }
   if (IsCellwiseOpcode(op) && inputs.size() == 2) {

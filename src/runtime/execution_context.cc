@@ -34,8 +34,9 @@ void ExecutionContext::SetVariable(const std::string& name, DataPtr value,
   if (!tracing_enabled()) return;
   if (item == nullptr) {
     // Unique orphan leaf: distinct untraced values never alias.
+    static const OpcodeId kOrphanId = InternOpcode("orphan");
     item = LineageItem::Create(
-        "orphan", {},
+        kOrphanId, {},
         std::to_string(g_orphan_counter.fetch_add(1,
                                                   std::memory_order_relaxed)));
   }
@@ -77,9 +78,10 @@ void ExecutionContext::BindInput(const std::string& name, DataPtr value) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "S%016llx",
                   static_cast<unsigned long long>(fingerprint));
+    static const OpcodeId kReadId = InternOpcode("read");
     lineage_.Set(name,
                  LineageItem::Create(
-                     "read", {lineage_.GetOrCreateLiteral(buf)}, name));
+                     kReadId, {lineage_.GetOrCreateLiteral(buf)}, name));
   }
 }
 

@@ -18,15 +18,16 @@ LineageItemPtr ResolveOperandLineage(ExecutionContext* ctx,
   if (item == nullptr) {
     // Stabilize untracked variables with a unique orphan leaf.
     static std::atomic<int64_t> counter{0};
+    static const OpcodeId kOrphanId = InternOpcode("orphan");
     item = LineageItem::Create(
-        "orphan", {},
+        kOrphanId, {},
         std::to_string(counter.fetch_add(1, std::memory_order_relaxed)));
     ctx->lineage().Set(op.name, item);
   }
   return item;
 }
 
-std::string Instruction::ToString() const { return opcode_; }
+std::string Instruction::ToString() const { return opcode(); }
 
 std::vector<std::string> ComputationInstruction::InputVars() const {
   std::vector<std::string> vars;
@@ -37,7 +38,7 @@ std::vector<std::string> ComputationInstruction::InputVars() const {
 }
 
 std::string ComputationInstruction::ToString() const {
-  std::string out = opcode_;
+  std::string out = opcode();
   for (const Operand& op : operands_) {
     out += " ";
     out += op.DebugString();
@@ -57,11 +58,11 @@ std::vector<LineageItemPtr> ComputationInstruction::BuildLineage(
   (void)state;
   std::vector<LineageItemPtr> items;
   if (outputs_.size() == 1) {
-    items.push_back(LineageItem::Create(opcode_, input_items));
+    items.push_back(LineageItem::Create(opcode_id_, input_items));
   } else {
     for (size_t i = 0; i < outputs_.size(); ++i) {
       items.push_back(
-          LineageItem::Create(opcode_, input_items, ";o" + std::to_string(i)));
+          LineageItem::Create(opcode_id_, input_items, ";o" + std::to_string(i)));
     }
   }
   return items;
@@ -177,7 +178,7 @@ Status ComputationInstruction::Execute(ExecutionContext* ctx) const {
   double seconds = watch.ElapsedSeconds();
   std::vector<DataPtr> values = std::move(computed).ValueOrDie();
   LIMA_CHECK_EQ(values.size(), outputs_.size())
-      << "instruction " << opcode_ << " output arity mismatch";
+      << "instruction " << opcode() << " output arity mismatch";
 
   // Populate the cache. With full probing, only claimed keys are filled;
   // with partial-only mode, values are inserted directly.

@@ -54,7 +54,11 @@ LineageItemPtr ResolveOperandLineage(ExecutionContext* ctx, const Operand& op);
 /// ExecutionContext.
 class Instruction {
  public:
-  explicit Instruction(std::string opcode) : opcode_(std::move(opcode)) {}
+  /// Interns the opcode once at construction; all per-execution paths
+  /// (lineage tracing, cache probing, profiling, dispatch) use the id.
+  explicit Instruction(std::string_view opcode)
+      : opcode_id_(InternOpcode(opcode)) {}
+  explicit Instruction(OpcodeId opcode) : opcode_id_(opcode) {}
   virtual ~Instruction() = default;
 
   Instruction(const Instruction&) = delete;
@@ -62,7 +66,9 @@ class Instruction {
 
   virtual Status Execute(ExecutionContext* ctx) const = 0;
 
-  const std::string& opcode() const { return opcode_; }
+  OpcodeId opcode_id() const { return opcode_id_; }
+  /// Display name of opcode_id() (stable reference).
+  const std::string& opcode() const { return OpcodeName(opcode_id_); }
 
   /// Variables read / written (live-variable analysis, Sec. 3.2/4.1).
   virtual std::vector<std::string> InputVars() const = 0;
@@ -85,7 +91,7 @@ class Instruction {
   virtual std::string ToString() const;
 
  protected:
-  std::string opcode_;
+  OpcodeId opcode_id_;
   bool reuse_marked_ = true;
   int source_line_ = 0;
 };
@@ -98,9 +104,15 @@ class Instruction {
 ///   4. on miss: execute the kernel, bind outputs, populate the cache.
 class ComputationInstruction : public Instruction {
  public:
-  ComputationInstruction(std::string opcode, std::vector<Operand> operands,
+  ComputationInstruction(std::string_view opcode,
+                         std::vector<Operand> operands,
                          std::vector<std::string> outputs)
-      : Instruction(std::move(opcode)),
+      : Instruction(opcode),
+        operands_(std::move(operands)),
+        outputs_(std::move(outputs)) {}
+  ComputationInstruction(OpcodeId opcode, std::vector<Operand> operands,
+                         std::vector<std::string> outputs)
+      : Instruction(opcode),
         operands_(std::move(operands)),
         outputs_(std::move(outputs)) {}
 
@@ -143,11 +155,12 @@ class ComputationInstruction : public Instruction {
       ExecutionContext* ctx, const std::vector<LineageItemPtr>& input_items,
       const ExecState& state) const;
 
-  /// Whether this op participates in reuse: opcode-effect registry
-  /// membership (Sec. 4.1: the configurable set of cacheable instructions)
-  /// gated by compiler-assisted unmarking.
+  /// Whether this op participates in reuse: operator-catalog membership
+  /// (Sec. 4.1: the configurable set of cacheable instructions) gated by
+  /// compiler-assisted unmarking. The id-keyed lookup is O(1) — no string
+  /// hashing on the per-execution path.
   virtual bool IsReusableOp() const {
-    return reuse_marked_ && IsReusableOpcode(opcode_);
+    return reuse_marked_ && IsReusableOpcode(opcode_id_);
   }
 
   std::vector<Operand> operands_;

@@ -1,0 +1,352 @@
+#include "runtime/instruction_factory.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+#include "runtime/instructions_compute.h"
+#include "runtime/instructions_datagen.h"
+#include "runtime/instructions_matrix.h"
+#include "runtime/instructions_misc.h"
+
+namespace lima {
+
+namespace {
+
+using Built = Result<std::unique_ptr<Instruction>>;
+using Builder = Built (*)(OpcodeId id, std::vector<Operand> in,
+                          std::vector<std::string> out);
+
+std::unique_ptr<Instruction> Up(Instruction* instruction) {
+  return std::unique_ptr<Instruction>(instruction);
+}
+
+// Elementwise enums resolved from the interned opcode; the name functions in
+// matrix/elementwise.* stay the single spelling of each operator.
+const std::unordered_map<int32_t, BinaryOp>& BinaryOpsById() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<int32_t, BinaryOp>;
+    for (int i = 0; i <= static_cast<int>(BinaryOp::kIntDiv); ++i) {
+      BinaryOp op = static_cast<BinaryOp>(i);
+      m->emplace(InternOpcode(BinaryOpName(op)).value(), op);
+    }
+    return m;
+  }();
+  return *map;
+}
+
+const std::unordered_map<int32_t, UnaryOp>& UnaryOpsById() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<int32_t, UnaryOp>;
+    for (int i = 0; i <= static_cast<int>(UnaryOp::kSigmoid); ++i) {
+      UnaryOp op = static_cast<UnaryOp>(i);
+      m->emplace(InternOpcode(UnaryOpName(op)).value(), op);
+    }
+    return m;
+  }();
+  return *map;
+}
+
+Built BuildBinary(OpcodeId id, std::vector<Operand> in,
+                  std::vector<std::string> out) {
+  return Up(new BinaryInstruction(BinaryOpsById().at(id.value()),
+                                  std::move(in[0]), std::move(in[1]),
+                                  std::move(out[0])));
+}
+
+Built BuildUnary(OpcodeId id, std::vector<Operand> in,
+                 std::vector<std::string> out) {
+  return Up(new UnaryInstruction(UnaryOpsById().at(id.value()),
+                                 std::move(in[0]), std::move(out[0])));
+}
+
+Built BuildAggregate(OpcodeId id, std::vector<Operand> in,
+                     std::vector<std::string> out) {
+  return Up(
+      new AggregateInstruction(OpcodeName(id), std::move(in[0]),
+                               std::move(out[0])));
+}
+
+Built BuildIfElse(OpcodeId /*id*/, std::vector<Operand> in,
+                  std::vector<std::string> out) {
+  return Up(new IfElseInstruction(std::move(in[0]), std::move(in[1]),
+                                  std::move(in[2]), std::move(out[0])));
+}
+
+Built BuildMatMul(OpcodeId /*id*/, std::vector<Operand> in,
+                  std::vector<std::string> out) {
+  return Up(
+      new MatMulInstruction(std::move(in[0]), std::move(in[1]),
+                            std::move(out[0])));
+}
+
+Built BuildTsmm(OpcodeId id, std::vector<Operand> in,
+                std::vector<std::string> out) {
+  static const OpcodeId kTsmm = InternOpcode("tsmm");
+  return Up(new TsmmInstruction(std::move(in[0]), std::move(out[0]),
+                                /*left=*/id == kTsmm));
+}
+
+Built BuildTsmmCbind(OpcodeId /*id*/, std::vector<Operand> in,
+                     std::vector<std::string> out) {
+  return Up(new TsmmCbindInstruction(std::move(in[0]), std::move(in[1]),
+                                     std::move(out[0])));
+}
+
+Built BuildSolve(OpcodeId /*id*/, std::vector<Operand> in,
+                 std::vector<std::string> out) {
+  return Up(new SolveInstruction(std::move(in[0]), std::move(in[1]),
+                                 std::move(out[0])));
+}
+
+Built BuildCholesky(OpcodeId /*id*/, std::vector<Operand> in,
+                    std::vector<std::string> out) {
+  return Up(new CholeskyInstruction(std::move(in[0]), std::move(out[0])));
+}
+
+Built BuildEigen(OpcodeId /*id*/, std::vector<Operand> in,
+                 std::vector<std::string> out) {
+  return Up(new EigenInstruction(std::move(in[0]), std::move(out[0]),
+                                 std::move(out[1])));
+}
+
+Built BuildReorg(OpcodeId id, std::vector<Operand> in,
+                 std::vector<std::string> out) {
+  return Up(new ReorgInstruction(OpcodeName(id), std::move(in[0]),
+                                 std::move(out[0])));
+}
+
+Built BuildReshape(OpcodeId /*id*/, std::vector<Operand> in,
+                   std::vector<std::string> out) {
+  return Up(new ReshapeInstruction(std::move(in[0]), std::move(in[1]),
+                                   std::move(in[2]), std::move(out[0])));
+}
+
+Built BuildAppend(OpcodeId id, std::vector<Operand> in,
+                  std::vector<std::string> out) {
+  static const OpcodeId kCbind = InternOpcode("cbind");
+  return Up(new AppendInstruction(id == kCbind, std::move(in[0]),
+                                  std::move(in[1]), std::move(out[0])));
+}
+
+Built BuildRightIndex(OpcodeId /*id*/, std::vector<Operand> in,
+                      std::vector<std::string> out) {
+  return Up(new RightIndexInstruction(std::move(in[0]), std::move(in[1]),
+                                      std::move(in[2]), std::move(in[3]),
+                                      std::move(in[4]), std::move(out[0])));
+}
+
+Built BuildLeftIndex(OpcodeId /*id*/, std::vector<Operand> in,
+                     std::vector<std::string> out) {
+  return Up(new LeftIndexInstruction(std::move(in[0]), std::move(in[1]),
+                                     std::move(in[2]), std::move(in[3]),
+                                     std::move(in[4]), std::move(in[5]),
+                                     std::move(out[0])));
+}
+
+Built BuildSelect(OpcodeId id, std::vector<Operand> in,
+                  std::vector<std::string> out) {
+  static const OpcodeId kSelCols = InternOpcode("selcols");
+  return Up(new SelectInstruction(id == kSelCols, std::move(in[0]),
+                                  std::move(in[1]), std::move(out[0])));
+}
+
+Built BuildTable(OpcodeId /*id*/, std::vector<Operand> in,
+                 std::vector<std::string> out) {
+  return Up(new TableInstruction(std::move(in[0]), std::move(in[1]),
+                                 std::move(in[2]), std::move(in[3]),
+                                 std::move(out[0])));
+}
+
+Built BuildOrder(OpcodeId /*id*/, std::vector<Operand> in,
+                 std::vector<std::string> out) {
+  return Up(new OrderInstruction(std::move(in[0]), std::move(in[1]),
+                                 std::move(in[2]), std::move(out[0])));
+}
+
+Built BuildMetadata(OpcodeId id, std::vector<Operand> in,
+                    std::vector<std::string> out) {
+  return Up(new MetadataInstruction(OpcodeName(id), std::move(in[0]),
+                                    std::move(out[0])));
+}
+
+Built BuildCast(OpcodeId id, std::vector<Operand> in,
+                std::vector<std::string> out) {
+  return Up(new CastInstruction(OpcodeName(id), std::move(in[0]),
+                                std::move(out[0])));
+}
+
+Built BuildToString(OpcodeId /*id*/, std::vector<Operand> in,
+                    std::vector<std::string> out) {
+  return Up(new ToStringInstruction(std::move(in[0]), std::move(out[0])));
+}
+
+Built BuildDataGen(OpcodeId id, std::vector<Operand> in,
+                   std::vector<std::string> out) {
+  return Up(new DataGenInstruction(OpcodeName(id), std::move(in),
+                                   std::move(out[0])));
+}
+
+Built BuildList(OpcodeId /*id*/, std::vector<Operand> in,
+                std::vector<std::string> out) {
+  return Up(new ListInstruction(std::move(in), std::move(out[0])));
+}
+
+Built BuildListIndex(OpcodeId /*id*/, std::vector<Operand> in,
+                     std::vector<std::string> out) {
+  return Up(new ListIndexInstruction(std::move(in[0]), std::move(in[1]),
+                                     std::move(out[0])));
+}
+
+Built BuildCopyVar(OpcodeId /*id*/, std::vector<Operand> in,
+                   std::vector<std::string> out) {
+  if (in[0].is_literal) {
+    return Status::Invalid("cpvar requires a variable operand");
+  }
+  return Built(std::unique_ptr<Instruction>(
+      VariableInstruction::Copy(std::move(in[0].name), std::move(out[0]))));
+}
+
+/// The one opcode -> constructor table, dense over catalog ids.
+class FactoryTable {
+ public:
+  FactoryTable() : builders_(NumCatalogOpcodes(), nullptr) {
+    // Elementwise binaries/unaries: registered for every enum value, so a
+    // new BinaryOp/UnaryOp is replayable the moment it gets a name.
+    for (const auto& [id, op] : BinaryOpsById()) Register(id, BuildBinary);
+    for (const auto& [id, op] : UnaryOpsById()) Register(id, BuildUnary);
+    for (const char* agg :
+         {"sum", "mean", "ua_min", "ua_max", "trace", "colSums", "colMeans",
+          "colMins", "colMaxs", "colVars", "rowSums", "rowMeans", "rowMins",
+          "rowMaxs", "rowIndexMax"}) {
+      Register(agg, BuildAggregate);
+    }
+    Register("ifelse", BuildIfElse);
+    Register("mm", BuildMatMul);
+    Register("tsmm", BuildTsmm);
+    Register("tmm", BuildTsmm);
+    Register("tsmm_cbind", BuildTsmmCbind);
+    Register("solve", BuildSolve);
+    Register("cholesky", BuildCholesky);
+    Register("eigen", BuildEigen);
+    for (const char* reorg : {"t", "rev", "diag"}) Register(reorg, BuildReorg);
+    Register("reshape", BuildReshape);
+    Register("cbind", BuildAppend);
+    Register("rbind", BuildAppend);
+    Register("rightindex", BuildRightIndex);
+    Register("leftindex", BuildLeftIndex);
+    Register("selcols", BuildSelect);
+    Register("selrows", BuildSelect);
+    Register("table", BuildTable);
+    Register("order", BuildOrder);
+    for (const char* meta : {"nrow", "ncol", "length"}) {
+      Register(meta, BuildMetadata);
+    }
+    Register("castdts", BuildCast);
+    Register("castsdm", BuildCast);
+    Register("toString", BuildToString);
+    for (const char* gen : {"rand", "sample", "seq", "fill"}) {
+      Register(gen, BuildDataGen);
+    }
+    Register("list", BuildList);
+    Register("listidx", BuildListIndex);
+    Register("cpvar", BuildCopyVar);
+  }
+
+  Builder Find(OpcodeId id) const {
+    if (!id.valid() || id.value() >= static_cast<int32_t>(builders_.size())) {
+      return nullptr;
+    }
+    return builders_[id.value()];
+  }
+
+ private:
+  void Register(std::string_view name, Builder builder) {
+    Register(InternOpcode(name).value(), builder);
+  }
+  void Register(int32_t id, Builder builder) {
+    LIMA_CHECK(id >= 0 && id < static_cast<int32_t>(builders_.size()))
+        << "factory builder for uncatalogued opcode id " << id;
+    builders_[id] = builder;
+  }
+
+  std::vector<Builder> builders_;
+};
+
+const FactoryTable& Factory() {
+  static const auto* table = new FactoryTable();
+  return *table;
+}
+
+Status ArityError(const OpcodeEffect& effect, size_t inputs, size_t outputs) {
+  return Status::Invalid(
+      std::string("factory: opcode '") + effect.opcode + "' takes " +
+      std::to_string(effect.min_inputs) +
+      (effect.max_inputs == -1
+           ? "+"
+           : effect.max_inputs == effect.min_inputs
+                 ? ""
+                 : ".." + std::to_string(effect.max_inputs)) +
+      " operands and produces " + std::to_string(effect.num_outputs) +
+      " outputs; got " + std::to_string(inputs) + " operands, " +
+      std::to_string(outputs) + " outputs");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Instruction>> MakeInstruction(
+    OpcodeId opcode, std::vector<Operand> operands,
+    std::vector<std::string> outputs) {
+  const OpcodeEffect* effect = LookupOpcode(opcode);
+  if (effect == nullptr) {
+    return Status::NotImplemented(
+        "factory: opcode not in the operator catalog: '" +
+        (opcode.valid() ? OpcodeName(opcode) : std::string("<invalid>")) +
+        "'");
+  }
+  Builder builder = Factory().Find(opcode);
+  if (builder == nullptr) {
+    return Status::NotImplemented(
+        std::string("factory: opcode '") + effect->opcode +
+        "' has no instruction builder" +
+        (effect->lineage_transparent
+             ? " (lineage-transparent: replay uses the traced expansion)"
+             : ""));
+  }
+  const int num_in = static_cast<int>(operands.size());
+  if (num_in < effect->min_inputs ||
+      (effect->max_inputs != -1 && num_in > effect->max_inputs) ||
+      (effect->num_outputs != -1 &&
+       static_cast<int>(outputs.size()) != effect->num_outputs)) {
+    return ArityError(*effect, operands.size(), outputs.size());
+  }
+  return builder(opcode, std::move(operands), std::move(outputs));
+}
+
+Result<std::unique_ptr<Instruction>> MakeInstruction(
+    std::string_view opcode, std::vector<Operand> operands,
+    std::vector<std::string> outputs) {
+  return MakeInstruction(InternOpcode(opcode), std::move(operands),
+                         std::move(outputs));
+}
+
+bool IsFactoryConstructible(OpcodeId opcode) {
+  return Factory().Find(opcode) != nullptr;
+}
+
+std::vector<std::string> VerifyFactoryCoverage() {
+  std::vector<std::string> missing;
+  const std::vector<OpcodeEffect>& effects = AllOpcodeEffects();
+  for (int32_t i = 0; i < static_cast<int32_t>(effects.size()); ++i) {
+    const OpcodeEffect& effect = effects[i];
+    if (!effect.reusable || effect.lineage_transparent) continue;
+    if (!IsFactoryConstructible(OpcodeId(i))) {
+      missing.push_back(std::string("reusable opcode '") + effect.opcode +
+                        "' is not constructible by the instruction factory; "
+                        "spill-restore or dedup replay of its lineage nodes "
+                        "would fail");
+    }
+  }
+  return missing;
+}
+
+}  // namespace lima

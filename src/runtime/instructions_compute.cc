@@ -165,7 +165,7 @@ Result<std::vector<DataPtr>> AggregateInstruction::Compute(
   (void)ctx;
   (void)state;
   LIMA_ASSIGN_OR_RETURN(MatrixPtr m, AsMatrix(inputs[0]));
-  const std::string& op = opcode_;
+  const std::string& op = opcode();
   if (op == "sum") return std::vector<DataPtr>{MakeDoubleData(Sum(*m))};
   if (op == "mean") return std::vector<DataPtr>{MakeDoubleData(Mean(*m))};
   if (op == "ua_min") {
@@ -214,22 +214,22 @@ Result<std::vector<DataPtr>> MetadataInstruction::Compute(
   (void)state;
   const DataPtr& in = inputs[0];
   if (in->type() == DataType::kList) {
-    if (opcode_ != "length") {
-      return Status::TypeError(opcode_ + " not defined on lists");
+    if (opcode() != "length") {
+      return Status::TypeError(opcode() + " not defined on lists");
     }
     LIMA_ASSIGN_OR_RETURN(auto list, AsList(in));
     return std::vector<DataPtr>{MakeIntData(list->size())};
   }
   LIMA_ASSIGN_OR_RETURN(MatrixPtr m, AsMatrix(in));
   int64_t v = 0;
-  if (opcode_ == "nrow") {
+  if (opcode() == "nrow") {
     v = m->rows();
-  } else if (opcode_ == "ncol") {
+  } else if (opcode() == "ncol") {
     v = m->cols();
-  } else if (opcode_ == "length") {
+  } else if (opcode() == "length") {
     v = m->size();
   } else {
-    return Status::NotImplemented("unknown metadata op: " + opcode_);
+    return Status::NotImplemented("unknown metadata op: " + opcode());
   }
   return std::vector<DataPtr>{MakeIntData(v)};
 }
@@ -244,7 +244,7 @@ Result<std::vector<DataPtr>> CastInstruction::Compute(
     const ExecState& state) const {
   (void)ctx;
   (void)state;
-  if (opcode_ == "castdts") {
+  if (opcode() == "castdts") {
     if (inputs[0]->type() == DataType::kScalar) {
       return std::vector<DataPtr>{inputs[0]};
     }
@@ -254,7 +254,7 @@ Result<std::vector<DataPtr>> CastInstruction::Compute(
     }
     return std::vector<DataPtr>{MakeDoubleData(m->At(0, 0))};
   }
-  if (opcode_ == "castsdm") {
+  if (opcode() == "castsdm") {
     if (inputs[0]->type() == DataType::kMatrix) {
       return std::vector<DataPtr>{inputs[0]};
     }
@@ -265,7 +265,7 @@ Result<std::vector<DataPtr>> CastInstruction::Compute(
     Matrix m(1, 1, v.AsDouble());
     return std::vector<DataPtr>{MakeMatrixData(std::move(m))};
   }
-  return Status::NotImplemented("unknown cast: " + opcode_);
+  return Status::NotImplemented("unknown cast: " + opcode());
 }
 
 IfElseInstruction::IfElseInstruction(Operand condition, Operand then_value,

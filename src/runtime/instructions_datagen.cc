@@ -24,8 +24,8 @@ DataGenInstruction::DataGenInstruction(std::string opcode,
                              {std::move(output)}) {}
 
 int DataGenInstruction::seed_operand_index() const {
-  if (opcode_ == "rand") return 6;
-  if (opcode_ == "sample") return 2;
+  if (opcode() == "rand") return 6;
+  if (opcode() == "sample") return 2;
   return -1;
 }
 
@@ -68,14 +68,14 @@ std::vector<LineageItemPtr> DataGenInstruction::BuildLineage(
   if (state.has_seed && idx >= 0 && state.seed_item != nullptr) {
     items[idx] = state.seed_item;
   }
-  return {LineageItem::Create(opcode_, std::move(items))};
+  return {LineageItem::Create(opcode_id_, std::move(items))};
 }
 
 Result<std::vector<DataPtr>> DataGenInstruction::Compute(
     ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
     const ExecState& state) const {
   (void)ctx;
-  if (opcode_ == "rand") {
+  if (opcode() == "rand") {
     LIMA_ASSIGN_OR_RETURN(int64_t rows, AsCount(inputs[0]));
     LIMA_ASSIGN_OR_RETURN(int64_t cols, AsCount(inputs[1]));
     LIMA_ASSIGN_OR_RETURN(double min_v, AsNumber(inputs[2]));
@@ -97,7 +97,7 @@ Result<std::vector<DataPtr>> DataGenInstruction::Compute(
                           Rand(rows, cols, min_v, max_v, sparsity, kind, seed));
     return std::vector<DataPtr>{MakeMatrixData(std::move(r))};
   }
-  if (opcode_ == "sample") {
+  if (opcode() == "sample") {
     LIMA_ASSIGN_OR_RETURN(int64_t range, AsCount(inputs[0]));
     LIMA_ASSIGN_OR_RETURN(int64_t size, AsCount(inputs[1]));
     uint64_t seed;
@@ -110,14 +110,14 @@ Result<std::vector<DataPtr>> DataGenInstruction::Compute(
     LIMA_ASSIGN_OR_RETURN(Matrix r, Sample(range, size, seed));
     return std::vector<DataPtr>{MakeMatrixData(std::move(r))};
   }
-  if (opcode_ == "seq") {
+  if (opcode() == "seq") {
     LIMA_ASSIGN_OR_RETURN(double from, AsNumber(inputs[0]));
     LIMA_ASSIGN_OR_RETURN(double to, AsNumber(inputs[1]));
     LIMA_ASSIGN_OR_RETURN(double incr, AsNumber(inputs[2]));
     LIMA_ASSIGN_OR_RETURN(Matrix r, SeqMatrix(from, to, incr));
     return std::vector<DataPtr>{MakeMatrixData(std::move(r))};
   }
-  if (opcode_ == "fill") {
+  if (opcode() == "fill") {
     LIMA_ASSIGN_OR_RETURN(int64_t rows, AsCount(inputs[1]));
     LIMA_ASSIGN_OR_RETURN(int64_t cols, AsCount(inputs[2]));
     if (rows < 0 || cols < 0) {
@@ -132,7 +132,7 @@ Result<std::vector<DataPtr>> DataGenInstruction::Compute(
     LIMA_ASSIGN_OR_RETURN(double value, AsNumber(inputs[0]));
     return std::vector<DataPtr>{MakeMatrixData(Matrix(rows, cols, value))};
   }
-  return Status::NotImplemented("unknown datagen op: " + opcode_);
+  return Status::NotImplemented("unknown datagen op: " + opcode());
 }
 
 }  // namespace lima

@@ -36,15 +36,17 @@ Result<std::vector<DataPtr>> MatMulInstruction::Compute(
   return One(std::move(r));
 }
 
-TsmmInstruction::TsmmInstruction(Operand x, std::string output)
-    : ComputationInstruction("tsmm", {std::move(x)}, {std::move(output)}) {}
+TsmmInstruction::TsmmInstruction(Operand x, std::string output, bool left)
+    : ComputationInstruction(left ? "tsmm" : "tmm", {std::move(x)},
+                             {std::move(output)}),
+      left_(left) {}
 
 Result<std::vector<DataPtr>> TsmmInstruction::Compute(
     ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
     const ExecState& state) const {
   (void)state;
   LIMA_ASSIGN_OR_RETURN(MatrixPtr x, AsMatrix(inputs[0]));
-  return One(Tsmm(*x, /*left=*/true, ctx->kernel_threads()));
+  return One(Tsmm(*x, left_, ctx->kernel_threads()));
 }
 
 ReorgInstruction::ReorgInstruction(std::string opcode, Operand input,
@@ -58,13 +60,13 @@ Result<std::vector<DataPtr>> ReorgInstruction::Compute(
   (void)ctx;
   (void)state;
   LIMA_ASSIGN_OR_RETURN(MatrixPtr m, AsMatrix(inputs[0]));
-  if (opcode_ == "t") return One(Transpose(*m));
-  if (opcode_ == "rev") return One(ReverseRows(*m));
-  if (opcode_ == "diag") {
+  if (opcode() == "t") return One(Transpose(*m));
+  if (opcode() == "rev") return One(ReverseRows(*m));
+  if (opcode() == "diag") {
     LIMA_ASSIGN_OR_RETURN(Matrix r, Diag(*m));
     return One(std::move(r));
   }
-  return Status::NotImplemented("unknown reorg op: " + opcode_);
+  return Status::NotImplemented("unknown reorg op: " + opcode());
 }
 
 ReshapeInstruction::ReshapeInstruction(Operand x, Operand rows, Operand cols,

@@ -19,15 +19,19 @@ class MatMulInstruction : public ComputationInstruction {
                                        const ExecState& state) const override;
 };
 
-/// Transpose-self matrix multiply t(X) %*% X (opcode "tsmm").
+/// Transpose-self matrix multiply: t(X) %*% X (opcode "tsmm", `left` true)
+/// or X %*% t(X) (legacy SystemDS opcode "tmm", `left` false).
 class TsmmInstruction : public ComputationInstruction {
  public:
-  TsmmInstruction(Operand x, std::string output);
+  TsmmInstruction(Operand x, std::string output, bool left = true);
 
  protected:
   Result<std::vector<DataPtr>> Compute(ExecutionContext* ctx,
                                        const std::vector<DataPtr>& inputs,
                                        const ExecState& state) const override;
+
+ private:
+  bool left_;
 };
 
 /// Reorganizations: "t" (transpose), "rev" (reverse rows), "diag".

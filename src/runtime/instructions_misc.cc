@@ -93,7 +93,7 @@ std::vector<std::string> VariableInstruction::OutputVars() const {
 }
 
 std::string VariableInstruction::ToString() const {
-  std::string out = opcode_;
+  std::string out = opcode();
   for (const std::string& name : names_) {
     out += " ";
     out += name;

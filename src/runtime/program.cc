@@ -133,7 +133,7 @@ Status BasicBlock::ExecuteInstructions(ExecutionContext* ctx) const {
         DataPtr value = ctx->symbols().GetOrNull(var);
         if (value != nullptr) bytes += value->SizeInBytes();
       }
-      profiler->Record(instruction->opcode(), nanos, bytes);
+      profiler->Record(instruction->opcode_id(), nanos, bytes);
     }
     if (!status.ok()) {
       return Status(status.code(),
@@ -162,8 +162,9 @@ Status BasicBlock::Execute(ExecutionContext* ctx) const {
   char signature[32];
   std::snprintf(signature, sizeof(signature), "sig:%016llx",
                 static_cast<unsigned long long>(reuse_info_.signature));
+  static const OpcodeId kBlockId = InternOpcode("block");
   LineageItemPtr key =
-      LineageItem::Create("block", std::move(input_items), signature);
+      LineageItem::Create(kBlockId, std::move(input_items), signature);
 
   if (stats != nullptr) {
     stats->cache_probes.fetch_add(1, std::memory_order_relaxed);
@@ -451,8 +452,9 @@ Status ParForBlock::Execute(ExecutionContext* ctx) const {
     }
     LineageItemPtr merge_item;
     if (ctx->tracing_enabled() && !merge_inputs.empty()) {
-      merge_item =
-          LineageItem::Create("parfor-merge", std::move(merge_inputs), name);
+      static const OpcodeId kParforMergeId = InternOpcode("parfor-merge");
+      merge_item = LineageItem::Create(kParforMergeId,
+                                       std::move(merge_inputs), name);
     }
     ctx->SetVariable(name, std::move(merged), std::move(merge_item));
   }

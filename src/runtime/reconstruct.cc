@@ -1,157 +1,43 @@
 #include "runtime/reconstruct.h"
 
+#include <cstdlib>
 #include <unordered_map>
 #include <unordered_set>
 
-#include "runtime/fused_op.h"
-#include "runtime/instructions_compute.h"
-#include "runtime/instructions_datagen.h"
-#include "runtime/instructions_matrix.h"
+#include "runtime/instruction_factory.h"
 #include "runtime/instructions_misc.h"
 
 namespace lima {
 
 namespace {
 
-const std::unordered_map<std::string, BinaryOp>& BinaryOpsByName() {
-  static const auto* kMap = new std::unordered_map<std::string, BinaryOp>{
-      {"+", BinaryOp::kAdd},   {"-", BinaryOp::kSub},
-      {"*", BinaryOp::kMul},   {"/", BinaryOp::kDiv},
-      {"^", BinaryOp::kPow},   {"min", BinaryOp::kMin},
-      {"max", BinaryOp::kMax}, {"==", BinaryOp::kEq},
-      {"!=", BinaryOp::kNeq},  {"<", BinaryOp::kLt},
-      {">", BinaryOp::kGt},    {"<=", BinaryOp::kLe},
-      {">=", BinaryOp::kGe},   {"&", BinaryOp::kAnd},
-      {"|", BinaryOp::kOr},    {"%%", BinaryOp::kMod},
-      {"%/%", BinaryOp::kIntDiv}};
-  return *kMap;
+// Lineage-internal opcodes the replayer treats structurally. Interned once;
+// all comparisons below are id equality, not string matching. Everything
+// executable goes through the catalog-driven factory, so reconstruct holds
+// no opcode->semantics knowledge of its own.
+OpcodeId ReadId() {
+  static const OpcodeId id = InternOpcode("read");
+  return id;
 }
-
-const std::unordered_map<std::string, UnaryOp>& UnaryOpsByName() {
-  static const auto* kMap = new std::unordered_map<std::string, UnaryOp>{
-      {"exp", UnaryOp::kExp},     {"log", UnaryOp::kLog},
-      {"sqrt", UnaryOp::kSqrt},   {"abs", UnaryOp::kAbs},
-      {"round", UnaryOp::kRound}, {"floor", UnaryOp::kFloor},
-      {"ceil", UnaryOp::kCeil},   {"sign", UnaryOp::kSign},
-      {"uminus", UnaryOp::kNeg},  {"!", UnaryOp::kNot},
-      {"sigmoid", UnaryOp::kSigmoid}};
-  return *kMap;
+OpcodeId OrphanId() {
+  static const OpcodeId id = InternOpcode("orphan");
+  return id;
 }
-
-bool IsAggregateOpcode(const std::string& op) {
-  static const auto* kSet = new std::unordered_set<std::string>{
-      "sum",      "mean",    "ua_min",  "ua_max",  "trace",
-      "colSums",  "colMeans", "colMins", "colMaxs", "colVars",
-      "rowSums",  "rowMeans", "rowMins", "rowMaxs", "rowIndexMax"};
-  return kSet->count(op) > 0;
-}
-
-/// Builds one instruction for a non-leaf, non-dedup lineage node.
-Result<std::unique_ptr<Instruction>> MakeInstruction(
-    const std::string& opcode, const std::vector<Operand>& in,
-    const std::string& out) {
-  auto bin = BinaryOpsByName().find(opcode);
-  if (bin != BinaryOpsByName().end() && in.size() == 2) {
-    return std::unique_ptr<Instruction>(
-        new BinaryInstruction(bin->second, in[0], in[1], out));
-  }
-  auto un = UnaryOpsByName().find(opcode);
-  if (un != UnaryOpsByName().end() && in.size() == 1) {
-    return std::unique_ptr<Instruction>(
-        new UnaryInstruction(un->second, in[0], out));
-  }
-  if (IsAggregateOpcode(opcode) && in.size() == 1) {
-    return std::unique_ptr<Instruction>(
-        new AggregateInstruction(opcode, in[0], out));
-  }
-  if (opcode == "mm" && in.size() == 2) {
-    return std::unique_ptr<Instruction>(
-        new MatMulInstruction(in[0], in[1], out));
-  }
-  if (opcode == "tsmm" && in.size() == 1) {
-    return std::unique_ptr<Instruction>(new TsmmInstruction(in[0], out));
-  }
-  if ((opcode == "t" || opcode == "rev" || opcode == "diag") &&
-      in.size() == 1) {
-    return std::unique_ptr<Instruction>(
-        new ReorgInstruction(opcode, in[0], out));
-  }
-  if (opcode == "reshape" && in.size() == 3) {
-    return std::unique_ptr<Instruction>(
-        new ReshapeInstruction(in[0], in[1], in[2], out));
-  }
-  if ((opcode == "cbind" || opcode == "rbind") && in.size() == 2) {
-    return std::unique_ptr<Instruction>(
-        new AppendInstruction(opcode == "cbind", in[0], in[1], out));
-  }
-  if (opcode == "rightindex" && in.size() == 5) {
-    return std::unique_ptr<Instruction>(
-        new RightIndexInstruction(in[0], in[1], in[2], in[3], in[4], out));
-  }
-  if (opcode == "leftindex" && in.size() == 6) {
-    return std::unique_ptr<Instruction>(new LeftIndexInstruction(
-        in[0], in[1], in[2], in[3], in[4], in[5], out));
-  }
-  if ((opcode == "selcols" || opcode == "selrows") && in.size() == 2) {
-    return std::unique_ptr<Instruction>(
-        new SelectInstruction(opcode == "selcols", in[0], in[1], out));
-  }
-  if (opcode == "solve" && in.size() == 2) {
-    return std::unique_ptr<Instruction>(
-        new SolveInstruction(in[0], in[1], out));
-  }
-  if (opcode == "cholesky" && in.size() == 1) {
-    return std::unique_ptr<Instruction>(new CholeskyInstruction(in[0], out));
-  }
-  if (opcode == "table" && in.size() == 4) {
-    return std::unique_ptr<Instruction>(
-        new TableInstruction(in[0], in[1], in[2], in[3], out));
-  }
-  if (opcode == "order" && in.size() == 3) {
-    return std::unique_ptr<Instruction>(
-        new OrderInstruction(in[0], in[1], in[2], out));
-  }
-  if (opcode == "rand" || opcode == "sample" || opcode == "seq" ||
-      opcode == "fill") {
-    return std::unique_ptr<Instruction>(
-        new DataGenInstruction(opcode, in, out));
-  }
-  if ((opcode == "nrow" || opcode == "ncol" || opcode == "length") &&
-      in.size() == 1) {
-    return std::unique_ptr<Instruction>(
-        new MetadataInstruction(opcode, in[0], out));
-  }
-  if ((opcode == "castdts" || opcode == "castsdm") && in.size() == 1) {
-    return std::unique_ptr<Instruction>(
-        new CastInstruction(opcode, in[0], out));
-  }
-  if (opcode == "ifelse" && in.size() == 3) {
-    return std::unique_ptr<Instruction>(
-        new IfElseInstruction(in[0], in[1], in[2], out));
-  }
-  if (opcode == "toString" && in.size() == 1) {
-    return std::unique_ptr<Instruction>(new ToStringInstruction(in[0], out));
-  }
-  if (opcode == "list") {
-    return std::unique_ptr<Instruction>(new ListInstruction(in, out));
-  }
-  if (opcode == "listidx" && in.size() == 2) {
-    return std::unique_ptr<Instruction>(
-        new ListIndexInstruction(in[0], in[1], out));
-  }
-  if (opcode == "cpvar" && in.size() == 1 && !in[0].is_literal) {
-    return std::unique_ptr<Instruction>(
-        VariableInstruction::Copy(in[0].name, out).release());
-  }
-  return Status::NotImplemented("reconstruct: unsupported opcode '" + opcode +
-                                "' with " + std::to_string(in.size()) +
-                                " inputs");
+OpcodeId ParforMergeId() {
+  static const OpcodeId id = InternOpcode("parfor-merge");
+  return id;
 }
 
 Operand LiteralOperandFromData(const std::string& data) {
   Result<ScalarValue> decoded = ScalarValue::DecodeLineageLiteral(data);
   return decoded.ok() ? Operand::Lit(std::move(decoded).ValueOrDie())
                       : Operand::LitString(data);
+}
+
+/// Parses the ";o<k>" data suffix of a multi-output lineage item.
+int MultiOutputIndex(const std::string& data) {
+  if (data.size() < 3 || data[0] != ';' || data[1] != 'o') return 0;
+  return std::atoi(data.c_str() + 2);
 }
 
 /// Compiles a dedup patch into a function (params = placeholders, outputs =
@@ -175,8 +61,9 @@ Result<std::unique_ptr<Function>> CompilePatchFunction(
   };
   for (size_t i = 0; i < patch.nodes().size(); ++i) {
     const DedupPatch::Node& node = patch.nodes()[i];
+    const OpcodeId node_id = patch.node_ids()[i];
     std::string out_var = "n" + std::to_string(i);
-    if (node.opcode == LineageItem::kLiteralOpcode) {
+    if (node_id == LineageItem::LiteralId()) {
       Operand lit = LiteralOperandFromData(node.data);
       body->Append(std::make_unique<AssignLiteralInstruction>(lit.literal,
                                                               out_var));
@@ -184,8 +71,9 @@ Result<std::unique_ptr<Function>> CompilePatchFunction(
     }
     std::vector<Operand> in;
     for (int64_t ref : node.inputs) in.push_back(node_operand(ref));
-    LIMA_ASSIGN_OR_RETURN(std::unique_ptr<Instruction> instruction,
-                          MakeInstruction(node.opcode, in, out_var));
+    LIMA_ASSIGN_OR_RETURN(
+        std::unique_ptr<Instruction> instruction,
+        MakeInstruction(node_id, std::move(in), {std::move(out_var)}));
     body->Append(std::move(instruction));
   }
   // Bind patch outputs to the function output names.
@@ -209,7 +97,9 @@ Result<ReconstructedProgram> ReconstructProgram(const LineageItemPtr& root) {
   std::unordered_set<std::string> inputs_seen;
   std::unordered_map<const LineageItem*, std::string> var_of;
   std::unordered_set<std::string> patch_functions;
-  // (patch name + input vars) -> per-call output variable names.
+  // (patch name + input vars) -> per-call output variable names; shared with
+  // multi-output instructions ((opcode + input vars) -> output variables) so
+  // sibling outputs replay one instruction.
   std::unordered_map<std::string, std::vector<std::string>> dedup_calls;
 
   // Iterative post-order over the DAG.
@@ -233,7 +123,7 @@ Result<ReconstructedProgram> ReconstructProgram(const LineageItemPtr& root) {
     stack.pop_back();
     const std::string var = "t" + std::to_string(item->id());
 
-    if (item->opcode() == "read") {
+    if (item->opcode_id() == ReadId()) {
       // External input: bound by the caller under the original name.
       var_of[item] = item->data();
       if (inputs_seen.insert(item->data()).second) {
@@ -248,12 +138,12 @@ Result<ReconstructedProgram> ReconstructProgram(const LineageItemPtr& root) {
       var_of[item] = var;
       continue;
     }
-    if (item->opcode() == "orphan" || item->is_placeholder()) {
+    if (item->opcode_id() == OrphanId() || item->is_placeholder()) {
       return Status::Invalid(
           "reconstruct: lineage contains untracked (orphan/placeholder) "
           "leaves");
     }
-    if (item->opcode() == "parfor-merge") {
+    if (item->opcode_id() == ParforMergeId()) {
       return Status::NotImplemented(
           "reconstruct: parfor-merge nodes are not reconstructible; "
           "reconstruct the per-worker roots instead");
@@ -287,33 +177,39 @@ Result<ReconstructedProgram> ReconstructProgram(const LineageItemPtr& root) {
       continue;
     }
 
-    // Multi-output instructions (";o<k>" data suffix): currently eigen.
-    if (item->opcode() == "eigen") {
-      std::string call_key = "eigen";
-      std::vector<Operand> in;
-      for (const LineageItemPtr& input : item->inputs()) {
-        const std::string& in_var = var_of.at(input.get());
-        in.push_back(Operand::Var(in_var));
-        call_key += "|" + in_var;
-      }
+    std::vector<Operand> in;
+    std::string call_key;
+    for (const LineageItemPtr& input : item->inputs()) {
+      const std::string& in_var = var_of.at(input.get());
+      in.push_back(Operand::Var(in_var));
+      call_key += "|" + in_var;
+    }
+
+    // Multi-output instructions trace one item per output, distinguished by
+    // the ";o<k>" data suffix; siblings share one replayed instruction. The
+    // catalog says which opcodes these are — no per-opcode code here.
+    const OpcodeEffect* effect = LookupOpcode(item->opcode_id());
+    if (effect != nullptr && effect->num_outputs > 1) {
+      call_key = item->opcode() + call_key;
       auto call_it = dedup_calls.find(call_key);
       if (call_it == dedup_calls.end()) {
-        std::vector<std::string> out_vars{var + "_o0", var + "_o1"};
-        block->Append(std::make_unique<EigenInstruction>(in[0], out_vars[0],
-                                                         out_vars[1]));
+        std::vector<std::string> out_vars;
+        for (int i = 0; i < effect->num_outputs; ++i) {
+          out_vars.push_back(var + "_o" + std::to_string(i));
+        }
+        LIMA_ASSIGN_OR_RETURN(
+            std::unique_ptr<Instruction> instruction,
+            MakeInstruction(item->opcode_id(), std::move(in), out_vars));
+        block->Append(std::move(instruction));
         call_it = dedup_calls.emplace(call_key, std::move(out_vars)).first;
       }
-      int out_index = item->data() == ";o1" ? 1 : 0;
-      var_of[item] = call_it->second[out_index];
+      var_of[item] = call_it->second[MultiOutputIndex(item->data())];
       continue;
     }
 
-    std::vector<Operand> in;
-    for (const LineageItemPtr& input : item->inputs()) {
-      in.push_back(Operand::Var(var_of.at(input.get())));
-    }
-    LIMA_ASSIGN_OR_RETURN(std::unique_ptr<Instruction> instruction,
-                          MakeInstruction(item->opcode(), in, var));
+    LIMA_ASSIGN_OR_RETURN(
+        std::unique_ptr<Instruction> instruction,
+        MakeInstruction(item->opcode_id(), std::move(in), {var}));
     block->Append(std::move(instruction));
     var_of[item] = var;
   }

@@ -155,7 +155,7 @@ TEST(ObsTest, CollectorMergeAddsTotalsAndKeepsMax) {
   worker.Record("tsmm", 700, 800);
   worker.Record("rand", 50, 400);
   main_thread.Merge(worker);
-  const OpProfile& tsmm = main_thread.ops().at("tsmm");
+  const OpProfile tsmm = main_thread.ops().at("tsmm");
   EXPECT_EQ(tsmm.invocations, 3);
   EXPECT_EQ(tsmm.total_nanos, 1100);
   EXPECT_EQ(tsmm.max_nanos, 700);
