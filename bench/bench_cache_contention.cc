@@ -1,0 +1,217 @@
+// Contention micro-benchmark of the sharded lineage cache: probe/put
+// throughput at 1/2/4/8 threads for the sharded configuration (16 lock
+// stripes) vs. the single-mutex baseline (--cache-shards=1, which reproduces
+// the pre-sharding behavior exactly). Results are recorded in
+// BENCH_cache_contention.json.
+//
+// Workload: each thread hammers a pre-populated cache with structurally
+// distinct lineage keys — 7 of 8 ops are probes (hits), every 8th is a Put
+// on an already-cached key (the cheap early-return path, still taken under
+// the shard lock). The budget is generous, so the eviction pass never runs
+// and the measurement isolates lock-acquisition cost.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "reuse/lineage_cache.h"
+
+namespace lima {
+namespace {
+
+constexpr int kNumKeys = 4096;
+
+struct ContentionFixture {
+  std::unique_ptr<LineageCache> cache;
+  std::vector<LineageItemPtr> keys;
+  DataPtr value;
+};
+
+ContentionFixture* MakeFixture(int shards) {
+  auto* f = new ContentionFixture;
+  LimaConfig config = LimaConfig::Lima();
+  config.cache_shards = shards;
+  config.enable_spilling = false;
+  f->cache = std::make_unique<LineageCache>(config);
+  f->value = MakeMatrixData(Matrix(1, 16));
+  f->keys.reserve(kNumKeys);
+  for (int i = 0; i < kNumKeys; ++i) {
+    f->keys.push_back(LineageItem::Create("read", {}, "k" + std::to_string(i)));
+    f->cache->Put(f->keys.back(), f->value, 0.001);
+  }
+  return f;
+}
+
+ContentionFixture* Fixture(int shards) {
+  // Leaked singletons: magic statics make concurrent first use (benchmark
+  // threads start together) safe.
+  static ContentionFixture* sharded1 = MakeFixture(1);
+  static ContentionFixture* sharded16 = MakeFixture(16);
+  return shards == 1 ? sharded1 : sharded16;
+}
+
+/// 7/8 probe (hit), 1/8 put-on-cached-key. range(0) = shard count.
+void CacheContentionProbePut(benchmark::State& state) {
+  ContentionFixture* f = Fixture(static_cast<int>(state.range(0)));
+  // Decorrelated per-thread walk over the key space; 13 is coprime with
+  // kNumKeys so every thread cycles through all keys.
+  size_t i = static_cast<size_t>(state.thread_index()) * 7919;
+  int64_t ops = 0;
+  for (auto _ : state) {
+    const LineageItemPtr& key = f->keys[i % kNumKeys];
+    if (ops % 8 == 7) {
+      f->cache->Put(key, f->value, 0.001);
+    } else {
+      ReuseCache::ProbeResult r = f->cache->Probe(key, /*claim=*/false);
+      benchmark::DoNotOptimize(r.value);
+    }
+    i += 13;
+    ++ops;
+  }
+  state.SetItemsProcessed(ops);
+  state.counters["shards"] = benchmark::Counter(
+      static_cast<double>(f->cache->num_shards()),
+      benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(CacheContentionProbePut)
+    ->ArgName("shards")
+    ->Arg(1)
+    ->Arg(16)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+
+/// Pure probe-hit throughput (no puts). range(0) = shard count.
+void CacheContentionProbeHit(benchmark::State& state) {
+  ContentionFixture* f = Fixture(static_cast<int>(state.range(0)));
+  size_t i = static_cast<size_t>(state.thread_index()) * 7919;
+  int64_t ops = 0;
+  for (auto _ : state) {
+    const LineageItemPtr& key = f->keys[i % kNumKeys];
+    ReuseCache::ProbeResult r = f->cache->Probe(key, /*claim=*/false);
+    benchmark::DoNotOptimize(r.value);
+    i += 13;
+    ++ops;
+  }
+  state.SetItemsProcessed(ops);
+  state.counters["shards"] = benchmark::Counter(
+      static_cast<double>(f->cache->num_shards()),
+      benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(CacheContentionProbeHit)
+    ->ArgName("shards")
+    ->Arg(1)
+    ->Arg(16)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+
+/// Fixture for the serving scenario of Sec. 4.1: a few parfor workers are
+/// blocked on in-flight computations (placeholder waits on keys whose
+/// producer has not finished) while the remaining workers keep probing,
+/// putting, and resolving claims at full speed.
+///
+/// This is where lock striping pays even without parallel hardware: with a
+/// single stripe there is exactly one condition variable, so EVERY
+/// placeholder transition (abort/fill) anywhere in the cache broadcasts to
+/// ALL blocked waiters, each of which wakes, re-takes the global lock,
+/// re-probes its (still pending) key, and sleeps again. Sharding confines
+/// wakeups — and the re-probe lock traffic — to the waiter's own stripe.
+struct ServingFixture {
+  std::unique_ptr<LineageCache> cache;
+  std::vector<LineageItemPtr> hit_keys;    ///< pre-populated, probed
+  std::vector<LineageItemPtr> churn_keys;  ///< claimed + aborted per thread
+  std::vector<LineageItemPtr> stuck_keys;  ///< placeholders never resolved
+  DataPtr value;
+};
+
+ServingFixture* MakeServingFixture(int shards) {
+  auto* f = new ServingFixture;
+  LimaConfig config = LimaConfig::Lima();
+  config.cache_shards = shards;
+  config.enable_spilling = false;
+  f->cache = std::make_unique<LineageCache>(config);
+  f->value = MakeMatrixData(Matrix(1, 16));
+  for (int i = 0; i < kNumKeys; ++i) {
+    f->hit_keys.push_back(
+        LineageItem::Create("read", {}, "h" + std::to_string(i)));
+    f->cache->Put(f->hit_keys.back(), f->value, 0.001);
+  }
+  for (int i = 0; i < 64; ++i) {
+    f->churn_keys.push_back(
+        LineageItem::Create("read", {}, "c" + std::to_string(i)));
+  }
+  // Claim a set of keys and never resolve them, then park detached
+  // waiter threads on them — the "blocked parfor workers". The threads
+  // stay blocked for the benchmark's lifetime (the fixture is leaked;
+  // process exit reaps them).
+  for (int i = 0; i < 128; ++i) {
+    f->stuck_keys.push_back(
+        LineageItem::Create("read", {}, "s" + std::to_string(i)));
+    f->cache->Probe(f->stuck_keys.back(), /*claim=*/true);
+  }
+  // Waiters start only after stuck_keys stops growing (they index into it).
+  for (size_t i = 0; i < f->stuck_keys.size(); ++i) {
+    for (int w = 0; w < 2; ++w) {
+      std::thread([f, i] {
+        for (;;) f->cache->Probe(f->stuck_keys[i], /*claim=*/false);
+      }).detach();
+    }
+  }
+  return f;
+}
+
+ServingFixture* ServingFixtureFor(int shards) {
+  static ServingFixture* sharded1 = MakeServingFixture(1);
+  static ServingFixture* sharded16 = MakeServingFixture(16);
+  return shards == 1 ? sharded1 : sharded16;
+}
+
+/// Probe/put throughput with blocked waiters present: per 8-op cycle,
+/// 6 probes (hits), 1 put on a cached key, 1 claim+abort (a worker that
+/// starts a computation and fails, the placeholder-churn path).
+void CacheContentionServing(benchmark::State& state) {
+  ServingFixture* f = ServingFixtureFor(static_cast<int>(state.range(0)));
+  const int t = state.thread_index();
+  const LineageItemPtr& churn_key =
+      f->churn_keys[static_cast<size_t>(t) % f->churn_keys.size()];
+  size_t i = static_cast<size_t>(t) * 7919;
+  int64_t ops = 0;
+  for (auto _ : state) {
+    const LineageItemPtr& key = f->hit_keys[i % kNumKeys];
+    switch (ops % 2048 == 2047 ? 7 : ops % 8) {
+      case 6:
+        f->cache->Put(key, f->value, 0.001);
+        break;
+      case 7: {
+        ReuseCache::ProbeResult r = f->cache->Probe(churn_key, /*claim=*/true);
+        if (r.kind == ReuseCache::ProbeKind::kClaimed) {
+          f->cache->Abort(churn_key);
+        }
+        break;
+      }
+      default: {
+        ReuseCache::ProbeResult r = f->cache->Probe(key, /*claim=*/false);
+        benchmark::DoNotOptimize(r.value);
+        break;
+      }
+    }
+    i += 13;
+    ++ops;
+  }
+  state.SetItemsProcessed(ops);
+  state.counters["shards"] = benchmark::Counter(
+      static_cast<double>(f->cache->num_shards()),
+      benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(CacheContentionServing)
+    ->ArgName("shards")
+    ->Arg(1)
+    ->Arg(16)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace lima
+
+BENCHMARK_MAIN();

@@ -37,8 +37,11 @@ if [[ "$SANITIZE" == "thread" ]]; then
   # under TSan is an order of magnitude slower and adds no thread coverage.
   # ctest names come from gtest_discover_tests, i.e. Suite.Case:
   # ParforTest (parfor_test), ParforDependencyTest (parfor_dependency_test),
-  # LineageCacheTest (cache_test), MultiLevelTest (multilevel_test).
-  TSAN_TESTS='^(ParforTest|ParforDependencyTest|LineageCacheTest|MultiLevelTest)\.'
+  # LineageCacheTest (cache_test), MultiLevelTest (multilevel_test),
+  # CacheConcurrencyTest (cache_concurrency_test: sharded-cache stress,
+  # placeholder liveness, shared-cache sessions), CacheDeterminismTest
+  # (cache_determinism_test; its Heavy suite stays out for time).
+  TSAN_TESTS='^(ParforTest|ParforDependencyTest|LineageCacheTest|MultiLevelTest|CacheConcurrencyTest|CacheDeterminismTest)\.'
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
     --tests-regex "$TSAN_TESTS"
 else
@@ -93,6 +96,34 @@ print("profile smoke: OK ({} ops, {} hits)".format(
 EOF
 else
   echo "profile smoke: python3 not found; skipping" >&2
+fi
+
+# Contention smoke (plain builds only; sanitizer timings are meaningless):
+# at 8 threads the sharded cache must serve the placeholder-heavy serving
+# workload at least as fast as the single-mutex configuration (the full
+# measurement lives in bench/BENCH_cache_contention.json).
+if [[ -z "$SANITIZE" ]] && command -v python3 >/dev/null 2>&1; then
+  echo "contention smoke: bench_cache_contention serving @ 8 threads"
+  "$BUILD_DIR/bench/bench_cache_contention" \
+    --benchmark_filter='CacheContentionServing.*threads:8' \
+    --benchmark_min_time=0.1 --benchmark_format=json \
+    > "$BUILD_DIR/contention_smoke.json" 2>/dev/null
+  python3 - "$BUILD_DIR/contention_smoke.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+rates = {}
+for bench in report["benchmarks"]:
+    name = bench["name"]
+    if "shards:1/" in name:
+        rates["single"] = bench["items_per_second"]
+    elif "shards:16/" in name:
+        rates["sharded"] = bench["items_per_second"]
+assert "single" in rates and "sharded" in rates, report["benchmarks"]
+assert rates["sharded"] >= rates["single"], rates
+print("contention smoke: OK (sharded {:.2e}/s >= single-mutex {:.2e}/s)"
+      .format(rates["sharded"], rates["single"]))
+EOF
 fi
 
 echo "ci: OK"

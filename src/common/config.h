@@ -60,6 +60,16 @@ struct LimaConfig {
   /// Directory for spill files (empty = std::filesystem::temp_directory_path).
   std::string spill_dir;
 
+  /// Number of lock stripes in the lineage cache (docs/CONCURRENCY.md).
+  /// Probes/puts on different shards never contend; the memory budget stays
+  /// global. 1 reproduces the single-mutex behavior; clamped to [1, 4096].
+  int cache_shards = 8;
+
+  /// Upper bound (milliseconds) a cache probe blocks on another worker's
+  /// placeholder before presuming the producer dead and stealing the claim
+  /// (recomputing a pure operation is always safe). Values < 1 behave as 1.
+  int64_t placeholder_wait_millis = 60000;
+
   /// Compiler-assisted reuse: unmarking + reuse-aware rewrites (Sec. 4.4).
   bool compiler_assist = false;
 

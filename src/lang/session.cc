@@ -7,7 +7,7 @@ namespace lima {
 
 LimaSession::LimaSession(LimaConfig config)
     : config_(std::move(config)),
-      cache_(std::make_unique<LineageCache>(config_, &stats_)),
+      cache_(std::make_shared<LineageCache>(config_, &stats_)),
       context_(&config_, nullptr, cache_.get(), &dedup_registry_, &stats_) {
   context_.set_print_stream(&output_);
   context_.set_kernel_threads(config_.kernel_threads);
@@ -15,6 +15,20 @@ LimaSession::LimaSession(LimaConfig config)
     context_.set_profiler(&profile_);
     cache_->set_event_log(&cache_events_);
   }
+}
+
+LimaSession::LimaSession(LimaConfig config,
+                         std::shared_ptr<LineageCache> shared_cache)
+    : config_(std::move(config)),
+      cache_(std::move(shared_cache)),
+      shared_cache_(true),
+      context_(&config_, nullptr, cache_.get(), &dedup_registry_, &stats_) {
+  context_.set_print_stream(&output_);
+  context_.set_kernel_threads(config_.kernel_threads);
+  // A shared cache is not wired to this session's private event log even
+  // under --profile: several sessions would race to attach theirs. Attach a
+  // log explicitly via cache->set_event_log() when one is wanted.
+  if (config_.profile) context_.set_profiler(&profile_);
 }
 
 Status LimaSession::Run(const std::string& script) {
@@ -100,9 +114,29 @@ lima::ProfileReport LimaSession::ProfileReport() const {
       {"spilling", config_.enable_spilling ? "on" : "off"},
       {"parfor_workers", std::to_string(config_.parfor_workers)},
       {"profile", config_.profile ? "on" : "off"},
+      {"cache_shards", std::to_string(cache_->num_shards())},
+      {"shared_cache", shared_cache_ ? "on" : "off"},
   };
+  std::vector<lima::ProfileReport::ShardRow> shard_rows;
+  for (const CacheShardStats& s : cache_->ShardStatsSnapshot()) {
+    lima::ProfileReport::ShardRow row;
+    row.shard = s.shard;
+    row.counters = {
+        {"entries", s.entries},
+        {"resident_bytes", s.resident_bytes},
+        {"probes", s.probes},
+        {"hits", s.hits},
+        {"misses", s.misses},
+        {"placeholder_waits", s.placeholder_waits},
+        {"placeholder_steals", s.placeholder_steals},
+        {"evictions", s.evictions},
+        {"spills", s.spills},
+        {"restores", s.restores},
+    };
+    shard_rows.push_back(std::move(row));
+  }
   return BuildProfileReport(profile_, &cache_events_, stats_.ToPairs(),
-                            std::move(config_info));
+                            std::move(config_info), std::move(shard_rows));
 }
 
 std::string LimaSession::ConsumeOutput() {

@@ -35,6 +35,26 @@ class LimaSession {
  public:
   explicit LimaSession(LimaConfig config = LimaConfig::Lima());
 
+  /// Shared-cache serving mode (docs/CONCURRENCY.md): attach this session to
+  /// an existing cache instead of creating a private one. Any number of
+  /// sessions — and all their parfor workers — may share one cache; its
+  /// sharded design keeps them from contending. The cache must outlive every
+  /// attached session, and its budget/policy (fixed at MakeSharedCache time)
+  /// wins over this session's config. Probe/hit/miss counters still land in
+  /// this session's RuntimeStats; eviction/spill counters land in the
+  /// cache's own stats sink.
+  LimaSession(LimaConfig config, std::shared_ptr<LineageCache> shared_cache);
+
+  /// Creates a cache for shared-cache mode (uses config's budget, policy,
+  /// shard count, and spilling settings).
+  static std::shared_ptr<LineageCache> MakeSharedCache(
+      const LimaConfig& config) {
+    return std::make_shared<LineageCache>(config);
+  }
+
+  /// True when this session was attached to a shared cache.
+  bool uses_shared_cache() const { return shared_cache_; }
+
   /// Compiles and executes a self-contained script (functions it calls must
   /// be defined in the same script). Variables persist across calls. With
   /// config.verify_mode != kOff the compiled program is statically verified
@@ -95,7 +115,9 @@ class LimaSession {
   /// context and cache only when config.profile is on.
   ProfileCollector profile_;
   CacheEventLog cache_events_;
-  std::unique_ptr<LineageCache> cache_;
+  std::shared_ptr<LineageCache> cache_;
+  /// Whether cache_ was handed in (shared mode) rather than created here.
+  bool shared_cache_ = false;
   DedupRegistry dedup_registry_;
   std::ostringstream output_;
   ExecutionContext context_;

@@ -21,12 +21,12 @@ const char* CacheEventKindToString(CacheEventKind kind) {
 }
 
 void CacheEventLog::Record(CacheEventKind kind, int64_t size_bytes,
-                           double score) {
+                           double score, int shard, uint64_t key_hash) {
   std::lock_guard<std::mutex> lock(mu_);
   Totals& t = totals_[static_cast<int>(kind)];
   ++t.count;
   t.bytes += size_bytes;
-  recent_.push_back(Event{kind, size_bytes, score, seq_++});
+  recent_.push_back(Event{kind, size_bytes, score, seq_++, shard, key_hash});
   if (static_cast<int64_t>(recent_.size()) > kMaxRecent) {
     recent_.pop_front();
     ++dropped_;

@@ -37,8 +37,10 @@ class CacheEventLog {
   struct Event {
     CacheEventKind kind;
     int64_t size_bytes;
-    double score;  ///< eviction score for kEvict/kSpill, 0 otherwise
-    int64_t seq;   ///< monotonically increasing event sequence number
+    double score;       ///< eviction score for kEvict/kSpill, 0 otherwise
+    int64_t seq;        ///< monotonically increasing event sequence number
+    int shard;          ///< lock stripe of the key; -1 for unsharded caches
+    uint64_t key_hash;  ///< lineage-item hash of the key; 0 when unknown
   };
 
   struct Totals {
@@ -58,7 +60,8 @@ class CacheEventLog {
 
   static constexpr int64_t kMaxRecent = 256;
 
-  void Record(CacheEventKind kind, int64_t size_bytes, double score = 0.0);
+  void Record(CacheEventKind kind, int64_t size_bytes, double score = 0.0,
+              int shard = -1, uint64_t key_hash = 0);
 
   Snapshot TakeSnapshot() const;
 

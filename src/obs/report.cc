@@ -141,9 +141,22 @@ std::string ProfileReport::ToJson() const {
     if (i > 0) out << ", ";
     out << "{\"seq\": " << e.seq << ", \"kind\": \""
         << CacheEventKindToString(e.kind) << "\", \"bytes\": " << e.size_bytes
-        << ", \"score\": " << e.score << "}";
+        << ", \"score\": " << e.score << ", \"shard\": " << e.shard
+        << ", \"key_hash\": " << e.key_hash << "}";
   }
   out << "]},\n";
+
+  out << "  \"cache_shards\": [";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardRow& row = shards[i];
+    if (i > 0) out << ", ";
+    out << "{\"shard\": " << row.shard;
+    for (const auto& [name, value] : row.counters) {
+      out << ", \"" << JsonEscape(name) << "\": " << value;
+    }
+    out << "}";
+  }
+  out << "],\n";
 
   out << "  \"counters\": {";
   for (size_t i = 0; i < counters.size(); ++i) {
@@ -170,6 +183,12 @@ std::string ProfileReport::ToCsv() const {
   }
   for (const auto& [name, value] : counters) {
     out << "counter," << CsvField(name) << "," << value << ",,,\n";
+  }
+  for (const ShardRow& row : shards) {
+    for (const auto& [name, value] : row.counters) {
+      out << "shard," << row.shard << "." << CsvField(name) << "," << value
+          << ",,,\n";
+    }
   }
   return out.str();
 }
@@ -211,6 +230,27 @@ std::string ProfileReport::ToText() const {
                   HumanBytes(t.bytes).c_str());
     out << line;
   }
+  if (!shards.empty()) {
+    out << "--- cache shards ---\n";
+    std::snprintf(line, sizeof(line), "%-6s %10s %10s %10s %8s %8s %8s\n",
+                  "shard", "probes", "hits", "misses", "entries", "evict",
+                  "steals");
+    out << line;
+    for (const ShardRow& row : shards) {
+      auto counter = [&row](const char* name) -> long long {
+        for (const auto& [key, value] : row.counters) {
+          if (key == name) return value;
+        }
+        return 0;
+      };
+      std::snprintf(line, sizeof(line),
+                    "%-6lld %10lld %10lld %10lld %8lld %8lld %8lld\n",
+                    static_cast<long long>(row.shard), counter("probes"),
+                    counter("hits"), counter("misses"), counter("entries"),
+                    counter("evictions"), counter("placeholder_steals"));
+      out << line;
+    }
+  }
   out << "--- counters ---\n";
   for (const auto& [name, value] : counters) {
     std::snprintf(line, sizeof(line), "%-24s %14lld\n", name.c_str(),
@@ -229,7 +269,8 @@ std::string ProfileReport::ToText() const {
 ProfileReport BuildProfileReport(
     const ProfileCollector& collector, const CacheEventLog* events,
     std::vector<std::pair<std::string, int64_t>> counters,
-    std::vector<std::pair<std::string, std::string>> config) {
+    std::vector<std::pair<std::string, std::string>> config,
+    std::vector<ProfileReport::ShardRow> shards) {
   ProfileReport report;
   const std::unordered_map<std::string, OpProfile> ops = collector.ops();
   report.ops.reserve(ops.size());
@@ -246,6 +287,7 @@ ProfileReport BuildProfileReport(
   if (events != nullptr) report.cache = events->TakeSnapshot();
   report.counters = std::move(counters);
   report.config = std::move(config);
+  report.shards = std::move(shards);
   return report;
 }
 

@@ -24,9 +24,19 @@ struct ProfileReport {
     OpProfile profile;
   };
 
+  /// Per-shard counters of the lineage cache (one row per lock stripe;
+  /// empty when the serving cache exposes none). Counter names and order
+  /// follow CacheShardStats; kept as generic pairs so obs does not depend
+  /// on the reuse layer.
+  struct ShardRow {
+    int64_t shard = 0;
+    std::vector<std::pair<std::string, int64_t>> counters;
+  };
+
   /// Opcode rows sorted by descending total_nanos.
   std::vector<OpRow> ops;
   CacheEventLog::Snapshot cache;
+  std::vector<ShardRow> shards;
   /// Snapshot of every RuntimeStats counter, in declaration order.
   std::vector<std::pair<std::string, int64_t>> counters;
   /// Session configuration echo (reuse mode, policy, budget, ...).
@@ -52,7 +62,8 @@ struct ProfileReport {
 ProfileReport BuildProfileReport(
     const ProfileCollector& collector, const CacheEventLog* events,
     std::vector<std::pair<std::string, int64_t>> counters,
-    std::vector<std::pair<std::string, std::string>> config = {});
+    std::vector<std::pair<std::string, std::string>> config = {},
+    std::vector<ProfileReport::ShardRow> shards = {});
 
 }  // namespace lima
 

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -19,13 +20,39 @@ namespace {
 
 constexpr double kEmaAlpha = 0.3;
 
+/// Lock-free exponential-moving-average update of a bandwidth estimate
+/// (several threads may finish I/O concurrently).
+void EmaUpdate(std::atomic<double>* bandwidth, double measured) {
+  double current = bandwidth->load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = (1 - kEmaAlpha) * current + kEmaAlpha * measured;
+  } while (!bandwidth->compare_exchange_weak(current, next,
+                                             std::memory_order_relaxed));
+}
+
 }  // namespace
 
 LineageCache::LineageCache(const LimaConfig& config, RuntimeStats* stats)
-    : config_(config), stats_(stats) {
+    : config_(config),
+      budget_bytes_(config.cache_budget_bytes),
+      stats_(stats) {
+  if (stats_ == nullptr) {
+    // Shared-cache mode constructs the cache without a session to charge
+    // counters to; an owned sink keeps every code path unconditional.
+    owned_stats_ = std::make_unique<RuntimeStats>();
+    stats_ = owned_stats_.get();
+  }
   spill_dir_ = config.spill_dir.empty()
                    ? std::filesystem::temp_directory_path().string()
                    : config.spill_dir;
+  const int num_shards =
+      std::clamp(config.cache_shards, 1, 4096);
+  shards_.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->index = s;
+  }
 }
 
 LineageCache::~LineageCache() { Clear(); }
@@ -46,10 +73,12 @@ double LineageCache::Score(const Entry& entry) const {
 
 std::string LineageCache::NextSpillPath() {
   return spill_dir_ + "/lima_spill_" + std::to_string(::getpid()) + "_" +
-         std::to_string(spill_counter_++) + ".bin";
+         std::to_string(spill_counter_.fetch_add(
+             1, std::memory_order_relaxed)) +
+         ".bin";
 }
 
-bool LineageCache::SpillEntry(Entry* entry) {
+bool LineageCache::SpillEntry(Shard* shard, Entry* entry) {
   if (entry->value == nullptr || entry->value->type() != DataType::kMatrix) {
     return false;
   }
@@ -72,25 +101,26 @@ bool LineageCache::SpillEntry(Entry* entry) {
   }
   double seconds = watch.ElapsedSeconds();
   if (seconds > 0) {
-    double measured = static_cast<double>(entry->size_bytes) / seconds;
-    write_bandwidth_ = (1 - kEmaAlpha) * write_bandwidth_ + kEmaAlpha * measured;
+    EmaUpdate(&write_bandwidth_,
+              static_cast<double>(entry->size_bytes) / seconds);
   }
-  if (stats_ != nullptr) {
-    stats_->spills.fetch_add(1, std::memory_order_relaxed);
-    stats_->spill_nanos.fetch_add(static_cast<int64_t>(seconds * 1e9),
-                                  std::memory_order_relaxed);
-  }
+  shard->spills.fetch_add(1, std::memory_order_relaxed);
+  stats_->spills.fetch_add(1, std::memory_order_relaxed);
+  stats_->spill_nanos.fetch_add(static_cast<int64_t>(seconds * 1e9),
+                                std::memory_order_relaxed);
   entry->spill_path = std::move(path);
   entry->spilled = true;
   entry->value = nullptr;
   return true;
 }
 
-Status LineageCache::RestoreEntry(Entry* entry) {
+Status LineageCache::RestoreEntry(Shard* shard, Entry* entry,
+                                  uint64_t key_hash) {
   StopWatch watch;
   std::ifstream in(entry->spill_path, std::ios::binary);
   if (!in) {
-    RecordEvent(CacheEventKind::kRestoreFail, entry->size_bytes);
+    RecordEvent(CacheEventKind::kRestoreFail, entry->size_bytes, 0, *shard,
+                key_hash);
     return Status::IoError("cannot restore spilled entry from " +
                            entry->spill_path);
   }
@@ -110,29 +140,31 @@ Status LineageCache::RestoreEntry(Entry* entry) {
                                 : cols == expected / rows &&
                                       rows * cols == expected);
   if (!header_ok) {
-    RecordEvent(CacheEventKind::kRestoreFail, entry->size_bytes);
+    RecordEvent(CacheEventKind::kRestoreFail, entry->size_bytes, 0, *shard,
+                key_hash);
     return Status::IoError("corrupt spill header in " + entry->spill_path);
   }
   Matrix m(rows, cols);
   in.read(reinterpret_cast<char*>(m.mutable_data()), m.SizeInBytes());
   if (!in) {
-    RecordEvent(CacheEventKind::kRestoreFail, entry->size_bytes);
+    RecordEvent(CacheEventKind::kRestoreFail, entry->size_bytes, 0, *shard,
+                key_hash);
     return Status::IoError("short read restoring " + entry->spill_path);
   }
   double seconds = watch.ElapsedSeconds();
   if (seconds > 0) {
-    double measured = static_cast<double>(entry->size_bytes) / seconds;
-    read_bandwidth_ = (1 - kEmaAlpha) * read_bandwidth_ + kEmaAlpha * measured;
+    EmaUpdate(&read_bandwidth_,
+              static_cast<double>(entry->size_bytes) / seconds);
   }
   std::filesystem::remove(entry->spill_path);
   entry->value = MakeMatrixData(std::move(m));
   entry->spilled = false;
   entry->spill_path.clear();
-  size_bytes_ += entry->size_bytes;
-  if (stats_ != nullptr) {
-    stats_->restores.fetch_add(1, std::memory_order_relaxed);
-  }
-  RecordEvent(CacheEventKind::kRestore, entry->size_bytes);
+  size_bytes_.fetch_add(entry->size_bytes, std::memory_order_relaxed);
+  shard->restores.fetch_add(1, std::memory_order_relaxed);
+  stats_->restores.fetch_add(1, std::memory_order_relaxed);
+  RecordEvent(CacheEventKind::kRestore, entry->size_bytes, 0, *shard,
+              key_hash);
   return Status::OK();
 }
 
@@ -146,194 +178,276 @@ void LineageCache::DropSpillFile(Entry* entry) {
 }
 
 void LineageCache::RecordEvent(CacheEventKind kind, int64_t size_bytes,
-                               double score) {
-  if (events_ != nullptr) events_->Record(kind, size_bytes, score);
+                               double score, const Shard& shard,
+                               uint64_t key_hash) {
+  CacheEventLog* events = events_.load(std::memory_order_acquire);
+  if (events != nullptr) {
+    events->Record(kind, size_bytes, score, shard.index, key_hash);
+  }
 }
 
 void LineageCache::EvictUntilFits() {
-  if (size_bytes_ <= config_.cache_budget_bytes) return;
-  // Batch eviction with hysteresis: one score scan (semantically the
-  // paper's priority queue), then evict in ascending score order until 80%
-  // of the budget, so back-to-back Puts do not rescan.
-  const int64_t low_water =
-      config_.cache_budget_bytes - config_.cache_budget_bytes / 5;
-  std::vector<std::pair<double, LineageItemPtr>> order;
-  order.reserve(entries_.size());
-  for (const auto& [key, entry] : entries_) {
-    if (entry->placeholder || entry->spilled || entry->pinned ||
-        entry->value == nullptr) {
-      continue;
+  // One evictor at a time; shard locks are taken strictly after evict_mu_
+  // and one at a time, so the pass cannot deadlock against probes/puts.
+  std::lock_guard<std::mutex> evict_lock(evict_mu_);
+  const int64_t budget = budget_bytes_.load(std::memory_order_relaxed);
+  if (size_bytes_.load(std::memory_order_relaxed) <= budget) return;
+  // Batch eviction with hysteresis: score scans (semantically the paper's
+  // priority queue), then evict in ascending score order until 80% of the
+  // budget, so back-to-back Puts do not rescan.
+  const int64_t low_water = budget - budget / 5;
+  const size_t nshards = shards_.size();
+  // Sampled scan: small caches scan everything; large shard counts scan a
+  // rotating half per round so a single pass stays cheap. The rotation
+  // cursor guarantees every shard is visited within one EvictUntilFits call
+  // if pressure persists.
+  const size_t sample =
+      nshards <= 8 ? nshards : std::max<size_t>(8, nshards / 2);
+
+  struct Victim {
+    double score;
+    size_t shard;
+    LineageItemPtr key;
+  };
+  size_t scanned = 0;
+  while (size_bytes_.load(std::memory_order_relaxed) > low_water &&
+         scanned < nshards) {
+    std::vector<Victim> order;
+    for (size_t k = 0; k < sample && scanned < nshards; ++k, ++scanned) {
+      Shard& shard = *shards_[evict_cursor_++ % nshards];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const auto& [key, entry] : shard.entries) {
+        if (entry->placeholder || entry->spilled || entry->pins > 0 ||
+            entry->value == nullptr) {
+          continue;
+        }
+        order.push_back(
+            {Score(*entry), static_cast<size_t>(shard.index), key});
+      }
     }
-    order.emplace_back(Score(*entry), key);
-  }
-  std::sort(order.begin(), order.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (const auto& [score, key] : order) {
-    if (size_bytes_ <= low_water) break;
-    auto it = entries_.find(key);
-    if (it == entries_.end()) continue;
-    Entry& entry = *it->second;
-    size_bytes_ -= entry.size_bytes;
-    if (ghost_refs_.size() > 100000) ghost_refs_.clear();
-    ghost_refs_[it->first->hash()] = entry.refs;
-    if (stats_ != nullptr) {
+    std::sort(order.begin(), order.end(), [](const Victim& a, const Victim& b) {
+      if (a.score != b.score) return a.score < b.score;
+      return a.shard < b.shard;
+    });
+    for (const Victim& victim : order) {
+      if (size_bytes_.load(std::memory_order_relaxed) <= low_water) break;
+      Shard& shard = *shards_[victim.shard];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.entries.find(victim.key);
+      if (it == shard.entries.end()) continue;
+      Entry& entry = *it->second;
+      // Re-validate under the lock: the entry may have been spilled, pinned,
+      // or replaced since the scoring scan.
+      if (entry.placeholder || entry.spilled || entry.pins > 0 ||
+          entry.value == nullptr) {
+        continue;
+      }
+      const uint64_t key_hash = it->first->hash();
+      size_bytes_.fetch_sub(entry.size_bytes, std::memory_order_relaxed);
+      if (shard.ghost_refs.size() > 100000) shard.ghost_refs.clear();
+      shard.ghost_refs[key_hash] = entry.refs;
+      shard.evictions.fetch_add(1, std::memory_order_relaxed);
       stats_->evictions.fetch_add(1, std::memory_order_relaxed);
+      RecordEvent(CacheEventKind::kEvict, entry.size_bytes, victim.score,
+                  shard, key_hash);
+      // Spill only when recomputation costs more than the estimated I/O
+      // time (Sec. 4.3); otherwise delete.
+      bool spilled = false;
+      if (config_.enable_spilling &&
+          entry.compute_seconds >
+              static_cast<double>(entry.size_bytes) /
+                  read_bandwidth_.load(std::memory_order_relaxed)) {
+        spilled = SpillEntry(&shard, &entry);
+        if (spilled) {
+          RecordEvent(CacheEventKind::kSpill, entry.size_bytes, victim.score,
+                      shard, key_hash);
+        }
+      }
+      if (!spilled) shard.entries.erase(it);
     }
-    RecordEvent(CacheEventKind::kEvict, entry.size_bytes, score);
-    // Spill only when recomputation costs more than the estimated I/O time
-    // (Sec. 4.3); otherwise delete.
-    bool spilled = false;
-    if (config_.enable_spilling &&
-        entry.compute_seconds >
-            static_cast<double>(entry.size_bytes) / read_bandwidth_) {
-      spilled = SpillEntry(&entry);
-      if (spilled) RecordEvent(CacheEventKind::kSpill, entry.size_bytes, score);
-    }
-    if (!spilled) entries_.erase(it);
   }
 }
 
 ReuseCache::ProbeResult LineageCache::Probe(const LineageItemPtr& key,
                                             bool claim) {
-  std::unique_lock<std::mutex> lock(mu_);
+  Shard& shard = ShardFor(key);
+  shard.probes.fetch_add(1, std::memory_order_relaxed);
+  // The wait deadline spans the whole blocking episode (spurious wakeups and
+  // re-probes of a still-pending placeholder do not reset it), so a dead
+  // producer blocks a waiter for at most placeholder_wait_millis.
+  bool waited = false;
+  std::chrono::steady_clock::time_point deadline;
+  std::unique_lock<std::mutex> lock(shard.mu);
   while (true) {
-    auto it = entries_.find(key);
-    if (it == entries_.end()) {
-      RecordEvent(CacheEventKind::kMiss, 0);
+    auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+      shard.misses.fetch_add(1, std::memory_order_relaxed);
+      RecordEvent(CacheEventKind::kMiss, 0, 0, shard, key->hash());
       if (!claim) return {ProbeKind::kMiss, nullptr};
       auto entry = std::make_shared<Entry>();
       entry->placeholder = true;
-      entry->last_access = ++clock_;
-      auto ghost = ghost_refs_.find(key->hash());
-      entry->refs = 1 + (ghost != ghost_refs_.end() ? ghost->second : 0);
-      entries_.emplace(key, std::move(entry));
+      entry->last_access = NextClock();
+      auto ghost = shard.ghost_refs.find(key->hash());
+      entry->refs = 1 + (ghost != shard.ghost_refs.end() ? ghost->second : 0);
+      shard.entries.emplace(key, std::move(entry));
       return {ProbeKind::kClaimed, nullptr};
     }
     std::shared_ptr<Entry> entry = it->second;
-    entry->refs++;
-    entry->last_access = ++clock_;
     if (entry->placeholder) {
       // Another worker is computing this value (Sec. 4.1): block until the
-      // placeholder is filled or aborted.
-      if (stats_ != nullptr) {
+      // placeholder is filled or aborted — but never forever. If the
+      // producer dies without Put/Abort, the bounded wait expires and the
+      // waiter steals the claim (recomputing a pure operation is always
+      // safe; see docs/CONCURRENCY.md "placeholder protocol").
+      if (!waited) {
+        waited = true;
+        shard.placeholder_waits.fetch_add(1, std::memory_order_relaxed);
         stats_->placeholder_waits.fetch_add(1, std::memory_order_relaxed);
+        deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(
+                       std::max<int64_t>(config_.placeholder_wait_millis, 1));
       }
       // The enclosing loop is the wait predicate: every wakeup (spurious or
       // not) re-probes the map, which also covers the entry being erased by
       // Abort.  NOLINTNEXTLINE(bugprone-spuriously-wake-up-functions)
-      cv_.wait(lock);
+      if (shard.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+        auto stale = shard.entries.find(key);
+        if (stale != shard.entries.end() && stale->second == entry &&
+            entry->placeholder) {
+          // Producer presumed dead: take over its claim. The placeholder
+          // stays registered, so if the producer is merely slow its later
+          // Put/Abort still resolves every remaining waiter.
+          shard.placeholder_steals.fetch_add(1, std::memory_order_relaxed);
+          stats_->placeholder_steals.fetch_add(1, std::memory_order_relaxed);
+          shard.misses.fetch_add(1, std::memory_order_relaxed);
+          RecordEvent(CacheEventKind::kMiss, 0, 0, shard, key->hash());
+          return {claim ? ProbeKind::kClaimed : ProbeKind::kMiss, nullptr};
+        }
+      }
       continue;  // Re-probe from scratch.
     }
+    entry->refs++;
+    entry->last_access = NextClock();
     if (entry->spilled) {
-      Status restored = RestoreEntry(entry.get());
+      Status restored = RestoreEntry(&shard, entry.get(), key->hash());
       if (!restored.ok()) {
         // Unreadable/corrupt spill file: drop the on-disk file too, or every
         // failed restore leaks a lima_spill_* file in spill_dir_.
         DropSpillFile(entry.get());
-        entries_.erase(it);
+        shard.entries.erase(it);
         continue;  // Re-probe: now a miss (and a claim, when requested).
       }
       // Hold the value and pin the entry: the restore pushed size_bytes_
-      // back up, and EvictUntilFits could otherwise immediately re-spill or
-      // evict the just-restored entry, returning kHit with a null value.
+      // back up, and the eviction pass could otherwise immediately re-spill
+      // or evict the just-restored entry, returning kHit with a null value.
       DataPtr value = entry->value;
-      entry->pinned = true;
-      EvictUntilFits();
-      entry->pinned = false;
-      RecordEvent(CacheEventKind::kHit, entry->size_bytes);
-      if (stats_ != nullptr) {
-        stats_->compute_saved_nanos.fetch_add(
-            static_cast<int64_t>(entry->compute_seconds * 1e9),
-            std::memory_order_relaxed);
-      }
-      return {ProbeKind::kHit, std::move(value)};
-    }
-    RecordEvent(CacheEventKind::kHit, entry->size_bytes);
-    if (stats_ != nullptr) {
+      entry->pins++;
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      RecordEvent(CacheEventKind::kHit, entry->size_bytes, 0, shard,
+                  key->hash());
       stats_->compute_saved_nanos.fetch_add(
           static_cast<int64_t>(entry->compute_seconds * 1e9),
           std::memory_order_relaxed);
+      lock.unlock();
+      EvictUntilFits();  // global pass; must not hold the shard lock
+      lock.lock();
+      entry->pins--;
+      return {ProbeKind::kHit, std::move(value)};
     }
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    RecordEvent(CacheEventKind::kHit, entry->size_bytes, 0, shard,
+                key->hash());
+    stats_->compute_saved_nanos.fetch_add(
+        static_cast<int64_t>(entry->compute_seconds * 1e9),
+        std::memory_order_relaxed);
     return {ProbeKind::kHit, entry->value};
   }
 }
 
 void LineageCache::Put(const LineageItemPtr& key, DataPtr value,
                        double compute_seconds) {
-  std::unique_lock<std::mutex> lock(mu_);
-  int64_t size = value->SizeInBytes();
-  auto it = entries_.find(key);
+  const int64_t size = value->SizeInBytes();
+  const int64_t budget = budget_bytes_.load(std::memory_order_relaxed);
+  Shard& shard = ShardFor(key);
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
 
-  // Objects larger than the budget are not subject to caching (Sec. 4.3).
-  if (size > config_.cache_budget_bytes) {
-    if (it != entries_.end() && it->second->placeholder) {
-      entries_.erase(it);
-      cv_.notify_all();
+    // Objects larger than the budget are not subject to caching (Sec. 4.3).
+    if (size > budget) {
+      if (it != shard.entries.end() && it->second->placeholder) {
+        shard.entries.erase(it);
+        shard.cv.notify_all();
+      }
+      return;
     }
-    return;
-  }
 
-  if (it != entries_.end()) {
-    Entry& entry = *it->second;
-    if (!entry.placeholder && (entry.value != nullptr || entry.spilled)) {
-      return;  // Already cached.
+    if (it != shard.entries.end()) {
+      Entry& entry = *it->second;
+      if (!entry.placeholder && (entry.value != nullptr || entry.spilled)) {
+        return;  // Already cached.
+      }
+      entry.placeholder = false;
+      entry.value = std::move(value);
+      entry.compute_seconds = compute_seconds;
+      entry.height = key->height();
+      entry.size_bytes = size;
+      entry.last_access = NextClock();
+      size_bytes_.fetch_add(size, std::memory_order_relaxed);
+      shard.cv.notify_all();
+    } else {
+      auto entry = std::make_shared<Entry>();
+      entry->value = std::move(value);
+      entry->compute_seconds = compute_seconds;
+      entry->height = key->height();
+      entry->size_bytes = size;
+      entry->last_access = NextClock();
+      auto ghost = shard.ghost_refs.find(key->hash());
+      entry->refs = 1 + (ghost != shard.ghost_refs.end() ? ghost->second : 0);
+      size_bytes_.fetch_add(size, std::memory_order_relaxed);
+      shard.entries.emplace(key, std::move(entry));
     }
-    entry.placeholder = false;
-    entry.value = std::move(value);
-    entry.compute_seconds = compute_seconds;
-    entry.height = key->height();
-    entry.size_bytes = size;
-    entry.last_access = ++clock_;
-    size_bytes_ += size;
-    cv_.notify_all();
-  } else {
-    auto entry = std::make_shared<Entry>();
-    entry->value = std::move(value);
-    entry->compute_seconds = compute_seconds;
-    entry->height = key->height();
-    entry->size_bytes = size;
-    entry->last_access = ++clock_;
-    auto ghost = ghost_refs_.find(key->hash());
-    entry->refs = 1 + (ghost != ghost_refs_.end() ? ghost->second : 0);
-    size_bytes_ += size;
-    entries_.emplace(key, std::move(entry));
   }
-  EvictUntilFits();
+  if (size_bytes_.load(std::memory_order_relaxed) > budget) EvictUntilFits();
 }
 
 void LineageCache::Abort(const LineageItemPtr& key) {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it != entries_.end() && it->second->placeholder) {
-    entries_.erase(it);
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end() && it->second->placeholder) {
+    shard.entries.erase(it);
   }
-  cv_.notify_all();
+  shard.cv.notify_all();
 }
 
 DataPtr LineageCache::Peek(const LineageItemPtr& key) {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return nullptr;
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return nullptr;
   std::shared_ptr<Entry> entry = it->second;
   if (entry->placeholder) return nullptr;
   if (entry->spilled) {
-    if (!RestoreEntry(entry.get()).ok()) {
+    if (!RestoreEntry(&shard, entry.get(), key->hash()).ok()) {
       DropSpillFile(entry.get());  // no orphan spill files on failure
-      entries_.erase(it);
+      shard.entries.erase(it);
       return nullptr;
     }
     // Same pinning as Probe: eviction must not null the value being handed
     // out to the partial-rewrite matcher.
     DataPtr value = entry->value;
-    entry->pinned = true;
-    EvictUntilFits();
-    entry->pinned = false;
+    entry->pins++;
     entry->refs++;
-    entry->last_access = ++clock_;
+    entry->last_access = NextClock();
+    lock.unlock();
+    EvictUntilFits();
+    lock.lock();
+    entry->pins--;
     return value;
   }
   entry->refs++;
-  entry->last_access = ++clock_;
+  entry->last_access = NextClock();
   return entry->value;
 }
 
@@ -344,39 +458,77 @@ DataPtr LineageCache::TryPartialReuse(const LineageItemPtr& key,
 }
 
 void LineageCache::Clear() {
-  std::unique_lock<std::mutex> lock(mu_);
-  for (auto& [key, entry] : entries_) {
-    if (entry->spilled) std::filesystem::remove(entry->spill_path);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    int64_t resident = 0;
+    for (auto& [key, entry] : shard->entries) {
+      if (entry->spilled) std::filesystem::remove(entry->spill_path);
+      if (!entry->placeholder && !entry->spilled && entry->value != nullptr) {
+        resident += entry->size_bytes;
+      }
+    }
+    shard->entries.clear();
+    size_bytes_.fetch_sub(resident, std::memory_order_relaxed);
+    shard->cv.notify_all();
   }
-  entries_.clear();
-  size_bytes_ = 0;
-  cv_.notify_all();
 }
 
 int64_t LineageCache::NumEntries() const {
-  std::unique_lock<std::mutex> lock(mu_);
   int64_t count = 0;
-  for (const auto& [key, entry] : entries_) {
-    if (!entry->placeholder) ++count;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    for (const auto& [key, entry] : shard->entries) {
+      if (!entry->placeholder) ++count;
+    }
   }
   return count;
 }
 
 int64_t LineageCache::SizeInBytes() const {
-  std::unique_lock<std::mutex> lock(mu_);
-  return size_bytes_;
+  return size_bytes_.load(std::memory_order_relaxed);
 }
 
 void LineageCache::SetBudget(int64_t bytes) {
-  std::unique_lock<std::mutex> lock(mu_);
-  config_.cache_budget_bytes = bytes;
+  budget_bytes_.store(bytes, std::memory_order_relaxed);
   EvictUntilFits();
 }
 
 bool LineageCache::Contains(const LineageItemPtr& key) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  return it != entries_.end() && !it->second->placeholder;
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  return it != shard.entries.end() && !it->second->placeholder;
+}
+
+std::vector<CacheShardStats> LineageCache::ShardStatsSnapshot() const {
+  std::vector<CacheShardStats> out;
+  out.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    CacheShardStats row;
+    row.shard = shard->index;
+    {
+      std::unique_lock<std::mutex> lock(shard->mu);
+      for (const auto& [key, entry] : shard->entries) {
+        if (entry->placeholder) continue;
+        ++row.entries;
+        if (!entry->spilled && entry->value != nullptr) {
+          row.resident_bytes += entry->size_bytes;
+        }
+      }
+    }
+    row.probes = shard->probes.load(std::memory_order_relaxed);
+    row.hits = shard->hits.load(std::memory_order_relaxed);
+    row.misses = shard->misses.load(std::memory_order_relaxed);
+    row.placeholder_waits =
+        shard->placeholder_waits.load(std::memory_order_relaxed);
+    row.placeholder_steals =
+        shard->placeholder_steals.load(std::memory_order_relaxed);
+    row.evictions = shard->evictions.load(std::memory_order_relaxed);
+    row.spills = shard->spills.load(std::memory_order_relaxed);
+    row.restores = shard->restores.load(std::memory_order_relaxed);
+    out.push_back(row);
+  }
+  return out;
 }
 
 }  // namespace lima

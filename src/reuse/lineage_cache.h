@@ -1,11 +1,13 @@
 #ifndef LIMA_REUSE_LINEAGE_CACHE_H_
 #define LIMA_REUSE_LINEAGE_CACHE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/config.h"
 #include "obs/cache_events.h"
@@ -13,6 +15,24 @@
 #include "runtime/stats.h"
 
 namespace lima {
+
+/// Point-in-time counters of one lock stripe of the lineage cache
+/// (LineageCache::ShardStatsSnapshot). Per shard, hits + misses == probes:
+/// every Probe() call resolves to exactly one of the two, including probes
+/// that blocked on a placeholder first.
+struct CacheShardStats {
+  int shard = 0;
+  int64_t entries = 0;         ///< non-placeholder entries (resident+spilled)
+  int64_t resident_bytes = 0;  ///< bytes of in-memory values
+  int64_t probes = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;  ///< includes probes that registered a claim
+  int64_t placeholder_waits = 0;
+  int64_t placeholder_steals = 0;
+  int64_t evictions = 0;
+  int64_t spills = 0;
+  int64_t restores = 0;
+};
 
 /// The LIMA lineage cache (Sec. 4): a thread-safe map from lineage traces to
 /// cached values with
@@ -24,6 +44,16 @@ namespace lima {
 /// Keys are lineage items; equality is structural DAG equality with hash
 /// pruning, so equivalent computations collide regardless of where (which
 /// loop iteration, thread, or function) they were traced.
+///
+/// Concurrency (docs/CONCURRENCY.md): the map is split into
+/// `config.cache_shards` lock stripes keyed by lineage-item hash. Each shard
+/// owns its entry map, ghost history, condition variable, and stat counters;
+/// probes and puts on different shards never contend. The memory budget is
+/// global: resident bytes are tracked in one atomic, and an eviction pass
+/// (serialized by `evict_mu_`, never holding more than one shard lock at a
+/// time) picks victims by cost-based score across sampled shards. One
+/// LineageCache instance may be shared by any number of sessions and parfor
+/// workers (LimaSession shared-cache mode).
 class LineageCache : public ReuseCache {
  public:
   explicit LineageCache(const LimaConfig& config,
@@ -54,20 +84,30 @@ class LineageCache : public ReuseCache {
 
   RuntimeStats* stats() const { return stats_; }
 
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Per-shard counters (always maintained; relaxed atomics, so a snapshot
+  /// taken while workers run is approximate but each counter is exact once
+  /// the cache is quiescent).
+  std::vector<CacheShardStats> ShardStatsSnapshot() const;
+
   /// Attaches a structured cache-event log (observability subsystem);
   /// nullptr detaches. Events: hit/miss/evict/spill/restore/restore_fail
-  /// with sizes and eviction scores.
-  void set_event_log(CacheEventLog* events) { events_ = events; }
+  /// with sizes, eviction scores, shard index, and key hash.
+  void set_event_log(CacheEventLog* events) {
+    events_.store(events, std::memory_order_release);
+  }
 
  private:
   struct Entry {
     DataPtr value;              ///< null while placeholder or spilled
     bool placeholder = false;
     bool spilled = false;
-    /// Pinned entries are skipped by the eviction scan. Set while a probe
-    /// hands out a freshly restored value so EvictUntilFits cannot re-spill
-    /// or delete it before the caller receives it (the null-hit bug).
-    bool pinned = false;
+    /// Pinned entries are skipped by the eviction scan. Raised while a probe
+    /// hands out a freshly restored value so the eviction pass cannot
+    /// re-spill or delete it before the caller receives it (the null-hit
+    /// bug); a count rather than a flag so overlapping pinners compose.
+    int pins = 0;
     std::string spill_path;
     double compute_seconds = 0;
     int64_t height = 0;         ///< lineage DAG height (DAG-Height policy)
@@ -89,46 +129,92 @@ class LineageCache : public ReuseCache {
   using EntryMap = std::unordered_map<LineageItemPtr, std::shared_ptr<Entry>,
                                       KeyHash, KeyEq>;
 
+  /// One lock stripe: entries whose mixed key hash maps to this shard.
+  struct Shard {
+    int index = 0;
+    mutable std::mutex mu;
+    /// Placeholder protocol: waiters block here; every placeholder
+    /// transition (fill, abort, clear, oversized drop) notifies.
+    std::condition_variable cv;
+    EntryMap entries;
+    /// Reference counts of evicted keys ("ghosts"): a re-inserted entry
+    /// keeps its access history, so repeatedly-missed values gain Cost&Size
+    /// score and eventually stay resident (the Fig. 8(a) P2 behavior).
+    std::unordered_map<uint64_t, int64_t> ghost_refs;
+    // Stat counters (relaxed; per shard so the hot path shares no cache
+    // line across stripes).
+    std::atomic<int64_t> probes{0};
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> misses{0};
+    std::atomic<int64_t> placeholder_waits{0};
+    std::atomic<int64_t> placeholder_steals{0};
+    std::atomic<int64_t> evictions{0};
+    std::atomic<int64_t> spills{0};
+    std::atomic<int64_t> restores{0};
+  };
+
+  Shard& ShardFor(const LineageItemPtr& key) const {
+    return *shards_[ShardIndex(key->hash())];
+  }
+  size_t ShardIndex(uint64_t hash) const {
+    // Remix before reduction: the map inside the shard consumes the raw
+    // hash, so shard selection must use independent bits.
+    return static_cast<size_t>((hash * 0x9E3779B97F4A7C15ULL) >> 32) %
+           shards_.size();
+  }
+
   /// Eviction score (Table 1); the entry with the smallest score is evicted
   /// first.
   double Score(const Entry& entry) const;
 
-  /// Evicts (or spills) entries until size_bytes_ <= budget. Requires mu_.
+  /// Global eviction pass: evicts (or spills) entries until size_bytes_ is
+  /// back under budget (with hysteresis). Serialized by evict_mu_; acquires
+  /// shard locks one at a time. Must be called WITHOUT any shard lock held.
   void EvictUntilFits();
 
-  /// Spills entry value to disk; true on success. Requires mu_.
-  bool SpillEntry(Entry* entry);
+  /// Spills entry value to disk; true on success. Requires the entry's
+  /// shard lock.
+  bool SpillEntry(Shard* shard, Entry* entry);
 
-  /// Restores a spilled entry from disk. Requires mu_.
-  Status RestoreEntry(Entry* entry);
+  /// Restores a spilled entry from disk. Requires the entry's shard lock.
+  Status RestoreEntry(Shard* shard, Entry* entry, uint64_t key_hash);
 
   /// Deletes the entry's spill file (if any) and clears the spill state;
-  /// used when a restore fails so no orphan files are leaked. Requires mu_.
+  /// used when a restore fails so no orphan files are leaked.
   void DropSpillFile(Entry* entry);
 
-  /// Records into the event log when one is attached. Requires mu_.
-  void RecordEvent(CacheEventKind kind, int64_t size_bytes, double score = 0);
+  /// Records into the event log when one is attached.
+  void RecordEvent(CacheEventKind kind, int64_t size_bytes, double score,
+                   const Shard& shard, uint64_t key_hash);
 
   std::string NextSpillPath();
 
+  int64_t NextClock() {
+    return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
   LimaConfig config_;
+  /// Runtime-adjustable copy of config_.cache_budget_bytes (SetBudget).
+  std::atomic<int64_t> budget_bytes_;
   RuntimeStats* stats_;
-  CacheEventLog* events_ = nullptr;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  EntryMap entries_;
-  int64_t size_bytes_ = 0;
-  int64_t clock_ = 0;
-  /// Reference counts of evicted keys ("ghosts"): a re-inserted entry keeps
-  /// its access history, so repeatedly-missed values gain Cost&Size score
-  /// and eventually stay resident (the Fig. 8(a) P2 behavior).
-  std::unordered_map<uint64_t, int64_t> ghost_refs_;
-  int64_t spill_counter_ = 0;
+  /// Owned fallback so stats() is never null (shared-cache mode constructs
+  /// the cache without a session to charge counters to).
+  std::unique_ptr<RuntimeStats> owned_stats_;
+  std::atomic<CacheEventLog*> events_{nullptr};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Global resident bytes across all shards (atomic budget accounting).
+  std::atomic<int64_t> size_bytes_{0};
+  std::atomic<int64_t> clock_{0};
+  /// Serializes eviction passes; ordered strictly before shard locks.
+  std::mutex evict_mu_;
+  /// Rotating start shard for sampled eviction scans.
+  size_t evict_cursor_ = 0;
+  std::atomic<int64_t> spill_counter_{0};
   std::string spill_dir_;
   // Expected disk bandwidths (bytes/s), adapted by exponential moving
   // average of measured I/O times (Sec. 4.3).
-  double write_bandwidth_ = 500.0 * 1024 * 1024;
-  double read_bandwidth_ = 1000.0 * 1024 * 1024;
+  std::atomic<double> write_bandwidth_{500.0 * 1024 * 1024};
+  std::atomic<double> read_bandwidth_{1000.0 * 1024 * 1024};
 };
 
 }  // namespace lima

@@ -22,6 +22,7 @@ struct RuntimeStats {
   std::atomic<int64_t> function_reuse_hits{0};
   std::atomic<int64_t> block_reuse_hits{0};
   std::atomic<int64_t> placeholder_waits{0};
+  std::atomic<int64_t> placeholder_steals{0};
   std::atomic<int64_t> evictions{0};
   std::atomic<int64_t> spills{0};
   std::atomic<int64_t> restores{0};
@@ -42,6 +43,7 @@ struct RuntimeStats {
     function_reuse_hits = 0;
     block_reuse_hits = 0;
     placeholder_waits = 0;
+    placeholder_steals = 0;
     evictions = 0;
     spills = 0;
     restores = 0;
@@ -66,6 +68,7 @@ struct RuntimeStats {
         {"function_reuse_hits", function_reuse_hits.load()},
         {"block_reuse_hits", block_reuse_hits.load()},
         {"placeholder_waits", placeholder_waits.load()},
+        {"placeholder_steals", placeholder_steals.load()},
         {"evictions", evictions.load()},
         {"spills", spills.load()},
         {"restores", restores.load()},
@@ -88,6 +91,7 @@ struct RuntimeStats {
         << " fn_hits=" << function_reuse_hits.load()
         << " blk_hits=" << block_reuse_hits.load()
         << " waits=" << placeholder_waits.load()
+        << " steals=" << placeholder_steals.load()
         << " evictions=" << evictions.load() << " spills=" << spills.load()
         << " restores=" << restores.load()
         << " dedup_patches=" << dedup_patches_created.load()

@@ -1,0 +1,209 @@
+// Differential determinism tests: the bundled example scripts must produce
+// byte-identical printed output, result matrices, and serialized lineage
+// across every combination of {reuse off, reuse on} x {private cache,
+// shared cache} x {1, 8 parfor workers}. Reuse and the sharded/shared cache
+// are performance features — they must never change a result or a trace.
+//
+// Parfor scripts are the one documented exception for lineage: with more
+// than one worker the runtime emits parfor-merge lineage items (PR 3), so
+// their traces are compared per worker count (results still across all
+// configurations).
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "algorithms/scripts.h"
+#include "gtest/gtest.h"
+#include "lang/session.h"
+
+namespace lima {
+namespace {
+
+std::string ReadScript(const std::string& name) {
+  std::ifstream in(std::string(LIMA_SOURCE_DIR) + "/scripts/" + name);
+  EXPECT_TRUE(in.good()) << "cannot open scripts/" << name;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Lineage item ids are allocated from a process-global counter, so runs in
+/// the same process serialize identical traces with shifted ids (separate
+/// lima_run processes really are byte-identical). Remapping every id to its
+/// order of first appearance makes structurally identical traces compare
+/// byte-equal while any structural difference still shows.
+std::string NormalizeLineage(const std::string& serialized) {
+  std::unordered_map<std::string, int64_t> dense;
+  std::string out;
+  out.reserve(serialized.size());
+  for (size_t i = 0; i < serialized.size();) {
+    if (serialized[i] == '(' && i + 1 < serialized.size() &&
+        std::isdigit(static_cast<unsigned char>(serialized[i + 1]))) {
+      size_t j = i + 1;
+      while (j < serialized.size() &&
+             std::isdigit(static_cast<unsigned char>(serialized[j]))) {
+        ++j;
+      }
+      if (j < serialized.size() && serialized[j] == ')') {
+        std::string id = serialized.substr(i + 1, j - i - 1);
+        auto [it, inserted] =
+            dense.emplace(id, static_cast<int64_t>(dense.size()));
+        out += "(" + std::to_string(it->second) + ")";
+        i = j + 1;
+        continue;
+      }
+    }
+    out += serialized[i++];
+  }
+  return out;
+}
+
+struct RunResult {
+  std::string output;   ///< everything the script printed
+  std::string matrix;   ///< raw bytes of the result variable
+  std::string lineage;  ///< serialized lineage of the result variable
+};
+
+RunResult RunOnce(const std::string& source, const std::string& var,
+                  bool reuse, bool shared, int workers) {
+  LimaConfig config = reuse ? LimaConfig::Lima() : LimaConfig::TracingOnly();
+  config.cache_shards = 4;
+  config.parfor_workers = workers;
+  std::unique_ptr<LimaSession> session;
+  std::shared_ptr<LineageCache> cache;  // must outlive the session
+  if (shared) {
+    cache = LimaSession::MakeSharedCache(config);
+    session = std::make_unique<LimaSession>(config, cache);
+  } else {
+    session = std::make_unique<LimaSession>(config);
+  }
+  RunResult result;
+  Status status = session->Run(scripts::Builtins() + source);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  if (!status.ok()) return result;
+  result.output = session->ConsumeOutput();
+  Result<MatrixPtr> matrix = session->GetMatrix(var);
+  EXPECT_TRUE(matrix.ok()) << matrix.status().ToString();
+  if (matrix.ok()) {
+    result.matrix.assign(reinterpret_cast<const char*>((*matrix)->data()),
+                         static_cast<size_t>((*matrix)->SizeInBytes()));
+  }
+  Result<std::string> lineage = session->GetLineage(var);
+  EXPECT_TRUE(lineage.ok()) << lineage.status().ToString();
+  if (lineage.ok()) result.lineage = NormalizeLineage(*lineage);
+  return result;
+}
+
+std::string ConfigLabel(bool reuse, bool shared, int workers) {
+  return std::string(reuse ? "reuse" : "noreuse") + "/" +
+         (shared ? "shared" : "private") + "/workers=" +
+         std::to_string(workers);
+}
+
+/// Runs `source` under all eight configurations and compares every run
+/// against the first (reuse off, private cache, 1 worker). When
+/// `lineage_worker_invariant` is false (parfor scripts), lineage is compared
+/// against the first run with the same worker count instead.
+void ExpectDeterministic(const std::string& source, const std::string& var,
+                         bool lineage_worker_invariant) {
+  RunResult base;
+  RunResult base_by_workers[2];  // index 0: workers=1, 1: workers=8
+  bool have_base = false;
+  for (bool reuse : {false, true}) {
+    for (bool shared : {false, true}) {
+      for (int workers : {1, 8}) {
+        SCOPED_TRACE(ConfigLabel(reuse, shared, workers));
+        RunResult r = RunOnce(source, var, reuse, shared, workers);
+        if (::testing::Test::HasFailure()) return;
+        if (!have_base) {
+          base = r;
+          have_base = true;
+          ASSERT_FALSE(base.output.empty());
+          ASSERT_FALSE(base.lineage.empty());
+        }
+        const int w = workers == 1 ? 0 : 1;
+        if (base_by_workers[w].lineage.empty()) base_by_workers[w] = r;
+        EXPECT_EQ(r.output, base.output);
+        EXPECT_EQ(r.matrix, base.matrix);
+        const RunResult& lineage_base =
+            lineage_worker_invariant ? base : base_by_workers[w];
+        EXPECT_EQ(r.lineage, lineage_base.lineage);
+      }
+    }
+  }
+}
+
+TEST(CacheDeterminismTest, PagerankIsDeterministic) {
+  ExpectDeterministic(ReadScript("pagerank.dml"), "p",
+                      /*lineage_worker_invariant=*/true);
+}
+
+TEST(CacheDeterminismTest, KmeansIsDeterministic) {
+  ExpectDeterministic(ReadScript("kmeans.dml"), "C",
+                      /*lineage_worker_invariant=*/true);
+}
+
+TEST(CacheDeterminismTest, ParforScriptIsDeterministic) {
+  const std::string source = R"(
+    n = 40;
+    A = rand(rows=n, cols=8, seed=3);
+    R = matrix(0, n, 1);
+    parfor (i in 1:n) {
+      R[i, 1] = sum(A[i, ] %*% t(A[i, ]));
+    }
+    print("acc: " + sum(R));
+  )";
+  ExpectDeterministic(source, "R", /*lineage_worker_invariant=*/false);
+}
+
+/// Back-to-back sessions on one shared cache: the second run is served from
+/// the cache (hits observed) yet produces the same bytes and the same trace.
+TEST(CacheDeterminismTest, SharedCacheReuseDoesNotChangeResults) {
+  LimaConfig config = LimaConfig::Lima();
+  config.cache_shards = 4;
+  std::shared_ptr<LineageCache> cache = LimaSession::MakeSharedCache(config);
+  const std::string source = scripts::Builtins() + ReadScript("pagerank.dml");
+
+  LimaSession a(config, cache);
+  LimaSession b(config, cache);
+  ASSERT_TRUE(a.Run(source).ok());
+  ASSERT_TRUE(b.Run(source).ok());
+  EXPECT_GT(b.stats()->cache_hits.load(), 0);
+  EXPECT_EQ(a.ConsumeOutput(), b.ConsumeOutput());
+  EXPECT_EQ(NormalizeLineage(*a.GetLineage("p")),
+            NormalizeLineage(*b.GetLineage("p")));
+  MatrixPtr pa = *a.GetMatrix("p");
+  MatrixPtr pb = *b.GetMatrix("p");
+  ASSERT_EQ(pa->SizeInBytes(), pb->SizeInBytes());
+  EXPECT_EQ(0, std::memcmp(pa->data(), pb->data(),
+                           static_cast<size_t>(pa->SizeInBytes())));
+}
+
+/// The grid-search script (the paper's Example 1) is the heaviest bundled
+/// workload, so it runs a trimmed matrix: one reuse-off baseline plus all
+/// four cache/worker configurations with reuse on. Kept out of the TSan
+/// selection in scripts/ci.sh for time; the cheap suites above cover the
+/// full matrix there.
+TEST(CacheDeterminismHeavyTest, GridsearchIsDeterministic) {
+  const std::string source = ReadScript("gridsearch.dml");
+  RunResult base = RunOnce(source, "losses", /*reuse=*/false,
+                           /*shared=*/false, /*workers=*/1);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+  ASSERT_FALSE(base.output.empty());
+  for (bool shared : {false, true}) {
+    for (int workers : {1, 8}) {
+      SCOPED_TRACE(ConfigLabel(true, shared, workers));
+      RunResult r = RunOnce(source, "losses", /*reuse=*/true, shared, workers);
+      EXPECT_EQ(r.output, base.output);
+      EXPECT_EQ(r.matrix, base.matrix);
+      EXPECT_EQ(r.lineage, base.lineage);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lima

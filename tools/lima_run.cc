@@ -47,7 +47,8 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: lima_run [--mode=base|trace|lima|mlr] [--dedup] "
                "[--fusion]\n                [--assist] [--workers=N] "
-               "[--budget-mb=N] [--policy=...]\n                [--spill] "
+               "[--budget-mb=N] [--policy=...]\n                "
+               "[--cache-shards=N] [--spill] "
                "[--stats] [--profile[=text|json|csv]] [--lineage=VAR]\n"
                "                [--verify[=report|strict|only]] "
                "[--parfor-check=on|off]\n                <script.dml | ->\n");
@@ -121,6 +122,12 @@ int main(int argc, char** argv) {
       }
     } else if (ParseFlag(arg, "budget-mb", &value)) {
       config.cache_budget_bytes = int64_t{1024} * 1024 * std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "cache-shards", &value)) {
+      config.cache_shards = std::atoi(value.c_str());
+      if (config.cache_shards < 1) {
+        std::fprintf(stderr, "invalid --cache-shards: %s\n", value.c_str());
+        return 2;
+      }
     } else if (ParseFlag(arg, "policy", &value)) {
       if (value == "lru") {
         config.eviction_policy = EvictionPolicy::kLru;
