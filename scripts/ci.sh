@@ -49,9 +49,16 @@ else
 fi
 
 # The static verifier must accept every shipped script with zero findings.
+# This includes the interprocedural shape checks: a script is only clean
+# when it has no shape-mismatch errors AND no shape-unknown-degraded
+# warnings, so the gate greps for the zero/zero summary line rather than
+# relying on the exit code (which only reflects errors).
 for script in "$ROOT"/scripts/*.dml; do
-  echo "verify: $script"
-  "$BUILD_DIR/tools/lima_run" --verify=only "$script"
+  echo "verify (strict shapes): $script"
+  report="$("$BUILD_DIR/tools/lima_run" --verify=only "$script" 2>&1 >/dev/null)"
+  echo "$report"
+  grep -q "0 error(s), 0 warning(s)" <<<"$report" \
+    || { echo "shape gate failed: $script" >&2; exit 1; }
 done
 
 # Catalog-coverage gate: every verifier run re-lints the operator catalog
@@ -96,6 +103,30 @@ print("profile smoke: OK ({} ops, {} hits)".format(
 EOF
 else
   echo "profile smoke: python3 not found; skipping" >&2
+fi
+
+# Memory-estimate smoke: the static planner's program peak must be an
+# upper bound on the runtime's actual peak live bytes for a fully-known
+# pipeline (docs/ANALYSIS.md, "Static memory planning"). lima_run prints
+# the estimate (with a raw-byte figure) before the run and the measured
+# peak after it.
+if command -v python3 >/dev/null 2>&1; then
+  echo "mem-estimate smoke: lima_run --mem-report"
+  for script in "$ROOT"/scripts/*.dml; do
+    "$BUILD_DIR/tools/lima_run" --mem-report "$script" \
+      > /dev/null 2> "$BUILD_DIR/mem_smoke.txt"
+    python3 - "$BUILD_DIR/mem_smoke.txt" "$script" <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+est = re.search(r"program peak: .*\((\d+) bytes", text)
+act = re.search(r"actual peak live bytes: (\d+)", text)
+assert est and act, text
+estimate, actual = int(est.group(1)), int(act.group(1))
+assert estimate >= actual, (sys.argv[2], estimate, actual)
+print("mem-estimate smoke: OK ({}: estimate {} >= actual {})".format(
+    sys.argv[2].rsplit("/", 1)[-1], estimate, actual))
+EOF
+  done
 fi
 
 # Contention smoke (plain builds only; sanitizer timings are meaningless):

@@ -22,8 +22,10 @@ fi
 
 PATHS=("$@")
 if [[ ${#PATHS[@]} -eq 0 ]]; then
-  # Whole hardened subsystems plus the catalog-refactor surface in
-  # src/runtime (the factory and its replay consumer).
+  # Whole hardened subsystems — including src/analysis (shape inference,
+  # liveness, verifier, parfor dependency analysis) — plus the
+  # catalog-refactor surface in src/runtime (the factory and its replay
+  # consumer).
   PATHS=("$ROOT/src/lineage" "$ROOT/src/reuse" "$ROOT/src/analysis"
          "$ROOT/src/obs" "$ROOT/src/runtime/instruction_factory.cc"
          "$ROOT/src/runtime/reconstruct.cc")

@@ -1,0 +1,31 @@
+#ifndef LIMA_ANALYSIS_LIVENESS_H_
+#define LIMA_ANALYSIS_LIVENESS_H_
+
+#include "runtime/program.h"
+
+namespace lima {
+
+/// Compile-time live-range pass over a compiled program (main + all
+/// functions). Two rewrites per basic block:
+///
+///  1. rmvar hoisting: every rmvar is split per name and relocated to
+///     immediately after the *last event* (use or definition) of that name
+///     in the block, shrinking live ranges so buffers free as early as
+///     possible. Relocating after the last event — not the last use — keeps
+///     `use X; X = ...; rmvar X` sound.
+///
+///  2. last-use operand annotation: each ComputationInstruction gets a
+///     bitmask marking operands whose binding provably dies before any
+///     later read in the block (killed by rmvar, mvvar, or redefinition).
+///     The runtime uses the mask as an in-place eligibility hint; the
+///     refcount check at execute time remains the safety proof.
+///
+/// The pass runs unconditionally so the compiled program is identical
+/// whether in-place execution is enabled or not (the runtime flag only
+/// changes whether annotations are acted on) — lineage and results stay
+/// byte-identical across the two modes.
+void AnnotateLiveness(Program* program);
+
+}  // namespace lima
+
+#endif  // LIMA_ANALYSIS_LIVENESS_H_

@@ -1,5 +1,6 @@
 #include "analysis/opcode_registry.h"
 
+#include <algorithm>
 #include <deque>
 #include <mutex>
 #include <shared_mutex>
@@ -12,6 +13,621 @@ namespace lima {
 namespace {
 
 using Cat = OpcodeCategory;
+
+// ---------------------------------------------------------------------------
+// Shape-transfer rules (one per value-producing opcode; families share a
+// function and branch on effect.opcode). Rules mirror the runtime's own
+// validity checks exactly: an error is returned only when comparable (const
+// or same-symbol) dimensions prove the runtime would reject the operands.
+// ---------------------------------------------------------------------------
+
+const ShapeInfo& ArgShape(const std::vector<ShapeArg>& args, size_t i) {
+  static const ShapeInfo kUnknown;
+  return i < args.size() ? args[i].shape : kUnknown;
+}
+
+ShapeRuleResult Out(ShapeInfo s) {
+  ShapeRuleResult r;
+  r.outputs.push_back(std::move(s));
+  return r;
+}
+
+ShapeRuleResult ShapeError(std::string message) {
+  ShapeRuleResult r;
+  r.error = std::move(message);
+  return r;
+}
+
+std::string DimPair(const Dim& a, const Dim& b) {
+  return a.ToString() + " vs " + b.ToString();
+}
+
+// Two dimensions the runtime requires to be equal (cbind rows, mm inner
+// dims, ...): a provable mismatch sets *error; otherwise the merged dim
+// keeps whichever side is known.
+Dim MergeEqualDims(const Dim& a, const Dim& b, const char* what,
+                   std::string* error) {
+  if (a.known() && b.known() && a != b) {
+    // Distinct symbols may still be equal at runtime — only flag pairs the
+    // runtime would provably reject: const-const, or same-symbol different
+    // offsets (s+0 vs s+1 can never agree).
+    if ((a.is_const() && b.is_const()) ||
+        (a.is_sym() && b.is_sym() && a.sym == b.sym)) {
+      *error = std::string(what) + " mismatch (" + DimPair(a, b) + ")";
+      return Dim::Unknown();
+    }
+    return Dim::Unknown();
+  }
+  return a.known() ? a : b;
+}
+
+// Elementwise broadcast of one dimension pair: valid iff equal or either
+// side is 1; the result is the max. With one side a known constant c != 1,
+// every valid execution has result c (the other side is 1 or equals c).
+Dim BroadcastDim(const Dim& a, const Dim& b, const char* what,
+                 std::string* error) {
+  if (a == b) return a;
+  if (a.is_const() && a.value == 1) return b;
+  if (b.is_const() && b.value == 1) return a;
+  if (a.is_const() && b.is_const()) {
+    *error = std::string(what) + " not broadcastable (" + DimPair(a, b) + ")";
+    return Dim::Unknown();
+  }
+  if (a.is_sym() && b.is_sym() && a.sym == b.sym) {
+    // Same symbol, different offsets: only valid if one side is 1, which a
+    // symbolic value cannot be proven to be — stay unknown, no error.
+    return Dim::Unknown();
+  }
+  if (a.is_const()) return a;
+  if (b.is_const()) return b;
+  return Dim::Unknown();
+}
+
+// Broadcast join of two operand shapes under elementwise semantics.
+ShapeInfo BroadcastShapes(const ShapeInfo& a, const ShapeInfo& b,
+                          std::string* error) {
+  if (a.is_list() || b.is_list()) return ShapeInfo::Unknown();
+  if (a.is_scalar() && b.is_scalar()) return ShapeInfo::Scalar();
+  if (a.is_scalar()) return b.is_matrix() ? b : ShapeInfo::Unknown();
+  if (b.is_scalar()) return a.is_matrix() ? a : ShapeInfo::Unknown();
+  if (a.is_matrix() && b.is_matrix()) {
+    Dim rows = BroadcastDim(a.rows, b.rows, "rows", error);
+    if (!error->empty()) return ShapeInfo::Unknown();
+    Dim cols = BroadcastDim(a.cols, b.cols, "cols", error);
+    if (!error->empty()) return ShapeInfo::Unknown();
+    return ShapeInfo::Matrix(rows, cols,
+                             a.sparsity > b.sparsity ? a.sparsity
+                                                     : b.sparsity);
+  }
+  // At least one side fully unknown: the result kind is unknowable (scalar
+  // op scalar stays scalar, matrix op scalar is a matrix, ...).
+  return ShapeInfo::Unknown();
+}
+
+ShapeRuleResult EwiseBinaryRule(const OpcodeEffect& effect,
+                                const std::vector<ShapeArg>& args) {
+  const ShapeInfo& a = ArgShape(args, 0);
+  const ShapeInfo& b = ArgShape(args, 1);
+  // Scalar constant folding feeds inferred loop bounds and datagen sizes:
+  // +/- run full affine Dim arithmetic (nrow(X) - 1 stays symbolic).
+  if (a.is_scalar() && b.is_scalar()) {
+    std::string_view op = effect.opcode;
+    const Dim va = args.size() > 0 ? args[0].AsDim() : Dim::Unknown();
+    const Dim vb = args.size() > 1 ? args[1].AsDim() : Dim::Unknown();
+    if (op == "+") return Out(ShapeInfo::ScalarValue(AddDims(va, vb)));
+    if (op == "-") return Out(ShapeInfo::ScalarValue(SubDims(va, vb)));
+    if (va.is_const() && vb.is_const()) {
+      if (op == "*") {
+        return Out(ShapeInfo::ScalarConst(va.value * vb.value));
+      }
+      if (op == "%/%" && vb.value != 0) {
+        return Out(ShapeInfo::ScalarConst(va.value / vb.value));
+      }
+      if (op == "%%" && vb.value != 0) {
+        return Out(ShapeInfo::ScalarConst(va.value % vb.value));
+      }
+      if (op == "min") {
+        return Out(ShapeInfo::ScalarConst(std::min(va.value, vb.value)));
+      }
+      if (op == "max") {
+        return Out(ShapeInfo::ScalarConst(std::max(va.value, vb.value)));
+      }
+    }
+    return Out(ShapeInfo::Scalar());
+  }
+  std::string error;
+  ShapeInfo out = BroadcastShapes(a, b, &error);
+  if (!error.empty()) {
+    return ShapeError(std::string(effect.opcode) + ": " + error);
+  }
+  return Out(out);
+}
+
+// Cellwise ternary / fused cellwise chain: output is the broadcast of all
+// matrix/scalar operands.
+ShapeRuleResult CellwiseFoldRule(const OpcodeEffect& effect,
+                                 const std::vector<ShapeArg>& args) {
+  ShapeInfo out = ShapeInfo::Scalar();
+  for (const ShapeArg& arg : args) {
+    std::string error;
+    out = BroadcastShapes(out, arg.shape, &error);
+    if (!error.empty()) {
+      return ShapeError(std::string(effect.opcode) + ": " + error);
+    }
+  }
+  return Out(out);
+}
+
+ShapeRuleResult EwiseUnaryRule(const OpcodeEffect& effect,
+                               const std::vector<ShapeArg>& args) {
+  const ShapeInfo& a = ArgShape(args, 0);
+  if (a.is_scalar()) {
+    std::string_view op = effect.opcode;
+    Dim v = args.empty() ? Dim::Unknown() : args[0].AsDim();
+    if (op == "uminus") return Out(ShapeInfo::ScalarValue(SubDims(Dim::Const(0), v)));
+    if ((op == "round" || op == "floor" || op == "ceil" || op == "abs") &&
+        v.known()) {
+      // Integral quantities are fixed by round/floor/ceil; abs only when
+      // provably nonnegative.
+      if (op != "abs" || (v.is_const() && v.value >= 0)) {
+        return Out(ShapeInfo::ScalarValue(v));
+      }
+    }
+    return Out(ShapeInfo::Scalar());
+  }
+  if (a.is_matrix()) {
+    double sp = effect.opcode[0] == 'e' || effect.opcode[0] == 's'
+                    ? 1.0  // exp/sigmoid/sqrt densify zero cells (exp(0)=1)
+                    : a.sparsity;
+    return Out(ShapeInfo::Matrix(a.rows, a.cols, sp));
+  }
+  return Out(ShapeInfo::Unknown());
+}
+
+ShapeRuleResult AggregateRule(const OpcodeEffect& effect,
+                              const std::vector<ShapeArg>& args) {
+  const ShapeInfo& a = ArgShape(args, 0);
+  std::string_view op = effect.opcode;
+  bool col_agg = op.rfind("col", 0) == 0;   // (1, cols)
+  bool row_agg = op.rfind("row", 0) == 0;   // (rows, 1)
+  if (!col_agg && !row_agg) {
+    return Out(ShapeInfo::Scalar());  // full aggregate
+  }
+  if (!a.is_matrix()) return Out(ShapeInfo::Unknown());
+  if (col_agg) return Out(ShapeInfo::Matrix(Dim::Const(1), a.cols));
+  return Out(ShapeInfo::Matrix(a.rows, Dim::Const(1)));
+}
+
+ShapeRuleResult MatMulRule(const OpcodeEffect& effect,
+                           const std::vector<ShapeArg>& args) {
+  const ShapeInfo& a = ArgShape(args, 0);
+  const ShapeInfo& b = ArgShape(args, 1);
+  (void)effect;
+  if (!a.is_matrix() || !b.is_matrix()) {
+    if (a.is_scalar() || b.is_scalar()) {
+      return ShapeError("mm: operands must be matrices");
+    }
+    return Out(ShapeInfo::Unknown());
+  }
+  std::string error;
+  MergeEqualDims(a.cols, b.rows, "mm: inner dimensions", &error);
+  if (!error.empty()) return ShapeError(error);
+  return Out(ShapeInfo::Matrix(a.rows, b.cols));
+}
+
+ShapeRuleResult TsmmRule(const OpcodeEffect& effect,
+                         const std::vector<ShapeArg>& args) {
+  const ShapeInfo& a = ArgShape(args, 0);
+  (void)effect;
+  if (!a.is_matrix()) return Out(ShapeInfo::Unknown());
+  return Out(ShapeInfo::Matrix(a.cols, a.cols));  // t(X) %*% X
+}
+
+ShapeRuleResult TmmRule(const OpcodeEffect& effect,
+                        const std::vector<ShapeArg>& args) {
+  const ShapeInfo& a = ArgShape(args, 0);
+  (void)effect;
+  if (!a.is_matrix()) return Out(ShapeInfo::Unknown());
+  return Out(ShapeInfo::Matrix(a.rows, a.rows));  // X %*% t(X)
+}
+
+ShapeRuleResult SolveRule(const OpcodeEffect& effect,
+                          const std::vector<ShapeArg>& args) {
+  const ShapeInfo& a = ArgShape(args, 0);
+  const ShapeInfo& b = ArgShape(args, 1);
+  (void)effect;
+  if (!a.is_matrix() || !b.is_matrix()) return Out(ShapeInfo::Unknown());
+  std::string error;
+  MergeEqualDims(a.rows, a.cols, "solve: coefficient matrix not square",
+                 &error);
+  if (error.empty()) {
+    MergeEqualDims(a.rows, b.rows, "solve: rhs rows", &error);
+  }
+  if (!error.empty()) return ShapeError(error);
+  return Out(ShapeInfo::Matrix(a.cols, b.cols));
+}
+
+ShapeRuleResult CholeskyRule(const OpcodeEffect& effect,
+                             const std::vector<ShapeArg>& args) {
+  const ShapeInfo& a = ArgShape(args, 0);
+  (void)effect;
+  if (!a.is_matrix()) return Out(ShapeInfo::Unknown());
+  std::string error;
+  Dim n = MergeEqualDims(a.rows, a.cols, "cholesky: matrix not square",
+                         &error);
+  if (!error.empty()) return ShapeError(error);
+  return Out(ShapeInfo::Matrix(n, n));
+}
+
+ShapeRuleResult EigenRule(const OpcodeEffect& effect,
+                          const std::vector<ShapeArg>& args) {
+  const ShapeInfo& a = ArgShape(args, 0);
+  (void)effect;
+  ShapeRuleResult r;
+  if (!a.is_matrix()) {
+    r.outputs = {ShapeInfo::Unknown(), ShapeInfo::Unknown()};
+    return r;
+  }
+  std::string error;
+  Dim n = MergeEqualDims(a.rows, a.cols, "eigen: matrix not square", &error);
+  if (!error.empty()) return ShapeError(error);
+  r.outputs = {ShapeInfo::Matrix(n, Dim::Const(1)),   // eigenvalues
+               ShapeInfo::Matrix(n, n)};              // eigenvectors
+  return r;
+}
+
+ShapeRuleResult TsmmCbindRule(const OpcodeEffect& effect,
+                              const std::vector<ShapeArg>& args) {
+  const ShapeInfo& a = ArgShape(args, 0);
+  const ShapeInfo& b = ArgShape(args, 1);
+  (void)effect;
+  if (!a.is_matrix() || !b.is_matrix()) return Out(ShapeInfo::Unknown());
+  std::string error;
+  MergeEqualDims(a.rows, b.rows, "tsmm_cbind: rows", &error);
+  if (!error.empty()) return ShapeError(error);
+  Dim k = AddDims(a.cols, b.cols);
+  return Out(ShapeInfo::Matrix(k, k));
+}
+
+ShapeRuleResult TransposeRule(const OpcodeEffect& effect,
+                              const std::vector<ShapeArg>& args) {
+  const ShapeInfo& a = ArgShape(args, 0);
+  (void)effect;
+  if (a.is_scalar()) return Out(ShapeInfo::Scalar());
+  if (!a.is_matrix()) return Out(ShapeInfo::Unknown());
+  return Out(ShapeInfo::Matrix(a.cols, a.rows, a.sparsity));
+}
+
+ShapeRuleResult SameShapeRule(const OpcodeEffect& effect,
+                              const std::vector<ShapeArg>& args) {
+  (void)effect;
+  return Out(ArgShape(args, 0));
+}
+
+ShapeRuleResult DiagRule(const OpcodeEffect& effect,
+                         const std::vector<ShapeArg>& args) {
+  const ShapeInfo& a = ArgShape(args, 0);
+  (void)effect;
+  if (!a.is_matrix()) return Out(ShapeInfo::Unknown());
+  // Column vector -> diagonal matrix; square matrix -> diagonal column.
+  if (a.cols.is_const() && a.cols.value == 1) {
+    double sp = a.rows.is_const() && a.rows.value > 0
+                    ? 1.0 / static_cast<double>(a.rows.value)
+                    : 1.0;
+    return Out(ShapeInfo::Matrix(a.rows, a.rows, sp));
+  }
+  std::string error;
+  Dim n = MergeEqualDims(a.rows, a.cols, "diag: matrix not square", &error);
+  if (!error.empty()) return ShapeError(error);
+  if (n.known() && a.cols == a.rows) {
+    return Out(ShapeInfo::Matrix(n, Dim::Const(1)));
+  }
+  // Could be either form (unknown cols may be 1) — only the kind is known.
+  return Out(ShapeInfo::Matrix(Dim::Unknown(), Dim::Unknown()));
+}
+
+ShapeRuleResult ReshapeRule(const OpcodeEffect& effect,
+                            const std::vector<ShapeArg>& args) {
+  (void)effect;
+  const ShapeInfo& a = ArgShape(args, 0);
+  Dim rows = args.size() > 1 ? args[1].AsDim() : Dim::Unknown();
+  Dim cols = args.size() > 2 ? args[2].AsDim() : Dim::Unknown();
+  if (a.is_matrix() && a.rows.is_const() && a.cols.is_const() &&
+      rows.is_const() && cols.is_const() &&
+      a.rows.value * a.cols.value != rows.value * cols.value) {
+    return ShapeError("reshape: element count mismatch (" +
+                      std::to_string(a.rows.value * a.cols.value) + " vs " +
+                      std::to_string(rows.value * cols.value) + ")");
+  }
+  return Out(ShapeInfo::Matrix(rows, cols, a.is_matrix() ? a.sparsity : 1.0));
+}
+
+ShapeRuleResult AppendRule(const OpcodeEffect& effect,
+                           const std::vector<ShapeArg>& args) {
+  const ShapeInfo& a = ArgShape(args, 0);
+  const ShapeInfo& b = ArgShape(args, 1);
+  bool cbind = std::string_view(effect.opcode) == "cbind";
+  if (!a.is_matrix() || !b.is_matrix()) return Out(ShapeInfo::Unknown());
+  std::string error;
+  if (cbind) {
+    Dim rows = MergeEqualDims(a.rows, b.rows, "cbind: rows", &error);
+    if (!error.empty()) return ShapeError(error);
+    return Out(ShapeInfo::Matrix(rows, AddDims(a.cols, b.cols)));
+  }
+  Dim cols = MergeEqualDims(a.cols, b.cols, "rbind: cols", &error);
+  if (!error.empty()) return ShapeError(error);
+  return Out(ShapeInfo::Matrix(AddDims(a.rows, b.rows), cols));
+}
+
+// X[rl:ru, cl:cu] -> (ru - rl + 1, cu - cl + 1); affine Dim arithmetic
+// keeps X[2:nrow(X), ] symbolic.
+ShapeRuleResult RightIndexRule(const OpcodeEffect& effect,
+                               const std::vector<ShapeArg>& args) {
+  (void)effect;
+  Dim rl = args.size() > 1 ? args[1].AsDim() : Dim::Unknown();
+  Dim ru = args.size() > 2 ? args[2].AsDim() : Dim::Unknown();
+  Dim cl = args.size() > 3 ? args[3].AsDim() : Dim::Unknown();
+  Dim cu = args.size() > 4 ? args[4].AsDim() : Dim::Unknown();
+  const ShapeInfo& x = ArgShape(args, 0);
+  if (x.is_matrix()) {
+    if (x.rows.is_const() && ru.is_const() && ru.value > x.rows.value) {
+      return ShapeError("rightindex: row upper bound " +
+                        std::to_string(ru.value) + " exceeds nrow " +
+                        std::to_string(x.rows.value));
+    }
+    if (x.cols.is_const() && cu.is_const() && cu.value > x.cols.value) {
+      return ShapeError("rightindex: col upper bound " +
+                        std::to_string(cu.value) + " exceeds ncol " +
+                        std::to_string(x.cols.value));
+    }
+  }
+  Dim rows = AddDims(SubDims(ru, rl), Dim::Const(1));
+  Dim cols = AddDims(SubDims(cu, cl), Dim::Const(1));
+  double sp = x.is_matrix() ? x.sparsity : 1.0;
+  return Out(ShapeInfo::Matrix(rows, cols, sp));
+}
+
+// out = X with X[rl:ru, cl:cu] = Y: the result has X's shape.
+ShapeRuleResult LeftIndexRule(const OpcodeEffect& effect,
+                              const std::vector<ShapeArg>& args) {
+  (void)effect;
+  const ShapeInfo& x = ArgShape(args, 0);
+  const ShapeInfo& y = ArgShape(args, 1);
+  Dim rl = args.size() > 2 ? args[2].AsDim() : Dim::Unknown();
+  Dim ru = args.size() > 3 ? args[3].AsDim() : Dim::Unknown();
+  Dim cl = args.size() > 4 ? args[4].AsDim() : Dim::Unknown();
+  Dim cu = args.size() > 5 ? args[5].AsDim() : Dim::Unknown();
+  if (y.is_matrix()) {
+    Dim want_rows = AddDims(SubDims(ru, rl), Dim::Const(1));
+    Dim want_cols = AddDims(SubDims(cu, cl), Dim::Const(1));
+    std::string error;
+    MergeEqualDims(want_rows, y.rows, "leftindex: range rows", &error);
+    if (error.empty()) {
+      MergeEqualDims(want_cols, y.cols, "leftindex: range cols", &error);
+    }
+    if (!error.empty()) return ShapeError(error);
+  }
+  if (!x.is_matrix()) return Out(ShapeInfo::Unknown());
+  // An update densifies conservatively.
+  return Out(ShapeInfo::Matrix(x.rows, x.cols));
+}
+
+ShapeRuleResult SelectRule(const OpcodeEffect& effect,
+                           const std::vector<ShapeArg>& args) {
+  const ShapeInfo& x = ArgShape(args, 0);
+  const ShapeInfo& idx = ArgShape(args, 1);
+  bool columns = std::string_view(effect.opcode) == "selcols";
+  if (!x.is_matrix()) return Out(ShapeInfo::Unknown());
+  // Scalar index selects one row/col; a column vector of indices selects
+  // one per entry.
+  Dim count = Dim::Unknown();
+  if (idx.is_scalar() || (args.size() > 1 && args[1].has_number)) {
+    count = Dim::Const(1);
+  } else if (idx.is_matrix() && idx.cols.is_const() && idx.cols.value == 1) {
+    count = idx.rows;
+  }
+  if (columns) return Out(ShapeInfo::Matrix(x.rows, count, x.sparsity));
+  return Out(ShapeInfo::Matrix(count, x.cols, x.sparsity));
+}
+
+ShapeRuleResult TableRule(const OpcodeEffect& effect,
+                          const std::vector<ShapeArg>& args) {
+  (void)effect;
+  Dim rows = args.size() > 2 ? args[2].AsDim() : Dim::Unknown();
+  Dim cols = args.size() > 3 ? args[3].AsDim() : Dim::Unknown();
+  return Out(ShapeInfo::Matrix(rows, cols));
+}
+
+ShapeRuleResult OrderRule(const OpcodeEffect& effect,
+                          const std::vector<ShapeArg>& args) {
+  (void)effect;
+  const ShapeInfo& v = ArgShape(args, 0);
+  if (!v.is_matrix()) return Out(ShapeInfo::Unknown());
+  if (v.cols.is_const() && v.cols.value != 1) {
+    return ShapeError("order: input must be a column vector, got " +
+                      v.cols.ToString() + " columns");
+  }
+  return Out(ShapeInfo::Matrix(v.rows, Dim::Const(1)));
+}
+
+ShapeRuleResult MetaScalarRule(const OpcodeEffect& effect,
+                               const std::vector<ShapeArg>& args) {
+  const ShapeInfo& a = ArgShape(args, 0);
+  std::string_view op = effect.opcode;
+  if (op == "nrow") {
+    if (a.is_matrix()) return Out(ShapeInfo::ScalarValue(a.rows));
+    if (a.is_scalar()) return Out(ShapeInfo::ScalarConst(1));
+  } else if (op == "ncol") {
+    if (a.is_matrix()) return Out(ShapeInfo::ScalarValue(a.cols));
+    if (a.is_scalar()) return Out(ShapeInfo::ScalarConst(1));
+  } else if (op == "length") {
+    if (a.is_matrix()) {
+      if (a.rows.is_const() && a.cols.is_const()) {
+        return Out(ShapeInfo::ScalarConst(a.rows.value * a.cols.value));
+      }
+      if (a.cols.is_const() && a.cols.value == 1) {
+        return Out(ShapeInfo::ScalarValue(a.rows));
+      }
+      if (a.rows.is_const() && a.rows.value == 1) {
+        return Out(ShapeInfo::ScalarValue(a.cols));
+      }
+    }
+    if (a.is_scalar()) return Out(ShapeInfo::ScalarConst(1));
+  }
+  return Out(ShapeInfo::Scalar());
+}
+
+ShapeRuleResult CastToScalarRule(const OpcodeEffect& effect,
+                                 const std::vector<ShapeArg>& args) {
+  (void)effect;
+  const ShapeInfo& a = ArgShape(args, 0);
+  if (a.is_matrix()) {
+    std::string error;
+    MergeEqualDims(a.rows, Dim::Const(1), "castdts: rows", &error);
+    if (error.empty()) {
+      MergeEqualDims(a.cols, Dim::Const(1), "castdts: cols", &error);
+    }
+    if (!error.empty()) return ShapeError(error);
+  }
+  return Out(ShapeInfo::Scalar());
+}
+
+ShapeRuleResult CastToMatrixRule(const OpcodeEffect& effect,
+                                 const std::vector<ShapeArg>& args) {
+  (void)effect;
+  (void)args;
+  return Out(ShapeInfo::Matrix(Dim::Const(1), Dim::Const(1)));
+}
+
+ShapeRuleResult ScalarResultRule(const OpcodeEffect& effect,
+                                 const std::vector<ShapeArg>& args) {
+  (void)effect;
+  (void)args;
+  return Out(ShapeInfo::Scalar());
+}
+
+ShapeRuleResult RandRule(const OpcodeEffect& effect,
+                         const std::vector<ShapeArg>& args) {
+  (void)effect;
+  // rand(rows, cols, min, max, sparsity, pdf, seed)
+  Dim rows = args.size() > 0 ? args[0].AsDim() : Dim::Unknown();
+  Dim cols = args.size() > 1 ? args[1].AsDim() : Dim::Unknown();
+  return Out(ShapeInfo::Matrix(rows, cols));
+}
+
+ShapeRuleResult SampleRule(const OpcodeEffect& effect,
+                           const std::vector<ShapeArg>& args) {
+  (void)effect;
+  // sample(range, size, seed) -> (size, 1)
+  Dim size = args.size() > 1 ? args[1].AsDim() : Dim::Unknown();
+  return Out(ShapeInfo::Matrix(size, Dim::Const(1)));
+}
+
+ShapeRuleResult SeqRule(const OpcodeEffect& effect,
+                        const std::vector<ShapeArg>& args) {
+  (void)effect;
+  Dim from = args.size() > 0 ? args[0].AsDim() : Dim::Unknown();
+  Dim to = args.size() > 1 ? args[1].AsDim() : Dim::Unknown();
+  Dim incr = args.size() > 2 ? args[2].AsDim() : Dim::Unknown();
+  Dim rows = Dim::Unknown();
+  if (from.is_const() && to.is_const() && incr.is_const()) {
+    if (incr.value == 0 || (to.value - from.value) * incr.value < 0) {
+      return ShapeError("seq: invalid range (" + std::to_string(from.value) +
+                        ":" + std::to_string(to.value) + " by " +
+                        std::to_string(incr.value) + ")");
+    }
+    rows = Dim::Const((to.value - from.value) / incr.value + 1);
+  } else if (incr.is_const() && incr.value == 1) {
+    rows = AddDims(SubDims(to, from), Dim::Const(1));
+  }
+  return Out(ShapeInfo::Matrix(rows, Dim::Const(1)));
+}
+
+ShapeRuleResult FillRule(const OpcodeEffect& effect,
+                         const std::vector<ShapeArg>& args) {
+  (void)effect;
+  // fill(value, rows, cols) — matrix(v, rows=, cols=)
+  Dim rows = args.size() > 1 ? args[1].AsDim() : Dim::Unknown();
+  Dim cols = args.size() > 2 ? args[2].AsDim() : Dim::Unknown();
+  double sp = args.size() > 0 && args[0].has_number && args[0].number == 0
+                  ? 0.0
+                  : 1.0;
+  return Out(ShapeInfo::Matrix(rows, cols, sp));
+}
+
+ShapeRuleResult ListRule(const OpcodeEffect& effect,
+                         const std::vector<ShapeArg>& args) {
+  (void)effect;
+  (void)args;
+  return Out(ShapeInfo::List());
+}
+
+ShapeRuleResult ListIndexRule(const OpcodeEffect& effect,
+                              const std::vector<ShapeArg>& args) {
+  (void)effect;
+  (void)args;
+  // Element shapes are not tracked per-slot; the kind is unknown.
+  return Out(ShapeInfo::Unknown());
+}
+
+ShapeRuleResult ReadFileRule(const OpcodeEffect& effect,
+                             const std::vector<ShapeArg>& args) {
+  (void)effect;
+  (void)args;
+  // The inference engine seeds literal read() paths from the file header
+  // (PeekMatrixDims) before consulting this fallback.
+  return Out(ShapeInfo::Matrix(Dim::Unknown(), Dim::Unknown()));
+}
+
+void AttachShapeRules(std::vector<OpcodeEffect>* ops) {
+  static const std::unordered_map<std::string_view, ShapeRuleFn> kRules = {
+      {"+", EwiseBinaryRule},     {"-", EwiseBinaryRule},
+      {"*", EwiseBinaryRule},     {"/", EwiseBinaryRule},
+      {"^", EwiseBinaryRule},     {"min", EwiseBinaryRule},
+      {"max", EwiseBinaryRule},   {"==", EwiseBinaryRule},
+      {"!=", EwiseBinaryRule},    {"<", EwiseBinaryRule},
+      {">", EwiseBinaryRule},     {"<=", EwiseBinaryRule},
+      {">=", EwiseBinaryRule},    {"&", EwiseBinaryRule},
+      {"|", EwiseBinaryRule},     {"%%", EwiseBinaryRule},
+      {"%/%", EwiseBinaryRule},   {"ifelse", CellwiseFoldRule},
+      {"fused", CellwiseFoldRule},
+      {"exp", EwiseUnaryRule},    {"log", EwiseUnaryRule},
+      {"sqrt", EwiseUnaryRule},   {"abs", EwiseUnaryRule},
+      {"round", EwiseUnaryRule},  {"floor", EwiseUnaryRule},
+      {"ceil", EwiseUnaryRule},   {"sign", EwiseUnaryRule},
+      {"uminus", EwiseUnaryRule}, {"!", EwiseUnaryRule},
+      {"sigmoid", EwiseUnaryRule},
+      {"sum", AggregateRule},     {"mean", AggregateRule},
+      {"ua_min", AggregateRule},  {"ua_max", AggregateRule},
+      {"trace", AggregateRule},   {"colSums", AggregateRule},
+      {"colMeans", AggregateRule},{"colMins", AggregateRule},
+      {"colMaxs", AggregateRule}, {"colVars", AggregateRule},
+      {"rowSums", AggregateRule}, {"rowMeans", AggregateRule},
+      {"rowMins", AggregateRule}, {"rowMaxs", AggregateRule},
+      {"rowIndexMax", AggregateRule},
+      {"mm", MatMulRule},         {"tsmm", TsmmRule},
+      {"tmm", TmmRule},           {"solve", SolveRule},
+      {"cholesky", CholeskyRule}, {"eigen", EigenRule},
+      {"tsmm_cbind", TsmmCbindRule},
+      {"t", TransposeRule},       {"rev", SameShapeRule},
+      {"diag", DiagRule},         {"reshape", ReshapeRule},
+      {"cbind", AppendRule},      {"rbind", AppendRule},
+      {"rightindex", RightIndexRule}, {"leftindex", LeftIndexRule},
+      {"selcols", SelectRule},    {"selrows", SelectRule},
+      {"table", TableRule},       {"order", OrderRule},
+      {"nrow", MetaScalarRule},   {"ncol", MetaScalarRule},
+      {"length", MetaScalarRule}, {"castdts", CastToScalarRule},
+      {"castsdm", CastToMatrixRule}, {"toString", ScalarResultRule},
+      {"rand", RandRule},         {"sample", SampleRule},
+      {"seq", SeqRule},           {"fill", FillRule},
+      {"list", ListRule},         {"listidx", ListIndexRule},
+      {"readfile", ReadFileRule}, {"lineageof", ScalarResultRule},
+  };
+  for (OpcodeEffect& effect : *ops) {
+    auto it = kRules.find(effect.opcode);
+    if (it != kRules.end()) effect.shape_rule = it->second;
+  }
+}
 
 // Builders keep the table below readable; every field deviation from the
 // category default is spelled out at the entry.
@@ -239,6 +855,7 @@ std::vector<OpcodeEffect> BuildRegistry() {
     ops.push_back(lineageof);
   }
 
+  AttachShapeRules(&ops);
   return ops;
 }
 
@@ -427,6 +1044,22 @@ std::vector<std::string> VerifyOpcodeEffects(
 
 std::vector<std::string> VerifyOpcodeRegistry() {
   return VerifyOpcodeEffects(AllOpcodeEffects());
+}
+
+std::vector<std::string> VerifyShapeRuleCoverage() {
+  std::vector<std::string> missing;
+  for (const OpcodeEffect& effect : AllOpcodeEffects()) {
+    if (effect.category == Cat::kCall ||
+        effect.category == Cat::kBookkeeping) {
+      continue;  // handled natively by the inference engine
+    }
+    if (effect.num_outputs == 0) continue;  // produces no values
+    if (effect.shape_rule == nullptr) {
+      missing.push_back(std::string("opcode '") + effect.opcode +
+                        "' has no shape-transfer rule");
+    }
+  }
+  return missing;
 }
 
 }  // namespace lima

@@ -7,7 +7,20 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/shape_info.h"
+
 namespace lima {
+
+struct OpcodeEffect;
+
+/// Shape-transfer rule of one opcode: abstract input shapes in, abstract
+/// output shapes out. The rule receives its own OpcodeEffect so families of
+/// opcodes (elementwise binaries, aggregates) can share one function and
+/// branch on `effect.opcode`. A rule returns a non-empty `error` only for
+/// *provable* violations — comparable (const or same-symbol) dimensions
+/// that the runtime would reject; unknown dimensions never produce errors.
+using ShapeRuleFn = ShapeRuleResult (*)(const OpcodeEffect& effect,
+                                        const std::vector<ShapeArg>& args);
 
 /// Interned opcode identifier: a dense small integer that replaces opcode
 /// strings on every hot path (lineage hashing/equality, cache probing,
@@ -117,6 +130,12 @@ struct OpcodeEffect {
   /// execution. Replay therefore never needs to construct such an op, and
   /// the factory-coverage gate exempts it.
   bool lineage_transparent = false;
+
+  /// Shape-transfer rule for the forward shape-inference pass
+  /// (analysis/shape_inference.h). Required for every value-producing
+  /// opcode outside kCall/kBookkeeping — VerifyShapeRuleCoverage() gates
+  /// exhaustiveness the same way VerifyFactoryCoverage gates replay.
+  ShapeRuleFn shape_rule = nullptr;
 };
 
 /// Returns the effect entry for `opcode`, or nullptr when unregistered.
@@ -160,6 +179,13 @@ std::vector<std::string> VerifyOpcodeRegistry();
 /// The same lints over an arbitrary effect table (exposed for tests).
 std::vector<std::string> VerifyOpcodeEffects(
     const std::vector<OpcodeEffect>& effects);
+
+/// Exhaustiveness gate for shape-transfer rules: one message per catalog
+/// opcode that produces values (any category except kCall and kBookkeeping,
+/// with num_outputs != 0) but has no `shape_rule`. This set strictly
+/// contains the reusable-instruction set, so cache sizing always has a
+/// rule to consult. Empty when the table is fully covered.
+std::vector<std::string> VerifyShapeRuleCoverage();
 
 }  // namespace lima
 

@@ -567,6 +567,9 @@ PairResult TestPair(const Access& a1, const Access& a2,
 class BodyWalker {
  public:
   explicit BodyWalker(const StmtNode& parfor) : parfor_(parfor) {}
+  BodyWalker(const StmtNode& parfor,
+             const std::unordered_map<std::string, int64_t>* known_consts)
+      : parfor_(parfor), known_consts_(known_consts) {}
 
   ParForDepInfo Run();
 
@@ -597,6 +600,9 @@ class BodyWalker {
                     ParForDepInfo* info);
 
   const StmtNode& parfor_;
+  /// Loop-invariant symbols with statically proven integer values (shape
+  /// inference facts); nullptr when analysis runs without a fact set.
+  const std::unordered_map<std::string, int64_t>* known_consts_ = nullptr;
   std::set<std::string> assigned_;   ///< assignment targets anywhere in body
   std::set<std::string> loop_vars_;  ///< all loop variables of the body
   std::set<std::string> definite_;   ///< defined-this-iteration (path-aware)
@@ -655,7 +661,14 @@ std::optional<Poly> BodyWalker::ExprToPoly(const ExprNode& expr) const {
       return PolyConst(static_cast<int64_t>(v));
     }
     case ExprKind::kVar:
-      if (IsActiveLoopVar(expr.text) || IsInvariantSymbol(expr.text)) {
+      if (IsActiveLoopVar(expr.text)) return PolyVar(expr.text);
+      if (IsInvariantSymbol(expr.text)) {
+        // Shape-inference fact environment: a proven integer value makes
+        // the subscript concrete for the numeric dependency tests.
+        if (known_consts_ != nullptr) {
+          auto it = known_consts_->find(expr.text);
+          if (it != known_consts_->end()) return PolyConst(it->second);
+        }
         return PolyVar(expr.text);
       }
       return std::nullopt;  // body-local value: not affine in loop terms
@@ -1315,6 +1328,13 @@ void CollectFromList(const std::vector<BlockPtr>& blocks,
 
 ParForDepInfo AnalyzeParForStatement(const StmtNode& stmt) {
   BodyWalker walker(stmt);
+  return walker.Run();
+}
+
+ParForDepInfo AnalyzeParForStatement(
+    const StmtNode& stmt,
+    const std::unordered_map<std::string, int64_t>& known_consts) {
+  BodyWalker walker(stmt, &known_consts);
   return walker.Run();
 }
 

@@ -1,7 +1,9 @@
 #ifndef LIMA_ANALYSIS_PARFOR_DEPENDENCY_H_
 #define LIMA_ANALYSIS_PARFOR_DEPENDENCY_H_
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "lang/ast.h"
@@ -71,6 +73,16 @@ class ParForDependencyAnalyzer;  // implementation detail
 /// (`stmt.kind == StmtKind::kFor && stmt.is_parfor`). Returns the
 /// annotation to attach to the compiled ParForBlock; `analyzed` is true.
 ParForDepInfo AnalyzeParForStatement(const StmtNode& stmt);
+
+/// Phase 1 with a fact environment: `known_consts` maps loop-invariant
+/// symbols to integer values proven by interprocedural shape inference
+/// (n = nrow(X) with X of known shape, constants propagated through
+/// scalars). Subscript linear forms substitute these values, turning
+/// symbolic coefficients concrete so the disjoint-window/GCD/Banerjee
+/// tests apply where the symbolic analysis had to give up.
+ParForDepInfo AnalyzeParForStatement(
+    const StmtNode& stmt,
+    const std::unordered_map<std::string, int64_t>& known_consts);
 
 /// Phase 2: instruction-level nondeterminism scan over every analyzed
 /// ParForBlock in `program`, using the opcode effect registry and the

@@ -1,0 +1,604 @@
+#include "analysis/shape_inference.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "analysis/opcode_registry.h"
+#include "matrix/matrix_io.h"
+#include "runtime/instructions_misc.h"
+
+namespace lima {
+
+namespace {
+
+using Env = std::unordered_map<std::string, ShapeInfo>;
+
+/// Least upper bound over environments: keys present in only one side (a
+/// variable defined on one path only) widen to Unknown; keys absent from
+/// both stay absent.
+Env JoinEnvs(const Env& a, const Env& b) {
+  Env out;
+  for (const auto& [name, shape] : a) {
+    auto it = b.find(name);
+    out[name] = it == b.end() ? ShapeInfo::Unknown()
+                              : JoinShape(shape, it->second);
+  }
+  for (const auto& [name, shape] : b) {
+    if (a.find(name) == a.end()) out[name] = ShapeInfo::Unknown();
+  }
+  return out;
+}
+
+bool EnvsEqual(const Env& a, const Env& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [name, shape] : a) {
+    auto it = b.find(name);
+    if (it == b.end() || it->second != shape) return false;
+  }
+  return true;
+}
+
+/// Integral literal value, accepting integer-valued doubles (the compiler
+/// inlines numeric literals as doubles in several positions).
+bool LiteralAsInt(const ScalarValue& v, int64_t* out) {
+  switch (v.kind()) {
+    case ScalarKind::kInt:
+    case ScalarKind::kBool:
+      *out = v.AsInt();
+      return true;
+    case ScalarKind::kDouble: {
+      double d = v.AsDouble();
+      if (std::floor(d) == d && std::fabs(d) < 9.0e15) {
+        *out = static_cast<int64_t>(d);
+        return true;
+      }
+      return false;
+    }
+    case ScalarKind::kString:
+      return false;
+  }
+  return false;
+}
+
+std::string HumanBytes(int64_t bytes) {
+  char buf[48];
+  if (bytes >= int64_t{1} << 30) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB",
+                  static_cast<double>(bytes) / (int64_t{1} << 30));
+  } else if (bytes >= int64_t{1} << 20) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB",
+                  static_cast<double>(bytes) / (int64_t{1} << 20));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB",
+                  static_cast<double>(bytes) / 1024);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B",
+                  static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+const char* BlockKindName(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::kBasic:
+      return "basic";
+    case BlockKind::kIf:
+      return "if";
+    case BlockKind::kFor:
+      return "for";
+    case BlockKind::kWhile:
+      return "while";
+    case BlockKind::kParFor:
+      return "parfor";
+  }
+  return "block";
+}
+
+/// Loop fixpoint pass cap; the dimension lattice has height 2 and symbols
+/// are minted per instruction, so real programs converge in 2-4 passes.
+constexpr int kMaxLoopPasses = 16;
+constexpr int kMaxCallDepth = 16;
+
+class ShapeEngine {
+ public:
+  explicit ShapeEngine(const Program& program) : program_(program) {}
+
+  ShapeAnalysis Run(const std::vector<ShapeAssumption>& assumptions) {
+    Env env;
+    for (const ShapeAssumption& a : assumptions) env[a.name] = a.shape;
+    ProcessTopLevel(program_.main(), &env);
+    analysis_.final_shapes = env;
+    analysis_.peak_bytes = peak_bytes_;
+    analysis_.exact = exact_;
+    for (const auto& [instr, known] : known_) {
+      (void)instr;
+      ++analysis_.num_instructions;
+      if (known) ++analysis_.num_fully_known;
+    }
+    return std::move(analysis_);
+  }
+
+ private:
+  // --- environment / memory observation ---------------------------------
+
+  /// Dense payload bytes of all matrix bindings; unknown-shape matrices
+  /// contribute 0 and taint exactness.
+  int64_t EnvBytes(const Env& env, bool* taint) {
+    int64_t total = 0;
+    for (const auto& [name, shape] : env) {
+      (void)name;
+      if (shape.is_matrix()) {
+        if (shape.fully_known()) {
+          total += shape.MatrixBytes();
+        } else {
+          *taint = true;
+        }
+      } else if (shape.is_unknown() || shape.is_list()) {
+        *taint = true;  // could be a matrix of unknown size
+      }
+    }
+    return total;
+  }
+
+  void Observe(const Env& env) {
+    bool taint = false;
+    int64_t bytes = base_bytes_ + EnvBytes(env, &taint);
+    if (taint) {
+      exact_ = false;
+      block_exact_ = false;
+    }
+    if (bytes > peak_bytes_) peak_bytes_ = bytes;
+    if (bytes > block_peak_) block_peak_ = bytes;
+  }
+
+  // --- diagnostics ------------------------------------------------------
+
+  void Diag(Diagnostic::Severity severity, std::string code,
+            std::string message, const std::string& scope,
+            const std::string& location, int line) {
+    std::string key = code + "|" + scope + "|" + std::to_string(line) + "|" +
+                      message;
+    if (!reported_.insert(key).second) return;
+    Diagnostic d;
+    d.severity = severity;
+    d.code = std::move(code);
+    d.message = std::move(message);
+    d.function = scope;
+    d.location = location;
+    d.source_line = line;
+    analysis_.diagnostics.push_back(std::move(d));
+  }
+
+  // --- symbolic dimensions ----------------------------------------------
+
+  /// Mints a symbol for an unknown output dimension, memoized per
+  /// (instruction, output, dimension) so repeated visits (loop fixpoint
+  /// passes, multiple call sites) agree and widening terminates.
+  Dim StableSym(const void* instr, int output, int which) {
+    auto key = std::make_tuple(instr, output, which);
+    auto it = sym_memo_.find(key);
+    if (it == sym_memo_.end()) {
+      it = sym_memo_.emplace(key, next_sym_++).first;
+    }
+    return Dim::Sym(it->second);
+  }
+
+  ShapeInfo MintSyms(const void* instr, int output, ShapeInfo shape) {
+    if (!shape.is_matrix()) return shape;
+    if (!shape.rows.known()) shape.rows = StableSym(instr, output, 0);
+    if (!shape.cols.known()) shape.cols = StableSym(instr, output, 1);
+    return shape;
+  }
+
+  // --- instruction application ------------------------------------------
+
+  ShapeArg BuildArg(const Operand& op, const Env& env) {
+    ShapeArg arg;
+    if (op.is_literal) {
+      arg.is_literal = true;
+      if (op.literal.is_string()) {
+        arg.has_text = true;
+        arg.text = op.literal.AsString();
+        arg.shape = ShapeInfo::Scalar();
+      } else {
+        int64_t value = 0;
+        if (LiteralAsInt(op.literal, &value)) {
+          arg.has_number = true;
+          arg.number = value;
+          arg.shape = ShapeInfo::ScalarConst(value);
+        } else {
+          arg.shape = ShapeInfo::Scalar();
+        }
+      }
+      return arg;
+    }
+    auto it = env.find(op.name);
+    arg.shape = it == env.end() ? ShapeInfo::Unknown() : it->second;
+    return arg;
+  }
+
+  /// Coverage notion for the known-ratio metric: the engine derived the
+  /// value's kind and, for matrices, a complete dimension structure —
+  /// constant or symbolic (symbolic dims still prove conformability).
+  /// Constant-only sizing is tracked separately by the memory estimator.
+  static bool OutputShapeKnown(const ShapeInfo& shape) {
+    if (shape.is_unknown()) return false;
+    if (shape.is_matrix()) return shape.rows.known() && shape.cols.known();
+    return true;
+  }
+
+  /// Binds one instruction's abstract outputs, minting stable symbols for
+  /// unknown matrix dimensions and updating the known-coverage metric.
+  void BindOutputs(const Instruction& instr,
+                   const std::vector<std::string>& names,
+                   std::vector<ShapeInfo> shapes, Env* env) {
+    bool all_known = true;
+    for (size_t i = 0; i < names.size(); ++i) {
+      ShapeInfo shape = i < shapes.size() ? shapes[i] : ShapeInfo::Unknown();
+      shape = MintSyms(&instr, static_cast<int>(i), std::move(shape));
+      all_known &= OutputShapeKnown(shape);
+      (*env)[names[i]] = std::move(shape);
+    }
+    if (!names.empty()) {
+      auto [it, inserted] = known_.emplace(&instr, all_known);
+      if (!inserted) it->second = it->second && all_known;
+    }
+  }
+
+  void ApplyInstruction(const Instruction& instr, Env* env,
+                        const std::string& scope, const std::string& loc) {
+    // Bookkeeping first: these manipulate the environment directly.
+    if (const auto* lit = dynamic_cast<const AssignLiteralInstruction*>(
+            &instr)) {
+      int64_t value = 0;
+      ShapeInfo shape = LiteralAsInt(lit->value(), &value)
+                            ? ShapeInfo::ScalarConst(value)
+                            : ShapeInfo::Scalar();
+      BindOutputs(instr, instr.OutputVars(), {shape}, env);
+      return;
+    }
+    if (const auto* var = dynamic_cast<const VariableInstruction*>(&instr)) {
+      switch (var->variable_kind()) {
+        case VariableInstruction::Kind::kCopy:
+        case VariableInstruction::Kind::kMove: {
+          const std::string& from = var->names()[0];
+          const std::string& to = var->names()[1];
+          auto it = env->find(from);
+          ShapeInfo shape =
+              it == env->end() ? ShapeInfo::Unknown() : it->second;
+          if (var->variable_kind() == VariableInstruction::Kind::kMove) {
+            env->erase(from);
+          }
+          BindOutputs(instr, {to}, {shape}, env);
+          break;
+        }
+        case VariableInstruction::Kind::kRemove:
+          for (const std::string& name : var->names()) env->erase(name);
+          break;
+      }
+      Observe(*env);
+      return;
+    }
+    if (const auto* read = dynamic_cast<const ReadInstruction*>(&instr)) {
+      ShapeInfo shape = ShapeInfo::Matrix(Dim::Unknown(), Dim::Unknown());
+      const Operand& path = read->path();
+      if (path.is_literal && path.literal.is_string()) {
+        Result<std::pair<int64_t, int64_t>> dims =
+            PeekMatrixDims(path.literal.AsString());
+        if (dims.ok()) {
+          shape = ShapeInfo::Matrix(Dim::Const(dims->first),
+                                    Dim::Const(dims->second));
+        }
+      }
+      BindOutputs(instr, instr.OutputVars(), {shape}, env);
+      Observe(*env);
+      return;
+    }
+    if (const auto* call = dynamic_cast<const FunctionCallInstruction*>(
+            &instr)) {
+      ApplyCall(*call, env, scope, loc);
+      Observe(*env);
+      return;
+    }
+    if (const auto* comp = dynamic_cast<const ComputationInstruction*>(
+            &instr)) {
+      std::vector<ShapeArg> args;
+      args.reserve(comp->operands().size());
+      for (const Operand& op : comp->operands()) {
+        args.push_back(BuildArg(op, *env));
+      }
+      const OpcodeEffect* effect = LookupOpcode(instr.opcode_id());
+      if (effect == nullptr || effect->shape_rule == nullptr) {
+        Diag(Diagnostic::Severity::kWarning, "shape-unknown-degraded",
+             "no shape-transfer rule for opcode '" + instr.opcode() +
+                 "'; shapes degraded to unknown",
+             scope, loc, instr.source_line());
+        BindOutputs(instr, instr.OutputVars(),
+                    std::vector<ShapeInfo>(instr.OutputVars().size()), env);
+        Observe(*env);
+        return;
+      }
+      ShapeRuleResult result = effect->shape_rule(*effect, args);
+      if (!result.error.empty()) {
+        Diag(Diagnostic::Severity::kError, "shape-mismatch", result.error,
+             scope, loc, instr.source_line());
+        result.outputs.assign(instr.OutputVars().size(),
+                              ShapeInfo::Unknown());
+      }
+      BindOutputs(instr, comp->OutputVars(), std::move(result.outputs), env);
+      Observe(*env);
+      return;
+    }
+    // Remaining non-computation instructions by opcode.
+    const std::string& op = instr.opcode();
+    if (op == "print" || op == "stop" || op == "write") return;
+    if (op == "list") {
+      BindOutputs(instr, instr.OutputVars(), {ShapeInfo::List()}, env);
+    } else if (op == "lineageof" || op == "toString") {
+      BindOutputs(instr, instr.OutputVars(), {ShapeInfo::Scalar()}, env);
+    } else if (op == "eval") {
+      Diag(Diagnostic::Severity::kWarning, "shape-unknown-degraded",
+           "eval dispatches at runtime; result shape unknown", scope, loc,
+           instr.source_line());
+      BindOutputs(instr, instr.OutputVars(), {ShapeInfo::Unknown()}, env);
+    } else if (op == "listidx") {
+      // Per-slot shapes are not tracked through lists.
+      BindOutputs(instr, instr.OutputVars(), {ShapeInfo::Unknown()}, env);
+    } else if (!instr.OutputVars().empty()) {
+      Diag(Diagnostic::Severity::kWarning, "shape-unknown-degraded",
+           "unmodeled opcode '" + op + "'; shapes degraded to unknown",
+           scope, loc, instr.source_line());
+      BindOutputs(instr, instr.OutputVars(),
+                  std::vector<ShapeInfo>(instr.OutputVars().size()), env);
+    }
+    Observe(*env);
+  }
+
+  void ApplyCall(const FunctionCallInstruction& call, Env* env,
+                 const std::string& scope, const std::string& loc) {
+    const Function* fn = program_.GetFunction(call.function_name());
+    std::vector<std::string> outputs = call.OutputVars();
+    if (fn == nullptr || active_.count(fn) > 0 ||
+        call_depth_ >= kMaxCallDepth) {
+      if (fn != nullptr) {
+        Diag(Diagnostic::Severity::kWarning, "shape-unknown-degraded",
+             "recursive call to '" + call.function_name() +
+                 "'; result shapes unknown",
+             scope, loc, call.source_line());
+      }
+      BindOutputs(call, outputs, std::vector<ShapeInfo>(outputs.size()), env);
+      return;
+    }
+    // Bind arguments positionally; missing trailing args take defaults.
+    Env callee;
+    const std::vector<Function::Param>& params = fn->params();
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (i < call.args().size()) {
+        callee[params[i].name] = BuildArg(call.args()[i], *env).shape;
+      } else if (params[i].has_default) {
+        int64_t value = 0;
+        callee[params[i].name] =
+            LiteralAsInt(params[i].default_value, &value)
+                ? ShapeInfo::ScalarConst(value)
+                : ShapeInfo::Scalar();
+      }
+    }
+    // The callee's live bindings stack on top of the caller's.
+    bool taint = false;
+    int64_t saved_base = base_bytes_;
+    base_bytes_ += EnvBytes(*env, &taint);
+    active_.insert(fn);
+    ++call_depth_;
+    ProcessBlocks(fn->body(), &callee, fn->name(), fn->name());
+    --call_depth_;
+    active_.erase(fn);
+    base_bytes_ = saved_base;
+
+    std::vector<ShapeInfo> result;
+    result.reserve(outputs.size());
+    const std::vector<std::string>& fn_outputs = fn->outputs();
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      if (i < fn_outputs.size()) {
+        auto it = callee.find(fn_outputs[i]);
+        result.push_back(it == callee.end() ? ShapeInfo::Unknown()
+                                            : it->second);
+      } else {
+        result.push_back(ShapeInfo::Unknown());
+      }
+    }
+    BindOutputs(call, outputs, std::move(result), env);
+  }
+
+  // --- block traversal --------------------------------------------------
+
+  void ProcessBasic(const BasicBlock& block, Env* env,
+                    const std::string& scope, const std::string& loc) {
+    for (const auto& instr : block.instructions()) {
+      ApplyInstruction(*instr, env, scope, loc);
+    }
+  }
+
+  void ProcessPredicate(const Predicate& pred, Env* env,
+                        const std::string& scope, const std::string& loc) {
+    ProcessBasic(pred.block(), env, scope, loc);
+  }
+
+  /// Loop-head widening: iterate body passes, joining at the head, until
+  /// the head environment stabilizes. The post-loop state is the head state
+  /// (a loop may run zero iterations).
+  template <typename Body>
+  void FixpointLoop(Env* env, const Body& body) {
+    Env head = *env;
+    bool converged = false;
+    for (int pass = 0; pass < kMaxLoopPasses; ++pass) {
+      Env iter = head;
+      body(&iter);
+      Env joined = JoinEnvs(head, iter);
+      if (EnvsEqual(joined, head)) {
+        converged = true;
+        break;
+      }
+      head = std::move(joined);
+    }
+    if (!converged) {
+      for (auto& [name, shape] : head) {
+        (void)name;
+        shape = ShapeInfo::Unknown();
+      }
+      exact_ = false;
+      block_exact_ = false;
+    }
+    *env = std::move(head);
+  }
+
+  void ProcessFor(const ForBlock& block, Env* env, const std::string& scope,
+                  const std::string& loc) {
+    ProcessPredicate(block.from(), env, scope, loc);
+    ProcessPredicate(block.to(), env, scope, loc);
+    ProcessPredicate(block.incr(), env, scope, loc);
+    FixpointLoop(env, [&](Env* iter) {
+      (*iter)[block.iter_var()] = ShapeInfo::Scalar();
+      ProcessBlocks(block.body(), iter, scope, loc + "/body");
+    });
+    // The loop variable survives DML loops with its final value.
+    (*env)[block.iter_var()] = ShapeInfo::Scalar();
+
+    if (block.kind() == BlockKind::kParFor) {
+      RecordParForConsts(static_cast<const ParForBlock&>(block), *env);
+    }
+  }
+
+  /// Loop-invariant integer constants at the parfor head, intersected
+  /// across visits (a function containing the loop may be called with
+  /// different arguments).
+  void RecordParForConsts(const ParForBlock& block, const Env& head) {
+    std::unordered_map<std::string, int64_t> consts;
+    for (const auto& [name, shape] : head) {
+      if (name == block.iter_var()) continue;
+      if (shape.is_scalar() && shape.value.is_const()) {
+        consts[name] = shape.value.value;
+      }
+    }
+    auto [it, inserted] =
+        analysis_.parfor_consts.emplace(&block, std::move(consts));
+    if (!inserted) {
+      auto& kept = it->second;
+      for (auto kv = kept.begin(); kv != kept.end();) {
+        auto found = consts.find(kv->first);
+        if (found == consts.end() || found->second != kv->second) {
+          kv = kept.erase(kv);
+        } else {
+          ++kv;
+        }
+      }
+    }
+  }
+
+  void ProcessBlock(const ProgramBlock& block, Env* env,
+                    const std::string& scope, const std::string& loc) {
+    switch (block.kind()) {
+      case BlockKind::kBasic:
+        ProcessBasic(static_cast<const BasicBlock&>(block), env, scope, loc);
+        break;
+      case BlockKind::kIf: {
+        const auto& ifb = static_cast<const IfBlock&>(block);
+        ProcessPredicate(ifb.predicate(), env, scope, loc);
+        Env then_env = *env;
+        Env else_env = *env;
+        ProcessBlocks(ifb.then_blocks(), &then_env, scope, loc + "/then");
+        ProcessBlocks(ifb.else_blocks(), &else_env, scope, loc + "/else");
+        *env = JoinEnvs(then_env, else_env);
+        break;
+      }
+      case BlockKind::kFor:
+      case BlockKind::kParFor:
+        ProcessFor(static_cast<const ForBlock&>(block), env, scope, loc);
+        break;
+      case BlockKind::kWhile: {
+        const auto& wb = static_cast<const WhileBlock&>(block);
+        FixpointLoop(env, [&](Env* iter) {
+          ProcessPredicate(wb.predicate(), iter, scope, loc);
+          ProcessBlocks(wb.body(), iter, scope, loc + "/body");
+        });
+        // The predicate also runs on the exiting evaluation.
+        ProcessPredicate(wb.predicate(), env, scope, loc);
+        break;
+      }
+    }
+  }
+
+  void ProcessBlocks(const std::vector<BlockPtr>& blocks, Env* env,
+                     const std::string& scope, const std::string& loc) {
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      ProcessBlock(*blocks[i], env, scope,
+                   loc + "/block[" + std::to_string(i) + "]");
+    }
+  }
+
+  /// Main traversal with per-top-level-block memory capture.
+  void ProcessTopLevel(const std::vector<BlockPtr>& blocks, Env* env) {
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      block_peak_ = 0;
+      block_exact_ = true;
+      std::string loc = "main/block[" + std::to_string(i) + "]";
+      ProcessBlock(*blocks[i], env, "main", loc);
+      ShapeMemBlock mem;
+      mem.location = std::move(loc);
+      mem.kind = BlockKindName(blocks[i]->kind());
+      mem.peak_bytes = block_peak_;
+      mem.exact = block_exact_;
+      analysis_.block_mem.push_back(std::move(mem));
+    }
+  }
+
+  const Program& program_;
+  ShapeAnalysis analysis_;
+
+  std::map<std::tuple<const void*, int, int>, int32_t> sym_memo_;
+  int32_t next_sym_ = 0;
+  std::unordered_map<const Instruction*, bool> known_;
+  std::set<const Function*> active_;
+  std::set<std::string> reported_;
+  int call_depth_ = 0;
+
+  int64_t base_bytes_ = 0;
+  int64_t peak_bytes_ = 0;
+  int64_t block_peak_ = 0;
+  bool exact_ = true;
+  bool block_exact_ = true;
+};
+
+}  // namespace
+
+std::string ShapeAnalysis::MemReport() const {
+  std::string out = "=== static memory estimate ===\n";
+  for (const ShapeMemBlock& block : block_mem) {
+    out += block.location + " (" + block.kind + "): peak " +
+           HumanBytes(block.peak_bytes) +
+           (block.exact ? "" : " (lower bound: unknown shapes)") + "\n";
+  }
+  out += "program peak: " + HumanBytes(peak_bytes) + " (" +
+         std::to_string(peak_bytes) + " bytes" +
+         (exact ? ", exact)" : ", lower bound: unknown shapes)") + "\n";
+  char ratio[64];
+  std::snprintf(ratio, sizeof(ratio),
+                "shape coverage: %d/%d instructions fully shaped (%.0f%%)\n",
+                num_fully_known, num_instructions, known_ratio() * 100.0);
+  out += ratio;
+  return out;
+}
+
+ShapeAnalysis InferShapes(const Program& program,
+                          const std::vector<ShapeAssumption>& assumptions) {
+  return ShapeEngine(program).Run(assumptions);
+}
+
+ShapeAnalysis InferShapes(const Program& program) {
+  return InferShapes(program, {});
+}
+
+}  // namespace lima

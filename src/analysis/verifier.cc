@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "analysis/opcode_registry.h"
+#include "analysis/shape_inference.h"
 #include "runtime/analysis.h"
 #include "runtime/instruction_factory.h"
 #include "runtime/fused_op.h"
@@ -629,7 +630,39 @@ std::string VerifyReport::ToString() const {
 
 VerifyReport VerifyProgram(const Program& program,
                            const VerifyOptions& options) {
-  return Verifier(program, options).Run();
+  VerifyReport report = Verifier(program, options).Run();
+  if (options.check_shapes) {
+    std::vector<ShapeAssumption> assumptions;
+    std::unordered_set<std::string> matrices;
+    for (size_t i = 0; i < options.assume_matrix_names.size() &&
+                       i < options.assume_matrix_dims.size();
+         ++i) {
+      matrices.insert(options.assume_matrix_names[i]);
+      assumptions.push_back(
+          {options.assume_matrix_names[i],
+           ShapeInfo::Matrix(Dim::Const(options.assume_matrix_dims[i].first),
+                             Dim::Const(options.assume_matrix_dims[i].second))});
+    }
+    for (const std::string& name : options.assume_defined) {
+      if (matrices.count(name) == 0) {
+        assumptions.push_back({name, ShapeInfo::Scalar()});
+      }
+    }
+    ShapeAnalysis shapes = InferShapes(program, assumptions);
+    for (Diagnostic& diag : shapes.diagnostics) {
+      if (diag.severity == Diagnostic::Severity::kError) {
+        ++report.num_errors;
+      } else {
+        ++report.num_warnings;
+      }
+      report.diagnostics.push_back(std::move(diag));
+    }
+    std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       return a.severity < b.severity;
+                     });
+  }
+  return report;
 }
 
 VerifyReport VerifyProgram(const Program& program) {

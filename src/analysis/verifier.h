@@ -1,7 +1,9 @@
 #ifndef LIMA_ANALYSIS_VERIFIER_H_
 #define LIMA_ANALYSIS_VERIFIER_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/program.h"
@@ -35,6 +37,8 @@ namespace lima {
 ///                             would fail)
 ///   parfor-carried-dependence parfor with a proven cross-iteration
 ///                             dependence (analysis/parfor_dependency.h)
+///   shape-mismatch            provably ill-shaped operation (comparable
+///                             dimensions conflict; analysis/shape_inference.h)
 ///
 /// Warnings:
 ///   maybe-use-before-def      read of a variable defined on some paths only
@@ -47,6 +51,8 @@ namespace lima {
 ///   parfor-*                  non-blocking loop-dependency findings (the
 ///                             runtime serializes the loop); codes listed in
 ///                             analysis/parfor_dependency.h
+///   shape-unknown-degraded    shapes degraded to unknown (eval dispatch,
+///                             recursion, unmodeled opcode)
 class Diagnostic {
  public:
   enum class Severity { kError, kWarning };
@@ -69,6 +75,16 @@ struct VerifyOptions {
   bool check_leaks = true;
   /// Report pure instructions whose results are never consumed.
   bool check_dead_code = true;
+  /// Run interprocedural shape inference and report shape-mismatch errors
+  /// and shape-unknown-degraded warnings. Off by default: hand-built
+  /// programs in unit tests assert exact diagnostic sets; the session layer
+  /// turns it on for compiled scripts.
+  bool check_shapes = false;
+  /// Shapes of session-bound inputs, seeding shape inference: parallel
+  /// lists of variable name and (rows, cols). Scalars go in assume_defined
+  /// only.
+  std::vector<std::string> assume_matrix_names;
+  std::vector<std::pair<int64_t, int64_t>> assume_matrix_dims;
 };
 
 struct VerifyReport {

@@ -89,6 +89,15 @@ struct LimaConfig {
   /// Degree of parallelism inside individual matrix kernels.
   int kernel_threads = 1;
 
+  /// In-place execution of eligible elementwise operations: when the
+  /// compile-time liveness pass marked an operand as its variable's last
+  /// use and the runtime refcount proves the buffer unaliased (not in the
+  /// cache, not shared with another binding or session), the kernel writes
+  /// into the operand's buffer instead of allocating. Purely a runtime
+  /// switch — compiled programs, results, and lineage are identical either
+  /// way.
+  bool inplace_rewrites = true;
+
   /// Static verification of compiled programs before execution.
   VerifyMode verify_mode = VerifyMode::kOff;
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "analysis/liveness.h"
 #include "analysis/parfor_dependency.h"
+#include "analysis/shape_inference.h"
 #include "lang/fusion_pass.h"
 #include "lang/parser.h"
 #include "reuse/compiler_assist.h"
@@ -108,10 +110,26 @@ class Compiler {
     if (config_.compiler_assist) {
       ApplyReuseAwareRewrites(program_.get());
     }
+    // Live-range pass: hoists rmvars to the earliest safe point and marks
+    // last-use operands for in-place execution. Runs unconditionally so the
+    // compiled program is identical whether in-place is enabled at runtime.
+    AnnotateLiveness(program_.get());
     if (config_.parfor_dependency_check) {
-      // Runs after AnalyzeProgram (function determinism fixpoint) and after
-      // every instruction rewrite, so the nondeterminism scan sees the
-      // instruction streams that will actually execute.
+      // Phase 1 (deferred from statement compilation): shape inference
+      // proves loop-invariant integer constants (n = nrow(X) with X of
+      // known shape); the dependency tests substitute them to make
+      // symbolic subscripts concrete.
+      ShapeAnalysis shapes = InferShapes(*program_);
+      for (auto& [parfor, stmt] : pending_parfors_) {
+        auto facts = shapes.parfor_consts.find(parfor);
+        *parfor->mutable_dep_info() =
+            facts == shapes.parfor_consts.end() || facts->second.empty()
+                ? AnalyzeParForStatement(*stmt)
+                : AnalyzeParForStatement(*stmt, facts->second);
+      }
+      // Phase 2 runs after AnalyzeProgram (function determinism fixpoint)
+      // and after every instruction rewrite, so the nondeterminism scan
+      // sees the instruction streams that will actually execute.
       FinalizeParForAnalysis(program_.get());
     }
     return std::move(program_);
@@ -803,7 +821,7 @@ class Compiler {
           auto* parfor = static_cast<ParForBlock*>(block.get());
           parfor->set_source_line(stmt.line);
           if (config_.parfor_dependency_check) {
-            *parfor->mutable_dep_info() = AnalyzeParForStatement(stmt);
+            pending_parfors_.emplace_back(parfor, &stmt);
           }
         }
         scopes_.back().blocks->push_back(std::move(block));
@@ -905,6 +923,10 @@ class Compiler {
   LimaConfig config_;
   std::unique_ptr<Program> program_;
   std::unordered_map<std::string, FunctionSignature> signatures_;
+  /// Parfor blocks awaiting phase-1 dependency analysis, deferred to the
+  /// post-pass stage so shape inference can supply a fact environment.
+  /// The StmtNodes are owned by the caller of Compile and outlive it.
+  std::vector<std::pair<ParForBlock*, const StmtNode*>> pending_parfors_;
   std::vector<EmitScope> scopes_;
   std::vector<std::string> stmt_temps_;
   std::vector<std::string> pred_temps_;

@@ -11,6 +11,7 @@ LimaSession::LimaSession(LimaConfig config)
       context_(&config_, nullptr, cache_.get(), &dedup_registry_, &stats_) {
   context_.set_print_stream(&output_);
   context_.set_kernel_threads(config_.kernel_threads);
+  context_.EnableMemoryAccounting();
   if (config_.profile) {
     context_.set_profiler(&profile_);
     cache_->set_event_log(&cache_events_);
@@ -25,6 +26,7 @@ LimaSession::LimaSession(LimaConfig config,
       context_(&config_, nullptr, cache_.get(), &dedup_registry_, &stats_) {
   context_.set_print_stream(&output_);
   context_.set_kernel_threads(config_.kernel_threads);
+  context_.EnableMemoryAccounting();
   // A shared cache is not wired to this session's private event log even
   // under --profile: several sessions would race to attach theirs. Attach a
   // log explicitly via cache->set_event_log() when one is wanted.
@@ -57,10 +59,37 @@ Result<VerifyReport> LimaSession::Verify(const std::string& script) {
 
 VerifyOptions LimaSession::MakeVerifyOptions() const {
   VerifyOptions options;
+  options.check_shapes = true;
   for (const auto& [name, value] : context_.symbols().variables()) {
     options.assume_defined.push_back(name);
+    if (value != nullptr && value->type() == DataType::kMatrix) {
+      const MatrixPtr& m =
+          static_cast<const MatrixData*>(value.get())->matrix();
+      options.assume_matrix_names.push_back(name);
+      options.assume_matrix_dims.emplace_back(m->rows(), m->cols());
+    }
   }
   return options;
+}
+
+Result<ShapeAnalysis> LimaSession::AnalyzeShapes(const std::string& script) {
+  LIMA_ASSIGN_OR_RETURN(std::unique_ptr<Program> program,
+                        CompileScript(script, config_));
+  std::vector<ShapeAssumption> assumptions;
+  for (const auto& [name, value] : context_.symbols().variables()) {
+    if (value != nullptr && value->type() == DataType::kMatrix) {
+      const MatrixPtr& m =
+          static_cast<const MatrixData*>(value.get())->matrix();
+      assumptions.push_back(
+          {name, ShapeInfo::Matrix(Dim::Const(m->rows()),
+                                   Dim::Const(m->cols()))});
+    } else {
+      assumptions.push_back({name, ShapeInfo::Scalar()});
+    }
+  }
+  ShapeAnalysis analysis = InferShapes(*program, assumptions);
+  programs_.push_back(std::move(program));
+  return analysis;
 }
 
 void LimaSession::BindMatrix(const std::string& name, Matrix matrix) {
@@ -147,6 +176,10 @@ std::string LimaSession::ConsumeOutput() {
 
 void LimaSession::ClearVariables() {
   context_.symbols() = SymbolTable();
+  // The assignment dropped every binding (and the accounting hook) without
+  // per-variable removals; zero the gauge and re-install the hook.
+  stats_.live_bytes.store(0, std::memory_order_relaxed);
+  context_.EnableMemoryAccounting();
   context_.lineage().Clear();
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/shape_inference.h"
 #include "analysis/verifier.h"
 #include "common/config.h"
 #include "lineage/dedup.h"
@@ -70,6 +71,13 @@ class LimaSession {
   const VerifyReport& last_verify_report() const {
     return last_verify_report_;
   }
+
+  /// Compiles `script` and runs interprocedural shape inference without
+  /// executing it. Matrices bound on the session seed the analysis with
+  /// their actual dimensions; other bound variables are assumed scalar.
+  /// The returned analysis carries diagnostics, the fully-known ratio, and
+  /// the static memory estimate (ShapeAnalysis::MemReport()).
+  Result<ShapeAnalysis> AnalyzeShapes(const std::string& script);
 
   /// Binds external inputs with "read" lineage leaves.
   void BindMatrix(const std::string& name, Matrix matrix);

@@ -233,4 +233,66 @@ Matrix EwiseUnary(UnaryOp op, const Matrix& m) {
   return out;
 }
 
+void EwiseBinaryInPlace(BinaryOp op, Matrix* target, const Matrix& other,
+                        bool target_is_left) {
+  LIMA_CHECK(target->rows() == other.rows() &&
+             target->cols() == other.cols());
+  double* pt = target->mutable_data();
+  const double* po = other.data();
+  int64_t n = target->size();
+  if (target_is_left) {
+    switch (op) {
+      case BinaryOp::kAdd:
+        for (int64_t i = 0; i < n; ++i) pt[i] += po[i];
+        return;
+      case BinaryOp::kSub:
+        for (int64_t i = 0; i < n; ++i) pt[i] -= po[i];
+        return;
+      case BinaryOp::kMul:
+        for (int64_t i = 0; i < n; ++i) pt[i] *= po[i];
+        return;
+      case BinaryOp::kDiv:
+        for (int64_t i = 0; i < n; ++i) pt[i] /= po[i];
+        return;
+      default:
+        for (int64_t i = 0; i < n; ++i) pt[i] = ApplyBinary(op, pt[i], po[i]);
+        return;
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) pt[i] = ApplyBinary(op, po[i], pt[i]);
+}
+
+void EwiseBinaryScalarInPlace(BinaryOp op, Matrix* target, double scalar,
+                              bool scalar_is_left) {
+  double* pt = target->mutable_data();
+  int64_t n = target->size();
+  if (scalar_is_left) {
+    for (int64_t i = 0; i < n; ++i) pt[i] = ApplyBinary(op, scalar, pt[i]);
+    return;
+  }
+  switch (op) {
+    case BinaryOp::kAdd:
+      for (int64_t i = 0; i < n; ++i) pt[i] += scalar;
+      break;
+    case BinaryOp::kSub:
+      for (int64_t i = 0; i < n; ++i) pt[i] -= scalar;
+      break;
+    case BinaryOp::kMul:
+      for (int64_t i = 0; i < n; ++i) pt[i] *= scalar;
+      break;
+    case BinaryOp::kDiv:
+      for (int64_t i = 0; i < n; ++i) pt[i] /= scalar;
+      break;
+    default:
+      for (int64_t i = 0; i < n; ++i) pt[i] = ApplyBinary(op, pt[i], scalar);
+      break;
+  }
+}
+
+void EwiseUnaryInPlace(UnaryOp op, Matrix* target) {
+  double* pt = target->mutable_data();
+  int64_t n = target->size();
+  for (int64_t i = 0; i < n; ++i) pt[i] = ApplyUnary(op, pt[i]);
+}
+
 }  // namespace lima

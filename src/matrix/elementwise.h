@@ -69,6 +69,23 @@ Matrix EwiseBinaryScalar(BinaryOp op, const Matrix& m, double scalar,
 /// Cell-wise unary operation.
 Matrix EwiseUnary(UnaryOp op, const Matrix& m);
 
+/// In-place variants: overwrite `target`'s buffer with the result instead
+/// of allocating an output. Used by the runtime when compile-time liveness
+/// marked the operand dead and the refcount proved the buffer unaliased.
+///
+/// Precondition: `target` and `other` have identical shapes (no
+/// broadcasting). `other` may alias `target` (X + X): each cell is read
+/// before its slot is written.
+void EwiseBinaryInPlace(BinaryOp op, Matrix* target, const Matrix& other,
+                        bool target_is_left);
+
+/// target[i,j] = s op target[i,j] (scalar_is_left) or target[i,j] op s.
+void EwiseBinaryScalarInPlace(BinaryOp op, Matrix* target, double scalar,
+                              bool scalar_is_left);
+
+/// target[i,j] = op(target[i,j]).
+void EwiseUnaryInPlace(UnaryOp op, Matrix* target);
+
 }  // namespace lima
 
 #endif  // LIMA_MATRIX_ELEMENTWISE_H_

@@ -69,9 +69,12 @@ class Matrix {
 /// Shared immutable matrix handle used in symbol tables and the reuse cache.
 using MatrixPtr = std::shared_ptr<const Matrix>;
 
-/// Wraps a matrix into a shared immutable handle.
+/// Wraps a matrix into a shared immutable handle. The control block is
+/// created over a non-const Matrix so the in-place execution path may
+/// legally const_cast a buffer back to mutable once the refcount proves it
+/// unaliased (mutating an object *created* const would be UB).
 inline MatrixPtr MakeMatrixPtr(Matrix&& m) {
-  return std::make_shared<const Matrix>(std::move(m));
+  return std::make_shared<Matrix>(std::move(m));
 }
 
 }  // namespace lima

@@ -85,4 +85,36 @@ Result<Matrix> ReadMatrixCsv(const std::string& path) {
   return Matrix(rows, cols, std::move(values));
 }
 
+Result<std::pair<int64_t, int64_t>> PeekMatrixDims(const std::string& path) {
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    std::ifstream in(path);
+    if (!in) return Status::IoError("cannot open for read: " + path);
+    int64_t rows = 0;
+    int64_t cols = -1;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (StripWhitespace(line).empty()) continue;
+      int64_t fields = static_cast<int64_t>(Split(line, ',').size());
+      if (cols < 0) {
+        cols = fields;
+      } else if (fields != cols) {
+        return Status::IoError("ragged CSV row in " + path);
+      }
+      ++rows;
+    }
+    if (rows == 0) return Status::IoError("empty CSV: " + path);
+    return std::make_pair(rows, cols);
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  int64_t rows = 0;
+  int64_t cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in || rows < 0 || cols < 0 || rows * cols > (int64_t{1} << 34)) {
+    return Status::IoError("corrupt matrix header: " + path);
+  }
+  return std::make_pair(rows, cols);
+}
+
 }  // namespace lima

@@ -2,6 +2,7 @@
 #define LIMA_MATRIX_MATRIX_IO_H_
 
 #include <string>
+#include <utility>
 
 #include "common/result.h"
 #include "matrix/matrix.h"
@@ -21,6 +22,12 @@ Status WriteMatrixCsv(const std::string& path, const Matrix& matrix);
 
 /// Reads a rectangular CSV of doubles.
 Result<Matrix> ReadMatrixCsv(const std::string& path);
+
+/// Reads only the dimensions (rows, cols) of a matrix file without loading
+/// the payload: the binary header for LIMA files, a line/field scan for
+/// .csv. Lets compile-time shape inference seed read() results from file
+/// metadata.
+Result<std::pair<int64_t, int64_t>> PeekMatrixDims(const std::string& path);
 
 }  // namespace lima
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/check.h"
 #include "common/hash.h"
 
 namespace lima {
@@ -71,6 +72,13 @@ uint64_t InputFingerprint(const DataPtr& value) {
 
 void ExecutionContext::BindInput(const std::string& name, DataPtr value) {
   uint64_t fingerprint = tracing_enabled() ? InputFingerprint(value) : 0;
+  int64_t rows = -1;
+  int64_t cols = -1;
+  if (value->type() == DataType::kMatrix) {
+    const MatrixPtr& m = static_cast<const MatrixData*>(value.get())->matrix();
+    rows = m->rows();
+    cols = m->cols();
+  }
   symbols_.Set(name, std::move(value));
   if (tracing_enabled()) {
     // The fingerprint rides along as a literal input; the item's data stays
@@ -79,10 +87,51 @@ void ExecutionContext::BindInput(const std::string& name, DataPtr value) {
     std::snprintf(buf, sizeof(buf), "S%016llx",
                   static_cast<unsigned long long>(fingerprint));
     static const OpcodeId kReadId = InternOpcode("read");
-    lineage_.Set(name,
-                 LineageItem::Create(
-                     kReadId, {lineage_.GetOrCreateLiteral(buf)}, name));
+    LineageItemPtr item = LineageItem::Create(
+        kReadId, {lineage_.GetOrCreateLiteral(buf)}, name);
+    if (rows >= 0) item->RecordDims(rows, cols);
+    lineage_.Set(name, std::move(item));
   }
+}
+
+std::shared_ptr<Matrix> ExecutionContext::TryStealBuffer(
+    const std::string& name, const std::vector<DataPtr>& inputs,
+    size_t operand_index) {
+  if (!config_->inplace_rewrites) return nullptr;
+  if (operand_index >= inputs.size()) return nullptr;
+  const DataPtr& input = inputs[operand_index];
+  if (input == nullptr || input->type() != DataType::kMatrix) return nullptr;
+  // The binding must still be the very object we resolved — a concurrent
+  // rebinding (or a liveness mask that went stale) disqualifies the steal.
+  DataPtr bound = symbols_.GetOrNull(name);
+  if (bound.get() != input.get()) return nullptr;
+  // Census of every reference we hold ourselves: the symbol-table binding,
+  // the local `bound` copy, and each occurrence in `inputs`. Any reference
+  // beyond these belongs to someone who may observe the buffer — a reuse
+  // cache entry, a cpvar alias, another session sharing the cache, a parfor
+  // worker's table copy — and vetoes in-place execution.
+  long expected = 2;
+  for (const DataPtr& in : inputs) {
+    if (in.get() == input.get()) ++expected;
+  }
+  if (input.use_count() != expected) return nullptr;
+  const auto* mdata = static_cast<const MatrixData*>(input.get());
+  if (mdata->matrix().use_count() != 1) return nullptr;  // shared Matrix handle
+  std::shared_ptr<Matrix> stolen =
+      std::const_pointer_cast<Matrix>(mdata->matrix());
+  // Drop the binding now: liveness proved the name dead after this op, and
+  // the mutated buffer must never be reachable under the old name.
+  symbols_.Remove(name);
+  bound.reset();
+  // Post-condition of the census: only `inputs` and the MatrixData's own
+  // handle (+ our stolen copy) remain. A violation means a cached value
+  // escaped into a mutation — the exact bug the refcount audit guards.
+  LIMA_CHECK(input.use_count() == expected - 2);
+  LIMA_CHECK(stolen.use_count() == 2);
+  if (stats_ != nullptr) {
+    stats_->inplace_ops.fetch_add(1, std::memory_order_relaxed);
+  }
+  return stolen;
 }
 
 ExecutionContext ExecutionContext::MakeFunctionContext() const {

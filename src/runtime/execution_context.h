@@ -2,7 +2,9 @@
 #define LIMA_RUNTIME_EXECUTION_CONTEXT_H_
 
 #include <iosfwd>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "lineage/dedup.h"
@@ -94,6 +96,25 @@ class ExecutionContext {
   /// Binds an external input with a "read" lineage leaf named `name`
   /// (immutable-input assumption of Sec. 3.4: the name identifies the data).
   void BindInput(const std::string& name, DataPtr value);
+
+  /// Turns on live-bytes accounting for this context's symbol table
+  /// (RuntimeStats::live_bytes/peak_live_bytes). Installed on the session's
+  /// main context only; function/worker contexts stay uncounted so shared
+  /// handles are never double-counted.
+  void EnableMemoryAccounting() { symbols_.set_stats(stats_); }
+
+  /// In-place execution support: attempts to take exclusive ownership of
+  /// the matrix buffer bound to `name` (which must be the resolved input at
+  /// `operand_index`). Succeeds only when the *entire* reference population
+  /// is accounted for — the symbol-table binding plus the occurrences in
+  /// `inputs` — proving no cache entry, no other binding, no other session,
+  /// and no parfor worker can observe the mutation. On success the binding
+  /// is dropped (compile-time liveness proved it dead after this op) and
+  /// the now-unique buffer is returned mutable; on failure returns nullptr
+  /// and execution falls back to allocating.
+  std::shared_ptr<Matrix> TryStealBuffer(const std::string& name,
+                                         const std::vector<DataPtr>& inputs,
+                                         size_t operand_index);
 
   /// Fresh symbols/lineage for a function body; shared services; depth + 1.
   ExecutionContext MakeFunctionContext() const;

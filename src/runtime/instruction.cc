@@ -180,6 +180,18 @@ Status ComputationInstruction::Execute(ExecutionContext* ctx) const {
   LIMA_CHECK_EQ(values.size(), outputs_.size())
       << "instruction " << opcode() << " output arity mismatch";
 
+  // Source instructions stamp the produced dimensions onto their lineage
+  // items (advisory provenance; recorded before the cache shares the item).
+  if (!out_items.empty() && RecordsLineageDims()) {
+    for (size_t i = 0; i < outputs_.size(); ++i) {
+      if (values[i] != nullptr && values[i]->type() == DataType::kMatrix) {
+        const MatrixPtr& m =
+            static_cast<const MatrixData*>(values[i].get())->matrix();
+        out_items[i]->RecordDims(m->rows(), m->cols());
+      }
+    }
+  }
+
   // Populate the cache. With full probing, only claimed keys are filled;
   // with partial-only mode, values are inserted directly.
   if (reuse) {

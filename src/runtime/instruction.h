@@ -123,6 +123,15 @@ class ComputationInstruction : public Instruction {
 
   const std::vector<Operand>& operands() const { return operands_; }
 
+  /// Bit i set = operand i is this variable's last use in its block (the
+  /// binding dies — by rmvar or redefinition — before any later read), so
+  /// the runtime may execute the op in place by stealing that operand's
+  /// buffer *when* the refcount proves no other alias exists. Set by the
+  /// compile-time liveness pass (analysis/liveness.h); advisory only —
+  /// the refcount check at execute time is the safety proof.
+  uint32_t last_use_mask() const { return last_use_mask_; }
+  void set_last_use_mask(uint32_t mask) { last_use_mask_ = mask; }
+
   std::string ToString() const override;
 
  protected:
@@ -163,8 +172,14 @@ class ComputationInstruction : public Instruction {
     return reuse_marked_ && IsReusableOpcode(opcode_id_);
   }
 
+  /// Source instructions (datagen, read) return true so Execute records the
+  /// produced matrix dimensions on their lineage items (LineageItem::
+  /// RecordDims) — shape provenance for lineage consumers.
+  virtual bool RecordsLineageDims() const { return false; }
+
   std::vector<Operand> operands_;
   std::vector<std::string> outputs_;
+  uint32_t last_use_mask_ = 0;
 };
 
 }  // namespace lima

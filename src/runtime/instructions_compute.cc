@@ -37,6 +37,27 @@ bool IsIntPreserving(BinaryOp op) {
   }
 }
 
+/// Matrix payload of a kMatrix Data without copying the MatrixPtr (a copy
+/// would raise the handle's refcount and defeat the steal census below).
+const Matrix& MatrixOf(const DataPtr& data) {
+  return *static_cast<const MatrixData*>(data.get())->matrix();
+}
+
+/// In-place eligibility gate: the liveness mask must mark operand `index`
+/// as its variable's last use, then the refcount census in TryStealBuffer
+/// proves the buffer unaliased. Returns the mutable buffer or nullptr.
+std::shared_ptr<Matrix> TrySteal(ExecutionContext* ctx,
+                                 const std::vector<Operand>& operands,
+                                 uint32_t last_use_mask,
+                                 const std::vector<DataPtr>& inputs,
+                                 size_t index) {
+  if (index >= 32 || (last_use_mask & (uint32_t{1} << index)) == 0) {
+    return nullptr;
+  }
+  if (operands[index].is_literal) return nullptr;
+  return ctx->TryStealBuffer(operands[index].name, inputs, index);
+}
+
 }  // namespace
 
 Result<ScalarValue> ScalarBinary(BinaryOp op, const ScalarValue& a,
@@ -109,28 +130,50 @@ Result<std::vector<DataPtr>> BinaryInstruction::Compute(
     return std::vector<DataPtr>{MakeScalarData(std::move(r))};
   }
   if (a_matrix && b_matrix) {
-    LIMA_ASSIGN_OR_RETURN(MatrixPtr ma, AsMatrix(a));
-    LIMA_ASSIGN_OR_RETURN(MatrixPtr mb, AsMatrix(b));
-    LIMA_ASSIGN_OR_RETURN(Matrix r, EwiseBinary(op_, *ma, *mb));
+    const Matrix& ma = MatrixOf(a);
+    const Matrix& mb = MatrixOf(b);
+    // In-place path: identical shapes only (a broadcast operand's buffer is
+    // smaller than the output). Either operand's buffer qualifies; `mb` may
+    // alias the stolen buffer (X + X) — the kernels read each cell before
+    // writing its slot.
+    if (ma.rows() == mb.rows() && ma.cols() == mb.cols()) {
+      if (auto t = TrySteal(ctx, operands_, last_use_mask_, inputs, 0)) {
+        EwiseBinaryInPlace(op_, t.get(), mb, /*target_is_left=*/true);
+        return std::vector<DataPtr>{MakeMatrixData(MatrixPtr(std::move(t)))};
+      }
+      if (auto t = TrySteal(ctx, operands_, last_use_mask_, inputs, 1)) {
+        EwiseBinaryInPlace(op_, t.get(), ma, /*target_is_left=*/false);
+        return std::vector<DataPtr>{MakeMatrixData(MatrixPtr(std::move(t)))};
+      }
+    }
+    LIMA_ASSIGN_OR_RETURN(Matrix r, EwiseBinary(op_, ma, mb));
     return std::vector<DataPtr>{MakeMatrixData(std::move(r))};
   }
   if (a_matrix) {
-    LIMA_ASSIGN_OR_RETURN(MatrixPtr ma, AsMatrix(a));
     LIMA_ASSIGN_OR_RETURN(ScalarValue sb, AsScalar(b));
     if (!sb.is_numeric()) {
       return Status::TypeError("matrix-string operation not supported");
     }
-    Matrix r = EwiseBinaryScalar(op_, *ma, sb.AsDouble(),
+    if (auto t = TrySteal(ctx, operands_, last_use_mask_, inputs, 0)) {
+      EwiseBinaryScalarInPlace(op_, t.get(), sb.AsDouble(),
+                               /*scalar_is_left=*/false);
+      return std::vector<DataPtr>{MakeMatrixData(MatrixPtr(std::move(t)))};
+    }
+    Matrix r = EwiseBinaryScalar(op_, MatrixOf(a), sb.AsDouble(),
                                  /*scalar_is_left=*/false);
     return std::vector<DataPtr>{MakeMatrixData(std::move(r))};
   }
   LIMA_ASSIGN_OR_RETURN(ScalarValue sa, AsScalar(a));
-  LIMA_ASSIGN_OR_RETURN(MatrixPtr mb, AsMatrix(b));
   if (!sa.is_numeric()) {
     return Status::TypeError("string-matrix operation not supported");
   }
+  if (auto t = TrySteal(ctx, operands_, last_use_mask_, inputs, 1)) {
+    EwiseBinaryScalarInPlace(op_, t.get(), sa.AsDouble(),
+                             /*scalar_is_left=*/true);
+    return std::vector<DataPtr>{MakeMatrixData(MatrixPtr(std::move(t)))};
+  }
   Matrix r =
-      EwiseBinaryScalar(op_, *mb, sa.AsDouble(), /*scalar_is_left=*/true);
+      EwiseBinaryScalar(op_, MatrixOf(b), sa.AsDouble(), /*scalar_is_left=*/true);
   return std::vector<DataPtr>{MakeMatrixData(std::move(r))};
 }
 
@@ -150,8 +193,14 @@ Result<std::vector<DataPtr>> UnaryInstruction::Compute(
     LIMA_ASSIGN_OR_RETURN(ScalarValue r, ScalarUnary(op_, v));
     return std::vector<DataPtr>{MakeScalarData(std::move(r))};
   }
-  LIMA_ASSIGN_OR_RETURN(MatrixPtr m, AsMatrix(inputs[0]));
-  return std::vector<DataPtr>{MakeMatrixData(EwiseUnary(op_, *m))};
+  if (inputs[0]->type() != DataType::kMatrix) {
+    return Status::TypeError("unary operator requires a scalar or matrix");
+  }
+  if (auto t = TrySteal(ctx, operands_, last_use_mask_, inputs, 0)) {
+    EwiseUnaryInPlace(op_, t.get());
+    return std::vector<DataPtr>{MakeMatrixData(MatrixPtr(std::move(t)))};
+  }
+  return std::vector<DataPtr>{MakeMatrixData(EwiseUnary(op_, MatrixOf(inputs[0])))};
 }
 
 AggregateInstruction::AggregateInstruction(std::string opcode, Operand input,

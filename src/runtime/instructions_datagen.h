@@ -26,6 +26,8 @@ class DataGenInstruction : public ComputationInstruction {
 
   bool IsDeterministic() const override;
 
+  bool RecordsLineageDims() const override { return true; }
+
  protected:
   Status PrepareExec(ExecutionContext* ctx, ExecState* state) const override;
 

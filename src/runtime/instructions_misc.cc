@@ -241,6 +241,7 @@ Status ReadInstruction::Execute(ExecutionContext* ctx) const {
   LineageItemPtr item;
   if (ctx->lineage_active()) {
     item = LineageItem::Create("read", {}, path);
+    item->RecordDims(matrix.ValueOrDie().rows(), matrix.ValueOrDie().cols());
   }
   ctx->SetVariable(output_, MakeMatrixData(std::move(matrix).ValueOrDie()),
                    std::move(item));

@@ -23,6 +23,8 @@ class AssignLiteralInstruction : public Instruction {
   std::vector<std::string> OutputVars() const override { return {output_}; }
   std::string ToString() const override;
 
+  const ScalarValue& value() const { return value_; }
+
  private:
   ScalarValue value_;
   std::string output_;
@@ -202,6 +204,8 @@ class ReadInstruction : public Instruction {
   Status Execute(ExecutionContext* ctx) const override;
   std::vector<std::string> InputVars() const override;
   std::vector<std::string> OutputVars() const override { return {output_}; }
+
+  const Operand& path() const { return path_; }
 
  private:
   Operand path_;

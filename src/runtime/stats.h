@@ -29,9 +29,23 @@ struct RuntimeStats {
   std::atomic<int64_t> dedup_patches_created{0};
   std::atomic<int64_t> dedup_items_created{0};
   std::atomic<int64_t> parfor_serialized{0};
+  std::atomic<int64_t> inplace_ops{0};
+  std::atomic<int64_t> live_bytes{0};
+  std::atomic<int64_t> peak_live_bytes{0};
   std::atomic<int64_t> rewrite_nanos{0};
   std::atomic<int64_t> spill_nanos{0};
   std::atomic<int64_t> compute_saved_nanos{0};
+
+  /// Adjusts the live symbol-table byte count (delta may be negative) and
+  /// maintains the high-water mark. Used to cross-check the static memory
+  /// estimator against actual allocations.
+  void AddLiveBytes(int64_t delta) {
+    int64_t now = live_bytes.fetch_add(delta) + delta;
+    int64_t peak = peak_live_bytes.load();
+    while (now > peak &&
+           !peak_live_bytes.compare_exchange_weak(peak, now)) {
+    }
+  }
 
   void Reset() {
     instructions_executed = 0;
@@ -50,6 +64,9 @@ struct RuntimeStats {
     dedup_patches_created = 0;
     dedup_items_created = 0;
     parfor_serialized = 0;
+    inplace_ops = 0;
+    live_bytes = 0;
+    peak_live_bytes = 0;
     rewrite_nanos = 0;
     spill_nanos = 0;
     compute_saved_nanos = 0;
@@ -75,6 +92,8 @@ struct RuntimeStats {
         {"dedup_patches_created", dedup_patches_created.load()},
         {"dedup_items_created", dedup_items_created.load()},
         {"parfor_serialized", parfor_serialized.load()},
+        {"inplace_ops", inplace_ops.load()},
+        {"peak_live_bytes", peak_live_bytes.load()},
         {"rewrite_nanos", rewrite_nanos.load()},
         {"spill_nanos", spill_nanos.load()},
         {"compute_saved_nanos", compute_saved_nanos.load()},
@@ -97,6 +116,8 @@ struct RuntimeStats {
         << " dedup_patches=" << dedup_patches_created.load()
         << " dedup_items=" << dedup_items_created.load()
         << " parfor_serialized=" << parfor_serialized.load()
+        << " inplace_ops=" << inplace_ops.load()
+        << " peak_live_bytes=" << peak_live_bytes.load()
         << " rewrite_nanos=" << rewrite_nanos.load()
         << " spill_nanos=" << spill_nanos.load()
         << " compute_saved_nanos=" << compute_saved_nanos.load();

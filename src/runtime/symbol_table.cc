@@ -2,7 +2,19 @@
 
 namespace lima {
 
+int64_t SymbolTable::BytesOf(const DataPtr& value) const {
+  // Matrices only: scalar payloads are negligible, and list elements are
+  // shared handles whose backing matrices are already counted elsewhere.
+  if (value == nullptr || value->type() != DataType::kMatrix) return 0;
+  return value->SizeInBytes();
+}
+
 void SymbolTable::Set(const std::string& name, DataPtr value) {
+  if (stats_ != nullptr) {
+    auto it = vars_.find(name);
+    int64_t old_bytes = it == vars_.end() ? 0 : BytesOf(it->second);
+    stats_->AddLiveBytes(BytesOf(value) - old_bytes);
+  }
   vars_[name] = std::move(value);
 }
 
@@ -23,18 +35,34 @@ bool SymbolTable::Contains(const std::string& name) const {
   return vars_.count(name) > 0;
 }
 
-void SymbolTable::Remove(const std::string& name) { vars_.erase(name); }
+void SymbolTable::Remove(const std::string& name) {
+  if (stats_ != nullptr) {
+    auto it = vars_.find(name);
+    if (it != vars_.end()) stats_->AddLiveBytes(-BytesOf(it->second));
+  }
+  vars_.erase(name);
+}
 
 void SymbolTable::Move(const std::string& from, const std::string& to) {
   auto it = vars_.find(from);
   if (it == vars_.end()) return;
+  if (stats_ != nullptr) {
+    auto dest = vars_.find(to);
+    if (dest != vars_.end()) stats_->AddLiveBytes(-BytesOf(dest->second));
+  }
   vars_[to] = std::move(it->second);
   vars_.erase(from);
 }
 
 void SymbolTable::Copy(const std::string& from, const std::string& to) {
   auto it = vars_.find(from);
-  if (it != vars_.end()) vars_[to] = it->second;
+  if (it == vars_.end()) return;
+  if (stats_ != nullptr) {
+    auto dest = vars_.find(to);
+    int64_t old_bytes = dest == vars_.end() ? 0 : BytesOf(dest->second);
+    stats_->AddLiveBytes(BytesOf(it->second) - old_bytes);
+  }
+  vars_[to] = it->second;
 }
 
 }  // namespace lima

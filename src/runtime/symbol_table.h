@@ -6,16 +6,26 @@
 
 #include "common/result.h"
 #include "runtime/data.h"
+#include "runtime/stats.h"
 
 namespace lima {
 
 /// Live-variable map of one execution context (Fig. 2). Values are shared
 /// immutable handles, so copies (function calls, parfor workers) are cheap.
+///
+/// A table can carry a RuntimeStats hook that tracks the summed matrix
+/// bytes of its bindings (live_bytes / peak_live_bytes), cross-checking the
+/// static memory estimator. Copies drop the hook: worker tables share their
+/// parent's DataPtrs, so counting them would double-count allocations.
 class SymbolTable {
  public:
   SymbolTable() = default;
-  SymbolTable(const SymbolTable&) = default;
-  SymbolTable& operator=(const SymbolTable&) = default;
+  SymbolTable(const SymbolTable& other) : vars_(other.vars_) {}
+  SymbolTable& operator=(const SymbolTable& other) {
+    vars_ = other.vars_;
+    stats_ = nullptr;
+    return *this;
+  }
   SymbolTable(SymbolTable&&) = default;
   SymbolTable& operator=(SymbolTable&&) = default;
 
@@ -36,8 +46,15 @@ class SymbolTable {
     return vars_;
   }
 
+  /// Installs the live-bytes accounting hook. Precondition: the table is
+  /// empty (existing bindings would go uncounted).
+  void set_stats(RuntimeStats* stats) { stats_ = stats; }
+
  private:
+  int64_t BytesOf(const DataPtr& value) const;
+
   std::unordered_map<std::string, DataPtr> vars_;
+  RuntimeStats* stats_ = nullptr;
 };
 
 }  // namespace lima

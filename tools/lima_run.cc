@@ -30,6 +30,14 @@
 //                                (default: on). Unproven loops run with one
 //                                worker; proven carried dependences are
 //                                errors under --verify=strict
+//   --inplace=on|off             in-place execution of elementwise ops on
+//                                provably dead, unaliased buffers (default:
+//                                on). Results and lineage are identical
+//                                either way; off disables the buffer steal
+//   --mem-report                 print the static memory estimate (per
+//                                top-level block + program peak) from shape
+//                                inference, and, after execution, the actual
+//                                peak live bytes for cross-checking
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -51,7 +59,8 @@ void PrintUsage() {
                "[--cache-shards=N] [--spill] "
                "[--stats] [--profile[=text|json|csv]] [--lineage=VAR]\n"
                "                [--verify[=report|strict|only]] "
-               "[--parfor-check=on|off]\n                <script.dml | ->\n");
+               "[--parfor-check=on|off]\n                "
+               "[--inplace=on|off] [--mem-report] <script.dml | ->\n");
 }
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -69,6 +78,7 @@ int main(int argc, char** argv) {
   LimaConfig config = LimaConfig::Lima();
   bool print_stats = false;
   bool verify_only = false;
+  bool mem_report = false;
   std::string profile_format;  // empty = profiling off
   std::string lineage_var;
   std::string script_path;
@@ -139,6 +149,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown policy: %s\n", value.c_str());
         return 2;
       }
+    } else if (ParseFlag(arg, "inplace", &value)) {
+      if (value == "on") {
+        config.inplace_rewrites = true;
+      } else if (value == "off") {
+        config.inplace_rewrites = false;
+      } else {
+        std::fprintf(stderr, "unknown inplace mode: %s\n", value.c_str());
+        return 2;
+      }
+    } else if (arg == "--mem-report") {
+      mem_report = true;
     } else if (ParseFlag(arg, "lineage", &value)) {
       lineage_var = value;
     } else if (arg == "--verify" || ParseFlag(arg, "verify", &value)) {
@@ -187,6 +208,16 @@ int main(int argc, char** argv) {
 
   LimaSession session(config);
   session.context()->set_print_stream(&std::cout);
+  if (mem_report) {
+    Result<ShapeAnalysis> analysis =
+        session.AnalyzeShapes(scripts::Builtins() + source);
+    if (!analysis.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   analysis.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(analysis->MemReport().c_str(), stderr);
+  }
   if (verify_only) {
     Result<VerifyReport> report = session.Verify(scripts::Builtins() + source);
     if (!report.ok()) {
@@ -214,6 +245,11 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "lineage: %s\n", log.status().ToString().c_str());
     }
+  }
+  if (mem_report) {
+    std::fprintf(stderr, "actual peak live bytes: %lld\n",
+                 static_cast<long long>(
+                     session.stats()->peak_live_bytes.load()));
   }
   if (print_stats) {
     std::fprintf(stderr, "elapsed: %.3fs\nstats: %s\n", seconds,
