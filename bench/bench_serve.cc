@@ -1,0 +1,250 @@
+// Load generator for lima_serve (docs/SERVING.md): N concurrent clients,
+// 4 tenants, a mixed pagerank / kmeans / gridsearch request stream, measured
+// once against one shared lineage cache and once against per-tenant private
+// caches (--private-caches). Reports per-request latency (mean/p50/p99),
+// throughput, and the cache hit rates from the server's per-tenant
+// accounting — the cross_tenant_hits line is the direct measure of what
+// sharing buys: results one tenant computed serving another tenant's
+// requests. Results are recorded in BENCH_serve.json.
+//
+// Usage: bench_serve [--clients=N] [--requests=N] [--pool=N]
+//   (defaults: 8 clients x 8 requests, pool of 4 workers)
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace lima {
+namespace serve {
+namespace {
+
+// Variants of scripts/{pagerank,kmeans,gridsearch}.dml — the mix the
+// paper's reuse scenarios target (iterative graph scoring, clustering
+// sweeps, hyper-parameter search) — sized so a cold run costs hundreds of
+// milliseconds of real compute on one core. That sizing matters: it makes
+// a cache miss expensive relative to per-request compile overhead, which
+// is exactly the regime where sharing (3 cold computes total) beats
+// isolation (one cold compute per tenant per script).
+const char* kPagerank =
+    "n = 600;"
+    "G = rand(rows=n, cols=n, min=0.01, max=1, seed=7);"
+    "G = G / max(colSums(G), 1e-12);"
+    "S = G %*% t(G);"
+    "S = S / max(colSums(S), 1e-12);"
+    "p = matrix(1 / n, n, 1);"
+    "e = matrix(1, n, 1);"
+    "u = matrix(1 / n, 1, n);"
+    "for (i in 1:15) {"
+    "  p = 0.85 * (S %*% p) + 0.15 * (e %*% (u %*% p));"
+    "  p = p / sum(p);"
+    "}"
+    "print(\"rank mass: \" + sum(p));";
+
+const char* kKmeans =
+    "X = rbind(rand(rows=4000, cols=12, seed=11) + 5,"
+    "          rand(rows=4000, cols=12, seed=12) - 5,"
+    "          rand(rows=4000, cols=12, seed=13));"
+    "for (k in 2:6) {"
+    "  [C, assign, wsse] = kmeans(X, k, 12, 99);"
+    "  print(\"k=\" + k + \"  wsse=\" + wsse);"
+    "}";
+
+const char* kGridsearch =
+    "X = rand(rows=40000, cols=60, min=-1, max=1, seed=1);"
+    "y = X %*% rand(rows=60, cols=1, seed=2);"
+    "regs = 10 ^ (0 - seq(1, 6, 1));"
+    "icpts = seq(0, 2, 1);"
+    "tols = 10 ^ (0 - 7 - seq(1, 5, 1));"
+    "losses = gridSearchLm(X, y, regs, icpts, tols);"
+    "print(\"best loss: \" + min(losses));";
+
+struct ModeResult {
+  std::string mode;
+  int clients = 0;
+  int requests_total = 0;
+  int errors = 0;
+  double wall_seconds = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  int64_t probes = 0;
+  int64_t hits = 0;
+  int64_t cross_tenant_hits = 0;
+};
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+ModeResult RunMode(bool shared_cache, int num_clients, int requests_each,
+                   int pool_size) {
+  ServeOptions options;
+  options.socket_path = "/tmp/bench_serve_" + std::to_string(::getpid()) +
+                        (shared_cache ? "_shared.sock" : "_private.sock");
+  options.pool_size = pool_size;
+  // Admission control out of the picture: this measures cache behavior, so
+  // every request must be served, not shed.
+  options.queue_capacity = 4096;
+  options.shared_cache = shared_cache;
+  LimaServer server(options);
+  Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+
+  const char* scripts[] = {kPagerank, kKmeans, kGridsearch};
+  std::vector<std::vector<double>> latencies(num_clients);
+  std::atomic<int> errors{0};
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      // Two clients per tenant: tenant t1 issues the same scripts as t0,
+      // so a shared cache converts t1's first requests into cross-tenant
+      // hits while private caches recompute them.
+      const std::string tenant = "t" + std::to_string(c % 4);
+      for (int r = 0; r < requests_each; ++r) {
+        const char* script = scripts[(c + r) % 3];
+        const auto start = std::chrono::steady_clock::now();
+        Result<Message> response = RunScript(options.socket_path, tenant,
+                                             script);
+        const auto end = std::chrono::steady_clock::now();
+        if (!response.ok()) {
+          std::fprintf(stderr, "request failed: %s\n",
+                       response.status().ToString().c_str());
+          errors.fetch_add(1);
+          continue;
+        }
+        latencies[c].push_back(
+            std::chrono::duration<double, std::milli>(end - start).count());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  Message stats_request;
+  stats_request.Set("op", "stats");
+  Result<Message> stats = Call(options.socket_path, stats_request);
+  server.Stop();
+
+  ModeResult result;
+  result.mode = shared_cache ? "shared" : "private";
+  result.clients = num_clients;
+  result.requests_total = num_clients * requests_each;
+  result.errors = errors.load();
+  result.wall_seconds = wall_seconds;
+  std::vector<double> all;
+  for (const std::vector<double>& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+  double sum = 0;
+  for (double ms : all) sum += ms;
+  result.mean_ms = all.empty() ? 0 : sum / all.size();
+  result.p50_ms = Percentile(all, 0.50);
+  result.p99_ms = Percentile(all, 0.99);
+  if (stats.ok()) {
+    for (const auto& [key, value] : stats->fields) {
+      auto ends_with = [&key](const char* suffix) {
+        const std::string s = suffix;
+        return key.size() > s.size() &&
+               key.compare(key.size() - s.size(), s.size(), s) == 0;
+      };
+      if (key.rfind("tenant.", 0) != 0) continue;
+      Result<int64_t> parsed = ParseInt64Strict(
+          value, std::numeric_limits<int64_t>::min(),
+          std::numeric_limits<int64_t>::max(), key);
+      if (!parsed.ok()) continue;
+      if (ends_with(".probes")) result.probes += *parsed;
+      if (ends_with(".hits")) result.hits += *parsed;
+      if (ends_with(".cross_tenant_hits")) result.cross_tenant_hits += *parsed;
+    }
+    // ".hits" also suffix-matches ".cross_tenant_hits"; undo the double
+    // count.
+    result.hits -= result.cross_tenant_hits;
+  }
+  return result;
+}
+
+void PrintResult(const ModeResult& r) {
+  const int64_t hits_total = r.hits + r.cross_tenant_hits;
+  const double hit_rate =
+      r.probes > 0 ? static_cast<double>(hits_total) / r.probes : 0;
+  const double cross_rate =
+      r.probes > 0 ? static_cast<double>(r.cross_tenant_hits) / r.probes : 0;
+  std::printf(
+      "    {\"mode\": \"%s\", \"clients\": %d, \"requests\": %d, "
+      "\"errors\": %d,\n"
+      "     \"wall_seconds\": %.3f, \"throughput_rps\": %.2f,\n"
+      "     \"latency_ms\": {\"mean\": %.2f, \"p50\": %.2f, \"p99\": %.2f},\n"
+      "     \"cache\": {\"probes\": %lld, \"hits_total\": %lld, "
+      "\"same_tenant_hits\": %lld,\n"
+      "               \"cross_tenant_hits\": %lld, \"hit_rate\": %.4f, "
+      "\"cross_tenant_hit_rate\": %.4f}}",
+      r.mode.c_str(), r.clients, r.requests_total, r.errors, r.wall_seconds,
+      r.requests_total / r.wall_seconds, r.mean_ms, r.p50_ms, r.p99_ms,
+      static_cast<long long>(r.probes), static_cast<long long>(hits_total),
+      static_cast<long long>(r.hits),
+      static_cast<long long>(r.cross_tenant_hits), hit_rate, cross_rate);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace lima
+
+int main(int argc, char** argv) {
+  using namespace lima;
+  int clients = 8;
+  int requests = 8;
+  int pool = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto parse = [&arg](const char* name, int* out) {
+      const std::string prefix = std::string("--") + name + "=";
+      if (arg.rfind(prefix, 0) != 0) return false;
+      Result<int> value =
+          ParseIntStrict(arg.substr(prefix.size()), 1, 1 << 20, name);
+      if (!value.ok()) {
+        std::fprintf(stderr, "%s\n", value.status().ToString().c_str());
+        std::exit(2);
+      }
+      *out = *value;
+      return true;
+    };
+    if (!parse("clients", &clients) && !parse("requests", &requests) &&
+        !parse("pool", &pool)) {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--clients=N] [--requests=N] "
+                   "[--pool=N]\n");
+      return 2;
+    }
+  }
+
+  serve::ModeResult shared =
+      serve::RunMode(/*shared_cache=*/true, clients, requests, pool);
+  serve::ModeResult isolated =
+      serve::RunMode(/*shared_cache=*/false, clients, requests, pool);
+
+  std::printf("{\n  \"results\": [\n");
+  serve::PrintResult(shared);
+  std::printf(",\n");
+  serve::PrintResult(isolated);
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

@@ -41,7 +41,10 @@ if [[ "$SANITIZE" == "thread" ]]; then
   # CacheConcurrencyTest (cache_concurrency_test: sharded-cache stress,
   # placeholder liveness, shared-cache sessions), CacheDeterminismTest
   # (cache_determinism_test; its Heavy suite stays out for time).
-  TSAN_TESTS='^(ParforTest|ParforDependencyTest|LineageCacheTest|MultiLevelTest|CacheConcurrencyTest|CacheDeterminismTest)\.'
+  # ThreadPoolTest (thread_pool_test: exception-safe pool + ParallelFor) and
+  # ServeTest (serve_test: multi-tenant server, shared-cache workers,
+  # overload shedding, graceful drain) ride along — the server IS threads.
+  TSAN_TESTS='^(ParforTest|ParforDependencyTest|LineageCacheTest|MultiLevelTest|CacheConcurrencyTest|CacheDeterminismTest|ThreadPoolTest|ServeTest)\.'
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
     --tests-regex "$TSAN_TESTS"
 else
@@ -128,6 +131,50 @@ print("mem-estimate smoke: OK ({}: estimate {} >= actual {})".format(
 EOF
   done
 fi
+
+# Serving smoke: a live lima_serve daemon must answer concurrent clients
+# from two tenants over its Unix socket, the shared cache must produce
+# cross-tenant hits, and SIGTERM must drain cleanly (docs/SERVING.md).
+echo "serve smoke: lima_serve daemon + 8 concurrent clients"
+SERVE_SOCK="$BUILD_DIR/ci_serve.sock"
+"$BUILD_DIR/tools/lima_serve" --socket="$SERVE_SOCK" --pool=2 --queue=32 \
+  2> "$BUILD_DIR/ci_serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+  [[ -S "$SERVE_SOCK" ]] && break
+  sleep 0.1
+done
+cat > "$BUILD_DIR/ci_serve_req.dml" <<'EOF'
+X = rand(rows=40, cols=40, seed=7);
+print("checksum: " + sum(X %*% t(X)));
+EOF
+SERVE_CLIENT_PIDS=()
+for i in $(seq 1 8); do
+  tenant=$([ $((i % 2)) -eq 0 ] && echo even || echo odd)
+  "$BUILD_DIR/tools/lima_serve" --socket="$SERVE_SOCK" --call \
+    --tenant="$tenant" "$BUILD_DIR/ci_serve_req.dml" \
+    > "$BUILD_DIR/ci_serve_out.$i" 2>/dev/null &
+  SERVE_CLIENT_PIDS+=($!)
+done
+for pid in "${SERVE_CLIENT_PIDS[@]}"; do
+  wait "$pid" || { echo "serve smoke: client $pid failed" >&2; exit 1; }
+done
+# All 8 responses must carry the identical checksum line.
+[[ "$(cat "$BUILD_DIR"/ci_serve_out.* | sort -u | wc -l)" == 1 ]] \
+  || { echo "serve smoke: divergent outputs" >&2; exit 1; }
+grep -q "checksum: " "$BUILD_DIR/ci_serve_out.1" \
+  || { echo "serve smoke: missing output" >&2; exit 1; }
+# The shared cache must have produced cross-tenant reuse.
+"$BUILD_DIR/tools/lima_serve" --socket="$SERVE_SOCK" --call --op=stats \
+  2> "$BUILD_DIR/ci_serve_stats.txt" || { echo "serve smoke: stats op failed" >&2; exit 1; }
+grep "cross_tenant_hits" "$BUILD_DIR/ci_serve_stats.txt" \
+  | grep -qv "=0$" \
+  || { echo "serve smoke: no cross-tenant hits recorded" >&2; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "serve smoke: daemon exited nonzero" >&2; exit 1; }
+grep -q "bye" "$BUILD_DIR/ci_serve.log" \
+  || { echo "serve smoke: no clean drain" >&2; exit 1; }
+echo "serve smoke: OK"
 
 # Contention smoke (plain builds only; sanitizer timings are meaningless):
 # at 8 threads the sharded cache must serve the placeholder-heavy serving

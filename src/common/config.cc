@@ -70,4 +70,11 @@ LimaConfig LimaConfig::LimaMultiLevel() {
   return config;
 }
 
+LimaConfig LimaConfig::Serving() {
+  LimaConfig config = Lima();
+  config.dedup_lineage = true;
+  config.cache_shards = 16;
+  return config;
+}
+
 }  // namespace lima

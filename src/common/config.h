@@ -117,6 +117,10 @@ struct LimaConfig {
   static LimaConfig Lima();
   /// Preset: LIMA with multi-level reuse ("LIMA-MLR").
   static LimaConfig LimaMultiLevel();
+  /// Preset: lima_serve daemon sessions (docs/SERVING.md) — Lima() plus
+  /// dedup for the repetitive request mix and a wider shard count, since a
+  /// shared cache takes probes from every pool worker concurrently.
+  static LimaConfig Serving();
 };
 
 }  // namespace lima

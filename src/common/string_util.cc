@@ -1,6 +1,7 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -56,6 +57,39 @@ std::string FormatDouble(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   return buf;
+}
+
+Result<int64_t> ParseInt64Strict(std::string_view s, int64_t min_value,
+                                 int64_t max_value, std::string_view what) {
+  const std::string name(what);
+  if (s.empty()) {
+    return Status::Invalid(name + ": empty value (expected an integer)");
+  }
+  int64_t value = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::Invalid(name + ": integer out of range: '" +
+                           std::string(s) + "'");
+  }
+  if (ec != std::errc() || ptr != end) {
+    return Status::Invalid(name + ": not an integer: '" + std::string(s) +
+                           "'");
+  }
+  if (value < min_value || value > max_value) {
+    return Status::Invalid(name + ": " + std::to_string(value) +
+                           " is outside [" + std::to_string(min_value) + ", " +
+                           std::to_string(max_value) + "]");
+  }
+  return value;
+}
+
+Result<int> ParseIntStrict(std::string_view s, int min_value, int max_value,
+                           std::string_view what) {
+  LIMA_ASSIGN_OR_RETURN(int64_t value,
+                        ParseInt64Strict(s, min_value, max_value, what));
+  return static_cast<int>(value);
 }
 
 }  // namespace lima

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 
@@ -35,6 +36,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::WaitAll() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr e = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -50,9 +56,20 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // The catch is load-bearing: without it a throwing task would escape to
+    // std::terminate AND skip the in_flight_ decrement below, leaving every
+    // future WaitAll() blocked forever.
+    std::exception_ptr thrown;
+    try {
+      task();
+    } catch (...) {
+      thrown = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (thrown != nullptr && first_exception_ == nullptr) {
+        first_exception_ = thrown;
+      }
       --in_flight_;
       if (in_flight_ == 0) cv_done_.notify_all();
     }
@@ -69,17 +86,29 @@ void ParallelFor(int64_t n, int num_threads,
   }
   std::vector<std::thread> threads;
   threads.reserve(num_threads);
+  std::mutex error_mu;
+  std::exception_ptr first_exception;
   // Contiguous range partitioning for cache locality.
   int64_t chunk = (n + num_threads - 1) / num_threads;
   for (int t = 0; t < num_threads; ++t) {
     int64_t begin = t * chunk;
     int64_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    threads.emplace_back([begin, end, &fn] {
-      for (int64_t i = begin; i < end; ++i) fn(i);
+    threads.emplace_back([begin, end, &fn, &error_mu, &first_exception] {
+      // An escaping exception on a std::thread is std::terminate; capture it
+      // here and surface the first one on the calling thread after the join.
+      try {
+        for (int64_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_exception == nullptr) {
+          first_exception = std::current_exception();
+        }
+      }
     });
   }
   for (auto& t : threads) t.join();
+  if (first_exception != nullptr) std::rethrow_exception(first_exception);
 }
 
 int HardwareConcurrency() {

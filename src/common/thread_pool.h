@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -11,12 +12,22 @@
 
 namespace lima {
 
-/// Fixed-size worker pool used by parfor and by multi-threaded matrix
-/// kernels. Tasks are plain closures; WaitAll() provides a barrier.
+/// Fixed-size worker pool used by parfor, multi-threaded matrix kernels,
+/// and the lima_serve session pool. Tasks are plain closures; WaitAll()
+/// provides a barrier.
+///
+/// Exception safety: a task that throws never wedges the pool. The worker
+/// catches the exception, completes the task's bookkeeping, and keeps
+/// serving; the first exception is stashed and rethrown from the next
+/// WaitAll() (later ones are dropped, mirroring ParallelFor). A pending
+/// exception that is never observed via WaitAll() is discarded when the
+/// pool is destroyed.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (>= 1).
   explicit ThreadPool(int num_threads);
+
+  /// Drains the queue (already-submitted tasks still run), then joins.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -25,7 +36,8 @@ class ThreadPool {
   /// Enqueues a task for execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have completed.
+  /// Blocks until all submitted tasks have completed. If any task threw
+  /// since the last WaitAll(), rethrows the first such exception.
   void WaitAll();
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
@@ -40,12 +52,18 @@ class ThreadPool {
   std::condition_variable cv_done_;
   int64_t in_flight_ = 0;
   bool shutdown_ = false;
+  /// First exception thrown by a task since the last WaitAll() (guarded by
+  /// mu_).
+  std::exception_ptr first_exception_;
 };
 
 /// Runs fn(i) for i in [0, n) across up to `num_threads` threads, blocking
 /// until all complete. Falls back to the calling thread for n==0/1 or
 /// num_threads<=1. Spawns transient threads (no shared pool) so nested use
-/// inside parfor workers stays isolated.
+/// inside parfor workers stays isolated. If fn throws, the throwing thread
+/// abandons the rest of its chunk, other threads finish theirs, and the
+/// first exception is rethrown on the calling thread after every thread has
+/// joined.
 void ParallelFor(int64_t n, int num_threads,
                  const std::function<void(int64_t)>& fn);
 

@@ -164,8 +164,26 @@ lima::ProfileReport LimaSession::ProfileReport() const {
     };
     shard_rows.push_back(std::move(row));
   }
+  std::vector<lima::ProfileReport::TenantRow> tenant_rows;
+  for (const CacheTenantStats& t : cache_->TenantStatsSnapshot()) {
+    lima::ProfileReport::TenantRow row;
+    row.tenant = t.tenant;
+    row.counters = {
+        {"budget_bytes", t.budget_bytes},
+        {"resident_bytes", t.resident_bytes},
+        {"entries", t.entries},
+        {"probes", t.probes},
+        {"hits", t.hits},
+        {"misses", t.misses},
+        {"cross_tenant_hits", t.cross_tenant_hits},
+        {"puts", t.puts},
+        {"evictions", t.evictions},
+    };
+    tenant_rows.push_back(std::move(row));
+  }
   return BuildProfileReport(profile_, &cache_events_, stats_.ToPairs(),
-                            std::move(config_info), std::move(shard_rows));
+                            std::move(config_info), std::move(shard_rows),
+                            std::move(tenant_rows));
 }
 
 std::string LimaSession::ConsumeOutput() {

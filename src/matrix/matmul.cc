@@ -26,6 +26,24 @@ void GemmRows(const double* a, const double* b, double* out, int64_t rb,
   }
 }
 
+// Computes out[:, :] += A[rb:re, :]^T * B[rb:re, :] for row-major dense
+// inputs: row i of A scatters column p into output row p, so the inner loop
+// streams over contiguous rows of B and out (same i-k-j idea as GemmRows on
+// the transposed indexing).
+void TransposeGemmRows(const double* a, const double* b, double* out,
+                       int64_t rb, int64_t re, int64_t k, int64_t n) {
+  for (int64_t i = rb; i < re; ++i) {
+    const double* arow = a + i * k;
+    const double* brow = b + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      double av = arow[p];
+      if (av == 0.0) continue;
+      double* orow = out + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
 }  // namespace
 
 Result<Matrix> MatMul(const Matrix& a, const Matrix& b, int num_threads) {
@@ -64,15 +82,29 @@ Matrix Tsmm(const Matrix& x, bool left, int num_threads) {
     int64_t m = x.rows();
     int64_t k = x.cols();
     Matrix out(m, m);
-    ParallelFor(m, num_threads, [&](int64_t i) {
-      const double* ri = x.data() + i * k;
-      for (int64_t j = i; j < m; ++j) {
-        const double* rj = x.data() + j * k;
-        double s = 0.0;
-        for (int64_t p = 0; p < k; ++p) s += ri[p] * rj[p];
-        out.At(i, j) = s;
+    if (num_threads <= 1 || m < 256) {
+      // Same small-input guard as the left path and MatMul: spawning
+      // transient threads costs more than the dot products below it.
+      for (int64_t i = 0; i < m; ++i) {
+        const double* ri = x.data() + i * k;
+        for (int64_t j = i; j < m; ++j) {
+          const double* rj = x.data() + j * k;
+          double s = 0.0;
+          for (int64_t p = 0; p < k; ++p) s += ri[p] * rj[p];
+          out.At(i, j) = s;
+        }
       }
-    });
+    } else {
+      ParallelFor(m, num_threads, [&](int64_t i) {
+        const double* ri = x.data() + i * k;
+        for (int64_t j = i; j < m; ++j) {
+          const double* rj = x.data() + j * k;
+          double s = 0.0;
+          for (int64_t p = 0; p < k; ++p) s += ri[p] * rj[p];
+          out.At(i, j) = s;
+        }
+      });
+    }
     for (int64_t i = 0; i < m; ++i) {
       for (int64_t j = 0; j < i; ++j) out.At(i, j) = out.At(j, i);
     }
@@ -141,16 +173,29 @@ Result<Matrix> TransposeMatMul(const Matrix& a, const Matrix& b,
   int64_t n = b.cols();
   Matrix out(k, n);
   double* po = out.mutable_data();
-  (void)num_threads;
-  for (int64_t i = 0; i < m; ++i) {
-    const double* arow = a.data() + i * k;
-    const double* brow = b.data() + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      double av = arow[p];
-      if (av == 0.0) continue;
-      double* orow = po + p * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+
+  if (num_threads <= 1 || m < 256) {
+    TransposeGemmRows(a.data(), b.data(), po, 0, m, k, n);
+    return out;
+  }
+  // Every input row i scatters into the whole k x n output, so the rows
+  // of `out` cannot be partitioned the way MatMul does; instead each
+  // thread accumulates a private k x n partial over its slice of input
+  // rows and the partials are reduced (the Tsmm left-path scheme).
+  int chunks = std::min<int64_t>(num_threads, m);
+  int64_t rows_per_chunk = (m + chunks - 1) / chunks;
+  std::vector<Matrix> partials(chunks, Matrix(k, n));
+  ParallelFor(chunks, num_threads, [&](int64_t c) {
+    int64_t rb = c * rows_per_chunk;
+    int64_t re = std::min(m, rb + rows_per_chunk);
+    if (rb < re) {
+      TransposeGemmRows(a.data(), b.data(), partials[c].mutable_data(), rb,
+                        re, k, n);
     }
+  });
+  for (const Matrix& part : partials) {
+    const double* pp = part.data();
+    for (int64_t i = 0; i < k * n; ++i) po[i] += pp[i];
   }
   return out;
 }

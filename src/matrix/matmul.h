@@ -17,6 +17,8 @@ Result<Matrix> MatMul(const Matrix& a, const Matrix& b, int num_threads = 1);
 Matrix Tsmm(const Matrix& x, bool left = true, int num_threads = 1);
 
 /// Transpose A^T * B without materializing t(A). Used by compensation plans.
+/// Input rows are partitioned across `num_threads` when > 1, with per-thread
+/// partial accumulators (the output is shared across all input rows).
 Result<Matrix> TransposeMatMul(const Matrix& a, const Matrix& b,
                                int num_threads = 1);
 

@@ -158,6 +158,18 @@ std::string ProfileReport::ToJson() const {
   }
   out << "],\n";
 
+  out << "  \"cache_tenants\": [";
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    const TenantRow& row = tenants[i];
+    if (i > 0) out << ", ";
+    out << "{\"tenant\": \"" << JsonEscape(row.tenant) << "\"";
+    for (const auto& [name, value] : row.counters) {
+      out << ", \"" << JsonEscape(name) << "\": " << value;
+    }
+    out << "}";
+  }
+  out << "],\n";
+
   out << "  \"counters\": {";
   for (size_t i = 0; i < counters.size(); ++i) {
     if (i > 0) out << ", ";
@@ -187,6 +199,12 @@ std::string ProfileReport::ToCsv() const {
   for (const ShardRow& row : shards) {
     for (const auto& [name, value] : row.counters) {
       out << "shard," << row.shard << "." << CsvField(name) << "," << value
+          << ",,,\n";
+    }
+  }
+  for (const TenantRow& row : tenants) {
+    for (const auto& [name, value] : row.counters) {
+      out << "tenant," << CsvField(row.tenant + "." + name) << "," << value
           << ",,,\n";
     }
   }
@@ -251,6 +269,31 @@ std::string ProfileReport::ToText() const {
       out << line;
     }
   }
+  if (!tenants.empty()) {
+    out << "--- cache tenants ---\n";
+    std::snprintf(line, sizeof(line),
+                  "%-12s %10s %10s %10s %8s %8s %10s %10s\n", "tenant",
+                  "probes", "hits", "xhits", "misses", "evict", "resident",
+                  "budget");
+    out << line;
+    for (const TenantRow& row : tenants) {
+      auto counter = [&row](const char* name) -> long long {
+        for (const auto& [key, value] : row.counters) {
+          if (key == name) return value;
+        }
+        return 0;
+      };
+      const long long budget = counter("budget_bytes");
+      std::snprintf(line, sizeof(line),
+                    "%-12s %10lld %10lld %10lld %8lld %8lld %10s %10s\n",
+                    row.tenant.c_str(), counter("probes"), counter("hits"),
+                    counter("cross_tenant_hits"), counter("misses"),
+                    counter("evictions"),
+                    HumanBytes(counter("resident_bytes")).c_str(),
+                    budget < 0 ? "inf" : HumanBytes(budget).c_str());
+      out << line;
+    }
+  }
   out << "--- counters ---\n";
   for (const auto& [name, value] : counters) {
     std::snprintf(line, sizeof(line), "%-24s %14lld\n", name.c_str(),
@@ -270,7 +313,8 @@ ProfileReport BuildProfileReport(
     const ProfileCollector& collector, const CacheEventLog* events,
     std::vector<std::pair<std::string, int64_t>> counters,
     std::vector<std::pair<std::string, std::string>> config,
-    std::vector<ProfileReport::ShardRow> shards) {
+    std::vector<ProfileReport::ShardRow> shards,
+    std::vector<ProfileReport::TenantRow> tenants) {
   ProfileReport report;
   const std::unordered_map<std::string, OpProfile> ops = collector.ops();
   report.ops.reserve(ops.size());
@@ -288,6 +332,7 @@ ProfileReport BuildProfileReport(
   report.counters = std::move(counters);
   report.config = std::move(config);
   report.shards = std::move(shards);
+  report.tenants = std::move(tenants);
   return report;
 }
 

@@ -33,10 +33,20 @@ struct ProfileReport {
     std::vector<std::pair<std::string, int64_t>> counters;
   };
 
+  /// Per-tenant counters of the lineage cache (multi-tenant serving,
+  /// docs/SERVING.md); empty outside lima_serve. Same generic-pair shape as
+  /// ShardRow so obs stays independent of the reuse layer. Counter names
+  /// follow CacheTenantStats (budget_bytes is -1 when unlimited).
+  struct TenantRow {
+    std::string tenant;
+    std::vector<std::pair<std::string, int64_t>> counters;
+  };
+
   /// Opcode rows sorted by descending total_nanos.
   std::vector<OpRow> ops;
   CacheEventLog::Snapshot cache;
   std::vector<ShardRow> shards;
+  std::vector<TenantRow> tenants;
   /// Snapshot of every RuntimeStats counter, in declaration order.
   std::vector<std::pair<std::string, int64_t>> counters;
   /// Session configuration echo (reuse mode, policy, budget, ...).
@@ -63,7 +73,8 @@ ProfileReport BuildProfileReport(
     const ProfileCollector& collector, const CacheEventLog* events,
     std::vector<std::pair<std::string, int64_t>> counters,
     std::vector<std::pair<std::string, std::string>> config = {},
-    std::vector<ProfileReport::ShardRow> shards = {});
+    std::vector<ProfileReport::ShardRow> shards = {},
+    std::vector<ProfileReport::TenantRow> tenants = {});
 
 }  // namespace lima
 

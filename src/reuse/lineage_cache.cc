@@ -57,6 +57,74 @@ LineageCache::LineageCache(const LimaConfig& config, RuntimeStats* stats)
 
 LineageCache::~LineageCache() { Clear(); }
 
+LineageCache::TenantScope::TenantScope(LineageCache* cache,
+                                       const std::string& tenant)
+    : prev_(ReuseCache::ThreadTenantTag()) {
+  ReuseCache::SetThreadTenantTag(cache->GetOrCreateTenant(tenant));
+}
+
+LineageCache::TenantScope::~TenantScope() {
+  ReuseCache::SetThreadTenantTag(prev_);
+}
+
+LineageCache::TenantState* LineageCache::GetOrCreateTenant(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  std::unique_ptr<TenantState>& slot = tenants_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<TenantState>();
+    slot->cache = this;
+    slot->name = name;
+  }
+  return slot.get();
+}
+
+void LineageCache::SetTenantBudget(const std::string& tenant,
+                                   int64_t budget_bytes) {
+  TenantState* state = GetOrCreateTenant(tenant);
+  state->budget_bytes.store(budget_bytes, std::memory_order_relaxed);
+  EvictTenantUntilFits(state);
+}
+
+std::vector<CacheTenantStats> LineageCache::TenantStatsSnapshot() const {
+  std::vector<CacheTenantStats> out;
+  std::unordered_map<const TenantState*, size_t> index;
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    out.reserve(tenants_.size());
+    for (const auto& [name, state] : tenants_) {
+      CacheTenantStats row;
+      row.tenant = name;
+      row.budget_bytes = state->budget_bytes.load(std::memory_order_relaxed);
+      row.resident_bytes =
+          state->resident_bytes.load(std::memory_order_relaxed);
+      row.probes = state->probes.load(std::memory_order_relaxed);
+      row.hits = state->hits.load(std::memory_order_relaxed);
+      row.misses = state->misses.load(std::memory_order_relaxed);
+      row.cross_tenant_hits =
+          state->cross_tenant_hits.load(std::memory_order_relaxed);
+      row.puts = state->puts.load(std::memory_order_relaxed);
+      row.evictions = state->evictions.load(std::memory_order_relaxed);
+      index[state.get()] = out.size();
+      out.push_back(std::move(row));
+    }
+  }
+  // Entry counts come from the shard maps (the registry holds no entries).
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, entry] : shard->entries) {
+      if (entry->placeholder || entry->tenant == nullptr) continue;
+      auto it = index.find(entry->tenant);
+      if (it != index.end()) ++out[it->second].entries;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CacheTenantStats& a, const CacheTenantStats& b) {
+              return a.tenant < b.tenant;
+            });
+  return out;
+}
+
 double LineageCache::Score(const Entry& entry) const {
   switch (config_.eviction_policy) {
     case EvictionPolicy::kLru:
@@ -161,6 +229,10 @@ Status LineageCache::RestoreEntry(Shard* shard, Entry* entry,
   entry->spilled = false;
   entry->spill_path.clear();
   size_bytes_.fetch_add(entry->size_bytes, std::memory_order_relaxed);
+  if (entry->tenant != nullptr) {
+    entry->tenant->resident_bytes.fetch_add(entry->size_bytes,
+                                            std::memory_order_relaxed);
+  }
   shard->restores.fetch_add(1, std::memory_order_relaxed);
   stats_->restores.fetch_add(1, std::memory_order_relaxed);
   RecordEvent(CacheEventKind::kRestore, entry->size_bytes, 0, *shard,
@@ -244,6 +316,10 @@ void LineageCache::EvictUntilFits() {
       }
       const uint64_t key_hash = it->first->hash();
       size_bytes_.fetch_sub(entry.size_bytes, std::memory_order_relaxed);
+      ReleaseTenantBytes(&entry);
+      if (entry.tenant != nullptr) {
+        entry.tenant->evictions.fetch_add(1, std::memory_order_relaxed);
+      }
       if (shard.ghost_refs.size() > 100000) shard.ghost_refs.clear();
       shard.ghost_refs[key_hash] = entry.refs;
       shard.evictions.fetch_add(1, std::memory_order_relaxed);
@@ -268,10 +344,87 @@ void LineageCache::EvictUntilFits() {
   }
 }
 
+void LineageCache::EvictTenantUntilFits(TenantState* tenant) {
+  // Same locking contract as the global pass: evict_mu_ strictly before
+  // shard locks, one shard lock at a time, never called with one held.
+  std::lock_guard<std::mutex> evict_lock(evict_mu_);
+  const int64_t budget = tenant->budget_bytes.load(std::memory_order_relaxed);
+  if (budget < 0) return;
+  if (tenant->resident_bytes.load(std::memory_order_relaxed) <= budget) {
+    return;
+  }
+
+  // Tenant entries are rare relative to the whole cache, so this scans every
+  // shard once (no sampling): the victim set is the tenant's own entries
+  // only, and other tenants' entries are never touched on its behalf.
+  struct Victim {
+    double score;
+    size_t shard;
+    LineageItemPtr key;
+  };
+  std::vector<Victim> order;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, entry] : shard->entries) {
+      if (entry->tenant != tenant || entry->placeholder || entry->spilled ||
+          entry->pins > 0 || entry->value == nullptr) {
+        continue;
+      }
+      order.push_back(
+          {Score(*entry), static_cast<size_t>(shard->index), key});
+    }
+  }
+  std::sort(order.begin(), order.end(), [](const Victim& a, const Victim& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.shard < b.shard;
+  });
+  for (const Victim& victim : order) {
+    if (tenant->resident_bytes.load(std::memory_order_relaxed) <= budget) {
+      break;
+    }
+    Shard& shard = *shards_[victim.shard];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(victim.key);
+    if (it == shard.entries.end()) continue;
+    Entry& entry = *it->second;
+    // Re-validate under the lock, exactly as the global pass does.
+    if (entry.tenant != tenant || entry.placeholder || entry.spilled ||
+        entry.pins > 0 || entry.value == nullptr) {
+      continue;
+    }
+    const uint64_t key_hash = it->first->hash();
+    size_bytes_.fetch_sub(entry.size_bytes, std::memory_order_relaxed);
+    ReleaseTenantBytes(&entry);
+    tenant->evictions.fetch_add(1, std::memory_order_relaxed);
+    if (shard.ghost_refs.size() > 100000) shard.ghost_refs.clear();
+    shard.ghost_refs[key_hash] = entry.refs;
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+    stats_->evictions.fetch_add(1, std::memory_order_relaxed);
+    RecordEvent(CacheEventKind::kEvict, entry.size_bytes, victim.score, shard,
+                key_hash);
+    bool spilled = false;
+    if (config_.enable_spilling &&
+        entry.compute_seconds >
+            static_cast<double>(entry.size_bytes) /
+                read_bandwidth_.load(std::memory_order_relaxed)) {
+      spilled = SpillEntry(&shard, &entry);
+      if (spilled) {
+        RecordEvent(CacheEventKind::kSpill, entry.size_bytes, victim.score,
+                    shard, key_hash);
+      }
+    }
+    if (!spilled) shard.entries.erase(it);
+  }
+}
+
 ReuseCache::ProbeResult LineageCache::Probe(const LineageItemPtr& key,
                                             bool claim) {
   Shard& shard = ShardFor(key);
   shard.probes.fetch_add(1, std::memory_order_relaxed);
+  TenantState* tenant = CurrentTenant();
+  if (tenant != nullptr) {
+    tenant->probes.fetch_add(1, std::memory_order_relaxed);
+  }
   // The wait deadline spans the whole blocking episode (spurious wakeups and
   // re-probes of a still-pending placeholder do not reset it), so a dead
   // producer blocks a waiter for at most placeholder_wait_millis.
@@ -282,6 +435,9 @@ ReuseCache::ProbeResult LineageCache::Probe(const LineageItemPtr& key,
     auto it = shard.entries.find(key);
     if (it == shard.entries.end()) {
       shard.misses.fetch_add(1, std::memory_order_relaxed);
+      if (tenant != nullptr) {
+        tenant->misses.fetch_add(1, std::memory_order_relaxed);
+      }
       RecordEvent(CacheEventKind::kMiss, 0, 0, shard, key->hash());
       if (!claim) return {ProbeKind::kMiss, nullptr};
       auto entry = std::make_shared<Entry>();
@@ -320,6 +476,9 @@ ReuseCache::ProbeResult LineageCache::Probe(const LineageItemPtr& key,
           shard.placeholder_steals.fetch_add(1, std::memory_order_relaxed);
           stats_->placeholder_steals.fetch_add(1, std::memory_order_relaxed);
           shard.misses.fetch_add(1, std::memory_order_relaxed);
+          if (tenant != nullptr) {
+            tenant->misses.fetch_add(1, std::memory_order_relaxed);
+          }
           RecordEvent(CacheEventKind::kMiss, 0, 0, shard, key->hash());
           return {claim ? ProbeKind::kClaimed : ProbeKind::kMiss, nullptr};
         }
@@ -343,6 +502,12 @@ ReuseCache::ProbeResult LineageCache::Probe(const LineageItemPtr& key,
       DataPtr value = entry->value;
       entry->pins++;
       shard.hits.fetch_add(1, std::memory_order_relaxed);
+      if (tenant != nullptr) {
+        tenant->hits.fetch_add(1, std::memory_order_relaxed);
+        if (entry->tenant != nullptr && entry->tenant != tenant) {
+          tenant->cross_tenant_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
       RecordEvent(CacheEventKind::kHit, entry->size_bytes, 0, shard,
                   key->hash());
       stats_->compute_saved_nanos.fetch_add(
@@ -355,6 +520,12 @@ ReuseCache::ProbeResult LineageCache::Probe(const LineageItemPtr& key,
       return {ProbeKind::kHit, std::move(value)};
     }
     shard.hits.fetch_add(1, std::memory_order_relaxed);
+    if (tenant != nullptr) {
+      tenant->hits.fetch_add(1, std::memory_order_relaxed);
+      if (entry->tenant != nullptr && entry->tenant != tenant) {
+        tenant->cross_tenant_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     RecordEvent(CacheEventKind::kHit, entry->size_bytes, 0, shard,
                 key->hash());
     stats_->compute_saved_nanos.fetch_add(
@@ -368,6 +539,7 @@ void LineageCache::Put(const LineageItemPtr& key, DataPtr value,
                        double compute_seconds) {
   const int64_t size = value->SizeInBytes();
   const int64_t budget = budget_bytes_.load(std::memory_order_relaxed);
+  TenantState* tenant = CurrentTenant();
   Shard& shard = ShardFor(key);
   {
     std::unique_lock<std::mutex> lock(shard.mu);
@@ -393,6 +565,7 @@ void LineageCache::Put(const LineageItemPtr& key, DataPtr value,
       entry.height = key->height();
       entry.size_bytes = size;
       entry.last_access = NextClock();
+      entry.tenant = tenant;  // the producer that filled the placeholder
       size_bytes_.fetch_add(size, std::memory_order_relaxed);
       shard.cv.notify_all();
     } else {
@@ -402,11 +575,24 @@ void LineageCache::Put(const LineageItemPtr& key, DataPtr value,
       entry->height = key->height();
       entry->size_bytes = size;
       entry->last_access = NextClock();
+      entry->tenant = tenant;
       auto ghost = shard.ghost_refs.find(key->hash());
       entry->refs = 1 + (ghost != shard.ghost_refs.end() ? ghost->second : 0);
       size_bytes_.fetch_add(size, std::memory_order_relaxed);
       shard.entries.emplace(key, std::move(entry));
     }
+    if (tenant != nullptr) {
+      tenant->puts.fetch_add(1, std::memory_order_relaxed);
+      tenant->resident_bytes.fetch_add(size, std::memory_order_relaxed);
+    }
+  }
+  // Per-tenant budget first (evicts only the offending tenant's entries),
+  // then the global pass; both run without the shard lock.
+  if (tenant != nullptr &&
+      tenant->budget_bytes.load(std::memory_order_relaxed) >= 0 &&
+      tenant->resident_bytes.load(std::memory_order_relaxed) >
+          tenant->budget_bytes.load(std::memory_order_relaxed)) {
+    EvictTenantUntilFits(tenant);
   }
   if (size_bytes_.load(std::memory_order_relaxed) > budget) EvictUntilFits();
 }
@@ -465,6 +651,7 @@ void LineageCache::Clear() {
       if (entry->spilled) std::filesystem::remove(entry->spill_path);
       if (!entry->placeholder && !entry->spilled && entry->value != nullptr) {
         resident += entry->size_bytes;
+        ReleaseTenantBytes(entry.get());
       }
     }
     shard->entries.clear();

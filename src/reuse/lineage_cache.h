@@ -34,6 +34,25 @@ struct CacheShardStats {
   int64_t restores = 0;
 };
 
+/// Point-in-time counters of one tenant of the lineage cache
+/// (LineageCache::TenantStatsSnapshot). Tenants exist only when serving
+/// attributes cache traffic via LineageCache::TenantScope; library use
+/// without scopes has no tenants and pays nothing for the feature.
+struct CacheTenantStats {
+  std::string tenant;
+  int64_t budget_bytes = -1;    ///< -1 = unlimited (global budget only)
+  int64_t resident_bytes = 0;   ///< bytes of in-memory values owned
+  int64_t entries = 0;          ///< non-placeholder entries owned
+  int64_t probes = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  /// Hits on entries another tenant produced: the cross-tenant reuse the
+  /// shared-cache service exists for.
+  int64_t cross_tenant_hits = 0;
+  int64_t puts = 0;
+  int64_t evictions = 0;  ///< evictions of entries this tenant owned
+};
+
 /// The LIMA lineage cache (Sec. 4): a thread-safe map from lineage traces to
 /// cached values with
 ///  - full reuse + placeholder entries for task-parallel workers (Sec. 4.1),
@@ -91,6 +110,34 @@ class LineageCache : public ReuseCache {
   /// the cache is quiescent).
   std::vector<CacheShardStats> ShardStatsSnapshot() const;
 
+  /// Scoped tenant attribution for the calling thread (multi-tenant
+  /// serving): while alive, probes/hits/misses and inserted bytes on this
+  /// thread are charged to `tenant`, and entries it inserts are owned by
+  /// that tenant for budget/eviction accounting. Parfor workers spawned
+  /// inside the scope inherit it (ReuseCache::ScopedTenantTag). Scopes
+  /// nest; the previous attribution is restored on destruction. The tenant
+  /// registry lives as long as the cache and is never shrunk.
+  class TenantScope {
+   public:
+    TenantScope(LineageCache* cache, const std::string& tenant);
+    ~TenantScope();
+    TenantScope(const TenantScope&) = delete;
+    TenantScope& operator=(const TenantScope&) = delete;
+
+   private:
+    void* prev_;
+  };
+
+  /// Sets (or clears, with -1) a tenant's cache-byte budget. A tenant over
+  /// its budget has its own lowest-score entries evicted first — other
+  /// tenants' entries are never touched on its behalf — so one noisy tenant
+  /// cannot monopolize the shared cache. Creates the tenant if unknown.
+  void SetTenantBudget(const std::string& tenant, int64_t budget_bytes);
+
+  /// Per-tenant counters, sorted by tenant name; same exactness caveats as
+  /// ShardStatsSnapshot. Empty when no TenantScope was ever used.
+  std::vector<CacheTenantStats> TenantStatsSnapshot() const;
+
   /// Attaches a structured cache-event log (observability subsystem);
   /// nullptr detaches. Events: hit/miss/evict/spill/restore/restore_fail
   /// with sizes, eviction scores, shard index, and key hash.
@@ -99,10 +146,29 @@ class LineageCache : public ReuseCache {
   }
 
  private:
+  /// Interned per-tenant accounting state. Pointer-stable (owned by
+  /// tenants_ via unique_ptr, never erased), so Entry can hold a raw owner
+  /// pointer and threads can carry one as their attribution tag.
+  struct TenantState {
+    LineageCache* cache = nullptr;  ///< owner; guards against stale tags
+    std::string name;
+    std::atomic<int64_t> budget_bytes{-1};  ///< -1 = unlimited
+    std::atomic<int64_t> resident_bytes{0};
+    std::atomic<int64_t> probes{0};
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> misses{0};
+    std::atomic<int64_t> cross_tenant_hits{0};
+    std::atomic<int64_t> puts{0};
+    std::atomic<int64_t> evictions{0};
+  };
+
   struct Entry {
     DataPtr value;              ///< null while placeholder or spilled
     bool placeholder = false;
     bool spilled = false;
+    /// Producing tenant (budget owner), or null when the value was inserted
+    /// outside any TenantScope.
+    TenantState* tenant = nullptr;
     /// Pinned entries are skipped by the eviction scan. Raised while a probe
     /// hands out a freshly restored value so the eviction pass cannot
     /// re-spill or delete it before the caller receives it (the null-hit
@@ -172,6 +238,30 @@ class LineageCache : public ReuseCache {
   /// shard locks one at a time. Must be called WITHOUT any shard lock held.
   void EvictUntilFits();
 
+  /// Tenant-scoped eviction pass: evicts only `tenant`-owned entries (all
+  /// shards, ascending score) until the tenant's resident bytes fit its
+  /// budget. Same locking contract as EvictUntilFits.
+  void EvictTenantUntilFits(TenantState* tenant);
+
+  /// Interns a tenant by name (creating it on first use).
+  TenantState* GetOrCreateTenant(const std::string& name);
+
+  /// The calling thread's tenant if its tag belongs to THIS cache (a tag
+  /// set for another cache instance is ignored, not mischarged).
+  TenantState* CurrentTenant() const {
+    auto* tenant = static_cast<TenantState*>(ReuseCache::ThreadTenantTag());
+    return tenant != nullptr && tenant->cache == this ? tenant : nullptr;
+  }
+
+  /// Detaches a resident entry's bytes from its owning tenant (eviction,
+  /// spill, clear — whenever the value leaves memory).
+  static void ReleaseTenantBytes(Entry* entry) {
+    if (entry->tenant != nullptr) {
+      entry->tenant->resident_bytes.fetch_sub(entry->size_bytes,
+                                              std::memory_order_relaxed);
+    }
+  }
+
   /// Spills entry value to disk; true on success. Requires the entry's
   /// shard lock.
   bool SpillEntry(Shard* shard, Entry* entry);
@@ -207,6 +297,10 @@ class LineageCache : public ReuseCache {
   std::atomic<int64_t> clock_{0};
   /// Serializes eviction passes; ordered strictly before shard locks.
   std::mutex evict_mu_;
+  /// Tenant registry (name -> interned state); guarded by tenants_mu_.
+  /// Hot paths never take this lock: they use the thread-local tag.
+  mutable std::mutex tenants_mu_;
+  std::unordered_map<std::string, std::unique_ptr<TenantState>> tenants_;
   /// Rotating start shard for sampled eviction scans.
   size_t evict_cursor_ = 0;
   std::atomic<int64_t> spill_counter_{0};

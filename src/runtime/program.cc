@@ -368,7 +368,11 @@ Status ParForBlock::Execute(ExecutionContext* ctx) const {
 
   const int64_t n = static_cast<int64_t>(range.size());
   const int64_t chunk = (n + workers - 1) / workers;
+  // Tenant attribution is thread-local; carry the serving tenant (if any)
+  // into the worker threads so their cache traffic is charged correctly.
+  void* tenant_tag = ReuseCache::ThreadTenantTag();
   ParallelFor(workers, workers, [&](int64_t w) {
+    ReuseCache::ScopedTenantTag tenant_scope(tenant_tag);
     ExecutionContext* wc = &worker_ctx[w];
     const int64_t begin = w * chunk;
     const int64_t end = std::min(n, begin + chunk);

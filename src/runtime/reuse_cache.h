@@ -67,6 +67,36 @@ class ReuseCache {
 
   /// Current total size of cached values in bytes.
   virtual int64_t SizeInBytes() const = 0;
+
+  /// Per-thread tenant attribution tag (multi-tenant serving,
+  /// docs/SERVING.md). The tag is opaque at this layer; the concrete cache
+  /// interns a tenant name to a tag (LineageCache::TenantScope) and charges
+  /// probes/hits/bytes on the tagged thread to that tenant. It lives here so
+  /// the runtime can propagate it into parfor worker threads without
+  /// depending on the reuse layer. Null = unattributed (the default).
+  static void* ThreadTenantTag() { return tenant_tag(); }
+  static void SetThreadTenantTag(void* tag) { tenant_tag() = tag; }
+
+  /// RAII propagation of a tag captured on another thread (parfor workers,
+  /// thread-pool tasks); restores the previous tag on destruction.
+  class ScopedTenantTag {
+   public:
+    explicit ScopedTenantTag(void* tag) : prev_(tenant_tag()) {
+      tenant_tag() = tag;
+    }
+    ~ScopedTenantTag() { tenant_tag() = prev_; }
+    ScopedTenantTag(const ScopedTenantTag&) = delete;
+    ScopedTenantTag& operator=(const ScopedTenantTag&) = delete;
+
+   private:
+    void* prev_;
+  };
+
+ private:
+  static void*& tenant_tag() {
+    static thread_local void* tag = nullptr;
+    return tag;
+  }
 };
 
 }  // namespace lima

@@ -1,0 +1,66 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lima {
+namespace serve {
+
+Result<Message> Call(const std::string& socket_path, const Message& request) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::Invalid("serve: socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("serve: socket() failed: ") +
+                           std::strerror(errno));
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    Status status = Status::IoError("serve: connect(" + socket_path +
+                                    ") failed: " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+
+  Status write_status = WriteMessage(fd, request);
+  if (!write_status.ok()) {
+    ::close(fd);
+    return write_status;
+  }
+  Result<Message> response = ReadMessage(fd);
+  ::close(fd);
+  return response;
+}
+
+Result<Message> RunScript(const std::string& socket_path,
+                          const std::string& tenant,
+                          const std::string& script) {
+  Message request;
+  request.Set("op", "run");
+  request.Set("tenant", tenant);
+  request.Set("script", script);
+  LIMA_ASSIGN_OR_RETURN(Message response, Call(socket_path, request));
+  const std::string status = response.Get("status");
+  if (status != "ok") {
+    return Status::RuntimeError(
+        "serve: " + (status.empty() ? "malformed response" : status) + ": " +
+        response.Get("error", "<no error text>"));
+  }
+  return response;
+}
+
+}  // namespace serve
+}  // namespace lima

@@ -1,0 +1,29 @@
+#ifndef LIMA_SERVE_CLIENT_H_
+#define LIMA_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "serve/protocol.h"
+
+namespace lima {
+namespace serve {
+
+/// One-call client for lima_serve: connect, send a request frame, read the
+/// response frame, close. The server serves one request per connection, so
+/// there is nothing to pool.
+Result<Message> Call(const std::string& socket_path, const Message& request);
+
+/// Convenience wrapper for the "run" op. A non-"ok" response status (error
+/// or overloaded) is surfaced as a failed Status carrying the server's
+/// error text; the full response (output + per-request counters) is
+/// returned on success.
+Result<Message> RunScript(const std::string& socket_path,
+                          const std::string& tenant,
+                          const std::string& script);
+
+}  // namespace serve
+}  // namespace lima
+
+#endif  // LIMA_SERVE_CLIENT_H_

@@ -1,0 +1,71 @@
+#ifndef LIMA_SERVE_PROTOCOL_H_
+#define LIMA_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace lima {
+namespace serve {
+
+/// Wire format of lima_serve (docs/SERVING.md): every request and response
+/// is one frame — a 4-byte little-endian u32 payload length followed by the
+/// payload. The payload is an ordered list of key/value string fields:
+///
+///   u32 field_count, then per field: u32 key_len, key bytes,
+///                                    u32 value_len, value bytes
+///
+/// Requests carry at least "op" ("run" | "stats" | "ping"); "run" adds
+/// "tenant" and "script". Responses carry "status" ("ok" | "error" |
+/// "overloaded") plus op-specific fields ("output", per-request counters).
+/// The format is deliberately dumb: no varints, no nesting, strict decode —
+/// a malformed or oversized frame fails the connection, never the server.
+
+/// Hard ceiling on one frame's payload; larger lengths are treated as a
+/// protocol error (a desynced or hostile peer, not a big script).
+constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// An ordered key/value field list. Keys may repeat; Find returns the first
+/// occurrence. Field order is preserved on the wire, so encode(decode(x))
+/// is byte-identical.
+struct Message {
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  void Set(std::string key, std::string value) {
+    fields.emplace_back(std::move(key), std::move(value));
+  }
+  /// First value for `key`, or nullptr.
+  const std::string* Find(std::string_view key) const;
+  /// First value for `key`, or `fallback`.
+  std::string Get(std::string_view key, std::string fallback = "") const;
+};
+
+/// Serializes the field list (payload only, no length prefix).
+std::string EncodeMessage(const Message& message);
+
+/// Strictly parses a payload produced by EncodeMessage: any truncation,
+/// trailing bytes, or length overflow is an error.
+Result<Message> DecodeMessage(std::string_view payload);
+
+/// Writes one length-prefixed frame to `fd`, handling short writes and
+/// EINTR. Fails if the payload exceeds kMaxFrameBytes.
+Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one length-prefixed frame from `fd`. EOF before the first length
+/// byte yields StatusCode::kIoError with message "connection closed" (the
+/// normal end of a client connection); any other truncation is an error.
+Result<std::string> ReadFrame(int fd);
+
+/// Convenience: encode + write / read + decode.
+Status WriteMessage(int fd, const Message& message);
+Result<Message> ReadMessage(int fd);
+
+}  // namespace serve
+}  // namespace lima
+
+#endif  // LIMA_SERVE_PROTOCOL_H_

@@ -1,0 +1,440 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "algorithms/scripts.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "lang/session.h"
+
+namespace lima {
+namespace serve {
+
+namespace {
+
+constexpr int64_t kMaxBudgetMb =
+    std::numeric_limits<int64_t>::max() / (1024 * 1024);
+
+/// Splits a config line into whitespace-separated tokens.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') break;  // trailing comment
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Result<ServeOptions> LoadServeOptionsFile(const std::string& path,
+                                          ServeOptions base) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open serve config: " + path);
+  }
+  // Budgets are replaced wholesale, not merged: a reload that removes a
+  // tenant_budget_mb line lifts that tenant's budget.
+  base.tenant_budgets.clear();
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& key = tokens[0];
+    auto fail = [&](const std::string& why) {
+      return Status::Invalid(path + ":" + std::to_string(lineno) + ": " + why);
+    };
+    if (key == "pool_size" && tokens.size() == 2) {
+      LIMA_ASSIGN_OR_RETURN(base.pool_size,
+                            ParseIntStrict(tokens[1], 1, 4096, "pool_size"));
+    } else if (key == "queue_capacity" && tokens.size() == 2) {
+      LIMA_ASSIGN_OR_RETURN(
+          base.queue_capacity,
+          ParseIntStrict(tokens[1], 1, 1 << 20, "queue_capacity"));
+    } else if (key == "budget_mb" && tokens.size() == 2) {
+      LIMA_ASSIGN_OR_RETURN(
+          int64_t mb, ParseInt64Strict(tokens[1], 0, kMaxBudgetMb, "budget_mb"));
+      base.session_config.cache_budget_bytes = mb * 1024 * 1024;
+    } else if (key == "tenant_budget_mb" && tokens.size() == 3) {
+      LIMA_ASSIGN_OR_RETURN(
+          int64_t mb,
+          ParseInt64Strict(tokens[2], 0, kMaxBudgetMb, "tenant_budget_mb"));
+      base.tenant_budgets.emplace_back(tokens[1], mb * 1024 * 1024);
+    } else {
+      return fail("unknown or malformed directive: " + key);
+    }
+  }
+  return base;
+}
+
+LimaServer::LimaServer(ServeOptions options) : options_(std::move(options)) {
+  queue_capacity_.store(options_.queue_capacity, std::memory_order_relaxed);
+  desired_pool_size_.store(options_.pool_size, std::memory_order_relaxed);
+}
+
+LimaServer::~LimaServer() { Stop(); }
+
+Status LimaServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::RuntimeError("server already started");
+  }
+  if (options_.socket_path.empty()) {
+    return Status::Invalid("serve: socket_path is required");
+  }
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::Invalid("serve: socket path too long: " +
+                           options_.socket_path);
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("serve: socket() failed: ") +
+                           std::strerror(errno));
+  }
+  ::unlink(options_.socket_path.c_str());  // stale socket from a dead server
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status = Status::IoError("serve: bind(" + options_.socket_path +
+                                    ") failed: " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status status = Status::IoError(std::string("serve: listen() failed: ") +
+                                    std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+
+  if (options_.shared_cache) {
+    shared_cache_ = LimaSession::MakeSharedCache(options_.session_config);
+  }
+  ApplyTenantBudgets(options_.tenant_budgets);
+
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    for (int i = 0; i < options_.pool_size; ++i) {
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void LimaServer::Stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (listen_fd_ >= 0) {
+    // shutdown() forces a blocked accept() to return; close alone does not
+    // on all kernels.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  queue_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    workers_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+void LimaServer::Reload(const ServeOptions& options) {
+  queue_capacity_.store(options.queue_capacity, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(tenant_caches_mu_);
+    options_.tenant_budgets = options.tenant_budgets;
+  }
+  ApplyTenantBudgets(options.tenant_budgets);
+
+  const int desired = options.pool_size < 1 ? 1 : options.pool_size;
+  desired_pool_size_.store(desired, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    // Grow by spawning workers with fresh ids; shrink happens on the worker
+    // side (ids >= desired exit after their current request). Exited
+    // threads stay joinable in workers_ until Stop().
+    for (int i = static_cast<int>(workers_.size()); i < desired; ++i) {
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+  queue_cv_.notify_all();
+}
+
+LimaServer::Counters LimaServer::counters() const {
+  Counters c;
+  c.accepted = accepted_.load(std::memory_order_relaxed);
+  c.shed = shed_.load(std::memory_order_relaxed);
+  c.completed = completed_.load(std::memory_order_relaxed);
+  c.failed = failed_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void LimaServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (Stop) or unrecoverable
+    }
+    size_t depth;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      depth = queue_.size();
+    }
+    if (depth >= static_cast<size_t>(
+                     queue_capacity_.load(std::memory_order_relaxed))) {
+      // Shed without processing the request: answer first (the tiny
+      // response fits in the send buffer), then signal EOF and drain
+      // whatever the client sent. Closing with unread data still in the
+      // receive buffer would emit RST instead of FIN, which can destroy
+      // the in-flight response before the client reads it.
+      Message response;
+      response.Set("status", "overloaded");
+      response.Set("error", "server overloaded, retry later");
+      (void)WriteMessage(fd, response);
+      ::shutdown(fd, SHUT_WR);
+      // Bounded drain: a well-behaved client closes right after reading
+      // the response (recv returns 0); the timeout and byte cap keep a
+      // dead or hostile peer from wedging the accept loop.
+      struct timeval drain_timeout;
+      drain_timeout.tv_sec = 2;
+      drain_timeout.tv_usec = 0;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &drain_timeout,
+                   sizeof(drain_timeout));
+      char sink[4096];
+      size_t drained = 0;
+      while (drained < 2 * static_cast<size_t>(kMaxFrameBytes)) {
+        ssize_t n = ::recv(fd, sink, sizeof(sink), 0);
+        if (n > 0) {
+          drained += static_cast<size_t>(n);
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        break;  // EOF, timeout, or error: nothing left worth waiting for
+      }
+      ::close(fd);
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      queue_.push_back(fd);
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    queue_cv_.notify_one();
+  }
+}
+
+void LimaServer::WorkerLoop(int worker_id) {
+  for (;;) {
+    int fd;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this, worker_id] {
+        return !queue_.empty() || stopping_.load(std::memory_order_acquire) ||
+               worker_id >= desired_pool_size_.load(std::memory_order_relaxed);
+      });
+      if (worker_id >= desired_pool_size_.load(std::memory_order_relaxed) &&
+          !stopping_.load(std::memory_order_acquire)) {
+        return;  // pool shrunk below this id; remaining workers own the queue
+      }
+      if (queue_.empty()) {
+        // stopping_ with an empty queue: graceful drain complete.
+        if (stopping_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      fd = queue_.front();
+      queue_.pop_front();
+    }
+    ServeConnection(fd);
+  }
+}
+
+void LimaServer::ServeConnection(int fd) {
+  Result<Message> request = ReadMessage(fd);
+  if (!request.ok()) {
+    // Malformed or hung-up client: answer if the socket still works, but
+    // never let one bad connection take the worker down.
+    Message response;
+    response.Set("status", "error");
+    response.Set("error", request.status().ToString());
+    (void)WriteMessage(fd, response);
+    ::close(fd);
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Message response = HandleRequest(*request);
+  (void)WriteMessage(fd, response);
+  ::close(fd);
+  if (response.Get("status") == "ok") {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Message LimaServer::HandleRequest(const Message& request) {
+  const std::string op = request.Get("op");
+  if (op == "run") return HandleRun(request);
+  if (op == "stats") return HandleStats();
+  if (op == "ping") {
+    Message response;
+    response.Set("status", "ok");
+    return response;
+  }
+  Message response;
+  response.Set("status", "error");
+  response.Set("error", "unknown op: " + (op.empty() ? "<missing>" : op));
+  return response;
+}
+
+Message LimaServer::HandleRun(const Message& request) {
+  Message response;
+  const std::string* script = request.Find("script");
+  if (script == nullptr) {
+    response.Set("status", "error");
+    response.Set("error", "run: missing script field");
+    return response;
+  }
+  std::string tenant = request.Get("tenant", "default");
+  if (tenant.empty()) tenant = "default";
+
+  LimaConfig config = options_.session_config;
+  if (const std::string* workers = request.Find("workers")) {
+    Result<int> parsed = ParseIntStrict(*workers, 1, 4096, "workers");
+    if (!parsed.ok()) {
+      response.Set("status", "error");
+      response.Set("error", parsed.status().ToString());
+      return response;
+    }
+    config.parfor_workers = *parsed;
+  }
+
+  std::shared_ptr<LineageCache> cache = CacheForTenant(tenant);
+  LimaSession session(config, cache);
+  StopWatch watch;
+  Status status;
+  {
+    // All cache traffic of this request — including parfor workers, which
+    // inherit the tag — is charged to the tenant.
+    LineageCache::TenantScope scope(cache.get(), tenant);
+    status = session.Run(scripts::Builtins() + *script);
+  }
+  const double seconds = watch.ElapsedSeconds();
+
+  if (!status.ok()) {
+    response.Set("status", "error");
+    response.Set("error", status.ToString());
+  } else {
+    response.Set("status", "ok");
+    response.Set("output", session.ConsumeOutput());
+  }
+  response.Set("tenant", tenant);
+  response.Set("elapsed_us",
+               std::to_string(static_cast<int64_t>(seconds * 1e6)));
+  const RuntimeStats* stats = session.stats();
+  response.Set("cache_probes", std::to_string(stats->cache_probes.load()));
+  response.Set("cache_hits", std::to_string(stats->cache_hits.load()));
+  response.Set("cache_misses", std::to_string(stats->cache_misses.load()));
+  response.Set("function_reuse_hits",
+               std::to_string(stats->function_reuse_hits.load()));
+  return response;
+}
+
+Message LimaServer::HandleStats() {
+  Message response;
+  response.Set("status", "ok");
+  const Counters c = counters();
+  response.Set("accepted", std::to_string(c.accepted));
+  response.Set("shed", std::to_string(c.shed));
+  response.Set("completed", std::to_string(c.completed));
+  response.Set("failed", std::to_string(c.failed));
+
+  std::vector<std::shared_ptr<LineageCache>> caches;
+  if (shared_cache_ != nullptr) {
+    caches.push_back(shared_cache_);
+  } else {
+    std::lock_guard<std::mutex> lock(tenant_caches_mu_);
+    for (const auto& [tenant, cache] : tenant_caches_) {
+      (void)tenant;  // snapshot rows carry the tenant name themselves
+      caches.push_back(cache);
+    }
+  }
+  for (const std::shared_ptr<LineageCache>& cache : caches) {
+    for (const CacheTenantStats& t : cache->TenantStatsSnapshot()) {
+      const std::string prefix = "tenant." + t.tenant + ".";
+      response.Set(prefix + "budget_bytes", std::to_string(t.budget_bytes));
+      response.Set(prefix + "resident_bytes",
+                   std::to_string(t.resident_bytes));
+      response.Set(prefix + "entries", std::to_string(t.entries));
+      response.Set(prefix + "probes", std::to_string(t.probes));
+      response.Set(prefix + "hits", std::to_string(t.hits));
+      response.Set(prefix + "misses", std::to_string(t.misses));
+      response.Set(prefix + "cross_tenant_hits",
+                   std::to_string(t.cross_tenant_hits));
+      response.Set(prefix + "puts", std::to_string(t.puts));
+      response.Set(prefix + "evictions", std::to_string(t.evictions));
+    }
+  }
+  return response;
+}
+
+std::shared_ptr<LineageCache> LimaServer::CacheForTenant(
+    const std::string& tenant) {
+  if (shared_cache_ != nullptr) return shared_cache_;
+  std::lock_guard<std::mutex> lock(tenant_caches_mu_);
+  std::shared_ptr<LineageCache>& cache = tenant_caches_[tenant];
+  if (cache == nullptr) {
+    cache = LimaSession::MakeSharedCache(options_.session_config);
+    for (const auto& [name, budget] : options_.tenant_budgets) {
+      if (name == tenant) cache->SetTenantBudget(tenant, budget);
+    }
+  }
+  return cache;
+}
+
+void LimaServer::ApplyTenantBudgets(
+    const std::vector<std::pair<std::string, int64_t>>& budgets) {
+  if (shared_cache_ != nullptr) {
+    for (const auto& [tenant, budget] : budgets) {
+      shared_cache_->SetTenantBudget(tenant, budget);
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> lock(tenant_caches_mu_);
+  for (const auto& [tenant, budget] : budgets) {
+    auto it = tenant_caches_.find(tenant);
+    if (it != tenant_caches_.end()) {
+      it->second->SetTenantBudget(tenant, budget);
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace lima

@@ -1,0 +1,162 @@
+#ifndef LIMA_SERVE_SERVER_H_
+#define LIMA_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "reuse/lineage_cache.h"
+#include "serve/protocol.h"
+
+namespace lima {
+namespace serve {
+
+/// Configuration of one lima_serve daemon (docs/SERVING.md). Reloadable
+/// fields (SIGHUP): pool_size, queue_capacity, tenant_budgets. The socket
+/// path, session template, and cache mode are fixed at Start().
+struct ServeOptions {
+  /// Filesystem path of the Unix-domain listening socket.
+  std::string socket_path;
+
+  /// Number of worker threads executing requests. Reload can grow and
+  /// shrink this; shrink takes effect as workers finish their current
+  /// request.
+  int pool_size = 2;
+
+  /// Admission control: maximum accepted-but-unserved connections. The
+  /// accept loop sheds beyond this by answering status="overloaded"
+  /// immediately, so a saturated server stays responsive instead of
+  /// building an unbounded backlog.
+  int queue_capacity = 16;
+
+  /// Session template for request execution (reuse mode, policy, cache
+  /// budget, shards, ...). Defaults to LimaConfig::Serving().
+  LimaConfig session_config = LimaConfig::Serving();
+
+  /// True (default): all tenants share one sharded lineage cache, so tenant
+  /// B reuses results tenant A computed (cross-tenant hits). False: one
+  /// private cache per tenant — the isolation baseline bench_serve compares
+  /// against.
+  bool shared_cache = true;
+
+  /// Per-tenant cache byte budgets (LineageCache::SetTenantBudget); tenants
+  /// not listed are unlimited (bounded only by the cache-wide budget).
+  std::vector<std::pair<std::string, int64_t>> tenant_budgets;
+};
+
+/// Parses a lima_serve config file into `base` (missing keys keep their
+/// values). Line format, '#' comments allowed:
+///
+///   pool_size 4
+///   queue_capacity 32
+///   budget_mb 512
+///   tenant_budget_mb alice 64
+///
+/// Used both at startup (--config=) and on SIGHUP reload.
+Result<ServeOptions> LoadServeOptionsFile(const std::string& path,
+                                          ServeOptions base);
+
+/// Multi-tenant DML execution daemon: accepts framed requests (protocol.h)
+/// over a Unix-domain socket and executes each "run" op on a fresh
+/// LimaSession attached to the shared lineage cache, inside a
+/// LineageCache::TenantScope so the cache charges bytes and hits to the
+/// requesting tenant. One request per connection (connect → request →
+/// response → close), which keeps admission control trivial: a connection
+/// IS a queue slot.
+class LimaServer {
+ public:
+  explicit LimaServer(ServeOptions options);
+  ~LimaServer();
+
+  LimaServer(const LimaServer&) = delete;
+  LimaServer& operator=(const LimaServer&) = delete;
+
+  /// Binds the socket (unlinking a stale file), starts the accept loop and
+  /// the worker pool.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, serve every already-admitted
+  /// request, join all threads, unlink the socket. Idempotent.
+  void Stop();
+
+  /// Applies reloadable fields from `options`: tenant budgets (takes effect
+  /// immediately, evicting down if needed), queue capacity, pool size
+  /// (grows by spawning, shrinks as workers finish requests).
+  void Reload(const ServeOptions& options);
+
+  /// Admission/served counters (relaxed reads; for stats + tests).
+  struct Counters {
+    int64_t accepted = 0;   ///< connections admitted to the queue
+    int64_t shed = 0;       ///< connections answered "overloaded"
+    int64_t completed = 0;  ///< requests answered "ok"
+    int64_t failed = 0;     ///< requests answered "error"
+  };
+  Counters counters() const;
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+  /// The shared cache (null when shared_cache=false). Exposed for tests
+  /// and the stats op.
+  const std::shared_ptr<LineageCache>& shared_cache() const {
+    return shared_cache_;
+  }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop(int worker_id);
+  /// Serves one connection end to end; owns (and closes) `fd`.
+  void ServeConnection(int fd);
+  Message HandleRequest(const Message& request);
+  Message HandleRun(const Message& request);
+  Message HandleStats();
+  /// Cache for `tenant`: the shared cache, or (private mode) the tenant's
+  /// own cache, created on first use.
+  std::shared_ptr<LineageCache> CacheForTenant(const std::string& tenant);
+  void ApplyTenantBudgets(
+      const std::vector<std::pair<std::string, int64_t>>& budgets);
+
+  ServeOptions options_;
+  std::shared_ptr<LineageCache> shared_cache_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  /// Admitted connections waiting for a worker. Guarded by queue_mu_.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;
+  std::atomic<int> queue_capacity_{0};
+  /// Workers exit when their id >= desired_pool_size_ (reload shrink).
+  std::atomic<int> desired_pool_size_{0};
+
+  std::thread accept_thread_;
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+
+  /// Private-mode per-tenant caches; guarded by tenant_caches_mu_.
+  std::mutex tenant_caches_mu_;
+  std::unordered_map<std::string, std::shared_ptr<LineageCache>>
+      tenant_caches_;
+
+  std::atomic<int64_t> accepted_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> failed_{0};
+};
+
+}  // namespace serve
+}  // namespace lima
+
+#endif  // LIMA_SERVE_SERVER_H_

@@ -1,0 +1,360 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.h"
+#include "gtest/gtest.h"
+#include "lang/session.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+
+namespace lima {
+namespace serve {
+namespace {
+
+/// Unique-per-test socket path under /tmp (sun_path is ~108 bytes, so test
+/// temp dirs are too risky).
+std::string SocketPath(const char* tag) {
+  return "/tmp/lima_serve_test_" + std::to_string(::getpid()) + "_" + tag +
+         ".sock";
+}
+
+/// A small script with enough distinct operator results to populate the
+/// cache. Deterministic: seeded rand only.
+constexpr const char* kScript =
+    "X = rand(rows=24, cols=24, seed=11);"
+    "Y = X %*% t(X);"
+    "print(sum(Y) + sum(X));";
+
+TEST(ServeTest, MessageRoundTrip) {
+  Message in;
+  in.Set("op", "run");
+  in.Set("script", std::string("a\0b\"\n", 5));  // binary-safe values
+  in.Set("tenant", "");
+  in.Set("tenant", "dup-key");  // repeated keys preserved in order
+  Result<Message> out = DecodeMessage(EncodeMessage(in));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->fields.size(), 4u);
+  EXPECT_EQ(out->fields, in.fields);
+  EXPECT_EQ(out->Get("tenant"), "");  // Find returns the first occurrence
+}
+
+TEST(ServeTest, DecodeRejectsMalformedPayloads) {
+  const std::string good = EncodeMessage([] {
+    Message m;
+    m.Set("k", "v");
+    return m;
+  }());
+  EXPECT_FALSE(DecodeMessage(good.substr(0, good.size() - 1)).ok());
+  EXPECT_FALSE(DecodeMessage(good + "x").ok());
+  EXPECT_FALSE(DecodeMessage("").ok());
+  // Absurd field count must fail before allocating.
+  EXPECT_FALSE(DecodeMessage(std::string("\xff\xff\xff\xff", 4)).ok());
+}
+
+TEST(ServeTest, ProtocolRoundTripOverSocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Message request;
+  request.Set("op", "ping");
+  request.Set("payload", std::string(100000, 'x'));  // multi-read frame
+  ASSERT_TRUE(WriteMessage(fds[0], request).ok());
+  Result<Message> received = ReadMessage(fds[1]);
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(received->fields, request.fields);
+  ::close(fds[0]);
+  // Reading from a closed peer reports the clean-close message.
+  Result<Message> eof = ReadMessage(fds[1]);
+  EXPECT_FALSE(eof.ok());
+  EXPECT_NE(eof.status().ToString().find("connection closed"),
+            std::string::npos);
+  ::close(fds[1]);
+}
+
+TEST(ServeTest, RunPingStatsAndErrors) {
+  ServeOptions options;
+  options.socket_path = SocketPath("basic");
+  options.pool_size = 2;
+  LimaServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Message ping;
+  ping.Set("op", "ping");
+  Result<Message> pong = Call(options.socket_path, ping);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong->Get("status"), "ok");
+
+  Result<Message> run = RunScript(options.socket_path, "alice", kScript);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_NE(run->Get("output"), "");
+
+  // A script error comes back as status=error, not a dropped connection.
+  Result<Message> bad =
+      RunScript(options.socket_path, "alice", "this is not DML;");
+  EXPECT_FALSE(bad.ok());
+
+  Message unknown;
+  unknown.Set("op", "frobnicate");
+  Result<Message> response = Call(options.socket_path, unknown);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->Get("status"), "error");
+
+  Message stats;
+  stats.Set("op", "stats");
+  Result<Message> report = Call(options.socket_path, stats);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->Get("status"), "ok");
+  EXPECT_NE(report->Find("tenant.alice.probes"), nullptr);
+
+  server.Stop();
+}
+
+// Tenant B's identical request must hit entries tenant A created, and the
+// hits must be attributed as cross-tenant.
+TEST(ServeTest, SharedCacheGivesCrossTenantHits) {
+  ServeOptions options;
+  options.socket_path = SocketPath("xtenant");
+  options.pool_size = 1;
+  LimaServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<Message> first = RunScript(options.socket_path, "alice", kScript);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  Result<Message> second = RunScript(options.socket_path, "bob", kScript);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->Get("output"), second->Get("output"));
+  EXPECT_GT(std::stoll(second->Get("cache_hits", "0")), 0);
+
+  Message stats;
+  stats.Set("op", "stats");
+  Result<Message> report = Call(options.socket_path, stats);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(std::stoll(report->Get("tenant.bob.cross_tenant_hits", "0")), 0);
+  EXPECT_EQ(std::stoll(report->Get("tenant.alice.cross_tenant_hits", "0")),
+            0);
+  server.Stop();
+}
+
+TEST(ServeTest, PrivateCachesIsolateTenants) {
+  ServeOptions options;
+  options.socket_path = SocketPath("private");
+  options.pool_size = 1;
+  options.shared_cache = false;
+  LimaServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<Message> first = RunScript(options.socket_path, "alice", kScript);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  Result<Message> second = RunScript(options.socket_path, "bob", kScript);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->Get("output"), second->Get("output"));
+  // Bob's private cache has never seen the script: all misses.
+  EXPECT_EQ(std::stoll(second->Get("cache_hits", "-1")), 0);
+  server.Stop();
+}
+
+// A zero-byte budget forces every entry the tenant owns out of the cache;
+// an unbudgeted tenant on the same cache keeps its entries.
+TEST(ServeTest, TenantBudgetIsolation) {
+  ServeOptions options;
+  options.socket_path = SocketPath("budget");
+  options.pool_size = 1;
+  options.tenant_budgets.emplace_back("squeezed", int64_t{0});
+  LimaServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ASSERT_TRUE(RunScript(options.socket_path, "roomy", kScript).ok());
+  ASSERT_TRUE(RunScript(options.socket_path, "squeezed",
+                        "A = rand(rows=32, cols=32, seed=3);"
+                        "print(sum(A %*% t(A)));")
+                  .ok());
+
+  Message stats;
+  stats.Set("op", "stats");
+  Result<Message> report = Call(options.socket_path, stats);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(std::stoll(report->Get("tenant.roomy.resident_bytes", "0")), 0);
+  EXPECT_EQ(std::stoll(report->Get("tenant.squeezed.resident_bytes", "-1")),
+            0);
+  EXPECT_GT(std::stoll(report->Get("tenant.squeezed.evictions", "0")), 0);
+  server.Stop();
+}
+
+// With a single worker wedged on a slow request and a queue of one, a third
+// concurrent connection must get an explicit "overloaded" answer instead of
+// hanging.
+TEST(ServeTest, OverloadIsShedExplicitly) {
+  ServeOptions options;
+  options.socket_path = SocketPath("overload");
+  options.pool_size = 1;
+  options.queue_capacity = 1;
+  LimaServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // ~hundreds of ms of compute on this container: a grid of matmuls.
+  const std::string slow =
+      "G = rand(rows=220, cols=220, seed=5);"
+      "acc = 0.0;"
+      "for (i in 1:24) { acc = acc + sum(G %*% G); }"
+      "print(acc);";
+
+  std::atomic<int> ok_count{0};
+  std::atomic<int> overloaded_count{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 6; ++i) {
+    clients.emplace_back([&, i] {
+      Message request;
+      request.Set("op", "run");
+      request.Set("tenant", "t" + std::to_string(i));
+      request.Set("script", slow);
+      Result<Message> response = Call(options.socket_path, request);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      const std::string status = response->Get("status");
+      if (status == "ok") ok_count.fetch_add(1);
+      if (status == "overloaded") overloaded_count.fetch_add(1);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // Everyone got a definite answer, at least one was shed, and the server's
+  // own accounting agrees.
+  EXPECT_EQ(ok_count.load() + overloaded_count.load(), 6);
+  EXPECT_GT(overloaded_count.load(), 0);
+  EXPECT_GT(ok_count.load(), 0);
+  EXPECT_EQ(server.counters().shed, overloaded_count.load());
+  server.Stop();
+}
+
+// Stop() must answer every admitted request before returning.
+TEST(ServeTest, GracefulDrainServesAdmittedRequests) {
+  ServeOptions options;
+  options.socket_path = SocketPath("drain");
+  options.pool_size = 2;
+  options.queue_capacity = 32;
+  LimaServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([&] {
+      Result<Message> response =
+          RunScript(options.socket_path, "drainer", kScript);
+      if (response.ok()) ok_count.fetch_add(1);
+    });
+  }
+  // Let the clients connect, then stop while some are likely still queued.
+  while (server.counters().accepted < 4) {
+    std::this_thread::yield();
+  }
+  server.Stop();
+  for (std::thread& t : clients) t.join();
+
+  const LimaServer::Counters counters = server.counters();
+  // Every admitted connection was served (drained), none abandoned.
+  EXPECT_EQ(counters.completed + counters.failed, counters.accepted);
+  EXPECT_EQ(ok_count.load(), counters.completed);
+  EXPECT_GT(ok_count.load(), 0);
+}
+
+// Concurrent tenants hammering the same scripts must all see exactly the
+// output a lone LimaSession produces: reuse never changes results.
+TEST(ServeTest, ConcurrentTenantsMatchLocalSession) {
+  LimaSession reference(LimaConfig::Serving());
+  ASSERT_TRUE(reference.Run(kScript).ok());
+  const std::string expected = reference.ConsumeOutput();
+
+  ServeOptions options;
+  options.socket_path = SocketPath("determinism");
+  options.pool_size = 4;
+  options.queue_capacity = 64;
+  LimaServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 16; ++i) {
+    clients.emplace_back([&, i] {
+      const std::string tenant = "tenant" + std::to_string(i % 4);
+      Result<Message> response =
+          RunScript(options.socket_path, tenant, kScript);
+      if (!response.ok() || response->Get("output") != expected) {
+        mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  server.Stop();
+}
+
+TEST(ServeTest, ReloadAppliesBudgetsAndPoolSize) {
+  ServeOptions options;
+  options.socket_path = SocketPath("reload");
+  options.pool_size = 1;
+  LimaServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(RunScript(options.socket_path, "alice", kScript).ok());
+
+  ServeOptions updated = options;
+  updated.pool_size = 3;
+  updated.queue_capacity = 64;
+  updated.tenant_budgets.emplace_back("alice", int64_t{0});
+  server.Reload(updated);
+
+  // The budget applied immediately: alice's residency was evicted to zero.
+  Message stats;
+  stats.Set("op", "stats");
+  Result<Message> report = Call(options.socket_path, stats);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(std::stoll(report->Get("tenant.alice.resident_bytes", "-1")), 0);
+  // And the grown pool still serves requests.
+  EXPECT_TRUE(RunScript(options.socket_path, "bob", kScript).ok());
+  server.Stop();
+}
+
+TEST(ServeTest, LoadServeOptionsFileParsesAndRejects) {
+  const std::string path = "/tmp/lima_serve_test_" +
+                           std::to_string(::getpid()) + "_config.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(
+        "# serve config\n"
+        "pool_size 3\n"
+        "queue_capacity 9\n"
+        "budget_mb 64\n"
+        "tenant_budget_mb alice 8\n",
+        f);
+    std::fclose(f);
+  }
+  Result<ServeOptions> loaded = LoadServeOptionsFile(path, ServeOptions());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->pool_size, 3);
+  EXPECT_EQ(loaded->queue_capacity, 9);
+  EXPECT_EQ(loaded->session_config.cache_budget_bytes,
+            int64_t{64} * 1024 * 1024);
+  ASSERT_EQ(loaded->tenant_budgets.size(), 1u);
+  EXPECT_EQ(loaded->tenant_budgets[0].first, "alice");
+  EXPECT_EQ(loaded->tenant_budgets[0].second, int64_t{8} * 1024 * 1024);
+
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("pool_size banana\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadServeOptionsFile(path, ServeOptions()).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace lima

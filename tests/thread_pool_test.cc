@@ -1,0 +1,130 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace lima {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(done.load(), 100);
+}
+
+// Regression: a throwing task used to leave in_flight_ nonzero, so WaitAll()
+// blocked forever. Now the worker completes the bookkeeping and WaitAll()
+// rethrows the stashed exception.
+TEST(ThreadPoolTest, ThrowingTaskDoesNotWedgeWaitAll) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.WaitAll(), std::runtime_error);
+  EXPECT_EQ(done.load(), 10);
+
+  // The pool stays serviceable and the exception is not delivered twice.
+  pool.Submit([&done] { done.fetch_add(1); });
+  pool.WaitAll();
+  EXPECT_EQ(done.load(), 11);
+}
+
+TEST(ThreadPoolTest, FirstOfManyExceptionsIsReported) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  // All eight tasks complete (none can wedge the pool); exactly one throw
+  // surfaces here.
+  EXPECT_THROW(pool.WaitAll(), std::runtime_error);
+  pool.WaitAll();  // second barrier: exception already consumed
+}
+
+// The destructor drains already-queued work before joining — this is what
+// gives lima_serve its graceful shutdown.
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+    // No WaitAll: destruction must still run every queued task.
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPoolTest, ShutdownSurvivesQueuedThrowingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&done, i] {
+        if (i % 3 == 0) throw std::runtime_error("boom");
+        done.fetch_add(1);
+      });
+    }
+    // Unobserved exceptions are discarded by the destructor, not rethrown.
+  }
+  EXPECT_EQ(done.load(), 13);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  std::atomic<int> visited{0};
+  try {
+    ParallelFor(100, 4, [&visited](int64_t i) {
+      if (i == 37) throw std::runtime_error("index 37");
+      visited.fetch_add(1);
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 37");
+  }
+  // Every index other than the throwing one still ran: a throw aborts only
+  // its own chunk's remainder, and chunks are per-thread slices.
+  EXPECT_GE(visited.load(), 75);
+}
+
+TEST(ThreadPoolTest, ParallelForSequentialFallbackPropagates) {
+  EXPECT_THROW(
+      ParallelFor(4, 1,
+                  [](int64_t i) {
+                    if (i == 2) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+// Nested ParallelFor (a parfor body invoking a threaded kernel) must not
+// deadlock or cross-deliver exceptions between nesting levels.
+TEST(ThreadPoolTest, NestedParallelFor) {
+  std::atomic<int> inner_total{0};
+  ParallelFor(4, 4, [&inner_total](int64_t) {
+    ParallelFor(8, 2, [&inner_total](int64_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+
+  std::atomic<int> outer_caught{0};
+  ParallelFor(4, 4, [&outer_caught](int64_t) {
+    try {
+      ParallelFor(8, 2, [](int64_t j) {
+        if (j == 3) throw std::runtime_error("inner");
+      });
+    } catch (const std::runtime_error&) {
+      outer_caught.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(outer_caught.load(), 4);
+}
+
+}  // namespace
+}  // namespace lima

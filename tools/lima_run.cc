@@ -42,10 +42,12 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 
 #include "algorithms/scripts.h"
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "lang/session.h"
 
@@ -120,7 +122,14 @@ int main(int argc, char** argv) {
       }
       config.profile = true;
     } else if (ParseFlag(arg, "workers", &value)) {
-      config.parfor_workers = std::atoi(value.c_str());
+      // Strict parse: "--workers=abc" or "--workers=-3" must be a flag
+      // error, not a silent 0/negative degree of parallelism.
+      Result<int> workers = ParseIntStrict(value, 1, 4096, "--workers");
+      if (!workers.ok()) {
+        std::fprintf(stderr, "%s\n", workers.status().ToString().c_str());
+        return 2;
+      }
+      config.parfor_workers = *workers;
     } else if (ParseFlag(arg, "parfor-check", &value)) {
       if (value == "on") {
         config.parfor_dependency_check = true;
@@ -131,13 +140,22 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (ParseFlag(arg, "budget-mb", &value)) {
-      config.cache_budget_bytes = int64_t{1024} * 1024 * std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "cache-shards", &value)) {
-      config.cache_shards = std::atoi(value.c_str());
-      if (config.cache_shards < 1) {
-        std::fprintf(stderr, "invalid --cache-shards: %s\n", value.c_str());
+      // Range-checked so the MB -> bytes conversion below cannot overflow.
+      Result<int64_t> budget_mb = ParseInt64Strict(
+          value, 0, std::numeric_limits<int64_t>::max() / (1024 * 1024),
+          "--budget-mb");
+      if (!budget_mb.ok()) {
+        std::fprintf(stderr, "%s\n", budget_mb.status().ToString().c_str());
         return 2;
       }
+      config.cache_budget_bytes = int64_t{1024} * 1024 * *budget_mb;
+    } else if (ParseFlag(arg, "cache-shards", &value)) {
+      Result<int> shards = ParseIntStrict(value, 1, 4096, "--cache-shards");
+      if (!shards.ok()) {
+        std::fprintf(stderr, "%s\n", shards.status().ToString().c_str());
+        return 2;
+      }
+      config.cache_shards = *shards;
     } else if (ParseFlag(arg, "policy", &value)) {
       if (value == "lru") {
         config.eviction_policy = EvictionPolicy::kLru;
