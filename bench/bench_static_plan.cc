@@ -1,0 +1,169 @@
+// Static-plan benchmark: cost-based fusion & probe planning vs. the greedy
+// baseline. Each Fig. 9 pipeline compiles once per mode under the default
+// LIMA configuration with operator fusion on, toggling only
+// redundancy_check — off is the old greedy fusion (every fusable link
+// taken, every reusable op probed), on is the compile-time planner (GVN +
+// cost model: unprofitable links rejected, recurring intermediates kept
+// materialized for the cache, must-compute ops skip the full probe). Timing
+// covers execution only (fresh session and cache per iteration; the plans
+// under comparison are execution artifacts), with the one-time analysis
+// cost reported separately as the compile_ms counter. Both configurations
+// are checked to produce the bitwise-identical result before timing.
+//
+// The probe-skip micro-benchmark isolates the probe verdicts: a loop of
+// cheap cellwise ops under full reuse, where planning must cut cache_probes
+// (counted as probe_disabled_static) without changing cache_hits.
+// Results are recorded in BENCH_static_plan.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "algorithms/scripts.h"
+#include "bench/pipelines.h"
+#include "common/timer.h"
+#include "lang/compiler.h"
+
+namespace lima {
+namespace {
+
+LimaConfig PlanConfig(bool planned) {
+  LimaConfig config = LimaConfig::Lima();
+  config.operator_fusion = true;
+  config.redundancy_check = planned;
+  return config;
+}
+
+void CheckDeterminism(const char* name, const std::string& script) {
+  auto greedy = bench::RunPipeline(script, PlanConfig(false));
+  auto planned = bench::RunPipeline(script, PlanConfig(true));
+  double a = *greedy->GetDouble("result");
+  double b = *planned->GetDouble("result");
+  if (std::memcmp(&a, &b, sizeof(double)) != 0) {
+    std::fprintf(stderr, "%s: planning determinism violation: %.17g vs %.17g\n",
+                 name, a, b);
+    std::abort();
+  }
+}
+
+void BenchPipeline(benchmark::State& state, const char* name,
+                   const std::string& script, bool planned) {
+  CheckDeterminism(name, script);
+  const LimaConfig config = PlanConfig(planned);
+  StopWatch compile_watch;
+  Result<std::unique_ptr<Program>> program =
+      CompileScript(scripts::Builtins() + script, config);
+  const double compile_ms = compile_watch.ElapsedSeconds() * 1e3;
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s: compile failed: %s\n", name,
+                 program.status().ToString().c_str());
+    std::abort();
+  }
+  int64_t probes = 0;
+  int64_t hits = 0;
+  int64_t probe_skips = 0;
+  for (auto _ : state) {
+    LimaSession session(config);
+    session.context()->set_program(program->get());
+    Status status = (*program)->Execute(session.context());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: execution failed: %s\n", name,
+                   status.ToString().c_str());
+      std::abort();
+    }
+    probes = session.stats()->cache_probes.load();
+    hits = session.stats()->cache_hits.load();
+    probe_skips = session.stats()->probe_disabled_static.load();
+    benchmark::DoNotOptimize(session);
+  }
+  state.counters["compile_ms"] = compile_ms;
+  state.counters["cache_probes"] = static_cast<double>(probes);
+  state.counters["cache_hits"] = static_cast<double>(hits);
+  state.counters["probe_disabled_static"] = static_cast<double>(probe_skips);
+  state.counters["fusion_applied"] =
+      static_cast<double>((*program)->static_plan().num_fusion_applied());
+  state.counters["fusion_rejected"] =
+      static_cast<double>((*program)->static_plan().num_fusion_rejected());
+}
+
+#define PLAN_BENCH(NAME, SCRIPT)                                     \
+  void NAME##Greedy(benchmark::State& state) {                       \
+    BenchPipeline(state, #NAME, SCRIPT, false);                      \
+  }                                                                  \
+  void NAME##Planned(benchmark::State& state) {                      \
+    BenchPipeline(state, #NAME, SCRIPT, true);                       \
+  }                                                                  \
+  BENCHMARK(NAME##Greedy)->Unit(benchmark::kMillisecond);            \
+  BENCHMARK(NAME##Planned)->Unit(benchmark::kMillisecond)
+
+PLAN_BENCH(HLM, bench::HlmScript(512, 24, /*task_parallel=*/false));
+PLAN_BENCH(HL2SVM, bench::Hl2svmScript(512, 24, 4));
+PLAN_BENCH(HCV, bench::HcvScript(512, 24, /*task_parallel=*/false));
+PLAN_BENCH(ENS, bench::EnsScript(512, 24, 3, 3));
+PLAN_BENCH(PCALM, bench::PcalmScript(512, 24, 6));
+PLAN_BENCH(PCACV, bench::PcacvScript(512, 24, 4, 3));
+PLAN_BENCH(PCANB, bench::PcanbScript(512, 24, 3, 4));
+PLAN_BENCH(AUTOENC, bench::AutoencoderScript(256, 32, 16, 8, 3, 32));
+PLAN_BENCH(MINIBATCH, bench::MiniBatchScript(2048, 128));
+PLAN_BENCH(STEPLM, bench::StepLmMicroScript(512, 8, 4, 5));
+
+// --- probe-skip micro-benchmark -------------------------------------------
+// 200 loop iterations of cheap cellwise ops on a 4x4 matrix: every op costs
+// far less to recompute than a cache probe, so the planner marks the whole
+// loop body must-compute. Full-only reuse keeps the partial-rewrite probe
+// path (which planning never disables) out of the picture.
+
+std::string ProbeSkipScript() {
+  return R"(
+    X = rand(rows=4, cols=4, seed=1);
+    s = 0;
+    for (i in 1:200) { s = s + sum((X + i) * 2); }
+    result = s;
+  )";
+}
+
+void BenchProbeSkip(benchmark::State& state, bool planned) {
+  LimaConfig config = PlanConfig(planned);
+  config.reuse_mode = ReuseMode::kFull;
+  Result<std::unique_ptr<Program>> program =
+      CompileScript(ProbeSkipScript(), config);
+  if (!program.ok()) {
+    std::fprintf(stderr, "probe-skip compile failed: %s\n",
+                 program.status().ToString().c_str());
+    std::abort();
+  }
+  int64_t probes = 0;
+  int64_t hits = 0;
+  int64_t probe_skips = 0;
+  for (auto _ : state) {
+    LimaSession session(config);
+    session.context()->set_program(program->get());
+    Status status = (*program)->Execute(session.context());
+    if (!status.ok()) {
+      std::fprintf(stderr, "probe-skip execution failed: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+    probes = session.stats()->cache_probes.load();
+    hits = session.stats()->cache_hits.load();
+    probe_skips = session.stats()->probe_disabled_static.load();
+    benchmark::DoNotOptimize(session);
+  }
+  state.counters["cache_probes"] = static_cast<double>(probes);
+  state.counters["cache_hits"] = static_cast<double>(hits);
+  state.counters["probe_disabled_static"] = static_cast<double>(probe_skips);
+}
+
+void ProbeSkipOff(benchmark::State& state) { BenchProbeSkip(state, false); }
+void ProbeSkipOn(benchmark::State& state) { BenchProbeSkip(state, true); }
+
+BENCHMARK(ProbeSkipOff)->Unit(benchmark::kMillisecond);
+BENCHMARK(ProbeSkipOn)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lima
+
+BENCHMARK_MAIN();

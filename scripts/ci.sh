@@ -44,7 +44,11 @@ if [[ "$SANITIZE" == "thread" ]]; then
   # ThreadPoolTest (thread_pool_test: exception-safe pool + ParallelFor) and
   # ServeTest (serve_test: multi-tenant server, shared-cache workers,
   # overload shedding, graceful drain) ride along — the server IS threads.
-  TSAN_TESTS='^(ParforTest|ParforDependencyTest|LineageCacheTest|MultiLevelTest|CacheConcurrencyTest|CacheDeterminismTest|ThreadPoolTest|ServeTest)\.'
+  # RedundancyTest and FusionTest join for the static planner: probe-verdict
+  # stamping and cost-planned fusion must stay invisible to 8-worker parfor
+  # runs (results, lineage, and cache behavior are compared across worker
+  # counts inside those suites).
+  TSAN_TESTS='^(ParforTest|ParforDependencyTest|LineageCacheTest|MultiLevelTest|CacheConcurrencyTest|CacheDeterminismTest|ThreadPoolTest|ServeTest|RedundancyTest|FusionTest)\.'
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
     --tests-regex "$TSAN_TESTS"
 else
@@ -130,6 +134,44 @@ print("mem-estimate smoke: OK ({}: estimate {} >= actual {})".format(
     sys.argv[2].rsplit("/", 1)[-1], estimate, actual))
 EOF
   done
+fi
+
+# Plan-report smoke: every shipped script must emit a valid
+# --plan-report=json document (script print() output precedes the JSON on
+# stdout, so the parser skips to the first '{' line), and the gridsearch
+# pipeline — hyperparameter sweeps recompute shared subexpressions across
+# loop iterations — must show the planner doing real work: at least one
+# cost-rejected fusion link or cross-block redundancy.
+if command -v python3 >/dev/null 2>&1; then
+  for script in "$ROOT"/scripts/*.dml; do
+    echo "plan-report smoke: $script"
+    "$BUILD_DIR/tools/lima_run" --fusion --plan-report=json "$script" \
+      > "$BUILD_DIR/plan_smoke.out" 2>/dev/null
+    python3 - "$BUILD_DIR/plan_smoke.out" "$script" <<'EOF'
+import json, sys
+lines = open(sys.argv[1]).read().splitlines(keepends=True)
+start = next(i for i, l in enumerate(lines) if l.startswith("{"))
+report = json.loads("".join(lines[start:]))
+assert report["redundancy_check"] is True, report
+assert report["programs"], "no compiled programs in plan report"
+totals = {"fusion_rejected": 0, "cross_block_redundant": 0,
+          "fusion_applied": 0}
+for program in report["programs"]:
+    summary = program["summary"]
+    assert summary["instructions"] > 0, summary
+    for key in totals:
+        totals[key] += summary[key]
+name = sys.argv[2].rsplit("/", 1)[-1]
+if name == "gridsearch.dml":
+    assert totals["fusion_rejected"] + totals["cross_block_redundant"] > 0, \
+        totals
+print("plan-report smoke: OK ({}: {} applied, {} rejected, {} cross-block)"
+      .format(name, totals["fusion_applied"], totals["fusion_rejected"],
+              totals["cross_block_redundant"]))
+EOF
+  done
+else
+  echo "plan-report smoke: python3 not found; skipping" >&2
 fi
 
 # Serving smoke: a live lima_serve daemon must answer concurrent clients

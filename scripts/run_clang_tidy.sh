@@ -23,11 +23,13 @@ fi
 PATHS=("$@")
 if [[ ${#PATHS[@]} -eq 0 ]]; then
   # Whole hardened subsystems — including src/analysis (shape inference,
-  # liveness, verifier, parfor dependency analysis) — plus the
+  # liveness, verifier, parfor dependency analysis, redundancy planner) and
+  # src/serve (the lima_serve daemon) — plus the command-line tools and the
   # catalog-refactor surface in src/runtime (the factory and its replay
   # consumer).
   PATHS=("$ROOT/src/lineage" "$ROOT/src/reuse" "$ROOT/src/analysis"
-         "$ROOT/src/obs" "$ROOT/src/runtime/instruction_factory.cc"
+         "$ROOT/src/obs" "$ROOT/src/serve" "$ROOT/tools"
+         "$ROOT/src/runtime/instruction_factory.cc"
          "$ROOT/src/runtime/reconstruct.cc")
 fi
 

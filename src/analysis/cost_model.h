@@ -1,0 +1,85 @@
+#ifndef LIMA_ANALYSIS_COST_MODEL_H_
+#define LIMA_ANALYSIS_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/shape_info.h"
+
+namespace lima {
+
+struct OpcodeEffect;
+
+/// Calibration constants of the compile-time cost model (docs/ANALYSIS.md,
+/// "Cost model"). All values are nanoseconds on the reference machine the
+/// benchmarks run on; they steer *relative* decisions (probe vs. recompute,
+/// fuse vs. materialize), so an order of magnitude of slack is tolerable —
+/// the planner only acts when the gap between alternatives is wide.
+namespace cost {
+
+/// Dense-kernel throughput: one floating-point operation.
+inline constexpr double kNanosPerFlop = 0.5;
+
+/// Memory traffic: one byte read or written through the cache hierarchy.
+inline constexpr double kNanosPerByte = 0.15;
+
+/// One lineage-cache probe: lineage hash + shard lock + map lookup. An op
+/// whose recompute estimate is below this can never win by probing — the
+/// static reuse planner marks it must-compute and the runtime skips the
+/// probe (RuntimeStats::probe_disabled_static).
+inline constexpr double kProbeNanos = 450.0;
+
+/// Allocating + registering one intermediate matrix buffer.
+inline constexpr double kAllocNanos = 600.0;
+
+/// Fused-interpreter overhead per cell per step, relative to the dedicated
+/// vectorized kernels (the fused kernel dispatches on step kind per cell).
+inline constexpr double kFusedStepOverheadNanos = 1.0;
+
+/// Minimum estimated recompute cost for a provably redundant subexpression
+/// to surface as a `redundant-computation` verifier warning. Keeps noise
+/// ops (nrow twice, scalar arithmetic) out of the diagnostics; cheap
+/// redundancy is the reuse cache's job, not the user's.
+inline constexpr double kRedundantWarnNanos = 1000.0;
+
+}  // namespace cost
+
+/// Compile-time cost estimate of one instruction: FLOPs plus bytes moved
+/// (operand reads + output writes), combined into nanoseconds with the
+/// calibration constants. `known` only when every matrix operand and output
+/// has constant dimensions — symbolic or unknown shapes yield no estimate
+/// and downstream planners stay conservative.
+struct CostEstimate {
+  bool known = false;
+  double flops = 0;
+  int64_t bytes = 0;
+  double nanos = 0;
+};
+
+/// Estimates `effect`'s cost from abstract operand/output shapes. `effect`
+/// may be null (unregistered opcode): the estimate is unknown.
+CostEstimate EstimateOpCost(const OpcodeEffect* effect,
+                            const std::vector<ShapeArg>& args,
+                            const std::vector<ShapeInfo>& outputs);
+
+/// Cost verdict for fusing one additional producer into a cellwise chain:
+/// eliminating the materialized intermediate saves its write+read traffic
+/// and one allocation; the fused interpreter adds per-cell overhead for the
+/// producer's steps.
+struct FusionLinkCost {
+  bool profitable = false;
+  double saving_nanos = 0;   ///< net: traffic+alloc saved minus overhead
+  int64_t saved_bytes = 0;   ///< materialized intermediate bytes avoided
+};
+
+/// Costs inlining a producer whose output has `cells` cells (cells < 0 =
+/// unknown; unknown sizes are treated as profitable to preserve greedy
+/// fusion behavior on unshaped programs). `new_interpreted_steps` is the
+/// number of steps that move from a dedicated vectorized kernel into the
+/// fused interpreter: 1 for a plain producer, 0 for a producer that is
+/// already a multi-step fused candidate (its steps were interpreted anyway).
+FusionLinkCost EstimateFusionLink(int64_t cells, int new_interpreted_steps);
+
+}  // namespace lima
+
+#endif  // LIMA_ANALYSIS_COST_MODEL_H_

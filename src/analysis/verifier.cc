@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "analysis/opcode_registry.h"
+#include "analysis/redundancy.h"
 #include "analysis/shape_inference.h"
 #include "runtime/analysis.h"
 #include "runtime/instruction_factory.h"
@@ -631,7 +632,7 @@ std::string VerifyReport::ToString() const {
 VerifyReport VerifyProgram(const Program& program,
                            const VerifyOptions& options) {
   VerifyReport report = Verifier(program, options).Run();
-  if (options.check_shapes) {
+  if (options.check_shapes || options.check_redundancy) {
     std::vector<ShapeAssumption> assumptions;
     std::unordered_set<std::string> matrices;
     for (size_t i = 0; i < options.assume_matrix_names.size() &&
@@ -648,14 +649,21 @@ VerifyReport VerifyProgram(const Program& program,
         assumptions.push_back({name, ShapeInfo::Scalar()});
       }
     }
-    ShapeAnalysis shapes = InferShapes(program, assumptions);
-    for (Diagnostic& diag : shapes.diagnostics) {
-      if (diag.severity == Diagnostic::Severity::kError) {
-        ++report.num_errors;
-      } else {
-        ++report.num_warnings;
+    auto append = [&report](std::vector<Diagnostic> diags) {
+      for (Diagnostic& diag : diags) {
+        if (diag.severity == Diagnostic::Severity::kError) {
+          ++report.num_errors;
+        } else {
+          ++report.num_warnings;
+        }
+        report.diagnostics.push_back(std::move(diag));
       }
-      report.diagnostics.push_back(std::move(diag));
+    };
+    if (options.check_shapes) {
+      append(InferShapes(program, assumptions).diagnostics);
+    }
+    if (options.check_redundancy) {
+      append(AnalyzeRedundancy(program, assumptions).diagnostics);
     }
     std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
                      [](const Diagnostic& a, const Diagnostic& b) {

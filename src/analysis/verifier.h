@@ -53,6 +53,10 @@ namespace lima {
 ///                             analysis/parfor_dependency.h
 ///   shape-unknown-degraded    shapes degraded to unknown (eval dispatch,
 ///                             recursion, unmodeled opcode)
+///   redundant-computation     deterministic instruction provably recomputes
+///                             a value already produced earlier on every
+///                             path, with non-trivial estimated cost
+///                             (analysis/redundancy.h)
 class Diagnostic {
  public:
   enum class Severity { kError, kWarning };
@@ -80,6 +84,12 @@ struct VerifyOptions {
   /// programs in unit tests assert exact diagnostic sets; the session layer
   /// turns it on for compiled scripts.
   bool check_shapes = false;
+  /// Run the compile-time redundancy analysis (lineage-aware GVN,
+  /// analysis/redundancy.h) and report redundant-computation warnings for
+  /// provably recomputed subexpressions. Off by default for the same reason
+  /// as check_shapes; the session layer turns it on when
+  /// LimaConfig::redundancy_check is set.
+  bool check_redundancy = false;
   /// Shapes of session-bound inputs, seeding shape inference: parallel
   /// lists of variable name and (rows, cols). Scalars go in assume_defined
   /// only.

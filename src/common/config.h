@@ -86,6 +86,13 @@ struct LimaConfig {
   /// When off, parfor blocks run parallel unconditionally (seed behavior).
   bool parfor_dependency_check = true;
 
+  /// Compile-time redundancy & cost analysis (analysis/redundancy.h): the
+  /// lineage-aware GVN pass runs in the compile pipeline, probe verdicts
+  /// are stamped on instructions (probe_disabled_static), and operator
+  /// fusion is planned with the cost model instead of greedily. Purely a
+  /// compile-time planner — results and lineage are identical either way.
+  bool redundancy_check = true;
+
   /// Degree of parallelism inside individual matrix kernels.
   int kernel_threads = 1;
 

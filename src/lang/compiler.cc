@@ -5,6 +5,7 @@
 
 #include "analysis/liveness.h"
 #include "analysis/parfor_dependency.h"
+#include "analysis/redundancy.h"
 #include "analysis/shape_inference.h"
 #include "lang/fusion_pass.h"
 #include "lang/parser.h"
@@ -99,8 +100,26 @@ class Compiler {
                                    /*skip_funcdefs=*/true));
 
     AnalyzeProgram(program_.get());
+    // Static redundancy & cost analysis (Sec. 4.4 at compile time): value-
+    // number the program, stamp probe verdicts, and keep the analysis
+    // around so operator fusion can plan with it. Runs after AnalyzeProgram
+    // (function determinism feeds call summaries) and before any rewrite
+    // (facts are keyed by the original instruction stream).
+    RedundancyAnalysis redundancy;
+    if (config_.redundancy_check) {
+      redundancy = AnalyzeRedundancy(*program_);
+      AttachStaticPlan(program_.get(), redundancy);
+    }
     if (config_.operator_fusion) {
-      ApplyOperatorFusion(program_.get());
+      if (config_.redundancy_check) {
+        FusionPlanningContext fusion_ctx;
+        fusion_ctx.analysis = &redundancy;
+        fusion_ctx.reuse_enabled = config_.reuse_enabled();
+        fusion_ctx.plan = program_->mutable_static_plan();
+        ApplyOperatorFusion(program_.get(), fusion_ctx);
+      } else {
+        ApplyOperatorFusion(program_.get());
+      }
     }
     if (config_.reuse_enabled()) {
       // Unmarking runs whenever reuse is on: loop-carried intermediates are

@@ -1,8 +1,11 @@
 #include "lang/fusion_pass.h"
 
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
+#include "analysis/cost_model.h"
 #include "runtime/fused_op.h"
 #include "runtime/instructions_compute.h"
 #include "runtime/instructions_misc.h"
@@ -50,6 +53,9 @@ struct Candidate {
   std::vector<FusedStep> steps;
   int root = 0;  ///< index of the step producing the candidate's output
   std::string output;
+  // Accumulated cost-model prediction across inlined links (planning mode).
+  double saving_nanos = 0;
+  int64_t saved_bytes = 0;
 };
 
 /// Appends `src`'s operands/steps into `dst`, returning the step index of
@@ -144,18 +150,84 @@ void TopoSortSteps(Candidate* cand) {
   cand->root = static_cast<int>(cand->steps.size()) - 1;
 }
 
-}  // namespace
+/// Whether `instr` writes, moves away, or removes the binding `name`.
+bool WritesOrFrees(const Instruction& instr, const std::string& name) {
+  for (const std::string& out : instr.OutputVars()) {
+    if (out == name) return true;
+  }
+  const auto* var = dynamic_cast<const VariableInstruction*>(&instr);
+  if (var == nullptr) return false;
+  switch (var->variable_kind()) {
+    case VariableInstruction::Kind::kMove:
+      return var->names()[0] == name;  // the source binding disappears
+    case VariableInstruction::Kind::kRemove:
+      for (const std::string& n : var->names()) {
+        if (n == name) return true;
+      }
+      return false;
+    case VariableInstruction::Kind::kCopy:
+      return false;  // the written name is covered by OutputVars above
+  }
+  return false;
+}
 
-void FuseBasicBlock(BasicBlock* block) {
+void FuseBasicBlockImpl(BasicBlock* block, const FusionPlanningContext* ctx,
+                        const std::string& scope, const std::string& loc) {
   auto* instructions = block->mutable_instructions();
   const size_t n = instructions->size();
   if (n < 2) return;
 
+  const RedundancyAnalysis* analysis =
+      ctx != nullptr ? ctx->analysis : nullptr;
+  const auto fact_of = [&](size_t idx) -> const InstrStaticFact* {
+    return analysis == nullptr
+               ? nullptr
+               : analysis->FindFact((*instructions)[idx].get());
+  };
+
   // Use counts of variables across all instruction operands in the block.
+  // cpvar/mvvar aliases count as uses, so an intermediate that is also a
+  // block output via aliasing is never treated as single-use.
   std::unordered_map<std::string, int> use_count;
   for (const auto& instruction : *instructions) {
     for (const std::string& var : instruction->InputVars()) use_count[var]++;
   }
+
+  // Inlining moves the producer's evaluation from its own index down to the
+  // consumer's; that is only sound when nothing in between rewrites or
+  // frees any of the producer's operands (or rewrites its output binding,
+  // which would make the consumer read a different value).
+  const auto safe_to_inline = [&](size_t p, size_t i, const Candidate& src) {
+    for (size_t k = p + 1; k < i; ++k) {
+      const Instruction& mid = *(*instructions)[k];
+      if (WritesOrFrees(mid, src.output)) return false;
+      for (const Operand& op : src.operands) {
+        if (!op.is_literal && WritesOrFrees(mid, op.name)) return false;
+      }
+    }
+    return true;
+  };
+
+  // One planning verdict per (consumer, operand): the merge loop re-scans
+  // operands after every successful merge.
+  std::set<std::pair<size_t, std::string>> decided;
+  const auto record_rejection = [&](size_t i, const std::string& operand,
+                                    const Candidate& src, const char* reason,
+                                    const FusionLinkCost& link) {
+    if (ctx == nullptr || ctx->plan == nullptr) return;
+    if (!decided.emplace(i, operand).second) return;
+    StaticFusionSite site;
+    site.function = scope;
+    site.location = loc;
+    site.source_line = (*instructions)[i]->source_line();
+    site.output = src.output;
+    site.num_steps = static_cast<int>(src.steps.size());
+    site.applied = false;
+    site.decision = reason;
+    site.predicted_saving_nanos = link.saving_nanos;
+    site.saved_bytes = link.saved_bytes;
+    ctx->plan->fusion_sites.push_back(std::move(site));
+  };
 
   std::vector<Candidate> candidates(n);
   // Producer index of each temp variable (latest write wins).
@@ -204,6 +276,48 @@ void FuseBasicBlock(BasicBlock* block) {
         if (!src.cellwise || src.consumed || use_count[op.name] != 1) {
           continue;
         }
+        if (!safe_to_inline(it->second, i, src)) continue;
+
+        // Cost-based planning: each link must earn its place.
+        FusionLinkCost link;
+        if (ctx != nullptr) {
+          const InstrStaticFact* src_fact = fact_of(it->second);
+          const InstrStaticFact* root_fact = fact_of(i);
+          const char* reject = nullptr;
+          if (src_fact != nullptr) {
+            if (src_fact->scalar_output) {
+              // A scalar feeding a cellwise chain is re-evaluated per
+              // output cell once fused; scalar-only chains save nothing.
+              reject = "cost-rejected:scalar";
+            } else if (src_fact->nonuniform ||
+                       (root_fact != nullptr && root_fact->nonuniform)) {
+              // Mixed operand shapes: the fused kernel would take its
+              // materialized stepwise fallback, losing the dedicated
+              // vectorized broadcast kernels.
+              reject = "cost-rejected:broadcast";
+            } else if (ctx->reuse_enabled && src_fact->occurrences > 1) {
+              // The intermediate's value number recurs statically: keep it
+              // materialized so the lineage cache can serve the other
+              // occurrences (CSE beats fusion here).
+              reject = "cost-rejected:cse";
+            } else {
+              // Steps of an already-fused producer were interpreted
+              // anyway; only a plain producer adds interpreter overhead.
+              link = EstimateFusionLink(src_fact->out_cells,
+                                        src.steps.size() == 1 ? 1 : 0);
+              if (!link.profitable) reject = "cost-rejected:unprofitable";
+            }
+          } else {
+            link = EstimateFusionLink(-1, 1);  // unknown size: fuse
+          }
+          if (reject != nullptr) {
+            record_rejection(i, op.name, src, reject, link);
+            continue;
+          }
+          cand.saving_nanos += link.saving_nanos;
+          cand.saved_bytes += link.saved_bytes;
+        }
+
         // Inline src and redirect references from operand oi to its root.
         src.consumed = true;
         Candidate merged_src = src;  // copy before mutating cand.operands
@@ -278,8 +392,23 @@ void FuseBasicBlock(BasicBlock* block) {
         compact(step.lhs);
         if (step.is_binary) compact(step.rhs);
       }
-      rebuilt.push_back(std::make_unique<FusedInstruction>(
-          std::move(compacted), cand.steps, cand.output));
+      if (ctx != nullptr && ctx->plan != nullptr) {
+        StaticFusionSite site;
+        site.function = scope;
+        site.location = loc;
+        site.source_line = (*instructions)[i]->source_line();
+        site.output = cand.output;
+        site.num_steps = static_cast<int>(cand.steps.size());
+        site.applied = true;
+        site.decision = "profitable";
+        site.predicted_saving_nanos = cand.saving_nanos;
+        site.saved_bytes = cand.saved_bytes;
+        ctx->plan->fusion_sites.push_back(std::move(site));
+      }
+      auto fused = std::make_unique<FusedInstruction>(
+          std::move(compacted), cand.steps, cand.output);
+      fused->set_source_line((*instructions)[i]->source_line());
+      rebuilt.push_back(std::move(fused));
     } else {
       rebuilt.push_back(std::move((*instructions)[i]));
     }
@@ -287,38 +416,59 @@ void FuseBasicBlock(BasicBlock* block) {
   *instructions = std::move(rebuilt);
 }
 
-namespace {
-
-void FuseBlocks(std::vector<BlockPtr>* blocks) {
-  for (BlockPtr& block : *blocks) {
+void FuseBlocks(std::vector<BlockPtr>* blocks,
+                const FusionPlanningContext* ctx, const std::string& scope,
+                const std::string& loc) {
+  for (size_t i = 0; i < blocks->size(); ++i) {
+    BlockPtr& block = (*blocks)[i];
+    const std::string block_loc = loc + "/block[" + std::to_string(i) + "]";
     switch (block->kind()) {
       case BlockKind::kBasic:
-        FuseBasicBlock(static_cast<BasicBlock*>(block.get()));
+        FuseBasicBlockImpl(static_cast<BasicBlock*>(block.get()), ctx, scope,
+                           block_loc);
         break;
       case BlockKind::kIf: {
         auto* if_block = static_cast<IfBlock*>(block.get());
-        FuseBlocks(if_block->mutable_then_blocks());
-        FuseBlocks(if_block->mutable_else_blocks());
+        FuseBlocks(if_block->mutable_then_blocks(), ctx, scope,
+                   block_loc + "/then");
+        FuseBlocks(if_block->mutable_else_blocks(), ctx, scope,
+                   block_loc + "/else");
         break;
       }
       case BlockKind::kFor:
       case BlockKind::kParFor:
-        FuseBlocks(static_cast<ForBlock*>(block.get())->mutable_body());
+        FuseBlocks(static_cast<ForBlock*>(block.get())->mutable_body(), ctx,
+                   scope, block_loc + "/body");
         break;
       case BlockKind::kWhile:
-        FuseBlocks(static_cast<WhileBlock*>(block.get())->mutable_body());
+        FuseBlocks(static_cast<WhileBlock*>(block.get())->mutable_body(), ctx,
+                   scope, block_loc + "/body");
         break;
     }
   }
 }
 
+void ApplyFusion(Program* program, const FusionPlanningContext* ctx) {
+  FuseBlocks(program->mutable_main(), ctx, "main", "main");
+  for (const auto& [name, fn] : program->functions()) {
+    FuseBlocks(fn->mutable_body(), ctx, name, name);
+  }
+}
+
 }  // namespace
 
-void ApplyOperatorFusion(Program* program) {
-  FuseBlocks(program->mutable_main());
-  for (const auto& [name, fn] : program->functions()) {
-    FuseBlocks(fn->mutable_body());
-  }
+void FuseBasicBlock(BasicBlock* block) {
+  FuseBasicBlockImpl(block, nullptr, "main", "(block)");
+}
+
+void FuseBasicBlock(BasicBlock* block, const FusionPlanningContext& ctx) {
+  FuseBasicBlockImpl(block, &ctx, "main", "(block)");
+}
+
+void ApplyOperatorFusion(Program* program) { ApplyFusion(program, nullptr); }
+
+void ApplyOperatorFusion(Program* program, const FusionPlanningContext& ctx) {
+  ApplyFusion(program, &ctx);
 }
 
 }  // namespace lima

@@ -1,5 +1,6 @@
 #include "lang/session.h"
 
+#include "analysis/redundancy.h"
 #include "lang/compiler.h"
 #include "lineage/serialize.h"
 
@@ -60,6 +61,7 @@ Result<VerifyReport> LimaSession::Verify(const std::string& script) {
 VerifyOptions LimaSession::MakeVerifyOptions() const {
   VerifyOptions options;
   options.check_shapes = true;
+  options.check_redundancy = config_.redundancy_check;
   for (const auto& [name, value] : context_.symbols().variables()) {
     options.assume_defined.push_back(name);
     if (value != nullptr && value->type() == DataType::kMatrix) {
@@ -181,9 +183,74 @@ lima::ProfileReport LimaSession::ProfileReport() const {
     };
     tenant_rows.push_back(std::move(row));
   }
+  std::vector<std::pair<std::string, int64_t>> static_plan;
+  if (config_.redundancy_check) {
+    int64_t instrs = 0, must = 0, worthwhile = 0, redundant = 0, cross = 0;
+    int64_t fusion_applied = 0, fusion_rejected = 0;
+    for (const auto& program : programs_) {
+      const StaticPlan& plan = program->static_plan();
+      instrs += plan.num_instructions;
+      must += plan.num_must_compute;
+      worthwhile += plan.num_probe_worthwhile;
+      redundant += plan.num_redundant;
+      cross += plan.num_cross_block_redundant;
+      fusion_applied += plan.num_fusion_applied();
+      fusion_rejected += plan.num_fusion_rejected();
+    }
+    static_plan = {
+        {"programs", static_cast<int64_t>(programs_.size())},
+        {"instructions", instrs},
+        {"must_compute", must},
+        {"probe_worthwhile", worthwhile},
+        {"redundant_in_program", redundant},
+        {"cross_block_redundant", cross},
+        {"fusion_applied", fusion_applied},
+        {"fusion_rejected", fusion_rejected},
+    };
+  }
   return BuildProfileReport(profile_, &cache_events_, stats_.ToPairs(),
                             std::move(config_info), std::move(shard_rows),
-                            std::move(tenant_rows));
+                            std::move(tenant_rows), std::move(static_plan));
+}
+
+std::string LimaSession::StaticPlanReport(const std::string& format) const {
+  const bool json = format == "json";
+  std::ostringstream out;
+  if (json) {
+    out << "{\n  \"redundancy_check\": "
+        << (config_.redundancy_check ? "true" : "false")
+        << ",\n  \"programs\": [\n";
+    for (size_t i = 0; i < programs_.size(); ++i) {
+      std::istringstream plan(StaticPlanToJson(programs_[i]->static_plan()));
+      std::string line;
+      bool first = true;
+      while (std::getline(plan, line)) {
+        out << (first ? "" : "\n") << "    " << line;
+        first = false;
+      }
+      out << (i + 1 < programs_.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"runtime\": {"
+        << "\"cache_probes\": " << stats_.cache_probes.load()
+        << ", \"cache_hits\": " << stats_.cache_hits.load()
+        << ", \"cache_misses\": " << stats_.cache_misses.load()
+        << ", \"partial_reuse_hits\": " << stats_.partial_reuse_hits.load()
+        << ", \"probe_disabled_static\": "
+        << stats_.probe_disabled_static.load() << "}\n}\n";
+  } else {
+    for (size_t i = 0; i < programs_.size(); ++i) {
+      out << "--- program " << i << " ---\n"
+          << StaticPlanToText(programs_[i]->static_plan());
+    }
+    out << "--- runtime ---\n"
+        << "probes=" << stats_.cache_probes.load()
+        << " hits=" << stats_.cache_hits.load()
+        << " misses=" << stats_.cache_misses.load()
+        << " partial=" << stats_.partial_reuse_hits.load()
+        << " probe_disabled_static=" << stats_.probe_disabled_static.load()
+        << "\n";
+  }
+  return out.str();
 }
 
 std::string LimaSession::ConsumeOutput() {

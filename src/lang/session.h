@@ -105,6 +105,13 @@ class LimaSession {
   /// RuntimeStats counter set. Exportable via ToJson()/ToCsv()/ToText().
   lima::ProfileReport ProfileReport() const;
 
+  /// Static-plan report (`lima_run --plan-report`): per-instruction GVN
+  /// value numbers, probe verdicts, and fusion decisions of every program
+  /// compiled in this session (analysis/redundancy.h), plus the runtime
+  /// probe counters for reconciliation. `format` is "text" or "json";
+  /// empty summary when config.redundancy_check is off.
+  std::string StaticPlanReport(const std::string& format = "text") const;
+
   /// Drops all session variables (cache and statistics are kept).
   void ClearVariables();
 

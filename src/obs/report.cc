@@ -170,6 +170,14 @@ std::string ProfileReport::ToJson() const {
   }
   out << "],\n";
 
+  out << "  \"static_plan\": {";
+  for (size_t i = 0; i < static_plan.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "\"" << JsonEscape(static_plan[i].first)
+        << "\": " << static_plan[i].second;
+  }
+  out << "},\n";
+
   out << "  \"counters\": {";
   for (size_t i = 0; i < counters.size(); ++i) {
     if (i > 0) out << ", ";
@@ -195,6 +203,9 @@ std::string ProfileReport::ToCsv() const {
   }
   for (const auto& [name, value] : counters) {
     out << "counter," << CsvField(name) << "," << value << ",,,\n";
+  }
+  for (const auto& [name, value] : static_plan) {
+    out << "static_plan," << CsvField(name) << "," << value << ",,,\n";
   }
   for (const ShardRow& row : shards) {
     for (const auto& [name, value] : row.counters) {
@@ -294,6 +305,14 @@ std::string ProfileReport::ToText() const {
       out << line;
     }
   }
+  if (!static_plan.empty()) {
+    out << "--- static plan ---\n";
+    for (const auto& [name, value] : static_plan) {
+      std::snprintf(line, sizeof(line), "%-24s %14lld\n", name.c_str(),
+                    static_cast<long long>(value));
+      out << line;
+    }
+  }
   out << "--- counters ---\n";
   for (const auto& [name, value] : counters) {
     std::snprintf(line, sizeof(line), "%-24s %14lld\n", name.c_str(),
@@ -314,7 +333,8 @@ ProfileReport BuildProfileReport(
     std::vector<std::pair<std::string, int64_t>> counters,
     std::vector<std::pair<std::string, std::string>> config,
     std::vector<ProfileReport::ShardRow> shards,
-    std::vector<ProfileReport::TenantRow> tenants) {
+    std::vector<ProfileReport::TenantRow> tenants,
+    std::vector<std::pair<std::string, int64_t>> static_plan) {
   ProfileReport report;
   const std::unordered_map<std::string, OpProfile> ops = collector.ops();
   report.ops.reserve(ops.size());
@@ -333,6 +353,7 @@ ProfileReport BuildProfileReport(
   report.config = std::move(config);
   report.shards = std::move(shards);
   report.tenants = std::move(tenants);
+  report.static_plan = std::move(static_plan);
   return report;
 }
 

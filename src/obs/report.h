@@ -49,6 +49,11 @@ struct ProfileReport {
   std::vector<TenantRow> tenants;
   /// Snapshot of every RuntimeStats counter, in declaration order.
   std::vector<std::pair<std::string, int64_t>> counters;
+  /// Compile-time plan summary (analysis/redundancy.h) aggregated over the
+  /// session's compiled programs: instruction verdict counts and fusion
+  /// decisions. Generic pairs so obs stays independent of the analysis
+  /// layer; empty when LimaConfig::redundancy_check is off.
+  std::vector<std::pair<std::string, int64_t>> static_plan;
   /// Session configuration echo (reuse mode, policy, budget, ...).
   std::vector<std::pair<std::string, std::string>> config;
 
@@ -74,7 +79,8 @@ ProfileReport BuildProfileReport(
     std::vector<std::pair<std::string, int64_t>> counters,
     std::vector<std::pair<std::string, std::string>> config = {},
     std::vector<ProfileReport::ShardRow> shards = {},
-    std::vector<ProfileReport::TenantRow> tenants = {});
+    std::vector<ProfileReport::TenantRow> tenants = {},
+    std::vector<std::pair<std::string, int64_t>> static_plan = {});
 
 }  // namespace lima
 

@@ -106,14 +106,26 @@ Status ComputationInstruction::Execute(ExecutionContext* ctx) const {
   const ReuseMode mode = ctx->config().reuse_mode;
   const bool reuse = ctx->reuse_active() && IsReusableOp() &&
                      !out_items.empty() && any_matrix_input;
-  const bool probe_full = reuse && mode != ReuseMode::kPartial;
+  // Static reuse planner (Sec. 4.4 at compile time): a must-compute verdict
+  // proves the cache lookup costs more than recomputing, so the full probe
+  // (and its claim) is skipped. The value is still put and the partial
+  // path stays open: costlier downstream operations may build on it, and a
+  // partial rewrite's saving scales with the reused component, not with
+  // this instruction's recompute estimate.
+  const bool skip_probe =
+      reuse && probe_verdict_ == ProbeVerdict::kMustCompute;
+  if (skip_probe && stats != nullptr) {
+    stats->probe_disabled_static.fetch_add(1, std::memory_order_relaxed);
+  }
+  const bool probe_full =
+      reuse && !skip_probe && mode != ReuseMode::kPartial;
   const bool probe_partial = reuse && (mode == ReuseMode::kPartial ||
                                        mode == ReuseMode::kHybrid ||
                                        mode == ReuseMode::kMultiLevel);
   std::vector<bool> claimed(outputs_.size(), false);
   ReuseCache* cache = ctx->cache();
 
-  if (reuse && stats != nullptr) {
+  if ((probe_full || probe_partial) && stats != nullptr) {
     stats->cache_probes.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -162,7 +174,7 @@ Status ComputationInstruction::Execute(ExecutionContext* ctx) const {
     }
   }
 
-  if (reuse && stats != nullptr) {
+  if ((probe_full || probe_partial) && stats != nullptr) {
     stats->cache_misses.fetch_add(1, std::memory_order_relaxed);
   }
 

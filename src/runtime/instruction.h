@@ -8,6 +8,7 @@
 #include "analysis/opcode_registry.h"
 #include "common/result.h"
 #include "runtime/execution_context.h"
+#include "runtime/static_plan.h"
 
 namespace lima {
 
@@ -132,6 +133,14 @@ class ComputationInstruction : public Instruction {
   uint32_t last_use_mask() const { return last_use_mask_; }
   void set_last_use_mask(uint32_t mask) { last_use_mask_ = mask; }
 
+  /// Static reuse-planner verdict (analysis/redundancy.h): kMustCompute
+  /// makes Execute skip the cache probe (and put) for this instruction —
+  /// recomputing is provably cheaper than probing and no equal value can
+  /// exist in the cache. Stamped by AttachStaticPlan when
+  /// LimaConfig::redundancy_check is on; the default never skips.
+  ProbeVerdict probe_verdict() const { return probe_verdict_; }
+  void set_probe_verdict(ProbeVerdict verdict) { probe_verdict_ = verdict; }
+
   std::string ToString() const override;
 
  protected:
@@ -180,6 +189,7 @@ class ComputationInstruction : public Instruction {
   std::vector<Operand> operands_;
   std::vector<std::string> outputs_;
   uint32_t last_use_mask_ = 0;
+  ProbeVerdict probe_verdict_ = ProbeVerdict::kProbeWorthwhile;
 };
 
 }  // namespace lima

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "runtime/instruction.h"
+#include "runtime/static_plan.h"
 
 namespace lima {
 
@@ -307,12 +308,19 @@ class Program {
   std::vector<BlockPtr>* mutable_main() { return &main_; }
   const std::vector<BlockPtr>& main() const { return main_; }
 
+  /// Compile-time redundancy & cost plan (analysis/redundancy.h). Empty
+  /// (analyzed = false) unless the compile pipeline ran the static planner
+  /// (LimaConfig::redundancy_check).
+  const StaticPlan& static_plan() const { return static_plan_; }
+  StaticPlan* mutable_static_plan() { return &static_plan_; }
+
   /// Executes the main block sequence against `ctx`.
   Status Execute(ExecutionContext* ctx) const;
 
  private:
   std::unordered_map<std::string, std::unique_ptr<Function>> functions_;
   std::vector<BlockPtr> main_;
+  StaticPlan static_plan_;
 };
 
 }  // namespace lima

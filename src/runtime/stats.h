@@ -19,6 +19,7 @@ struct RuntimeStats {
   std::atomic<int64_t> cache_hits{0};
   std::atomic<int64_t> cache_misses{0};
   std::atomic<int64_t> partial_reuse_hits{0};
+  std::atomic<int64_t> probe_disabled_static{0};
   std::atomic<int64_t> function_reuse_hits{0};
   std::atomic<int64_t> block_reuse_hits{0};
   std::atomic<int64_t> placeholder_waits{0};
@@ -54,6 +55,7 @@ struct RuntimeStats {
     cache_hits = 0;
     cache_misses = 0;
     partial_reuse_hits = 0;
+    probe_disabled_static = 0;
     function_reuse_hits = 0;
     block_reuse_hits = 0;
     placeholder_waits = 0;
@@ -82,6 +84,7 @@ struct RuntimeStats {
         {"cache_hits", cache_hits.load()},
         {"cache_misses", cache_misses.load()},
         {"partial_reuse_hits", partial_reuse_hits.load()},
+        {"probe_disabled_static", probe_disabled_static.load()},
         {"function_reuse_hits", function_reuse_hits.load()},
         {"block_reuse_hits", block_reuse_hits.load()},
         {"placeholder_waits", placeholder_waits.load()},
@@ -107,6 +110,7 @@ struct RuntimeStats {
         << " probes=" << cache_probes.load() << " hits=" << cache_hits.load()
         << " misses=" << cache_misses.load()
         << " partial=" << partial_reuse_hits.load()
+        << " probe_disabled_static=" << probe_disabled_static.load()
         << " fn_hits=" << function_reuse_hits.load()
         << " blk_hits=" << block_reuse_hits.load()
         << " waits=" << placeholder_waits.load()

@@ -5,6 +5,9 @@
 
 #include "lang/fusion_pass.h"
 #include "lang/session.h"
+#include "runtime/instructions_compute.h"
+#include "runtime/instructions_misc.h"
+#include "runtime/program.h"
 
 namespace lima {
 namespace {
@@ -122,6 +125,87 @@ TEST(FusionTest, FuseBasicBlockUnitLevel) {
     s = sum(Y);
   )").ok());
   EXPECT_DOUBLE_EQ(*session.GetDouble("s"), 18);
+}
+
+// --- kill-scan regression tests -------------------------------------------
+// The compiler consumes temps within one statement, so an instruction that
+// frees or rebinds a fusion source between producer and consumer is only
+// reachable through hand-built blocks — exactly the hole the single-use
+// audit found: use counts alone cannot see mvvar/rmvar kills.
+
+std::unique_ptr<BasicBlock> TempChainBlock(
+    std::unique_ptr<Instruction> between) {
+  auto block = std::make_unique<BasicBlock>();
+  block->Append(std::make_unique<BinaryInstruction>(
+      BinaryOp::kAdd, Operand::Var("X"), Operand::LitDouble(1), "_t1"));
+  if (between != nullptr) block->Append(std::move(between));
+  block->Append(std::make_unique<BinaryInstruction>(
+      BinaryOp::kMul, Operand::Var("_t1"), Operand::LitDouble(2), "Y"));
+  return block;
+}
+
+int CountFused(const BasicBlock& block) {
+  int n = 0;
+  for (const auto& instr : block.instructions()) {
+    n += instr->opcode() == "fused";
+  }
+  return n;
+}
+
+TEST(FusionTest, KillScanBaselineChainDoesFuse) {
+  // Sanity for the tests below: without an intervening kill the chain fuses.
+  std::unique_ptr<BasicBlock> block = TempChainBlock(nullptr);
+  FuseBasicBlock(block.get());
+  EXPECT_EQ(CountFused(*block), 1);
+}
+
+TEST(FusionTest, KillScanRejectsFreedOperand) {
+  // rmvar X between producer and consumer: inlining _t1 = X + 1 into the
+  // consumer would read X after its removal.
+  std::unique_ptr<BasicBlock> block =
+      TempChainBlock(VariableInstruction::Remove({"X"}));
+  FuseBasicBlock(block.get());
+  EXPECT_EQ(CountFused(*block), 0);
+}
+
+TEST(FusionTest, KillScanRejectsRebondOperand) {
+  // X is rebound between producer and consumer: the inlined X + 1 would see
+  // the new binding instead of the producer's snapshot.
+  std::unique_ptr<BasicBlock> block =
+      TempChainBlock(std::make_unique<BinaryInstruction>(
+          BinaryOp::kSub, Operand::Var("X"), Operand::LitDouble(1), "X"));
+  FuseBasicBlock(block.get());
+  EXPECT_EQ(CountFused(*block), 0);
+}
+
+TEST(FusionTest, KillScanRejectsMovedAwayProducer) {
+  // mvvar _t1 -> Z frees _t1 (move semantics): the consumer's operand no
+  // longer refers to the producer's value.
+  std::unique_ptr<BasicBlock> block =
+      TempChainBlock(VariableInstruction::Move("_t1", "Z"));
+  FuseBasicBlock(block.get());
+  EXPECT_EQ(CountFused(*block), 0);
+}
+
+TEST(FusionTest, CpvarAliasCountsAsSecondUse) {
+  // cpvar _t1 -> A aliases the temp: fusing it away would leave A dangling,
+  // so the single-use test must count the copy as a use.
+  auto block = std::make_unique<BasicBlock>();
+  block->Append(std::make_unique<BinaryInstruction>(
+      BinaryOp::kAdd, Operand::Var("X"), Operand::LitDouble(1), "_t1"));
+  block->Append(VariableInstruction::Copy("_t1", "A"));
+  block->Append(std::make_unique<BinaryInstruction>(
+      BinaryOp::kMul, Operand::Var("_t1"), Operand::LitDouble(2), "Y"));
+  FuseBasicBlock(block.get());
+  EXPECT_EQ(CountFused(*block), 0);
+  // The producer must survive for the alias to read.
+  bool producer_alive = false;
+  for (const auto& instr : block->instructions()) {
+    for (const std::string& out : instr->OutputVars()) {
+      producer_alive |= out == "_t1";
+    }
+  }
+  EXPECT_TRUE(producer_alive);
 }
 
 TEST(FusionTest, MixedPipelinesAgreeUnderFusionAndReuse) {

@@ -38,6 +38,13 @@ std::vector<LimaConfig> SweepConfigs() {
   assist.compiler_assist = true;
   assist.dedup_lineage = true;
   configs.push_back(assist);
+  // redundancy_check defaults on, so the configs above all compile with the
+  // GVN planner and cost-based fusion; one config exercises the off path
+  // (greedy fusion, no probe verdicts).
+  LimaConfig no_planning = LimaConfig::Lima();
+  no_planning.operator_fusion = true;
+  no_planning.redundancy_check = false;
+  configs.push_back(no_planning);
   return configs;
 }
 
@@ -51,6 +58,21 @@ void ExpectVerifies(const std::string& label, const std::string& source) {
         << label << " (fusion=" << config.operator_fusion
         << ", assist=" << config.compiler_assist << "):\n"
         << report.ToString();
+    // False-positive gate for the redundancy analysis: bundled scripts and
+    // pipelines are written without duplicate subexpressions, so a
+    // redundant-computation warning on any of them is an analysis bug
+    // (spurious value-number collision or availability over-approximation).
+    VerifyOptions redundancy_options;
+    redundancy_options.check_redundancy = true;
+    VerifyReport redundancy_report =
+        VerifyProgram(**program, redundancy_options);
+    EXPECT_EQ(redundancy_report.num_errors, 0)
+        << label << ":\n" << redundancy_report.ToString();
+    for (const Diagnostic& diag : redundancy_report.diagnostics) {
+      EXPECT_NE(diag.code, "redundant-computation")
+          << label << " (fusion=" << config.operator_fusion
+          << ", assist=" << config.compiler_assist << "): " << diag.message;
+    }
     // Every shipped parfor must be proven race-free: a serialize verdict on
     // a bundled script is a performance regression (the loop silently runs
     // on one worker), so it fails here even though it is only a warning in

@@ -38,6 +38,13 @@
 //                                top-level block + program peak) from shape
 //                                inference, and, after execution, the actual
 //                                peak live bytes for cross-checking
+//   --redundancy=on|off          compile-time redundancy & cost analysis
+//                                (default: on): lineage-aware GVN, static
+//                                probe verdicts, cost-based fusion planning.
+//                                Results and lineage are identical either way
+//   --plan-report[=text|json]    print the static plan (value numbers, probe
+//                                verdicts, fusion decisions) after execution;
+//                                text goes to stderr (default), json to stdout
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -62,7 +69,9 @@ void PrintUsage() {
                "[--stats] [--profile[=text|json|csv]] [--lineage=VAR]\n"
                "                [--verify[=report|strict|only]] "
                "[--parfor-check=on|off]\n                "
-               "[--inplace=on|off] [--mem-report] <script.dml | ->\n");
+               "[--inplace=on|off] [--mem-report] [--redundancy=on|off]\n"
+               "                [--plan-report[=text|json]] "
+               "<script.dml | ->\n");
 }
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -82,6 +91,7 @@ int main(int argc, char** argv) {
   bool verify_only = false;
   bool mem_report = false;
   std::string profile_format;  // empty = profiling off
+  std::string plan_format;     // empty = no plan report
   std::string lineage_var;
   std::string script_path;
   std::string value;
@@ -178,6 +188,24 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--mem-report") {
       mem_report = true;
+    } else if (ParseFlag(arg, "redundancy", &value)) {
+      if (value == "on") {
+        config.redundancy_check = true;
+      } else if (value == "off") {
+        config.redundancy_check = false;
+      } else {
+        std::fprintf(stderr, "unknown redundancy mode: %s\n", value.c_str());
+        return 2;
+      }
+    } else if (arg == "--plan-report" || ParseFlag(arg, "plan-report", &value)) {
+      if (arg == "--plan-report" || value == "text") {
+        plan_format = "text";
+      } else if (value == "json") {
+        plan_format = "json";
+      } else {
+        std::fprintf(stderr, "unknown plan-report format: %s\n", value.c_str());
+        return 2;
+      }
     } else if (ParseFlag(arg, "lineage", &value)) {
       lineage_var = value;
     } else if (arg == "--verify" || ParseFlag(arg, "verify", &value)) {
@@ -272,6 +300,14 @@ int main(int argc, char** argv) {
   if (print_stats) {
     std::fprintf(stderr, "elapsed: %.3fs\nstats: %s\n", seconds,
                  session.stats()->ToString().c_str());
+  }
+  if (!plan_format.empty()) {
+    std::string plan = session.StaticPlanReport(plan_format);
+    if (plan_format == "json") {
+      std::fputs(plan.c_str(), stdout);
+    } else {
+      std::fputs(plan.c_str(), stderr);
+    }
   }
   if (!profile_format.empty()) {
     lima::ProfileReport report = session.ProfileReport();
