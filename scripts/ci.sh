@@ -48,7 +48,7 @@ if [[ "$SANITIZE" == "thread" ]]; then
   # stamping and cost-planned fusion must stay invisible to 8-worker parfor
   # runs (results, lineage, and cache behavior are compared across worker
   # counts inside those suites).
-  TSAN_TESTS='^(ParforTest|ParforDependencyTest|LineageCacheTest|MultiLevelTest|CacheConcurrencyTest|CacheDeterminismTest|ThreadPoolTest|ServeTest|RedundancyTest|FusionTest)\.'
+  TSAN_TESTS='^(ParforTest|ParforDependencyTest|LineageCacheTest|MultiLevelTest|CacheConcurrencyTest|CacheDeterminismTest|ThreadPoolTest|ParallelBudgetTest|ServeTest|RedundancyTest|FusionTest)\.'
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
     --tests-regex "$TSAN_TESTS"
 else
@@ -245,5 +245,18 @@ print("contention smoke: OK (sharded {:.2e}/s >= single-mutex {:.2e}/s)"
       .format(rates["sharded"], rates["single"]))
 EOF
 fi
+
+# Parallelism-determinism smoke: the shared budget must change wall-clock
+# only. Every shipped script's printed output has to be byte-identical at
+# --max-parallelism=1 and at the full hardware budget (kernels chunk by the
+# cost model, reductions fold partials in chunk order; docs/CONCURRENCY.md,
+# "Parallelism budget").
+for script in "$ROOT"/scripts/*.dml; do
+  echo "parallelism smoke: $script"
+  sum1="$("$BUILD_DIR/tools/lima_run" --max-parallelism=1 --workers=4     "$script" | cksum)"
+  sumN="$("$BUILD_DIR/tools/lima_run" --max-parallelism=hardware --workers=4     "$script" | cksum)"
+  [[ "$sum1" == "$sumN" ]]     || { echo "output drifted with the budget: $script ($sum1 vs $sumN)" >&2
+         exit 1; }
+done
 
 echo "ci: OK"

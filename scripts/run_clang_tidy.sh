@@ -29,6 +29,7 @@ if [[ ${#PATHS[@]} -eq 0 ]]; then
   # consumer).
   PATHS=("$ROOT/src/lineage" "$ROOT/src/reuse" "$ROOT/src/analysis"
          "$ROOT/src/obs" "$ROOT/src/serve" "$ROOT/tools"
+         "$ROOT/src/common/parallel.cc"
          "$ROOT/src/runtime/instruction_factory.cc"
          "$ROOT/src/runtime/reconstruct.cc")
 fi

@@ -42,7 +42,35 @@ inline constexpr double kFusedStepOverheadNanos = 1.0;
 /// redundancy is the reuse cache's job, not the user's.
 inline constexpr double kRedundantWarnNanos = 1000.0;
 
+/// Minimum estimated work per parallel chunk of a kernel: dispatching a
+/// slice to the worker pool costs on the order of a few microseconds of
+/// synchronization, so chunks an order of magnitude above that amortize it
+/// and anything smaller runs sequentially. Replaces the old hardcoded
+/// `m < 64` / `m < 256` row cutoffs with a FLOPs+bytes estimate.
+inline constexpr double kParallelGrainNanos = 50000.0;
+
+/// Ceiling on the chunk fan-out of a single kernel call (keeps the
+/// claim-counter contention and slice bookkeeping bounded on huge inputs).
+inline constexpr int kMaxParallelChunks = 256;
+
 }  // namespace cost
+
+/// Parallel decomposition of one kernel call: the number of chunks for a
+/// kernel estimated at `flops` floating-point operations and `bytes` of
+/// memory traffic, targeting ~kParallelGrainNanos of work per chunk. A pure
+/// function of the problem size — never of the thread count or budget — so
+/// chunked reductions keep a fixed chunk→accumulator ordering and results
+/// stay byte-identical at every budget setting (a kernel granted fewer
+/// threads runs more chunks per thread, not different chunks). Returns 1
+/// (sequential) when the whole call is under two grains.
+inline int PlanParallelChunks(double flops, double bytes,
+                              int max_chunks = cost::kMaxParallelChunks) {
+  double nanos = flops * cost::kNanosPerFlop + bytes * cost::kNanosPerByte;
+  if (nanos < 2.0 * cost::kParallelGrainNanos) return 1;
+  double chunks = nanos / cost::kParallelGrainNanos;
+  if (chunks >= static_cast<double>(max_chunks)) return max_chunks;
+  return static_cast<int>(chunks);
+}
 
 /// Compile-time cost estimate of one instruction: FLOPs plus bytes moved
 /// (operand reads + output writes), combined into nanoseconds with the

@@ -93,8 +93,13 @@ struct LimaConfig {
   /// compile-time planner — results and lineage are identical either way.
   bool redundancy_check = true;
 
-  /// Degree of parallelism inside individual matrix kernels.
-  int kernel_threads = 1;
+  /// Process-wide parallelism budget (common/parallel.h): the ceiling on
+  /// concurrently running compute threads across parfor workers, intra-op
+  /// kernel threads, partial-rewrite kernels, and serve requests combined.
+  /// 0 (the default) resolves to HardwareConcurrency(). Replaces the old
+  /// per-context `kernel_threads` knob: kernels now draw a fair share of
+  /// this budget at call time instead of carrying a fixed thread count.
+  int max_parallelism = 0;
 
   /// In-place execution of eligible elementwise operations: when the
   /// compile-time liveness pass marked an operand as its variable's last

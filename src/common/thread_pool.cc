@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace lima {
 
@@ -84,31 +85,19 @@ void ParallelFor(int64_t n, int num_threads,
     for (int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  std::mutex error_mu;
-  std::exception_ptr first_exception;
-  // Contiguous range partitioning for cache locality.
+  // Contiguous range partitioning for cache locality; one slice per
+  // participant, executed on the shared WorkerPool instead of transient
+  // std::threads. A slice whose fn throws abandons the rest of its range
+  // (other slices still complete) and PooledRun rethrows the first
+  // exception on the calling thread — the transient-thread semantics,
+  // without the per-call thread creation cost.
   int64_t chunk = (n + num_threads - 1) / num_threads;
-  for (int t = 0; t < num_threads; ++t) {
-    int64_t begin = t * chunk;
+  int64_t slices = (n + chunk - 1) / chunk;
+  PooledRun(slices, static_cast<int>(slices), [&](int64_t s) {
+    int64_t begin = s * chunk;
     int64_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    threads.emplace_back([begin, end, &fn, &error_mu, &first_exception] {
-      // An escaping exception on a std::thread is std::terminate; capture it
-      // here and surface the first one on the calling thread after the join.
-      try {
-        for (int64_t i = begin; i < end; ++i) fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (first_exception == nullptr) {
-          first_exception = std::current_exception();
-        }
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  if (first_exception != nullptr) std::rethrow_exception(first_exception);
+    for (int64_t i = begin; i < end; ++i) fn(i);
+  });
 }
 
 int HardwareConcurrency() {

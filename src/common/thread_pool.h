@@ -59,11 +59,13 @@ class ThreadPool {
 
 /// Runs fn(i) for i in [0, n) across up to `num_threads` threads, blocking
 /// until all complete. Falls back to the calling thread for n==0/1 or
-/// num_threads<=1. Spawns transient threads (no shared pool) so nested use
-/// inside parfor workers stays isolated. If fn throws, the throwing thread
-/// abandons the rest of its chunk, other threads finish theirs, and the
-/// first exception is rethrown on the calling thread after every thread has
-/// joined.
+/// num_threads<=1. Executes on the process-wide WorkerPool
+/// (common/parallel.h) — slices are claimed, and the caller runs whatever
+/// the pool does not pick up, so nested use inside parfor workers is
+/// deadlock-free without needing isolated threads. If fn throws, the
+/// throwing thread abandons the rest of its chunk, other threads finish
+/// theirs, and the first exception is rethrown on the calling thread after
+/// every slice has completed.
 void ParallelFor(int64_t n, int num_threads,
                  const std::function<void(int64_t)>& fn);
 

@@ -1,6 +1,7 @@
 #include "lang/session.h"
 
 #include "analysis/redundancy.h"
+#include "common/parallel.h"
 #include "lang/compiler.h"
 #include "lineage/serialize.h"
 
@@ -11,7 +12,8 @@ LimaSession::LimaSession(LimaConfig config)
       cache_(std::make_shared<LineageCache>(config_, &stats_)),
       context_(&config_, nullptr, cache_.get(), &dedup_registry_, &stats_) {
   context_.set_print_stream(&output_);
-  context_.set_kernel_threads(config_.kernel_threads);
+  ParallelBudget::Global().set_capacity(
+      ResolveMaxParallelism(config_.max_parallelism));
   context_.EnableMemoryAccounting();
   if (config_.profile) {
     context_.set_profiler(&profile_);
@@ -26,7 +28,8 @@ LimaSession::LimaSession(LimaConfig config,
       shared_cache_(true),
       context_(&config_, nullptr, cache_.get(), &dedup_registry_, &stats_) {
   context_.set_print_stream(&output_);
-  context_.set_kernel_threads(config_.kernel_threads);
+  ParallelBudget::Global().set_capacity(
+      ResolveMaxParallelism(config_.max_parallelism));
   context_.EnableMemoryAccounting();
   // A shared cache is not wired to this session's private event log even
   // under --profile: several sessions would race to attach theirs. Attach a
@@ -46,6 +49,10 @@ Status LimaSession::Run(const std::string& script) {
     }
   }
   context_.set_program(program.get());
+  // Register the driving thread as a budget holder for the duration of the
+  // run: intra-op fair shares account for it, and a concurrent session or
+  // serve request sees this one's unit as in use.
+  ParallelBudget::Lease self = ParallelBudget::Global().RegisterThread();
   Status status = program->Execute(&context_);
   programs_.push_back(std::move(program));
   return status;
@@ -144,6 +151,8 @@ lima::ProfileReport LimaSession::ProfileReport() const {
       {"cache_budget_bytes", std::to_string(config_.cache_budget_bytes)},
       {"spilling", config_.enable_spilling ? "on" : "off"},
       {"parfor_workers", std::to_string(config_.parfor_workers)},
+      {"max_parallelism",
+       std::to_string(ResolveMaxParallelism(config_.max_parallelism))},
       {"profile", config_.profile ? "on" : "off"},
       {"cache_shards", std::to_string(cache_->num_shards())},
       {"shared_cache", shared_cache_ ? "on" : "off"},

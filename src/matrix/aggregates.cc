@@ -2,31 +2,129 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
+
+#include "analysis/cost_model.h"
 
 namespace lima {
 
-double Sum(const Matrix& m) {
+namespace {
+
+/// Chunk plan for the scalar reductions: partials are one double per chunk,
+/// so the only caps are the cost-model plan and the cell count. Pure
+/// function of `n` — the reduction grouping never follows the budget.
+int PlanScalarChunks(int64_t n) {
+  int chunks = PlanParallelChunks(static_cast<double>(n),
+                                  8.0 * static_cast<double>(n));
+  return static_cast<int>(std::min<int64_t>(chunks, n));
+}
+
+/// Chunk plan for the column reductions: each chunk owns a partial result
+/// row, so cap the fan-out the way the matmul reductions do.
+constexpr int kMaxColReductionChunks = 32;
+
+int PlanColChunks(int64_t rows, int64_t cols) {
+  int chunks = PlanParallelChunks(
+      static_cast<double>(rows) * static_cast<double>(cols),
+      8.0 * static_cast<double>(rows) * static_cast<double>(cols),
+      kMaxColReductionChunks);
+  return static_cast<int>(std::min<int64_t>(chunks, rows));
+}
+
+/// Row-partitioned kernels: rows split into cost-model-sized chunks; every
+/// output row is computed whole inside one chunk, so bytes are identical at
+/// any chunk count (and any budget).
+void ForRowChunks(const ParallelContext* par, int64_t rows, int64_t cols,
+                  const std::function<void(int64_t, int64_t)>& range_fn) {
+  int chunks = PlanParallelChunks(
+      static_cast<double>(rows) * static_cast<double>(cols),
+      8.0 * static_cast<double>(rows) * static_cast<double>(cols));
+  chunks = static_cast<int>(std::min<int64_t>(chunks, rows));
+  if (chunks <= 1) {
+    range_fn(0, rows);
+    return;
+  }
+  int64_t per = (rows + chunks - 1) / chunks;
+  RunChunks(par, chunks, [&](int64_t c) {
+    int64_t b = c * per;
+    range_fn(b, std::min(rows, b + per));
+  });
+}
+
+}  // namespace
+
+double Sum(const Matrix& m, const ParallelContext* par) {
+  const double* p = m.data();
+  int64_t n = m.size();
+  int chunks = PlanScalarChunks(n);
+  if (chunks <= 1) {
+    double s = 0.0;
+    for (int64_t i = 0; i < n; ++i) s += p[i];
+    return s;
+  }
+  int64_t per = (n + chunks - 1) / chunks;
+  std::vector<double> partials(chunks, 0.0);
+  RunChunks(par, chunks, [&](int64_t c) {
+    int64_t b = c * per;
+    int64_t e = std::min(n, b + per);
+    double s = 0.0;
+    for (int64_t i = b; i < e; ++i) s += p[i];
+    partials[c] = s;
+  });
   double s = 0.0;
-  const double* p = m.data();
-  for (int64_t i = 0; i < m.size(); ++i) s += p[i];
+  for (double v : partials) s += v;
   return s;
 }
 
-double Mean(const Matrix& m) {
-  return m.size() == 0 ? 0.0 : Sum(m) / static_cast<double>(m.size());
+double Mean(const Matrix& m, const ParallelContext* par) {
+  return m.size() == 0 ? 0.0 : Sum(m, par) / static_cast<double>(m.size());
 }
 
-double MinValue(const Matrix& m) {
+double MinValue(const Matrix& m, const ParallelContext* par) {
+  const double* p = m.data();
+  int64_t n = m.size();
+  int chunks = PlanScalarChunks(n);
+  if (chunks <= 1) {
+    double s = std::numeric_limits<double>::infinity();
+    for (int64_t i = 0; i < n; ++i) s = std::min(s, p[i]);
+    return s;
+  }
+  int64_t per = (n + chunks - 1) / chunks;
+  std::vector<double> partials(chunks,
+                               std::numeric_limits<double>::infinity());
+  RunChunks(par, chunks, [&](int64_t c) {
+    int64_t b = c * per;
+    int64_t e = std::min(n, b + per);
+    double s = std::numeric_limits<double>::infinity();
+    for (int64_t i = b; i < e; ++i) s = std::min(s, p[i]);
+    partials[c] = s;
+  });
   double s = std::numeric_limits<double>::infinity();
-  const double* p = m.data();
-  for (int64_t i = 0; i < m.size(); ++i) s = std::min(s, p[i]);
+  for (double v : partials) s = std::min(s, v);
   return s;
 }
 
-double MaxValue(const Matrix& m) {
-  double s = -std::numeric_limits<double>::infinity();
+double MaxValue(const Matrix& m, const ParallelContext* par) {
   const double* p = m.data();
-  for (int64_t i = 0; i < m.size(); ++i) s = std::max(s, p[i]);
+  int64_t n = m.size();
+  int chunks = PlanScalarChunks(n);
+  if (chunks <= 1) {
+    double s = -std::numeric_limits<double>::infinity();
+    for (int64_t i = 0; i < n; ++i) s = std::max(s, p[i]);
+    return s;
+  }
+  int64_t per = (n + chunks - 1) / chunks;
+  std::vector<double> partials(chunks,
+                               -std::numeric_limits<double>::infinity());
+  RunChunks(par, chunks, [&](int64_t c) {
+    int64_t b = c * per;
+    int64_t e = std::min(n, b + per);
+    double s = -std::numeric_limits<double>::infinity();
+    for (int64_t i = b; i < e; ++i) s = std::max(s, p[i]);
+    partials[c] = s;
+  });
+  double s = -std::numeric_limits<double>::infinity();
+  for (double v : partials) s = std::max(s, v);
   return s;
 }
 
@@ -37,18 +135,40 @@ double Trace(const Matrix& m) {
   return s;
 }
 
-Matrix ColSums(const Matrix& m) {
-  Matrix out(1, m.cols());
+Matrix ColSums(const Matrix& m, const ParallelContext* par) {
+  int64_t rows = m.rows();
+  int64_t cols = m.cols();
+  Matrix out(1, cols);
   double* po = out.mutable_data();
-  for (int64_t i = 0; i < m.rows(); ++i) {
-    const double* row = m.data() + i * m.cols();
-    for (int64_t j = 0; j < m.cols(); ++j) po[j] += row[j];
+  int chunks = PlanColChunks(rows, cols);
+  if (chunks <= 1) {
+    for (int64_t i = 0; i < rows; ++i) {
+      const double* row = m.data() + i * cols;
+      for (int64_t j = 0; j < cols; ++j) po[j] += row[j];
+    }
+    return out;
+  }
+  int64_t per = (rows + chunks - 1) / chunks;
+  Matrix partials(chunks, cols);
+  RunChunks(par, chunks, [&](int64_t c) {
+    double* pp = partials.mutable_data() + c * cols;
+    int64_t rb = c * per;
+    int64_t re = std::min(rows, rb + per);
+    for (int64_t i = rb; i < re; ++i) {
+      const double* row = m.data() + i * cols;
+      for (int64_t j = 0; j < cols; ++j) pp[j] += row[j];
+    }
+  });
+  // Chunk-ordered reduce: same grouping at every budget setting.
+  for (int c = 0; c < chunks; ++c) {
+    const double* pp = partials.data() + static_cast<int64_t>(c) * cols;
+    for (int64_t j = 0; j < cols; ++j) po[j] += pp[j];
   }
   return out;
 }
 
-Matrix ColMeans(const Matrix& m) {
-  Matrix out = ColSums(m);
+Matrix ColMeans(const Matrix& m, const ParallelContext* par) {
+  Matrix out = ColSums(m, par);
   if (m.rows() > 0) {
     double inv = 1.0 / static_cast<double>(m.rows());
     for (int64_t j = 0; j < m.cols(); ++j) out.At(0, j) *= inv;
@@ -56,21 +176,67 @@ Matrix ColMeans(const Matrix& m) {
   return out;
 }
 
-Matrix ColMins(const Matrix& m) {
-  Matrix out(1, m.cols(), std::numeric_limits<double>::infinity());
-  for (int64_t i = 0; i < m.rows(); ++i) {
-    for (int64_t j = 0; j < m.cols(); ++j) {
-      out.At(0, j) = std::min(out.At(0, j), m.At(i, j));
+Matrix ColMins(const Matrix& m, const ParallelContext* par) {
+  int64_t rows = m.rows();
+  int64_t cols = m.cols();
+  Matrix out(1, cols, std::numeric_limits<double>::infinity());
+  int chunks = PlanColChunks(rows, cols);
+  if (chunks <= 1) {
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t j = 0; j < cols; ++j) {
+        out.At(0, j) = std::min(out.At(0, j), m.At(i, j));
+      }
+    }
+    return out;
+  }
+  int64_t per = (rows + chunks - 1) / chunks;
+  Matrix partials(chunks, cols, std::numeric_limits<double>::infinity());
+  RunChunks(par, chunks, [&](int64_t c) {
+    double* pp = partials.mutable_data() + c * cols;
+    int64_t rb = c * per;
+    int64_t re = std::min(rows, rb + per);
+    for (int64_t i = rb; i < re; ++i) {
+      const double* row = m.data() + i * cols;
+      for (int64_t j = 0; j < cols; ++j) pp[j] = std::min(pp[j], row[j]);
+    }
+  });
+  for (int c = 0; c < chunks; ++c) {
+    const double* pp = partials.data() + static_cast<int64_t>(c) * cols;
+    for (int64_t j = 0; j < cols; ++j) {
+      out.At(0, j) = std::min(out.At(0, j), pp[j]);
     }
   }
   return out;
 }
 
-Matrix ColMaxs(const Matrix& m) {
-  Matrix out(1, m.cols(), -std::numeric_limits<double>::infinity());
-  for (int64_t i = 0; i < m.rows(); ++i) {
-    for (int64_t j = 0; j < m.cols(); ++j) {
-      out.At(0, j) = std::max(out.At(0, j), m.At(i, j));
+Matrix ColMaxs(const Matrix& m, const ParallelContext* par) {
+  int64_t rows = m.rows();
+  int64_t cols = m.cols();
+  Matrix out(1, cols, -std::numeric_limits<double>::infinity());
+  int chunks = PlanColChunks(rows, cols);
+  if (chunks <= 1) {
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t j = 0; j < cols; ++j) {
+        out.At(0, j) = std::max(out.At(0, j), m.At(i, j));
+      }
+    }
+    return out;
+  }
+  int64_t per = (rows + chunks - 1) / chunks;
+  Matrix partials(chunks, cols, -std::numeric_limits<double>::infinity());
+  RunChunks(par, chunks, [&](int64_t c) {
+    double* pp = partials.mutable_data() + c * cols;
+    int64_t rb = c * per;
+    int64_t re = std::min(rows, rb + per);
+    for (int64_t i = rb; i < re; ++i) {
+      const double* row = m.data() + i * cols;
+      for (int64_t j = 0; j < cols; ++j) pp[j] = std::max(pp[j], row[j]);
+    }
+  });
+  for (int c = 0; c < chunks; ++c) {
+    const double* pp = partials.data() + static_cast<int64_t>(c) * cols;
+    for (int64_t j = 0; j < cols; ++j) {
+      out.At(0, j) = std::max(out.At(0, j), pp[j]);
     }
   }
   return out;
@@ -91,19 +257,21 @@ Matrix ColVars(const Matrix& m) {
   return out;
 }
 
-Matrix RowSums(const Matrix& m) {
+Matrix RowSums(const Matrix& m, const ParallelContext* par) {
   Matrix out(m.rows(), 1);
-  for (int64_t i = 0; i < m.rows(); ++i) {
-    const double* row = m.data() + i * m.cols();
-    double s = 0.0;
-    for (int64_t j = 0; j < m.cols(); ++j) s += row[j];
-    out.At(i, 0) = s;
-  }
+  ForRowChunks(par, m.rows(), m.cols(), [&](int64_t rb, int64_t re) {
+    for (int64_t i = rb; i < re; ++i) {
+      const double* row = m.data() + i * m.cols();
+      double s = 0.0;
+      for (int64_t j = 0; j < m.cols(); ++j) s += row[j];
+      out.At(i, 0) = s;
+    }
+  });
   return out;
 }
 
-Matrix RowMeans(const Matrix& m) {
-  Matrix out = RowSums(m);
+Matrix RowMeans(const Matrix& m, const ParallelContext* par) {
+  Matrix out = RowSums(m, par);
   if (m.cols() > 0) {
     double inv = 1.0 / static_cast<double>(m.cols());
     for (int64_t i = 0; i < m.rows(); ++i) out.At(i, 0) *= inv;
@@ -111,39 +279,45 @@ Matrix RowMeans(const Matrix& m) {
   return out;
 }
 
-Matrix RowMins(const Matrix& m) {
+Matrix RowMins(const Matrix& m, const ParallelContext* par) {
   Matrix out(m.rows(), 1, std::numeric_limits<double>::infinity());
-  for (int64_t i = 0; i < m.rows(); ++i) {
-    for (int64_t j = 0; j < m.cols(); ++j) {
-      out.At(i, 0) = std::min(out.At(i, 0), m.At(i, j));
-    }
-  }
-  return out;
-}
-
-Matrix RowMaxs(const Matrix& m) {
-  Matrix out(m.rows(), 1, -std::numeric_limits<double>::infinity());
-  for (int64_t i = 0; i < m.rows(); ++i) {
-    for (int64_t j = 0; j < m.cols(); ++j) {
-      out.At(i, 0) = std::max(out.At(i, 0), m.At(i, j));
-    }
-  }
-  return out;
-}
-
-Matrix RowIndexMax(const Matrix& m) {
-  Matrix out(m.rows(), 1);
-  for (int64_t i = 0; i < m.rows(); ++i) {
-    double best = -std::numeric_limits<double>::infinity();
-    int64_t best_j = 0;
-    for (int64_t j = 0; j < m.cols(); ++j) {
-      if (m.At(i, j) > best) {
-        best = m.At(i, j);
-        best_j = j;
+  ForRowChunks(par, m.rows(), m.cols(), [&](int64_t rb, int64_t re) {
+    for (int64_t i = rb; i < re; ++i) {
+      for (int64_t j = 0; j < m.cols(); ++j) {
+        out.At(i, 0) = std::min(out.At(i, 0), m.At(i, j));
       }
     }
-    out.At(i, 0) = static_cast<double>(best_j + 1);
-  }
+  });
+  return out;
+}
+
+Matrix RowMaxs(const Matrix& m, const ParallelContext* par) {
+  Matrix out(m.rows(), 1, -std::numeric_limits<double>::infinity());
+  ForRowChunks(par, m.rows(), m.cols(), [&](int64_t rb, int64_t re) {
+    for (int64_t i = rb; i < re; ++i) {
+      for (int64_t j = 0; j < m.cols(); ++j) {
+        out.At(i, 0) = std::max(out.At(i, 0), m.At(i, j));
+      }
+    }
+  });
+  return out;
+}
+
+Matrix RowIndexMax(const Matrix& m, const ParallelContext* par) {
+  Matrix out(m.rows(), 1);
+  ForRowChunks(par, m.rows(), m.cols(), [&](int64_t rb, int64_t re) {
+    for (int64_t i = rb; i < re; ++i) {
+      double best = -std::numeric_limits<double>::infinity();
+      int64_t best_j = 0;
+      for (int64_t j = 0; j < m.cols(); ++j) {
+        if (m.At(i, j) > best) {
+          best = m.At(i, j);
+          best_j = j;
+        }
+      }
+      out.At(i, 0) = static_cast<double>(best_j + 1);
+    }
+  });
   return out;
 }
 

@@ -1,37 +1,44 @@
 #ifndef LIMA_MATRIX_AGGREGATES_H_
 #define LIMA_MATRIX_AGGREGATES_H_
 
+#include "common/parallel.h"
 #include "matrix/matrix.h"
 
 namespace lima {
 
-/// Full aggregates over all cells.
-double Sum(const Matrix& m);
-double Mean(const Matrix& m);
-double MinValue(const Matrix& m);
-double MaxValue(const Matrix& m);
+/// Full aggregates over all cells. Large inputs reduce over fixed
+/// cost-model-sized chunks whose partials are combined in chunk order, so
+/// the floating-point result is a pure function of the input size — never
+/// of the thread count or budget (`par` may be null: sequential, same
+/// chunks, same bytes).
+double Sum(const Matrix& m, const ParallelContext* par = nullptr);
+double Mean(const Matrix& m, const ParallelContext* par = nullptr);
+double MinValue(const Matrix& m, const ParallelContext* par = nullptr);
+double MaxValue(const Matrix& m, const ParallelContext* par = nullptr);
 /// Sum of the main diagonal (square matrices; for non-square, the
 /// min(rows,cols) leading diagonal).
 double Trace(const Matrix& m);
 
-/// Column aggregates: 1 x cols results.
-Matrix ColSums(const Matrix& m);
-Matrix ColMeans(const Matrix& m);
-Matrix ColMins(const Matrix& m);
-Matrix ColMaxs(const Matrix& m);
+/// Column aggregates: 1 x cols results. Row chunks accumulate partial rows
+/// reduced in chunk order (same determinism contract as Sum).
+Matrix ColSums(const Matrix& m, const ParallelContext* par = nullptr);
+Matrix ColMeans(const Matrix& m, const ParallelContext* par = nullptr);
+Matrix ColMins(const Matrix& m, const ParallelContext* par = nullptr);
+Matrix ColMaxs(const Matrix& m, const ParallelContext* par = nullptr);
 /// Population variance per column (divides by n, like SystemDS colVars with
 /// Bessel correction — uses n-1; single-row input yields 0).
 Matrix ColVars(const Matrix& m);
 
-/// Row aggregates: rows x 1 results.
-Matrix RowSums(const Matrix& m);
-Matrix RowMeans(const Matrix& m);
-Matrix RowMins(const Matrix& m);
-Matrix RowMaxs(const Matrix& m);
+/// Row aggregates: rows x 1 results. Output rows partition cleanly, so any
+/// chunking is byte-identical.
+Matrix RowSums(const Matrix& m, const ParallelContext* par = nullptr);
+Matrix RowMeans(const Matrix& m, const ParallelContext* par = nullptr);
+Matrix RowMins(const Matrix& m, const ParallelContext* par = nullptr);
+Matrix RowMaxs(const Matrix& m, const ParallelContext* par = nullptr);
 
 /// 1-based index of the maximum value per row (ties: first occurrence),
 /// rows x 1. DML's rowIndexMax.
-Matrix RowIndexMax(const Matrix& m);
+Matrix RowIndexMax(const Matrix& m, const ParallelContext* par = nullptr);
 
 }  // namespace lima
 

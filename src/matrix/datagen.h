@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/parallel.h"
 #include "common/result.h"
 #include "matrix/matrix.h"
 
@@ -16,9 +17,13 @@ enum class RandPdf { kUniform, kNormal };
 /// are ignored and cells are standard normal. `sparsity` is the expected
 /// fraction of non-zero cells. The seed fully determines the result — this
 /// is the operation whose system-generated seed LIMA records in lineage.
+/// Outputs beyond 64K cells are generated in fixed 64K-cell chunks with
+/// per-chunk derived sub-seeds (at every budget setting, so the bytes are a
+/// pure function of dims+seed); `par` only decides whether the chunks run
+/// concurrently.
 Result<Matrix> Rand(int64_t rows, int64_t cols, double min_value,
                     double max_value, double sparsity, RandPdf pdf,
-                    uint64_t seed);
+                    uint64_t seed, const ParallelContext* par = nullptr);
 
 /// DML sample(range, size, seed): `size` distinct values from 1..range as a
 /// size x 1 matrix (without replacement).

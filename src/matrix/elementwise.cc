@@ -4,9 +4,36 @@
 #include <cmath>
 #include <sstream>
 
+#include "analysis/cost_model.h"
 #include "common/check.h"
 
 namespace lima {
+
+namespace {
+
+/// Runs range_fn(begin, end) over [0, n) in cost-model-sized chunks under
+/// `par` (inline when par is null — same chunks, same bytes). Every cell-
+/// wise kernel in this file writes each output cell independently, so any
+/// chunking is byte-identical; the chunk count is still a pure function of
+/// the problem size, for uniformity with the reduction kernels.
+void ForCellChunks(const ParallelContext* par, int64_t n,
+                   double bytes_per_cell,
+                   const std::function<void(int64_t, int64_t)>& range_fn) {
+  int chunks = PlanParallelChunks(static_cast<double>(n),
+                                  bytes_per_cell * static_cast<double>(n));
+  chunks = static_cast<int>(std::min<int64_t>(chunks, n));
+  if (chunks <= 1) {
+    range_fn(0, n);
+    return;
+  }
+  int64_t per = (n + chunks - 1) / chunks;
+  RunChunks(par, chunks, [&](int64_t c) {
+    int64_t b = c * per;
+    range_fn(b, std::min(n, b + per));
+  });
+}
+
+}  // namespace
 
 const char* BinaryOpName(BinaryOp op) {
   switch (op) {
@@ -144,7 +171,8 @@ double ApplyUnary(UnaryOp op, double v) {
   return 0.0;
 }
 
-Result<Matrix> EwiseBinary(BinaryOp op, const Matrix& a, const Matrix& b) {
+Result<Matrix> EwiseBinary(BinaryOp op, const Matrix& a, const Matrix& b,
+                           const ParallelContext* par) {
   bool rows_ok = a.rows() == b.rows() || a.rows() == 1 || b.rows() == 1;
   bool cols_ok = a.cols() == b.cols() || a.cols() == 1 || b.cols() == 1;
   if (!rows_ok || !cols_ok) {
@@ -162,137 +190,159 @@ Result<Matrix> EwiseBinary(BinaryOp op, const Matrix& a, const Matrix& b) {
     const double* pa = a.data();
     const double* pb = b.data();
     double* po = out.mutable_data();
-    int64_t n = out.size();
-    switch (op) {
-      case BinaryOp::kAdd:
-        for (int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
-        return out;
-      case BinaryOp::kSub:
-        for (int64_t i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
-        return out;
-      case BinaryOp::kMul:
-        for (int64_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
-        return out;
-      case BinaryOp::kDiv:
-        for (int64_t i = 0; i < n; ++i) po[i] = pa[i] / pb[i];
-        return out;
-      default:
-        for (int64_t i = 0; i < n; ++i) po[i] = ApplyBinary(op, pa[i], pb[i]);
-        return out;
-    }
+    ForCellChunks(par, out.size(), 24.0, [&](int64_t cb, int64_t ce) {
+      switch (op) {
+        case BinaryOp::kAdd:
+          for (int64_t i = cb; i < ce; ++i) po[i] = pa[i] + pb[i];
+          return;
+        case BinaryOp::kSub:
+          for (int64_t i = cb; i < ce; ++i) po[i] = pa[i] - pb[i];
+          return;
+        case BinaryOp::kMul:
+          for (int64_t i = cb; i < ce; ++i) po[i] = pa[i] * pb[i];
+          return;
+        case BinaryOp::kDiv:
+          for (int64_t i = cb; i < ce; ++i) po[i] = pa[i] / pb[i];
+          return;
+        default:
+          for (int64_t i = cb; i < ce; ++i) {
+            po[i] = ApplyBinary(op, pa[i], pb[i]);
+          }
+          return;
+      }
+    });
+    return out;
   }
-  // Broadcasting path.
-  for (int64_t i = 0; i < rows; ++i) {
-    int64_t ia = a.rows() == 1 ? 0 : i;
-    int64_t ib = b.rows() == 1 ? 0 : i;
-    for (int64_t j = 0; j < cols; ++j) {
-      int64_t ja = a.cols() == 1 ? 0 : j;
-      int64_t jb = b.cols() == 1 ? 0 : j;
-      out.At(i, j) = ApplyBinary(op, a.At(ia, ja), b.At(ib, jb));
+  // Broadcasting path: chunked over output rows.
+  ForCellChunks(par, rows, 24.0 * static_cast<double>(cols),
+                [&](int64_t rb, int64_t re) {
+    for (int64_t i = rb; i < re; ++i) {
+      int64_t ia = a.rows() == 1 ? 0 : i;
+      int64_t ib = b.rows() == 1 ? 0 : i;
+      for (int64_t j = 0; j < cols; ++j) {
+        int64_t ja = a.cols() == 1 ? 0 : j;
+        int64_t jb = b.cols() == 1 ? 0 : j;
+        out.At(i, j) = ApplyBinary(op, a.At(ia, ja), b.At(ib, jb));
+      }
     }
-  }
+  });
   return out;
 }
 
 Matrix EwiseBinaryScalar(BinaryOp op, const Matrix& m, double scalar,
-                         bool scalar_is_left) {
+                         bool scalar_is_left, const ParallelContext* par) {
   Matrix out(m.rows(), m.cols());
   const double* pm = m.data();
   double* po = out.mutable_data();
-  int64_t n = m.size();
-  if (scalar_is_left) {
-    for (int64_t i = 0; i < n; ++i) po[i] = ApplyBinary(op, scalar, pm[i]);
-  } else {
+  ForCellChunks(par, m.size(), 16.0, [&](int64_t cb, int64_t ce) {
+    if (scalar_is_left) {
+      for (int64_t i = cb; i < ce; ++i) po[i] = ApplyBinary(op, scalar, pm[i]);
+      return;
+    }
     switch (op) {
       case BinaryOp::kAdd:
-        for (int64_t i = 0; i < n; ++i) po[i] = pm[i] + scalar;
+        for (int64_t i = cb; i < ce; ++i) po[i] = pm[i] + scalar;
         break;
       case BinaryOp::kSub:
-        for (int64_t i = 0; i < n; ++i) po[i] = pm[i] - scalar;
+        for (int64_t i = cb; i < ce; ++i) po[i] = pm[i] - scalar;
         break;
       case BinaryOp::kMul:
-        for (int64_t i = 0; i < n; ++i) po[i] = pm[i] * scalar;
+        for (int64_t i = cb; i < ce; ++i) po[i] = pm[i] * scalar;
         break;
       case BinaryOp::kDiv:
-        for (int64_t i = 0; i < n; ++i) po[i] = pm[i] / scalar;
+        for (int64_t i = cb; i < ce; ++i) po[i] = pm[i] / scalar;
         break;
       default:
-        for (int64_t i = 0; i < n; ++i) po[i] = ApplyBinary(op, pm[i], scalar);
+        for (int64_t i = cb; i < ce; ++i) {
+          po[i] = ApplyBinary(op, pm[i], scalar);
+        }
         break;
     }
-  }
+  });
   return out;
 }
 
-Matrix EwiseUnary(UnaryOp op, const Matrix& m) {
+Matrix EwiseUnary(UnaryOp op, const Matrix& m, const ParallelContext* par) {
   Matrix out(m.rows(), m.cols());
   const double* pm = m.data();
   double* po = out.mutable_data();
-  int64_t n = m.size();
-  for (int64_t i = 0; i < n; ++i) po[i] = ApplyUnary(op, pm[i]);
+  ForCellChunks(par, m.size(), 16.0, [&](int64_t cb, int64_t ce) {
+    for (int64_t i = cb; i < ce; ++i) po[i] = ApplyUnary(op, pm[i]);
+  });
   return out;
 }
 
 void EwiseBinaryInPlace(BinaryOp op, Matrix* target, const Matrix& other,
-                        bool target_is_left) {
+                        bool target_is_left, const ParallelContext* par) {
   LIMA_CHECK(target->rows() == other.rows() &&
              target->cols() == other.cols());
   double* pt = target->mutable_data();
   const double* po = other.data();
-  int64_t n = target->size();
-  if (target_is_left) {
-    switch (op) {
-      case BinaryOp::kAdd:
-        for (int64_t i = 0; i < n; ++i) pt[i] += po[i];
-        return;
-      case BinaryOp::kSub:
-        for (int64_t i = 0; i < n; ++i) pt[i] -= po[i];
-        return;
-      case BinaryOp::kMul:
-        for (int64_t i = 0; i < n; ++i) pt[i] *= po[i];
-        return;
-      case BinaryOp::kDiv:
-        for (int64_t i = 0; i < n; ++i) pt[i] /= po[i];
-        return;
-      default:
-        for (int64_t i = 0; i < n; ++i) pt[i] = ApplyBinary(op, pt[i], po[i]);
-        return;
+  // Chunking stays safe under the X + X self-alias: cell i reads only
+  // pt[i]/po[i] before writing pt[i], and chunks never share a cell.
+  ForCellChunks(par, target->size(), 24.0, [&](int64_t cb, int64_t ce) {
+    if (target_is_left) {
+      switch (op) {
+        case BinaryOp::kAdd:
+          for (int64_t i = cb; i < ce; ++i) pt[i] += po[i];
+          return;
+        case BinaryOp::kSub:
+          for (int64_t i = cb; i < ce; ++i) pt[i] -= po[i];
+          return;
+        case BinaryOp::kMul:
+          for (int64_t i = cb; i < ce; ++i) pt[i] *= po[i];
+          return;
+        case BinaryOp::kDiv:
+          for (int64_t i = cb; i < ce; ++i) pt[i] /= po[i];
+          return;
+        default:
+          for (int64_t i = cb; i < ce; ++i) {
+            pt[i] = ApplyBinary(op, pt[i], po[i]);
+          }
+          return;
+      }
     }
-  }
-  for (int64_t i = 0; i < n; ++i) pt[i] = ApplyBinary(op, po[i], pt[i]);
+    for (int64_t i = cb; i < ce; ++i) pt[i] = ApplyBinary(op, po[i], pt[i]);
+  });
 }
 
 void EwiseBinaryScalarInPlace(BinaryOp op, Matrix* target, double scalar,
-                              bool scalar_is_left) {
+                              bool scalar_is_left,
+                              const ParallelContext* par) {
   double* pt = target->mutable_data();
-  int64_t n = target->size();
-  if (scalar_is_left) {
-    for (int64_t i = 0; i < n; ++i) pt[i] = ApplyBinary(op, scalar, pt[i]);
-    return;
-  }
-  switch (op) {
-    case BinaryOp::kAdd:
-      for (int64_t i = 0; i < n; ++i) pt[i] += scalar;
-      break;
-    case BinaryOp::kSub:
-      for (int64_t i = 0; i < n; ++i) pt[i] -= scalar;
-      break;
-    case BinaryOp::kMul:
-      for (int64_t i = 0; i < n; ++i) pt[i] *= scalar;
-      break;
-    case BinaryOp::kDiv:
-      for (int64_t i = 0; i < n; ++i) pt[i] /= scalar;
-      break;
-    default:
-      for (int64_t i = 0; i < n; ++i) pt[i] = ApplyBinary(op, pt[i], scalar);
-      break;
-  }
+  ForCellChunks(par, target->size(), 16.0, [&](int64_t cb, int64_t ce) {
+    if (scalar_is_left) {
+      for (int64_t i = cb; i < ce; ++i) pt[i] = ApplyBinary(op, scalar, pt[i]);
+      return;
+    }
+    switch (op) {
+      case BinaryOp::kAdd:
+        for (int64_t i = cb; i < ce; ++i) pt[i] += scalar;
+        break;
+      case BinaryOp::kSub:
+        for (int64_t i = cb; i < ce; ++i) pt[i] -= scalar;
+        break;
+      case BinaryOp::kMul:
+        for (int64_t i = cb; i < ce; ++i) pt[i] *= scalar;
+        break;
+      case BinaryOp::kDiv:
+        for (int64_t i = cb; i < ce; ++i) pt[i] /= scalar;
+        break;
+      default:
+        for (int64_t i = cb; i < ce; ++i) {
+          pt[i] = ApplyBinary(op, pt[i], scalar);
+        }
+        break;
+    }
+  });
 }
 
-void EwiseUnaryInPlace(UnaryOp op, Matrix* target) {
+void EwiseUnaryInPlace(UnaryOp op, Matrix* target,
+                       const ParallelContext* par) {
   double* pt = target->mutable_data();
-  int64_t n = target->size();
-  for (int64_t i = 0; i < n; ++i) pt[i] = ApplyUnary(op, pt[i]);
+  ForCellChunks(par, target->size(), 16.0, [&](int64_t cb, int64_t ce) {
+    for (int64_t i = cb; i < ce; ++i) pt[i] = ApplyUnary(op, pt[i]);
+  });
 }
 
 }  // namespace lima

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/parallel.h"
 #include "common/result.h"
 #include "matrix/matrix.h"
 
@@ -58,16 +59,21 @@ double ApplyUnary(UnaryOp op, double v);
 
 /// Cell-wise A op B with R-style broadcasting: each dimension of A and B
 /// must match or be 1 (row/column vectors broadcast). Returns
-/// InvalidArgument on incompatible shapes.
-Result<Matrix> EwiseBinary(BinaryOp op, const Matrix& a, const Matrix& b);
+/// InvalidArgument on incompatible shapes. Large outputs run as
+/// cost-model-sized cell chunks under `par`'s budget lease; every cell is
+/// computed independently, so results are byte-identical at any budget.
+Result<Matrix> EwiseBinary(BinaryOp op, const Matrix& a, const Matrix& b,
+                           const ParallelContext* par = nullptr);
 
 /// Cell-wise matrix-scalar operation. If `scalar_is_left`, computes
 /// s op M[i,j]; otherwise M[i,j] op s.
 Matrix EwiseBinaryScalar(BinaryOp op, const Matrix& m, double scalar,
-                         bool scalar_is_left);
+                         bool scalar_is_left,
+                         const ParallelContext* par = nullptr);
 
 /// Cell-wise unary operation.
-Matrix EwiseUnary(UnaryOp op, const Matrix& m);
+Matrix EwiseUnary(UnaryOp op, const Matrix& m,
+                  const ParallelContext* par = nullptr);
 
 /// In-place variants: overwrite `target`'s buffer with the result instead
 /// of allocating an output. Used by the runtime when compile-time liveness
@@ -77,14 +83,17 @@ Matrix EwiseUnary(UnaryOp op, const Matrix& m);
 /// broadcasting). `other` may alias `target` (X + X): each cell is read
 /// before its slot is written.
 void EwiseBinaryInPlace(BinaryOp op, Matrix* target, const Matrix& other,
-                        bool target_is_left);
+                        bool target_is_left,
+                        const ParallelContext* par = nullptr);
 
 /// target[i,j] = s op target[i,j] (scalar_is_left) or target[i,j] op s.
 void EwiseBinaryScalarInPlace(BinaryOp op, Matrix* target, double scalar,
-                              bool scalar_is_left);
+                              bool scalar_is_left,
+                              const ParallelContext* par = nullptr);
 
 /// target[i,j] = op(target[i,j]).
-void EwiseUnaryInPlace(UnaryOp op, Matrix* target);
+void EwiseUnaryInPlace(UnaryOp op, Matrix* target,
+                       const ParallelContext* par = nullptr);
 
 }  // namespace lima
 

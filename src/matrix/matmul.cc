@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <sstream>
+#include <vector>
 
-#include "common/thread_pool.h"
+#include "analysis/cost_model.h"
 
 namespace lima {
 
@@ -44,9 +45,49 @@ void TransposeGemmRows(const double* a, const double* b, double* out,
   }
 }
 
+/// Chunk count for the partial-accumulator reductions below. Beyond the
+/// cost-model plan, two extra caps: the fan-out itself (each chunk owns a
+/// private copy of the whole output) and the total partial-buffer footprint.
+/// Like every decomposition in this file it depends only on problem sizes,
+/// so the chunk→accumulator mapping — and therefore the floating-point
+/// summation order — is fixed across budget settings.
+constexpr int kMaxReductionChunks = 32;
+constexpr int64_t kMaxPartialBytes = int64_t{64} << 20;
+
+int PlanReductionChunks(double flops, double bytes, int64_t rows,
+                        int64_t out_cells) {
+  int chunks = PlanParallelChunks(flops, bytes, kMaxReductionChunks);
+  chunks = static_cast<int>(std::min<int64_t>(chunks, rows));
+  int64_t by_mem = kMaxPartialBytes / std::max<int64_t>(1, out_cells * 8);
+  return static_cast<int>(std::max<int64_t>(
+      1, std::min<int64_t>(chunks, by_mem)));
+}
+
+/// out[i] = sum over partials (ascending) of partials[c][i], for the
+/// `cells`-sized dense buffers. Cell ranges can run in parallel; each cell
+/// sums chunk 0 first, so the order matches the sequential reduce exactly.
+void ReducePartials(const std::vector<Matrix>& partials, double* out,
+                    int64_t cells, const ParallelContext* par) {
+  int64_t num = static_cast<int64_t>(partials.size());
+  int reduce_chunks = PlanParallelChunks(
+      static_cast<double>(num) * static_cast<double>(cells),
+      8.0 * static_cast<double>(num + 1) * static_cast<double>(cells));
+  reduce_chunks = static_cast<int>(std::min<int64_t>(reduce_chunks, cells));
+  int64_t per = (cells + reduce_chunks - 1) / reduce_chunks;
+  RunChunks(par, reduce_chunks, [&](int64_t r) {
+    int64_t cb = r * per;
+    int64_t ce = std::min(cells, cb + per);
+    for (const Matrix& part : partials) {
+      const double* pp = part.data();
+      for (int64_t i = cb; i < ce; ++i) out[i] += pp[i];
+    }
+  });
+}
+
 }  // namespace
 
-Result<Matrix> MatMul(const Matrix& a, const Matrix& b, int num_threads) {
+Result<Matrix> MatMul(const Matrix& a, const Matrix& b,
+                      const ParallelContext* par) {
   if (a.cols() != b.rows()) {
     std::ostringstream msg;
     msg << "matmul dimension mismatch: " << a.rows() << "x" << a.cols()
@@ -61,13 +102,19 @@ Result<Matrix> MatMul(const Matrix& a, const Matrix& b, int num_threads) {
   const double* pa = a.data();
   const double* pb = b.data();
 
-  if (num_threads <= 1 || m < 64) {
+  // Output rows partition cleanly: every chunk computes its own rows in
+  // full, so any chunk count yields identical bytes.
+  int chunks = PlanParallelChunks(
+      2.0 * static_cast<double>(m) * static_cast<double>(k) *
+          static_cast<double>(n),
+      8.0 * static_cast<double>(m * k + k * n + m * n));
+  chunks = static_cast<int>(std::min<int64_t>(chunks, m));
+  if (chunks <= 1) {
     GemmRows(pa, pb, po, 0, m, k, n);
     return out;
   }
-  int chunks = std::min<int64_t>(num_threads, m);
   int64_t rows_per_chunk = (m + chunks - 1) / chunks;
-  ParallelFor(chunks, num_threads, [&](int64_t c) {
+  RunChunks(par, chunks, [&](int64_t c) {
     int64_t rb = c * rows_per_chunk;
     int64_t re = std::min(m, rb + rows_per_chunk);
     if (rb < re) GemmRows(pa, pb, po, rb, re, k, n);
@@ -75,17 +122,24 @@ Result<Matrix> MatMul(const Matrix& a, const Matrix& b, int num_threads) {
   return out;
 }
 
-Matrix Tsmm(const Matrix& x, bool left, int num_threads) {
+Matrix Tsmm(const Matrix& x, bool left, const ParallelContext* par) {
   if (!left) {
-    // X * X^T: fall back to X^T-based formulation on the transposed view by
-    // computing out[i][j] = dot(row_i, row_j).
+    // X * X^T: out[i][j] = dot(row_i, row_j) for the upper triangle. Rows
+    // partition the output, so chunking never changes the bytes; chunks
+    // outnumber threads so claim-order balances the triangular row costs.
     int64_t m = x.rows();
     int64_t k = x.cols();
     Matrix out(m, m);
-    if (num_threads <= 1 || m < 256) {
-      // Same small-input guard as the left path and MatMul: spawning
-      // transient threads costs more than the dot products below it.
-      for (int64_t i = 0; i < m; ++i) {
+    int chunks = PlanParallelChunks(
+        static_cast<double>(m) * static_cast<double>(m) *
+            static_cast<double>(k),
+        8.0 * static_cast<double>(m * k + m * m));
+    chunks = static_cast<int>(std::min<int64_t>(chunks, m));
+    int64_t rows_per_chunk = (m + chunks - 1) / chunks;
+    RunChunks(par, chunks, [&](int64_t c) {
+      int64_t rb = c * rows_per_chunk;
+      int64_t re = std::min(m, rb + rows_per_chunk);
+      for (int64_t i = rb; i < re; ++i) {
         const double* ri = x.data() + i * k;
         for (int64_t j = i; j < m; ++j) {
           const double* rj = x.data() + j * k;
@@ -94,17 +148,7 @@ Matrix Tsmm(const Matrix& x, bool left, int num_threads) {
           out.At(i, j) = s;
         }
       }
-    } else {
-      ParallelFor(m, num_threads, [&](int64_t i) {
-        const double* ri = x.data() + i * k;
-        for (int64_t j = i; j < m; ++j) {
-          const double* rj = x.data() + j * k;
-          double s = 0.0;
-          for (int64_t p = 0; p < k; ++p) s += ri[p] * rj[p];
-          out.At(i, j) = s;
-        }
-      });
-    }
+    });
     for (int64_t i = 0; i < m; ++i) {
       for (int64_t j = 0; j < i; ++j) out.At(i, j) = out.At(j, i);
     }
@@ -115,8 +159,11 @@ Matrix Tsmm(const Matrix& x, bool left, int num_threads) {
   int64_t m = x.rows();
   int64_t n = x.cols();
   Matrix out(n, n);
+  int chunks = PlanReductionChunks(
+      static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(n),
+      8.0 * static_cast<double>(m * n + n * n), m, n * n);
 
-  if (num_threads <= 1 || m < 256) {
+  if (chunks <= 1) {
     double* po = out.mutable_data();
     for (int64_t i = 0; i < m; ++i) {
       const double* row = x.data() + i * n;
@@ -128,12 +175,12 @@ Matrix Tsmm(const Matrix& x, bool left, int num_threads) {
       }
     }
   } else {
-    // Each thread accumulates a private upper triangle over a row slice,
-    // then the slices are reduced.
-    int chunks = std::min<int64_t>(num_threads, m);
+    // Each chunk accumulates a private upper triangle over a fixed row
+    // slice, then the partials are reduced in chunk order — the same
+    // summation grouping at every budget setting.
     int64_t rows_per_chunk = (m + chunks - 1) / chunks;
     std::vector<Matrix> partials(chunks, Matrix(n, n));
-    ParallelFor(chunks, num_threads, [&](int64_t c) {
+    RunChunks(par, chunks, [&](int64_t c) {
       int64_t rb = c * rows_per_chunk;
       int64_t re = std::min(m, rb + rows_per_chunk);
       double* po = partials[c].mutable_data();
@@ -147,11 +194,7 @@ Matrix Tsmm(const Matrix& x, bool left, int num_threads) {
         }
       }
     });
-    double* po = out.mutable_data();
-    for (const Matrix& part : partials) {
-      const double* pp = part.data();
-      for (int64_t i = 0; i < n * n; ++i) po[i] += pp[i];
-    }
+    ReducePartials(partials, out.mutable_data(), n * n, par);
   }
   // Mirror upper triangle to lower.
   for (int64_t i = 0; i < n; ++i) {
@@ -161,7 +204,7 @@ Matrix Tsmm(const Matrix& x, bool left, int num_threads) {
 }
 
 Result<Matrix> TransposeMatMul(const Matrix& a, const Matrix& b,
-                               int num_threads) {
+                               const ParallelContext* par) {
   if (a.rows() != b.rows()) {
     std::ostringstream msg;
     msg << "t(A)%*%B dimension mismatch: " << a.rows() << "x" << a.cols()
@@ -174,18 +217,22 @@ Result<Matrix> TransposeMatMul(const Matrix& a, const Matrix& b,
   Matrix out(k, n);
   double* po = out.mutable_data();
 
-  if (num_threads <= 1 || m < 256) {
+  // Every input row i scatters into the whole k x n output, so the rows of
+  // `out` cannot be partitioned the way MatMul does; instead each chunk
+  // accumulates a private k x n partial over a fixed slice of input rows
+  // and the partials are reduced in chunk order (the Tsmm left-path
+  // scheme).
+  int chunks = PlanReductionChunks(
+      2.0 * static_cast<double>(m) * static_cast<double>(k) *
+          static_cast<double>(n),
+      8.0 * static_cast<double>(m * k + m * n + k * n), m, k * n);
+  if (chunks <= 1) {
     TransposeGemmRows(a.data(), b.data(), po, 0, m, k, n);
     return out;
   }
-  // Every input row i scatters into the whole k x n output, so the rows
-  // of `out` cannot be partitioned the way MatMul does; instead each
-  // thread accumulates a private k x n partial over its slice of input
-  // rows and the partials are reduced (the Tsmm left-path scheme).
-  int chunks = std::min<int64_t>(num_threads, m);
   int64_t rows_per_chunk = (m + chunks - 1) / chunks;
   std::vector<Matrix> partials(chunks, Matrix(k, n));
-  ParallelFor(chunks, num_threads, [&](int64_t c) {
+  RunChunks(par, chunks, [&](int64_t c) {
     int64_t rb = c * rows_per_chunk;
     int64_t re = std::min(m, rb + rows_per_chunk);
     if (rb < re) {
@@ -193,10 +240,7 @@ Result<Matrix> TransposeMatMul(const Matrix& a, const Matrix& b,
                         re, k, n);
     }
   });
-  for (const Matrix& part : partials) {
-    const double* pp = part.data();
-    for (int64_t i = 0; i < k * n; ++i) po[i] += pp[i];
-  }
+  ReducePartials(partials, po, k * n, par);
   return out;
 }
 

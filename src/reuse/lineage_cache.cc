@@ -639,8 +639,8 @@ DataPtr LineageCache::Peek(const LineageItemPtr& key) {
 
 DataPtr LineageCache::TryPartialReuse(const LineageItemPtr& key,
                                       const std::vector<DataPtr>& inputs,
-                                      int kernel_threads) {
-  return TryPartialRewrites(this, key, inputs, kernel_threads);
+                                      const ParallelContext* par) {
+  return TryPartialRewrites(this, key, inputs, par);
 }
 
 void LineageCache::Clear() {

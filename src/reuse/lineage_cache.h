@@ -90,7 +90,7 @@ class LineageCache : public ReuseCache {
   DataPtr Peek(const LineageItemPtr& key) override;
   DataPtr TryPartialReuse(const LineageItemPtr& key,
                           const std::vector<DataPtr>& inputs,
-                          int kernel_threads) override;
+                          const ParallelContext* par) override;
   void Clear() override;
   int64_t NumEntries() const override;
   int64_t SizeInBytes() const override;

@@ -111,7 +111,7 @@ int RbindChainDepth(const LineageItemPtr& item) {
 /// per-level results are probed from and inserted into the cache, and
 /// `reused` reports whether any cached component was found.
 MatrixPtr ComputeTsmmChain(LineageCache* cache, const LineageItemPtr& item,
-                           const MatrixPtr& value, int threads, int depth,
+                           const MatrixPtr& value, const ParallelContext* par, int depth,
                            bool* reused) {
   LineageItemPtr key = LineageItem::Create(Op().tsmm, {item});
   MatrixPtr cached = PeekMatrix(cache, key);
@@ -144,9 +144,9 @@ MatrixPtr ComputeTsmmChain(LineageCache* cache, const LineageItemPtr& item,
           a_val->cols() == value->cols() && b_val->cols() == value->cols()) {
         StopWatch watch;
         MatrixPtr ta =
-            ComputeTsmmChain(cache, a_item, a_val, threads, depth + 1, reused);
+            ComputeTsmmChain(cache, a_item, a_val, par, depth + 1, reused);
         MatrixPtr tb =
-            ComputeTsmmChain(cache, b_item, b_val, threads, depth + 1, reused);
+            ComputeTsmmChain(cache, b_item, b_val, par, depth + 1, reused);
         if (ta != nullptr && tb != nullptr) {
           Result<Matrix> sum = EwiseBinary(BinaryOp::kAdd, *ta, *tb);
           if (sum.ok()) {
@@ -159,13 +159,14 @@ MatrixPtr ComputeTsmmChain(LineageCache* cache, const LineageItemPtr& item,
     }
   }
   StopWatch watch;
-  MatrixPtr out = MakeMatrixPtr(Tsmm(*value, /*left=*/true, threads));
+  MatrixPtr out = MakeMatrixPtr(Tsmm(*value, /*left=*/true, par));
   cache->Put(key, MakeMatrixData(out), watch.ElapsedSeconds());
   return out;
 }
 
 DataPtr RewriteTsmm(LineageCache* cache, const LineageItemPtr& key,
-                    const std::vector<DataPtr>& inputs, int threads) {
+                    const std::vector<DataPtr>& inputs,
+                    const ParallelContext* par) {
   const LineageItemPtr& composed = key->inputs()[0];
   MatrixPtr z = InputMatrix(inputs[0]);
   if (z == nullptr) return nullptr;
@@ -184,9 +185,9 @@ DataPtr RewriteTsmm(LineageCache* cache, const LineageItemPtr& key,
     Result<Matrix> a = RightIndex(*z, 1, z->rows(), 1, c1);
     Result<Matrix> b = RightIndex(*z, 1, z->rows(), c1 + 1, z->cols());
     if (!a.ok() || !b.ok()) return nullptr;
-    Result<Matrix> tab = TransposeMatMul(*a, *b, threads);
+    Result<Matrix> tab = TransposeMatMul(*a, *b, par);
     if (!tab.ok()) return nullptr;
-    Matrix tbb = Tsmm(*b, /*left=*/true, threads);
+    Matrix tbb = Tsmm(*b, /*left=*/true, par);
     double seconds = watch.ElapsedSeconds();
     PutMatrix(cache, LineageItem::Create(Op().tsmm, {b_item}), tbb, seconds);
 
@@ -217,7 +218,7 @@ DataPtr RewriteTsmm(LineageCache* cache, const LineageItemPtr& key,
     if (!speculate && !SpineHasCachedTsmm(cache, composed)) return nullptr;
     bool reused = false;
     MatrixPtr result =
-        ComputeTsmmChain(cache, composed, z, threads, /*depth=*/0, &reused);
+        ComputeTsmmChain(cache, composed, z, par, /*depth=*/0, &reused);
     if (result == nullptr || (!reused && !speculate)) return nullptr;
     return MakeMatrixData(result);
   }
@@ -252,7 +253,7 @@ bool SpineHasCachedTXy(LineageCache* cache, const LineageItemPtr& x_item,
 /// t(X) (cols(X) x rows(X)); `y` is the stacked vector/matrix.
 MatrixPtr ComputeTXyChain(LineageCache* cache, const LineageItemPtr& x_item,
                           const LineageItemPtr& y_item, const MatrixPtr& xt,
-                          const MatrixPtr& y, int threads, int depth,
+                          const MatrixPtr& y, const ParallelContext* par, int depth,
                           bool* reused) {
   LineageItemPtr key = TXyKey(x_item, y_item);
   MatrixPtr cached = PeekMatrix(cache, key);
@@ -289,11 +290,11 @@ MatrixPtr ComputeTXyChain(LineageCache* cache, const LineageItemPtr& x_item,
         StopWatch watch;
         MatrixPtr left = ComputeTXyChain(
             cache, a_item, ya_item, MakeMatrixPtr(std::move(xta).ValueOrDie()),
-            MakeMatrixPtr(std::move(ya).ValueOrDie()), threads, depth + 1,
+            MakeMatrixPtr(std::move(ya).ValueOrDie()), par, depth + 1,
             reused);
         MatrixPtr right = ComputeTXyChain(
             cache, b_item, yb_item, MakeMatrixPtr(std::move(xtb).ValueOrDie()),
-            MakeMatrixPtr(std::move(yb).ValueOrDie()), threads, depth + 1,
+            MakeMatrixPtr(std::move(yb).ValueOrDie()), par, depth + 1,
             reused);
         if (left != nullptr && right != nullptr) {
           Result<Matrix> sum = EwiseBinary(BinaryOp::kAdd, *left, *right);
@@ -307,7 +308,7 @@ MatrixPtr ComputeTXyChain(LineageCache* cache, const LineageItemPtr& x_item,
     }
   }
   StopWatch watch;
-  Result<Matrix> product = MatMul(*xt, *y, threads);
+  Result<Matrix> product = MatMul(*xt, *y, par);
   if (!product.ok()) return nullptr;
   MatrixPtr out = MakeMatrixPtr(std::move(product).ValueOrDie());
   cache->Put(key, MakeMatrixData(out), watch.ElapsedSeconds());
@@ -315,7 +316,8 @@ MatrixPtr ComputeTXyChain(LineageCache* cache, const LineageItemPtr& x_item,
 }
 
 DataPtr RewriteMatMul(LineageCache* cache, const LineageItemPtr& key,
-                      const std::vector<DataPtr>& inputs, int threads) {
+                      const std::vector<DataPtr>& inputs,
+                    const ParallelContext* par) {
   const LineageItemPtr& x_item = key->inputs()[0];
   const LineageItemPtr& y_item = key->inputs()[1];
   MatrixPtr x = InputMatrix(inputs[0]);
@@ -337,7 +339,7 @@ DataPtr RewriteMatMul(LineageCache* cache, const LineageItemPtr& key,
       } else {
         Result<Matrix> dy = RightIndex(*y, 1, y->rows(), c1 + 1, y->cols());
         if (!dy.ok()) return nullptr;
-        Result<Matrix> product = MatMul(*x, *dy, threads);
+        Result<Matrix> product = MatMul(*x, *dy, par);
         if (!product.ok()) return nullptr;
         extra = std::move(product).ValueOrDie();
         PutMatrix(cache, LineageItem::Create(Op().mm, {x_item, y2}), extra,
@@ -359,7 +361,7 @@ DataPtr RewriteMatMul(LineageCache* cache, const LineageItemPtr& key,
       StopWatch watch;
       Result<Matrix> dx = RightIndex(*x, r1 + 1, x->rows(), 1, x->cols());
       if (dx.ok()) {
-        Result<Matrix> product = MatMul(*dx, *y, threads);
+        Result<Matrix> product = MatMul(*dx, *y, par);
         if (product.ok()) {
           PutMatrix(cache, LineageItem::Create(Op().mm, {x2, y_item}),
                     product.ValueOrDie(), watch.ElapsedSeconds());
@@ -404,7 +406,7 @@ DataPtr RewriteMatMul(LineageCache* cache, const LineageItemPtr& key,
     if (speculate || SpineHasCachedTXy(cache, x_item->inputs()[0], y_item)) {
       bool reused = false;
       MatrixPtr result = ComputeTXyChain(cache, x_item->inputs()[0], y_item,
-                                         x, y, threads, /*depth=*/0, &reused);
+                                         x, y, par, /*depth=*/0, &reused);
       if (result != nullptr && (reused || speculate)) {
         return MakeMatrixData(result);
       }
@@ -425,7 +427,7 @@ DataPtr RewriteMatMul(LineageCache* cache, const LineageItemPtr& key,
       StopWatch watch;
       Result<Matrix> bt = RightIndex(*x, r1 + 1, x->rows(), 1, x->cols());
       if (bt.ok()) {
-        Result<Matrix> product = MatMul(*bt, *y, threads);
+        Result<Matrix> product = MatMul(*bt, *y, par);
         if (product.ok()) {
           PutMatrix(cache,
                     LineageItem::Create(
@@ -551,14 +553,14 @@ DataPtr RewriteAgg(LineageCache* cache, const LineageItemPtr& key,
 
 DataPtr TryPartialRewrites(LineageCache* cache, const LineageItemPtr& key,
                            const std::vector<DataPtr>& inputs,
-                           int kernel_threads) {
+                           const ParallelContext* par) {
   if (key == nullptr || key->inputs().empty()) return nullptr;
   const OpcodeId op = key->opcode_id();
   if (op == Op().tsmm && inputs.size() == 1) {
-    return RewriteTsmm(cache, key, inputs, kernel_threads);
+    return RewriteTsmm(cache, key, inputs, par);
   }
   if (op == Op().mm && inputs.size() == 2) {
-    return RewriteMatMul(cache, key, inputs, kernel_threads);
+    return RewriteMatMul(cache, key, inputs, par);
   }
   if (IsCellwiseOpcode(op) && inputs.size() == 2) {
     return RewriteEwise(cache, key, inputs);

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/parallel.h"
 #include "lineage/lineage_item.h"
 #include "runtime/data.h"
 
@@ -32,9 +33,11 @@ class LineageCache;
 ///
 /// `inputs` are the resolved input values of the operation, positionally
 /// aligned with key->inputs().
+/// `par` carries the caller's parallelism-budget handle into the
+/// compensation kernels (may be null: sequential).
 DataPtr TryPartialRewrites(LineageCache* cache, const LineageItemPtr& key,
                            const std::vector<DataPtr>& inputs,
-                           int kernel_threads);
+                           const ParallelContext* par);
 
 }  // namespace lima
 

@@ -23,7 +23,11 @@ ExecutionContext::ExecutionContext(const LimaConfig* config,
       cache_(cache),
       dedup_registry_(dedup_registry),
       stats_(stats),
-      kernel_threads_(config->kernel_threads) {}
+      parallel_(&ParallelBudget::Global()) {
+  if (stats_ != nullptr) {
+    parallel_.set_stats(&stats_->budget_grants, &stats_->budget_denials);
+  }
+}
 
 std::ostream& ExecutionContext::print_stream() const {
   return print_stream_ != nullptr ? *print_stream_ : std::cout;
@@ -138,7 +142,6 @@ ExecutionContext ExecutionContext::MakeFunctionContext() const {
   ExecutionContext child(config_, program_, cache_, dedup_registry_, stats_);
   child.print_stream_ = print_stream_;
   child.profiler_ = profiler_;  // same thread, same collector
-  child.kernel_threads_ = kernel_threads_;
   child.call_depth_ = call_depth_ + 1;
   // Fresh symbols and lineage (function-local); no tracer (dedup loops are
   // last-level and never contain function calls).
@@ -151,7 +154,9 @@ ExecutionContext ExecutionContext::MakeWorkerContext() const {
   child.symbols_ = symbols_;
   child.lineage_ = lineage_;
   child.call_depth_ = call_depth_;
-  child.kernel_threads_ = 1;
+  // The worker inherits the shared budget through the ctor: its kernels ask
+  // for a fair share at call time instead of being pinned to one thread
+  // (the worker's own leased unit counts against the shares it is offered).
   // profiler_ stays null: ProfileCollector is not thread-safe, so ParForBlock
   // assigns each worker its own collector and merges them at the join.
   return child;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/parallel.h"
 #include "lineage/dedup.h"
 #include "lineage/lineage_map.h"
 #include "obs/profiler.h"
@@ -51,10 +52,13 @@ class ExecutionContext {
   std::ostream& print_stream() const;
   void set_print_stream(std::ostream* out) { print_stream_ = out; }
 
-  /// Degree of intra-operation parallelism; parfor workers reduce this to 1
-  /// (the parfor optimizer tradeoff discussed in Sec. 5.3).
-  int kernel_threads() const { return kernel_threads_; }
-  void set_kernel_threads(int n) { kernel_threads_ = n; }
+  /// Budget handle for intra-operation parallelism, passed to matrix
+  /// kernels. Every context — including parfor worker contexts — shares the
+  /// process-wide ParallelBudget: a kernel asks for its fair share at call
+  /// time, so a 2-worker parfor on a 16-thread budget gives each worker ~8
+  /// intra-op threads, re-arbitrated as workers finish (the old per-context
+  /// `kernel_threads` pin is gone).
+  const ParallelContext* parallel() const { return &parallel_; }
 
   /// Active dedup tracer while executing a deduplicated loop iteration.
   DedupTracer* dedup_tracer() const { return dedup_tracer_; }
@@ -119,7 +123,9 @@ class ExecutionContext {
   /// Fresh symbols/lineage for a function body; shared services; depth + 1.
   ExecutionContext MakeFunctionContext() const;
 
-  /// Copies symbols + lineage for a parfor worker; kernel_threads = 1.
+  /// Copies symbols + lineage for a parfor worker. The worker keeps full
+  /// access to the parallelism budget (its kernels draw a fair share that
+  /// accounts for the other live workers).
   ExecutionContext MakeWorkerContext() const;
 
  private:
@@ -133,7 +139,7 @@ class ExecutionContext {
   std::ostream* print_stream_ = nullptr;
   DedupTracer* dedup_tracer_ = nullptr;
   ProfileCollector* profiler_ = nullptr;
-  int kernel_threads_ = 1;
+  ParallelContext parallel_;
   int call_depth_ = 0;
 };
 

@@ -1,5 +1,11 @@
 #include "runtime/fused_op.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "analysis/cost_model.h"
+#include "common/parallel.h"
+
 namespace lima {
 
 FusedInstruction::FusedInstruction(std::vector<Operand> operands,
@@ -50,8 +56,8 @@ std::vector<LineageItemPtr> FusedInstruction::BuildLineage(
 Result<std::vector<DataPtr>> FusedInstruction::Compute(
     ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
     const ExecState& state) const {
-  (void)ctx;
   (void)state;
+  const ParallelContext* par = ctx->parallel();
   // Classify operands: the single-pass kernel requires all matrix operands
   // to share one shape (scalars broadcast). Mixed shapes (row/column-vector
   // broadcasting) and all-scalar chains fall back to stepwise evaluation.
@@ -95,13 +101,14 @@ Result<std::vector<DataPtr>> FusedInstruction::Compute(
         if (am && bm) {
           LIMA_ASSIGN_OR_RETURN(MatrixPtr ma, AsMatrix(a));
           LIMA_ASSIGN_OR_RETURN(MatrixPtr mb, AsMatrix(b));
-          LIMA_ASSIGN_OR_RETURN(Matrix r, EwiseBinary(step.bop, *ma, *mb));
+          LIMA_ASSIGN_OR_RETURN(Matrix r,
+                                EwiseBinary(step.bop, *ma, *mb, par));
           step_values[s] = MakeMatrixData(std::move(r));
         } else if (am || bm) {
           LIMA_ASSIGN_OR_RETURN(MatrixPtr m, AsMatrix(am ? a : b));
           LIMA_ASSIGN_OR_RETURN(double v, AsNumber(am ? b : a));
           step_values[s] = MakeMatrixData(
-              EwiseBinaryScalar(step.bop, *m, v, /*scalar_is_left=*/!am));
+              EwiseBinaryScalar(step.bop, *m, v, /*scalar_is_left=*/!am, par));
         } else {
           LIMA_ASSIGN_OR_RETURN(double va, AsNumber(a));
           LIMA_ASSIGN_OR_RETURN(double vb, AsNumber(b));
@@ -110,7 +117,7 @@ Result<std::vector<DataPtr>> FusedInstruction::Compute(
       } else {
         if (a->type() == DataType::kMatrix) {
           LIMA_ASSIGN_OR_RETURN(MatrixPtr m, AsMatrix(a));
-          step_values[s] = MakeMatrixData(EwiseUnary(step.uop, *m));
+          step_values[s] = MakeMatrixData(EwiseUnary(step.uop, *m, par));
         } else {
           LIMA_ASSIGN_OR_RETURN(double v, AsNumber(a));
           step_values[s] = MakeDoubleData(ApplyUnary(step.uop, v));
@@ -123,22 +130,36 @@ Result<std::vector<DataPtr>> FusedInstruction::Compute(
   Matrix out(rows, cols);
   double* po = out.mutable_data();
   const int64_t n = out.size();
-  std::vector<double> step_vals(steps_.size());
-  for (int64_t cell = 0; cell < n; ++cell) {
-    auto src_val = [&](const FusedStep::Src& src) -> double {
-      if (src.kind == FusedStep::Src::Kind::kStep) return step_vals[src.index];
-      const Matrix* m = matrices[src.index];
-      return m != nullptr ? m->data()[cell] : scalars[src.index];
-    };
-    for (size_t s = 0; s < steps_.size(); ++s) {
-      const FusedStep& step = steps_[s];
-      step_vals[s] = step.is_binary
-                         ? ApplyBinary(step.bop, src_val(step.lhs),
-                                       src_val(step.rhs))
-                         : ApplyUnary(step.uop, src_val(step.lhs));
+  // Each cell is independent (step_vals is per-cell scratch), so chunks of
+  // the cell range run in parallel; results are byte-identical because every
+  // cell's value depends only on its own inputs.
+  const double steps_cost = static_cast<double>(steps_.size());
+  int chunks = PlanParallelChunks(static_cast<double>(n) * steps_cost,
+                                  static_cast<double>(n) * 16.0);
+  int64_t chunk_cells = (n + chunks - 1) / std::max(chunks, 1);
+  int64_t slices = chunks > 1 ? (n + chunk_cells - 1) / chunk_cells : 1;
+  RunChunks(par, slices, [&](int64_t c) {
+    int64_t begin = slices > 1 ? c * chunk_cells : 0;
+    int64_t end = slices > 1 ? std::min(n, begin + chunk_cells) : n;
+    std::vector<double> step_vals(steps_.size());
+    for (int64_t cell = begin; cell < end; ++cell) {
+      auto src_val = [&](const FusedStep::Src& src) -> double {
+        if (src.kind == FusedStep::Src::Kind::kStep) {
+          return step_vals[src.index];
+        }
+        const Matrix* m = matrices[src.index];
+        return m != nullptr ? m->data()[cell] : scalars[src.index];
+      };
+      for (size_t s = 0; s < steps_.size(); ++s) {
+        const FusedStep& step = steps_[s];
+        step_vals[s] = step.is_binary
+                           ? ApplyBinary(step.bop, src_val(step.lhs),
+                                         src_val(step.rhs))
+                           : ApplyUnary(step.uop, src_val(step.lhs));
+      }
+      po[cell] = step_vals.back();
     }
-    po[cell] = step_vals.back();
-  }
+  });
   return std::vector<DataPtr>{MakeMatrixData(std::move(out))};
 }
 

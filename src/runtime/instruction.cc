@@ -156,7 +156,7 @@ Status ComputationInstruction::Execute(ExecutionContext* ctx) const {
   if (probe_partial && outputs_.size() == 1) {
     StopWatch watch;
     DataPtr value =
-        cache->TryPartialReuse(out_items[0], inputs, ctx->kernel_threads());
+        cache->TryPartialReuse(out_items[0], inputs, ctx->parallel());
     if (stats != nullptr) {
       stats->rewrite_nanos.fetch_add(watch.ElapsedNanos(),
                                      std::memory_order_relaxed);

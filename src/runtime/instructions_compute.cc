@@ -116,8 +116,8 @@ BinaryInstruction::BinaryInstruction(BinaryOp op, Operand lhs, Operand rhs,
 Result<std::vector<DataPtr>> BinaryInstruction::Compute(
     ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
     const ExecState& state) const {
-  (void)ctx;
   (void)state;
+  const ParallelContext* par = ctx->parallel();
   const DataPtr& a = inputs[0];
   const DataPtr& b = inputs[1];
   bool a_matrix = a->type() == DataType::kMatrix;
@@ -138,15 +138,15 @@ Result<std::vector<DataPtr>> BinaryInstruction::Compute(
     // writing its slot.
     if (ma.rows() == mb.rows() && ma.cols() == mb.cols()) {
       if (auto t = TrySteal(ctx, operands_, last_use_mask_, inputs, 0)) {
-        EwiseBinaryInPlace(op_, t.get(), mb, /*target_is_left=*/true);
+        EwiseBinaryInPlace(op_, t.get(), mb, /*target_is_left=*/true, par);
         return std::vector<DataPtr>{MakeMatrixData(MatrixPtr(std::move(t)))};
       }
       if (auto t = TrySteal(ctx, operands_, last_use_mask_, inputs, 1)) {
-        EwiseBinaryInPlace(op_, t.get(), ma, /*target_is_left=*/false);
+        EwiseBinaryInPlace(op_, t.get(), ma, /*target_is_left=*/false, par);
         return std::vector<DataPtr>{MakeMatrixData(MatrixPtr(std::move(t)))};
       }
     }
-    LIMA_ASSIGN_OR_RETURN(Matrix r, EwiseBinary(op_, ma, mb));
+    LIMA_ASSIGN_OR_RETURN(Matrix r, EwiseBinary(op_, ma, mb, par));
     return std::vector<DataPtr>{MakeMatrixData(std::move(r))};
   }
   if (a_matrix) {
@@ -156,11 +156,11 @@ Result<std::vector<DataPtr>> BinaryInstruction::Compute(
     }
     if (auto t = TrySteal(ctx, operands_, last_use_mask_, inputs, 0)) {
       EwiseBinaryScalarInPlace(op_, t.get(), sb.AsDouble(),
-                               /*scalar_is_left=*/false);
+                               /*scalar_is_left=*/false, par);
       return std::vector<DataPtr>{MakeMatrixData(MatrixPtr(std::move(t)))};
     }
     Matrix r = EwiseBinaryScalar(op_, MatrixOf(a), sb.AsDouble(),
-                                 /*scalar_is_left=*/false);
+                                 /*scalar_is_left=*/false, par);
     return std::vector<DataPtr>{MakeMatrixData(std::move(r))};
   }
   LIMA_ASSIGN_OR_RETURN(ScalarValue sa, AsScalar(a));
@@ -169,11 +169,11 @@ Result<std::vector<DataPtr>> BinaryInstruction::Compute(
   }
   if (auto t = TrySteal(ctx, operands_, last_use_mask_, inputs, 1)) {
     EwiseBinaryScalarInPlace(op_, t.get(), sa.AsDouble(),
-                             /*scalar_is_left=*/true);
+                             /*scalar_is_left=*/true, par);
     return std::vector<DataPtr>{MakeMatrixData(MatrixPtr(std::move(t)))};
   }
-  Matrix r =
-      EwiseBinaryScalar(op_, MatrixOf(b), sa.AsDouble(), /*scalar_is_left=*/true);
+  Matrix r = EwiseBinaryScalar(op_, MatrixOf(b), sa.AsDouble(),
+                               /*scalar_is_left=*/true, par);
   return std::vector<DataPtr>{MakeMatrixData(std::move(r))};
 }
 
@@ -186,7 +186,6 @@ UnaryInstruction::UnaryInstruction(UnaryOp op, Operand input,
 Result<std::vector<DataPtr>> UnaryInstruction::Compute(
     ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
     const ExecState& state) const {
-  (void)ctx;
   (void)state;
   if (inputs[0]->type() == DataType::kScalar) {
     LIMA_ASSIGN_OR_RETURN(ScalarValue v, AsScalar(inputs[0]));
@@ -197,10 +196,11 @@ Result<std::vector<DataPtr>> UnaryInstruction::Compute(
     return Status::TypeError("unary operator requires a scalar or matrix");
   }
   if (auto t = TrySteal(ctx, operands_, last_use_mask_, inputs, 0)) {
-    EwiseUnaryInPlace(op_, t.get());
+    EwiseUnaryInPlace(op_, t.get(), ctx->parallel());
     return std::vector<DataPtr>{MakeMatrixData(MatrixPtr(std::move(t)))};
   }
-  return std::vector<DataPtr>{MakeMatrixData(EwiseUnary(op_, MatrixOf(inputs[0])))};
+  return std::vector<DataPtr>{
+      MakeMatrixData(EwiseUnary(op_, MatrixOf(inputs[0]), ctx->parallel()))};
 }
 
 AggregateInstruction::AggregateInstruction(std::string opcode, Operand input,
@@ -211,40 +211,40 @@ AggregateInstruction::AggregateInstruction(std::string opcode, Operand input,
 Result<std::vector<DataPtr>> AggregateInstruction::Compute(
     ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
     const ExecState& state) const {
-  (void)ctx;
   (void)state;
+  const ParallelContext* par = ctx->parallel();
   LIMA_ASSIGN_OR_RETURN(MatrixPtr m, AsMatrix(inputs[0]));
   const std::string& op = opcode();
-  if (op == "sum") return std::vector<DataPtr>{MakeDoubleData(Sum(*m))};
-  if (op == "mean") return std::vector<DataPtr>{MakeDoubleData(Mean(*m))};
+  if (op == "sum") return std::vector<DataPtr>{MakeDoubleData(Sum(*m, par))};
+  if (op == "mean") return std::vector<DataPtr>{MakeDoubleData(Mean(*m, par))};
   if (op == "ua_min") {
-    return std::vector<DataPtr>{MakeDoubleData(MinValue(*m))};
+    return std::vector<DataPtr>{MakeDoubleData(MinValue(*m, par))};
   }
   if (op == "ua_max") {
-    return std::vector<DataPtr>{MakeDoubleData(MaxValue(*m))};
+    return std::vector<DataPtr>{MakeDoubleData(MaxValue(*m, par))};
   }
   if (op == "trace") return std::vector<DataPtr>{MakeDoubleData(Trace(*m))};
   Matrix r(0, 0);
   if (op == "colSums") {
-    r = ColSums(*m);
+    r = ColSums(*m, par);
   } else if (op == "colMeans") {
-    r = ColMeans(*m);
+    r = ColMeans(*m, par);
   } else if (op == "colMins") {
-    r = ColMins(*m);
+    r = ColMins(*m, par);
   } else if (op == "colMaxs") {
-    r = ColMaxs(*m);
+    r = ColMaxs(*m, par);
   } else if (op == "colVars") {
     r = ColVars(*m);
   } else if (op == "rowSums") {
-    r = RowSums(*m);
+    r = RowSums(*m, par);
   } else if (op == "rowMeans") {
-    r = RowMeans(*m);
+    r = RowMeans(*m, par);
   } else if (op == "rowMins") {
-    r = RowMins(*m);
+    r = RowMins(*m, par);
   } else if (op == "rowMaxs") {
-    r = RowMaxs(*m);
+    r = RowMaxs(*m, par);
   } else if (op == "rowIndexMax") {
-    r = RowIndexMax(*m);
+    r = RowIndexMax(*m, par);
   } else {
     return Status::NotImplemented("unknown aggregate: " + op);
   }
@@ -386,7 +386,6 @@ ToStringInstruction::ToStringInstruction(Operand input, std::string output)
 Result<std::vector<DataPtr>> ToStringInstruction::Compute(
     ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
     const ExecState& state) const {
-  (void)ctx;
   (void)state;
   if (inputs[0]->type() == DataType::kScalar) {
     LIMA_ASSIGN_OR_RETURN(ScalarValue v, AsScalar(inputs[0]));

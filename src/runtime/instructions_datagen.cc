@@ -74,7 +74,6 @@ std::vector<LineageItemPtr> DataGenInstruction::BuildLineage(
 Result<std::vector<DataPtr>> DataGenInstruction::Compute(
     ExecutionContext* ctx, const std::vector<DataPtr>& inputs,
     const ExecState& state) const {
-  (void)ctx;
   if (opcode() == "rand") {
     LIMA_ASSIGN_OR_RETURN(int64_t rows, AsCount(inputs[0]));
     LIMA_ASSIGN_OR_RETURN(int64_t cols, AsCount(inputs[1]));
@@ -94,7 +93,8 @@ Result<std::vector<DataPtr>> DataGenInstruction::Compute(
       seed = static_cast<uint64_t>(std::llround(s));
     }
     LIMA_ASSIGN_OR_RETURN(Matrix r,
-                          Rand(rows, cols, min_v, max_v, sparsity, kind, seed));
+                          Rand(rows, cols, min_v, max_v, sparsity, kind, seed,
+                               ctx->parallel()));
     return std::vector<DataPtr>{MakeMatrixData(std::move(r))};
   }
   if (opcode() == "sample") {

@@ -32,7 +32,7 @@ Result<std::vector<DataPtr>> MatMulInstruction::Compute(
   (void)state;
   LIMA_ASSIGN_OR_RETURN(MatrixPtr a, AsMatrix(inputs[0]));
   LIMA_ASSIGN_OR_RETURN(MatrixPtr b, AsMatrix(inputs[1]));
-  LIMA_ASSIGN_OR_RETURN(Matrix r, MatMul(*a, *b, ctx->kernel_threads()));
+  LIMA_ASSIGN_OR_RETURN(Matrix r, MatMul(*a, *b, ctx->parallel()));
   return One(std::move(r));
 }
 
@@ -46,7 +46,7 @@ Result<std::vector<DataPtr>> TsmmInstruction::Compute(
     const ExecState& state) const {
   (void)state;
   LIMA_ASSIGN_OR_RETURN(MatrixPtr x, AsMatrix(inputs[0]));
-  return One(Tsmm(*x, left_, ctx->kernel_threads()));
+  return One(Tsmm(*x, left_, ctx->parallel()));
 }
 
 ReorgInstruction::ReorgInstruction(std::string opcode, Operand input,
@@ -317,7 +317,7 @@ Result<std::vector<DataPtr>> TsmmCbindInstruction::Compute(
     }
   }
   if (taa == nullptr) {
-    Matrix computed = Tsmm(*a, /*left=*/true, ctx->kernel_threads());
+    Matrix computed = Tsmm(*a, /*left=*/true, ctx->parallel());
     taa = MakeMatrixPtr(std::move(computed));
     if (cache != nullptr && taa_key != nullptr && ctx->reuse_active()) {
       cache->Put(taa_key, MakeMatrixData(taa), 0.0);
@@ -325,8 +325,8 @@ Result<std::vector<DataPtr>> TsmmCbindInstruction::Compute(
   }
 
   LIMA_ASSIGN_OR_RETURN(Matrix tab,
-                        TransposeMatMul(*a, *b, ctx->kernel_threads()));
-  Matrix tbb = Tsmm(*b, /*left=*/true, ctx->kernel_threads());
+                        TransposeMatMul(*a, *b, ctx->parallel()));
+  Matrix tbb = Tsmm(*b, /*left=*/true, ctx->parallel());
 
   // Assemble [[t(A)A, t(A)B], [t(B)A, t(B)B]].
   int64_t n1 = taa->cols();

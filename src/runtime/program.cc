@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/parallel.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 
@@ -346,7 +347,35 @@ Status ParForBlock::Execute(ExecutionContext* ctx) const {
     return Status::OK();
   }
 
-  // Worker-local contexts: copied symbols + lineage, kernel_threads = 1.
+  // Task-parallel width comes from the shared budget: one unit per extra
+  // worker beyond the calling thread. The *decomposition* stays at the
+  // configured worker count so symbols, merge order and lineage are a pure
+  // function of the config — a tight budget only narrows how many worker
+  // chunks run concurrently, never which chunks exist.
+  std::vector<ParallelBudget::Lease> worker_leases;
+  ParallelBudget* budget =
+      ctx->parallel() != nullptr ? ctx->parallel()->budget() : nullptr;
+  if (budget != nullptr) {
+    worker_leases.reserve(workers - 1);
+    for (int w = 1; w < workers; ++w) {
+      ParallelBudget::Lease lease = budget->AcquireWorker();
+      if (lease.count() == 0) break;
+      worker_leases.push_back(std::move(lease));
+    }
+    if (ctx->stats() != nullptr) {
+      if (!worker_leases.empty()) {
+        ctx->stats()->budget_grants.fetch_add(
+            static_cast<int64_t>(worker_leases.size()),
+            std::memory_order_relaxed);
+      }
+      if (static_cast<int>(worker_leases.size()) < workers - 1) {
+        ctx->stats()->budget_denials.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  const int width = 1 + static_cast<int>(worker_leases.size());
+
+  // Worker-local contexts: copied symbols + lineage, full budget access.
   const SymbolTable initial = ctx->symbols();
   std::vector<ExecutionContext> worker_ctx;
   worker_ctx.reserve(workers);
@@ -368,10 +397,16 @@ Status ParForBlock::Execute(ExecutionContext* ctx) const {
 
   const int64_t n = static_cast<int64_t>(range.size());
   const int64_t chunk = (n + workers - 1) / workers;
+  // Mirror of ParallelFor's slice geometry: `width` participants each claim
+  // contiguous runs of `slice_span` worker indices. When a participant
+  // finishes its run it hands one leased unit back so the still-running
+  // workers' kernels immediately see a larger intra-op fair share.
+  const int64_t slice_span =
+      (static_cast<int64_t>(workers) + width - 1) / width;
   // Tenant attribution is thread-local; carry the serving tenant (if any)
   // into the worker threads so their cache traffic is charged correctly.
   void* tenant_tag = ReuseCache::ThreadTenantTag();
-  ParallelFor(workers, workers, [&](int64_t w) {
+  ParallelFor(workers, width, [&](int64_t w) {
     ReuseCache::ScopedTenantTag tenant_scope(tenant_tag);
     ExecutionContext* wc = &worker_ctx[w];
     const int64_t begin = w * chunk;
@@ -386,10 +421,23 @@ Status ParForBlock::Execute(ExecutionContext* ctx) const {
       Status st = ExecuteBlocks(body_, wc);
       if (!st.ok()) {
         worker_status[w] = st;
-        return;
+        break;
+      }
+    }
+    bool slice_done =
+        (w + 1) % slice_span == 0 || w == static_cast<int64_t>(workers) - 1;
+    if (slice_done) {
+      int64_t slice = w / slice_span;
+      if (slice >= 1 &&
+          slice - 1 < static_cast<int64_t>(worker_leases.size())) {
+        worker_leases[slice - 1].Release();
       }
     }
   });
+  // Join: any leases not already handed back at slice end (width < slices
+  // never happens, but exceptions can skip releases) go back now, before
+  // the single-threaded merge below.
+  worker_leases.clear();
   // Join: fold worker profiles into the parent collector (owned by the
   // calling thread, so the merge itself is single-threaded).
   if (ctx->profiler() != nullptr) {

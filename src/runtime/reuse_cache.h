@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/parallel.h"
 #include "lineage/lineage_item.h"
 #include "runtime/data.h"
 
@@ -57,7 +58,7 @@ class ReuseCache {
   /// with key->inputs()). Returns the compensated result or nullptr.
   virtual DataPtr TryPartialReuse(const LineageItemPtr& key,
                                   const std::vector<DataPtr>& inputs,
-                                  int kernel_threads) = 0;
+                                  const ParallelContext* par) = 0;
 
   /// Drops all entries (and spill files).
   virtual void Clear() = 0;

@@ -31,6 +31,15 @@ struct RuntimeStats {
   std::atomic<int64_t> dedup_items_created{0};
   std::atomic<int64_t> parfor_serialized{0};
   std::atomic<int64_t> inplace_ops{0};
+  /// Parallelism-budget arbitration (common/parallel.h): kernel/parfor
+  /// lease requests that got at least one extra thread, requests denied
+  /// outright (budget exhausted or fair share = 1), and serve admissions
+  /// that had to wait for a free run slot. grants + denials ≈ the number of
+  /// parallel-eligible kernel calls; a high denial or wait count means the
+  /// workload oversubscribes max_parallelism.
+  std::atomic<int64_t> budget_grants{0};
+  std::atomic<int64_t> budget_denials{0};
+  std::atomic<int64_t> budget_lease_waits{0};
   std::atomic<int64_t> live_bytes{0};
   std::atomic<int64_t> peak_live_bytes{0};
   std::atomic<int64_t> rewrite_nanos{0};
@@ -67,6 +76,9 @@ struct RuntimeStats {
     dedup_items_created = 0;
     parfor_serialized = 0;
     inplace_ops = 0;
+    budget_grants = 0;
+    budget_denials = 0;
+    budget_lease_waits = 0;
     live_bytes = 0;
     peak_live_bytes = 0;
     rewrite_nanos = 0;
@@ -96,6 +108,9 @@ struct RuntimeStats {
         {"dedup_items_created", dedup_items_created.load()},
         {"parfor_serialized", parfor_serialized.load()},
         {"inplace_ops", inplace_ops.load()},
+        {"budget_grants", budget_grants.load()},
+        {"budget_denials", budget_denials.load()},
+        {"budget_lease_waits", budget_lease_waits.load()},
         {"peak_live_bytes", peak_live_bytes.load()},
         {"rewrite_nanos", rewrite_nanos.load()},
         {"spill_nanos", spill_nanos.load()},
@@ -121,6 +136,9 @@ struct RuntimeStats {
         << " dedup_items=" << dedup_items_created.load()
         << " parfor_serialized=" << parfor_serialized.load()
         << " inplace_ops=" << inplace_ops.load()
+        << " budget_grants=" << budget_grants.load()
+        << " budget_denials=" << budget_denials.load()
+        << " budget_lease_waits=" << budget_lease_waits.load()
         << " peak_live_bytes=" << peak_live_bytes.load()
         << " rewrite_nanos=" << rewrite_nanos.load()
         << " spill_nanos=" << spill_nanos.load()

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "algorithms/scripts.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "lang/session.h"
@@ -63,6 +64,10 @@ Result<ServeOptions> LoadServeOptionsFile(const std::string& path,
       LIMA_ASSIGN_OR_RETURN(
           base.queue_capacity,
           ParseIntStrict(tokens[1], 1, 1 << 20, "queue_capacity"));
+    } else if (key == "max_parallelism" && tokens.size() == 2) {
+      LIMA_ASSIGN_OR_RETURN(
+          base.session_config.max_parallelism,
+          ParseIntStrict(tokens[1], 0, 4096, "max_parallelism"));
     } else if (key == "budget_mb" && tokens.size() == 2) {
       LIMA_ASSIGN_OR_RETURN(
           int64_t mb, ParseInt64Strict(tokens[1], 0, kMaxBudgetMb, "budget_mb"));
@@ -129,6 +134,11 @@ Status LimaServer::Start() {
     shared_cache_ = LimaSession::MakeSharedCache(options_.session_config);
   }
   ApplyTenantBudgets(options_.tenant_budgets);
+  // One budget governs every request's kernels and parfor workers; serve
+  // admission (WorkerLoop) blocks on it, so concurrent requests plus their
+  // intra-op threads can never exceed the configured parallelism.
+  ParallelBudget::Global().set_capacity(
+      ResolveMaxParallelism(options_.session_config.max_parallelism));
 
   {
     std::lock_guard<std::mutex> lock(workers_mu_);
@@ -172,6 +182,8 @@ void LimaServer::Reload(const ServeOptions& options) {
   }
   ApplyTenantBudgets(options.tenant_budgets);
 
+  ParallelBudget::Global().set_capacity(
+      ResolveMaxParallelism(options.session_config.max_parallelism));
   const int desired = options.pool_size < 1 ? 1 : options.pool_size;
   desired_pool_size_.store(desired, std::memory_order_relaxed);
   {
@@ -272,7 +284,15 @@ void LimaServer::WorkerLoop(int worker_id) {
       fd = queue_.front();
       queue_.pop_front();
     }
-    ServeConnection(fd);
+    {
+      // Admission against the shared parallelism budget: block until a unit
+      // frees up, so pool_size concurrent requests cannot oversubscribe the
+      // kernels' budget. The session's own RegisterThread call inside
+      // ServeConnection sees this thread already registered and no-ops.
+      ParallelBudget::Lease slot =
+          ParallelBudget::Global().RegisterThread(/*wait=*/true);
+      ServeConnection(fd);
+    }
   }
 }
 
@@ -375,6 +395,11 @@ Message LimaServer::HandleStats() {
   response.Set("shed", std::to_string(c.shed));
   response.Set("completed", std::to_string(c.completed));
   response.Set("failed", std::to_string(c.failed));
+  ParallelBudget& budget = ParallelBudget::Global();
+  response.Set("parallel_capacity", std::to_string(budget.capacity()));
+  response.Set("parallel_in_use", std::to_string(budget.in_use()));
+  response.Set("parallel_peak_in_use", std::to_string(budget.peak_in_use()));
+  response.Set("parallel_lease_waits", std::to_string(budget.lease_waits()));
 
   std::vector<std::shared_ptr<LineageCache>> caches;
   if (shared_cache_ != nullptr) {

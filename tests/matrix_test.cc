@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
+#include "common/parallel.h"
 #include "matrix/aggregates.h"
 #include "matrix/datagen.h"
 #include "matrix/elementwise.h"
@@ -230,8 +232,19 @@ TEST(MatMulTest, InnerDimensionMismatchRejected) {
 TEST(MatMulTest, MultithreadedMatchesSingle) {
   Matrix a = RandomMatrix(200, 40, 6);
   Matrix b = RandomMatrix(40, 30, 7);
-  EXPECT_TRUE(MatMul(a, b, 4)->EqualsApprox(*MatMul(a, b, 1), 1e-9));
-  EXPECT_TRUE(Tsmm(a, true, 4).EqualsApprox(Tsmm(a, true, 1), 1e-9));
+  // Parallel execution (budget handle) must produce the same bytes as the
+  // null-context sequential path — the kernels chunk identically either way.
+  ParallelBudget budget(4);
+  ParallelContext par(&budget);
+  Result<Matrix> parallel = MatMul(a, b, &par);
+  Result<Matrix> sequential = MatMul(a, b);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_TRUE(sequential.ok());
+  EXPECT_EQ(0, std::memcmp(parallel->data(), sequential->data(),
+                           sizeof(double) * parallel->size()));
+  Matrix tp = Tsmm(a, true, &par);
+  Matrix ts = Tsmm(a, true);
+  EXPECT_EQ(0, std::memcmp(tp.data(), ts.data(), sizeof(double) * tp.size()));
 }
 
 TEST(MatMulTest, TsmmRightIsGramOfRows) {

@@ -13,6 +13,9 @@
 //   --fusion                     operator fusion of cellwise chains
 //   --assist                     compiler-assisted reuse rewrites
 //   --workers=N                  parfor degree of parallelism (default: 1)
+//   --max-parallelism=N|hardware global compute-thread budget shared by
+//                                kernels, parfor workers and serving
+//                                (default: hardware concurrency)
 //   --budget-mb=N                lineage cache budget in MB (default: 256)
 //   --policy=lru|dagheight|costsize   cache eviction policy
 //   --spill                      enable disk spilling of evicted entries
@@ -140,6 +143,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.parfor_workers = *workers;
+    } else if (ParseFlag(arg, "max-parallelism", &value)) {
+      if (value == "hardware") {
+        config.max_parallelism = 0;  // resolved to hardware concurrency
+      } else {
+        Result<int> par = ParseIntStrict(value, 1, 4096, "--max-parallelism");
+        if (!par.ok()) {
+          std::fprintf(stderr, "%s\n", par.status().ToString().c_str());
+          return 2;
+        }
+        config.max_parallelism = *par;
+      }
     } else if (ParseFlag(arg, "parfor-check", &value)) {
       if (value == "on") {
         config.parfor_dependency_check = true;
