@@ -48,7 +48,13 @@ if [[ "$SANITIZE" == "thread" ]]; then
   # stamping and cost-planned fusion must stay invisible to 8-worker parfor
   # runs (results, lineage, and cache behavior are compared across worker
   # counts inside those suites).
-  TSAN_TESTS='^(ParforTest|ParforDependencyTest|LineageCacheTest|MultiLevelTest|CacheConcurrencyTest|CacheDeterminismTest|ThreadPoolTest|ParallelBudgetTest|ServeTest|RedundancyTest|FusionTest)\.'
+  # The persistence battery rides along too: PersistRoundtripTest and
+  # PersistCorruptionTest are single-threaded but cheap, and WarmStartTest
+  # boots real lima_serve daemons (pool workers + snapshot writer + client
+  # threads) — exactly the cross-thread traffic TSan should watch. Under
+  # ASan the full suite runs, which is what makes the corruption fuzz an
+  # ASan gate (ISSUE acceptance: fail closed, never read out of bounds).
+  TSAN_TESTS='^(ParforTest|ParforDependencyTest|LineageCacheTest|MultiLevelTest|CacheConcurrencyTest|CacheDeterminismTest|ThreadPoolTest|ParallelBudgetTest|ServeTest|RedundancyTest|FusionTest|PersistRoundtripTest|PersistCorruptionTest|WarmStartTest)\.'
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
     --tests-regex "$TSAN_TESTS"
 else
@@ -217,6 +223,56 @@ wait "$SERVE_PID" || { echo "serve smoke: daemon exited nonzero" >&2; exit 1; }
 grep -q "bye" "$BUILD_DIR/ci_serve.log" \
   || { echo "serve smoke: no clean drain" >&2; exit 1; }
 echo "serve smoke: OK"
+
+# Persistence smoke: trace lineage into a store with lima_run, query it in
+# situ, then run lima_serve twice on the same store — the second boot must
+# warm-start from the first one's snapshot and serve the repeat request
+# from the restored cache (docs/PERSISTENCE.md).
+echo "persist smoke: store roundtrip + lima_serve warm restart"
+PERSIST_DIR="$BUILD_DIR/ci_persist_store"
+rm -rf "$PERSIST_DIR"
+cat > "$BUILD_DIR/ci_persist_req.dml" <<'EOF'
+X = rand(rows=30, cols=30, seed=5);
+Y = X %*% t(X);
+result = sum(Y);
+print("persist checksum: " + sum(Y));
+EOF
+"$BUILD_DIR/tools/lima_run" --store-dir="$PERSIST_DIR" \
+  "$BUILD_DIR/ci_persist_req.dml" > /dev/null 2> "$BUILD_DIR/ci_persist.log"
+grep -q "persisted .* lineage records" "$BUILD_DIR/ci_persist.log" \
+  || { echo "persist smoke: nothing persisted" >&2; exit 1; }
+"$BUILD_DIR/tools/lima_run" --store-dir="$PERSIST_DIR" --lineage-query=list \
+  | grep -q "result" \
+  || { echo "persist smoke: list query missing the record" >&2; exit 1; }
+"$BUILD_DIR/tools/lima_run" --store-dir="$PERSIST_DIR" --lineage-query=stats \
+  | grep -q "segments=1" \
+  || { echo "persist smoke: stats query failed" >&2; exit 1; }
+
+PERSIST_SOCK="$BUILD_DIR/ci_persist.sock"
+for phase in cold warm; do
+  "$BUILD_DIR/tools/lima_serve" --socket="$PERSIST_SOCK" --pool=2 \
+    --store-dir="$PERSIST_DIR" --snapshot-every=1 \
+    2> "$BUILD_DIR/ci_persist_serve.$phase.log" &
+  PERSIST_PID=$!
+  for _ in $(seq 1 50); do
+    [[ -S "$PERSIST_SOCK" ]] && break
+    sleep 0.1
+  done
+  "$BUILD_DIR/tools/lima_serve" --socket="$PERSIST_SOCK" --call --tenant=ci \
+    "$BUILD_DIR/ci_persist_req.dml" \
+    > /dev/null 2> "$BUILD_DIR/ci_persist_call.$phase.txt" \
+    || { echo "persist smoke: $phase request failed" >&2; exit 1; }
+  kill -TERM "$PERSIST_PID"
+  wait "$PERSIST_PID" \
+    || { echo "persist smoke: $phase daemon exited nonzero" >&2; exit 1; }
+done
+grep -q "warm start from" "$BUILD_DIR/ci_persist_serve.warm.log" \
+  || { echo "persist smoke: second boot did not warm-start" >&2; exit 1; }
+# The warm daemon's first (and only) request was served from the cache the
+# snapshot restored — hits without a single prior request in this process.
+grep -Eq "^cache_hits=[1-9]" "$BUILD_DIR/ci_persist_call.warm.txt" \
+  || { echo "persist smoke: warm request did not hit" >&2; exit 1; }
+echo "persist smoke: OK"
 
 # Contention smoke (plain builds only; sanitizer timings are meaningless):
 # at 8 threads the sharded cache must serve the placeholder-heavy serving

@@ -60,6 +60,13 @@ struct LimaConfig {
   /// Directory for spill files (empty = std::filesystem::temp_directory_path).
   std::string spill_dir;
 
+  /// Persistent lineage store directory (docs/PERSISTENCE.md). When set,
+  /// LimaSession::PersistLineage() writes compressed lineage segments here,
+  /// lineage queries resolve against it, cache snapshots (warm start) live
+  /// here, and — unless spill_dir overrides — spill files are placed here
+  /// so cached values survive restarts. Empty = persistence off.
+  std::string store_dir;
+
   /// Number of lock stripes in the lineage cache (docs/CONCURRENCY.md).
   /// Probes/puts on different shards never contend; the memory budget stays
   /// global. 1 reproduces the single-mutex behavior; clamped to [1, 4096].

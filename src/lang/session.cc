@@ -1,9 +1,14 @@
 #include "lang/session.h"
 
+#include <algorithm>
+#include <filesystem>
+
 #include "analysis/redundancy.h"
 #include "common/parallel.h"
 #include "lang/compiler.h"
 #include "lineage/serialize.h"
+#include "persist/lineage_store.h"
+#include "persist/query.h"
 
 namespace lima {
 
@@ -142,6 +147,43 @@ Result<std::string> LimaSession::GetLineage(const std::string& name) const {
 
 LineageItemPtr LimaSession::GetLineageItem(const std::string& name) const {
   return context_.lineage().Get(name);
+}
+
+Result<int64_t> LimaSession::PersistLineage(const std::string& dir) {
+  const std::string& store = dir.empty() ? config_.store_dir : dir;
+  if (store.empty()) {
+    return Status::Invalid(
+        "PersistLineage requires a store directory (config.store_dir)");
+  }
+  // Deterministic record order: variables sorted by name, so repeated
+  // persists of the same session state produce identical segments.
+  std::vector<std::pair<std::string, LineageItemPtr>> traced;
+  for (const auto& [name, item] : context_.lineage().variables()) {
+    if (item != nullptr) traced.emplace_back(name, item);
+  }
+  std::sort(traced.begin(), traced.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (traced.empty()) {
+    return Status::Invalid("no lineage traced in this session");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(store, ec);
+  if (ec) return Status::IoError("cannot create store dir " + store);
+  persist::LineageStoreWriter writer;
+  for (const auto& [name, item] : traced) {
+    writer.AppendLineage(name, item);
+  }
+  std::string path =
+      store + "/" +
+      persist::SegmentFileName(persist::NextSegmentIndex(store));
+  LIMA_RETURN_NOT_OK(writer.Seal(path));
+  return writer.num_lineage_records();
+}
+
+Result<std::string> LimaSession::LineageQuery(const std::string& query,
+                                              const std::string& dir) const {
+  const std::string& store = dir.empty() ? config_.store_dir : dir;
+  return persist::RunLineageQuery(store, query);
 }
 
 lima::ProfileReport LimaSession::ProfileReport() const {

@@ -97,6 +97,16 @@ class LimaSession {
   /// Root lineage item of a variable (nullptr when untraced).
   LineageItemPtr GetLineageItem(const std::string& name) const;
 
+  /// Persists the lineage of every traced session variable into a new
+  /// compressed segment under `dir` (or config.store_dir when empty);
+  /// returns the number of lineage records written (docs/PERSISTENCE.md).
+  Result<int64_t> PersistLineage(const std::string& dir = "");
+
+  /// Runs an in-situ query (persist/query.h: list, stats, deps:<input>,
+  /// replay:<id>) against `dir` (or config.store_dir when empty).
+  Result<std::string> LineageQuery(const std::string& query,
+                                   const std::string& dir = "") const;
+
   /// Output printed by the scripts since the last call (print() builtin).
   std::string ConsumeOutput();
 

@@ -1,0 +1,839 @@
+#include "persist/lineage_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unordered_set>
+
+#include "persist/format.h"
+
+namespace lima {
+namespace persist {
+
+namespace {
+
+constexpr char kSegmentPrefix[] = "seg_";
+constexpr char kSegmentSuffix[] = ".lls";
+
+/// Bounds on decoded counts that no legitimate segment approaches; they
+/// stop a corrupted-but-checksum-fixed payload from driving giant
+/// allocations before structural validation catches it.
+constexpr uint64_t kMaxPlaceholderIndex = 1u << 20;
+constexpr uint64_t kMaxReasonableCount = 1u << 28;
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::IoError("corrupt lineage segment " + path + ": " + what);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+LineageStoreWriter::LineageStoreWriter(Options options)
+    : options_(options) {}
+
+uint64_t LineageStoreWriter::OpcodeRef(const std::string& name) {
+  auto it = opcode_ids_.find(name);
+  if (it != opcode_ids_.end()) return it->second;
+  uint64_t id = opcode_ids_.size();
+  opcode_ids_.emplace(name, id);
+  pending_opcodes_.push_back(name);
+  return id;
+}
+
+uint64_t LineageStoreWriter::DataRef(const std::string& data) {
+  auto it = data_ids_.find(data);
+  if (it != data_ids_.end()) return it->second;
+  uint64_t id = data_ids_.size();
+  data_ids_.emplace(data, id);
+  pending_data_.push_back(data);
+  return id;
+}
+
+void LineageStoreWriter::EncodeData(std::string* out, const std::string& data) {
+  if (options_.compress) {
+    PutVarint(out, data.empty() ? 0 : DataRef(data) + 1);
+  } else {
+    out->push_back(data.empty() ? '\0' : '\1');
+    if (!data.empty()) PutLengthPrefixed(out, data);
+  }
+}
+
+uint64_t LineageStoreWriter::PatchRef(const DedupPatchPtr& patch) {
+  auto it = patch_ids_.find(patch.get());
+  if (it != patch_ids_.end()) return it->second;
+  uint64_t id = patch_ids_.size();
+  patch_ids_.emplace(patch.get(), id);
+
+  std::string payload;
+  PutLengthPrefixed(&payload, patch->name());
+  PutVarint(&payload, static_cast<uint64_t>(patch->num_placeholders()));
+  PutVarint(&payload, patch->nodes().size());
+  for (const DedupPatch::Node& node : patch->nodes()) {
+    if (options_.compress) {
+      PutVarint(&payload, OpcodeRef(node.opcode));
+    } else {
+      PutLengthPrefixed(&payload, node.opcode);
+    }
+    PutVarint(&payload, node.inputs.size());
+    for (int64_t ref : node.inputs) PutSignedVarint(&payload, ref);
+    EncodeData(&payload, node.data);
+  }
+  PutVarint(&payload, static_cast<uint64_t>(patch->num_outputs()));
+  for (int i = 0; i < patch->num_outputs(); ++i) {
+    PutVarint(&payload, static_cast<uint64_t>(patch->output_roots()[i]));
+    PutLengthPrefixed(&payload, patch->output_names()[i]);
+  }
+  pending_patches_.push_back(std::move(payload));
+  return id;
+}
+
+int64_t LineageStoreWriter::AppendLineage(std::string_view name,
+                                          const LineageItemPtr& root) {
+  // Post-order DAG walk matching SerializeLineage: inputs always precede
+  // their consumers, each distinct item encoded once, root last.
+  std::vector<const LineageItem*> order;
+  std::unordered_map<const LineageItem*, int64_t> position;
+  {
+    struct Frame {
+      const LineageItem* item;
+      size_t next_input;
+    };
+    std::vector<Frame> stack{{root.get(), 0}};
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const LineageItem* item = frame.item;
+      if (frame.next_input < item->inputs().size()) {
+        const LineageItem* input = item->inputs()[frame.next_input++].get();
+        if (!position.count(input)) stack.push_back({input, 0});
+        continue;
+      }
+      if (position.emplace(item, static_cast<int64_t>(order.size())).second) {
+        order.push_back(item);
+      }
+      stack.pop_back();
+    }
+  }
+
+  std::string payload;
+  PutLengthPrefixed(&payload, name);
+  PutSignedVarint(&payload, root->id());
+  PutVarint(&payload, order.size());
+  int64_t prev_id = 0;
+  for (int64_t pos = 0; pos < static_cast<int64_t>(order.size()); ++pos) {
+    const LineageItem* item = order[pos];
+    if (options_.compress) {
+      PutVarint(&payload, OpcodeRef(item->opcode()));
+    } else {
+      PutLengthPrefixed(&payload, item->opcode());
+    }
+    PutVarint(&payload, item->inputs().size());
+    for (const LineageItemPtr& input : item->inputs()) {
+      int64_t input_pos = position.at(input.get());
+      if (options_.compress) {
+        PutVarint(&payload, static_cast<uint64_t>(pos - input_pos));
+      } else {
+        PutVarint(&payload, static_cast<uint64_t>(input_pos));
+      }
+    }
+    PutSignedVarint(&payload, item->id() - prev_id);
+    prev_id = item->id();
+    if (item->is_placeholder()) {
+      PutVarint(&payload, static_cast<uint64_t>(item->placeholder_index()));
+    } else if (item->is_dedup()) {
+      PutVarint(&payload, PatchRef(item->patch()));
+      PutVarint(&payload, static_cast<uint64_t>(item->dedup_output_index()));
+    } else {
+      EncodeData(&payload, item->data());
+    }
+  }
+  FlushPendingAndFrame(kRecLineage, payload);
+  return num_lineage_records_++;
+}
+
+void LineageStoreWriter::AppendCacheEntry(const PersistedCacheEntry& entry) {
+  std::string payload;
+  PutVarint(&payload, static_cast<uint64_t>(entry.lineage_record));
+  payload.push_back(static_cast<char>(entry.value_kind));
+  PutLengthPrefixed(&payload, entry.value_ref);
+  PutVarint(&payload, static_cast<uint64_t>(entry.size_bytes));
+  PutDouble(&payload, entry.compute_seconds);
+  PutVarint(&payload, static_cast<uint64_t>(entry.refs));
+  PutVarint(&payload, static_cast<uint64_t>(entry.last_access));
+  PutVarint(&payload, static_cast<uint64_t>(entry.height));
+  PutLengthPrefixed(&payload, entry.tenant);
+  FrameRecord(kRecCacheEntry, payload);
+}
+
+void LineageStoreWriter::AppendGhosts(
+    const std::vector<std::pair<uint64_t, int64_t>>& ghosts) {
+  std::string payload;
+  PutVarint(&payload, ghosts.size());
+  for (const auto& [hash, refs] : ghosts) {
+    PutFixed64(&payload, hash);
+    PutVarint(&payload, static_cast<uint64_t>(refs));
+  }
+  FrameRecord(kRecGhosts, payload);
+}
+
+void LineageStoreWriter::AppendTenant(const PersistedTenant& tenant) {
+  std::string payload;
+  PutLengthPrefixed(&payload, tenant.name);
+  PutSignedVarint(&payload, tenant.budget_bytes);
+  PutVarint(&payload, static_cast<uint64_t>(tenant.probes));
+  PutVarint(&payload, static_cast<uint64_t>(tenant.hits));
+  PutVarint(&payload, static_cast<uint64_t>(tenant.misses));
+  PutVarint(&payload, static_cast<uint64_t>(tenant.cross_tenant_hits));
+  PutVarint(&payload, static_cast<uint64_t>(tenant.puts));
+  PutVarint(&payload, static_cast<uint64_t>(tenant.evictions));
+  FrameRecord(kRecTenant, payload);
+}
+
+void LineageStoreWriter::AppendMeta(
+    const std::vector<std::pair<std::string, std::string>>& kv) {
+  std::string payload;
+  PutVarint(&payload, kv.size());
+  for (const auto& [key, value] : kv) {
+    PutLengthPrefixed(&payload, key);
+    PutLengthPrefixed(&payload, value);
+  }
+  FrameRecord(kRecMeta, payload);
+}
+
+void LineageStoreWriter::FrameRecord(uint8_t type, std::string_view payload) {
+  size_t start = buffer_.size();
+  buffer_.push_back(static_cast<char>(type));
+  PutFixed32(&buffer_, static_cast<uint32_t>(payload.size()));
+  buffer_.append(payload.data(), payload.size());
+  uint32_t crc = Crc32(buffer_.data() + start, buffer_.size() - start);
+  PutFixed32(&buffer_, crc);
+  ++num_records_;
+}
+
+void LineageStoreWriter::FlushPendingAndFrame(uint8_t type,
+                                              std::string_view payload) {
+  auto flush_dict = [this](uint8_t dict_type, std::vector<std::string>* dict) {
+    if (dict->empty()) return;
+    std::string delta;
+    PutVarint(&delta, dict->size());
+    for (const std::string& s : *dict) PutLengthPrefixed(&delta, s);
+    FrameRecord(dict_type, delta);
+    dict->clear();
+  };
+  flush_dict(kRecOpcodeDict, &pending_opcodes_);
+  flush_dict(kRecDataDict, &pending_data_);
+  for (const std::string& patch : pending_patches_) {
+    FrameRecord(kRecPatch, patch);
+  }
+  pending_patches_.clear();
+  FrameRecord(type, payload);
+}
+
+int64_t LineageStoreWriter::SizeBytes() const {
+  return static_cast<int64_t>(kHeaderSize + buffer_.size() + kFooterSize);
+}
+
+Status LineageStoreWriter::Seal(const std::string& path) {
+  std::string file;
+  file.reserve(kHeaderSize + buffer_.size() + kFooterSize);
+  file.append(kSegmentMagic, sizeof(kSegmentMagic));
+  PutFixed32(&file, kFormatVersion);
+  PutFixed32(&file, options_.compress ? kFlagCompressed : 0);
+  file.append(buffer_);
+
+  uint64_t records_end = file.size();
+  uint32_t body_crc = Crc32(file.data(), records_end);
+  std::string footer;
+  footer.append(kFooterMagic, sizeof(kFooterMagic));
+  PutFixed64(&footer, static_cast<uint64_t>(num_records_));
+  PutFixed64(&footer, records_end);
+  PutFixed32(&footer, body_crc);
+  PutFixed32(&footer, Crc32(footer.data(), footer.size()));
+  file.append(footer);
+
+  return AtomicWriteFile(path, file);
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<LineageStoreReader>> LineageStoreReader::Open(
+    const std::string& path) {
+  auto reader = std::unique_ptr<LineageStoreReader>(new LineageStoreReader());
+  LIMA_RETURN_NOT_OK(reader->Load(path));
+  return reader;
+}
+
+Status LineageStoreReader::Load(const std::string& path) {
+  path_ = path;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IoError("cannot open lineage segment: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    buffer_ = std::move(buf).str();
+    if (!in.good() && !in.eof()) {
+      return Status::IoError("read failed: " + path);
+    }
+  }
+  if (buffer_.size() < kHeaderSize + kFooterSize) {
+    return Corrupt(path, "file shorter than header + footer");
+  }
+  if (std::memcmp(buffer_.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    return Corrupt(path, "bad segment magic");
+  }
+  uint32_t version = GetFixed32(buffer_.data() + 8);
+  if (version != kFormatVersion) {
+    return Corrupt(path, "unsupported format version " + std::to_string(version));
+  }
+  uint32_t flags = GetFixed32(buffer_.data() + 12);
+  if ((flags & ~kFlagCompressed) != 0) {
+    return Corrupt(path, "unknown flag bits");
+  }
+  compressed_ = (flags & kFlagCompressed) != 0;
+
+  const char* footer = buffer_.data() + buffer_.size() - kFooterSize;
+  if (std::memcmp(footer, kFooterMagic, sizeof(kFooterMagic)) != 0) {
+    return Corrupt(path, "bad footer magic (truncated or overwritten)");
+  }
+  uint32_t footer_crc = GetFixed32(footer + 28);
+  if (Crc32(footer, 28) != footer_crc) {
+    return Corrupt(path, "footer checksum mismatch");
+  }
+  uint64_t record_count = GetFixed64(footer + 8);
+  uint64_t records_end = GetFixed64(footer + 16);
+  uint32_t body_crc = GetFixed32(footer + 24);
+  if (records_end != buffer_.size() - kFooterSize) {
+    return Corrupt(path, "footer offset disagrees with file size");
+  }
+  if (Crc32(buffer_.data(), records_end) != body_crc) {
+    return Corrupt(path, "body checksum mismatch");
+  }
+  if (record_count > buffer_.size() / kRecordOverhead) {
+    return Corrupt(path, "implausible record count");
+  }
+
+  size_t off = kHeaderSize;
+  uint64_t seen = 0;
+  while (off < records_end) {
+    if (records_end - off < kRecordOverhead) {
+      return Corrupt(path, "trailing bytes after last record");
+    }
+    uint8_t type = static_cast<uint8_t>(buffer_[off]);
+    uint32_t payload_size = GetFixed32(buffer_.data() + off + 1);
+    if (payload_size > records_end - off - kRecordOverhead) {
+      return Corrupt(path, "record overruns segment body");
+    }
+    uint32_t crc = GetFixed32(buffer_.data() + off + 5 + payload_size);
+    if (Crc32(buffer_.data() + off, 5 + payload_size) != crc) {
+      return Corrupt(path, "record checksum mismatch");
+    }
+    std::string_view payload(buffer_.data() + off + 5, payload_size);
+    Status status;
+    switch (type) {
+      case kRecOpcodeDict:
+        status = ApplyDict(payload, &opcode_dict_);
+        break;
+      case kRecDataDict:
+        status = ApplyDict(payload, &data_dict_);
+        break;
+      case kRecPatch:
+        status = ApplyPatch(payload);
+        break;
+      case kRecLineage:
+        status = ApplyLineage(payload);
+        break;
+      case kRecCacheEntry:
+        status = ApplyCacheEntry(payload);
+        break;
+      case kRecGhosts:
+        status = ApplyGhosts(payload);
+        break;
+      case kRecTenant:
+        status = ApplyTenant(payload);
+        break;
+      case kRecMeta:
+        status = ApplyMeta(payload);
+        break;
+      default:
+        status = Corrupt(path, "unknown record type " + std::to_string(type));
+    }
+    LIMA_RETURN_NOT_OK(status);
+    off += kRecordOverhead + payload_size;
+    ++seen;
+  }
+  if (off != records_end) return Corrupt(path, "record framing misaligned");
+  if (seen != record_count) {
+    return Corrupt(path, "record count disagrees with footer");
+  }
+  return Status::OK();
+}
+
+Status LineageStoreReader::ApplyDict(std::string_view payload,
+                                     std::vector<std::string_view>* dict) {
+  ByteReader in(payload);
+  uint64_t count = in.Varint();
+  if (!in.ok() || count > payload.size()) {
+    return Corrupt(path_, "bad dictionary delta");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view s = in.String();
+    if (!in.ok()) return Corrupt(path_, "bad dictionary string");
+    dict->push_back(s);
+  }
+  if (!in.AtEnd()) return Corrupt(path_, "dictionary delta trailing bytes");
+  return Status::OK();
+}
+
+Status LineageStoreReader::DecodeOpcode(ByteReader* in,
+                                        std::string_view* out) const {
+  if (compressed_) {
+    uint64_t idx = in->Varint();
+    if (!in->ok() || idx >= opcode_dict_.size()) {
+      return Corrupt(path_, "opcode dictionary index out of range");
+    }
+    *out = opcode_dict_[idx];
+  } else {
+    *out = in->String();
+    if (!in->ok() || out->empty()) return Corrupt(path_, "bad inline opcode");
+  }
+  return Status::OK();
+}
+
+Status LineageStoreReader::ApplyPatch(std::string_view payload) {
+  ByteReader in(payload);
+  std::string name(in.String());
+  int64_t num_placeholders = static_cast<int64_t>(in.Varint());
+  uint64_t num_nodes = in.Varint();
+  if (!in.ok() || name.empty() ||
+      num_placeholders > static_cast<int64_t>(kMaxPlaceholderIndex) ||
+      num_nodes > payload.size()) {
+    return Corrupt(path_, "bad patch header");
+  }
+  std::vector<DedupPatch::Node> nodes;
+  nodes.reserve(num_nodes);
+  for (uint64_t n = 0; n < num_nodes; ++n) {
+    DedupPatch::Node node;
+    std::string_view opcode;
+    LIMA_RETURN_NOT_OK(DecodeOpcode(&in, &opcode));
+    node.opcode = std::string(opcode);
+    uint64_t ninputs = in.Varint();
+    if (!in.ok() || ninputs > in.remaining() + 1) {
+      return Corrupt(path_, "bad patch node input count");
+    }
+    for (uint64_t i = 0; i < ninputs; ++i) {
+      int64_t ref = in.SignedVarint();
+      if (!in.ok()) return Corrupt(path_, "bad patch node input");
+      if (ref >= 0) {
+        if (ref >= static_cast<int64_t>(n)) {
+          return Corrupt(path_, "patch node forward reference");
+        }
+      } else if (-(ref + 1) >= num_placeholders) {
+        return Corrupt(path_, "patch placeholder index out of range");
+      }
+      node.inputs.push_back(ref);
+    }
+    if (compressed_) {
+      uint64_t ref = in.Varint();
+      if (!in.ok() || ref > data_dict_.size()) {
+        return Corrupt(path_, "patch data dictionary index out of range");
+      }
+      if (ref != 0) node.data = std::string(data_dict_[ref - 1]);
+    } else {
+      uint8_t has = in.Byte();
+      if (!in.ok() || has > 1) return Corrupt(path_, "bad patch data flag");
+      if (has) {
+        node.data = std::string(in.String());
+        if (!in.ok()) return Corrupt(path_, "bad patch data string");
+      }
+    }
+    nodes.push_back(std::move(node));
+  }
+  uint64_t num_outputs = in.Varint();
+  if (!in.ok() || num_outputs > num_nodes) {
+    return Corrupt(path_, "bad patch output count");
+  }
+  std::vector<int64_t> output_roots;
+  std::vector<std::string> output_names;
+  for (uint64_t i = 0; i < num_outputs; ++i) {
+    uint64_t root = in.Varint();
+    std::string_view out_name = in.String();
+    if (!in.ok() || root >= num_nodes) {
+      return Corrupt(path_, "patch output root out of range");
+    }
+    output_roots.push_back(static_cast<int64_t>(root));
+    output_names.push_back(std::string(out_name));
+  }
+  if (!in.AtEnd()) return Corrupt(path_, "patch record trailing bytes");
+  patches_.push_back(std::make_shared<const DedupPatch>(
+      std::move(name), static_cast<int>(num_placeholders), std::move(nodes),
+      std::move(output_roots), std::move(output_names)));
+  return Status::OK();
+}
+
+Status LineageStoreReader::ApplyLineage(std::string_view payload) {
+  ByteReader in(payload);
+  Record rec;
+  rec.info.name = std::string(in.String());
+  rec.info.root_id = in.SignedVarint();
+  uint64_t item_count = in.Varint();
+  if (!in.ok() || item_count > payload.size()) {
+    return Corrupt(path_, "bad lineage record header");
+  }
+  rec.payload = payload;
+  rec.offsets.reserve(item_count);
+  rec.ids.reserve(item_count);
+  int64_t prev_id = 0;
+  for (uint64_t pos = 0; pos < item_count; ++pos) {
+    rec.offsets.push_back(static_cast<uint32_t>(in.offset(payload.data())));
+    std::string_view opcode;
+    LIMA_RETURN_NOT_OK(DecodeOpcode(&in, &opcode));
+    const bool is_placeholder = opcode == LineageItem::kPlaceholderOpcode;
+    const bool is_dedup = opcode == LineageItem::kDedupOpcode;
+    const bool is_literal = opcode == LineageItem::kLiteralOpcode;
+    uint64_t ninputs = in.Varint();
+    if (!in.ok() || ninputs > in.remaining() + 1) {
+      return Corrupt(path_, "bad item input count");
+    }
+    if ((is_placeholder || is_literal) && ninputs != 0) {
+      return Corrupt(path_, "leaf item with inputs");
+    }
+    for (uint64_t i = 0; i < ninputs; ++i) {
+      uint64_t ref = in.Varint();
+      if (!in.ok()) return Corrupt(path_, "bad item input reference");
+      if (compressed_) {
+        if (ref == 0 || ref > pos) {
+          return Corrupt(path_, "item input delta out of range");
+        }
+      } else if (ref >= pos) {
+        return Corrupt(path_, "item input position out of range");
+      }
+    }
+    int64_t id = prev_id + in.SignedVarint();
+    if (!in.ok()) return Corrupt(path_, "bad item id delta");
+    prev_id = id;
+    rec.ids.push_back(id);
+    if (is_placeholder) {
+      uint64_t index = in.Varint();
+      if (!in.ok() || index >= kMaxPlaceholderIndex) {
+        return Corrupt(path_, "bad placeholder index");
+      }
+    } else if (is_dedup) {
+      uint64_t patch_idx = in.Varint();
+      uint64_t output_idx = in.Varint();
+      if (!in.ok() || patch_idx >= patches_.size()) {
+        return Corrupt(path_, "dedup patch index out of range");
+      }
+      const DedupPatchPtr& patch = patches_[patch_idx];
+      if (output_idx >= static_cast<uint64_t>(patch->num_outputs())) {
+        return Corrupt(path_, "dedup output index out of range");
+      }
+      if (ninputs != static_cast<uint64_t>(patch->num_placeholders())) {
+        return Corrupt(path_, "dedup input count != patch placeholders");
+      }
+    } else if (compressed_) {
+      uint64_t ref = in.Varint();
+      if (!in.ok() || ref > data_dict_.size()) {
+        return Corrupt(path_, "data dictionary index out of range");
+      }
+    } else {
+      uint8_t has = in.Byte();
+      if (!in.ok() || has > 1) return Corrupt(path_, "bad item data flag");
+      if (has) {
+        in.String();
+        if (!in.ok()) return Corrupt(path_, "bad item data string");
+      }
+    }
+  }
+  if (!in.ok() || !in.AtEnd()) {
+    return Corrupt(path_, "lineage record trailing bytes");
+  }
+  if (item_count == 0) return Corrupt(path_, "empty lineage record");
+  if (rec.ids.back() != rec.info.root_id) {
+    return Corrupt(path_, "root id disagrees with last item");
+  }
+  rec.info.item_count = static_cast<int64_t>(item_count);
+  total_items_ += rec.info.item_count;
+  records_.push_back(std::move(rec));
+  return Status::OK();
+}
+
+Status LineageStoreReader::ApplyCacheEntry(std::string_view payload) {
+  ByteReader in(payload);
+  PersistedCacheEntry entry;
+  entry.lineage_record = static_cast<int64_t>(in.Varint());
+  entry.value_kind = in.Byte();
+  entry.value_ref = std::string(in.String());
+  entry.size_bytes = static_cast<int64_t>(in.Varint());
+  entry.compute_seconds = in.Double();
+  entry.refs = static_cast<int64_t>(in.Varint());
+  entry.last_access = static_cast<int64_t>(in.Varint());
+  entry.height = static_cast<int64_t>(in.Varint());
+  entry.tenant = std::string(in.String());
+  if (!in.ok() || !in.AtEnd()) return Corrupt(path_, "bad cache entry record");
+  if (entry.lineage_record < 0 ||
+      entry.lineage_record >= static_cast<int64_t>(records_.size())) {
+    return Corrupt(path_, "cache entry lineage record out of range");
+  }
+  if (entry.value_kind != PersistedCacheEntry::kValueFile &&
+      entry.value_kind != PersistedCacheEntry::kValueScalar) {
+    return Corrupt(path_, "unknown cache entry value kind");
+  }
+  if (entry.size_bytes < 0 ||
+      entry.size_bytes > static_cast<int64_t>(kMaxReasonableCount) * 64) {
+    return Corrupt(path_, "implausible cache entry size");
+  }
+  cache_entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status LineageStoreReader::ApplyGhosts(std::string_view payload) {
+  ByteReader in(payload);
+  uint64_t count = in.Varint();
+  if (!in.ok() || count > payload.size()) {
+    return Corrupt(path_, "bad ghost record header");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t hash = in.Fixed64();
+    int64_t refs = static_cast<int64_t>(in.Varint());
+    if (!in.ok()) return Corrupt(path_, "bad ghost row");
+    ghosts_.emplace_back(hash, refs);
+  }
+  if (!in.AtEnd()) return Corrupt(path_, "ghost record trailing bytes");
+  return Status::OK();
+}
+
+Status LineageStoreReader::ApplyTenant(std::string_view payload) {
+  ByteReader in(payload);
+  PersistedTenant tenant;
+  tenant.name = std::string(in.String());
+  tenant.budget_bytes = in.SignedVarint();
+  tenant.probes = static_cast<int64_t>(in.Varint());
+  tenant.hits = static_cast<int64_t>(in.Varint());
+  tenant.misses = static_cast<int64_t>(in.Varint());
+  tenant.cross_tenant_hits = static_cast<int64_t>(in.Varint());
+  tenant.puts = static_cast<int64_t>(in.Varint());
+  tenant.evictions = static_cast<int64_t>(in.Varint());
+  if (!in.ok() || !in.AtEnd() || tenant.name.empty()) {
+    return Corrupt(path_, "bad tenant record");
+  }
+  tenants_.push_back(std::move(tenant));
+  return Status::OK();
+}
+
+Status LineageStoreReader::ApplyMeta(std::string_view payload) {
+  ByteReader in(payload);
+  uint64_t count = in.Varint();
+  if (!in.ok() || count > payload.size()) {
+    return Corrupt(path_, "bad meta record header");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key(in.String());
+    std::string value(in.String());
+    if (!in.ok()) return Corrupt(path_, "bad meta row");
+    meta_[std::move(key)] = std::move(value);
+  }
+  if (!in.AtEnd()) return Corrupt(path_, "meta record trailing bytes");
+  return Status::OK();
+}
+
+Status LineageStoreReader::ParseItem(const Record& rec, int64_t pos,
+                                     ItemView* out) const {
+  ByteReader in(rec.payload.data() + rec.offsets[pos],
+                rec.payload.size() - rec.offsets[pos]);
+  LIMA_RETURN_NOT_OK(DecodeOpcode(&in, &out->opcode));
+  const bool is_placeholder = out->opcode == LineageItem::kPlaceholderOpcode;
+  const bool is_dedup = out->opcode == LineageItem::kDedupOpcode;
+  uint64_t ninputs = in.Varint();
+  out->inputs.clear();
+  out->inputs.reserve(ninputs);
+  for (uint64_t i = 0; i < ninputs; ++i) {
+    uint64_t ref = in.Varint();
+    out->inputs.push_back(compressed_ ? pos - static_cast<int64_t>(ref)
+                                      : static_cast<int64_t>(ref));
+  }
+  out->id = rec.ids[pos];
+  in.SignedVarint();  // id delta (already indexed)
+  out->placeholder_index = -1;
+  out->patch_index = -1;
+  out->data = {};
+  if (is_placeholder) {
+    out->placeholder_index = static_cast<int>(in.Varint());
+  } else if (is_dedup) {
+    out->patch_index = static_cast<int64_t>(in.Varint());
+    out->output_index = static_cast<int>(in.Varint());
+  } else if (compressed_) {
+    uint64_t ref = in.Varint();
+    if (ref != 0) out->data = data_dict_[ref - 1];
+  } else {
+    uint8_t has = in.Byte();
+    if (has) out->data = in.String();
+  }
+  if (!in.ok()) {
+    return Status::RuntimeError("internal: validated item failed to parse");
+  }
+  return Status::OK();
+}
+
+bool LineageStoreReader::RecordHasLeaf(int64_t record, std::string_view opcode,
+                                       std::string_view data) const {
+  const Record& rec = records_[record];
+  ItemView view;
+  for (int64_t pos = 0; pos < rec.info.item_count; ++pos) {
+    if (!ParseItem(rec, pos, &view).ok()) return false;
+    // Opcode + data identify the item; inputs are not required to be empty
+    // because "read" leaves carry their content fingerprint as a literal
+    // input.
+    if (view.opcode == opcode && view.data == data) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int64_t LineageStoreReader::FindRecordContaining(int64_t id) const {
+  for (size_t r = 0; r < records_.size(); ++r) {
+    const Record& rec = records_[r];
+    if (std::find(rec.ids.begin(), rec.ids.end(), id) != rec.ids.end()) {
+      return static_cast<int64_t>(r);
+    }
+  }
+  return -1;
+}
+
+Result<LineageItemPtr> LineageStoreReader::DecodeRecord(int64_t record) const {
+  return DecodeSubtree(record, records_[record].info.root_id);
+}
+
+Result<LineageItemPtr> LineageStoreReader::DecodeSubtree(int64_t record,
+                                                         int64_t id) const {
+  if (record < 0 || record >= static_cast<int64_t>(records_.size())) {
+    return Status::Invalid("lineage record index out of range");
+  }
+  const Record& rec = records_[record];
+  auto it = std::find(rec.ids.begin(), rec.ids.end(), id);
+  if (it == rec.ids.end()) {
+    return Status::Invalid("item id " + std::to_string(id) +
+                           " not in record " + std::to_string(record));
+  }
+  int64_t root_pos = it - rec.ids.begin();
+
+  // Mark the reachable closure walking positions high-to-low (inputs always
+  // sit at lower positions), parsing each needed item exactly once.
+  std::vector<char> needed(rec.info.item_count, 0);
+  std::unordered_map<int64_t, ItemView> views;
+  needed[root_pos] = 1;
+  for (int64_t pos = root_pos; pos >= 0; --pos) {
+    if (!needed[pos]) continue;
+    ItemView view;
+    LIMA_RETURN_NOT_OK(ParseItem(rec, pos, &view));
+    for (int64_t input : view.inputs) needed[input] = 1;
+    views.emplace(pos, std::move(view));
+  }
+
+  // Materialize bottom-up; only reachable items are ever built.
+  std::unordered_map<int64_t, LineageItemPtr> built;
+  for (int64_t pos = 0; pos <= root_pos; ++pos) {
+    if (!needed[pos]) continue;
+    const ItemView& view = views.at(pos);
+    std::vector<LineageItemPtr> inputs;
+    inputs.reserve(view.inputs.size());
+    for (int64_t input : view.inputs) inputs.push_back(built.at(input));
+    LineageItemPtr item;
+    if (view.placeholder_index >= 0) {
+      item = LineageItem::CreatePlaceholder(view.placeholder_index);
+    } else if (view.patch_index >= 0) {
+      item = LineageItem::CreateDedup(patches_[view.patch_index],
+                                      view.output_index, std::move(inputs));
+    } else if (view.opcode == LineageItem::kLiteralOpcode) {
+      item = LineageItem::CreateLiteral(std::string(view.data));
+    } else {
+      item = LineageItem::Create(view.opcode, std::move(inputs),
+                                 std::string(view.data));
+    }
+    built.emplace(pos, std::move(item));
+  }
+  return built.at(root_pos);
+}
+
+// ---------------------------------------------------------------------------
+// Directory helpers
+// ---------------------------------------------------------------------------
+
+std::string SegmentFileName(int64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%06lld%s", kSegmentPrefix,
+                static_cast<long long>(index), kSegmentSuffix);
+  return buf;
+}
+
+std::vector<std::string> ListSegments(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind(kSegmentPrefix, 0) == 0 &&
+        name.size() > sizeof(kSegmentSuffix) &&
+        name.compare(name.size() - 4, 4, kSegmentSuffix) == 0) {
+      names.push_back(std::move(name));
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+int64_t NextSegmentIndex(const std::string& dir) {
+  int64_t max_index = 0;
+  for (const std::string& name : ListSegments(dir)) {
+    max_index = std::max(
+        max_index, static_cast<int64_t>(
+                       std::atoll(name.c_str() + sizeof(kSegmentPrefix) - 1)));
+  }
+  return max_index + 1;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError("cannot create " + tmp);
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n <= 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IoError("write failed: " + tmp);
+    }
+    off += static_cast<size_t>(n);
+  }
+  // fsync before rename: the rename must never publish a name whose bytes
+  // are not yet durable (crash atomicity at segment granularity).
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IoError("fsync failed: " + tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("rename failed: " + path);
+  }
+  // Best-effort directory fsync so the rename itself survives a crash.
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  int dfd = ::open(parent.empty() ? "." : parent.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+}  // namespace persist
+}  // namespace lima

@@ -1,0 +1,32 @@
+#ifndef LIMA_PERSIST_QUERY_H_
+#define LIMA_PERSIST_QUERY_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace lima {
+namespace persist {
+
+/// In-situ queries over a lineage store directory (`lima_run
+/// --lineage-query=<q>`, `lima_serve --call --op=query`,
+/// LimaSession::LineageQuery). Supported forms:
+///
+///   list          one line per persisted lineage record
+///   deps:<input>  records whose DAG reads external input <input>
+///                 (walks the encoded form; no DAG is materialized)
+///   replay:<id>   decode the subtree rooted at stored item <id>,
+///                 reconstruct a program from it, execute, print the value
+///   stats         store-level totals (segments, records, items, bytes)
+///
+/// Queries cover every lineage segment (seg_*.lls) plus the CURRENT cache
+/// snapshot, so cached-entry keys are queryable too. Corrupt segments are
+/// reported inline ("error: ...") and skipped — one bad file never hides
+/// the rest of the store.
+Result<std::string> RunLineageQuery(const std::string& store_dir,
+                                    const std::string& query);
+
+}  // namespace persist
+}  // namespace lima
+
+#endif  // LIMA_PERSIST_QUERY_H_

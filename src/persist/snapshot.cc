@@ -1,0 +1,355 @@
+#include "persist/snapshot.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "persist/format.h"
+#include "persist/lineage_store.h"
+#include "runtime/data.h"
+
+namespace lima {
+namespace persist {
+
+namespace {
+
+constexpr char kCurrentFile[] = "CURRENT";
+constexpr char kSnapshotPrefix[] = "snapshot_";
+constexpr char kValuePrefix[] = "val_";
+constexpr char kSpillPrefix[] = "lima_spill_";
+constexpr char kSnapshotKind[] = "cache_snapshot";
+
+bool HasPrefix(const std::string& name, const char* prefix) {
+  return name.rfind(prefix, 0) == 0;
+}
+
+bool HasSuffix(const std::string& name, const char* suffix) {
+  size_t n = std::char_traits<char>::length(suffix);
+  return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+}
+
+std::string SnapshotFileName(int64_t generation) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%s%06lld.lls", kSnapshotPrefix,
+                static_cast<long long>(generation));
+  return buf;
+}
+
+int64_t NextSnapshotGeneration(const std::string& dir) {
+  int64_t max_gen = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (HasPrefix(name, kSnapshotPrefix) && HasSuffix(name, ".lls")) {
+      max_gen = std::max<int64_t>(
+          max_gen, std::atoll(name.c_str() + sizeof(kSnapshotPrefix) - 1));
+    }
+  }
+  return max_gen + 1;
+}
+
+/// A store-relative file name a snapshot may legitimately reference: no
+/// path separators (a corrupted name must not escape the store dir) and
+/// the value-file prefix.
+bool ValidValueFileName(const std::string& name) {
+  return HasPrefix(name, kValuePrefix) && HasSuffix(name, ".bin") &&
+         name.find('/') == std::string::npos &&
+         name.find("..") == std::string::npos;
+}
+
+/// Removes stale store-owned files: superseded snapshot generations,
+/// value files the live snapshot does not reference, and (when
+/// `sweep_spills`) spill files left behind by other — presumed dead —
+/// processes. Lineage segments (seg_*.lls) are independent data and are
+/// never touched.
+void SweepStoreDir(const std::string& dir, const std::string& keep_snapshot,
+                   const std::unordered_set<std::string>& keep_values,
+                   bool sweep_spills) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    bool remove = false;
+    if (HasPrefix(name, kSnapshotPrefix) && HasSuffix(name, ".lls")) {
+      remove = name != keep_snapshot;
+    } else if (HasPrefix(name, kValuePrefix) && HasSuffix(name, ".bin")) {
+      remove = keep_values.count(name) == 0;
+    } else if (sweep_spills && HasPrefix(name, kSpillPrefix)) {
+      long long pid = std::atoll(name.c_str() + sizeof(kSpillPrefix) - 1);
+      remove = pid != static_cast<long long>(::getpid());
+    } else if (name.find(".tmp.") != std::string::npos) {
+      // Leftover unsealed temp files from a crashed writer; only reap ones
+      // from other pids — a concurrent writer in this process may be
+      // mid-seal.
+      size_t dot = name.rfind('.');
+      long long pid = std::atoll(name.c_str() + dot + 1);
+      remove = pid != static_cast<long long>(::getpid());
+    }
+    if (remove) {
+      std::error_code rec;
+      std::filesystem::remove(entry.path(), rec);
+    }
+  }
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) return Status::IoError("read failed: " + path);
+  return std::move(buf).str();
+}
+
+/// Serializes a matrix value in the spill-file layout (rows, cols, raw
+/// doubles) so warm-started entries restore through the existing
+/// RestoreEntry path unchanged.
+std::string EncodeMatrixFile(const MatrixPtr& m) {
+  std::string bytes;
+  int64_t rows = m->rows();
+  int64_t cols = m->cols();
+  bytes.append(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  bytes.append(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  bytes.append(reinterpret_cast<const char*>(m->data()),
+               static_cast<size_t>(m->SizeInBytes()));
+  return bytes;
+}
+
+}  // namespace
+
+std::string ValueFileName(uint64_t key_hash, int64_t size_bytes) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%016llx_%lld.bin", kValuePrefix,
+                static_cast<unsigned long long>(key_hash),
+                static_cast<long long>(size_bytes));
+  return buf;
+}
+
+std::string WarmStartReport::Summary() const {
+  std::ostringstream out;
+  if (!attempted) return "persistence off";
+  if (warm) {
+    out << "warm start from " << snapshot_file << ": " << entries
+        << " entries, " << ghosts << " ghosts, " << tenants << " tenants";
+    if (skipped > 0) out << ", " << skipped << " skipped";
+  } else if (diagnostic.empty()) {
+    out << "cold start (no snapshot)";
+  } else {
+    out << "cold start (snapshot rejected: " << diagnostic << ")";
+  }
+  return out.str();
+}
+
+Result<SnapshotStats> SaveCacheSnapshot(LineageCache* cache,
+                                        const std::string& dir) {
+  if (dir.empty()) return Status::Invalid("empty store directory");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create store dir " + dir);
+
+  LineageCache::SnapshotExport exported = cache->ExportSnapshot();
+  SnapshotStats stats;
+  LineageStoreWriter writer;
+  int64_t clock = 0;
+  for (const LineageCache::ExportedEntry& row : exported.entries) {
+    clock = std::max(clock, row.last_access);
+  }
+  writer.AppendMeta({{"kind", kSnapshotKind},
+                     {"clock", std::to_string(clock)},
+                     {"pid", std::to_string(::getpid())}});
+
+  std::unordered_set<std::string> referenced;
+  for (const LineageCache::ExportedEntry& row : exported.entries) {
+    PersistedCacheEntry entry;
+    if (row.value != nullptr && row.value->type() == DataType::kScalar) {
+      entry.value_kind = PersistedCacheEntry::kValueScalar;
+      entry.value_ref = static_cast<const ScalarData*>(row.value.get())
+                            ->value()
+                            .EncodeLineageLiteral();
+    } else {
+      std::string name = ValueFileName(row.key->hash(), row.size_bytes);
+      std::string target = dir + "/" + name;
+      if (!std::filesystem::exists(target)) {
+        std::string bytes;
+        if (row.value != nullptr) {
+          if (row.value->type() != DataType::kMatrix) {
+            ++stats.skipped;  // lists are not persistable
+            continue;
+          }
+          bytes = EncodeMatrixFile(
+              static_cast<const MatrixData*>(row.value.get())->matrix());
+        } else {
+          // Spilled entry: copy the spill file into the content-addressed
+          // store name. The source may vanish concurrently (a probe
+          // restored and consumed it) — then this entry is simply skipped.
+          Result<std::string> read = ReadFileBytes(row.spill_path);
+          if (!read.ok() ||
+              read.ValueOrDie().size() < 2 * sizeof(int64_t)) {
+            ++stats.skipped;
+            continue;
+          }
+          bytes = std::move(read).ValueOrDie();
+        }
+        Status written = AtomicWriteFile(target, bytes);
+        if (!written.ok()) {
+          ++stats.skipped;
+          continue;
+        }
+      }
+      entry.value_kind = PersistedCacheEntry::kValueFile;
+      entry.value_ref = std::move(name);
+      referenced.insert(entry.value_ref);
+    }
+    entry.lineage_record = writer.AppendLineage("cache", row.key);
+    entry.size_bytes = row.size_bytes;
+    entry.compute_seconds = row.compute_seconds;
+    entry.refs = row.refs;
+    entry.last_access = row.last_access;
+    entry.height = row.height;
+    entry.tenant = row.tenant;
+    writer.AppendCacheEntry(entry);
+    ++stats.entries;
+  }
+  if (!exported.ghost_refs.empty()) writer.AppendGhosts(exported.ghost_refs);
+  stats.ghosts = static_cast<int64_t>(exported.ghost_refs.size());
+  for (const CacheTenantStats& tenant : exported.tenants) {
+    PersistedTenant row;
+    row.name = tenant.tenant;
+    row.budget_bytes = tenant.budget_bytes;
+    row.probes = tenant.probes;
+    row.hits = tenant.hits;
+    row.misses = tenant.misses;
+    row.cross_tenant_hits = tenant.cross_tenant_hits;
+    row.puts = tenant.puts;
+    row.evictions = tenant.evictions;
+    writer.AppendTenant(row);
+    ++stats.tenants;
+  }
+
+  stats.file = SnapshotFileName(NextSnapshotGeneration(dir));
+  stats.bytes = writer.SizeBytes();
+  LIMA_RETURN_NOT_OK(writer.Seal(dir + "/" + stats.file));
+  // Publication point: CURRENT flips to the new generation atomically; a
+  // crash before this line leaves the previous snapshot in effect.
+  LIMA_RETURN_NOT_OK(
+      AtomicWriteFile(dir + "/" + kCurrentFile, stats.file + "\n"));
+  SweepStoreDir(dir, stats.file, referenced, /*sweep_spills=*/false);
+  return stats;
+}
+
+WarmStartReport LoadCacheSnapshot(LineageCache* cache,
+                                  const std::string& dir) {
+  WarmStartReport report;
+  if (dir.empty()) return report;
+  report.attempted = true;
+
+  auto reject = [&](const std::string& why) {
+    report.diagnostic = why;
+    SweepStoreDir(dir, /*keep_snapshot=*/"", {}, /*sweep_spills=*/true);
+    return report;
+  };
+
+  std::string current;
+  {
+    std::ifstream in(dir + "/" + kCurrentFile);
+    if (!in) {
+      // Clean cold start; still reap anything a crashed process left.
+      SweepStoreDir(dir, /*keep_snapshot=*/"", {}, /*sweep_spills=*/true);
+      return report;
+    }
+    std::getline(in, current);
+  }
+  if (!HasPrefix(current, kSnapshotPrefix) || !HasSuffix(current, ".lls") ||
+      current.find('/') != std::string::npos) {
+    return reject("CURRENT names an invalid snapshot: '" + current + "'");
+  }
+
+  Result<std::unique_ptr<LineageStoreReader>> opened =
+      LineageStoreReader::Open(dir + "/" + current);
+  if (!opened.ok()) {
+    return reject(opened.status().message());
+  }
+  const LineageStoreReader& reader = *opened.ValueOrDie();
+  auto kind = reader.meta().find("kind");
+  if (kind == reader.meta().end() || kind->second != kSnapshotKind) {
+    return reject("snapshot " + current + " is not a cache snapshot");
+  }
+
+  std::vector<LineageCache::ImportedEntry> entries;
+  std::unordered_set<std::string> referenced;
+  for (const PersistedCacheEntry& persisted : reader.cache_entries()) {
+    Result<LineageItemPtr> key =
+        reader.DecodeRecord(persisted.lineage_record);
+    if (!key.ok()) {
+      ++report.skipped;
+      continue;
+    }
+    LineageCache::ImportedEntry row;
+    row.key = key.ValueOrDie();
+    if (persisted.value_kind == PersistedCacheEntry::kValueScalar) {
+      Result<ScalarValue> value =
+          ScalarValue::DecodeLineageLiteral(persisted.value_ref);
+      if (!value.ok()) {
+        ++report.skipped;
+        continue;
+      }
+      row.value = MakeScalarData(std::move(value).ValueOrDie());
+    } else {
+      if (!ValidValueFileName(persisted.value_ref)) {
+        ++report.skipped;
+        continue;
+      }
+      std::string path = dir + "/" + persisted.value_ref;
+      std::error_code ec;
+      int64_t on_disk =
+          static_cast<int64_t>(std::filesystem::file_size(path, ec));
+      if (ec || on_disk != persisted.size_bytes +
+                               static_cast<int64_t>(2 * sizeof(int64_t))) {
+        // Missing or size-skewed value file: the entry is dropped and the
+        // sweep below removes the unusable file (failed-restore sweep).
+        ++report.skipped;
+        continue;
+      }
+      row.value_path = std::move(path);
+      referenced.insert(persisted.value_ref);
+    }
+    row.size_bytes = persisted.size_bytes;
+    row.compute_seconds = persisted.compute_seconds;
+    row.refs = persisted.refs;
+    row.last_access = persisted.last_access;
+    row.height = persisted.height;
+    row.tenant = persisted.tenant;
+    entries.push_back(std::move(row));
+  }
+
+  std::vector<CacheTenantStats> tenants;
+  for (const PersistedTenant& tenant : reader.tenants()) {
+    CacheTenantStats row;
+    row.tenant = tenant.name;
+    row.budget_bytes = tenant.budget_bytes;
+    row.probes = tenant.probes;
+    row.hits = tenant.hits;
+    row.misses = tenant.misses;
+    row.cross_tenant_hits = tenant.cross_tenant_hits;
+    row.puts = tenant.puts;
+    row.evictions = tenant.evictions;
+    tenants.push_back(std::move(row));
+  }
+
+  report.entries = cache->ImportSnapshot(entries, reader.ghosts(), tenants);
+  report.ghosts = static_cast<int64_t>(reader.ghosts().size());
+  report.tenants = static_cast<int64_t>(tenants.size());
+  report.snapshot_file = current;
+  report.warm = true;
+  // Startup sweep: drop value files this snapshot no longer references
+  // (including ones that just failed validation), superseded generations,
+  // and spill files from dead processes.
+  SweepStoreDir(dir, current, referenced, /*sweep_spills=*/true);
+  return report;
+}
+
+}  // namespace persist
+}  // namespace lima

@@ -43,9 +43,18 @@ LineageCache::LineageCache(const LimaConfig& config, RuntimeStats* stats)
     owned_stats_ = std::make_unique<RuntimeStats>();
     stats_ = owned_stats_.get();
   }
-  spill_dir_ = config.spill_dir.empty()
-                   ? std::filesystem::temp_directory_path().string()
-                   : config.spill_dir;
+  // Spill placement: explicit spill_dir wins; otherwise a configured
+  // persistent store directory keeps spill files relocatable next to the
+  // snapshot (warm start); otherwise the system temp dir.
+  if (!config.spill_dir.empty()) {
+    spill_dir_ = config.spill_dir;
+  } else if (!config.store_dir.empty()) {
+    spill_dir_ = config.store_dir;
+    std::error_code ec;
+    std::filesystem::create_directories(spill_dir_, ec);
+  } else {
+    spill_dir_ = std::filesystem::temp_directory_path().string();
+  }
   const int num_shards =
       std::clamp(config.cache_shards, 1, 4096);
   shards_.reserve(num_shards);
@@ -224,9 +233,13 @@ Status LineageCache::RestoreEntry(Shard* shard, Entry* entry,
     EmaUpdate(&read_bandwidth_,
               static_cast<double>(entry->size_bytes) / seconds);
   }
-  std::filesystem::remove(entry->spill_path);
+  // Spill files the cache wrote itself are consumed by the restore; files
+  // owned by the persistent store stay on disk so the snapshot that
+  // references them remains valid.
+  if (!entry->persistent) std::filesystem::remove(entry->spill_path);
   entry->value = MakeMatrixData(std::move(m));
   entry->spilled = false;
+  entry->persistent = false;
   entry->spill_path.clear();
   size_bytes_.fetch_add(entry->size_bytes, std::memory_order_relaxed);
   if (entry->tenant != nullptr) {
@@ -247,6 +260,7 @@ void LineageCache::DropSpillFile(Entry* entry) {
   }
   entry->spill_path.clear();
   entry->spilled = false;
+  entry->persistent = false;
 }
 
 void LineageCache::RecordEvent(CacheEventKind kind, int64_t size_bytes,
@@ -648,7 +662,9 @@ void LineageCache::Clear() {
     std::unique_lock<std::mutex> lock(shard->mu);
     int64_t resident = 0;
     for (auto& [key, entry] : shard->entries) {
-      if (entry->spilled) std::filesystem::remove(entry->spill_path);
+      if (entry->spilled && !entry->persistent) {
+        std::filesystem::remove(entry->spill_path);
+      }
       if (!entry->placeholder && !entry->spilled && entry->value != nullptr) {
         resident += entry->size_bytes;
         ReleaseTenantBytes(entry.get());
@@ -685,6 +701,107 @@ bool LineageCache::Contains(const LineageItemPtr& key) const {
   std::unique_lock<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(key);
   return it != shard.entries.end() && !it->second->placeholder;
+}
+
+LineageCache::SnapshotExport LineageCache::ExportSnapshot() const {
+  SnapshotExport out;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    for (const auto& [key, entry] : shard->entries) {
+      if (entry->placeholder) continue;
+      const bool resident = entry->value != nullptr;
+      const bool spilled = entry->spilled && !entry->spill_path.empty();
+      if (!resident && !spilled) continue;
+      ExportedEntry row;
+      row.key = key;
+      if (resident) {
+        row.value = entry->value;
+      } else {
+        row.spill_path = entry->spill_path;
+      }
+      row.compute_seconds = entry->compute_seconds;
+      row.size_bytes = entry->size_bytes;
+      row.refs = entry->refs;
+      row.last_access = entry->last_access;
+      row.height = entry->height;
+      if (entry->tenant != nullptr) row.tenant = entry->tenant->name;
+      out.entries.push_back(std::move(row));
+    }
+    for (const auto& [hash, refs] : shard->ghost_refs) {
+      out.ghost_refs.emplace_back(hash, refs);
+    }
+  }
+  out.tenants = TenantStatsSnapshot();
+  return out;
+}
+
+int64_t LineageCache::ImportSnapshot(
+    const std::vector<ImportedEntry>& entries,
+    const std::vector<std::pair<uint64_t, int64_t>>& ghosts,
+    const std::vector<CacheTenantStats>& tenants) {
+  for (const CacheTenantStats& row : tenants) {
+    if (row.tenant.empty()) continue;
+    TenantState* state = GetOrCreateTenant(row.tenant);
+    state->budget_bytes.store(row.budget_bytes, std::memory_order_relaxed);
+    state->probes.store(row.probes, std::memory_order_relaxed);
+    state->hits.store(row.hits, std::memory_order_relaxed);
+    state->misses.store(row.misses, std::memory_order_relaxed);
+    state->cross_tenant_hits.store(row.cross_tenant_hits,
+                                   std::memory_order_relaxed);
+    state->puts.store(row.puts, std::memory_order_relaxed);
+    state->evictions.store(row.evictions, std::memory_order_relaxed);
+  }
+
+  int64_t imported = 0;
+  int64_t max_access = 0;
+  for (const ImportedEntry& row : entries) {
+    if (row.key == nullptr) continue;
+    TenantState* tenant =
+        row.tenant.empty() ? nullptr : GetOrCreateTenant(row.tenant);
+    Shard& shard = ShardFor(row.key);
+    std::unique_lock<std::mutex> lock(shard.mu);
+    if (shard.entries.count(row.key) != 0) continue;
+    auto entry = std::make_shared<Entry>();
+    if (row.value != nullptr) {
+      entry->value = row.value;
+      size_bytes_.fetch_add(row.size_bytes, std::memory_order_relaxed);
+      if (tenant != nullptr) {
+        tenant->resident_bytes.fetch_add(row.size_bytes,
+                                         std::memory_order_relaxed);
+      }
+    } else {
+      // Matrix values stay on disk until first use; the file belongs to
+      // the store, so restores and Clear() must not delete it.
+      entry->spilled = true;
+      entry->persistent = true;
+      entry->spill_path = row.value_path;
+    }
+    entry->compute_seconds = row.compute_seconds;
+    entry->size_bytes = row.size_bytes;
+    entry->refs = row.refs;
+    entry->last_access = row.last_access;
+    entry->height = row.height;
+    entry->tenant = tenant;
+    shard.entries.emplace(row.key, std::move(entry));
+    max_access = std::max(max_access, row.last_access);
+    ++imported;
+  }
+  for (const auto& [hash, refs] : ghosts) {
+    Shard& shard = *shards_[ShardIndex(hash)];
+    std::unique_lock<std::mutex> lock(shard.mu);
+    int64_t& slot = shard.ghost_refs[hash];
+    slot = std::max(slot, refs);
+    max_access = std::max(max_access, int64_t{0});
+  }
+  // The logical clock must move past every imported access time, or new
+  // traffic would look older than snapshot-era entries to the LRU policy.
+  int64_t current = clock_.load(std::memory_order_relaxed);
+  while (current < max_access &&
+         !clock_.compare_exchange_weak(current, max_access,
+                                       std::memory_order_relaxed)) {
+  }
+  EvictUntilFits();
+  return imported;
 }
 
 std::vector<CacheShardStats> LineageCache::ShardStatsSnapshot() const {

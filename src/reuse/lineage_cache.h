@@ -145,6 +145,60 @@ class LineageCache : public ReuseCache {
     events_.store(events, std::memory_order_release);
   }
 
+  // --- persistence (src/persist/snapshot.*) ------------------------------
+
+  /// One cache entry as captured by ExportSnapshot: the lineage key plus
+  /// either the resident value or the path of its spill file (exactly one
+  /// of `value` / `spill_path` is set).
+  struct ExportedEntry {
+    LineageItemPtr key;
+    DataPtr value;           ///< resident value (null when spilled)
+    std::string spill_path;  ///< source spill file (empty when resident)
+    double compute_seconds = 0;
+    int64_t size_bytes = 0;
+    int64_t refs = 0;
+    int64_t last_access = 0;
+    int64_t height = 0;
+    std::string tenant;  ///< owning tenant name, empty when none
+  };
+
+  /// Point-in-time capture of cache contents and history for persistence:
+  /// entries (keys + values/spill paths), ghost reference counts, and
+  /// per-tenant accounting. Shard locks are taken one at a time, so the
+  /// capture is consistent per shard (the same guarantee the stats
+  /// snapshots give) and safe on a live cache.
+  struct SnapshotExport {
+    std::vector<ExportedEntry> entries;
+    std::vector<std::pair<uint64_t, int64_t>> ghost_refs;
+    std::vector<CacheTenantStats> tenants;
+  };
+  SnapshotExport ExportSnapshot() const;
+
+  /// One entry to rebuild on warm start. Matrix values arrive as
+  /// store-owned files (`value_path`) and are imported in the spilled
+  /// state with `persistent` set, so the first hit restores them lazily
+  /// WITHOUT deleting the store's copy; scalar values arrive resident.
+  struct ImportedEntry {
+    LineageItemPtr key;
+    DataPtr value;           ///< resident import (scalars)
+    std::string value_path;  ///< store-owned value file (matrices)
+    double compute_seconds = 0;
+    int64_t size_bytes = 0;
+    int64_t refs = 0;
+    int64_t last_access = 0;
+    int64_t height = 0;
+    std::string tenant;
+  };
+
+  /// Rebuilds cache state from a snapshot (warm start): entries that do
+  /// not collide with live keys are inserted, ghost history is merged into
+  /// the owning shards, tenants are re-created with their budgets and
+  /// lifetime counters, and the logical clock advances past every imported
+  /// access time. Returns the number of entries imported.
+  int64_t ImportSnapshot(const std::vector<ImportedEntry>& entries,
+                         const std::vector<std::pair<uint64_t, int64_t>>& ghosts,
+                         const std::vector<CacheTenantStats>& tenants);
+
  private:
   /// Interned per-tenant accounting state. Pointer-stable (owned by
   /// tenants_ via unique_ptr, never erased), so Entry can hold a raw owner
@@ -174,6 +228,10 @@ class LineageCache : public ReuseCache {
     /// re-spill or delete it before the caller receives it (the null-hit
     /// bug); a count rather than a flag so overlapping pinners compose.
     int pins = 0;
+    /// True when spill_path names a file the persistent store owns (warm
+    /// start): restore and Clear() must leave the file on disk — the cache
+    /// only deletes spill files it created itself.
+    bool persistent = false;
     std::string spill_path;
     double compute_seconds = 0;
     int64_t height = 0;         ///< lineage DAG height (DAG-Height policy)

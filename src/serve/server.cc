@@ -15,6 +15,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "lang/session.h"
+#include "persist/query.h"
 
 namespace lima {
 namespace serve {
@@ -77,6 +78,12 @@ Result<ServeOptions> LoadServeOptionsFile(const std::string& path,
           int64_t mb,
           ParseInt64Strict(tokens[2], 0, kMaxBudgetMb, "tenant_budget_mb"));
       base.tenant_budgets.emplace_back(tokens[1], mb * 1024 * 1024);
+    } else if (key == "store_dir" && tokens.size() == 2) {
+      base.store_dir = tokens[1];
+    } else if (key == "snapshot_every" && tokens.size() == 2) {
+      LIMA_ASSIGN_OR_RETURN(
+          base.snapshot_every,
+          ParseIntStrict(tokens[1], 0, 1 << 20, "snapshot_every"));
     } else {
       return fail("unknown or malformed directive: " + key);
     }
@@ -130,8 +137,20 @@ Status LimaServer::Start() {
     return status;
   }
 
+  if (!options_.store_dir.empty()) {
+    // The shared cache spills into the store dir so snapshot value files
+    // and spill files live (and relocate) together.
+    options_.session_config.store_dir = options_.store_dir;
+  }
   if (options_.shared_cache) {
     shared_cache_ = LimaSession::MakeSharedCache(options_.session_config);
+    if (!options_.store_dir.empty()) {
+      // Warm start: rebuild the cache from the newest snapshot. A corrupt,
+      // truncated, or version-skewed snapshot degrades to a cold start with
+      // a diagnostic — never a crash (tests/warm_start_test.cc).
+      warm_start_ = persist::LoadCacheSnapshot(shared_cache_.get(),
+                                               options_.store_dir);
+    }
   }
   ApplyTenantBudgets(options_.tenant_budgets);
   // One budget governs every request's kernels and parfor workers; serve
@@ -152,6 +171,9 @@ Status LimaServer::Start() {
 
 void LimaServer::Stop() {
   if (!started_.load(std::memory_order_acquire)) return;
+  // First caller wins: the destructor calls Stop() too, and a second pass
+  // must not write a second shutdown snapshot.
+  if (stopped_.exchange(true)) return;
   stopping_.store(true, std::memory_order_release);
   if (listen_fd_ >= 0) {
     // shutdown() forces a blocked accept() to return; close alone does not
@@ -171,6 +193,33 @@ void LimaServer::Stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
     ::unlink(options_.socket_path.c_str());
+  }
+  // Snapshot after the drain so the persisted cache reflects every served
+  // request. SIGKILL skips this — that is what the periodic snapshots and
+  // the crash-recovery path in LoadCacheSnapshot are for.
+  SaveSnapshot();
+}
+
+void LimaServer::SaveSnapshot() {
+  if (options_.store_dir.empty() || shared_cache_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  Result<persist::SnapshotStats> stats =
+      persist::SaveCacheSnapshot(shared_cache_.get(), options_.store_dir);
+  if (stats.ok()) {
+    snapshots_taken_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    std::fprintf(stderr, "lima_serve: snapshot failed: %s\n",
+                 stats.status().ToString().c_str());
+  }
+}
+
+void LimaServer::MaybeSnapshot() {
+  const int every = options_.snapshot_every;
+  if (every <= 0 || options_.store_dir.empty() || shared_cache_ == nullptr) {
+    return;
+  }
+  if (completed_.load(std::memory_order_relaxed) % every == 0) {
+    SaveSnapshot();
   }
 }
 
@@ -314,6 +363,9 @@ void LimaServer::ServeConnection(int fd) {
   ::close(fd);
   if (response.Get("status") == "ok") {
     completed_.fetch_add(1, std::memory_order_relaxed);
+    // Only runs mutate the cache; ping/stats/query must not burn snapshot
+    // generations.
+    if (request->Get("op") == "run") MaybeSnapshot();
   } else {
     failed_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -323,6 +375,7 @@ Message LimaServer::HandleRequest(const Message& request) {
   const std::string op = request.Get("op");
   if (op == "run") return HandleRun(request);
   if (op == "stats") return HandleStats();
+  if (op == "query") return HandleQuery(request);
   if (op == "ping") {
     Message response;
     response.Set("status", "ok");
@@ -374,6 +427,14 @@ Message LimaServer::HandleRun(const Message& request) {
   } else {
     response.Set("status", "ok");
     response.Set("output", session.ConsumeOutput());
+    if (request.Get("persist") == "1" && !options_.store_dir.empty()) {
+      Result<int64_t> persisted = session.PersistLineage(options_.store_dir);
+      response.Set("persisted_records",
+                   persisted.ok() ? std::to_string(*persisted) : "0");
+      if (!persisted.ok()) {
+        response.Set("persist_error", persisted.status().ToString());
+      }
+    }
   }
   response.Set("tenant", tenant);
   response.Set("elapsed_us",
@@ -387,6 +448,31 @@ Message LimaServer::HandleRun(const Message& request) {
   return response;
 }
 
+Message LimaServer::HandleQuery(const Message& request) {
+  Message response;
+  const std::string* query = request.Find("q");
+  if (query == nullptr) {
+    response.Set("status", "error");
+    response.Set("error", "query: missing q field");
+    return response;
+  }
+  if (options_.store_dir.empty()) {
+    response.Set("status", "error");
+    response.Set("error", "query: server has no store_dir configured");
+    return response;
+  }
+  Result<std::string> answer =
+      persist::RunLineageQuery(options_.store_dir, *query);
+  if (!answer.ok()) {
+    response.Set("status", "error");
+    response.Set("error", answer.status().ToString());
+    return response;
+  }
+  response.Set("status", "ok");
+  response.Set("output", *answer);
+  return response;
+}
+
 Message LimaServer::HandleStats() {
   Message response;
   response.Set("status", "ok");
@@ -395,6 +481,14 @@ Message LimaServer::HandleStats() {
   response.Set("shed", std::to_string(c.shed));
   response.Set("completed", std::to_string(c.completed));
   response.Set("failed", std::to_string(c.failed));
+  if (!options_.store_dir.empty()) {
+    response.Set("warm_start", warm_start_.warm ? "1" : "0");
+    response.Set("warm_entries", std::to_string(warm_start_.entries));
+    if (!warm_start_.diagnostic.empty()) {
+      response.Set("warm_diagnostic", warm_start_.diagnostic);
+    }
+    response.Set("snapshots_taken", std::to_string(snapshots_taken()));
+  }
   ParallelBudget& budget = ParallelBudget::Global();
   response.Set("parallel_capacity", std::to_string(budget.capacity()));
   response.Set("parallel_in_use", std::to_string(budget.in_use()));

@@ -16,6 +16,7 @@
 #include "common/config.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "persist/snapshot.h"
 #include "reuse/lineage_cache.h"
 #include "serve/protocol.h"
 
@@ -53,6 +54,17 @@ struct ServeOptions {
   /// Per-tenant cache byte budgets (LineageCache::SetTenantBudget); tenants
   /// not listed are unlimited (bounded only by the cache-wide budget).
   std::vector<std::pair<std::string, int64_t>> tenant_budgets;
+
+  /// Persistent lineage store directory (docs/PERSISTENCE.md). When set and
+  /// shared_cache is on, Start() warm-starts the cache from the newest
+  /// snapshot (corrupt or version-skewed snapshots degrade to a cold start),
+  /// Stop() writes a fresh snapshot, and the "query" op serves in-situ
+  /// lineage queries against the store. Fixed at Start().
+  std::string store_dir;
+
+  /// Write a cache snapshot after every N completed requests (0 = only at
+  /// Stop()). Bounds data loss on SIGKILL to the last N requests.
+  int snapshot_every = 0;
 };
 
 /// Parses a lima_serve config file into `base` (missing keys keep their
@@ -112,6 +124,17 @@ class LimaServer {
     return shared_cache_;
   }
 
+  /// Warm-start outcome of Start() (attempted=false when no store_dir or
+  /// private caches). Exposed for tests and the stats op.
+  const persist::WarmStartReport& warm_start_report() const {
+    return warm_start_;
+  }
+
+  /// Snapshots written so far (Stop() + periodic). Relaxed read.
+  int64_t snapshots_taken() const {
+    return snapshots_taken_.load(std::memory_order_relaxed);
+  }
+
  private:
   void AcceptLoop();
   void WorkerLoop(int worker_id);
@@ -120,6 +143,12 @@ class LimaServer {
   Message HandleRequest(const Message& request);
   Message HandleRun(const Message& request);
   Message HandleStats();
+  Message HandleQuery(const Message& request);
+  /// Writes a cache snapshot into store_dir (no-op without one). Serialized
+  /// by snapshot_mu_ so a periodic snapshot and Stop() never interleave.
+  void SaveSnapshot();
+  /// Periodic-snapshot hook: called after each completed request.
+  void MaybeSnapshot();
   /// Cache for `tenant`: the shared cache, or (private mode) the tenant's
   /// own cache, created on first use.
   std::shared_ptr<LineageCache> CacheForTenant(const std::string& tenant);
@@ -132,6 +161,8 @@ class LimaServer {
   int listen_fd_ = -1;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
+  /// Set by the first Stop() caller; later calls return immediately.
+  std::atomic<bool> stopped_{false};
 
   /// Admitted connections waiting for a worker. Guarded by queue_mu_.
   std::mutex queue_mu_;
@@ -154,6 +185,11 @@ class LimaServer {
   std::atomic<int64_t> shed_{0};
   std::atomic<int64_t> completed_{0};
   std::atomic<int64_t> failed_{0};
+
+  /// Persistence state (set at Start when options_.store_dir is non-empty).
+  persist::WarmStartReport warm_start_;
+  std::mutex snapshot_mu_;
+  std::atomic<int64_t> snapshots_taken_{0};
 };
 
 }  // namespace serve

@@ -48,6 +48,12 @@
 //   --plan-report[=text|json]    print the static plan (value numbers, probe
 //                                verdicts, fusion decisions) after execution;
 //                                text goes to stderr (default), json to stdout
+//   --store-dir=DIR              persistent lineage store (docs/PERSISTENCE.md):
+//                                after the run, every traced variable is
+//                                appended as a compressed segment under DIR
+//   --lineage-query=Q            in-situ query over the store named by
+//                                --store-dir (no script needed): list, stats,
+//                                deps:<input>, replay:<id>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -74,6 +80,7 @@ void PrintUsage() {
                "[--parfor-check=on|off]\n                "
                "[--inplace=on|off] [--mem-report] [--redundancy=on|off]\n"
                "                [--plan-report[=text|json]] "
+               "[--store-dir=DIR]\n                [--lineage-query=Q] "
                "<script.dml | ->\n");
 }
 
@@ -96,6 +103,7 @@ int main(int argc, char** argv) {
   std::string profile_format;  // empty = profiling off
   std::string plan_format;     // empty = no plan report
   std::string lineage_var;
+  std::string lineage_query;
   std::string script_path;
   std::string value;
 
@@ -222,6 +230,10 @@ int main(int argc, char** argv) {
       }
     } else if (ParseFlag(arg, "lineage", &value)) {
       lineage_var = value;
+    } else if (ParseFlag(arg, "store-dir", &value)) {
+      config.store_dir = value;
+    } else if (ParseFlag(arg, "lineage-query", &value)) {
+      lineage_query = value;
     } else if (arg == "--verify" || ParseFlag(arg, "verify", &value)) {
       if (arg == "--verify" || value == "report") {
         config.verify_mode = VerifyMode::kWarn;
@@ -244,6 +256,17 @@ int main(int argc, char** argv) {
     } else {
       script_path = arg;
     }
+  }
+  // Query mode walks the persisted store directly — no script required.
+  if (!lineage_query.empty() && script_path.empty()) {
+    LimaSession session(config);
+    Result<std::string> answer = session.LineageQuery(lineage_query);
+    if (!answer.ok()) {
+      std::fprintf(stderr, "error: %s\n", answer.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(answer->c_str(), stdout);
+    return 0;
   }
   if (script_path.empty()) {
     PrintUsage();
@@ -297,6 +320,25 @@ int main(int argc, char** argv) {
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;
+  }
+  if (!config.store_dir.empty()) {
+    Result<int64_t> persisted = session.PersistLineage();
+    if (!persisted.ok()) {
+      std::fprintf(stderr, "persist: %s\n",
+                   persisted.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "persisted %lld lineage records to %s\n",
+                 static_cast<long long>(*persisted),
+                 config.store_dir.c_str());
+  }
+  if (!lineage_query.empty()) {
+    Result<std::string> answer = session.LineageQuery(lineage_query);
+    if (!answer.ok()) {
+      std::fprintf(stderr, "error: %s\n", answer.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(answer->c_str(), stdout);
   }
   if (!lineage_var.empty()) {
     Result<std::string> log = session.GetLineage(lineage_var);

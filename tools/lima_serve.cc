@@ -8,6 +8,12 @@
 //   lima_serve --socket=/tmp/lima.sock [--pool=N] [--queue=N]
 //              [--budget-mb=N] [--tenant-budget-mb=TENANT:N]...
 //              [--private-caches] [--config=FILE]
+//              [--store-dir=DIR] [--snapshot-every=N]
+//
+//   --store-dir enables the persistent lineage store (docs/PERSISTENCE.md):
+//   warm-start from the newest snapshot at boot, snapshot on drain and
+//   (with --snapshot-every=N) after every N completed requests, and the
+//   "query" op for in-situ lineage queries.
 //
 //   SIGHUP  reloads --config (pool size, queue capacity, tenant budgets)
 //   SIGINT/SIGTERM drain in-flight and admitted requests, then exit
@@ -17,6 +23,7 @@
 //   echo 'print(sum(rand(rows=3,cols=3)));' |
 //     lima_serve --socket=/tmp/lima.sock --call --tenant=NAME -
 //   lima_serve --socket=/tmp/lima.sock --call --op=stats
+//   lima_serve --socket=/tmp/lima.sock --call --op=query --query=stats
 #include <signal.h>
 #include <unistd.h>
 
@@ -58,8 +65,9 @@ void PrintUsage() {
       "usage: lima_serve --socket=PATH [--pool=N] [--queue=N]\n"
       "                  [--budget-mb=N] [--tenant-budget-mb=TENANT:N]...\n"
       "                  [--private-caches] [--config=FILE]\n"
+      "                  [--store-dir=DIR] [--snapshot-every=N]\n"
       "       lima_serve --socket=PATH --call [--tenant=NAME] [--op=OP]\n"
-      "                  [<script.dml | ->]\n");
+      "                  [--query=Q] [--persist] [<script.dml | ->]\n");
 }
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -70,13 +78,20 @@ bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
 }
 
 int RunClient(const std::string& socket_path, const std::string& op,
-              const std::string& tenant, const std::string& script_path) {
+              const std::string& tenant, const std::string& script_path,
+              const std::string& query, bool persist) {
   using lima::serve::Call;
   using lima::serve::Message;
 
   Message request;
   request.Set("op", op);
   request.Set("tenant", tenant);
+  if (op == "query") {
+    request.Set("q", query);
+  }
+  if (persist) {
+    request.Set("persist", "1");
+  }
   if (op == "run") {
     std::string source;
     if (script_path.empty()) {
@@ -132,7 +147,9 @@ int main(int argc, char** argv) {
   std::string tenant = "default";
   std::string op = "run";
   std::string script_path;
+  std::string query;
   bool call_mode = false;
+  bool persist = false;
   std::string value;
 
   for (int i = 1; i < argc; ++i) {
@@ -185,12 +202,27 @@ int main(int argc, char** argv) {
       options.shared_cache = false;
     } else if (ParseFlag(arg, "config", &value)) {
       config_path = value;
+    } else if (ParseFlag(arg, "store-dir", &value)) {
+      options.store_dir = value;
+    } else if (ParseFlag(arg, "snapshot-every", &value)) {
+      Result<int> every = ParseIntStrict(value, 0, 1 << 20,
+                                         "--snapshot-every");
+      if (!every.ok()) {
+        std::fprintf(stderr, "%s\n", every.status().ToString().c_str());
+        return 2;
+      }
+      options.snapshot_every = *every;
     } else if (arg == "--call") {
       call_mode = true;
+    } else if (arg == "--persist") {
+      persist = true;
     } else if (ParseFlag(arg, "tenant", &value)) {
       tenant = value;
+    } else if (ParseFlag(arg, "query", &value)) {
+      query = value;
     } else if (ParseFlag(arg, "op", &value)) {
-      if (value != "run" && value != "stats" && value != "ping") {
+      if (value != "run" && value != "stats" && value != "ping" &&
+          value != "query") {
         std::fprintf(stderr, "unknown op: %s\n", value.c_str());
         return 2;
       }
@@ -212,7 +244,8 @@ int main(int argc, char** argv) {
   }
 
   if (call_mode) {
-    return RunClient(options.socket_path, op, tenant, script_path);
+    return RunClient(options.socket_path, op, tenant, script_path, query,
+                     persist);
   }
 
   if (!config_path.empty()) {
@@ -250,6 +283,10 @@ int main(int argc, char** argv) {
                options.socket_path.c_str(), options.pool_size,
                options.queue_capacity,
                options.shared_cache ? "shared cache" : "private caches");
+  if (!options.store_dir.empty()) {
+    std::fprintf(stderr, "lima_serve: %s\n",
+                 server.warm_start_report().Summary().c_str());
+  }
 
   while (g_shutdown == 0) {
     char byte;
